@@ -1,0 +1,83 @@
+// Ablation A5 — online utilization estimation (extension of §5.4).
+//
+// Figure 6 shows ORR's performance hinges on a decent utilization
+// estimate. This ablation removes the need for an operator-supplied one:
+// AdaptiveOrr estimates ρ online from the arrival stream the scheduler
+// sees anyway (with the paper-recommended slight overestimation as a
+// safety factor) and is compared against ORR given the exact ρ (oracle)
+// and ORR configured with badly wrong estimates.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "cluster/config.h"
+#include "core/adaptive.h"
+
+namespace {
+
+hs::cluster::ExperimentResult run_adaptive(
+    const hs::bench::BenchOptions& options,
+    const std::vector<double>& speeds, double rho, double initial_rho) {
+  const auto config = hs::bench::paper_experiment(options, speeds, rho);
+  hs::core::AdaptiveOrrOptions adaptive;
+  adaptive.mean_job_size = config.simulation.workload.mean_job_size();
+  adaptive.time_constant = 20000.0;
+  adaptive.recompute_every = 1024;
+  adaptive.initial_rho = initial_rho;
+  return hs::cluster::run_experiment(config, [speeds, adaptive] {
+    return std::make_unique<hs::core::AdaptiveOrrDispatcher>(speeds,
+                                                             adaptive);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Ablation A5: adaptive ORR — online utilization estimation vs "
+      "oracle and misconfigured static estimates (base configuration)");
+  bench::BenchOptions::register_options(parser);
+  parser.add_option("loads", "0.5,0.7,0.85",
+                    "comma-separated true utilization levels");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  const auto options = bench::BenchOptions::from_parser(parser);
+  const auto loads = bench::parse_double_list(parser.get_string("loads"));
+
+  bench::print_header("Ablation A5", "Adaptive utilization estimation",
+                      options);
+
+  const auto cluster = cluster::ClusterConfig::paper_base();
+  util::TablePrinter table({"true rho", "ORR(oracle)", "ORR(assume 0.4)",
+                            "ORR(assume 0.95)", "AdaptiveORR(prior 0.4)"});
+  for (double rho : loads) {
+    table.begin_row();
+    table.cell(rho, 2);
+    const auto oracle = bench::run_policy(options, core::PolicyKind::kORR,
+                                          cluster.speeds(), rho);
+    table.cell(bench::format_ci(oracle.response_ratio, 3));
+    // Static ORR computed for a fixed wrong utilization regardless of
+    // the true one (factor = assumed/true).
+    const auto low = bench::run_policy(options, core::PolicyKind::kORR,
+                                       cluster.speeds(), rho, 0.4 / rho);
+    table.cell(bench::format_ci(low.response_ratio, 3));
+    const auto high = bench::run_policy(options, core::PolicyKind::kORR,
+                                        cluster.speeds(), rho, 0.95 / rho);
+    table.cell(bench::format_ci(high.response_ratio, 3));
+    const auto adaptive =
+        run_adaptive(options, cluster.speeds(), rho, 0.4);
+    table.cell(bench::format_ci(adaptive.response_ratio, 3));
+  }
+  bench::emit_table(options,
+                    "Mean response ratio (AdaptiveORR starts from the same "
+                    "bad 0.4 prior as the misconfigured column):",
+                    table);
+
+  std::cout << "Reproduction check: AdaptiveORR must track the oracle at "
+               "every load, while a fixed 0.4 assumption degrades badly at "
+               "high load (Figure 6a) and a fixed 0.95 assumption wastes "
+               "the optimization at low load (degenerates to WRR).\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation A4 — validating Eq. (3) against the simulator.
+//
+// Under the analytic model's own assumptions (Poisson arrivals,
+// exponential sizes, PS servers) the simulated mean response ratio of
+// each static policy must match the closed-form prediction
+// R̄ = μ·Σαᵢ/(sᵢμ−αᵢλ). Under the paper's realistic workload
+// (hyperexponential arrivals, CV = 3) the random-dispatch policies drift
+// above the prediction — the gap Algorithm 2 closes.
+#include <iostream>
+
+#include "alloc/analytic_model.h"
+#include "bench_common.h"
+#include "cluster/config.h"
+
+namespace {
+
+hs::cluster::ExperimentResult run_workload(
+    const hs::bench::BenchOptions& options,
+    const std::vector<double>& speeds, double rho, bool markovian,
+    hs::core::PolicyKind policy) {
+  auto config = hs::bench::paper_experiment(options, speeds, rho);
+  if (markovian) {
+    config.simulation.workload.arrival_kind =
+        hs::workload::ArrivalKind::kPoisson;
+    config.simulation.workload.size_kind =
+        hs::workload::SizeKind::kExponential;
+    config.simulation.workload.fixed_or_mean_size = 76.8;
+  }
+  return hs::cluster::run_experiment(
+      config, hs::core::policy_dispatcher_factory(policy, speeds, rho));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Ablation A4: analytic model (Eq. 3) vs simulation, under M/M "
+      "assumptions and under the paper's realistic workload");
+  bench::BenchOptions::register_options(parser);
+  parser.add_option("rho", "0.7", "overall system utilization");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  const auto options = bench::BenchOptions::from_parser(parser);
+  const double rho = parser.get_double("rho");
+
+  bench::print_header("Ablation A4", "Analytic model vs simulation", options);
+
+  const auto cluster = cluster::ClusterConfig::paper_base();
+  alloc::SystemParameters params;
+  params.speeds = cluster.speeds();
+  params.rho = rho;
+  params.mean_job_size = 76.8;
+
+  util::TablePrinter table({"policy", "Eq.(3) prediction",
+                            "sim (M/M workload)", "sim (paper workload)"});
+  for (core::PolicyKind policy : core::static_policies()) {
+    const auto allocation =
+        core::policy_allocation(policy, cluster.speeds(), rho);
+    const double predicted =
+        alloc::predicted_mean_response_ratio(params, allocation);
+    const auto markovian =
+        run_workload(options, cluster.speeds(), rho, true, policy);
+    const auto realistic =
+        run_workload(options, cluster.speeds(), rho, false, policy);
+    table.begin_row();
+    table.cell(core::policy_name(policy));
+    table.cell(predicted, 3);
+    table.cell(bench::format_ci(markovian.response_ratio, 3));
+    table.cell(bench::format_ci(realistic.response_ratio, 3));
+  }
+  bench::emit_table(options,
+                    "Mean response ratio at rho = " +
+                        util::format_double(rho, 2) +
+                        " on the base configuration:",
+                    table);
+
+  std::cout << "Reproduction check: under M/M assumptions the simulation "
+               "must match Eq. (3) closely for the random-dispatch "
+               "policies (the model's exact setting); round-robin "
+               "dispatching beats the prediction (sub-Poisson substreams), "
+               "and the realistic CV = 3 workload degrades random "
+               "dispatching well above it.\n";
+  return 0;
+}

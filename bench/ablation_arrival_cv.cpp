@@ -1,0 +1,87 @@
+// Ablation A2 — arrival burstiness and the value of round-robin
+// dispatching.
+//
+// §5.3 argues round-robin dispatching wins by smoothing burstiness. This
+// ablation sweeps the inter-arrival CV from 1 (Poisson) to 5 and
+// measures the WRR-vs-WRAN and ORR-vs-ORAN gaps: the round-robin
+// advantage should grow with burstiness.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cluster/config.h"
+
+namespace {
+
+hs::cluster::ExperimentResult run_with_cv(
+    const hs::bench::BenchOptions& options,
+    const std::vector<double>& speeds, double rho, double cv,
+    hs::core::PolicyKind policy) {
+  auto config = hs::bench::paper_experiment(options, speeds, rho);
+  if (cv <= 1.0) {
+    config.simulation.workload.arrival_kind =
+        hs::workload::ArrivalKind::kPoisson;
+  } else {
+    config.simulation.workload.arrival_kind =
+        hs::workload::ArrivalKind::kHyperExp;
+    config.simulation.workload.arrival_cv = cv;
+  }
+  return hs::cluster::run_experiment(
+      config, hs::core::policy_dispatcher_factory(policy, speeds, rho));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Ablation A2: arrival burstiness sweep — round-robin vs random "
+      "dispatching as the inter-arrival CV grows (base configuration)");
+  bench::BenchOptions::register_options(parser);
+  parser.add_option("rho", "0.7", "overall system utilization");
+  parser.add_option("cvs", "1,2,3,4,5",
+                    "comma-separated inter-arrival CVs (1 = Poisson)");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  const auto options = bench::BenchOptions::from_parser(parser);
+  const double rho = parser.get_double("rho");
+
+  bench::print_header("Ablation A2", "Arrival burstiness sweep", options);
+
+  const auto cluster = cluster::ClusterConfig::paper_base();
+  const auto cvs = bench::parse_double_list(parser.get_string("cvs"));
+
+  util::TablePrinter table({"arrival CV", "WRAN", "WRR", "WRR gain %",
+                            "ORAN", "ORR", "ORR gain %"});
+  for (double cv : cvs) {
+    const auto wran = run_with_cv(options, cluster.speeds(), rho, cv,
+                                  core::PolicyKind::kWRAN);
+    const auto wrr = run_with_cv(options, cluster.speeds(), rho, cv,
+                                 core::PolicyKind::kWRR);
+    const auto oran = run_with_cv(options, cluster.speeds(), rho, cv,
+                                  core::PolicyKind::kORAN);
+    const auto orr = run_with_cv(options, cluster.speeds(), rho, cv,
+                                 core::PolicyKind::kORR);
+    table.begin_row();
+    table.cell(cv, 1);
+    table.cell(bench::format_ci(wran.response_ratio, 3));
+    table.cell(bench::format_ci(wrr.response_ratio, 3));
+    table.cell(
+        (1.0 - wrr.response_ratio.mean / wran.response_ratio.mean) * 100.0,
+        1);
+    table.cell(bench::format_ci(oran.response_ratio, 3));
+    table.cell(bench::format_ci(orr.response_ratio, 3));
+    table.cell(
+        (1.0 - orr.response_ratio.mean / oran.response_ratio.mean) * 100.0,
+        1);
+  }
+  bench::emit_table(options,
+                    "Mean response ratio at rho = " +
+                        util::format_double(rho, 2) + ":",
+                    table);
+
+  std::cout << "Reproduction check: the round-robin dispatching gain over "
+               "random grows with arrival burstiness (the paper's CV = 3 "
+               "sits in the middle of this sweep).\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation A6 — generalized round-robin family.
+//
+// The paper's Algorithm 2 is one member of the family of deterministic
+// weighted round-robins later popularized by OSS load balancers. This
+// ablation compares, under the optimized allocation:
+//   * Algorithm 2 (smoothed RR, this paper),
+//   * smooth weighted round-robin (the nginx algorithm),
+//   * random dispatching (the paper's baseline),
+// on both the short-window deviation metric of Figure 2 and end-to-end
+// response metrics.
+#include <iostream>
+#include <memory>
+#include <numeric>
+
+#include "bench_common.h"
+#include "cluster/config.h"
+#include "dispatch/random_dispatcher.h"
+#include "dispatch/smooth_rr.h"
+#include "dispatch/swrr.h"
+
+namespace {
+
+using DispatcherMaker =
+    std::unique_ptr<hs::dispatch::Dispatcher> (*)(const hs::alloc::Allocation&);
+
+std::unique_ptr<hs::dispatch::Dispatcher> make_smooth(
+    const hs::alloc::Allocation& a) {
+  return std::make_unique<hs::dispatch::SmoothRoundRobinDispatcher>(a);
+}
+std::unique_ptr<hs::dispatch::Dispatcher> make_swrr(
+    const hs::alloc::Allocation& a) {
+  return std::make_unique<hs::dispatch::SwrrDispatcher>(a);
+}
+std::unique_ptr<hs::dispatch::Dispatcher> make_random(
+    const hs::alloc::Allocation& a) {
+  return std::make_unique<hs::dispatch::RandomDispatcher>(a);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Ablation A6: generalized round-robin family — Algorithm 2 vs "
+      "nginx-style smooth WRR vs random, under optimized allocation");
+  bench::BenchOptions::register_options(parser);
+  parser.add_option("rho", "0.7", "overall system utilization");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  const auto options = bench::BenchOptions::from_parser(parser);
+  const double rho = parser.get_double("rho");
+
+  bench::print_header("Ablation A6", "Generalized round-robin family",
+                      options);
+
+  const auto cluster = cluster::ClusterConfig::paper_base();
+  const auto allocation =
+      core::policy_allocation(core::PolicyKind::kORR, cluster.speeds(), rho);
+
+  struct Entry {
+    const char* label;
+    DispatcherMaker maker;
+  };
+  const Entry entries[] = {
+      {"Algorithm 2 (paper)", &make_smooth},
+      {"smooth WRR (nginx)", &make_swrr},
+      {"random", &make_random},
+  };
+
+  util::TablePrinter table({"dispatcher", "mean response ratio", "fairness",
+                            "mean allocation deviation"});
+  for (const Entry& entry : entries) {
+    auto config = bench::paper_experiment(options, cluster.speeds(), rho);
+    config.simulation.deviation_expected = allocation.fractions();
+    config.simulation.deviation_interval = 120.0;
+    const auto result = cluster::run_experiment(
+        config, [&allocation, maker = entry.maker] {
+          return maker(allocation);
+        });
+    double dev_sum = 0.0;
+    size_t dev_n = 0;
+    for (const auto& rep : result.replications) {
+      dev_sum += std::accumulate(rep.deviations.begin(),
+                                 rep.deviations.end(), 0.0);
+      dev_n += rep.deviations.size();
+    }
+    table.begin_row();
+    table.cell(entry.label);
+    table.cell(bench::format_ci(result.response_ratio, 3));
+    table.cell(bench::format_ci(result.fairness, 2));
+    table.cell(dev_n > 0 ? dev_sum / static_cast<double>(dev_n) : 0.0, 6);
+  }
+  bench::emit_table(options,
+                    "Optimized allocation on the base configuration at "
+                    "rho = " + util::format_double(rho, 2) + ":",
+                    table);
+
+  std::cout << "Reproduction check: both deterministic round-robins must "
+               "sit well below random on every column; Algorithm 2 and "
+               "the nginx algorithm are expected to be near-equivalent — "
+               "the paper's contribution anticipates the now-standard "
+               "technique.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation A10 — relaxing the central-scheduler assumption.
+//
+// The system model (Figure 1) routes every job through one central
+// scheduler, but the deployments the paper motivates — DNS rotation,
+// replicated web front-ends — split the stream across k independent
+// schedulers with no shared state. This ablation runs ORR and Dynamic
+// Least-Load with k = 1..8 independent scheduler instances (jobs split
+// randomly among them) and measures what decentralization costs each:
+// ORR's smoothing partially randomizes away (superposed independent
+// round-robins are burstier than one), and each Least-Load instance
+// sees only 1/k of the departure reports.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/config.h"
+
+namespace {
+
+hs::cluster::ExperimentResult run_multi(
+    const hs::bench::BenchOptions& options,
+    const std::vector<double>& speeds, double rho, size_t scheduler_count,
+    hs::core::PolicyKind policy) {
+  auto config = hs::bench::paper_experiment(options, speeds, rho);
+  // run_experiment drives run_simulation with a single dispatcher; for
+  // the multi-scheduler variant we run replications directly here.
+  std::vector<double> ratios;
+  hs::cluster::ExperimentResult aggregate;
+  std::vector<hs::cluster::SimulationResult> reps;
+  for (unsigned r = 0; r < config.replications; ++r) {
+    hs::cluster::SimulationConfig sim = config.simulation;
+    sim.seed = hs::rng::derive_seed(config.base_seed, r, 100);
+    std::vector<std::unique_ptr<hs::dispatch::Dispatcher>> owners;
+    std::vector<hs::dispatch::Dispatcher*> schedulers;
+    for (size_t s = 0; s < scheduler_count; ++s) {
+      owners.push_back(
+          hs::core::make_policy_dispatcher(policy, speeds, rho));
+      schedulers.push_back(owners.back().get());
+    }
+    reps.push_back(hs::cluster::run_simulation_multi(sim, schedulers));
+    ratios.push_back(reps.back().mean_response_ratio);
+  }
+  aggregate.response_ratio = hs::stats::mean_confidence_interval(ratios);
+  aggregate.replications = std::move(reps);
+  return aggregate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Ablation A10: k independent schedulers instead of one central "
+      "scheduler (base configuration, random job split)");
+  bench::BenchOptions::register_options(parser);
+  parser.add_option("rho", "0.7", "overall system utilization");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  const auto options = bench::BenchOptions::from_parser(parser);
+  const double rho = parser.get_double("rho");
+
+  bench::print_header("Ablation A10", "Decentralized schedulers", options);
+  const auto cluster = cluster::ClusterConfig::paper_base();
+
+  util::TablePrinter table(
+      {"schedulers k", "ORR", "ORAN", "LeastLoad"});
+  for (size_t k : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    table.begin_row();
+    table.cell(static_cast<long>(k));
+    for (core::PolicyKind policy :
+         {core::PolicyKind::kORR, core::PolicyKind::kORAN,
+          core::PolicyKind::kLeastLoad}) {
+      const auto result =
+          run_multi(options, cluster.speeds(), rho, k, policy);
+      table.cell(bench::format_ci(result.response_ratio, 3));
+    }
+  }
+  bench::emit_table(options,
+                    "Mean response ratio at rho = " +
+                        util::format_double(rho, 2) + ":",
+                    table);
+
+  std::cout << "Reproduction check: ORAN is k-invariant (random splits of "
+               "random dispatch change nothing); ORR degrades towards "
+               "ORAN as k grows (independent round-robins superpose into "
+               "a burstier stream) but retains the optimized allocation "
+               "advantage; Least-Load degrades as each instance sees only "
+               "1/k of the feedback.\n";
+  return 0;
+}

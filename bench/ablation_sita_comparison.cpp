@@ -1,0 +1,109 @@
+// Ablation A9 — what does knowing job sizes buy?
+//
+// The paper positions its schemes against size-based task assignment
+// (Crovella et al.; Schroeder & Harchol-Balter): "Their work assumed
+// task sizes are known a priori while this assumption is not needed in
+// our work." This ablation quantifies the trade on the base
+// configuration, under both service disciplines:
+//   * FCFS servers — the setting of the SITA literature, where isolating
+//     short jobs from long ones is decisive;
+//   * processor sharing — the paper's setting, where preemption already
+//     protects short jobs.
+// Expectation: SITA-E dominates size-blind policies under FCFS, but
+// under PS the size-blind ORR matches or beats it — supporting the
+// paper's claim that its optimization achieves the benefit without the
+// size oracle.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "cluster/config.h"
+#include "dispatch/sita.h"
+
+namespace {
+
+hs::cluster::ExperimentResult run_sita(
+    const hs::bench::BenchOptions& options,
+    const std::vector<double>& speeds, double rho,
+    hs::cluster::ServiceDiscipline discipline) {
+  auto config = hs::bench::paper_experiment(options, speeds, rho);
+  config.simulation.discipline = discipline;
+  const hs::rng::BoundedPareto sizes(
+      config.simulation.workload.pareto_lower,
+      config.simulation.workload.pareto_upper,
+      config.simulation.workload.pareto_alpha);
+  return hs::cluster::run_experiment(config, [speeds, sizes] {
+    return std::make_unique<hs::dispatch::SitaDispatcher>(speeds, sizes);
+  });
+}
+
+hs::cluster::ExperimentResult run_static(
+    const hs::bench::BenchOptions& options,
+    const std::vector<double>& speeds, double rho,
+    hs::cluster::ServiceDiscipline discipline,
+    hs::core::PolicyKind policy) {
+  auto config = hs::bench::paper_experiment(options, speeds, rho);
+  config.simulation.discipline = discipline;
+  return hs::cluster::run_experiment(
+      config, hs::core::policy_dispatcher_factory(policy, speeds, rho));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Ablation A9: size-aware SITA-E vs the paper's size-blind policies, "
+      "under FCFS and processor-sharing servers (base configuration)");
+  bench::BenchOptions::register_options(parser);
+  parser.add_option("rho", "0.7", "overall system utilization");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  auto options = bench::BenchOptions::from_parser(parser);
+  const double rho = parser.get_double("rho");
+  // FCFS with heavy tails converges slowly but the ordering is huge;
+  // keep the default horizon moderate.
+  if (options.sim_time > 4.0e5) {
+    options.sim_time = 4.0e5;
+  }
+
+  bench::print_header("Ablation A9", "Size-aware vs size-blind assignment",
+                      options);
+  const auto cluster = cluster::ClusterConfig::paper_base();
+
+  util::TablePrinter table({"discipline", "WRR (blind)", "ORR (blind)",
+                            "SITA-E (needs sizes)",
+                            "LeastLoad (needs feedback)"});
+  for (auto discipline : {cluster::ServiceDiscipline::kFcfs,
+                          cluster::ServiceDiscipline::kProcessorSharing}) {
+    const char* label =
+        discipline == cluster::ServiceDiscipline::kFcfs
+            ? "FCFS"
+            : "processor sharing";
+    const auto wrr = run_static(options, cluster.speeds(), rho, discipline,
+                                core::PolicyKind::kWRR);
+    const auto orr = run_static(options, cluster.speeds(), rho, discipline,
+                                core::PolicyKind::kORR);
+    const auto sita = run_sita(options, cluster.speeds(), rho, discipline);
+    const auto ll = run_static(options, cluster.speeds(), rho, discipline,
+                               core::PolicyKind::kLeastLoad);
+    table.begin_row();
+    table.cell(label);
+    table.cell(bench::format_ci(wrr.response_ratio, 3));
+    table.cell(bench::format_ci(orr.response_ratio, 3));
+    table.cell(bench::format_ci(sita.response_ratio, 3));
+    table.cell(bench::format_ci(ll.response_ratio, 3));
+  }
+  bench::emit_table(options,
+                    "Mean response ratio at rho = " +
+                        util::format_double(rho, 2) + ":",
+                    table);
+
+  std::cout << "Reproduction check: under FCFS, SITA-E's size isolation "
+               "must dominate the size-blind static policies by a large "
+               "factor; under processor sharing the paper's ORR matches "
+               "or beats it without knowing any job size — the paper's "
+               "central positioning claim.\n";
+  return 0;
+}

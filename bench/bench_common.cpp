@@ -1,0 +1,104 @@
+#include "bench_common.h"
+
+#include <iostream>
+#include <sstream>
+
+namespace hs::bench {
+
+void BenchOptions::register_options(util::ArgParser& parser) {
+  parser.add_option("sim-time", "1e6",
+                    "simulated seconds per replication (paper: 4e6)");
+  parser.add_option("reps", "5",
+                    "independent replications per data point (paper: 10)");
+  parser.add_option("warmup-frac", "0.25",
+                    "fraction of each run discarded as warm-up");
+  parser.add_option("seed", "20000829", "base RNG seed");
+  parser.add_flag("paper-scale",
+                  "use the paper's full scale: 4e6 s per run, 10 reps");
+  parser.add_flag("csv", "also print each table as CSV");
+}
+
+BenchOptions BenchOptions::from_parser(const util::ArgParser& parser) {
+  BenchOptions options;
+  options.sim_time = parser.get_double("sim-time");
+  options.reps = static_cast<unsigned>(parser.get_long("reps"));
+  options.warmup_frac = parser.get_double("warmup-frac");
+  options.seed = static_cast<uint64_t>(parser.get_long("seed"));
+  options.csv = parser.get_flag("csv");
+  if (parser.get_flag("paper-scale")) {
+    options.sim_time = 4.0e6;
+    options.reps = 10;
+    options.warmup_frac = 0.25;
+  }
+  return options;
+}
+
+cluster::ExperimentConfig paper_experiment(const BenchOptions& options,
+                                           std::vector<double> speeds,
+                                           double rho) {
+  cluster::ExperimentConfig config;
+  config.simulation.speeds = std::move(speeds);
+  config.simulation.workload = workload::WorkloadSpec::paper_default();
+  config.simulation.rho = rho;
+  config.simulation.sim_time = options.sim_time;
+  config.simulation.warmup_frac = options.warmup_frac;
+  config.replications = options.reps;
+  config.base_seed = options.seed;
+  return config;
+}
+
+cluster::ExperimentResult run_policy(const BenchOptions& options,
+                                     core::PolicyKind policy,
+                                     const std::vector<double>& speeds,
+                                     double rho, double rho_estimate_factor) {
+  const auto config = paper_experiment(options, speeds, rho);
+  return cluster::run_experiment(
+      config, core::policy_dispatcher_factory(policy, speeds, rho,
+                                              rho_estimate_factor));
+}
+
+std::string format_ci(const stats::ConfidenceInterval& ci, int precision) {
+  std::ostringstream oss;
+  oss << util::format_double(ci.mean, precision) << " ±"
+      << util::format_double(ci.half_width, precision);
+  return oss.str();
+}
+
+void emit_table(const BenchOptions& options, const std::string& context,
+                const util::TablePrinter& table) {
+  if (!context.empty()) {
+    std::cout << context << "\n";
+  }
+  table.print(std::cout);
+  if (options.csv) {
+    std::cout << "\n[csv]\n";
+    table.print_csv(std::cout);
+  }
+  std::cout << "\n";
+}
+
+void print_header(const std::string& experiment_id, const std::string& title,
+                  const BenchOptions& options) {
+  std::cout << "=== " << experiment_id << ": " << title << " ===\n"
+            << "Tang & Chanson, \"Optimizing Static Job Scheduling in a "
+               "Network of Heterogeneous Computers\", ICPP 2000\n"
+            << "sim-time=" << options.sim_time << " s, reps=" << options.reps
+            << ", warmup=" << options.warmup_frac * 100 << "%, seed="
+            << options.seed << "\n\n";
+}
+
+std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> values;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t next = text.find(',', pos);
+    if (next == std::string::npos) {
+      next = text.size();
+    }
+    values.push_back(std::stod(text.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return values;
+}
+
+}  // namespace hs::bench

@@ -1,0 +1,64 @@
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Every bench accepts the same scaling knobs:
+//   --sim-time     simulated seconds per replication (default 1.0e6)
+//   --reps         independent replications per data point (default 5)
+//   --warmup-frac  fraction of each run discarded as warm-up (default 0.25)
+//   --seed         base RNG seed
+//   --paper-scale  use the paper's full parameters (4.0e6 s, 10 reps)
+//   --csv          additionally print each table as CSV for plotting
+// so results are statistically stable by default and exactly
+// paper-faithful on request.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.h"
+#include "core/policy.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace hs::bench {
+
+struct BenchOptions {
+  double sim_time = 1.0e6;
+  double warmup_frac = 0.25;
+  unsigned reps = 5;
+  uint64_t seed = 20000829;
+  bool csv = false;
+
+  /// Registers the common options on a parser.
+  static void register_options(util::ArgParser& parser);
+  /// Reads the common options back; applies --paper-scale.
+  static BenchOptions from_parser(const util::ArgParser& parser);
+};
+
+/// Experiment config with the paper's §4.1 workload on `speeds` at `rho`,
+/// scaled per the options.
+[[nodiscard]] cluster::ExperimentConfig paper_experiment(
+    const BenchOptions& options, std::vector<double> speeds, double rho);
+
+/// Run one (policy, cluster, rho) cell and return the aggregate result.
+[[nodiscard]] cluster::ExperimentResult run_policy(
+    const BenchOptions& options, core::PolicyKind policy,
+    const std::vector<double>& speeds, double rho,
+    double rho_estimate_factor = 1.0);
+
+/// "12.34 ±0.56" formatting for a confidence interval.
+[[nodiscard]] std::string format_ci(const stats::ConfidenceInterval& ci,
+                                    int precision = 3);
+
+/// Print the table, then CSV if requested. `context` is a one-line
+/// description printed above the table.
+void emit_table(const BenchOptions& options, const std::string& context,
+                const util::TablePrinter& table);
+
+/// Standard bench preamble: prints the header with experiment identity.
+void print_header(const std::string& experiment_id, const std::string& title,
+                  const BenchOptions& options);
+
+/// Parse a comma-separated list of doubles ("0.3,0.5,0.7").
+[[nodiscard]] std::vector<double> parse_double_list(const std::string& text);
+
+}  // namespace hs::bench

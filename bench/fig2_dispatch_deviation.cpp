@@ -1,0 +1,114 @@
+// Figure 2 — comparison of job dispatching strategies by workload
+// allocation deviation.
+//
+// 8 computers with workload fractions {0.35, 0.22, 0.15, 0.12, 0.04,
+// 0.04, 0.04, 0.04}; hyperexponential arrivals with mean inter-arrival
+// time 2.2 s; 30 consecutive 120 s intervals. The deviation
+// Σᵢ(αᵢ − αᵢ′)² of round-robin dispatching must sit far below — and
+// fluctuate far less than — random dispatching.
+#include <algorithm>
+#include <iostream>
+
+#include "alloc/allocation.h"
+#include "bench_common.h"
+#include "cluster/sim.h"
+#include "dispatch/random_dispatcher.h"
+#include "dispatch/smooth_rr.h"
+#include "stats/running_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Figure 2: workload allocation deviation of round-robin vs random "
+      "dispatching over 30 consecutive 120 s intervals");
+  bench::BenchOptions::register_options(parser);
+  parser.add_option("intervals", "30", "number of 120 s intervals to show");
+  parser.add_option("mean-interarrival", "2.2",
+                    "mean job inter-arrival time in seconds");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  const auto options = bench::BenchOptions::from_parser(parser);
+  const auto intervals = static_cast<size_t>(parser.get_long("intervals"));
+  const double mean_ia = parser.get_double("mean-interarrival");
+
+  bench::print_header("Figure 2",
+                      "Dispatching strategies: allocation deviation",
+                      options);
+
+  const std::vector<double> fractions = {0.35, 0.22, 0.15, 0.12,
+                                         0.04, 0.04, 0.04, 0.04};
+  const alloc::Allocation allocation(fractions);
+
+  // The figure's x-axis is wall-clock intervals, so the simulation only
+  // needs to cover them; machine speeds are irrelevant to the deviation
+  // metric (only dispatch decisions are tracked) but each machine gets a
+  // fraction-proportional speed large enough to keep the servers stable
+  // at this arrival rate (mean size 76.8 s / mean inter-arrival 2.2 s
+  // needs aggregate speed > 35).
+  cluster::SimulationConfig config;
+  config.speeds.clear();
+  for (double f : fractions) {
+    config.speeds.push_back(std::max(f, 0.02) * 80.0);
+  }
+  config.workload = workload::WorkloadSpec::paper_default();
+  config.rho = 0.5;
+  config.sim_time = static_cast<double>(intervals) * 120.0;
+  config.warmup_frac = 0.0;
+  config.deviation_expected = fractions;
+  config.deviation_interval = 120.0;
+  config.seed = options.seed;
+
+  // Override the arrival rate to the figure's mean inter-arrival time by
+  // scaling rho: λ = ρ·Σs/E[size] ⇒ ρ = E[size]/(mean_ia·Σs).
+  double total_speed = 0.0;
+  for (double s : config.speeds) {
+    total_speed += s;
+  }
+  config.rho = config.workload.mean_job_size() / (mean_ia * total_speed);
+
+  dispatch::SmoothRoundRobinDispatcher rr{allocation};
+  dispatch::RandomDispatcher random_d{allocation};
+  const auto rr_result = cluster::run_simulation(config, rr);
+  const auto rand_result = cluster::run_simulation(config, random_d);
+
+  util::TablePrinter table({"interval", "round-robin dev", "random dev"});
+  stats::RunningStats rr_stats, rand_stats;
+  const size_t rows =
+      std::min({intervals, rr_result.deviations.size(),
+                rand_result.deviations.size()});
+  for (size_t i = 0; i < rows; ++i) {
+    table.begin_row();
+    table.cell(static_cast<long>(i + 1));
+    table.cell(rr_result.deviations[i], 6);
+    table.cell(rand_result.deviations[i], 6);
+    rr_stats.add(rr_result.deviations[i]);
+    rand_stats.add(rand_result.deviations[i]);
+  }
+  bench::emit_table(options,
+                    "Per-interval workload allocation deviation "
+                    "(120 s intervals, hyperexponential arrivals, mean " +
+                        util::format_double(mean_ia, 1) + " s):",
+                    table);
+
+  util::TablePrinter summary(
+      {"strategy", "mean deviation", "max deviation", "stddev"});
+  summary.begin_row();
+  summary.cell("round-robin");
+  summary.cell(rr_stats.mean(), 6);
+  summary.cell(rr_stats.max(), 6);
+  summary.cell(rr_stats.stddev(), 6);
+  summary.begin_row();
+  summary.cell("random");
+  summary.cell(rand_stats.mean(), 6);
+  summary.cell(rand_stats.max(), 6);
+  summary.cell(rand_stats.stddev(), 6);
+  bench::emit_table(options, "Summary:", summary);
+
+  std::cout << "Reproduction check: round-robin deviations must be far "
+               "lower and far less variable than random.\n"
+            << "random/round-robin mean deviation ratio: "
+            << util::format_double(rand_stats.mean() / rr_stats.mean(), 1)
+            << "x\n";
+  return 0;
+}

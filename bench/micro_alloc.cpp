@@ -1,0 +1,66 @@
+// Microbenchmarks for the allocation solvers (Algorithm 1 and the
+// weighted baseline). The optimized solver is O(n log n); the paper's
+// point is that it is cheap enough to recompute whenever the utilization
+// estimate drifts.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "alloc/optimized.h"
+#include "alloc/scheme.h"
+#include "rng/rng.h"
+
+namespace {
+
+std::vector<double> random_speeds(size_t n, uint64_t seed) {
+  hs::rng::Xoshiro256 gen(seed);
+  std::vector<double> speeds(n);
+  for (double& s : speeds) {
+    s = gen.uniform(0.5, 20.0);
+  }
+  return speeds;
+}
+
+void BM_OptimizedAllocation(benchmark::State& state) {
+  const auto speeds = random_speeds(static_cast<size_t>(state.range(0)), 42);
+  const hs::alloc::OptimizedAllocation scheme;
+  for (auto _ : state) {
+    auto allocation = scheme.compute(speeds, 0.7);
+    benchmark::DoNotOptimize(allocation);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OptimizedAllocation)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_WeightedAllocation(benchmark::State& state) {
+  const auto speeds = random_speeds(static_cast<size_t>(state.range(0)), 42);
+  const hs::alloc::WeightedAllocation scheme;
+  for (auto _ : state) {
+    auto allocation = scheme.compute(speeds, 0.7);
+    benchmark::DoNotOptimize(allocation);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WeightedAllocation)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_OptimizedCutoffOnly(benchmark::State& state) {
+  auto speeds = random_speeds(static_cast<size_t>(state.range(0)), 7);
+  std::sort(speeds.begin(), speeds.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hs::alloc::optimized_cutoff(speeds, 0.4));
+  }
+}
+BENCHMARK(BM_OptimizedCutoffOnly)->Arg(64)->Arg(4096);
+
+void BM_ObjectiveEvaluation(benchmark::State& state) {
+  const auto speeds = random_speeds(static_cast<size_t>(state.range(0)), 9);
+  const auto allocation =
+      hs::alloc::OptimizedAllocation().compute(speeds, 0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hs::alloc::objective_value(allocation, speeds, 0.7));
+  }
+}
+BENCHMARK(BM_ObjectiveEvaluation)->Arg(64)->Arg(4096);
+
+}  // namespace

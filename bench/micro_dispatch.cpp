@@ -1,0 +1,68 @@
+// Microbenchmarks for the per-job dispatching decision — the operation
+// on the request hot path of a deployed scheduler.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "alloc/optimized.h"
+#include "dispatch/least_load.h"
+#include "dispatch/random_dispatcher.h"
+#include "dispatch/smooth_rr.h"
+#include "rng/rng.h"
+
+namespace {
+
+std::vector<double> random_speeds(size_t n) {
+  hs::rng::Xoshiro256 gen(2024);
+  std::vector<double> speeds(n);
+  for (double& s : speeds) {
+    s = gen.uniform(0.5, 20.0);
+  }
+  return speeds;
+}
+
+hs::alloc::Allocation allocation_for(size_t n) {
+  return hs::alloc::OptimizedAllocation().compute(random_speeds(n), 0.7);
+}
+
+void BM_SmoothRrPick(benchmark::State& state) {
+  hs::dispatch::SmoothRoundRobinDispatcher dispatcher{
+      allocation_for(static_cast<size_t>(state.range(0)))};
+  hs::rng::Xoshiro256 gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatcher.pick(gen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmoothRrPick)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RandomPick(benchmark::State& state) {
+  hs::dispatch::RandomDispatcher dispatcher{
+      allocation_for(static_cast<size_t>(state.range(0)))};
+  hs::rng::Xoshiro256 gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatcher.pick(gen));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomPick)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_LeastLoadPick(benchmark::State& state) {
+  hs::dispatch::LeastLoadDispatcher dispatcher(
+      random_speeds(static_cast<size_t>(state.range(0))));
+  hs::rng::Xoshiro256 gen(1);
+  size_t since_report = 0;
+  for (auto _ : state) {
+    const size_t machine = dispatcher.pick(gen);
+    benchmark::DoNotOptimize(machine);
+    // Keep queues bounded: report a departure for every pick.
+    if (++since_report > 1) {
+      dispatcher.on_departure_report(machine);
+      since_report = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeastLoadPick)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Microbenchmarks for the simulation engine: event queue throughput and
+// end-to-end jobs/second of the full cluster simulation.
+#include <benchmark/benchmark.h>
+
+#include "cluster/sim.h"
+#include "core/policy.h"
+#include "queueing/ps_server.h"
+#include "rng/rng.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  hs::sim::EventQueue queue;
+  hs::rng::Xoshiro256 gen(3);
+  const size_t depth = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < depth; ++i) {
+    queue.push(gen.uniform(0.0, 1000.0), [] {});
+  }
+  for (auto _ : state) {
+    queue.push(gen.uniform(0.0, 1000.0), [] {});
+    auto [time, fn] = queue.pop();
+    benchmark::DoNotOptimize(time);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  hs::sim::EventQueue queue;
+  hs::rng::Xoshiro256 gen(5);
+  for (auto _ : state) {
+    auto handle = queue.push(gen.uniform(0.0, 1000.0), [] {});
+    benchmark::DoNotOptimize(queue.cancel(handle));
+  }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_PsServerArrivalDeparture(benchmark::State& state) {
+  hs::sim::Simulator sim;
+  hs::queueing::PsServer server(sim, 1.0, 0);
+  hs::rng::Xoshiro256 gen(7);
+  uint64_t id = 0;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.5;
+    sim.schedule_at(t, [&server, id, t] {
+      server.arrive(hs::queueing::Job{id, t, 0.4});
+    });
+    ++id;
+    sim.run_until(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PsServerArrivalDeparture);
+
+void BM_FullClusterSimulation(benchmark::State& state) {
+  // End-to-end jobs/second on the base configuration under ORR. The
+  // counter makes the simulator's throughput visible so the cost of
+  // --paper-scale runs can be predicted.
+  hs::cluster::SimulationConfig config;
+  config.speeds = {1.0, 1.0, 1.0, 1.0, 1.0, 1.5, 1.5, 1.5, 1.5,
+                   2.0, 2.0, 2.0, 5.0, 10.0, 12.0};
+  config.rho = 0.7;
+  config.sim_time = 50000.0;
+  config.warmup_frac = 0.25;
+  uint64_t jobs = 0;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    auto dispatcher = hs::core::make_policy_dispatcher(
+        hs::core::PolicyKind::kORR, config.speeds, config.rho);
+    const auto result = hs::cluster::run_simulation(config, *dispatcher);
+    jobs += result.completed_jobs;
+    benchmark::DoNotOptimize(result.mean_response_ratio);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullClusterSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Table 2 — the combinations of job dispatching strategies and workload
+// allocation schemes that define the four static policies, plus the
+// allocations each computes on the base configuration.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cluster/config.h"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Table 2: policy combination matrix and the allocations each scheme "
+      "computes on the base configuration (Table 3)");
+  bench::BenchOptions::register_options(parser);
+  parser.add_option("rho", "0.7", "system utilization for the allocations");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  const auto options = bench::BenchOptions::from_parser(parser);
+  const double rho = parser.get_double("rho");
+
+  bench::print_header("Table 2", "Policy combination matrix", options);
+
+  util::TablePrinter matrix(
+      {"dispatching \\ allocation", "weighted", "optimized"});
+  matrix.add_row({"random", "WRAN", "ORAN"});
+  matrix.add_row({"round-robin", "WRR", "ORR"});
+  bench::emit_table(options, "", matrix);
+
+  const auto base = cluster::ClusterConfig::paper_base();
+  std::cout << "Base configuration (Table 3): " << base.describe() << "\n\n";
+
+  util::TablePrinter allocations({"speed", "weighted alpha", "optimized alpha"});
+  const auto weighted =
+      core::policy_allocation(core::PolicyKind::kWRR, base.speeds(), rho);
+  const auto optimized =
+      core::policy_allocation(core::PolicyKind::kORR, base.speeds(), rho);
+  for (size_t i = 0; i < base.size(); ++i) {
+    allocations.begin_row();
+    allocations.cell(base.speeds()[i], 1);
+    allocations.cell(weighted[i], 4);
+    allocations.cell(optimized[i], 4);
+  }
+  bench::emit_table(options,
+                    "Allocation fractions at rho = " +
+                        util::format_double(rho, 2) + ":",
+                    allocations);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Scenario: a cluster whose load drifts through the day.
+//
+// §5.4 of the paper shows ORR is robust to mild misestimation of the
+// utilization but breaks down when load is badly underestimated. A real
+// system's load is not constant — so this example runs a day-long drift
+// (quiet night → busy day → evening peak) and compares:
+//   * ORR tuned for the *average* day load (the paper's recommendation),
+//   * ORR tuned for the quiet night (a stale estimate),
+//   * AdaptiveORR, which learns the load online from arrival gaps.
+// The drift is modeled by replaying three stitched traces at different
+// rates through one simulation per policy.
+#include <cstdio>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/sim.h"
+#include "core/adaptive.h"
+#include "core/policy.h"
+#include "workload/trace.h"
+
+namespace {
+
+// Build a day: 8 h at rho_night, 12 h at rho_day, 4 h at rho_peak.
+hs::workload::JobTrace make_day_trace(const hs::cluster::ClusterConfig& cluster,
+                                      double rho_night, double rho_day,
+                                      double rho_peak) {
+  const auto spec = hs::workload::WorkloadSpec::paper_default();
+  const double total = cluster.total_speed();
+  std::vector<hs::queueing::Job> jobs;
+  double offset = 0.0;
+  uint64_t id = 0;
+  uint64_t seed = 1000;
+  const struct {
+    double rho;
+    double hours;
+  } phases[] = {{rho_night, 8.0}, {rho_day, 12.0}, {rho_peak, 4.0}};
+  for (const auto& phase : phases) {
+    const double horizon = phase.hours * 3600.0;
+    const double lambda = spec.arrival_rate_for(phase.rho, total);
+    const auto piece =
+        hs::workload::JobTrace::generate(spec, lambda, horizon, seed++);
+    for (const auto& job : piece.jobs()) {
+      jobs.push_back(
+          hs::queueing::Job{id++, offset + job.arrival_time, job.size});
+    }
+    offset += horizon;
+  }
+  return hs::workload::JobTrace(std::move(jobs));
+}
+
+}  // namespace
+
+int main() {
+  const auto cluster = hs::cluster::ClusterConfig::paper_base();
+  const double rho_night = 0.25, rho_day = 0.65, rho_peak = 0.88;
+  // Time-weighted average load over the day.
+  const double rho_avg =
+      (8.0 * rho_night + 12.0 * rho_day + 4.0 * rho_peak) / 24.0;
+
+  std::printf("Cluster: %s\n", cluster.describe().c_str());
+  std::printf("Load profile: night %.0f%% (8 h) -> day %.0f%% (12 h) -> "
+              "peak %.0f%% (4 h); average %.0f%%\n\n",
+              rho_night * 100, rho_day * 100, rho_peak * 100,
+              rho_avg * 100);
+
+  const auto trace =
+      make_day_trace(cluster, rho_night, rho_day, rho_peak);
+  std::printf("Generated %zu jobs across the day.\n\n", trace.size());
+
+  hs::cluster::SimulationConfig config;
+  config.speeds = cluster.speeds();
+  config.rho = rho_avg;  // bookkeeping only; arrivals come from the trace
+  config.sim_time = 24.0 * 3600.0;
+  config.warmup_frac = 0.0;  // measure the whole day, drift is the point
+  config.trace = &trace;
+  config.seed = 5;
+
+  auto run = [&](const char* label,
+                 std::unique_ptr<hs::dispatch::Dispatcher> dispatcher) {
+    const auto result = hs::cluster::run_simulation(config, *dispatcher);
+    std::printf("  %-26s mean slowdown %7.3f   fairness %7.3f   "
+                "p99 slowdown %7.2f\n",
+                label, result.mean_response_ratio, result.fairness,
+                result.response_ratio_p99);
+    return result.mean_response_ratio;
+  };
+
+  std::printf("Day-long performance (identical arrivals for all):\n");
+  run("ORR tuned for average",
+      hs::core::make_policy_dispatcher(hs::core::PolicyKind::kORR,
+                                       cluster.speeds(), rho_avg));
+  run("ORR tuned for night (stale)",
+      hs::core::make_policy_dispatcher(hs::core::PolicyKind::kORR,
+                                       cluster.speeds(), rho_night));
+  hs::core::AdaptiveOrrOptions options;
+  options.mean_job_size = 76.8;
+  options.time_constant = 3600.0;  // ~1 h memory
+  options.recompute_every = 256;
+  options.initial_rho = rho_night;  // starts with the same stale view
+  run("AdaptiveORR (learns)",
+      std::make_unique<hs::core::AdaptiveOrrDispatcher>(cluster.speeds(),
+                                                        options));
+  run("Dynamic least-load",
+      hs::core::make_policy_dispatcher(hs::core::PolicyKind::kLeastLoad,
+                                       cluster.speeds(), rho_avg));
+
+  std::printf("\nTakeaway: a stale low estimate overloads the fast "
+              "machines at peak (the Figure 6a\nfailure mode). The "
+              "adaptive scheduler starts from the same stale estimate "
+              "but re-learns\nthe load with ~1 h memory and stays close "
+              "to the average-tuned ORR all day,\nwith zero feedback "
+              "from the machines.\n");
+  return 0;
+}

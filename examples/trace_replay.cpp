@@ -1,0 +1,68 @@
+// Scenario: evaluating schedulers on a recorded workload trace.
+//
+// Replaying one fixed trace through every policy removes workload
+// randomness from the comparison (common random numbers) — each policy
+// sees byte-identical arrivals. The example generates a synthetic trace
+// with the paper's burstiness profile (or loads one from CSV: rows of
+// `arrival_time,size`), replays it through all five policies, and writes
+// the trace for external analysis.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/sim.h"
+#include "core/policy.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  const auto cluster = hs::cluster::ClusterConfig::paper_base();
+  const double rho = 0.7;
+
+  hs::workload::JobTrace trace;
+  if (argc > 1) {
+    std::printf("Loading trace from %s ...\n", argv[1]);
+    trace = hs::workload::JobTrace::load_csv(argv[1]);
+  } else {
+    // Synthetic stand-in for an unavailable production trace: the
+    // paper's H2/Bounded-Pareto profile at the base configuration's
+    // 70% load.
+    const auto spec = hs::workload::WorkloadSpec::paper_default();
+    const double lambda = spec.arrival_rate_for(rho, cluster.total_speed());
+    trace = hs::workload::JobTrace::generate(spec, lambda, 3.0e5, 12345);
+    trace.save_csv("trace_replay_workload.csv");
+    std::printf("Generated synthetic trace (saved to "
+                "trace_replay_workload.csv)\n");
+  }
+
+  std::printf("Trace: %zu jobs over %.0f s — mean inter-arrival %.2f s "
+              "(CV %.2f), mean size %.1f s\n\n",
+              trace.size(), trace.horizon(), trace.mean_interarrival(),
+              trace.interarrival_cv(), trace.mean_size());
+
+  hs::cluster::SimulationConfig config;
+  config.speeds = cluster.speeds();
+  config.rho = rho;  // used only for policy construction bookkeeping
+  config.sim_time = trace.horizon();
+  config.warmup_frac = 0.25;
+  config.trace = &trace;
+  config.seed = 1;
+
+  std::printf("%-10s %16s %15s %10s %12s\n", "policy", "mean response",
+              "mean slowdown", "fairness", "jobs");
+  for (hs::core::PolicyKind policy : hs::core::all_policies()) {
+    auto dispatcher =
+        hs::core::make_policy_dispatcher(policy, cluster.speeds(), rho);
+    const auto result = hs::cluster::run_simulation(config, *dispatcher);
+    std::printf("%-10s %14.1f s %15.3f %10.2f %12llu\n",
+                hs::core::policy_name(policy).c_str(),
+                result.mean_response_time, result.mean_response_ratio,
+                result.fairness,
+                static_cast<unsigned long long>(result.completed_jobs));
+  }
+
+  std::printf("\nEvery policy saw the identical arrival sequence — the "
+              "differences above are\npure scheduling effects, not "
+              "workload noise.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Scenario: dispatching HTTP requests across a heterogeneous server farm.
+//
+// The paper's introduction points at exactly this use case: DNS-level and
+// front-end request distribution over replicated servers of different
+// capacities (Colajanni et al.; Dias et al.), which used simple weighted
+// allocation. This example models a farm of mixed-generation servers
+// handling bursty request traffic with heavy-tailed service demands, and
+// compares the farm's latency profile under the four static policies and
+// the dynamic least-load yardstick — including tail percentiles, which
+// the paper's mean-based metrics do not show.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/sim.h"
+#include "core/policy.h"
+#include "stats/histogram.h"
+
+int main() {
+  // The farm: 6 previous-generation servers, 3 current, 1 big box.
+  std::vector<double> speeds;
+  speeds.insert(speeds.end(), 6, 1.0);   // old
+  speeds.insert(speeds.end(), 3, 3.0);   // current
+  speeds.push_back(8.0);                 // flagship
+  const double utilization = 0.65;
+
+  std::printf("Server farm: 6x speed-1, 3x speed-3, 1x speed-8 "
+              "(aggregate %.0f), target utilization %.0f%%\n",
+              23.0, utilization * 100);
+  std::printf("Traffic: bursty arrivals (CV=3), heavy-tailed request "
+              "cost (Bounded Pareto)\n\n");
+
+  hs::cluster::SimulationConfig config;
+  config.speeds = speeds;
+  config.rho = utilization;
+  // Request-scale units: mean cost 77 ms instead of 77 s, so one hour of
+  // simulated wall clock is ~700k requests at this utilization.
+  config.workload.pareto_lower = 0.010;
+  config.workload.pareto_upper = 21.6;
+  config.sim_time = 3600.0;
+  config.warmup_frac = 0.25;
+  config.seed = 7;
+
+  std::printf("%-10s %14s %14s %12s %12s %12s\n", "policy", "mean latency",
+              "mean slowdown", "p95 slowdn", "p99 slowdn", "fairness");
+  for (hs::core::PolicyKind policy : hs::core::all_policies()) {
+    auto dispatcher = hs::core::make_policy_dispatcher(policy, speeds,
+                                                       utilization);
+    const auto result = hs::cluster::run_simulation(config, *dispatcher);
+    std::printf("%-10s %11.4f s %14.2f %12.2f %12.2f %12.2f\n",
+                hs::core::policy_name(policy).c_str(),
+                result.mean_response_time, result.mean_response_ratio,
+                result.response_ratio_p95, result.response_ratio_p99,
+                result.fairness);
+  }
+
+  // A closer look at ORR's per-request slowdown distribution, collected
+  // through the completion hook.
+  std::printf("\nORR per-request slowdown distribution (log-scale):\n");
+  hs::stats::Histogram histogram(0.1, 1000.0, 12,
+                                 hs::stats::Histogram::Scale::kLog);
+  hs::cluster::SimulationConfig hist_config = config;
+  hist_config.completion_hook =
+      [&histogram](const hs::queueing::Completion& completion,
+                   bool measured) {
+        if (measured) {
+          histogram.add(completion.response_ratio());
+        }
+      };
+  auto orr = hs::core::make_policy_dispatcher(hs::core::PolicyKind::kORR,
+                                              speeds, utilization);
+  (void)hs::cluster::run_simulation(hist_config, *orr);
+  std::printf("%s", histogram.render(40).c_str());
+  std::printf("\nTakeaway: ORR needs no load feedback from the servers "
+              "(pure front-end state) yet\nholds both the mean and the "
+              "tail close to the dynamic least-load scheduler.\n");
+  return 0;
+}

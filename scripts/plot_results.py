@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Plot hetsched bench output.
+
+Every bench binary prints its tables as CSV when run with --csv; this
+script turns those CSV blocks into line plots resembling the paper's
+figures.
+
+Usage:
+    ./build/bench/fig5_system_load --csv > fig5.txt
+    python3 scripts/plot_results.py fig5.txt -o fig5.png
+
+The parser extracts each "[csv]" block from the bench output; the first
+column becomes the x axis and every remaining column a series. Cells of
+the form "1.234 ±0.056" are split into value and error bars.
+
+Requires matplotlib (only for this optional plotting step; the C++
+library and benches have no Python dependency).
+"""
+
+import argparse
+import re
+import sys
+
+CI_RE = re.compile(r"^\s*(-?\d+(?:\.\d+)?)\s*(?:±\s*(\d+(?:\.\d+)?))?\s*$")
+
+
+def parse_blocks(text):
+    """Yield (headers, rows) for each CSV block in bench output."""
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].strip() == "[csv]":
+            headers = [h.strip() for h in lines[i + 1].split(",")]
+            rows = []
+            j = i + 2
+            while j < len(lines) and "," in lines[j]:
+                rows.append([c.strip() for c in lines[j].split(",")])
+                j += 1
+            blocks.append((headers, rows))
+            i = j
+        else:
+            i += 1
+    return blocks
+
+
+def to_value_err(cell):
+    match = CI_RE.match(cell)
+    if not match:
+        return None, None
+    value = float(match.group(1))
+    err = float(match.group(2)) if match.group(2) else 0.0
+    return value, err
+
+
+def plot_block(ax, headers, rows, logy=False):
+    xs = []
+    series = {h: ([], []) for h in headers[1:]}
+    for row in rows:
+        x, _ = to_value_err(row[0])
+        if x is None:
+            continue
+        xs.append(x)
+        for h, cell in zip(headers[1:], row[1:]):
+            value, err = to_value_err(cell)
+            series[h][0].append(value)
+            series[h][1].append(err)
+    for label, (values, errs) in series.items():
+        if all(v is None for v in values):
+            continue
+        ax.errorbar(xs, values, yerr=errs, marker="o", capsize=3,
+                    label=label)
+    ax.set_xlabel(headers[0])
+    ax.grid(True, alpha=0.3)
+    if logy:
+        ax.set_yscale("log")
+    ax.legend(fontsize=8)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", help="bench output captured with --csv")
+    parser.add_argument("-o", "--output", default="plot.png")
+    parser.add_argument("--logy", action="store_true",
+                        help="logarithmic y axis")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    with open(args.input, encoding="utf-8") as f:
+        text = f.read()
+    blocks = parse_blocks(text)
+    if not blocks:
+        sys.exit("no [csv] blocks found — run the bench with --csv")
+
+    fig, axes = plt.subplots(1, len(blocks),
+                             figsize=(6 * len(blocks), 4.5), squeeze=False)
+    for ax, (headers, rows) in zip(axes[0], blocks):
+        plot_block(ax, headers, rows, logy=args.logy)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output} ({len(blocks)} panel(s))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#include "alloc/analytic_model.h"
+
+#include <limits>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace hs::alloc {
+
+double SystemParameters::total_speed() const {
+  return util::kahan_sum(speeds);
+}
+
+double SystemParameters::lambda() const {
+  return rho * mu() * total_speed();
+}
+
+void SystemParameters::validate() const {
+  HS_CHECK(!speeds.empty(), "model needs at least one machine");
+  for (double s : speeds) {
+    HS_CHECK(s > 0.0, "machine speed must be positive, got " << s);
+  }
+  HS_CHECK(rho > 0.0 && rho < 1.0, "rho out of (0,1): " << rho);
+  HS_CHECK(mean_job_size > 0.0,
+           "mean job size must be positive: " << mean_job_size);
+}
+
+double predicted_mean_response_time(const SystemParameters& params,
+                                    const Allocation& alloc) {
+  params.validate();
+  HS_CHECK(alloc.size() == params.speeds.size(),
+           "allocation size " << alloc.size() << " != machine count "
+                              << params.speeds.size());
+  const double mu = params.mu();
+  const double lambda = params.lambda();
+  double total = 0.0;
+  for (size_t i = 0; i < alloc.size(); ++i) {
+    if (alloc[i] == 0.0) {
+      continue;  // no jobs routed here; contributes nothing to the mean
+    }
+    const double denom = params.speeds[i] * mu - alloc[i] * lambda;
+    if (denom <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    total += alloc[i] / denom;
+  }
+  return total;
+}
+
+double predicted_mean_response_ratio(const SystemParameters& params,
+                                     const Allocation& alloc) {
+  return params.mu() * predicted_mean_response_time(params, alloc);
+}
+
+std::vector<double> predicted_machine_response_times(
+    const SystemParameters& params, const Allocation& alloc) {
+  params.validate();
+  HS_CHECK(alloc.size() == params.speeds.size(),
+           "allocation size " << alloc.size() << " != machine count "
+                              << params.speeds.size());
+  const double mu = params.mu();
+  const double lambda = params.lambda();
+  std::vector<double> result(alloc.size(), 0.0);
+  for (size_t i = 0; i < alloc.size(); ++i) {
+    if (alloc[i] == 0.0) {
+      continue;
+    }
+    const double denom = params.speeds[i] * mu - alloc[i] * lambda;
+    result[i] = denom > 0.0 ? 1.0 / denom
+                            : std::numeric_limits<double>::infinity();
+  }
+  return result;
+}
+
+bool is_stable(const SystemParameters& params, const Allocation& alloc) {
+  params.validate();
+  const double mu = params.mu();
+  const double lambda = params.lambda();
+  for (size_t i = 0; i < alloc.size(); ++i) {
+    if (alloc[i] * lambda >= params.speeds[i] * mu) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hs::alloc

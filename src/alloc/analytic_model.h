@@ -1,0 +1,57 @@
+// Analytic performance model of §2.3.
+//
+// Predicts the steady-state metrics of a static allocation over n
+// M/M/1-PS machines (Eqs. 1–3):
+//
+//   T̄ = Σᵢ αᵢ/(sᵢμ − αᵢλ)      (mean response time)
+//   R̄ = μ·T̄                    (mean response ratio)
+//
+// These closed forms are what Algorithm 1 optimizes; the simulator's
+// richer workload (Bounded Pareto sizes, hyperexponential arrivals)
+// deviates from them, which is exactly what the paper's experiments
+// quantify.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "alloc/allocation.h"
+
+namespace hs::alloc {
+
+/// System-level workload parameters for the analytic model.
+struct SystemParameters {
+  std::vector<double> speeds;  // relative machine speeds sᵢ
+  double rho = 0.7;            // system utilization λ/(μΣs)
+  double mean_job_size = 1.0;  // 1/μ, base-speed seconds
+
+  /// Base-line service rate μ.
+  [[nodiscard]] double mu() const { return 1.0 / mean_job_size; }
+  /// Total arrival rate λ = ρ·μ·Σs.
+  [[nodiscard]] double lambda() const;
+  /// Aggregate speed Σs.
+  [[nodiscard]] double total_speed() const;
+
+  /// Throws CheckError if any field is out of range.
+  void validate() const;
+};
+
+/// Predicted mean response time (Eq. 3). Infinite if `alloc` saturates a
+/// machine.
+[[nodiscard]] double predicted_mean_response_time(
+    const SystemParameters& params, const Allocation& alloc);
+
+/// Predicted mean response ratio R̄ = μT̄.
+[[nodiscard]] double predicted_mean_response_ratio(
+    const SystemParameters& params, const Allocation& alloc);
+
+/// Per-machine predicted mean response times T̄ᵢ = 1/(sᵢμ − αᵢλ).
+/// Machines with αᵢ = 0 report 0 (they serve no jobs).
+[[nodiscard]] std::vector<double> predicted_machine_response_times(
+    const SystemParameters& params, const Allocation& alloc);
+
+/// True iff every machine is strictly unsaturated: αᵢλ < sᵢμ.
+[[nodiscard]] bool is_stable(const SystemParameters& params,
+                             const Allocation& alloc);
+
+}  // namespace hs::alloc

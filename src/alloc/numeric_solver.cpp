@@ -1,0 +1,95 @@
+#include "alloc/numeric_solver.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace hs::alloc {
+
+namespace {
+
+/// Water-filling core: αᵢ(ν) = max(0, (sᵢ − √(wᵢ·sᵢ·λ̃/ν))/λ̃) with μ = 1.
+/// Σαᵢ(ν) is continuous and strictly increasing in ν wherever positive,
+/// so the multiplier matching Σαᵢ = 1 is found by bisection.
+Allocation water_fill(std::span<const double> speeds, double rho,
+                      std::span<const double> weights, double tolerance) {
+  validate_scheme_inputs(speeds, rho);
+  HS_CHECK(weights.size() == speeds.size(),
+           "weights size " << weights.size() << " != speeds size "
+                           << speeds.size());
+  for (double w : weights) {
+    HS_CHECK(w > 0.0, "weights must be positive, got " << w);
+  }
+  const double lambda = rho * util::kahan_sum(speeds);
+
+  auto fraction = [&](size_t i, double nu) {
+    const double alpha =
+        (speeds[i] - std::sqrt(weights[i] * speeds[i] * lambda / nu)) /
+        lambda;
+    return std::fmax(alpha, 0.0);
+  };
+  auto total = [&](double nu) {
+    double sum = 0.0;
+    for (size_t i = 0; i < speeds.size(); ++i) {
+      sum += fraction(i, nu);
+    }
+    return sum;
+  };
+
+  // Bracket the multiplier. As ν→0⁺ every αᵢ→0; grow ν until Σα > 1.
+  double lo = 1e-12;
+  double hi = 1.0;
+  while (total(hi) < 1.0) {
+    hi *= 2.0;
+    HS_CHECK(hi < 1e18, "failed to bracket the KKT multiplier");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (total(mid) < 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < tolerance * hi) {
+      break;
+    }
+  }
+  const double nu = 0.5 * (lo + hi);
+
+  std::vector<double> fractions(speeds.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    fractions[i] = fraction(i, nu);
+    sum += fractions[i];
+  }
+  HS_CHECK(std::fabs(sum - 1.0) < 1e-6,
+           "water-filling did not converge: sum=" << sum);
+  for (double& f : fractions) {
+    f /= sum;  // absorb the residual bisection error exactly
+  }
+  return Allocation(std::move(fractions));
+}
+
+}  // namespace
+
+NumericOptimizedAllocation::NumericOptimizedAllocation(double tolerance)
+    : tolerance_(tolerance) {
+  HS_CHECK(tolerance > 0.0, "tolerance must be positive: " << tolerance);
+}
+
+Allocation NumericOptimizedAllocation::compute(std::span<const double> speeds,
+                                               double rho) const {
+  const std::vector<double> unit_weights(speeds.size(), 1.0);
+  return water_fill(speeds, rho, unit_weights, tolerance_);
+}
+
+Allocation minimize_weighted_response(std::span<const double> speeds,
+                                      double rho,
+                                      std::span<const double> weights,
+                                      double tolerance) {
+  return water_fill(speeds, rho, weights, tolerance);
+}
+
+}  // namespace hs::alloc

@@ -1,0 +1,50 @@
+// Independent numerical solution of the workload allocation problem.
+//
+// Algorithm 1 is a closed form derived via the Lagrange multiplier
+// theorem (Theorems 1–3). This module solves the same constrained
+// minimization numerically from the KKT conditions, with no shared code:
+// at the optimum there is a multiplier ν > 0 with
+//
+//   ∂F/∂αᵢ = sᵢμλ/(sᵢμ − αᵢλ)² = ν        for every αᵢ > 0,
+//   ∂F/∂αᵢ ≥ ν                             for every αᵢ = 0,
+//
+// so αᵢ(ν) = max(0, (sᵢμ − √(sᵢμλ/ν))/λ) and ν is fixed by Σαᵢ(ν) = 1
+// (the classic water-filling form, Σαᵢ monotone in ν ⇒ bisection).
+// The solver exists to validate the closed form — and to extend the
+// library to objectives with no closed form (see weighted_objective).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "alloc/scheme.h"
+
+namespace hs::alloc {
+
+/// Numerical (KKT water-filling) solver for the §2.3 objective.
+/// Produces the same allocation as OptimizedAllocation to within
+/// `tolerance` on every fraction.
+class NumericOptimizedAllocation final : public AllocationScheme {
+ public:
+  explicit NumericOptimizedAllocation(double tolerance = 1e-12);
+
+  [[nodiscard]] Allocation compute(std::span<const double> speeds,
+                                   double rho) const override;
+  [[nodiscard]] std::string name() const override {
+    return "optimized-numeric";
+  }
+
+ private:
+  double tolerance_;
+};
+
+/// Generalized numerical solver: minimizes Σᵢ wᵢ·αᵢ/(sᵢ − αᵢλ̃) over the
+/// simplex, where λ̃ = ρΣs and wᵢ > 0 are per-machine weights (wᵢ = 1
+/// recovers the paper's mean-response-time objective; wᵢ = 1/sᵢ weights
+/// machines by response *ratio* contribution asymmetrically, etc.).
+/// Solved by the same KKT water-filling with per-machine weights.
+[[nodiscard]] Allocation minimize_weighted_response(
+    std::span<const double> speeds, double rho,
+    std::span<const double> weights, double tolerance = 1e-12);
+
+}  // namespace hs::alloc

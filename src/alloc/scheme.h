@@ -1,0 +1,53 @@
+// Workload allocation scheme interface.
+//
+// An AllocationScheme maps (machine speeds, system utilization) to the
+// fractions {α₁, …, αₙ}. The paper studies two: the naive "simple
+// weighted" (speed-proportional) scheme and the optimized square-root
+// scheme of §2.3; an equal-share scheme is provided as a degenerate
+// baseline for homogeneous systems.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "alloc/allocation.h"
+
+namespace hs::alloc {
+
+class AllocationScheme {
+ public:
+  virtual ~AllocationScheme() = default;
+
+  /// Compute the allocation for machines with relative speeds `speeds`
+  /// running at overall system utilization ρ ∈ (0, 1).
+  /// The returned allocation keeps every machine unsaturated.
+  [[nodiscard]] virtual Allocation compute(std::span<const double> speeds,
+                                           double rho) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Simple weighted allocation (§2.1): αᵢ = sᵢ / Σsⱼ. Makes all machines
+/// equally utilized; does not minimize response time.
+class WeightedAllocation final : public AllocationScheme {
+ public:
+  [[nodiscard]] Allocation compute(std::span<const double> speeds,
+                                   double rho) const override;
+  [[nodiscard]] std::string name() const override { return "weighted"; }
+};
+
+/// Equal allocation: αᵢ = 1/n regardless of speed. Saturates slow
+/// machines in skewed systems at high load — deliberately naive.
+class EqualAllocation final : public AllocationScheme {
+ public:
+  [[nodiscard]] Allocation compute(std::span<const double> speeds,
+                                   double rho) const override;
+  [[nodiscard]] std::string name() const override { return "equal"; }
+};
+
+/// Validate a (speeds, rho) pair: all speeds positive, 0 < rho < 1.
+/// Shared precondition of all schemes.
+void validate_scheme_inputs(std::span<const double> speeds, double rho);
+
+}  // namespace hs::alloc

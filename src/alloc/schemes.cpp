@@ -1,0 +1,44 @@
+#include "alloc/scheme.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace hs::alloc {
+
+void validate_scheme_inputs(std::span<const double> speeds, double rho) {
+  HS_CHECK(!speeds.empty(), "allocation needs at least one machine");
+  for (double s : speeds) {
+    HS_CHECK(s > 0.0, "machine speed must be positive, got " << s);
+  }
+  HS_CHECK(rho > 0.0 && rho < 1.0,
+           "system utilization must be in (0,1), got " << rho);
+}
+
+Allocation WeightedAllocation::compute(std::span<const double> speeds,
+                                       double rho) const {
+  validate_scheme_inputs(speeds, rho);
+  const double total = util::kahan_sum(speeds);
+  std::vector<double> fractions(speeds.size());
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    fractions[i] = speeds[i] / total;
+  }
+  return Allocation(std::move(fractions));
+}
+
+Allocation EqualAllocation::compute(std::span<const double> speeds,
+                                    double rho) const {
+  validate_scheme_inputs(speeds, rho);
+  // Equal shares saturate a machine when λ/n >= sᵢμ, i.e. when
+  // ρ·Σs/n >= sᵢ. Reject such configurations rather than simulate an
+  // unstable queue.
+  const double total = util::kahan_sum(speeds);
+  const double n = static_cast<double>(speeds.size());
+  for (double s : speeds) {
+    HS_CHECK(rho * total / n < s,
+             "equal allocation saturates machine of speed "
+                 << s << " at utilization " << rho);
+  }
+  return Allocation(std::vector<double>(speeds.size(), 1.0 / n));
+}
+
+}  // namespace hs::alloc

@@ -1,0 +1,78 @@
+#include "cluster/config.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace hs::cluster {
+
+ClusterConfig::ClusterConfig(std::vector<double> speeds)
+    : speeds_(std::move(speeds)) {
+  HS_CHECK(!speeds_.empty(), "cluster needs at least one machine");
+  for (double s : speeds_) {
+    HS_CHECK(s > 0.0, "machine speed must be positive, got " << s);
+  }
+}
+
+double ClusterConfig::total_speed() const { return util::kahan_sum(speeds_); }
+
+double ClusterConfig::max_speed() const {
+  return *std::max_element(speeds_.begin(), speeds_.end());
+}
+
+double ClusterConfig::min_speed() const {
+  return *std::min_element(speeds_.begin(), speeds_.end());
+}
+
+double ClusterConfig::skewness() const { return max_speed() / min_speed(); }
+
+std::string ClusterConfig::describe() const {
+  std::ostringstream oss;
+  oss << speeds_.size() << " machines, speeds {";
+  for (size_t i = 0; i < speeds_.size(); ++i) {
+    if (i > 0) {
+      oss << ", ";
+    }
+    oss << speeds_[i];
+  }
+  oss << "}, aggregate " << total_speed();
+  return oss.str();
+}
+
+ClusterConfig ClusterConfig::paper_base() {
+  std::vector<double> speeds;
+  speeds.insert(speeds.end(), 5, 1.0);
+  speeds.insert(speeds.end(), 4, 1.5);
+  speeds.insert(speeds.end(), 3, 2.0);
+  speeds.push_back(5.0);
+  speeds.push_back(10.0);
+  speeds.push_back(12.0);
+  return ClusterConfig(std::move(speeds));
+}
+
+ClusterConfig ClusterConfig::paper_table1() {
+  return ClusterConfig({1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0});
+}
+
+ClusterConfig ClusterConfig::paper_skewness(double fast_speed) {
+  return two_class(2, fast_speed, 16, 1.0);
+}
+
+ClusterConfig ClusterConfig::paper_size(size_t n) {
+  HS_CHECK(n >= 2 && n % 2 == 0,
+           "size experiment needs an even machine count >= 2, got " << n);
+  return two_class(n / 2, 10.0, n / 2, 1.0);
+}
+
+ClusterConfig ClusterConfig::two_class(size_t n_fast, double fast_speed,
+                                       size_t n_slow, double slow_speed) {
+  HS_CHECK(n_fast + n_slow >= 1, "cluster needs at least one machine");
+  std::vector<double> speeds;
+  speeds.insert(speeds.end(), n_fast, fast_speed);
+  speeds.insert(speeds.end(), n_slow, slow_speed);
+  return ClusterConfig(std::move(speeds));
+}
+
+}  // namespace hs::cluster

@@ -1,0 +1,49 @@
+// Cluster configurations, including the paper's experiment setups.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hs::cluster {
+
+/// A set of machines identified by their relative speeds.
+class ClusterConfig {
+ public:
+  explicit ClusterConfig(std::vector<double> speeds);
+
+  [[nodiscard]] const std::vector<double>& speeds() const { return speeds_; }
+  [[nodiscard]] size_t size() const { return speeds_.size(); }
+  [[nodiscard]] double total_speed() const;
+  [[nodiscard]] double max_speed() const;
+  [[nodiscard]] double min_speed() const;
+  /// Speed skew: max/min.
+  [[nodiscard]] double skewness() const;
+  [[nodiscard]] std::string describe() const;
+
+  // ---- The paper's configurations ----
+
+  /// Table 3 base configuration: 15 machines, speeds
+  /// {1.0×5, 1.5×4, 2.0×3, 5.0×1, 10.0×1, 12.0×1}, aggregate speed 44.
+  static ClusterConfig paper_base();
+
+  /// Table 1 configuration: 7 machines with speeds
+  /// {1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0}.
+  static ClusterConfig paper_table1();
+
+  /// §5.1 speed-skewness setup: 2 fast machines of speed `fast_speed`
+  /// plus 16 slow machines of speed 1.
+  static ClusterConfig paper_skewness(double fast_speed);
+
+  /// §5.2 system-size setup: n machines (n even), half of speed 10 and
+  /// half of speed 1.
+  static ClusterConfig paper_size(size_t n);
+
+  /// n_fast machines of `fast_speed` and n_slow machines of `slow_speed`.
+  static ClusterConfig two_class(size_t n_fast, double fast_speed,
+                                 size_t n_slow, double slow_speed);
+
+ private:
+  std::vector<double> speeds_;
+};
+
+}  // namespace hs::cluster

@@ -1,0 +1,94 @@
+#include "cluster/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace hs::cluster {
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const DispatcherFactory& factory) {
+  HS_CHECK(config.replications >= 1, "need at least one replication");
+  config.simulation.validate();
+
+  const unsigned reps = config.replications;
+  std::vector<SimulationResult> results(reps);
+
+  unsigned threads = config.max_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, reps);
+
+  std::atomic<unsigned> next_rep{0};
+  std::vector<std::exception_ptr> errors(threads);
+  auto worker = [&](unsigned worker_index) {
+    try {
+      for (;;) {
+        const unsigned r = next_rep.fetch_add(1);
+        if (r >= reps) {
+          return;
+        }
+        SimulationConfig sim = config.simulation;
+        sim.seed = rng::derive_seed(config.base_seed, r, 100);
+        auto dispatcher = factory();
+        HS_CHECK(dispatcher != nullptr, "dispatcher factory returned null");
+        results[r] = run_simulation(sim, *dispatcher);
+      }
+    } catch (...) {
+      errors[worker_index] = std::current_exception();
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      pool.emplace_back(worker, w);
+    }
+    for (auto& t : pool) {
+      t.join();
+    }
+  }
+  for (const auto& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+
+  ExperimentResult aggregate;
+  std::vector<double> rts, rrs, fairs;
+  rts.reserve(reps);
+  rrs.reserve(reps);
+  fairs.reserve(reps);
+  const size_t n = config.simulation.speeds.size();
+  aggregate.mean_machine_fractions.assign(n, 0.0);
+  aggregate.mean_machine_utilizations.assign(n, 0.0);
+  for (const SimulationResult& result : results) {
+    rts.push_back(result.mean_response_time);
+    rrs.push_back(result.mean_response_ratio);
+    fairs.push_back(result.fairness);
+    aggregate.total_jobs += result.completed_jobs;
+    for (size_t i = 0; i < n; ++i) {
+      aggregate.mean_machine_fractions[i] += result.machine_fractions[i];
+      aggregate.mean_machine_utilizations[i] +=
+          result.machine_utilizations[i];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    aggregate.mean_machine_fractions[i] /= static_cast<double>(reps);
+    aggregate.mean_machine_utilizations[i] /= static_cast<double>(reps);
+  }
+  aggregate.response_time = stats::mean_confidence_interval(rts);
+  aggregate.response_ratio = stats::mean_confidence_interval(rrs);
+  aggregate.fairness = stats::mean_confidence_interval(fairs);
+  aggregate.replications = std::move(results);
+  return aggregate;
+}
+
+}  // namespace hs::cluster

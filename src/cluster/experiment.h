@@ -1,0 +1,47 @@
+// Replicated experiments: the paper's measurement methodology.
+//
+// Each plotted data point is the average of independent runs with
+// different random number streams (§4.1 uses 10). The runner executes
+// replications (in parallel threads — each run owns its simulator) and
+// aggregates the three metrics with Student-t confidence intervals.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/sim.h"
+#include "stats/confidence.h"
+
+namespace hs::cluster {
+
+/// Builds a fresh dispatcher for one replication. Called once per
+/// replication (possibly concurrently), so the factory must be
+/// thread-safe; the dispatchers it returns need not be.
+using DispatcherFactory =
+    std::function<std::unique_ptr<dispatch::Dispatcher>()>;
+
+struct ExperimentConfig {
+  SimulationConfig simulation;
+  unsigned replications = 5;  // paper: 10
+  uint64_t base_seed = 20000829;  // replication r runs with a derived seed
+  unsigned max_threads = 0;  // 0 = hardware concurrency
+};
+
+struct ExperimentResult {
+  stats::ConfidenceInterval response_time;
+  stats::ConfidenceInterval response_ratio;
+  stats::ConfidenceInterval fairness;
+  /// Machine job fractions averaged across replications.
+  std::vector<double> mean_machine_fractions;
+  /// Machine utilizations averaged across replications.
+  std::vector<double> mean_machine_utilizations;
+  std::vector<SimulationResult> replications;
+  uint64_t total_jobs = 0;
+};
+
+/// Run `config.replications` independent simulations and aggregate.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config,
+                                              const DispatcherFactory& factory);
+
+}  // namespace hs::cluster

@@ -1,0 +1,57 @@
+#include "cluster/metrics.h"
+
+#include "util/check.h"
+
+namespace hs::cluster {
+
+MetricsCollector::MetricsCollector(size_t machine_count)
+    : machine_dispatches_(machine_count, 0) {
+  HS_CHECK(machine_count >= 1, "metrics need at least one machine");
+}
+
+void MetricsCollector::on_dispatch(size_t machine,
+                                   bool in_measurement_window) {
+  HS_CHECK(machine < machine_dispatches_.size(),
+           "machine index out of range: " << machine);
+  if (in_measurement_window) {
+    ++machine_dispatches_[machine];
+  }
+}
+
+void MetricsCollector::on_completion(const queueing::Completion& completion,
+                                     bool in_measurement_window) {
+  if (!in_measurement_window) {
+    return;
+  }
+  const double rt = completion.response_time();
+  const double rr = completion.response_ratio();
+  HS_CHECK(rt >= 0.0, "negative response time " << rt << " for job "
+                                                << completion.job.id);
+  response_time_.add(rt);
+  response_ratio_.add(rr);
+  p95_.add(rr);
+  p99_.add(rr);
+}
+
+uint64_t MetricsCollector::measured_dispatches() const {
+  uint64_t total = 0;
+  for (uint64_t c : machine_dispatches_) {
+    total += c;
+  }
+  return total;
+}
+
+std::vector<double> MetricsCollector::machine_fractions() const {
+  const uint64_t total = measured_dispatches();
+  std::vector<double> fractions(machine_dispatches_.size(), 0.0);
+  if (total == 0) {
+    return fractions;
+  }
+  for (size_t i = 0; i < machine_dispatches_.size(); ++i) {
+    fractions[i] = static_cast<double>(machine_dispatches_[i]) /
+                   static_cast<double>(total);
+  }
+  return fractions;
+}
+
+}  // namespace hs::cluster

@@ -1,0 +1,71 @@
+// Per-run metric collection.
+//
+// The three performance metrics of §4.1:
+//  * mean response time      — average completion-minus-arrival time,
+//  * mean response ratio     — average of (response time / job size),
+//  * fairness                — standard deviation of the response ratio
+//                              (smaller is better).
+// Plus per-machine accounting used by Table 1 (fraction of jobs per
+// machine) and by diagnostics (utilizations).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "queueing/job.h"
+#include "stats/percentile.h"
+#include "stats/running_stats.h"
+
+namespace hs::cluster {
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(size_t machine_count);
+
+  /// Record a dispatched job (before it runs). Counted only when
+  /// `in_measurement_window` — jobs arriving during warm-up are excluded
+  /// from all statistics, exactly as the paper discards the first quarter
+  /// of each run.
+  void on_dispatch(size_t machine, bool in_measurement_window);
+
+  /// Record a completed job.
+  void on_completion(const queueing::Completion& completion,
+                     bool in_measurement_window);
+
+  [[nodiscard]] const stats::RunningStats& response_time() const {
+    return response_time_;
+  }
+  [[nodiscard]] const stats::RunningStats& response_ratio() const {
+    return response_ratio_;
+  }
+  /// Fairness = σ of the response ratio over measured jobs (§4.1).
+  [[nodiscard]] double fairness() const {
+    return response_ratio_.population_stddev();
+  }
+
+  [[nodiscard]] uint64_t measured_dispatches() const;
+  [[nodiscard]] uint64_t measured_completions() const {
+    return response_time_.count();
+  }
+  /// Dispatched-job counts per machine within the measurement window.
+  [[nodiscard]] const std::vector<uint64_t>& machine_dispatches() const {
+    return machine_dispatches_;
+  }
+  /// Fraction of measured jobs dispatched to each machine (Table 1's
+  /// "percentage" column divided by 100).
+  [[nodiscard]] std::vector<double> machine_fractions() const;
+
+  /// Tail percentiles of the response ratio (beyond the paper's metrics).
+  [[nodiscard]] double response_ratio_p95() const { return p95_.value(); }
+  [[nodiscard]] double response_ratio_p99() const { return p99_.value(); }
+
+ private:
+  stats::RunningStats response_time_;
+  stats::RunningStats response_ratio_;
+  std::vector<uint64_t> machine_dispatches_;
+  stats::P2Quantile p95_{0.95};
+  stats::P2Quantile p99_{0.99};
+};
+
+}  // namespace hs::cluster

@@ -1,0 +1,287 @@
+#include "cluster/sim.h"
+
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "queueing/fcfs_server.h"
+#include "queueing/ps_server.h"
+#include "queueing/rr_server.h"
+#include "sim/simulator.h"
+#include "stats/interval_tracker.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace hs::cluster {
+
+double SimulationConfig::lambda() const {
+  return workload.arrival_rate_for(rho, util::kahan_sum(speeds));
+}
+
+void SimulationConfig::validate() const {
+  HS_CHECK(!speeds.empty(), "simulation needs at least one machine");
+  for (double s : speeds) {
+    HS_CHECK(s > 0.0, "machine speed must be positive, got " << s);
+  }
+  HS_CHECK(rho > 0.0 && rho < 1.0, "rho out of (0,1): " << rho);
+  HS_CHECK(sim_time > 0.0, "sim_time must be positive: " << sim_time);
+  HS_CHECK(warmup_frac >= 0.0 && warmup_frac < 1.0,
+           "warmup fraction out of [0,1): " << warmup_frac);
+  HS_CHECK(rr_quantum > 0.0, "rr quantum must be positive: " << rr_quantum);
+  HS_CHECK(detection_interval >= 0.0,
+           "detection interval must be >= 0: " << detection_interval);
+  HS_CHECK(message_delay_mean >= 0.0,
+           "message delay mean must be >= 0: " << message_delay_mean);
+  if (!deviation_expected.empty()) {
+    HS_CHECK(deviation_expected.size() == speeds.size(),
+             "deviation fractions size " << deviation_expected.size()
+                                         << " != machine count "
+                                         << speeds.size());
+  }
+  for (const SpeedChange& change : speed_changes) {
+    HS_CHECK(change.time >= 0.0,
+             "speed change time must be >= 0: " << change.time);
+    HS_CHECK(change.machine < speeds.size(),
+             "speed change machine out of range: " << change.machine);
+    HS_CHECK(change.new_speed >= 0.0,
+             "speed change target must be >= 0: " << change.new_speed);
+  }
+}
+
+namespace {
+
+std::unique_ptr<queueing::Server> make_server(const SimulationConfig& config,
+                                              sim::Simulator& simulator,
+                                              size_t machine) {
+  const double speed = config.speeds[machine];
+  const int index = static_cast<int>(machine);
+  switch (config.discipline) {
+    case ServiceDiscipline::kProcessorSharing:
+      return std::make_unique<queueing::PsServer>(simulator, speed, index);
+    case ServiceDiscipline::kFcfs:
+      return std::make_unique<queueing::FcfsServer>(simulator, speed, index);
+    case ServiceDiscipline::kRoundRobin:
+      return std::make_unique<queueing::RrServer>(simulator, speed, index,
+                                                  config.rr_quantum);
+  }
+  HS_CHECK(false, "unreachable service discipline");
+  return nullptr;
+}
+
+/// Everything one run needs, wired together before the event loop starts.
+class RunContext {
+ public:
+  RunContext(const SimulationConfig& config,
+             std::vector<dispatch::Dispatcher*> schedulers,
+             SchedulerSplit split)
+      : config_(config),
+        schedulers_(std::move(schedulers)),
+        split_(split),
+        size_model_(config.workload.make_size_model()),
+        arrival_gen_(rng::derive_seed(config.seed, 0, 0)),
+        size_gen_(rng::derive_seed(config.seed, 0, 1)),
+        dispatch_gen_(rng::derive_seed(config.seed, 0, 2)),
+        delay_gen_(rng::derive_seed(config.seed, 0, 3)),
+        split_gen_(rng::derive_seed(config.seed, 0, 4)),
+        metrics_(config.speeds.size()) {
+    config.validate();
+    HS_CHECK(!schedulers_.empty(), "at least one scheduler is required");
+    for (dispatch::Dispatcher* dispatcher : schedulers_) {
+      HS_CHECK(dispatcher != nullptr, "null scheduler");
+      HS_CHECK(dispatcher->machine_count() == config.speeds.size(),
+               "dispatcher machine count " << dispatcher->machine_count()
+                                           << " != cluster size "
+                                           << config.speeds.size());
+      dispatcher->reset();
+      any_feedback_ = any_feedback_ || dispatcher->uses_feedback();
+    }
+    for (size_t i = 0; i < config.speeds.size(); ++i) {
+      servers_.push_back(make_server(config, simulator_, i));
+      servers_.back()->set_completion_callback(
+          [this](const queueing::Completion& c) { on_completion(c); });
+    }
+    if (!config.deviation_expected.empty()) {
+      tracker_.emplace(config.deviation_expected, config.deviation_interval);
+    }
+    if (config.trace == nullptr) {
+      arrivals_ = config.workload.make_arrivals(config.lambda());
+      arrivals_->reset();
+    }
+    for (const SimulationConfig::SpeedChange& change : config.speed_changes) {
+      simulator_.schedule_at(change.time, [this, change] {
+        servers_[change.machine]->set_speed(change.new_speed);
+      });
+    }
+  }
+
+  SimulationResult run() {
+    schedule_first_arrival();
+    simulator_.run_until(config_.sim_time);
+    // Capture utilizations over the nominal horizon, then drain the jobs
+    // still in flight so their completions are measured.
+    std::vector<double> utilizations;
+    utilizations.reserve(servers_.size());
+    for (const auto& server : servers_) {
+      utilizations.push_back(server->busy_time() / config_.sim_time);
+    }
+    simulator_.run_all();
+
+    SimulationResult result;
+    result.mean_response_time = metrics_.response_time().mean();
+    result.mean_response_ratio = metrics_.response_ratio().mean();
+    result.fairness = metrics_.fairness();
+    result.response_ratio_p95 = metrics_.response_ratio_p95();
+    result.response_ratio_p99 = metrics_.response_ratio_p99();
+    result.completed_jobs = metrics_.measured_completions();
+    result.dispatched_jobs = metrics_.measured_dispatches();
+    result.machine_fractions = metrics_.machine_fractions();
+    result.machine_utilizations = std::move(utilizations);
+    if (tracker_) {
+      tracker_->flush_until(config_.sim_time);
+      result.deviations = tracker_->deviations();
+    }
+    result.events_fired = simulator_.events_fired();
+    return result;
+  }
+
+ private:
+  void schedule_first_arrival() {
+    if (config_.trace != nullptr) {
+      schedule_next_trace_arrival();
+      return;
+    }
+    const double t = arrivals_->next_interarrival(arrival_gen_);
+    if (t <= config_.sim_time) {
+      simulator_.schedule_at(t, [this] { on_generated_arrival(); });
+    }
+  }
+
+  void schedule_next_trace_arrival() {
+    const auto& jobs = config_.trace->jobs();
+    while (trace_index_ < jobs.size() &&
+           jobs[trace_index_].arrival_time <= config_.sim_time) {
+      // Schedule one at a time to keep the event heap small.
+      const queueing::Job job = jobs[trace_index_++];
+      simulator_.schedule_at(job.arrival_time, [this, job] {
+        dispatch_job(job);
+        schedule_next_trace_arrival();
+      });
+      return;
+    }
+  }
+
+  void on_generated_arrival() {
+    queueing::Job job;
+    job.id = next_job_id_++;
+    job.arrival_time = simulator_.now();
+    job.size = size_model_.sample(size_gen_);
+    dispatch_job(job);
+    const double next = simulator_.now() +
+                        arrivals_->next_interarrival(arrival_gen_);
+    if (next <= config_.sim_time) {
+      simulator_.schedule_at(next, [this] { on_generated_arrival(); });
+    }
+  }
+
+  /// Which scheduler handles the next arriving job.
+  size_t next_scheduler() {
+    if (schedulers_.size() == 1) {
+      return 0;
+    }
+    if (split_ == SchedulerSplit::kRoundRobin) {
+      const size_t s = split_cursor_;
+      split_cursor_ = (split_cursor_ + 1) % schedulers_.size();
+      return s;
+    }
+    return split_gen_.next_below(schedulers_.size());
+  }
+
+  void dispatch_job(const queueing::Job& job) {
+    const size_t scheduler = next_scheduler();
+    dispatch::Dispatcher& dispatcher = *schedulers_[scheduler];
+    dispatcher.on_arrival(job.arrival_time);
+    const size_t machine = dispatcher.pick_sized(dispatch_gen_, job.size);
+    const bool measured = job.arrival_time >= config_.warmup_time();
+    metrics_.on_dispatch(machine, measured);
+    if (tracker_) {
+      tracker_->record(job.arrival_time, machine);
+    }
+    if (any_feedback_) {
+      // Departure reports must reach the scheduler that sent the job
+      // (schedulers share no state).
+      job_scheduler_[job.id] = scheduler;
+    }
+    servers_[machine]->arrive(job);
+  }
+
+  void on_completion(const queueing::Completion& completion) {
+    const bool measured =
+        completion.job.arrival_time >= config_.warmup_time();
+    metrics_.on_completion(completion, measured);
+    if (config_.completion_hook) {
+      config_.completion_hook(completion, measured);
+    }
+    if (any_feedback_) {
+      const auto it = job_scheduler_.find(completion.job.id);
+      HS_CHECK(it != job_scheduler_.end(),
+               "completion for untracked job " << completion.job.id);
+      dispatch::Dispatcher& dispatcher = *schedulers_[it->second];
+      job_scheduler_.erase(it);
+      if (dispatcher.uses_feedback()) {
+        // §4.2: the machine notices the departure at its next 1 Hz load
+        // check — U(0,1) s — then a message reaches the scheduler after
+        // an exponential transfer delay of mean 0.05 s.
+        double delay = 0.0;
+        if (config_.detection_interval > 0.0) {
+          delay += delay_gen_.uniform(0.0, config_.detection_interval);
+        }
+        if (config_.message_delay_mean > 0.0) {
+          delay += -std::log(delay_gen_.next_double_open0()) *
+                   config_.message_delay_mean;
+        }
+        const auto machine = static_cast<size_t>(completion.machine);
+        simulator_.schedule_in(delay, [&dispatcher, machine] {
+          dispatcher.on_departure_report(machine);
+        });
+      }
+    }
+  }
+
+  const SimulationConfig& config_;
+  std::vector<dispatch::Dispatcher*> schedulers_;
+  SchedulerSplit split_;
+  bool any_feedback_ = false;
+  size_t split_cursor_ = 0;
+  std::unordered_map<uint64_t, size_t> job_scheduler_;
+  workload::JobSizeModel size_model_;
+  rng::Xoshiro256 arrival_gen_;
+  rng::Xoshiro256 size_gen_;
+  rng::Xoshiro256 dispatch_gen_;
+  rng::Xoshiro256 delay_gen_;
+  rng::Xoshiro256 split_gen_;
+  sim::Simulator simulator_;
+  std::vector<std::unique_ptr<queueing::Server>> servers_;
+  std::unique_ptr<workload::ArrivalProcess> arrivals_;
+  MetricsCollector metrics_;
+  std::optional<stats::IntervalDeviationTracker> tracker_;
+  uint64_t next_job_id_ = 0;
+  size_t trace_index_ = 0;
+};
+
+}  // namespace
+
+SimulationResult run_simulation(const SimulationConfig& config,
+                                dispatch::Dispatcher& dispatcher) {
+  RunContext context(config, {&dispatcher}, SchedulerSplit::kRandom);
+  return context.run();
+}
+
+SimulationResult run_simulation_multi(
+    const SimulationConfig& config,
+    const std::vector<dispatch::Dispatcher*>& schedulers,
+    SchedulerSplit split) {
+  RunContext context(config, schedulers, split);
+  return context.run();
+}
+
+}  // namespace hs::cluster

@@ -1,0 +1,117 @@
+// One simulated run of the full system of Figure 1.
+//
+// A central scheduler receives the overall job stream and routes each
+// job to one of n machines using a Dispatcher; machines run jobs to
+// completion (no rescheduling) under processor sharing. For the Dynamic
+// Least-Load yardstick, departure reports reach the scheduler only after
+// a detection delay (the machine polls its load index once per second,
+// so U(0,1) s) plus an exponential message transfer delay (mean 0.05 s)
+// — the overhead model of §4.2.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/metrics.h"
+#include "dispatch/dispatcher.h"
+#include "workload/spec.h"
+#include "workload/trace.h"
+
+namespace hs::cluster {
+
+enum class ServiceDiscipline {
+  kProcessorSharing,  // the paper's model (§4.1)
+  kFcfs,              // validation / ablation
+  kRoundRobin,        // finite-quantum ablation of the PS idealization
+};
+
+struct SimulationConfig {
+  std::vector<double> speeds;
+  workload::WorkloadSpec workload = workload::WorkloadSpec::paper_default();
+  double rho = 0.7;           // target system utilization
+  double sim_time = 1.0e6;    // seconds (paper: 4.0e6)
+  double warmup_frac = 0.25;  // fraction of sim_time discarded (paper: 1/4)
+  uint64_t seed = 42;
+
+  ServiceDiscipline discipline = ServiceDiscipline::kProcessorSharing;
+  double rr_quantum = 0.1;  // seconds, kRoundRobin only
+
+  // Dynamic Least-Load feedback path (§4.2).
+  double detection_interval = 1.0;   // departure found after U(0, this) s
+  double message_delay_mean = 0.05;  // exponential transfer delay mean
+
+  /// When non-empty, track the Figure 2 workload allocation deviation
+  /// against these expected fractions per `deviation_interval` seconds.
+  std::vector<double> deviation_expected;
+  double deviation_interval = 120.0;
+
+  /// When set, replay this trace instead of generating arrivals (the
+  /// trace supersedes `workload`/`rho`; sim_time still bounds the run).
+  const workload::JobTrace* trace = nullptr;
+
+  /// Optional observer invoked for every completed job (after metric
+  /// accounting). `measured` is false for warm-up jobs. Lets callers
+  /// collect custom statistics (histograms, per-class metrics) without
+  /// touching the harness.
+  std::function<void(const queueing::Completion&, bool measured)>
+      completion_hook;
+
+  /// Scheduled machine speed changes (degradation, failure as speed 0,
+  /// recovery), supported by every built-in service discipline. Static
+  /// schedulers do not react to these — which is precisely the blind
+  /// spot such experiments expose.
+  struct SpeedChange {
+    double time = 0.0;
+    size_t machine = 0;
+    double new_speed = 1.0;
+  };
+  std::vector<SpeedChange> speed_changes;
+
+  /// Implied arrival rate λ = ρ·Σs/E[size].
+  [[nodiscard]] double lambda() const;
+  [[nodiscard]] double warmup_time() const { return warmup_frac * sim_time; }
+  void validate() const;
+};
+
+struct SimulationResult {
+  double mean_response_time = 0.0;
+  double mean_response_ratio = 0.0;
+  double fairness = 0.0;  // σ of response ratio
+  double response_ratio_p95 = 0.0;
+  double response_ratio_p99 = 0.0;
+  uint64_t completed_jobs = 0;
+  uint64_t dispatched_jobs = 0;  // within measurement window
+  std::vector<double> machine_fractions;     // of measured dispatches
+  std::vector<double> machine_utilizations;  // busy fraction over sim_time
+  std::vector<double> deviations;            // Figure 2 series (if tracked)
+  uint64_t events_fired = 0;
+};
+
+/// Run one replication. The dispatcher is reset() first, so a fresh or a
+/// reused dispatcher object behaves identically.
+[[nodiscard]] SimulationResult run_simulation(const SimulationConfig& config,
+                                              dispatch::Dispatcher& dispatcher);
+
+/// How arriving jobs are split across schedulers in the multi-scheduler
+/// variant (below).
+enum class SchedulerSplit {
+  kRandom,      // each job goes to a uniformly random scheduler
+  kRoundRobin,  // jobs cycle through the schedulers
+};
+
+/// Multi-scheduler variant: the paper assumes one central scheduler
+/// (Figure 1), but its own motivating deployments — DNS round-robin and
+/// replicated web front-ends — split the request stream across several
+/// independent schedulers with no shared state. Each scheduler runs its
+/// own dispatcher instance over the same machines and sees only its
+/// share of the arrivals (for Dynamic Least-Load, departure reports go
+/// only to the scheduler that dispatched the job). With one dispatcher
+/// this reduces exactly to run_simulation.
+[[nodiscard]] SimulationResult run_simulation_multi(
+    const SimulationConfig& config,
+    const std::vector<dispatch::Dispatcher*>& schedulers,
+    SchedulerSplit split = SchedulerSplit::kRandom);
+
+}  // namespace hs::cluster

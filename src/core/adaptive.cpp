@@ -1,0 +1,121 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "alloc/optimized.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace hs::core {
+
+UtilizationEstimator::UtilizationEstimator(double mean_job_size,
+                                           double total_speed,
+                                           double time_constant)
+    : mean_job_size_(mean_job_size),
+      total_speed_(total_speed),
+      time_constant_(time_constant) {
+  HS_CHECK(mean_job_size > 0.0,
+           "mean job size must be positive: " << mean_job_size);
+  HS_CHECK(total_speed > 0.0, "total speed must be positive: " << total_speed);
+  HS_CHECK(time_constant > 0.0,
+           "time constant must be positive: " << time_constant);
+}
+
+void UtilizationEstimator::observe_arrival(double now) {
+  HS_CHECK(now >= last_arrival_,
+           "arrival times must be non-decreasing: " << now << " < "
+                                                    << last_arrival_);
+  if (count_ > 0) {
+    const double gap = now - last_arrival_;
+    // Exponentially discounted count-over-time ratio: both numerator and
+    // denominator decay with exp(−age/τ), so the estimate is
+    //   λ̂ = (Σᵢ e^{−ageᵢ/τ}) / (Σᵢ e^{−ageᵢ/τ}·gapᵢ),
+    // an (asymptotically) unbiased renewal-rate estimator with ~τ
+    // seconds of memory. A naive per-gap EWMA weighted by gap length
+    // would be length-biased (long gaps over-counted) and estimate half
+    // the true rate on Poisson streams.
+    const double decay = std::exp(-gap / time_constant_);
+    discounted_count_ = discounted_count_ * decay + 1.0;
+    discounted_time_ = discounted_time_ * decay + gap;
+  }
+  last_arrival_ = now;
+  ++count_;
+}
+
+double UtilizationEstimator::arrival_rate() const {
+  if (count_ <= kWarmupArrivals || discounted_time_ <= 0.0) {
+    return 0.0;
+  }
+  return discounted_count_ / discounted_time_;
+}
+
+double UtilizationEstimator::estimate(double fallback) const {
+  const double rate = arrival_rate();
+  if (rate <= 0.0) {
+    return fallback;
+  }
+  return rate * mean_job_size_ / total_speed_;
+}
+
+void UtilizationEstimator::reset() {
+  discounted_count_ = 0.0;
+  discounted_time_ = 0.0;
+  last_arrival_ = 0.0;
+  count_ = 0;
+}
+
+AdaptiveOrrDispatcher::AdaptiveOrrDispatcher(std::vector<double> speeds,
+                                             AdaptiveOrrOptions options)
+    : speeds_(std::move(speeds)),
+      options_(options),
+      estimator_(options.mean_job_size, util::kahan_sum(speeds_),
+                 options.time_constant),
+      assumed_rho_(options.initial_rho) {
+  HS_CHECK(!speeds_.empty(), "adaptive ORR needs at least one machine");
+  HS_CHECK(options.safety_factor > 0.0,
+           "safety factor must be positive: " << options.safety_factor);
+  HS_CHECK(options.recompute_every >= 1, "recompute interval must be >= 1");
+  HS_CHECK(options.initial_rho > 0.0 && options.initial_rho < 1.0,
+           "initial rho out of (0,1): " << options.initial_rho);
+  rebuild(options_.initial_rho);
+  recomputations_ = 0;  // the initial build does not count
+}
+
+void AdaptiveOrrDispatcher::rebuild(double rho_estimate) {
+  const double assumed =
+      std::clamp(rho_estimate * options_.safety_factor, options_.min_rho,
+                 options_.max_rho);
+  assumed_rho_ = assumed;
+  allocation_ = std::make_unique<alloc::Allocation>(
+      alloc::OptimizedAllocation().compute(speeds_, assumed));
+  inner_ =
+      std::make_unique<dispatch::SmoothRoundRobinDispatcher>(*allocation_);
+  ++recomputations_;
+}
+
+void AdaptiveOrrDispatcher::on_arrival(double now) {
+  estimator_.observe_arrival(now);
+  if (++arrivals_since_recompute_ >= options_.recompute_every &&
+      estimator_.arrival_rate() > 0.0) {
+    arrivals_since_recompute_ = 0;
+    rebuild(estimator_.estimate(options_.initial_rho));
+  }
+}
+
+size_t AdaptiveOrrDispatcher::pick(rng::Xoshiro256& gen) {
+  return inner_->pick(gen);
+}
+
+void AdaptiveOrrDispatcher::reset() {
+  estimator_.reset();
+  arrivals_since_recompute_ = 0;
+  rebuild(options_.initial_rho);
+  recomputations_ = 0;
+}
+
+const alloc::Allocation& AdaptiveOrrDispatcher::allocation() const {
+  return *allocation_;
+}
+
+}  // namespace hs::core

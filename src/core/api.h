@@ -1,0 +1,33 @@
+// Umbrella header: the full hetsched public API.
+//
+// Downstream users who just want the paper's scheduler need only
+// core/orr.h; this header pulls in everything for experimentation.
+#pragma once
+
+#include "alloc/allocation.h"        // IWYU pragma: export
+#include "alloc/analytic_model.h"    // IWYU pragma: export
+#include "alloc/numeric_solver.h"    // IWYU pragma: export
+#include "alloc/optimized.h"         // IWYU pragma: export
+#include "alloc/scheme.h"            // IWYU pragma: export
+#include "cluster/config.h"          // IWYU pragma: export
+#include "cluster/experiment.h"      // IWYU pragma: export
+#include "cluster/metrics.h"         // IWYU pragma: export
+#include "cluster/sim.h"             // IWYU pragma: export
+#include "core/adaptive.h"           // IWYU pragma: export
+#include "core/orr.h"                // IWYU pragma: export
+#include "core/policy.h"             // IWYU pragma: export
+#include "dispatch/cyclic.h"         // IWYU pragma: export
+#include "dispatch/dispatcher.h"     // IWYU pragma: export
+#include "dispatch/least_load.h"     // IWYU pragma: export
+#include "dispatch/random_dispatcher.h"  // IWYU pragma: export
+#include "dispatch/sita.h"           // IWYU pragma: export
+#include "dispatch/smooth_rr.h"      // IWYU pragma: export
+#include "dispatch/swrr.h"           // IWYU pragma: export
+#include "queueing/job.h"            // IWYU pragma: export
+#include "queueing/mm1.h"            // IWYU pragma: export
+#include "rng/distributions.h"       // IWYU pragma: export
+#include "rng/rng.h"                 // IWYU pragma: export
+#include "workload/arrival.h"        // IWYU pragma: export
+#include "workload/job_size.h"       // IWYU pragma: export
+#include "workload/spec.h"           // IWYU pragma: export
+#include "workload/trace.h"          // IWYU pragma: export

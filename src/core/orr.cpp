@@ -1,0 +1,42 @@
+#include "core/orr.h"
+
+#include "alloc/optimized.h"
+#include "util/check.h"
+
+namespace hs::core {
+
+namespace {
+
+alloc::Allocation compute_allocation(const std::vector<double>& speeds,
+                                     double utilization) {
+  return alloc::OptimizedAllocation().compute(speeds, utilization);
+}
+
+}  // namespace
+
+OrrScheduler::OrrScheduler(std::vector<double> speeds, double utilization)
+    : speeds_(std::move(speeds)),
+      utilization_(utilization),
+      allocation_(compute_allocation(speeds_, utilization)),
+      dispatcher_(allocation_) {}
+
+size_t OrrScheduler::route() {
+  // The smoothed round-robin dispatcher is deterministic; the generator
+  // argument is unused. A static dummy keeps the public API clean.
+  static rng::Xoshiro256 unused_gen(0);
+  ++routed_;
+  return dispatcher_.pick(unused_gen);
+}
+
+uint64_t OrrScheduler::routed_to(size_t machine) const {
+  return dispatcher_.assigned(machine);
+}
+
+void OrrScheduler::set_utilization(double utilization) {
+  allocation_ = compute_allocation(speeds_, utilization);
+  utilization_ = utilization;
+  dispatcher_ = dispatch::SmoothRoundRobinDispatcher(allocation_);
+  routed_ = 0;
+}
+
+}  // namespace hs::core

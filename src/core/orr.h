@@ -1,0 +1,60 @@
+// Production-facing Optimized Round-Robin scheduler.
+//
+// The distilled deliverable of the paper for a downstream user: give it
+// the relative speeds of your machines and an estimate of the overall
+// utilization, and call route() once per incoming request. It combines
+// the optimized workload allocation (Algorithm 1) with the smoothed
+// round-robin dispatcher (Algorithm 2), i.e. the ORR policy, with no
+// simulation machinery attached.
+//
+//   hs::core::OrrScheduler orr({1.0, 1.0, 4.0, 8.0}, /*utilization=*/0.6);
+//   size_t machine = orr.route();   // per request
+//
+// §5.4 of the paper shows ORR tolerates load overestimation far better
+// than underestimation, so `utilization` should be a slightly
+// conservative (high) estimate; set_utilization() recomputes the
+// allocation when the estimate drifts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "dispatch/smooth_rr.h"
+
+namespace hs::core {
+
+class OrrScheduler {
+ public:
+  /// `speeds` are relative machine speeds; `utilization` the estimated
+  /// overall system load in (0, 1).
+  OrrScheduler(std::vector<double> speeds, double utilization);
+
+  /// Destination machine index for the next request. Deterministic.
+  [[nodiscard]] size_t route();
+
+  /// The computed allocation fractions {α₁, …, αₙ}.
+  [[nodiscard]] const alloc::Allocation& allocation() const {
+    return allocation_;
+  }
+  [[nodiscard]] const std::vector<double>& speeds() const { return speeds_; }
+  [[nodiscard]] double utilization() const { return utilization_; }
+  [[nodiscard]] size_t machine_count() const { return speeds_.size(); }
+  /// Requests routed so far.
+  [[nodiscard]] uint64_t routed() const { return routed_; }
+  /// Requests routed to one machine so far.
+  [[nodiscard]] uint64_t routed_to(size_t machine) const;
+
+  /// Recompute the allocation for a new utilization estimate and restart
+  /// the dispatch cycle.
+  void set_utilization(double utilization);
+
+ private:
+  std::vector<double> speeds_;
+  double utilization_;
+  alloc::Allocation allocation_;
+  dispatch::SmoothRoundRobinDispatcher dispatcher_;
+  uint64_t routed_ = 0;
+};
+
+}  // namespace hs::core

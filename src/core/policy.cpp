@@ -1,0 +1,93 @@
+#include "core/policy.h"
+
+#include "alloc/optimized.h"
+#include "alloc/scheme.h"
+#include "dispatch/least_load.h"
+#include "dispatch/random_dispatcher.h"
+#include "dispatch/smooth_rr.h"
+#include "util/check.h"
+
+namespace hs::core {
+
+const std::vector<PolicyKind>& static_policies() {
+  static const std::vector<PolicyKind> kPolicies = {
+      PolicyKind::kWRAN, PolicyKind::kORAN, PolicyKind::kWRR,
+      PolicyKind::kORR};
+  return kPolicies;
+}
+
+const std::vector<PolicyKind>& all_policies() {
+  static const std::vector<PolicyKind> kPolicies = {
+      PolicyKind::kWRAN, PolicyKind::kORAN, PolicyKind::kWRR,
+      PolicyKind::kORR, PolicyKind::kLeastLoad};
+  return kPolicies;
+}
+
+std::string policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kWRAN:
+      return "WRAN";
+    case PolicyKind::kORAN:
+      return "ORAN";
+    case PolicyKind::kWRR:
+      return "WRR";
+    case PolicyKind::kORR:
+      return "ORR";
+    case PolicyKind::kLeastLoad:
+      return "LeastLoad";
+  }
+  HS_CHECK(false, "unreachable policy kind");
+  return {};
+}
+
+bool is_dynamic(PolicyKind kind) { return kind == PolicyKind::kLeastLoad; }
+
+bool uses_optimized_allocation(PolicyKind kind) {
+  return kind == PolicyKind::kORAN || kind == PolicyKind::kORR;
+}
+
+alloc::Allocation policy_allocation(PolicyKind kind,
+                                    const std::vector<double>& speeds,
+                                    double rho, double rho_estimate_factor) {
+  HS_CHECK(!is_dynamic(kind),
+           "dynamic policy " << policy_name(kind) << " has no allocation");
+  if (uses_optimized_allocation(kind)) {
+    return alloc::OptimizedAllocation(rho_estimate_factor)
+        .compute(speeds, rho);
+  }
+  return alloc::WeightedAllocation().compute(speeds, rho);
+}
+
+std::unique_ptr<dispatch::Dispatcher> make_policy_dispatcher(
+    PolicyKind kind, const std::vector<double>& speeds, double rho,
+    double rho_estimate_factor) {
+  if (kind == PolicyKind::kLeastLoad) {
+    return std::make_unique<dispatch::LeastLoadDispatcher>(speeds);
+  }
+  alloc::Allocation allocation =
+      policy_allocation(kind, speeds, rho, rho_estimate_factor);
+  switch (kind) {
+    case PolicyKind::kWRAN:
+    case PolicyKind::kORAN:
+      return std::make_unique<dispatch::RandomDispatcher>(
+          std::move(allocation));
+    case PolicyKind::kWRR:
+    case PolicyKind::kORR:
+      return std::make_unique<dispatch::SmoothRoundRobinDispatcher>(
+          std::move(allocation));
+    case PolicyKind::kLeastLoad:
+      break;
+  }
+  HS_CHECK(false, "unreachable policy kind");
+  return nullptr;
+}
+
+cluster::DispatcherFactory policy_dispatcher_factory(
+    PolicyKind kind, std::vector<double> speeds, double rho,
+    double rho_estimate_factor) {
+  return [kind, speeds = std::move(speeds), rho, rho_estimate_factor] {
+    return make_policy_dispatcher(kind, speeds, rho, rho_estimate_factor);
+  };
+}
+
+}  // namespace hs::core

@@ -1,0 +1,62 @@
+// The scheduling policies studied in the paper (Table 2).
+//
+// A static policy is a (workload allocation scheme × job dispatching
+// strategy) pair:
+//
+//                          weighted     optimized
+//        random            WRAN         ORAN
+//        round-robin       WRR          ORR
+//
+// plus the Dynamic Least-Load yardstick. This module builds the
+// dispatcher for a policy given the machine speeds and the (estimated)
+// system utilization.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "cluster/experiment.h"
+#include "dispatch/dispatcher.h"
+
+namespace hs::core {
+
+enum class PolicyKind {
+  kWRAN,       // weighted allocation + random dispatching
+  kORAN,       // optimized allocation + random dispatching
+  kWRR,        // weighted allocation + round-robin dispatching
+  kORR,        // optimized allocation + round-robin dispatching
+  kLeastLoad,  // dynamic least normalized load (upper-bound yardstick)
+};
+
+/// All four static policies, in Table 2 order.
+[[nodiscard]] const std::vector<PolicyKind>& static_policies();
+/// The static policies plus Dynamic Least-Load.
+[[nodiscard]] const std::vector<PolicyKind>& all_policies();
+
+[[nodiscard]] std::string policy_name(PolicyKind kind);
+[[nodiscard]] bool is_dynamic(PolicyKind kind);
+/// True if the policy uses the optimized (Algorithm 1) allocation.
+[[nodiscard]] bool uses_optimized_allocation(PolicyKind kind);
+
+/// The allocation a static policy computes for the given cluster.
+/// `rho_estimate_factor` models §5.4's load estimation error (the
+/// optimized scheme is computed for factor·ρ). Must not be called for
+/// kLeastLoad, which has no static allocation.
+[[nodiscard]] alloc::Allocation policy_allocation(
+    PolicyKind kind, const std::vector<double>& speeds, double rho,
+    double rho_estimate_factor = 1.0);
+
+/// Build a ready-to-use dispatcher implementing the policy.
+[[nodiscard]] std::unique_ptr<dispatch::Dispatcher> make_policy_dispatcher(
+    PolicyKind kind, const std::vector<double>& speeds, double rho,
+    double rho_estimate_factor = 1.0);
+
+/// Thread-safe factory for run_experiment(): every call produces a fresh
+/// dispatcher with identical initial state.
+[[nodiscard]] cluster::DispatcherFactory policy_dispatcher_factory(
+    PolicyKind kind, std::vector<double> speeds, double rho,
+    double rho_estimate_factor = 1.0);
+
+}  // namespace hs::core

@@ -1,0 +1,23 @@
+#include "dispatch/cyclic.h"
+
+#include "util/check.h"
+
+namespace hs::dispatch {
+
+CyclicDispatcher::CyclicDispatcher(alloc::Allocation allocation)
+    : n_(allocation.size()) {
+  for (size_t i = 0; i < allocation.size(); ++i) {
+    if (allocation[i] > 0.0) {
+      active_.push_back(i);
+    }
+  }
+  HS_CHECK(!active_.empty(), "cyclic dispatcher needs an active machine");
+}
+
+size_t CyclicDispatcher::pick(rng::Xoshiro256& /*gen*/) {
+  const size_t machine = active_[position_];
+  position_ = (position_ + 1) % active_.size();
+  return machine;
+}
+
+}  // namespace hs::dispatch

@@ -1,0 +1,30 @@
+// Classic (unweighted) cyclic round-robin dispatching.
+//
+// Ignores the allocation fractions and cycles through the machines that
+// have a positive fraction. Equivalent to Algorithm 2 when all fractions
+// are equal; included as the traditional baseline the paper generalizes.
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "dispatch/dispatcher.h"
+
+namespace hs::dispatch {
+
+class CyclicDispatcher final : public Dispatcher {
+ public:
+  explicit CyclicDispatcher(alloc::Allocation allocation);
+
+  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+  void reset() override { position_ = 0; }
+  [[nodiscard]] std::string name() const override { return "cyclic"; }
+  [[nodiscard]] size_t machine_count() const override { return n_; }
+
+ private:
+  size_t n_;
+  std::vector<size_t> active_;  // machines with positive fraction
+  size_t position_ = 0;
+};
+
+}  // namespace hs::dispatch

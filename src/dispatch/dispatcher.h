@@ -1,0 +1,59 @@
+// Job dispatching strategy interface (§3).
+//
+// A Dispatcher splits the incoming job stream into n substreams in real
+// time: pick() is called once per arriving job and returns the index of
+// the machine that will run it. Static dispatchers (random, round-robin
+// based) depend only on the allocation fractions; the Dynamic Least-Load
+// yardstick additionally consumes delayed departure reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "rng/rng.h"
+
+namespace hs::dispatch {
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Choose the destination machine for the next arriving job. `gen` is
+  /// the dispatching decision stream (only random dispatchers draw from
+  /// it, so static deterministic dispatchers stay reproducible).
+  [[nodiscard]] virtual size_t pick(rng::Xoshiro256& gen) = 0;
+
+  /// Size-aware variant, used by policies that assume job sizes are
+  /// known on arrival (the assumption the paper's schemes deliberately
+  /// avoid — see SitaDispatcher). Default: ignore the size.
+  [[nodiscard]] virtual size_t pick_sized(rng::Xoshiro256& gen,
+                                          double size) {
+    (void)size;
+    return pick(gen);
+  }
+
+  /// True if the policy requires job sizes at dispatch time.
+  [[nodiscard]] virtual bool uses_size() const { return false; }
+
+  /// Restore the initial state (start of a new replication).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual size_t machine_count() const = 0;
+
+  /// Called once per arriving job, before pick(), with the arrival time.
+  /// Lets adaptive dispatchers observe the arrival process (e.g. to
+  /// estimate the system utilization online); static dispatchers ignore
+  /// it. Scheduler-local information only — no machine feedback.
+  virtual void on_arrival(double now) { (void)now; }
+
+  /// Dynamic feedback: a (possibly delayed) report that one job departed
+  /// from `machine`. Static dispatchers ignore it.
+  virtual void on_departure_report(size_t machine) { (void)machine; }
+
+  /// True if the scheduler must deliver departure reports (i.e. the
+  /// policy is dynamic and pays the associated overhead).
+  [[nodiscard]] virtual bool uses_feedback() const { return false; }
+};
+
+}  // namespace hs::dispatch

@@ -1,0 +1,53 @@
+#include "dispatch/least_load.h"
+
+#include "util/check.h"
+
+namespace hs::dispatch {
+
+LeastLoadDispatcher::LeastLoadDispatcher(std::vector<double> speeds)
+    : speeds_(std::move(speeds)), estimates_(speeds_.size(), 0) {
+  HS_CHECK(!speeds_.empty(), "least-load needs at least one machine");
+  for (double s : speeds_) {
+    HS_CHECK(s > 0.0, "machine speed must be positive, got " << s);
+  }
+}
+
+void LeastLoadDispatcher::reset() {
+  estimates_.assign(speeds_.size(), 0);
+}
+
+size_t LeastLoadDispatcher::pick(rng::Xoshiro256& /*gen*/) {
+  size_t best = 0;
+  double best_load =
+      static_cast<double>(estimates_[0] + 1) / speeds_[0];
+  for (size_t i = 1; i < speeds_.size(); ++i) {
+    const double load =
+        static_cast<double>(estimates_[i] + 1) / speeds_[i];
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  // The job is dispatched and not rescheduled, so the scheduler updates
+  // the target's load index immediately (§4.2).
+  ++estimates_[best];
+  return best;
+}
+
+void LeastLoadDispatcher::on_departure_report(size_t machine) {
+  HS_CHECK(machine < estimates_.size(),
+           "machine index out of range: " << machine);
+  // Reports only ever follow dispatches, so the estimate stays >= 0.
+  HS_CHECK(estimates_[machine] > 0,
+           "departure report for machine " << machine
+                                           << " with zero estimated queue");
+  --estimates_[machine];
+}
+
+uint64_t LeastLoadDispatcher::estimated_queue(size_t machine) const {
+  HS_CHECK(machine < estimates_.size(),
+           "machine index out of range: " << machine);
+  return estimates_[machine];
+}
+
+}  // namespace hs::dispatch

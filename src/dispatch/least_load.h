@@ -1,0 +1,42 @@
+// Dynamic Least-Load dispatching (§2.2, §4.2) — the dynamic yardstick.
+//
+// The central scheduler tracks an estimate q̂ᵢ of each machine's run
+// queue length. An arriving job goes to the machine with the least
+// normalized load (q̂ᵢ + 1)/sᵢ; the estimate is incremented immediately
+// (no rescheduling is allowed, so the scheduler knows the job is there).
+// Departures are learned asynchronously: the cluster harness delivers
+// on_departure_report() after the paper's detection delay (U(0,1) s) plus
+// message transfer delay (exponential, mean 0.05 s), so the estimates lag
+// reality exactly as in the paper's model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dispatch/dispatcher.h"
+
+namespace hs::dispatch {
+
+class LeastLoadDispatcher final : public Dispatcher {
+ public:
+  explicit LeastLoadDispatcher(std::vector<double> speeds);
+
+  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "least-load"; }
+  [[nodiscard]] size_t machine_count() const override {
+    return speeds_.size();
+  }
+
+  void on_departure_report(size_t machine) override;
+  [[nodiscard]] bool uses_feedback() const override { return true; }
+
+  /// Scheduler-side queue length estimate for a machine.
+  [[nodiscard]] uint64_t estimated_queue(size_t machine) const;
+
+ private:
+  std::vector<double> speeds_;
+  std::vector<uint64_t> estimates_;
+};
+
+}  // namespace hs::dispatch

@@ -1,0 +1,12 @@
+#include "dispatch/random_dispatcher.h"
+
+namespace hs::dispatch {
+
+RandomDispatcher::RandomDispatcher(alloc::Allocation allocation)
+    : allocation_(std::move(allocation)), choice_(allocation_.fractions()) {}
+
+size_t RandomDispatcher::pick(rng::Xoshiro256& gen) {
+  return choice_.sample(gen);
+}
+
+}  // namespace hs::dispatch

@@ -1,0 +1,31 @@
+// Random based job dispatching (§3.1).
+//
+// Each arriving job is sent to machine i with probability αᵢ. Simple,
+// stateless, but the realized substreams inherit (and add to) the
+// burstiness of the arrival process — the weakness that Algorithm 2
+// fixes.
+#pragma once
+
+#include "alloc/allocation.h"
+#include "dispatch/dispatcher.h"
+#include "rng/distributions.h"
+
+namespace hs::dispatch {
+
+class RandomDispatcher final : public Dispatcher {
+ public:
+  explicit RandomDispatcher(alloc::Allocation allocation);
+
+  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+  void reset() override {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] size_t machine_count() const override {
+    return allocation_.size();
+  }
+
+ private:
+  alloc::Allocation allocation_;
+  rng::DiscreteChoice choice_;
+};
+
+}  // namespace hs::dispatch

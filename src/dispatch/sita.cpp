@@ -1,0 +1,118 @@
+#include "dispatch/sita.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace hs::dispatch {
+
+namespace {
+
+/// Normalization constant C of the density f(x) = C·x^{−α−1}.
+double density_constant(const rng::BoundedPareto& dist) {
+  const double k = dist.lower(), p = dist.upper(), a = dist.alpha();
+  return a * std::pow(k, a) / (1.0 - std::pow(k / p, a));
+}
+
+/// CDF of the Bounded Pareto at x in [k, p].
+double cdf(const rng::BoundedPareto& dist, double x) {
+  const double k = dist.lower(), p = dist.upper(), a = dist.alpha();
+  return (1.0 - std::pow(k / x, a)) / (1.0 - std::pow(k / p, a));
+}
+
+}  // namespace
+
+double bounded_pareto_partial_mean(const rng::BoundedPareto& dist, double a,
+                                   double b) {
+  HS_CHECK(dist.lower() <= a && a <= b && b <= dist.upper() * (1 + 1e-12),
+           "partial mean bounds out of range: [" << a << ", " << b << "]");
+  const double c = density_constant(dist);
+  const double alpha = dist.alpha();
+  if (std::fabs(alpha - 1.0) < 1e-12) {
+    return c * std::log(b / a);
+  }
+  return c / (1.0 - alpha) *
+         (std::pow(b, 1.0 - alpha) - std::pow(a, 1.0 - alpha));
+}
+
+double bounded_pareto_partial_mean_inverse(const rng::BoundedPareto& dist,
+                                           double target) {
+  HS_CHECK(target >= 0.0 && target <= dist.mean() * (1.0 + 1e-9),
+           "partial mean target out of [0, mean]: " << target);
+  const double c = density_constant(dist);
+  const double alpha = dist.alpha();
+  const double k = dist.lower();
+  double x;
+  if (std::fabs(alpha - 1.0) < 1e-12) {
+    x = k * std::exp(target / c);
+  } else {
+    const double base =
+        std::pow(k, 1.0 - alpha) + target * (1.0 - alpha) / c;
+    x = std::pow(base, 1.0 / (1.0 - alpha));
+  }
+  return std::clamp(x, dist.lower(), dist.upper());
+}
+
+SitaDispatcher::SitaDispatcher(std::vector<double> speeds,
+                               rng::BoundedPareto sizes)
+    : speeds_(std::move(speeds)), sizes_(sizes) {
+  HS_CHECK(!speeds_.empty(), "SITA needs at least one machine");
+  for (double s : speeds_) {
+    HS_CHECK(s > 0.0, "machine speed must be positive, got " << s);
+  }
+  by_speed_.resize(speeds_.size());
+  std::iota(by_speed_.begin(), by_speed_.end(), size_t{0});
+  std::stable_sort(by_speed_.begin(), by_speed_.end(), [this](size_t a,
+                                                              size_t b) {
+    return speeds_[a] < speeds_[b];
+  });
+
+  // Cumulative load targets: machine by_speed_[i] serves the size band
+  // whose expected load equals its speed share of the total mean.
+  const double total_speed = util::kahan_sum(speeds_);
+  const double mean = sizes_.mean();
+  cutoffs_.resize(speeds_.size() + 1);
+  cutoffs_.front() = sizes_.lower();
+  cutoffs_.back() = sizes_.upper();
+  double cumulative_speed = 0.0;
+  for (size_t i = 0; i + 1 < speeds_.size(); ++i) {
+    cumulative_speed += speeds_[by_speed_[i]];
+    const double target = cumulative_speed / total_speed * mean;
+    cutoffs_[i + 1] = bounded_pareto_partial_mean_inverse(sizes_, target);
+    HS_CHECK(cutoffs_[i + 1] >= cutoffs_[i],
+             "cutoffs must be non-decreasing at index " << i);
+  }
+}
+
+size_t SitaDispatcher::pick(rng::Xoshiro256& /*gen*/) {
+  HS_CHECK(false,
+           "SITA requires the job size at dispatch time — the harness "
+           "must use pick_sized()");
+  return 0;
+}
+
+size_t SitaDispatcher::pick_sized(rng::Xoshiro256& /*gen*/, double size) {
+  HS_CHECK(size > 0.0, "job size must be positive, got " << size);
+  // Sizes outside the fitted distribution's support route to the
+  // boundary machines.
+  const double x = std::clamp(size, sizes_.lower(), sizes_.upper());
+  // Find the band: largest i with cutoffs_[i] <= x (and i < n).
+  const auto it =
+      std::upper_bound(cutoffs_.begin(), cutoffs_.end() - 1, x);
+  const size_t band = static_cast<size_t>(
+      std::max<std::ptrdiff_t>(it - cutoffs_.begin() - 1, 0));
+  return by_speed_[std::min(band, speeds_.size() - 1)];
+}
+
+double SitaDispatcher::expected_job_fraction(size_t machine) const {
+  HS_CHECK(machine < speeds_.size(), "machine out of range: " << machine);
+  const auto position = static_cast<size_t>(
+      std::find(by_speed_.begin(), by_speed_.end(), machine) -
+      by_speed_.begin());
+  return cdf(sizes_, cutoffs_[position + 1]) - cdf(sizes_, cutoffs_[position]);
+}
+
+}  // namespace hs::dispatch

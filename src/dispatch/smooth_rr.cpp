@@ -1,0 +1,106 @@
+#include "dispatch/smooth_rr.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hs::dispatch {
+
+namespace {
+
+/// Tolerance for `next` equality in the tie-break of step 2.c.3. The
+/// paper compares exactly; `next` values are sums of 1/αᵢ increments and
+/// integer decrements, so genuinely tied machines can differ by rounding
+/// noise in floating point.
+constexpr double kTieEps = 1e-9;
+
+}  // namespace
+
+SmoothRoundRobinDispatcher::SmoothRoundRobinDispatcher(
+    alloc::Allocation allocation)
+    : allocation_(std::move(allocation)) {
+  HS_CHECK(allocation_.active_count() >= 1,
+           "dispatcher needs at least one machine with positive fraction");
+  reset();
+}
+
+void SmoothRoundRobinDispatcher::reset() {
+  // Step 1: assign = 0; next = 1 (the guard value that delays machines
+  // with small fractions until a full cycle position opens for them).
+  assign_.assign(allocation_.size(), 0);
+  next_.assign(allocation_.size(), 1.0);
+}
+
+size_t SmoothRoundRobinDispatcher::pick(rng::Xoshiro256& /*gen*/) {
+  const size_t n = allocation_.size();
+  // Steps 2.b–2.c: select the machine with minimal `next`; on ties the
+  // one with the smallest normalized assignment count (assign+1)/αᵢ.
+  //
+  // Tie-break refinement: a machine that has never received a job (still
+  // at the guard value) wins a `next` tie against machines that have.
+  // In steady state started machines are selected at next == 0, strictly
+  // below the guard, so this only matters at the boundary where a
+  // small-fraction machine's staggered first slot opens; without the
+  // preference, a large-fraction machine re-selected at next == 1 would
+  // steal that slot and the cycle would not spread first jobs out evenly
+  // as §3.2 describes (the paper's worked example — fractions
+  // {1/8, 1/8, 1/4, 1/2} → c4 c3 c4 c2 c4 c3 c4 c1 — requires it).
+  size_t select = n;  // sentinel: none yet
+  double min_next = 0.0;
+  double nor_assign = 0.0;
+  bool select_unstarted = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (allocation_[i] == 0.0) {
+      continue;  // step 2.c.1: excluded machines never receive jobs
+    }
+    const double candidate_nor =
+        static_cast<double>(assign_[i] + 1) / allocation_[i];
+    const bool candidate_unstarted = assign_[i] == 0;
+    if (select == n || next_[i] < min_next - kTieEps) {
+      min_next = next_[i];
+      nor_assign = candidate_nor;
+      select = i;
+      select_unstarted = candidate_unstarted;
+    } else if (std::fabs(next_[i] - min_next) <= kTieEps) {
+      const bool better =
+          (candidate_unstarted && !select_unstarted) ||
+          (candidate_unstarted == select_unstarted &&
+           nor_assign > candidate_nor);
+      if (better) {
+        nor_assign = candidate_nor;
+        select = i;
+        select_unstarted = candidate_unstarted;
+      }
+    }
+  }
+  HS_CHECK(select < n, "no selectable machine");
+
+  // Step 2.d: a machine selected for the first time starts its regular
+  // cadence from 0 rather than from the guard value.
+  if (assign_[select] == 0) {
+    next_[select] = 0.0;
+  }
+  // Steps 2.e–2.f: it expects its next job after 1/α_select arrivals.
+  next_[select] += 1.0 / allocation_[select];
+  assign_[select] += 1;
+  // Step 2.h: one system arrival has been consumed — count down every
+  // machine that has started receiving jobs.
+  for (size_t i = 0; i < n; ++i) {
+    if (assign_[i] != 0) {
+      next_[i] -= 1.0;
+    }
+  }
+  return select;
+}
+
+uint64_t SmoothRoundRobinDispatcher::assigned(size_t machine) const {
+  HS_CHECK(machine < assign_.size(), "machine index out of range: " << machine);
+  return assign_[machine];
+}
+
+double SmoothRoundRobinDispatcher::next_value(size_t machine) const {
+  HS_CHECK(machine < next_.size(), "machine index out of range: " << machine);
+  return next_[machine];
+}
+
+}  // namespace hs::dispatch

@@ -1,0 +1,48 @@
+// Round-robin based job dispatching — the paper's Algorithm 2.
+//
+// Equalizes the number of system-level inter-arrival gaps between
+// successive jobs sent to the same machine, smoothing each machine's
+// arrival substream without measuring time. Each machine i carries
+//   assign — jobs sent to it so far,
+//   next   — expected number of future arrivals before its next job.
+// A new job goes to the machine with minimal `next` (ties: smallest
+// (assign+1)/αᵢ); the winner's `next` grows by 1/αᵢ and every machine
+// that has started receiving jobs counts down by 1. The `next` guard
+// value 1 staggers first assignments of small-fraction machines evenly
+// through the cycle.
+//
+// With equal fractions this reduces to the classic round-robin; hence
+// "Weighted Round-Robin" (WRR) with the simple weighted allocation and
+// "Optimized Round-Robin" (ORR) with the optimized allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "dispatch/dispatcher.h"
+
+namespace hs::dispatch {
+
+class SmoothRoundRobinDispatcher final : public Dispatcher {
+ public:
+  explicit SmoothRoundRobinDispatcher(alloc::Allocation allocation);
+
+  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  [[nodiscard]] size_t machine_count() const override {
+    return allocation_.size();
+  }
+
+  /// State inspection (for tests and the Figure 2 reproduction).
+  [[nodiscard]] uint64_t assigned(size_t machine) const;
+  [[nodiscard]] double next_value(size_t machine) const;
+
+ private:
+  alloc::Allocation allocation_;
+  std::vector<uint64_t> assign_;
+  std::vector<double> next_;
+};
+
+}  // namespace hs::dispatch

@@ -1,0 +1,36 @@
+#include "dispatch/swrr.h"
+
+#include "util/check.h"
+
+namespace hs::dispatch {
+
+SwrrDispatcher::SwrrDispatcher(alloc::Allocation allocation)
+    : allocation_(std::move(allocation)) {
+  HS_CHECK(allocation_.active_count() >= 1,
+           "dispatcher needs at least one machine with positive fraction");
+  reset();
+}
+
+void SwrrDispatcher::reset() {
+  current_.assign(allocation_.size(), 0.0);
+}
+
+size_t SwrrDispatcher::pick(rng::Xoshiro256& /*gen*/) {
+  // current_i += weight_i; winner = argmax current; winner -= Σweights.
+  // Weights are the allocation fractions, so Σweights = 1.
+  size_t best = allocation_.size();
+  for (size_t i = 0; i < allocation_.size(); ++i) {
+    if (allocation_[i] == 0.0) {
+      continue;
+    }
+    current_[i] += allocation_[i];
+    if (best == allocation_.size() || current_[i] > current_[best]) {
+      best = i;
+    }
+  }
+  HS_CHECK(best < allocation_.size(), "no selectable machine");
+  current_[best] -= 1.0;
+  return best;
+}
+
+}  // namespace hs::dispatch

@@ -1,0 +1,37 @@
+// Smooth weighted round-robin (the "nginx" algorithm) — a comparison
+// dispatcher from modern OSS load balancers.
+//
+// The paper's Algorithm 2 predates, but closely parallels, the smooth
+// WRR used by nginx/HAProxy: each machine carries a current weight that
+// grows by its effective weight every arrival; the largest current
+// weight wins and is reduced by the total. Both produce evenly
+// interleaved schedules with per-machine counts tracking the weights;
+// they differ in tie handling and start-up staggering. Included so the
+// two generalized round-robins can be compared head-to-head
+// (bench/ablation_dispatcher_family).
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "dispatch/dispatcher.h"
+
+namespace hs::dispatch {
+
+class SwrrDispatcher final : public Dispatcher {
+ public:
+  explicit SwrrDispatcher(alloc::Allocation allocation);
+
+  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "swrr"; }
+  [[nodiscard]] size_t machine_count() const override {
+    return allocation_.size();
+  }
+
+ private:
+  alloc::Allocation allocation_;
+  std::vector<double> current_;  // current weights
+};
+
+}  // namespace hs::dispatch

@@ -1,0 +1,79 @@
+#include "queueing/fcfs_server.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hs::queueing {
+
+FcfsServer::FcfsServer(sim::Simulator& simulator, double speed,
+                       int machine_index)
+    : Server(simulator, speed, machine_index) {}
+
+size_t FcfsServer::queue_length() const {
+  return waiting_.size() + (in_service_ ? 1 : 0);
+}
+
+double FcfsServer::busy_time() const {
+  double busy = busy_accum_;
+  if (in_service_) {
+    busy += simulator_.now() - busy_since_;
+  }
+  return busy;
+}
+
+void FcfsServer::arrive(const Job& job) {
+  HS_CHECK(job.size > 0.0, "job size must be positive, got " << job.size);
+  waiting_.push_back(job);
+  if (!in_service_) {
+    busy_since_ = simulator_.now();
+    start_service();
+  }
+}
+
+void FcfsServer::start_service() {
+  HS_CHECK(!waiting_.empty(), "start_service with empty queue");
+  current_ = waiting_.front();
+  waiting_.pop_front();
+  in_service_ = true;
+  remaining_work_ = current_.size;
+  schedule_completion();
+}
+
+void FcfsServer::schedule_completion() {
+  simulator_.cancel(completion_event_);
+  completion_event_ = sim::EventHandle{};
+  service_since_ = simulator_.now();
+  if (speed_ <= 0.0) {
+    return;  // stopped: the job is held until the speed recovers
+  }
+  completion_event_ = simulator_.schedule_in(
+      remaining_work_ / speed_, [this] { on_service_complete(); });
+}
+
+void FcfsServer::set_speed(double new_speed) {
+  HS_CHECK(new_speed >= 0.0, "speed must be >= 0, got " << new_speed);
+  if (in_service_) {
+    // Bank the work completed at the old rate, then restart the
+    // completion timer at the new one.
+    remaining_work_ -= (simulator_.now() - service_since_) * speed_;
+    remaining_work_ = std::max(remaining_work_, 0.0);
+    speed_ = new_speed;
+    schedule_completion();
+  } else {
+    speed_ = new_speed;
+  }
+}
+
+void FcfsServer::on_service_complete() {
+  completion_event_ = sim::EventHandle{};
+  in_service_ = false;
+  emit_completion(current_, simulator_.now());
+  if (!waiting_.empty()) {
+    start_service();
+  } else {
+    busy_accum_ += simulator_.now() - busy_since_;
+  }
+}
+
+}  // namespace hs::queueing

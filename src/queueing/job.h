@@ -1,0 +1,34 @@
+// The unit of work flowing through the simulated system.
+#pragma once
+
+#include <cstdint>
+
+namespace hs::queueing {
+
+/// A job, as defined in §2.3 of the paper: `size` is the completion time
+/// of the job on an idle machine of relative speed 1 (i.e. seconds of
+/// base-line work). A machine with speed s processes it in size/s seconds
+/// when alone.
+struct Job {
+  uint64_t id = 0;
+  double arrival_time = 0.0;  // arrival at the central scheduler
+  double size = 0.0;          // service demand in base-speed seconds
+};
+
+/// Completion record emitted by a server when a job departs.
+struct Completion {
+  Job job;
+  double departure_time = 0.0;
+  int machine = -1;  // index of the machine that ran the job
+
+  /// Response time: total time in system (§2.3 "mean response time").
+  [[nodiscard]] double response_time() const {
+    return departure_time - job.arrival_time;
+  }
+  /// Response ratio: response time divided by job size (§2.3).
+  [[nodiscard]] double response_ratio() const {
+    return response_time() / job.size;
+  }
+};
+
+}  // namespace hs::queueing

@@ -1,0 +1,53 @@
+#include "queueing/mm1.h"
+
+#include "util/check.h"
+
+namespace hs::queueing::mm1 {
+
+double utilization(double lambda, double mu) {
+  HS_CHECK(mu > 0.0, "service rate must be positive, got " << mu);
+  HS_CHECK(lambda >= 0.0, "arrival rate must be >= 0, got " << lambda);
+  return lambda / mu;
+}
+
+double ps_mean_response_time(double lambda, double mu) {
+  HS_CHECK(lambda < mu,
+           "unstable queue: lambda=" << lambda << " >= mu=" << mu);
+  return 1.0 / (mu - lambda);
+}
+
+double ps_mean_response_ratio(double lambda, double mu) {
+  const double rho = utilization(lambda, mu);
+  HS_CHECK(rho < 1.0, "unstable queue: rho=" << rho);
+  return 1.0 / (1.0 - rho);
+}
+
+double mean_number_in_system(double lambda, double mu) {
+  const double rho = utilization(lambda, mu);
+  HS_CHECK(rho < 1.0, "unstable queue: rho=" << rho);
+  return rho / (1.0 - rho);
+}
+
+double mm1_fcfs_mean_waiting(double lambda, double mu) {
+  const double rho = utilization(lambda, mu);
+  HS_CHECK(rho < 1.0, "unstable queue: rho=" << rho);
+  return rho / (mu - lambda);
+}
+
+double mg1_fcfs_mean_waiting(double lambda, double mean_service,
+                             double second_moment_service) {
+  HS_CHECK(mean_service > 0.0, "mean service must be positive");
+  HS_CHECK(second_moment_service >= mean_service * mean_service,
+           "second moment below squared mean");
+  const double rho = lambda * mean_service;
+  HS_CHECK(rho < 1.0, "unstable queue: rho=" << rho);
+  return lambda * second_moment_service / (2.0 * (1.0 - rho));
+}
+
+double ps_conditional_response(double job_size, double rho) {
+  HS_CHECK(job_size > 0.0, "job size must be positive, got " << job_size);
+  HS_CHECK(rho >= 0.0 && rho < 1.0, "rho out of [0,1): " << rho);
+  return job_size / (1.0 - rho);
+}
+
+}  // namespace hs::queueing::mm1

@@ -1,0 +1,36 @@
+// Closed-form single-server queueing results.
+//
+// These anchor both the paper's analytical model (§2.3, Eqs. 1–2: a PS
+// server's conditional mean response time is t/(1−ρ)) and the simulator's
+// validation tests (M/M/1 and M/G/1 formulas that the simulated servers
+// must reproduce).
+#pragma once
+
+namespace hs::queueing::mm1 {
+
+/// Server utilization ρ = λ/μ. Requires μ > 0.
+[[nodiscard]] double utilization(double lambda, double mu);
+
+/// M/M/1 (or M/G/1-PS, by insensitivity) mean response time 1/(μ−λ).
+/// Requires λ < μ (stability).
+[[nodiscard]] double ps_mean_response_time(double lambda, double mu);
+
+/// PS mean response ratio for a speed-1 server: 1/(1−ρ) (Eq. 2).
+[[nodiscard]] double ps_mean_response_ratio(double lambda, double mu);
+
+/// Mean number of jobs in an M/M/1 system: ρ/(1−ρ).
+[[nodiscard]] double mean_number_in_system(double lambda, double mu);
+
+/// M/M/1-FCFS mean waiting time (excluding service): ρ/(μ−λ).
+[[nodiscard]] double mm1_fcfs_mean_waiting(double lambda, double mu);
+
+/// M/G/1-FCFS mean waiting time by Pollaczek–Khinchine:
+/// W = λ·E[S²] / (2(1−ρ)) with ρ = λ·E[S]. Requires ρ < 1.
+[[nodiscard]] double mg1_fcfs_mean_waiting(double lambda, double mean_service,
+                                           double second_moment_service);
+
+/// Conditional PS response time for a job of size t on a server with
+/// utilization ρ: t/(1−ρ) (Eq. 1 of the paper, restated per-job).
+[[nodiscard]] double ps_conditional_response(double job_size, double rho);
+
+}  // namespace hs::queueing::mm1

@@ -1,0 +1,81 @@
+#include "queueing/ps_server.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hs::queueing {
+
+PsServer::PsServer(sim::Simulator& simulator, double speed, int machine_index)
+    : Server(simulator, speed, machine_index) {}
+
+void PsServer::advance_clock() {
+  const double now = simulator_.now();
+  const double dt = now - last_update_;
+  if (dt > 0.0 && !active_.empty()) {
+    virtual_work_ += speed_ * dt / static_cast<double>(active_.size());
+    busy_accum_ += dt;
+  }
+  last_update_ = now;
+}
+
+double PsServer::busy_time() const {
+  double busy = busy_accum_;
+  if (!active_.empty()) {
+    busy += simulator_.now() - last_update_;
+  }
+  return busy;
+}
+
+void PsServer::arrive(const Job& job) {
+  HS_CHECK(job.size > 0.0, "job size must be positive, got " << job.size);
+  advance_clock();
+  active_.push(ActiveJob{virtual_work_ + job.size, job});
+  reschedule_departure();
+}
+
+void PsServer::set_speed(double new_speed) {
+  HS_CHECK(new_speed >= 0.0, "speed must be >= 0, got " << new_speed);
+  advance_clock();
+  speed_ = new_speed;
+  reschedule_departure();
+}
+
+void PsServer::reschedule_departure() {
+  simulator_.cancel(pending_departure_);
+  pending_departure_ = sim::EventHandle{};
+  if (active_.empty() || speed_ <= 0.0) {
+    return;  // a stopped machine holds its jobs until speed recovers
+  }
+  const double min_tag = active_.top().finish_tag;
+  // Remaining virtual work for the leader divided by its share rate.
+  const double remaining = min_tag - virtual_work_;
+  const double dt = std::fmax(remaining, 0.0) *
+                    static_cast<double>(active_.size()) / speed_;
+  pending_departure_ =
+      simulator_.schedule_in(dt, [this] { on_departure_event(); });
+}
+
+void PsServer::on_departure_event() {
+  pending_departure_ = sim::EventHandle{};
+  advance_clock();
+  HS_CHECK(!active_.empty(), "departure event on idle PS server");
+  // The scheduled leader departs now. Absorb any rounding drift so the
+  // virtual clock never runs behind the departing job's tag.
+  const ActiveJob leader = active_.top();
+  active_.pop();
+  virtual_work_ = std::fmax(virtual_work_, leader.finish_tag);
+  emit_completion(leader.job, simulator_.now());
+  // Jobs whose tags coincide (equal finish tags happen with deterministic
+  // sizes) depart at the same instant.
+  while (!active_.empty() &&
+         active_.top().finish_tag <= virtual_work_ * (1.0 + 1e-15)) {
+    const ActiveJob next = active_.top();
+    active_.pop();
+    virtual_work_ = std::fmax(virtual_work_, next.finish_tag);
+    emit_completion(next.job, simulator_.now());
+  }
+  reschedule_departure();
+}
+
+}  // namespace hs::queueing

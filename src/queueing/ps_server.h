@@ -1,0 +1,63 @@
+// Exact processor-sharing server.
+//
+// The paper models each computer as an M/M/1 queue with the
+// processor-sharing (PS) discipline (§2.3) and simulates computers that
+// "apply preemptive round-robin processor scheduling" (§4.1) — whose
+// quantum→0 limit is PS. This implementation is event-driven and exact:
+// it uses the classic virtual-work formulation. Define V(t) with
+// dV/dt = s/n(t) while n(t) > 0 jobs are present on a machine of speed s.
+// A job of size x arriving at time t departs when V reaches V(t) + x.
+// Between arrivals/departures V is linear, so each job costs O(log n)
+// heap work instead of O(n) remaining-time updates.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "queueing/server.h"
+
+namespace hs::queueing {
+
+class PsServer final : public Server {
+ public:
+  PsServer(sim::Simulator& simulator, double speed, int machine_index);
+
+  void arrive(const Job& job) override;
+  [[nodiscard]] size_t queue_length() const override {
+    return active_.size();
+  }
+  [[nodiscard]] double busy_time() const override;
+
+  /// Piecewise-constant speed changes, including full stops (speed 0):
+  /// attained service is preserved and in-flight jobs continue at the
+  /// new rate. Time with jobs present counts as busy even at speed 0
+  /// (the machine is occupied, just not progressing).
+  void set_speed(double new_speed) override;
+
+ private:
+  struct ActiveJob {
+    double finish_tag;  // virtual work at which this job completes
+    Job job;
+    friend bool operator>(const ActiveJob& a, const ActiveJob& b) {
+      if (a.finish_tag != b.finish_tag) {
+        return a.finish_tag > b.finish_tag;
+      }
+      return a.job.id > b.job.id;
+    }
+  };
+
+  /// Bring virtual work and busy time up to the current simulation time.
+  void advance_clock();
+  /// (Re)schedule the departure event for the job with the smallest tag.
+  void reschedule_departure();
+  void on_departure_event();
+
+  std::priority_queue<ActiveJob, std::vector<ActiveJob>, std::greater<>>
+      active_;
+  double virtual_work_ = 0.0;  // V(t)
+  double last_update_ = 0.0;
+  double busy_accum_ = 0.0;
+  sim::EventHandle pending_departure_;
+};
+
+}  // namespace hs::queueing

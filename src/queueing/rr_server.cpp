@@ -1,0 +1,90 @@
+#include "queueing/rr_server.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hs::queueing {
+
+RrServer::RrServer(sim::Simulator& simulator, double speed, int machine_index,
+                   double quantum)
+    : Server(simulator, speed, machine_index), quantum_(quantum) {
+  HS_CHECK(quantum > 0.0, "quantum must be positive, got " << quantum);
+}
+
+size_t RrServer::queue_length() const { return ready_.size(); }
+
+double RrServer::busy_time() const {
+  double busy = busy_accum_;
+  if (running_) {
+    busy += simulator_.now() - busy_since_;
+  }
+  return busy;
+}
+
+void RrServer::arrive(const Job& job) {
+  HS_CHECK(job.size > 0.0, "job size must be positive, got " << job.size);
+  ready_.push_back(PendingJob{job, job.size});
+  if (!running_) {
+    busy_since_ = simulator_.now();
+    running_ = true;
+    start_slice();
+  }
+}
+
+void RrServer::start_slice() {
+  HS_CHECK(!ready_.empty(), "slice with empty ready queue");
+  slice_start_ = simulator_.now();
+  if (speed_ <= 0.0) {
+    slice_work_ = 0.0;
+    return;  // stopped: hold the head job until the speed recovers
+  }
+  slice_work_ = std::min(ready_.front().remaining, quantum_ * speed_);
+  slice_event_ = simulator_.schedule_in(slice_work_ / speed_,
+                                        [this] { on_slice_end(); });
+}
+
+void RrServer::set_speed(double new_speed) {
+  HS_CHECK(new_speed >= 0.0, "speed must be >= 0, got " << new_speed);
+  if (running_ && !ready_.empty()) {
+    // Bank the work done in the interrupted slice, then restart it at
+    // the new rate (the head keeps the CPU: a speed change is not a
+    // scheduling event).
+    const double done = (simulator_.now() - slice_start_) * speed_;
+    PendingJob& head = ready_.front();
+    head.remaining = std::max(head.remaining - done, 0.0);
+    simulator_.cancel(slice_event_);
+    slice_event_ = sim::EventHandle{};
+    speed_ = new_speed;
+    start_slice();
+  } else {
+    speed_ = new_speed;
+  }
+}
+
+void RrServer::on_slice_end() {
+  slice_event_ = sim::EventHandle{};
+  HS_CHECK(!ready_.empty(), "slice end with empty ready queue");
+  PendingJob head = ready_.front();
+  ready_.pop_front();
+  // The slice ran to completion at a constant speed (set_speed cancels
+  // and restarts the slice), so exactly slice_work_ was delivered. Do
+  // NOT derive the work from elapsed time: a tiny final slice at a
+  // large simulation timestamp can underflow the clock's resolution
+  // (now + duration == now), which would read as zero work done and
+  // respawn the same slice forever.
+  head.remaining = std::max(head.remaining - slice_work_, 0.0);
+  if (head.remaining <= 1e-12) {
+    emit_completion(head.job, simulator_.now());
+  } else {
+    ready_.push_back(head);
+  }
+  if (!ready_.empty()) {
+    start_slice();
+  } else {
+    running_ = false;
+    busy_accum_ += simulator_.now() - busy_since_;
+  }
+}
+
+}  // namespace hs::queueing

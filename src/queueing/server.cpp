@@ -1,0 +1,36 @@
+#include "queueing/server.h"
+
+#include "util/check.h"
+
+namespace hs::queueing {
+
+Server::Server(sim::Simulator& simulator, double speed, int machine_index)
+    : simulator_(simulator), speed_(speed), machine_index_(machine_index) {
+  HS_CHECK(speed > 0.0, "machine speed must be positive, got " << speed);
+}
+
+void Server::set_speed(double /*new_speed*/) {
+  HS_CHECK(false, "set_speed is not supported by this service discipline");
+}
+
+double Server::utilization() const {
+  const double now = simulator_.now();
+  if (now <= 0.0) {
+    return 0.0;
+  }
+  return busy_time() / now;
+}
+
+void Server::emit_completion(const Job& job, double departure_time) {
+  ++completed_jobs_;
+  work_done_ += job.size;
+  if (completion_callback_) {
+    Completion completion;
+    completion.job = job;
+    completion.departure_time = departure_time;
+    completion.machine = machine_index_;
+    completion_callback_(completion);
+  }
+}
+
+}  // namespace hs::queueing

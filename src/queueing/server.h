@@ -1,0 +1,78 @@
+// Abstract single-machine server model.
+//
+// A Server owns the jobs currently resident on one simulated computer and
+// decides how CPU time is shared among them. Concrete disciplines:
+//   * PsServer   — exact processor sharing (the paper's model of
+//                  preemptive round-robin scheduling, §4.1),
+//   * FcfsServer — first-come-first-served (for M/M/1 validation),
+//   * RrServer   — preemptive round-robin with a finite quantum
+//                  (ablation of the PS idealization).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "queueing/job.h"
+#include "sim/simulator.h"
+
+namespace hs::queueing {
+
+class Server {
+ public:
+  using CompletionCallback = std::function<void(const Completion&)>;
+
+  /// `speed` is the machine's relative processing speed s_i > 0 (it may
+  /// later drop to 0 through set_speed on disciplines that support it).
+  /// `machine_index` tags completions for per-machine statistics.
+  Server(sim::Simulator& simulator, double speed, int machine_index);
+  virtual ~Server() = default;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Hand a job to this machine at the current simulation time.
+  virtual void arrive(const Job& job) = 0;
+
+  /// Change the machine's speed at the current simulation time (e.g.
+  /// degradation, thermal throttling, or failure as speed → 0 with
+  /// recovery later). Work already done is kept; in-flight jobs simply
+  /// progress at the new rate, and speed 0 stops the machine, holding
+  /// its jobs until the speed rises again. All built-in disciplines
+  /// support this; the default implementation throws CheckError so
+  /// future disciplines fail loudly rather than silently ignore it.
+  virtual void set_speed(double new_speed);
+
+  /// Number of jobs currently on the machine (running + queued). This is
+  /// the "run queue length" load index of §2.2.
+  [[nodiscard]] virtual size_t queue_length() const = 0;
+
+  /// Called once per completed job, at its departure time.
+  void set_completion_callback(CompletionCallback cb) {
+    completion_callback_ = std::move(cb);
+  }
+
+  [[nodiscard]] double speed() const { return speed_; }
+  [[nodiscard]] int machine_index() const { return machine_index_; }
+
+  /// Seconds of base-speed work completed so far (for utilization stats).
+  [[nodiscard]] double work_done() const { return work_done_; }
+  /// Total busy time (at least one job present) so far, including the
+  /// in-progress busy period up to now().
+  [[nodiscard]] virtual double busy_time() const = 0;
+  /// Fraction of time busy since t=0.
+  [[nodiscard]] double utilization() const;
+  [[nodiscard]] uint64_t completed_jobs() const { return completed_jobs_; }
+
+ protected:
+  void emit_completion(const Job& job, double departure_time);
+
+  sim::Simulator& simulator_;
+  double speed_;
+  int machine_index_;
+  double work_done_ = 0.0;
+  uint64_t completed_jobs_ = 0;
+
+ private:
+  CompletionCallback completion_callback_;
+};
+
+}  // namespace hs::queueing

@@ -1,0 +1,286 @@
+#include "rng/distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hs::rng {
+
+double Distribution::cv() const {
+  const double m = mean();
+  HS_CHECK(m > 0.0, "cv() undefined for non-positive mean " << m);
+  const double v = variance();
+  if (!std::isfinite(v)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt(v) / m;
+}
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  HS_CHECK(rate > 0.0, "exponential rate must be positive, got " << rate);
+}
+
+double Exponential::sample(Xoshiro256& gen) const {
+  return -std::log(gen.next_double_open0()) / rate_;
+}
+
+std::string Exponential::name() const {
+  std::ostringstream oss;
+  oss << "Exponential(rate=" << rate_ << ")";
+  return oss.str();
+}
+
+// -------------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  HS_CHECK(lo < hi, "uniform bounds reversed: [" << lo << ", " << hi << ")");
+}
+
+double Uniform::sample(Xoshiro256& gen) const { return gen.uniform(lo_, hi_); }
+
+std::string Uniform::name() const {
+  std::ostringstream oss;
+  oss << "Uniform[" << lo_ << ", " << hi_ << ")";
+  return oss.str();
+}
+
+// -------------------------------------------------------------- Deterministic
+
+Deterministic::Deterministic(double value) : value_(value) {
+  HS_CHECK(value >= 0.0, "deterministic value must be >= 0, got " << value);
+}
+
+double Deterministic::sample(Xoshiro256& /*gen*/) const { return value_; }
+
+std::string Deterministic::name() const {
+  std::ostringstream oss;
+  oss << "Deterministic(" << value_ << ")";
+  return oss.str();
+}
+
+// -------------------------------------------------------- HyperExponential2
+
+HyperExponential2::HyperExponential2(double p, double rate1, double rate2)
+    : p_(p), rate1_(rate1), rate2_(rate2) {
+  HS_CHECK(p >= 0.0 && p <= 1.0, "branch probability out of range: " << p);
+  HS_CHECK(rate1 > 0.0 && rate2 > 0.0,
+           "H2 rates must be positive: " << rate1 << ", " << rate2);
+}
+
+HyperExponential2 HyperExponential2::fit_mean_cv(double mean, double cv) {
+  HS_CHECK(mean > 0.0, "H2 mean must be positive, got " << mean);
+  HS_CHECK(cv >= 1.0, "H2 cannot represent CV < 1, got " << cv);
+  // Balanced-means fit (Allen): p·m1 = (1−p)·m2 = mean/2 with
+  //   p = (1 + sqrt((cv²−1)/(cv²+1))) / 2.
+  const double c2 = cv * cv;
+  const double p = 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+  // Branch means m1 = mean/(2p), m2 = mean/(2(1−p)); rates are reciprocals.
+  if (p >= 1.0) {
+    // cv == inf edge; degenerate to exponential to stay well-defined.
+    return HyperExponential2(1.0, 1.0 / mean, 1.0 / mean);
+  }
+  const double rate1 = 2.0 * p / mean;
+  const double rate2 = 2.0 * (1.0 - p) / mean;
+  return HyperExponential2(p, rate1, rate2);
+}
+
+double HyperExponential2::sample(Xoshiro256& gen) const {
+  const double rate = gen.next_double() < p_ ? rate1_ : rate2_;
+  return -std::log(gen.next_double_open0()) / rate;
+}
+
+double HyperExponential2::mean() const {
+  return p_ / rate1_ + (1.0 - p_) / rate2_;
+}
+
+double HyperExponential2::variance() const {
+  const double second_moment =
+      2.0 * p_ / (rate1_ * rate1_) + 2.0 * (1.0 - p_) / (rate2_ * rate2_);
+  const double m = mean();
+  return second_moment - m * m;
+}
+
+std::string HyperExponential2::name() const {
+  std::ostringstream oss;
+  oss << "HyperExp2(p=" << p_ << ", rate1=" << rate1_ << ", rate2=" << rate2_
+      << ")";
+  return oss.str();
+}
+
+// -------------------------------------------------------------- BoundedPareto
+
+BoundedPareto::BoundedPareto(double lower, double upper, double alpha)
+    : lower_(lower), upper_(upper), alpha_(alpha) {
+  HS_CHECK(lower > 0.0, "Bounded Pareto lower bound must be > 0: " << lower);
+  HS_CHECK(upper > lower,
+           "Bounded Pareto needs upper > lower: " << upper << " vs " << lower);
+  HS_CHECK(alpha > 0.0, "Bounded Pareto alpha must be > 0: " << alpha);
+}
+
+double BoundedPareto::sample(Xoshiro256& gen) const {
+  // Inverse transform of F(x) = (1 − (k/x)^α) / (1 − (k/p)^α).
+  const double u = gen.next_double();
+  const double kp_alpha = std::pow(lower_ / upper_, alpha_);
+  const double x =
+      lower_ / std::pow(1.0 - u * (1.0 - kp_alpha), 1.0 / alpha_);
+  // Clamp for floating point edge cases at u -> 1.
+  return std::fmin(x, upper_);
+}
+
+double BoundedPareto::moment(int r) const {
+  HS_CHECK(r >= 1, "moment order must be >= 1, got " << r);
+  const double k = lower_, p = upper_, a = alpha_;
+  const double norm = std::pow(k, a) / (1.0 - std::pow(k / p, a));
+  const double rd = static_cast<double>(r);
+  if (std::fabs(a - rd) < 1e-12) {
+    // ∫ α k^α x^{r-α-1} dx with r == α gives a log.
+    return norm * a * std::log(p / k);
+  }
+  return norm * a / (rd - a) *
+         (std::pow(p, rd - a) - std::pow(k, rd - a));
+}
+
+double BoundedPareto::mean() const { return moment(1); }
+
+double BoundedPareto::variance() const {
+  const double m = mean();
+  return moment(2) - m * m;
+}
+
+std::string BoundedPareto::name() const {
+  std::ostringstream oss;
+  oss << "BoundedPareto(k=" << lower_ << ", p=" << upper_
+      << ", alpha=" << alpha_ << ")";
+  return oss.str();
+}
+
+// --------------------------------------------------------------------- Erlang
+
+Erlang::Erlang(int k, double rate) : k_(k), rate_(rate) {
+  HS_CHECK(k >= 1, "Erlang stage count must be >= 1, got " << k);
+  HS_CHECK(rate > 0.0, "Erlang rate must be positive, got " << rate);
+}
+
+double Erlang::sample(Xoshiro256& gen) const {
+  // Product of uniforms trick: sum of k Exp(rate) = −log(Π uᵢ)/rate.
+  double product = 1.0;
+  for (int i = 0; i < k_; ++i) {
+    product *= gen.next_double_open0();
+  }
+  return -std::log(product) / rate_;
+}
+
+std::string Erlang::name() const {
+  std::ostringstream oss;
+  oss << "Erlang(k=" << k_ << ", rate=" << rate_ << ")";
+  return oss.str();
+}
+
+// -------------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  HS_CHECK(shape > 0.0, "Weibull shape must be positive, got " << shape);
+  HS_CHECK(scale > 0.0, "Weibull scale must be positive, got " << scale);
+}
+
+double Weibull::sample(Xoshiro256& gen) const {
+  return scale_ *
+         std::pow(-std::log(gen.next_double_open0()), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+std::string Weibull::name() const {
+  std::ostringstream oss;
+  oss << "Weibull(shape=" << shape_ << ", scale=" << scale_ << ")";
+  return oss.str();
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu_log, double sigma_log)
+    : mu_log_(mu_log), sigma_log_(sigma_log) {
+  HS_CHECK(sigma_log >= 0.0, "lognormal sigma must be >= 0: " << sigma_log);
+}
+
+double sample_standard_normal(Xoshiro256& gen) {
+  const double u1 = gen.next_double_open0();
+  const double u2 = gen.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double LogNormal::sample(Xoshiro256& gen) const {
+  return std::exp(mu_log_ + sigma_log_ * sample_standard_normal(gen));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_log_ + 0.5 * sigma_log_ * sigma_log_);
+}
+
+double LogNormal::variance() const {
+  const double s2 = sigma_log_ * sigma_log_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_log_ + s2);
+}
+
+std::string LogNormal::name() const {
+  std::ostringstream oss;
+  oss << "LogNormal(mu=" << mu_log_ << ", sigma=" << sigma_log_ << ")";
+  return oss.str();
+}
+
+// ------------------------------------------------------------- DiscreteChoice
+
+DiscreteChoice::DiscreteChoice(std::vector<double> weights) {
+  HS_CHECK(!weights.empty(), "discrete choice needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    HS_CHECK(w >= 0.0, "negative weight " << w);
+    total += w;
+  }
+  HS_CHECK(total > 0.0, "weights must not all be zero");
+  cumulative_.reserve(weights.size());
+  probabilities_.reserve(weights.size());
+  double running = 0.0;
+  for (double w : weights) {
+    running += w / total;
+    cumulative_.push_back(running);
+    probabilities_.push_back(w / total);
+  }
+  cumulative_.back() = 1.0;
+}
+
+size_t DiscreteChoice::sample(Xoshiro256& gen) const {
+  const double u = gen.next_double();
+  // Binary search for the first cumulative weight > u.
+  size_t lo = 0, hi = cumulative_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cumulative_[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double DiscreteChoice::probability(size_t i) const {
+  HS_CHECK(i < probabilities_.size(), "index out of range: " << i);
+  return probabilities_[i];
+}
+
+}  // namespace hs::rng

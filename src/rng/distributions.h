@@ -1,0 +1,210 @@
+// Random variate distributions for the workload model.
+//
+// The paper's simulation (§4.1) needs:
+//  * Bounded Pareto B(k, p, α) job sizes (heavy-tailed, k=10 s, p=21600 s,
+//    α=1.0 → mean 76.8 s),
+//  * two-stage hyperexponential inter-arrival times fit to a target mean
+//    and coefficient of variation (CV = 3.0),
+//  * exponential message transfer delays (mean 0.05 s) and U(0,1)
+//    departure detection delays for the Dynamic Least-Load baseline.
+// Exponential sizes/arrivals are also provided to validate the simulator
+// against M/M/1-PS closed forms, plus a few extra shapes (Erlang, Weibull,
+// lognormal) for sensitivity studies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace hs::rng {
+
+/// Abstract real-valued distribution. Implementations are immutable after
+/// construction; all state lives in the caller-supplied generator, so one
+/// distribution object can serve many independent streams.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draw one variate.
+  [[nodiscard]] virtual double sample(Xoshiro256& gen) const = 0;
+  /// Analytic mean (used to size workloads so the target utilization is hit).
+  [[nodiscard]] virtual double mean() const = 0;
+  /// Analytic variance; may be infinity for heavy tails with α <= 2.
+  [[nodiscard]] virtual double variance() const = 0;
+  /// Human-readable description for logs and reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Coefficient of variation σ/μ (infinity if the variance diverges).
+  [[nodiscard]] double cv() const;
+};
+
+/// Exponential(rate): mean 1/rate.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+
+  [[nodiscard]] double sample(Xoshiro256& gen) const override;
+  [[nodiscard]] double mean() const override { return 1.0 / rate_; }
+  [[nodiscard]] double variance() const override {
+    return 1.0 / (rate_ * rate_);
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Uniform on [lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+
+  [[nodiscard]] double sample(Xoshiro256& gen) const override;
+  [[nodiscard]] double mean() const override { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] double variance() const override {
+    return (hi_ - lo_) * (hi_ - lo_) / 12.0;
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Point mass at `value` (CV = 0); useful for deterministic experiments.
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value);
+
+  [[nodiscard]] double sample(Xoshiro256& gen) const override;
+  [[nodiscard]] double mean() const override { return value_; }
+  [[nodiscard]] double variance() const override { return 0.0; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double value_;
+};
+
+/// Two-stage hyperexponential H2: with probability p draw Exp(rate1), else
+/// Exp(rate2). Models bursty (CV > 1) inter-arrival processes.
+class HyperExponential2 final : public Distribution {
+ public:
+  HyperExponential2(double p, double rate1, double rate2);
+
+  /// Balanced-means fit: the unique H2 with p·(1/rate1) = (1−p)·(1/rate2)
+  /// matching the given mean and CV (requires cv >= 1).
+  static HyperExponential2 fit_mean_cv(double mean, double cv);
+
+  [[nodiscard]] double sample(Xoshiro256& gen) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double p() const { return p_; }
+  [[nodiscard]] double rate1() const { return rate1_; }
+  [[nodiscard]] double rate2() const { return rate2_; }
+
+ private:
+  double p_;
+  double rate1_;
+  double rate2_;
+};
+
+/// Bounded Pareto B(k, p, α) with density
+///   f(x) = α k^α / (1 − (k/p)^α) · x^(−α−1),  k <= x <= p.
+/// The paper's job-size model: B(10 s, 21600 s, 1.0), mean 76.8 s.
+class BoundedPareto final : public Distribution {
+ public:
+  BoundedPareto(double lower, double upper, double alpha);
+
+  [[nodiscard]] double sample(Xoshiro256& gen) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double lower() const { return lower_; }
+  [[nodiscard]] double upper() const { return upper_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+  /// Raw moment E[X^r].
+  [[nodiscard]] double moment(int r) const;
+
+ private:
+  double lower_;
+  double upper_;
+  double alpha_;
+};
+
+/// Erlang-k (sum of k exponentials), CV = 1/sqrt(k) < 1.
+class Erlang final : public Distribution {
+ public:
+  Erlang(int k, double rate);
+
+  [[nodiscard]] double sample(Xoshiro256& gen) const override;
+  [[nodiscard]] double mean() const override {
+    return static_cast<double>(k_) / rate_;
+  }
+  [[nodiscard]] double variance() const override {
+    return static_cast<double>(k_) / (rate_ * rate_);
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int k_;
+  double rate_;
+};
+
+/// Weibull(shape, scale).
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+
+  [[nodiscard]] double sample(Xoshiro256& gen) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Lognormal with the given mean and sigma of the underlying normal.
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu_log, double sigma_log);
+
+  [[nodiscard]] double sample(Xoshiro256& gen) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double mu_log_;
+  double sigma_log_;
+};
+
+/// Standard normal variate via Box–Muller (polar form avoided for
+/// statelessness; both values of the pair are not cached).
+[[nodiscard]] double sample_standard_normal(Xoshiro256& gen);
+
+/// Weighted discrete choice: returns index i with probability weights[i]/Σ.
+/// Weights must be non-negative with a positive sum.
+class DiscreteChoice {
+ public:
+  explicit DiscreteChoice(std::vector<double> weights);
+
+  [[nodiscard]] size_t sample(Xoshiro256& gen) const;
+  [[nodiscard]] size_t size() const { return cumulative_.size(); }
+  /// Normalized probability of index i.
+  [[nodiscard]] double probability(size_t i) const;
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative sums, back()==1
+  std::vector<double> probabilities_;
+};
+
+}  // namespace hs::rng

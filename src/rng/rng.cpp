@@ -1,0 +1,105 @@
+#include "rng/rng.h"
+
+#include "util/check.h"
+
+namespace hs::rng {
+
+namespace {
+
+constexpr uint64_t rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64::next() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) {
+    word = sm.next();
+  }
+}
+
+uint64_t Xoshiro256::next_u64() {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() {
+  // Top 53 bits scaled by 2^-53: uniform on [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::next_double_open0() {
+  // 1 - [0,1) gives (0,1]; log() of the result is always finite.
+  return 1.0 - next_double();
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+uint64_t Xoshiro256::next_below(uint64_t n) {
+  HS_CHECK(n > 0, "next_below(0)");
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+void Xoshiro256::jump() {
+  static constexpr uint64_t kJump[] = {0x180EC6D33CFD0ABAull,
+                                       0xD5A61266F0C9392Cull,
+                                       0xA9582618E03FC9AAull,
+                                       0x39ABDC4529B1661Cull};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ull << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      next_u64();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
+Xoshiro256 Xoshiro256::stream(unsigned k) const {
+  Xoshiro256 copy = *this;
+  for (unsigned i = 0; i < k; ++i) {
+    copy.jump();
+  }
+  return copy;
+}
+
+uint64_t derive_seed(uint64_t base_seed, uint64_t replication,
+                     uint64_t component) {
+  // Mix the triple through SplitMix64 twice; adjacent triples map to
+  // statistically unrelated seeds.
+  SplitMix64 sm(base_seed ^ (replication * 0x9E3779B97F4A7C15ull) ^
+                (component * 0xC2B2AE3D27D4EB4Full));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace hs::rng

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// The paper's methodology (§4.1) averages each data point over 10
+// independent runs with different random number streams. We implement
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64, with a
+// jump() function that advances 2^128 steps so replications and workload
+// components draw from provably non-overlapping streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hs::rng {
+
+/// SplitMix64 — used to expand a 64-bit seed into generator state.
+/// Also a valid (if weaker) generator in its own right.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0. Fast, high-quality, 256-bit state, period 2^256 − 1.
+class Xoshiro256 {
+ public:
+  /// Seed via SplitMix64 so that low-entropy seeds (0, 1, 2, …) still
+  /// produce well-distributed state.
+  explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform double in (0, 1] — never returns 0, safe for log() transforms.
+  double next_double_open0();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t next_below(uint64_t n);
+
+  /// Advance 2^128 steps. Partitions the sequence into non-overlapping
+  /// streams of length 2^128 — call k times to reach stream k.
+  void jump();
+
+  /// A generator k jump-lengths ahead of *this (stream #k relative to it).
+  [[nodiscard]] Xoshiro256 stream(unsigned k) const;
+
+  /// UniformRandomBitGenerator interface (lets <random> adaptors work too).
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+/// Deterministic per-(experiment, replication, component) seed derivation.
+/// Produces well-separated 64-bit seeds by hashing the triple; components
+/// are things like "arrival process" vs "job sizes" vs "message delays".
+[[nodiscard]] uint64_t derive_seed(uint64_t base_seed, uint64_t replication,
+                                   uint64_t component);
+
+}  // namespace hs::rng

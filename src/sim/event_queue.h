@@ -1,0 +1,89 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, sequence number). Sequence numbers
+// make the order of simultaneous events deterministic (FIFO in scheduling
+// order), which is essential for reproducible replications. Cancellation
+// is O(1) via generation-checked handles with lazy removal from the heap:
+// the PS server reschedules its next-departure event on every arrival, so
+// cancel must be cheap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hs::sim {
+
+/// Opaque handle to a scheduled event. Default-constructed handles are
+/// invalid. A handle stays unique even after its slot is reused because it
+/// embeds a generation counter.
+struct EventHandle {
+  uint32_t slot = 0;
+  uint32_t generation = 0;
+
+  [[nodiscard]] bool valid() const { return generation != 0; }
+  friend bool operator==(const EventHandle&, const EventHandle&) = default;
+};
+
+/// Min-heap of (time, callback) with deterministic tie-breaking and O(1)
+/// cancellation. Not thread-safe; the simulator is single-threaded by
+/// design (parallelism in experiments comes from independent replications).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue();
+
+  /// Schedule `fn` at absolute time `time`. Times may repeat; equal times
+  /// fire in scheduling order.
+  EventHandle push(double time, Callback fn);
+
+  /// Cancel a pending event. Returns false if the event already fired or
+  /// was cancelled (both are safe to attempt).
+  bool cancel(EventHandle handle);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] double next_time() const;
+
+  /// Remove and return the earliest live event's (time, callback).
+  /// Precondition: !empty().
+  std::pair<double, Callback> pop();
+
+  /// Total push() calls over the queue's lifetime (throughput statistics).
+  [[nodiscard]] uint64_t total_scheduled() const { return total_scheduled_; }
+  /// Total events cancelled before firing.
+  [[nodiscard]] uint64_t total_cancelled() const { return total_cancelled_; }
+
+ private:
+  struct HeapEntry {
+    double time;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+  };
+  struct Slot {
+    Callback callback;
+    uint32_t generation = 0;  // odd = live, even = free
+    uint32_t next_free = 0;
+  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b);
+  void sift_up(size_t i);
+  void sift_down(size_t i);
+  /// Pop dead (cancelled) entries off the heap top.
+  void drop_dead_top();
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_;  // index+1 into slots_, 0 = none
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+  uint64_t total_scheduled_ = 0;
+  uint64_t total_cancelled_ = 0;
+};
+
+}  // namespace hs::sim

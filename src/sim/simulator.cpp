@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace hs::sim {
+
+EventHandle Simulator::schedule_in(double delay, EventQueue::Callback fn) {
+  HS_CHECK(delay >= 0.0, "cannot schedule in the past: delay=" << delay);
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(double time, EventQueue::Callback fn) {
+  HS_CHECK(time >= now_, "cannot schedule in the past: time=" << time
+                                                              << " now=" << now_);
+  return queue_.push(time, std::move(fn));
+}
+
+void Simulator::run_until(double end_time) {
+  HS_CHECK(end_time >= now_, "end_time " << end_time << " before now " << now_);
+  while (!queue_.empty() && queue_.next_time() <= end_time) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    ++events_fired_;
+    fn();
+  }
+  if (now_ < end_time) {
+    now_ = end_time;
+  }
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    ++events_fired_;
+    fn();
+  }
+}
+
+}  // namespace hs::sim

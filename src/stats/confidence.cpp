@@ -1,0 +1,103 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace hs::stats {
+
+double inverse_normal_cdf(double p) {
+  HS_CHECK(p > 0.0 && p < 1.0, "inverse normal CDF needs p in (0,1): " << p);
+  // Peter Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One step of Halley refinement against the normal CDF.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double t_quantile(double p, unsigned df) {
+  HS_CHECK(p > 0.0 && p < 1.0, "t quantile needs p in (0,1): " << p);
+  HS_CHECK(df >= 1, "t quantile needs df >= 1");
+  if (p == 0.5) {
+    return 0.0;
+  }
+  // Exact closed forms for very small df where expansions are weakest.
+  if (df == 1) {
+    return std::tan(M_PI * (p - 0.5));
+  }
+  if (df == 2) {
+    const double alpha = 2.0 * p - 1.0;
+    return alpha * std::sqrt(2.0 / (1.0 - alpha * alpha));
+  }
+  // Cornish–Fisher expansion around the normal quantile.
+  const double z = inverse_normal_cdf(p);
+  const double n = static_cast<double>(df);
+  const double z2 = z * z;
+  const double g1 = (z2 + 1.0) * z / 4.0;
+  const double g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+  const double g3 = (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+  const double g4 =
+      ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 - 945.0) * z /
+      92160.0;
+  return z + g1 / n + g2 / (n * n) + g3 / (n * n * n) +
+         g4 / (n * n * n * n);
+}
+
+double ConfidenceInterval::relative_half_width() const {
+  if (mean == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return half_width / std::fabs(mean);
+}
+
+ConfidenceInterval mean_confidence_interval(std::span<const double> samples,
+                                            double confidence) {
+  HS_CHECK(!samples.empty(), "confidence interval needs at least one sample");
+  HS_CHECK(confidence > 0.0 && confidence < 1.0,
+           "confidence must be in (0,1): " << confidence);
+  ConfidenceInterval ci;
+  ci.n = static_cast<unsigned>(samples.size());
+  ci.mean = util::mean(samples);
+  ci.stddev = util::sample_stddev(samples);
+  if (samples.size() >= 2) {
+    const double t =
+        t_quantile(0.5 + confidence / 2.0, ci.n - 1);
+    ci.half_width = t * ci.stddev / std::sqrt(static_cast<double>(ci.n));
+  }
+  return ci;
+}
+
+}  // namespace hs::stats

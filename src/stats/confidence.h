@@ -1,0 +1,40 @@
+// Confidence intervals for replicated simulation experiments.
+//
+// Each data point in the paper's plots is the average of 10 independent
+// runs (§4.1); we attach Student-t confidence intervals to the
+// replication means so bench output reports both the point estimate and
+// its statistical precision.
+#pragma once
+
+#include <span>
+
+namespace hs::stats {
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation,
+/// relative error < 1.15e-9). p in (0, 1).
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+/// Upper quantile of Student's t with `df` degrees of freedom:
+/// returns t such that P(T <= t) = p. Uses Hill's approximation refined by
+/// the Cornish–Fisher expansion; accurate to ~1e-4 for df >= 1.
+[[nodiscard]] double t_quantile(double p, unsigned df);
+
+/// Result of a replication analysis.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  // CI is [mean - hw, mean + hw]
+  double stddev = 0.0;      // sample stddev across replications
+  unsigned n = 0;
+
+  [[nodiscard]] double lower() const { return mean - half_width; }
+  [[nodiscard]] double upper() const { return mean + half_width; }
+  /// Relative half width (hw / |mean|); infinity for mean == 0.
+  [[nodiscard]] double relative_half_width() const;
+};
+
+/// Student-t confidence interval for the mean of `samples` at the given
+/// confidence level (default 95%). One sample => zero-width interval.
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(
+    std::span<const double> samples, double confidence = 0.95);
+
+}  // namespace hs::stats

@@ -1,0 +1,107 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hs::stats {
+
+Histogram::Histogram(double lo, double hi, size_t bins, Scale scale)
+    : lo_(lo), hi_(hi), scale_(scale), counts_(bins, 0) {
+  HS_CHECK(bins >= 1, "histogram needs at least one bin");
+  HS_CHECK(lo < hi, "histogram bounds reversed: [" << lo << ", " << hi << ")");
+  if (scale_ == Scale::kLog) {
+    HS_CHECK(lo > 0.0, "log-scale histogram needs lo > 0, got " << lo);
+    log_lo_ = std::log(lo);
+    log_hi_ = std::log(hi);
+  }
+}
+
+double Histogram::position(double x) const {
+  if (scale_ == Scale::kLinear) {
+    return (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  }
+  return (std::log(x) - log_lo_) / (log_hi_ - log_lo_) *
+         static_cast<double>(counts_.size());
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<size_t>(position(x));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+uint64_t Histogram::count(size_t bin) const {
+  HS_CHECK(bin < counts_.size(), "bin index out of range: " << bin);
+  return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_range(size_t bin) const {
+  HS_CHECK(bin < counts_.size(), "bin index out of range: " << bin);
+  const double n = static_cast<double>(counts_.size());
+  if (scale_ == Scale::kLinear) {
+    const double width = (hi_ - lo_) / n;
+    return {lo_ + width * static_cast<double>(bin),
+            lo_ + width * static_cast<double>(bin + 1)};
+  }
+  const double lw = (log_hi_ - log_lo_) / n;
+  return {std::exp(log_lo_ + lw * static_cast<double>(bin)),
+          std::exp(log_lo_ + lw * static_cast<double>(bin + 1))};
+}
+
+double Histogram::quantile(double q) const {
+  HS_CHECK(total_ > 0, "quantile of empty histogram");
+  HS_CHECK(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: " << q);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) {
+    return lo_;
+  }
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cumulative + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const auto [bin_lo, bin_hi] = bin_range(b);
+      const double frac =
+          (target - cumulative) / static_cast<double>(counts_[b]);
+      return bin_lo + frac * (bin_hi - bin_lo);
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(size_t max_width) const {
+  std::ostringstream oss;
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const auto [bin_lo, bin_hi] = bin_range(b);
+    const auto bar_len = static_cast<size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    oss << "[" << bin_lo << ", " << bin_hi << "): "
+        << std::string(bar_len, '#') << " " << counts_[b] << '\n';
+  }
+  if (underflow_ > 0) {
+    oss << "underflow: " << underflow_ << '\n';
+  }
+  if (overflow_ > 0) {
+    oss << "overflow: " << overflow_ << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace hs::stats

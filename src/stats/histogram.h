@@ -1,0 +1,55 @@
+// Fixed-bin and logarithmic histograms for response-time distributions.
+//
+// Bench binaries report mean metrics (as the paper does) but the
+// histograms let examples and tests inspect whole distributions — e.g.
+// the heavy tail of Bounded Pareto response times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hs::stats {
+
+/// Histogram over [lo, hi) with uniform or logarithmic bins, plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  enum class Scale { kLinear, kLog };
+
+  /// For kLog, lo must be > 0.
+  Histogram(double lo, double hi, size_t bins, Scale scale = Scale::kLinear);
+
+  void add(double x);
+
+  [[nodiscard]] size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] uint64_t count(size_t bin) const;
+  [[nodiscard]] uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] uint64_t total() const { return total_; }
+
+  /// [lower, upper) edges of a bin.
+  [[nodiscard]] std::pair<double, double> bin_range(size_t bin) const;
+
+  /// Approximate quantile by linear interpolation within the bin.
+  /// q in [0, 1]. Requires total() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  [[nodiscard]] std::string render(size_t max_width = 60) const;
+
+ private:
+  [[nodiscard]] double position(double x) const;  // fractional bin index
+
+  double lo_;
+  double hi_;
+  Scale scale_;
+  double log_lo_ = 0.0;
+  double log_hi_ = 0.0;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace hs::stats

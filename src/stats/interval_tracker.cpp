@@ -1,0 +1,66 @@
+#include "stats/interval_tracker.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hs::stats {
+
+IntervalDeviationTracker::IntervalDeviationTracker(
+    std::vector<double> expected_fractions, double interval_length)
+    : expected_(std::move(expected_fractions)),
+      interval_length_(interval_length),
+      counts_(expected_.size(), 0) {
+  HS_CHECK(!expected_.empty(), "tracker needs at least one machine");
+  HS_CHECK(interval_length > 0.0,
+           "interval length must be positive: " << interval_length);
+  double sum = 0.0;
+  for (double f : expected_) {
+    HS_CHECK(f >= 0.0, "negative expected fraction " << f);
+    sum += f;
+  }
+  HS_CHECK(std::fabs(sum - 1.0) < 1e-6,
+           "expected fractions must sum to 1, got " << sum);
+}
+
+void IntervalDeviationTracker::close_interval() {
+  double deviation = 0.0;
+  for (size_t i = 0; i < expected_.size(); ++i) {
+    const double actual =
+        interval_total_ == 0
+            ? 0.0
+            : static_cast<double>(counts_[i]) /
+                  static_cast<double>(interval_total_);
+    const double d = expected_[i] - actual;
+    deviation += d * d;
+    counts_[i] = 0;
+  }
+  interval_total_ = 0;
+  deviations_.push_back(deviation);
+  ++current_interval_;
+}
+
+void IntervalDeviationTracker::record(double t, size_t machine) {
+  HS_CHECK(machine < expected_.size(), "machine index out of range: " << machine);
+  HS_CHECK(t >= last_time_, "dispatch times must be non-decreasing: " << t
+                                                                      << " < "
+                                                                      << last_time_);
+  last_time_ = t;
+  const auto interval = static_cast<size_t>(t / interval_length_);
+  while (current_interval_ < interval) {
+    close_interval();
+  }
+  ++counts_[machine];
+  ++interval_total_;
+}
+
+void IntervalDeviationTracker::flush_until(double t) {
+  HS_CHECK(t >= last_time_, "flush time before last record: " << t);
+  last_time_ = t;
+  const auto interval = static_cast<size_t>(t / interval_length_);
+  while (current_interval_ < interval) {
+    close_interval();
+  }
+}
+
+}  // namespace hs::stats

@@ -1,0 +1,53 @@
+// Per-interval workload allocation deviation (Figure 2 metric).
+//
+// The paper compares dispatching strategies by the "workload allocation
+// deviation" Σᵢ(αᵢ − αᵢ′)² measured over consecutive fixed-length
+// intervals, where αᵢ is the expected fraction for machine i and αᵢ′ the
+// fraction of jobs actually dispatched to it within the interval. This
+// tracker consumes (time, machine) dispatch events online and emits the
+// deviation series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hs::stats {
+
+class IntervalDeviationTracker {
+ public:
+  /// `expected_fractions` are the αᵢ; `interval_length` is in seconds
+  /// (paper uses 120 s).
+  IntervalDeviationTracker(std::vector<double> expected_fractions,
+                           double interval_length);
+
+  /// Record a dispatch of one job to `machine` at time `t`.
+  /// Times must be non-decreasing.
+  void record(double t, size_t machine);
+
+  /// Close the interval containing `t` and everything before it, so that
+  /// deviations() includes all data up to `t`.
+  void flush_until(double t);
+
+  /// Deviation value per completed interval, in time order. Intervals
+  /// with zero arrivals contribute Σαᵢ² (all fractions missed).
+  [[nodiscard]] const std::vector<double>& deviations() const {
+    return deviations_;
+  }
+
+  [[nodiscard]] size_t machine_count() const { return expected_.size(); }
+  [[nodiscard]] double interval_length() const { return interval_length_; }
+
+ private:
+  void close_interval();
+
+  std::vector<double> expected_;
+  double interval_length_;
+  size_t current_interval_ = 0;
+  std::vector<uint64_t> counts_;  // dispatches per machine this interval
+  uint64_t interval_total_ = 0;
+  std::vector<double> deviations_;
+  double last_time_ = 0.0;
+};
+
+}  // namespace hs::stats

@@ -1,0 +1,38 @@
+// P² (piecewise-parabolic) streaming quantile estimator.
+//
+// Jain & Chlamtac (1985). Tracks a single quantile in O(1) space without
+// storing observations — used to report tail response times (p95/p99)
+// alongside the paper's mean-based metrics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hs::stats {
+
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.99 for the 99th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate. Exact while fewer than 5 observations have been
+  /// seen (falls back to the sorted sample).
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+
+ private:
+  [[nodiscard]] double parabolic(int i, double d) const;
+  [[nodiscard]] double linear(int i, double d) const;
+
+  double q_;
+  uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights
+  std::array<double, 5> positions_{};  // marker positions (1-based)
+  std::array<double, 5> desired_{};    // desired positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace hs::stats

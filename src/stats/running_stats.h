@@ -1,0 +1,45 @@
+// Single-pass moment accumulation (Welford / Chan parallel update).
+//
+// The simulator processes millions of jobs per run; response times and
+// response ratios are accumulated online without storing samples. The
+// fairness metric of §4.1 — the standard deviation of the response ratio —
+// falls straight out of the second central moment.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hs::stats {
+
+/// Numerically stable streaming mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (Chan et al. pairwise update); used to
+  /// combine statistics across simulation replications or sub-streams.
+  void merge(const RunningStats& other);
+
+  void reset();
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n−1); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  /// Population variance (n); 0 for n < 1.
+  [[nodiscard]] double population_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double population_stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace hs::stats

@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+namespace hs::util {
+
+void throw_check_error(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  std::ostringstream oss;
+  oss << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  throw CheckError(oss.str());
+}
+
+}  // namespace hs::util

@@ -1,0 +1,37 @@
+// Runtime invariant checking for hetsched.
+//
+// HS_CHECK is used at public API boundaries and for internal invariants
+// that must hold regardless of build type (they guard simulation
+// correctness, not performance-critical inner loops). Violations throw
+// hs::util::CheckError carrying the failing expression and a message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hs::util {
+
+/// Exception thrown when an HS_CHECK invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void throw_check_error(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+
+}  // namespace hs::util
+
+/// Check `cond`; on failure throw CheckError with the stringized expression,
+/// source location, and the streamed message (usable as
+/// `HS_CHECK(x > 0, "x must be positive, got " << x)`).
+#define HS_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream hs_check_oss_;                                  \
+      hs_check_oss_ << msg; /* NOLINT */                                 \
+      ::hs::util::throw_check_error(#cond, __FILE__, __LINE__,           \
+                                    hs_check_oss_.str());                \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,121 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace hs::util {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  HS_CHECK(!options_.contains(name), "duplicate option --" << name);
+  options_[name] = Option{default_value, help, /*is_flag=*/false, {}};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  HS_CHECK(!options_.contains(name), "duplicate flag --" << name);
+  options_[name] = Option{"false", help, /*is_flag=*/true, {}};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help_text();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown argument --" + name + "\n" +
+                                  help_text());
+    }
+    Option& opt = it->second;
+    if (opt.is_flag) {
+      if (has_inline_value) {
+        throw std::invalid_argument("flag --" + name + " takes no value");
+      }
+      opt.value = "true";
+    } else if (has_inline_value) {
+      opt.value = value;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + name);
+      }
+      opt.value = argv[++i];
+    }
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name) const {
+  auto it = options_.find(name);
+  HS_CHECK(it != options_.end(), "option --" << name << " was not registered");
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  const Option& opt = find(name);
+  return opt.value.value_or(opt.default_value);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string text = get_string(name);
+  size_t pos = 0;
+  double result = std::stod(text, &pos);
+  if (pos != text.size()) {
+    throw std::invalid_argument("--" + name + ": not a number: " + text);
+  }
+  return result;
+}
+
+long ArgParser::get_long(const std::string& name) const {
+  const std::string text = get_string(name);
+  size_t pos = 0;
+  long result = std::stol(text, &pos);
+  if (pos != text.size()) {
+    throw std::invalid_argument("--" + name + ": not an integer: " + text);
+  }
+  return result;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const Option& opt = find(name);
+  HS_CHECK(opt.is_flag, "--" << name << " is an option, not a flag");
+  return opt.value.has_value();
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream oss;
+  oss << description_ << "\n\noptions:\n";
+  for (const std::string& name : order_) {
+    const Option& opt = options_.at(name);
+    oss << "  --" << name;
+    if (!opt.is_flag) {
+      oss << " <value> (default: " << opt.default_value << ")";
+    }
+    oss << "\n      " << opt.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace hs::util

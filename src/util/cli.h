@@ -1,0 +1,54 @@
+// Minimal command-line argument parser for bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` arguments
+// with typed accessors and defaults. Unknown arguments are an error, so a
+// typo in a sweep script fails loudly instead of silently running with
+// defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hs::util {
+
+/// Declarative CLI parser. Register options first, then parse().
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Register a string-valued option (also used for numeric options).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Register a boolean flag (present => true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false (after printing help) if --help was given.
+  /// Throws std::invalid_argument on unknown or malformed arguments.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] long get_long(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Render the help text (program description plus option table).
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    std::optional<std::string> value;
+  };
+
+  const Option& find(const std::string& name) const;
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace hs::util

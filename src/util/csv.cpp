@@ -1,0 +1,78 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hs::util {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream iss(line);
+  while (std::getline(iss, field, ',')) {
+    fields.push_back(field);
+  }
+  if (!line.empty() && line.back() == ',') {
+    fields.emplace_back();
+  }
+  return fields;
+}
+
+std::vector<std::vector<double>> read_numeric_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open CSV file: " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::vector<double> row;
+    for (const std::string& field : split_csv_line(line)) {
+      try {
+        size_t pos = 0;
+        row.push_back(std::stod(field, &pos));
+        if (pos != field.size()) {
+          throw std::invalid_argument(field);
+        }
+      } catch (const std::exception&) {
+        throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                                 ": non-numeric field '" + field + "'");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_numeric_csv(const std::string& path,
+                       const std::vector<std::vector<double>>& rows,
+                       const std::string& header_comment) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write CSV file: " + path);
+  }
+  if (!header_comment.empty()) {
+    out << "# " << header_comment << '\n';
+  }
+  out.precision(17);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out << ',';
+      }
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("I/O error while writing: " + path);
+  }
+}
+
+}  // namespace hs::util

@@ -1,0 +1,26 @@
+// Tiny CSV reader/writer used by the trace record/replay facility.
+//
+// This is deliberately a minimal dialect: comma-separated numeric fields,
+// '#' comment lines, no quoting — traces are machine-generated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hs::util {
+
+/// Parse a CSV file of doubles. Each returned row is one data line.
+/// Lines starting with '#' and blank lines are skipped.
+/// Throws std::runtime_error on I/O failure or non-numeric fields.
+[[nodiscard]] std::vector<std::vector<double>> read_numeric_csv(
+    const std::string& path);
+
+/// Write rows of doubles as CSV with an optional '#'-prefixed header comment.
+void write_numeric_csv(const std::string& path,
+                       const std::vector<std::vector<double>>& rows,
+                       const std::string& header_comment = "");
+
+/// Split one line on commas (no quoting).
+[[nodiscard]] std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace hs::util

@@ -1,0 +1,70 @@
+#include "util/math_util.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hs::util {
+
+double kahan_sum(std::span<const double> values) {
+  double sum = 0.0;
+  double carry = 0.0;
+  for (double v : values) {
+    const double y = v - carry;
+    const double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  return kahan_sum(values) / static_cast<double>(values.size());
+}
+
+double sample_stddev(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) {
+    ss += (v - m) * (v - m);
+  }
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+bool approx_equal(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) {
+    return true;
+  }
+  return diff <= rel_tol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+double squared_deviation(std::span<const double> a, std::span<const double> b) {
+  HS_CHECK(a.size() == b.size(),
+           "size mismatch: " << a.size() << " vs " << b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+std::vector<double> linspace(double lo, double hi, size_t count) {
+  HS_CHECK(count >= 2, "linspace needs at least 2 points, got " << count);
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;
+  return out;
+}
+
+}  // namespace hs::util

@@ -1,0 +1,32 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hs::util {
+
+/// Compensated (Kahan) summation. Deterministic and accurate for the long
+/// metric accumulations done by the simulator.
+[[nodiscard]] double kahan_sum(std::span<const double> values);
+
+/// Arithmetic mean; returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+[[nodiscard]] double sample_stddev(std::span<const double> values);
+
+/// Relative approximate equality with an absolute floor for values near 0.
+[[nodiscard]] bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                                double abs_tol = 1e-12);
+
+/// Sum of squared differences between two equal-length vectors: Σ(aᵢ−bᵢ)².
+/// Used for the workload allocation deviation metric of Figure 2.
+[[nodiscard]] double squared_deviation(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Linearly spaced values from lo to hi inclusive (count >= 2).
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, size_t count);
+
+}  // namespace hs::util

@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hs::util {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::begin_row() { rows_.emplace_back(); }
+
+void TablePrinter::cell(const std::string& value) {
+  HS_CHECK(!rows_.empty(), "cell() before begin_row()");
+  HS_CHECK(rows_.back().size() < headers_.size(),
+           "row already has " << headers_.size() << " cells");
+  rows_.back().push_back(value);
+}
+
+void TablePrinter::cell(double value, int precision) {
+  cell(format_double(value, precision));
+}
+
+void TablePrinter::cell(long value) { cell(std::to_string(value)); }
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  HS_CHECK(row.size() == headers_.size(),
+           "row width " << row.size() << " != header width "
+                        << headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& value = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << value;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << ',';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+}  // namespace hs::util

@@ -1,0 +1,44 @@
+// Aligned plain-text table rendering for bench output.
+//
+// Every bench binary reproduces one table or figure from the paper; the
+// TablePrinter renders the rows/series it reports in a stable, diffable
+// layout (and optionally CSV for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hs::util {
+
+/// Column-aligned text table. Cells are strings; numeric convenience
+/// overloads format with a fixed precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Start a new row. Subsequent cell() calls append to it.
+  void begin_row();
+  void cell(const std::string& value);
+  void cell(double value, int precision = 4);
+  void cell(long value);
+
+  /// Append a fully formed row (must match the header width).
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] size_t row_count() const { return rows_.size(); }
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+  /// Render as CSV (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with benches).
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+}  // namespace hs::util

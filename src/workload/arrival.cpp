@@ -1,0 +1,127 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hs::workload {
+
+// ------------------------------------------------------------ Poisson
+
+PoissonArrivals::PoissonArrivals(double rate) : interarrival_(rate) {}
+
+double PoissonArrivals::next_interarrival(rng::Xoshiro256& gen) {
+  return interarrival_.sample(gen);
+}
+
+double PoissonArrivals::mean_interarrival() const {
+  return interarrival_.mean();
+}
+
+std::string PoissonArrivals::name() const {
+  std::ostringstream oss;
+  oss << "Poisson(rate=" << interarrival_.rate() << ")";
+  return oss.str();
+}
+
+// ----------------------------------------------------------- HyperExp
+
+HyperExpArrivals::HyperExpArrivals(double mean_interarrival, double cv)
+    : interarrival_(rng::HyperExponential2::fit_mean_cv(mean_interarrival,
+                                                        cv)) {}
+
+double HyperExpArrivals::next_interarrival(rng::Xoshiro256& gen) {
+  return interarrival_.sample(gen);
+}
+
+double HyperExpArrivals::mean_interarrival() const {
+  return interarrival_.mean();
+}
+
+double HyperExpArrivals::cv() const { return interarrival_.cv(); }
+
+std::string HyperExpArrivals::name() const {
+  std::ostringstream oss;
+  oss << "HyperExp(mean=" << interarrival_.mean() << ", cv=" << cv() << ")";
+  return oss.str();
+}
+
+// ------------------------------------------------------ Deterministic
+
+DeterministicArrivals::DeterministicArrivals(double interval)
+    : interval_(interval) {
+  HS_CHECK(interval > 0.0, "arrival interval must be positive: " << interval);
+}
+
+double DeterministicArrivals::next_interarrival(rng::Xoshiro256& /*gen*/) {
+  return interval_;
+}
+
+std::string DeterministicArrivals::name() const {
+  std::ostringstream oss;
+  oss << "Deterministic(interval=" << interval_ << ")";
+  return oss.str();
+}
+
+// -------------------------------------------------------------- MMPP2
+
+Mmpp2Arrivals::Mmpp2Arrivals(double rate1, double rate2, double hold1,
+                             double hold2)
+    : rate1_(rate1), rate2_(rate2), hold1_(hold1), hold2_(hold2) {
+  HS_CHECK(rate1 > 0.0 && rate2 > 0.0,
+           "MMPP rates must be positive: " << rate1 << ", " << rate2);
+  HS_CHECK(hold1 > 0.0 && hold2 > 0.0,
+           "MMPP holding times must be positive: " << hold1 << ", " << hold2);
+}
+
+void Mmpp2Arrivals::reset() {
+  state_ = 0;
+  switch_armed_ = false;
+}
+
+double Mmpp2Arrivals::next_interarrival(rng::Xoshiro256& gen) {
+  // Competing exponentials: within the current state, the next arrival
+  // races against the next state switch; accumulate time across switches
+  // until an arrival wins.
+  double elapsed = 0.0;
+  for (;;) {
+    const double rate = state_ == 0 ? rate1_ : rate2_;
+    const double hold = state_ == 0 ? hold1_ : hold2_;
+    if (!switch_armed_) {
+      time_to_switch_ = -std::log(gen.next_double_open0()) * hold;
+      switch_armed_ = true;
+    }
+    const double to_arrival = -std::log(gen.next_double_open0()) / rate;
+    if (to_arrival < time_to_switch_) {
+      time_to_switch_ -= to_arrival;
+      return elapsed + to_arrival;
+    }
+    elapsed += time_to_switch_;
+    state_ = 1 - state_;
+    switch_armed_ = false;
+  }
+}
+
+double Mmpp2Arrivals::mean_interarrival() const {
+  // Stationary state probabilities are proportional to holding times;
+  // the long-run arrival rate is the probability-weighted rate.
+  const double pi1 = hold1_ / (hold1_ + hold2_);
+  const double mean_rate = pi1 * rate1_ + (1.0 - pi1) * rate2_;
+  return 1.0 / mean_rate;
+}
+
+double Mmpp2Arrivals::cv() const {
+  // No simple closed form for the interval CV of an MMPP; report the
+  // Poisson lower bound. Callers needing the exact value should measure.
+  return 1.0;
+}
+
+std::string Mmpp2Arrivals::name() const {
+  std::ostringstream oss;
+  oss << "MMPP2(rates=" << rate1_ << "/" << rate2_ << ", holds=" << hold1_
+      << "/" << hold2_ << ")";
+  return oss.str();
+}
+
+}  // namespace hs::workload

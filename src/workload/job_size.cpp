@@ -1,0 +1,39 @@
+#include "workload/job_size.h"
+
+#include "util/check.h"
+
+namespace hs::workload {
+
+JobSizeModel::JobSizeModel(std::unique_ptr<rng::Distribution> dist)
+    : dist_(std::move(dist)) {
+  HS_CHECK(dist_ != nullptr, "null size distribution");
+}
+
+double JobSizeModel::sample(rng::Xoshiro256& gen) const {
+  return dist_->sample(gen);
+}
+
+JobSizeModel JobSizeModel::paper_default() {
+  return bounded_pareto(1.0);
+}
+
+JobSizeModel JobSizeModel::bounded_pareto(double alpha, double lower,
+                                          double upper) {
+  return JobSizeModel(
+      std::make_unique<rng::BoundedPareto>(lower, upper, alpha));
+}
+
+JobSizeModel JobSizeModel::exponential(double mean) {
+  HS_CHECK(mean > 0.0, "mean job size must be positive: " << mean);
+  return JobSizeModel(std::make_unique<rng::Exponential>(1.0 / mean));
+}
+
+JobSizeModel JobSizeModel::deterministic(double size) {
+  return JobSizeModel(std::make_unique<rng::Deterministic>(size));
+}
+
+double paper_mean_job_size() {
+  return rng::BoundedPareto(10.0, 21600.0, 1.0).mean();
+}
+
+}  // namespace hs::workload

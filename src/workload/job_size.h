@@ -1,0 +1,45 @@
+// Job size (service demand) models.
+//
+// §4.1: job sizes in most computing systems are heavy-tailed; the paper
+// uses Bounded Pareto B(k=10 s, p=21600 s, α=1.0), mean 76.8 s. Sizes are
+// in base-speed seconds: a machine of speed s finishes a size-x job in
+// x/s seconds when running it alone.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rng/distributions.h"
+
+namespace hs::workload {
+
+/// Thin ownership wrapper around a size distribution, carrying the
+/// paper's defaults.
+class JobSizeModel {
+ public:
+  explicit JobSizeModel(std::unique_ptr<rng::Distribution> dist);
+
+  [[nodiscard]] double sample(rng::Xoshiro256& gen) const;
+  [[nodiscard]] double mean() const { return dist_->mean(); }
+  [[nodiscard]] double cv() const { return dist_->cv(); }
+  [[nodiscard]] std::string name() const { return dist_->name(); }
+
+  /// The paper's default: BoundedPareto(10, 21600, 1.0), mean 76.8 s.
+  static JobSizeModel paper_default();
+  /// Bounded Pareto with custom tail index (ablation A3); bounds default
+  /// to the paper's.
+  static JobSizeModel bounded_pareto(double alpha, double lower = 10.0,
+                                     double upper = 21600.0);
+  /// Exponential sizes with the given mean (for M/M/1 validation).
+  static JobSizeModel exponential(double mean);
+  /// Fixed-size jobs (deterministic tests).
+  static JobSizeModel deterministic(double size);
+
+ private:
+  std::unique_ptr<rng::Distribution> dist_;
+};
+
+/// The paper's default mean job size, E[B(10, 21600, 1.0)] ≈ 76.8 s.
+[[nodiscard]] double paper_mean_job_size();
+
+}  // namespace hs::workload

@@ -1,0 +1,89 @@
+#include "workload/spec.h"
+
+#include <sstream>
+
+#include "rng/distributions.h"
+#include "util/check.h"
+
+namespace hs::workload {
+
+WorkloadSpec WorkloadSpec::paper_default() { return WorkloadSpec{}; }
+
+double WorkloadSpec::mean_job_size() const {
+  switch (size_kind) {
+    case SizeKind::kBoundedPareto:
+      return rng::BoundedPareto(pareto_lower, pareto_upper, pareto_alpha)
+          .mean();
+    case SizeKind::kExponential:
+    case SizeKind::kDeterministic:
+      return fixed_or_mean_size;
+  }
+  HS_CHECK(false, "unreachable size kind");
+  return 0.0;
+}
+
+JobSizeModel WorkloadSpec::make_size_model() const {
+  switch (size_kind) {
+    case SizeKind::kBoundedPareto:
+      return JobSizeModel::bounded_pareto(pareto_alpha, pareto_lower,
+                                          pareto_upper);
+    case SizeKind::kExponential:
+      return JobSizeModel::exponential(fixed_or_mean_size);
+    case SizeKind::kDeterministic:
+      return JobSizeModel::deterministic(fixed_or_mean_size);
+  }
+  HS_CHECK(false, "unreachable size kind");
+  return JobSizeModel::deterministic(1.0);
+}
+
+std::unique_ptr<ArrivalProcess> WorkloadSpec::make_arrivals(
+    double lambda) const {
+  HS_CHECK(lambda > 0.0, "arrival rate must be positive: " << lambda);
+  switch (arrival_kind) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonArrivals>(lambda);
+    case ArrivalKind::kHyperExp:
+      return std::make_unique<HyperExpArrivals>(1.0 / lambda, arrival_cv);
+    case ArrivalKind::kDeterministic:
+      return std::make_unique<DeterministicArrivals>(1.0 / lambda);
+  }
+  HS_CHECK(false, "unreachable arrival kind");
+  return nullptr;
+}
+
+double WorkloadSpec::arrival_rate_for(double rho, double total_speed) const {
+  HS_CHECK(rho > 0.0 && rho < 1.0, "rho out of (0,1): " << rho);
+  HS_CHECK(total_speed > 0.0, "total speed must be positive: " << total_speed);
+  return rho * total_speed / mean_job_size();
+}
+
+std::string WorkloadSpec::describe() const {
+  std::ostringstream oss;
+  switch (arrival_kind) {
+    case ArrivalKind::kPoisson:
+      oss << "Poisson arrivals";
+      break;
+    case ArrivalKind::kHyperExp:
+      oss << "HyperExp arrivals (cv=" << arrival_cv << ")";
+      break;
+    case ArrivalKind::kDeterministic:
+      oss << "deterministic arrivals";
+      break;
+  }
+  oss << ", ";
+  switch (size_kind) {
+    case SizeKind::kBoundedPareto:
+      oss << "BoundedPareto(" << pareto_lower << ", " << pareto_upper << ", "
+          << pareto_alpha << ") sizes";
+      break;
+    case SizeKind::kExponential:
+      oss << "Exponential sizes (mean=" << fixed_or_mean_size << ")";
+      break;
+    case SizeKind::kDeterministic:
+      oss << "fixed sizes (" << fixed_or_mean_size << ")";
+      break;
+  }
+  return oss.str();
+}
+
+}  // namespace hs::workload

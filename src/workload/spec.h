@@ -1,0 +1,59 @@
+// Declarative workload specification.
+//
+// A WorkloadSpec pins down everything random about one experiment's
+// demand side: how jobs arrive and how large they are. The arrival rate
+// is usually *derived* — the paper fixes the system utilization ρ and the
+// machine speeds, which determines λ = ρ·Σs/E[size].
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "workload/arrival.h"
+#include "workload/job_size.h"
+
+namespace hs::workload {
+
+enum class ArrivalKind {
+  kPoisson,
+  kHyperExp,       // the paper's default, CV = 3
+  kDeterministic,
+};
+
+enum class SizeKind {
+  kBoundedPareto,  // the paper's default
+  kExponential,
+  kDeterministic,
+};
+
+struct WorkloadSpec {
+  ArrivalKind arrival_kind = ArrivalKind::kHyperExp;
+  double arrival_cv = 3.0;  // used by kHyperExp
+
+  SizeKind size_kind = SizeKind::kBoundedPareto;
+  double pareto_alpha = 1.0;       // used by kBoundedPareto
+  double pareto_lower = 10.0;      // k, seconds
+  double pareto_upper = 21600.0;   // p, seconds
+  double fixed_or_mean_size = 76.8;  // kExponential mean / kDeterministic size
+
+  /// The paper's §4.1 defaults: H2 arrivals CV=3, B(10, 21600, 1) sizes.
+  static WorkloadSpec paper_default();
+
+  /// Mean job size implied by the size model.
+  [[nodiscard]] double mean_job_size() const;
+
+  /// Build the size model.
+  [[nodiscard]] JobSizeModel make_size_model() const;
+
+  /// Build the arrival process for a target arrival rate λ.
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> make_arrivals(
+      double lambda) const;
+
+  /// λ that loads machines of total speed Σs to utilization ρ:
+  /// λ = ρ·Σs / E[size].
+  [[nodiscard]] double arrival_rate_for(double rho, double total_speed) const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace hs::workload

@@ -1,0 +1,97 @@
+#include "workload/trace.h"
+
+#include <cmath>
+
+#include "stats/running_stats.h"
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace hs::workload {
+
+JobTrace::JobTrace(std::vector<queueing::Job> jobs) : jobs_(std::move(jobs)) {
+  validate();
+}
+
+void JobTrace::validate() const {
+  double last = 0.0;
+  for (const auto& job : jobs_) {
+    HS_CHECK(job.arrival_time >= last,
+             "trace arrival times must be non-decreasing at job " << job.id);
+    HS_CHECK(job.size > 0.0, "trace job " << job.id << " has size "
+                                          << job.size);
+    last = job.arrival_time;
+  }
+}
+
+JobTrace JobTrace::generate(const WorkloadSpec& spec, double lambda,
+                            double horizon, uint64_t seed) {
+  HS_CHECK(horizon > 0.0, "horizon must be positive: " << horizon);
+  auto arrivals = spec.make_arrivals(lambda);
+  const JobSizeModel sizes = spec.make_size_model();
+  // Independent streams so the arrival pattern does not depend on how
+  // many random draws the size model makes.
+  rng::Xoshiro256 arrival_gen(seed);
+  rng::Xoshiro256 size_gen = arrival_gen.stream(1);
+
+  std::vector<queueing::Job> jobs;
+  jobs.reserve(static_cast<size_t>(lambda * horizon * 1.1) + 16);
+  double t = 0.0;
+  uint64_t id = 0;
+  for (;;) {
+    t += arrivals->next_interarrival(arrival_gen);
+    if (t > horizon) {
+      break;
+    }
+    jobs.push_back(queueing::Job{id++, t, sizes.sample(size_gen)});
+  }
+  return JobTrace(std::move(jobs));
+}
+
+JobTrace JobTrace::load_csv(const std::string& path) {
+  std::vector<queueing::Job> jobs;
+  uint64_t id = 0;
+  for (const auto& row : util::read_numeric_csv(path)) {
+    HS_CHECK(row.size() == 2, "trace rows need 2 fields, got " << row.size());
+    jobs.push_back(queueing::Job{id++, row[0], row[1]});
+  }
+  return JobTrace(std::move(jobs));
+}
+
+void JobTrace::save_csv(const std::string& path) const {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(jobs_.size());
+  for (const auto& job : jobs_) {
+    rows.push_back({job.arrival_time, job.size});
+  }
+  util::write_numeric_csv(path, rows, "arrival_time,size");
+}
+
+double JobTrace::mean_interarrival() const {
+  HS_CHECK(jobs_.size() >= 2, "need >= 2 jobs for inter-arrival stats");
+  return (jobs_.back().arrival_time - jobs_.front().arrival_time) /
+         static_cast<double>(jobs_.size() - 1);
+}
+
+double JobTrace::interarrival_cv() const {
+  HS_CHECK(jobs_.size() >= 3, "need >= 3 jobs for inter-arrival CV");
+  stats::RunningStats gaps;
+  for (size_t i = 1; i < jobs_.size(); ++i) {
+    gaps.add(jobs_[i].arrival_time - jobs_[i - 1].arrival_time);
+  }
+  return gaps.stddev() / gaps.mean();
+}
+
+double JobTrace::mean_size() const {
+  HS_CHECK(!jobs_.empty(), "empty trace");
+  stats::RunningStats sizes;
+  for (const auto& job : jobs_) {
+    sizes.add(job.size);
+  }
+  return sizes.mean();
+}
+
+double JobTrace::horizon() const {
+  return jobs_.empty() ? 0.0 : jobs_.back().arrival_time;
+}
+
+}  // namespace hs::workload

@@ -1,0 +1,51 @@
+// Job trace recording and replay.
+//
+// A trace is the materialized arrival stream: (arrival time, size) pairs
+// in time order. Traces serve three purposes: byte-identical workload
+// replay across policies (variance reduction in comparisons), export for
+// external analysis, and substitution for the unavailable 1988 Zhou
+// trace the paper references — we generate synthetic traces with the
+// same burstiness profile instead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "queueing/job.h"
+#include "workload/spec.h"
+
+namespace hs::workload {
+
+class JobTrace {
+ public:
+  JobTrace() = default;
+  explicit JobTrace(std::vector<queueing::Job> jobs);
+
+  /// Generate a trace from a workload spec: jobs arriving at rate
+  /// `lambda` until `horizon` seconds.
+  static JobTrace generate(const WorkloadSpec& spec, double lambda,
+                           double horizon, uint64_t seed);
+
+  /// CSV persistence: rows of `arrival_time,size`.
+  static JobTrace load_csv(const std::string& path);
+  void save_csv(const std::string& path) const;
+
+  [[nodiscard]] const std::vector<queueing::Job>& jobs() const {
+    return jobs_;
+  }
+  [[nodiscard]] size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+
+  /// Measured statistics of the trace.
+  [[nodiscard]] double mean_interarrival() const;
+  [[nodiscard]] double interarrival_cv() const;
+  [[nodiscard]] double mean_size() const;
+  [[nodiscard]] double horizon() const;
+
+ private:
+  void validate() const;
+
+  std::vector<queueing::Job> jobs_;
+};
+
+}  // namespace hs::workload

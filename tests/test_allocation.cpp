@@ -1,0 +1,92 @@
+// Tests for the Allocation value type.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc/allocation.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::alloc::Allocation;
+
+TEST(Allocation, StoresFractions) {
+  Allocation a({0.25, 0.75});
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a[0], 0.25);
+  EXPECT_DOUBLE_EQ(a[1], 0.75);
+}
+
+TEST(Allocation, NormalizesRoundingNoise) {
+  Allocation a({0.5 + 1e-10, 0.5});
+  EXPECT_NEAR(a[0] + a[1], 1.0, 1e-15);
+}
+
+TEST(Allocation, ClampsTinyNegativeNoise) {
+  Allocation a({1.0 + 1e-12, -1e-12});
+  EXPECT_EQ(a[1], 0.0);
+  EXPECT_TRUE(a.is_excluded(1));
+}
+
+TEST(Allocation, RejectsSignificantNegative) {
+  EXPECT_THROW(Allocation({1.1, -0.1}), hs::util::CheckError);
+}
+
+TEST(Allocation, RejectsWrongSum) {
+  EXPECT_THROW(Allocation({0.5, 0.6}), hs::util::CheckError);
+  EXPECT_THROW(Allocation({0.2, 0.2}), hs::util::CheckError);
+}
+
+TEST(Allocation, RejectsEmpty) {
+  EXPECT_THROW(Allocation({}), hs::util::CheckError);
+}
+
+TEST(Allocation, ActiveCountSkipsZeros) {
+  Allocation a({0.0, 0.5, 0.5, 0.0});
+  EXPECT_EQ(a.active_count(), 2u);
+  EXPECT_TRUE(a.is_excluded(0));
+  EXPECT_FALSE(a.is_excluded(1));
+}
+
+TEST(Allocation, MachineUtilizations) {
+  // 2 machines speeds {1, 3}, ρ=0.5 => λ/μ = 0.5·4 = 2 jobs of base work
+  // per base-second. Proportional allocation keeps both at ρ.
+  Allocation proportional({0.25, 0.75});
+  const std::vector<double> speeds = {1.0, 3.0};
+  const auto utils = proportional.machine_utilizations(speeds, 0.5);
+  ASSERT_EQ(utils.size(), 2u);
+  EXPECT_NEAR(utils[0], 0.5, 1e-12);
+  EXPECT_NEAR(utils[1], 0.5, 1e-12);
+}
+
+TEST(Allocation, SkewedAllocationSkewsUtilization) {
+  Allocation skewed({0.1, 0.9});
+  const std::vector<double> speeds = {1.0, 3.0};
+  const auto utils = skewed.machine_utilizations(speeds, 0.5);
+  // Machine 0: 0.1·0.5·4/1 = 0.2; machine 1: 0.9·0.5·4/3 = 0.6.
+  EXPECT_NEAR(utils[0], 0.2, 1e-12);
+  EXPECT_NEAR(utils[1], 0.6, 1e-12);
+  EXPECT_NEAR(skewed.max_machine_utilization(speeds, 0.5), 0.6, 1e-12);
+}
+
+TEST(Allocation, UtilizationSizeMismatchThrows) {
+  Allocation a({1.0});
+  const std::vector<double> speeds = {1.0, 2.0};
+  EXPECT_THROW(a.machine_utilizations(speeds, 0.5), hs::util::CheckError);
+}
+
+TEST(Allocation, ToStringContainsFractions) {
+  Allocation a({0.125, 0.875});
+  const std::string s = a.to_string(3);
+  EXPECT_NE(s.find("0.125"), std::string::npos);
+  EXPECT_NE(s.find("0.875"), std::string::npos);
+}
+
+TEST(Allocation, SpanViewMatches) {
+  Allocation a({0.4, 0.6});
+  auto s = a.span();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 0.4);
+}
+
+}  // namespace

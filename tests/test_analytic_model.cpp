@@ -1,0 +1,137 @@
+// Tests for the §2.3 analytic performance model (Eq. 3 and friends).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/analytic_model.h"
+#include "alloc/optimized.h"
+#include "alloc/scheme.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace hs::alloc;
+
+SystemParameters make_params(std::vector<double> speeds, double rho,
+                             double mean_size = 1.0) {
+  SystemParameters p;
+  p.speeds = std::move(speeds);
+  p.rho = rho;
+  p.mean_job_size = mean_size;
+  return p;
+}
+
+TEST(SystemParameters, DerivedQuantities) {
+  const auto p = make_params({1.0, 3.0}, 0.5, 2.0);
+  EXPECT_DOUBLE_EQ(p.mu(), 0.5);
+  EXPECT_DOUBLE_EQ(p.total_speed(), 4.0);
+  // λ = ρ·μ·Σs = 0.5·0.5·4 = 1.
+  EXPECT_DOUBLE_EQ(p.lambda(), 1.0);
+}
+
+TEST(SystemParameters, ValidationRejectsBadInputs) {
+  EXPECT_THROW((void)(make_params({}, 0.5).validate()), hs::util::CheckError);
+  EXPECT_THROW((void)(make_params({1.0}, 0.0).validate()), hs::util::CheckError);
+  EXPECT_THROW((void)(make_params({1.0}, 1.0).validate()), hs::util::CheckError);
+  EXPECT_THROW((void)(make_params({-1.0}, 0.5).validate()), hs::util::CheckError);
+  auto p = make_params({1.0}, 0.5);
+  p.mean_job_size = 0.0;
+  EXPECT_THROW((void)(p.validate()), hs::util::CheckError);
+}
+
+TEST(AnalyticModel, SingleMachineReducesToMm1) {
+  // One machine speed 1: T = 1/(μ−λ) = (1/μ)/(1−ρ).
+  const auto p = make_params({1.0}, 0.7, 1.0);
+  const Allocation all({1.0});
+  EXPECT_NEAR(predicted_mean_response_time(p, all), 1.0 / 0.3, 1e-12);
+  EXPECT_NEAR(predicted_mean_response_ratio(p, all), 1.0 / 0.3, 1e-12);
+}
+
+TEST(AnalyticModel, ResponseRatioIsMuTimesResponseTime) {
+  // R̄ = μT̄ (§2.3) for any allocation and mean size.
+  const auto p = make_params({1.0, 2.0, 5.0}, 0.6, 76.8);
+  const Allocation a = WeightedAllocation().compute(p.speeds, p.rho);
+  EXPECT_NEAR(predicted_mean_response_ratio(p, a),
+              p.mu() * predicted_mean_response_time(p, a), 1e-12);
+}
+
+TEST(AnalyticModel, WeightedAllocationHandComputed) {
+  // Two machines {1, 3}, ρ=0.5, μ=1 (mean size 1): λ = 2.
+  // Weighted: α = {0.25, 0.75}; T̄ = 0.25/(1−0.5) + 0.75/(3−1.5)
+  //         = 0.5 + 0.5 = 1.0.
+  const auto p = make_params({1.0, 3.0}, 0.5, 1.0);
+  const Allocation a({0.25, 0.75});
+  EXPECT_NEAR(predicted_mean_response_time(p, a), 1.0, 1e-12);
+}
+
+TEST(AnalyticModel, MeanJobSizeScalesResponseTime) {
+  const auto p1 = make_params({1.0, 2.0}, 0.6, 1.0);
+  const auto p76 = make_params({1.0, 2.0}, 0.6, 76.8);
+  const Allocation a = WeightedAllocation().compute(p1.speeds, 0.6);
+  EXPECT_NEAR(predicted_mean_response_time(p76, a),
+              76.8 * predicted_mean_response_time(p1, a), 1e-9);
+  // Response ratio is size-invariant.
+  EXPECT_NEAR(predicted_mean_response_ratio(p76, a),
+              predicted_mean_response_ratio(p1, a), 1e-12);
+}
+
+TEST(AnalyticModel, OptimizedBeatsWeightedInPrediction) {
+  const auto p = make_params({1.0, 1.0, 1.0, 10.0}, 0.5, 76.8);
+  const Allocation weighted = WeightedAllocation().compute(p.speeds, p.rho);
+  const Allocation optimized =
+      OptimizedAllocation().compute(p.speeds, p.rho);
+  EXPECT_LT(predicted_mean_response_time(p, optimized),
+            predicted_mean_response_time(p, weighted));
+}
+
+TEST(AnalyticModel, SaturatedAllocationPredictsInfinity) {
+  const auto p = make_params({1.0, 10.0}, 0.5, 1.0);
+  const Allocation bad({1.0, 0.0});  // λ = 5.5 on a speed-1 machine
+  EXPECT_TRUE(std::isinf(predicted_mean_response_time(p, bad)));
+  EXPECT_FALSE(is_stable(p, bad));
+}
+
+TEST(AnalyticModel, StabilityDetection) {
+  const auto p = make_params({1.0, 10.0}, 0.5, 1.0);
+  const Allocation weighted = WeightedAllocation().compute(p.speeds, p.rho);
+  EXPECT_TRUE(is_stable(p, weighted));
+}
+
+TEST(AnalyticModel, PerMachineResponseTimes) {
+  const auto p = make_params({1.0, 3.0}, 0.5, 1.0);
+  const Allocation a({0.25, 0.75});  // λ = 2
+  const auto times = predicted_machine_response_times(p, a);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[0], 1.0 / (1.0 - 0.5), 1e-12);
+  EXPECT_NEAR(times[1], 1.0 / (3.0 - 1.5), 1e-12);
+}
+
+TEST(AnalyticModel, ExcludedMachineReportsZero) {
+  const auto p = make_params({1.0, 10.0}, 0.3, 1.0);
+  const Allocation a = OptimizedAllocation().compute(p.speeds, p.rho);
+  ASSERT_EQ(a[0], 0.0);  // slow machine excluded at low load
+  const auto times = predicted_machine_response_times(p, a);
+  EXPECT_EQ(times[0], 0.0);
+  EXPECT_GT(times[1], 0.0);
+}
+
+TEST(AnalyticModel, SizeMismatchThrows) {
+  const auto p = make_params({1.0, 2.0}, 0.5);
+  const Allocation a({1.0});
+  EXPECT_THROW((void)(predicted_mean_response_time(p, a)), hs::util::CheckError);
+}
+
+TEST(AnalyticModel, EquationThreeDirectForm) {
+  // Cross-check Eq. (3) against its -n/λ + (1/λ)ΣsᵢμF form.
+  const auto p = make_params({1.0, 1.5, 2.0, 5.0}, 0.65, 1.0);
+  const Allocation a = WeightedAllocation().compute(p.speeds, p.rho);
+  const double n = static_cast<double>(p.speeds.size());
+  double f = 0.0;
+  for (size_t i = 0; i < p.speeds.size(); ++i) {
+    f += p.speeds[i] * p.mu() / (p.speeds[i] * p.mu() - a[i] * p.lambda());
+  }
+  const double via_f = -n / p.lambda() + f / p.lambda();
+  EXPECT_NEAR(predicted_mean_response_time(p, a), via_f, 1e-10);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Tests for the HS_CHECK invariant macro.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/check.h"
+
+namespace {
+
+using hs::util::CheckError;
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(HS_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(HS_CHECK(false, "always fails"), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionAndText) {
+  try {
+    const int x = -3;
+    HS_CHECK(x >= 0, "x must be non-negative, got " << x);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x >= 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("got -3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return true;
+  };
+  HS_CHECK(count(), "side effect probe");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, MessageNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return "msg";
+  };
+  HS_CHECK(true, count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Check, IsAlsoLogicError) {
+  EXPECT_THROW(HS_CHECK(false, "inherits"), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.h"
+#include "util/cli.h"
+
+namespace {
+
+using hs::util::ArgParser;
+
+ArgParser make_parser() {
+  ArgParser parser("test program");
+  parser.add_option("rho", "0.7", "system utilization");
+  parser.add_option("reps", "5", "replications");
+  parser.add_option("label", "default", "free-form label");
+  parser.add_flag("paper-scale", "use full paper-scale parameters");
+  return parser;
+}
+
+bool parse(ArgParser& parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parser.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_DOUBLE_EQ(parser.get_double("rho"), 0.7);
+  EXPECT_EQ(parser.get_long("reps"), 5);
+  EXPECT_EQ(parser.get_string("label"), "default");
+  EXPECT_FALSE(parser.get_flag("paper-scale"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--rho", "0.9", "--reps", "10"}));
+  EXPECT_DOUBLE_EQ(parser.get_double("rho"), 0.9);
+  EXPECT_EQ(parser.get_long("reps"), 10);
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--rho=0.35", "--label=speed-sweep"}));
+  EXPECT_DOUBLE_EQ(parser.get_double("rho"), 0.35);
+  EXPECT_EQ(parser.get_string("label"), "speed-sweep");
+}
+
+TEST(ArgParser, FlagPresence) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--paper-scale"}));
+  EXPECT_TRUE(parser.get_flag("paper-scale"));
+}
+
+TEST(ArgParser, UnknownArgumentThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW((void)(parse(parser, {"--bogus", "1"})), std::invalid_argument);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW((void)(parse(parser, {"--rho"})), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArgumentThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW((void)(parse(parser, {"stray"})), std::invalid_argument);
+}
+
+TEST(ArgParser, NonNumericValueThrows) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--rho", "fast"}));
+  EXPECT_THROW((void)(parser.get_double("rho")), std::invalid_argument);
+}
+
+TEST(ArgParser, FlagWithValueThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW((void)(parse(parser, {"--paper-scale=yes"})), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"--help"}));
+}
+
+TEST(ArgParser, HelpTextListsOptions) {
+  ArgParser parser = make_parser();
+  const std::string help = parser.help_text();
+  EXPECT_NE(help.find("--rho"), std::string::npos);
+  EXPECT_NE(help.find("--paper-scale"), std::string::npos);
+  EXPECT_NE(help.find("default: 0.7"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser parser("dup");
+  parser.add_option("x", "1", "first");
+  EXPECT_THROW((void)(parser.add_option("x", "2", "second")), hs::util::CheckError);
+}
+
+TEST(ArgParser, UnregisteredAccessThrows) {
+  ArgParser parser("empty");
+  EXPECT_THROW((void)(parser.get_string("nope")), hs::util::CheckError);
+}
+
+TEST(ArgParser, FlagAccessedAsOptionThrows) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_THROW((void)(parser.get_flag("rho")), hs::util::CheckError);
+}
+
+TEST(ArgParser, LastValueWins) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--rho", "0.1", "--rho", "0.2"}));
+  EXPECT_DOUBLE_EQ(parser.get_double("rho"), 0.2);
+}
+
+}  // namespace

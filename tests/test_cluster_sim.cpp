@@ -1,0 +1,287 @@
+// Integration tests for the full cluster simulation harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "cluster/config.h"
+#include "cluster/sim.h"
+#include "core/policy.h"
+#include "dispatch/least_load.h"
+#include "dispatch/random_dispatcher.h"
+#include "dispatch/smooth_rr.h"
+#include "queueing/mm1.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace hs::cluster;
+using hs::alloc::Allocation;
+using hs::core::make_policy_dispatcher;
+using hs::core::PolicyKind;
+
+// A fast workload: Poisson arrivals, exponential unit-mean sizes.
+hs::workload::WorkloadSpec fast_workload() {
+  hs::workload::WorkloadSpec spec;
+  spec.arrival_kind = hs::workload::ArrivalKind::kPoisson;
+  spec.size_kind = hs::workload::SizeKind::kExponential;
+  spec.fixed_or_mean_size = 1.0;
+  return spec;
+}
+
+SimulationConfig base_config(std::vector<double> speeds, double rho,
+                             double sim_time = 50000.0) {
+  SimulationConfig config;
+  config.speeds = std::move(speeds);
+  config.workload = fast_workload();
+  config.rho = rho;
+  config.sim_time = sim_time;
+  config.warmup_frac = 0.2;
+  config.seed = 99;
+  return config;
+}
+
+TEST(ClusterSim, SingleMachineMatchesMm1Theory) {
+  // One speed-1 machine at ρ=0.7 with M/M workload: the full harness
+  // must reproduce T̄ = 1/(μ−λ) = 1/0.3.
+  auto config = base_config({1.0}, 0.7, 200000.0);
+  auto dispatcher =
+      make_policy_dispatcher(PolicyKind::kWRR, config.speeds, config.rho);
+  const auto result = run_simulation(config, *dispatcher);
+  const double expected =
+      hs::queueing::mm1::ps_mean_response_time(0.7, 1.0);
+  EXPECT_GT(result.completed_jobs, 50000u);
+  EXPECT_NEAR(result.mean_response_time, expected, 0.06 * expected);
+  EXPECT_NEAR(result.mean_response_ratio, expected, 0.06 * expected);
+  EXPECT_NEAR(result.machine_utilizations[0], 0.7, 0.03);
+}
+
+TEST(ClusterSim, LambdaDerivedFromRho) {
+  auto config = base_config({1.0, 3.0}, 0.5);
+  // λ = ρ·Σs/E[size] = 0.5·4/1.
+  EXPECT_NEAR(config.lambda(), 2.0, 1e-12);
+}
+
+TEST(ClusterSim, UtilizationsTrackAllocation) {
+  auto config = base_config({1.0, 3.0}, 0.6, 100000.0);
+  hs::dispatch::RandomDispatcher dispatcher(Allocation({0.25, 0.75}));
+  const auto result = run_simulation(config, dispatcher);
+  // Weighted fractions equalize utilization at ρ.
+  EXPECT_NEAR(result.machine_utilizations[0], 0.6, 0.04);
+  EXPECT_NEAR(result.machine_utilizations[1], 0.6, 0.04);
+}
+
+TEST(ClusterSim, MachineFractionsMatchDispatcher) {
+  auto config = base_config({1.0, 1.0, 2.0}, 0.5, 50000.0);
+  hs::dispatch::SmoothRoundRobinDispatcher dispatcher(
+      Allocation({0.25, 0.25, 0.5}));
+  const auto result = run_simulation(config, dispatcher);
+  EXPECT_NEAR(result.machine_fractions[0], 0.25, 0.01);
+  EXPECT_NEAR(result.machine_fractions[1], 0.25, 0.01);
+  EXPECT_NEAR(result.machine_fractions[2], 0.50, 0.01);
+  const double sum = std::accumulate(result.machine_fractions.begin(),
+                                     result.machine_fractions.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ClusterSim, DeterministicGivenSeed) {
+  auto config = base_config({1.0, 5.0}, 0.7);
+  auto d1 = make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.7);
+  auto d2 = make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.7);
+  const auto r1 = run_simulation(config, *d1);
+  const auto r2 = run_simulation(config, *d2);
+  EXPECT_EQ(r1.completed_jobs, r2.completed_jobs);
+  EXPECT_DOUBLE_EQ(r1.mean_response_time, r2.mean_response_time);
+  EXPECT_DOUBLE_EQ(r1.fairness, r2.fairness);
+}
+
+TEST(ClusterSim, DifferentSeedsDiffer) {
+  auto config = base_config({1.0, 5.0}, 0.7);
+  auto d1 = make_policy_dispatcher(PolicyKind::kWRAN, config.speeds, 0.7);
+  const auto r1 = run_simulation(config, *d1);
+  config.seed = 100;
+  auto d2 = make_policy_dispatcher(PolicyKind::kWRAN, config.speeds, 0.7);
+  const auto r2 = run_simulation(config, *d2);
+  EXPECT_NE(r1.mean_response_time, r2.mean_response_time);
+}
+
+TEST(ClusterSim, WarmupJobsExcluded) {
+  auto config = base_config({1.0}, 0.5, 20000.0);
+  config.warmup_frac = 0.5;
+  auto with_warmup = make_policy_dispatcher(PolicyKind::kWRR, config.speeds,
+                                            config.rho);
+  const auto result = run_simulation(config, *with_warmup);
+  // Roughly half the arrivals fall in the measurement window.
+  const double expected_jobs = config.lambda() * config.sim_time * 0.5;
+  EXPECT_NEAR(static_cast<double>(result.dispatched_jobs), expected_jobs,
+              0.1 * expected_jobs);
+}
+
+TEST(ClusterSim, OptimizedAllocationBeatsWeightedOnSkewedCluster) {
+  // The paper's core claim, in miniature: {16×1, 2×10} at ρ=0.7.
+  auto config = base_config(
+      ClusterConfig::paper_skewness(10.0).speeds(), 0.7, 100000.0);
+  auto wran = make_policy_dispatcher(PolicyKind::kWRAN, config.speeds, 0.7);
+  auto orr = make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.7);
+  const auto weighted = run_simulation(config, *wran);
+  const auto optimized = run_simulation(config, *orr);
+  EXPECT_LT(optimized.mean_response_ratio,
+            0.85 * weighted.mean_response_ratio);
+  EXPECT_LT(optimized.fairness, weighted.fairness);
+}
+
+TEST(ClusterSim, LeastLoadBeatsStaticPolicies) {
+  auto config = base_config(
+      ClusterConfig::paper_skewness(5.0).speeds(), 0.7, 100000.0);
+  auto orr = make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.7);
+  auto ll =
+      make_policy_dispatcher(PolicyKind::kLeastLoad, config.speeds, 0.7);
+  const auto static_best = run_simulation(config, *orr);
+  const auto dynamic = run_simulation(config, *ll);
+  EXPECT_LT(dynamic.mean_response_ratio, static_best.mean_response_ratio);
+}
+
+TEST(ClusterSim, LeastLoadFeedbackDelayMatters) {
+  // With a huge feedback delay the scheduler's estimates go stale and
+  // performance degrades towards (or below) blind dispatching.
+  auto config = base_config({1.0, 1.0, 10.0, 10.0}, 0.8, 60000.0);
+  auto prompt =
+      make_policy_dispatcher(PolicyKind::kLeastLoad, config.speeds, 0.8);
+  const auto fast_feedback = run_simulation(config, *prompt);
+
+  config.detection_interval = 200.0;
+  config.message_delay_mean = 50.0;
+  auto stale =
+      make_policy_dispatcher(PolicyKind::kLeastLoad, config.speeds, 0.8);
+  const auto slow_feedback = run_simulation(config, *stale);
+  EXPECT_GT(slow_feedback.mean_response_ratio,
+            fast_feedback.mean_response_ratio);
+}
+
+TEST(ClusterSim, DeviationTrackingProducesSeries) {
+  auto config = base_config({1.0, 1.0}, 0.5, 12000.0);
+  config.deviation_expected = {0.5, 0.5};
+  config.deviation_interval = 120.0;
+  auto rr = make_policy_dispatcher(PolicyKind::kWRR, config.speeds, 0.5);
+  const auto result = run_simulation(config, *rr);
+  EXPECT_EQ(result.deviations.size(), 100u);  // 12000 / 120
+  for (double d : result.deviations) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.5 + 1e-12);  // Σαᵢ² bound for equal fractions
+  }
+}
+
+TEST(ClusterSim, RoundRobinDeviationBelowRandom) {
+  // Figure 2's claim as an integration test.
+  auto config = base_config({1.0, 1.0, 2.0, 4.0}, 0.6, 60000.0);
+  const Allocation fractions({0.125, 0.125, 0.25, 0.5});
+  config.deviation_expected = fractions.fractions();
+  hs::dispatch::SmoothRoundRobinDispatcher rr(fractions);
+  hs::dispatch::RandomDispatcher random_d(fractions);
+  const auto rr_result = run_simulation(config, rr);
+  const auto rand_result = run_simulation(config, random_d);
+  const auto mean_of = [](const std::vector<double>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+  };
+  EXPECT_LT(mean_of(rr_result.deviations),
+            0.25 * mean_of(rand_result.deviations));
+}
+
+TEST(ClusterSim, TraceReplayIsExactlyReproducible) {
+  const auto trace = hs::workload::JobTrace::generate(
+      fast_workload(), 1.0, 20000.0, 5);
+  auto config = base_config({1.0, 2.0}, 0.5, 20000.0);
+  config.trace = &trace;
+  auto d1 = make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.5);
+  const auto r1 = run_simulation(config, *d1);
+  config.seed = 12345;  // seed must not matter for deterministic policies
+  auto d2 = make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.5);
+  const auto r2 = run_simulation(config, *d2);
+  EXPECT_EQ(r1.completed_jobs, r2.completed_jobs);
+  EXPECT_DOUBLE_EQ(r1.mean_response_time, r2.mean_response_time);
+}
+
+TEST(ClusterSim, FcfsDisciplineWorsensHeavyTailedRatio) {
+  // Under heavy-tailed sizes, FCFS lets large jobs block small ones, so
+  // the mean response ratio degrades sharply vs PS.
+  hs::workload::WorkloadSpec heavy;
+  heavy.arrival_kind = hs::workload::ArrivalKind::kPoisson;
+  heavy.size_kind = hs::workload::SizeKind::kBoundedPareto;
+  heavy.pareto_alpha = 1.5;
+  heavy.pareto_lower = 1.0;
+  heavy.pareto_upper = 1000.0;
+
+  SimulationConfig config;
+  config.speeds = {1.0, 1.0};
+  config.workload = heavy;
+  config.rho = 0.6;
+  config.sim_time = 100000.0;
+  config.seed = 5;
+
+  auto ps_d = make_policy_dispatcher(PolicyKind::kWRR, config.speeds, 0.6);
+  config.discipline = ServiceDiscipline::kProcessorSharing;
+  const auto ps = run_simulation(config, *ps_d);
+
+  auto fcfs_d = make_policy_dispatcher(PolicyKind::kWRR, config.speeds, 0.6);
+  config.discipline = ServiceDiscipline::kFcfs;
+  const auto fcfs = run_simulation(config, *fcfs_d);
+
+  EXPECT_GT(fcfs.mean_response_ratio, 2.0 * ps.mean_response_ratio);
+}
+
+TEST(ClusterSim, RrQuantumApproximatesPs) {
+  auto config = base_config({1.0, 2.0}, 0.6, 50000.0);
+  auto d_ps = make_policy_dispatcher(PolicyKind::kWRR, config.speeds, 0.6);
+  const auto ps = run_simulation(config, *d_ps);
+
+  config.discipline = ServiceDiscipline::kRoundRobin;
+  config.rr_quantum = 0.01;
+  auto d_rr = make_policy_dispatcher(PolicyKind::kWRR, config.speeds, 0.6);
+  const auto rr = run_simulation(config, *d_rr);
+  EXPECT_NEAR(rr.mean_response_time, ps.mean_response_time,
+              0.05 * ps.mean_response_time);
+}
+
+TEST(ClusterSim, ValidationCatchesBadConfig) {
+  auto config = base_config({1.0}, 0.5);
+  config.rho = 1.5;
+  auto d = make_policy_dispatcher(PolicyKind::kWRR, {1.0}, 0.5);
+  EXPECT_THROW(run_simulation(config, *d), hs::util::CheckError);
+
+  auto config2 = base_config({1.0, 2.0}, 0.5);
+  config2.deviation_expected = {1.0};  // wrong arity
+  auto d2 = make_policy_dispatcher(PolicyKind::kWRR, config2.speeds, 0.5);
+  EXPECT_THROW(run_simulation(config2, *d2), hs::util::CheckError);
+}
+
+TEST(ClusterSim, DispatcherClusterSizeMismatchThrows) {
+  auto config = base_config({1.0, 2.0}, 0.5);
+  auto d = make_policy_dispatcher(PolicyKind::kWRR, {1.0}, 0.5);
+  EXPECT_THROW(run_simulation(config, *d), hs::util::CheckError);
+}
+
+TEST(ClusterConfigs, PaperSetupsHaveDocumentedShapes) {
+  const auto base = ClusterConfig::paper_base();
+  EXPECT_EQ(base.size(), 15u);
+  EXPECT_NEAR(base.total_speed(), 44.0, 1e-12);
+
+  const auto table1 = ClusterConfig::paper_table1();
+  EXPECT_EQ(table1.size(), 7u);
+  EXPECT_NEAR(table1.total_speed(), 31.5, 1e-12);
+
+  const auto skew = ClusterConfig::paper_skewness(20.0);
+  EXPECT_EQ(skew.size(), 18u);
+  EXPECT_DOUBLE_EQ(skew.max_speed(), 20.0);
+  EXPECT_DOUBLE_EQ(skew.skewness(), 20.0);
+
+  const auto sized = ClusterConfig::paper_size(10);
+  EXPECT_EQ(sized.size(), 10u);
+  EXPECT_NEAR(sized.total_speed(), 55.0, 1e-12);
+  EXPECT_THROW(ClusterConfig::paper_size(3), hs::util::CheckError);
+
+  EXPECT_NE(base.describe().find("15 machines"), std::string::npos);
+}
+
+}  // namespace

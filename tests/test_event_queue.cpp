@@ -1,0 +1,214 @@
+// Tests for the cancellable event heap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "rng/rng.h"
+#include "sim/event_queue.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::sim::EventHandle;
+using hs::sim::EventQueue;
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    auto [time, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().second();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(7.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceIsFalse) {
+  EventQueue q;
+  EventHandle h = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelAfterFireIsFalse) {
+  EventQueue q;
+  EventHandle h = q.push(1.0, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, DefaultHandleCancelIsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventHandle{}));
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsFalse) {
+  EventQueue q;
+  EventHandle h1 = q.push(1.0, [] {});
+  q.pop().second();           // frees slot
+  q.push(2.0, [] {});         // reuses it
+  EXPECT_FALSE(q.cancel(h1));  // old generation must not cancel new event
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelledHeadSkippedOnPop) {
+  EventQueue q;
+  bool fired_late = false;
+  EventHandle head = q.push(1.0, [] { FAIL() << "cancelled event fired"; });
+  q.push(2.0, [&] { fired_late = true; });
+  q.cancel(head);
+  auto [time, fn] = q.pop();
+  EXPECT_DOUBLE_EQ(time, 2.0);
+  fn();
+  EXPECT_TRUE(fired_late);
+}
+
+TEST(EventQueue, NextTimeAfterHeadCancelled) {
+  EventQueue q;
+  EventHandle head = q.push(1.0, [] {});
+  q.push(5.0, [] {});
+  q.cancel(head);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, SizeCountsLiveOnly) {
+  EventQueue q;
+  EventHandle h1 = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(h1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)(q.pop()), hs::util::CheckError);
+}
+
+TEST(EventQueue, NextTimeEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)(q.next_time()), hs::util::CheckError);
+}
+
+TEST(EventQueue, NullCallbackThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)(q.push(1.0, nullptr)), hs::util::CheckError);
+}
+
+TEST(EventQueue, CountersTrackActivity) {
+  EventQueue q;
+  EventHandle h = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.cancel(h);
+  q.pop().second();
+  EXPECT_EQ(q.total_scheduled(), 2u);
+  EXPECT_EQ(q.total_cancelled(), 1u);
+}
+
+// Randomized differential test against std::priority_queue: interleaved
+// pushes, cancels and pops must produce the reference pop order.
+TEST(EventQueue, StressMatchesReferenceHeap) {
+  hs::rng::Xoshiro256 gen(2024);
+  EventQueue q;
+  // Reference: multiset of (time, seq) with cancelled set.
+  struct Ref {
+    double time;
+    uint64_t seq;
+  };
+  auto cmp = [](const Ref& a, const Ref& b) {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  };
+  std::priority_queue<Ref, std::vector<Ref>, decltype(cmp)> ref(cmp);
+  std::vector<bool> ref_cancelled;
+  std::vector<EventHandle> handles;
+  std::vector<bool> handle_done;
+  uint64_t seq = 0;
+
+  auto ref_pop_live = [&]() -> Ref {
+    for (;;) {
+      Ref top = ref.top();
+      ref.pop();
+      if (!ref_cancelled[top.seq]) {
+        return top;
+      }
+    }
+  };
+
+  for (int step = 0; step < 50000; ++step) {
+    const double action = gen.next_double();
+    if (action < 0.55 || q.empty()) {
+      const double time = gen.uniform(0.0, 1000.0);
+      const uint64_t my_seq = seq++;
+      handles.push_back(q.push(time, [] {}));
+      handle_done.push_back(false);
+      ref.push(Ref{time, my_seq});
+      ref_cancelled.push_back(false);
+    } else if (action < 0.75) {
+      // Cancel a random not-yet-done event (may already be cancelled).
+      const size_t idx = gen.next_below(handles.size());
+      if (!handle_done[idx]) {
+        const bool ok = q.cancel(handles[idx]);
+        if (ok) {
+          ref_cancelled[idx] = true;
+          handle_done[idx] = true;
+        }
+      }
+    } else {
+      auto [time, fn] = q.pop();
+      const Ref expected = ref_pop_live();
+      ASSERT_DOUBLE_EQ(time, expected.time);
+      handle_done[expected.seq] = true;
+    }
+  }
+  // Drain both and compare.
+  while (!q.empty()) {
+    auto [time, fn] = q.pop();
+    const Ref expected = ref_pop_live();
+    ASSERT_DOUBLE_EQ(time, expected.time);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Tests for the replicated experiment runner.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/experiment.h"
+#include "core/policy.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace hs::cluster;
+using hs::core::policy_dispatcher_factory;
+using hs::core::PolicyKind;
+
+ExperimentConfig quick_experiment(std::vector<double> speeds, double rho,
+                                  unsigned reps = 4) {
+  ExperimentConfig config;
+  config.simulation.speeds = std::move(speeds);
+  config.simulation.workload.arrival_kind =
+      hs::workload::ArrivalKind::kPoisson;
+  config.simulation.workload.size_kind =
+      hs::workload::SizeKind::kExponential;
+  config.simulation.workload.fixed_or_mean_size = 1.0;
+  config.simulation.rho = rho;
+  config.simulation.sim_time = 20000.0;
+  config.replications = reps;
+  config.base_seed = 7;
+  return config;
+}
+
+TEST(Experiment, AggregatesAllReplications) {
+  auto config = quick_experiment({1.0, 2.0}, 0.6);
+  const auto result = run_experiment(
+      config, policy_dispatcher_factory(PolicyKind::kORR, {1.0, 2.0}, 0.6));
+  EXPECT_EQ(result.replications.size(), 4u);
+  EXPECT_EQ(result.response_ratio.n, 4u);
+  EXPECT_GT(result.total_jobs, 0u);
+  // The aggregate mean is the mean of replication means.
+  double sum = 0.0;
+  for (const auto& rep : result.replications) {
+    sum += rep.mean_response_ratio;
+  }
+  EXPECT_NEAR(result.response_ratio.mean, sum / 4.0, 1e-12);
+}
+
+TEST(Experiment, ReplicationsUseDistinctStreams) {
+  auto config = quick_experiment({1.0, 2.0}, 0.6);
+  const auto result = run_experiment(
+      config, policy_dispatcher_factory(PolicyKind::kWRAN, {1.0, 2.0}, 0.6));
+  // No two replications should coincide exactly.
+  for (size_t i = 0; i < result.replications.size(); ++i) {
+    for (size_t j = i + 1; j < result.replications.size(); ++j) {
+      EXPECT_NE(result.replications[i].mean_response_time,
+                result.replications[j].mean_response_time);
+    }
+  }
+  EXPECT_GT(result.response_ratio.half_width, 0.0);
+}
+
+TEST(Experiment, DeterministicRegardlessOfThreadCount) {
+  auto config = quick_experiment({1.0, 5.0}, 0.7, 6);
+  config.max_threads = 1;
+  const auto serial = run_experiment(
+      config, policy_dispatcher_factory(PolicyKind::kORR, {1.0, 5.0}, 0.7));
+  config.max_threads = 6;
+  const auto parallel = run_experiment(
+      config, policy_dispatcher_factory(PolicyKind::kORR, {1.0, 5.0}, 0.7));
+  ASSERT_EQ(serial.replications.size(), parallel.replications.size());
+  for (size_t r = 0; r < serial.replications.size(); ++r) {
+    EXPECT_DOUBLE_EQ(serial.replications[r].mean_response_time,
+                     parallel.replications[r].mean_response_time);
+    EXPECT_EQ(serial.replications[r].completed_jobs,
+              parallel.replications[r].completed_jobs);
+  }
+  EXPECT_DOUBLE_EQ(serial.response_ratio.mean, parallel.response_ratio.mean);
+}
+
+TEST(Experiment, MachineFractionsAveragedAndNormalized) {
+  auto config = quick_experiment({1.0, 3.0}, 0.6);
+  const auto result = run_experiment(
+      config, policy_dispatcher_factory(PolicyKind::kWRR, {1.0, 3.0}, 0.6));
+  ASSERT_EQ(result.mean_machine_fractions.size(), 2u);
+  const double sum = std::accumulate(result.mean_machine_fractions.begin(),
+                                     result.mean_machine_fractions.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // WRR sends speed-proportional shares.
+  EXPECT_NEAR(result.mean_machine_fractions[0], 0.25, 0.01);
+  EXPECT_NEAR(result.mean_machine_fractions[1], 0.75, 0.01);
+}
+
+TEST(Experiment, UtilizationsNearTargetRho) {
+  auto config = quick_experiment({1.0, 2.0, 5.0}, 0.5);
+  const auto result = run_experiment(
+      config,
+      policy_dispatcher_factory(PolicyKind::kWRR, {1.0, 2.0, 5.0}, 0.5));
+  for (double u : result.mean_machine_utilizations) {
+    EXPECT_NEAR(u, 0.5, 0.05);
+  }
+}
+
+TEST(Experiment, ConfidenceIntervalShrinksWithMoreReps) {
+  auto few = quick_experiment({1.0, 2.0}, 0.7, 3);
+  auto many = quick_experiment({1.0, 2.0}, 0.7, 12);
+  const auto factory =
+      policy_dispatcher_factory(PolicyKind::kWRAN, {1.0, 2.0}, 0.7);
+  const auto r_few = run_experiment(few, factory);
+  const auto r_many = run_experiment(many, factory);
+  EXPECT_LT(r_many.response_ratio.half_width,
+            r_few.response_ratio.half_width);
+}
+
+TEST(Experiment, ZeroReplicationsThrows) {
+  auto config = quick_experiment({1.0}, 0.5);
+  config.replications = 0;
+  EXPECT_THROW(
+      run_experiment(config,
+                     policy_dispatcher_factory(PolicyKind::kWRR, {1.0}, 0.5)),
+      hs::util::CheckError);
+}
+
+TEST(Experiment, NullFactoryRejected) {
+  auto config = quick_experiment({1.0}, 0.5, 1);
+  EXPECT_THROW(
+      run_experiment(config, [] {
+        return std::unique_ptr<hs::dispatch::Dispatcher>{};
+      }),
+      hs::util::CheckError);
+}
+
+TEST(Experiment, WorkerExceptionPropagates) {
+  auto config = quick_experiment({1.0, 2.0}, 0.5, 3);
+  // Dispatcher sized for the wrong cluster → run_simulation throws inside
+  // the worker thread; the error must surface to the caller.
+  EXPECT_THROW(
+      run_experiment(config,
+                     policy_dispatcher_factory(PolicyKind::kWRR, {1.0}, 0.5)),
+      hs::util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Tests for the FCFS server, validated against M/M/1 and M/G/1
+// (Pollaczek–Khinchine) closed forms.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "queueing/fcfs_server.h"
+#include "queueing/mm1.h"
+#include "rng/distributions.h"
+#include "sim/simulator.h"
+#include "stats/running_stats.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::queueing::Completion;
+using hs::queueing::FcfsServer;
+using hs::queueing::Job;
+using hs::sim::Simulator;
+
+struct Harness {
+  Simulator sim;
+  FcfsServer server;
+  std::vector<Completion> completions;
+
+  explicit Harness(double speed = 1.0) : server(sim, speed, 3) {
+    server.set_completion_callback(
+        [this](const Completion& c) { completions.push_back(c); });
+  }
+
+  void arrive_at(double t, uint64_t id, double size) {
+    sim.schedule_at(t, [this, id, size, t] {
+      server.arrive(Job{id, t, size});
+    });
+  }
+
+  std::map<uint64_t, double> departures() {
+    std::map<uint64_t, double> result;
+    for (const auto& c : completions) {
+      result[c.job.id] = c.departure_time;
+    }
+    return result;
+  }
+};
+
+TEST(FcfsServer, JobsServedInArrivalOrder) {
+  Harness h(1.0);
+  h.arrive_at(0.0, 1, 2.0);
+  h.arrive_at(0.5, 2, 1.0);
+  h.arrive_at(0.6, 3, 1.0);
+  h.sim.run_all();
+  auto d = h.departures();
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+  EXPECT_DOUBLE_EQ(d[3], 4.0);
+}
+
+TEST(FcfsServer, NoSharingUnlikePs) {
+  // Under FCFS the short job queued behind a long one waits fully.
+  Harness h(1.0);
+  h.arrive_at(0.0, 1, 10.0);
+  h.arrive_at(1.0, 2, 0.5);
+  h.sim.run_all();
+  auto d = h.departures();
+  EXPECT_DOUBLE_EQ(d[1], 10.0);
+  EXPECT_DOUBLE_EQ(d[2], 10.5);
+}
+
+TEST(FcfsServer, SpeedScalesService) {
+  Harness h(4.0);
+  h.arrive_at(0.0, 1, 8.0);
+  h.sim.run_all();
+  EXPECT_DOUBLE_EQ(h.departures()[1], 2.0);
+}
+
+TEST(FcfsServer, IdleGapRestartsService) {
+  Harness h(1.0);
+  h.arrive_at(0.0, 1, 1.0);
+  h.arrive_at(5.0, 2, 1.0);
+  h.sim.run_all();
+  auto d = h.departures();
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 6.0);
+  EXPECT_NEAR(h.server.busy_time(), 2.0, 1e-9);
+}
+
+TEST(FcfsServer, QueueLengthIncludesInService) {
+  Harness h(1.0);
+  h.arrive_at(0.0, 1, 10.0);
+  h.arrive_at(1.0, 2, 10.0);
+  h.arrive_at(2.0, 3, 10.0);
+  h.sim.run_until(3.0);
+  EXPECT_EQ(h.server.queue_length(), 3u);
+}
+
+TEST(FcfsServer, MachineIndexPropagated) {
+  Harness h(1.0);
+  h.arrive_at(0.0, 1, 1.0);
+  h.sim.run_all();
+  EXPECT_EQ(h.completions[0].machine, 3);
+}
+
+TEST(FcfsServer, Mm1MeanResponseMatchesTheory) {
+  Harness h(1.0);
+  hs::rng::Xoshiro256 gen(1234);
+  const double lambda = 0.7;
+  const double mu = 1.0;
+  hs::rng::Exponential interarrival(lambda);
+  hs::rng::Exponential sizes(mu);
+
+  hs::stats::RunningStats response;
+  h.server.set_completion_callback([&](const Completion& comp) {
+    response.add(comp.response_time());
+  });
+
+  double t = 0.0;
+  for (int i = 0; i < 300000; ++i) {
+    t += interarrival.sample(gen);
+    const double size = sizes.sample(gen);
+    h.sim.schedule_at(t, [&h, i, t, size] {
+      h.server.arrive(Job{static_cast<uint64_t>(i), t, size});
+    });
+    h.sim.run_until(t);
+  }
+  h.sim.run_all();
+
+  // M/M/1-FCFS mean response = 1/(μ−λ) (same as PS for exponential).
+  const double expected = 1.0 / (mu - lambda);
+  EXPECT_NEAR(response.mean(), expected, 0.05 * expected);
+}
+
+TEST(FcfsServer, Mg1WaitingMatchesPollaczekKhinchine) {
+  Harness h(1.0);
+  hs::rng::Xoshiro256 gen(5678);
+  // Deterministic-ish service: uniform sizes on [0.5, 1.5].
+  hs::rng::Uniform sizes(0.5, 1.5);
+  const double mean_s = 1.0;
+  const double second_moment = sizes.variance() + mean_s * mean_s;
+  const double lambda = 0.6;
+  hs::rng::Exponential interarrival(lambda);
+
+  hs::stats::RunningStats waiting;
+  h.server.set_completion_callback([&](const Completion& comp) {
+    waiting.add(comp.response_time() - comp.job.size);  // speed 1
+  });
+
+  double t = 0.0;
+  for (int i = 0; i < 300000; ++i) {
+    t += interarrival.sample(gen);
+    const double size = sizes.sample(gen);
+    h.sim.schedule_at(t, [&h, i, t, size] {
+      h.server.arrive(Job{static_cast<uint64_t>(i), t, size});
+    });
+    h.sim.run_until(t);
+  }
+  h.sim.run_all();
+
+  const double expected =
+      hs::queueing::mm1::mg1_fcfs_mean_waiting(lambda, mean_s, second_moment);
+  EXPECT_NEAR(waiting.mean(), expected, 0.05 * expected);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the fixed-bin histogram.
+#include <gtest/gtest.h>
+
+#include "rng/distributions.h"
+#include "stats/histogram.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::stats::Histogram;
+
+TEST(Histogram, LinearBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderflowOverflowCounted) {
+  Histogram h(1.0, 2.0, 4);
+  h.add(0.5);
+  h.add(2.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinRangesTileTheDomain) {
+  Histogram h(2.0, 12.0, 5);
+  double expected_lo = 2.0;
+  for (size_t b = 0; b < h.bin_count(); ++b) {
+    const auto [lo, hi] = h.bin_range(b);
+    EXPECT_DOUBLE_EQ(lo, expected_lo);
+    EXPECT_NEAR(hi - lo, 2.0, 1e-12);
+    expected_lo = hi;
+  }
+  EXPECT_DOUBLE_EQ(expected_lo, 12.0);
+}
+
+TEST(Histogram, LogBinningCoversDecades) {
+  Histogram h(1.0, 1000.0, 3, Histogram::Scale::kLog);
+  h.add(2.0);    // decade 1
+  h.add(20.0);   // decade 2
+  h.add(200.0);  // decade 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  const auto [lo1, hi1] = h.bin_range(1);
+  EXPECT_NEAR(lo1, 10.0, 1e-9);
+  EXPECT_NEAR(hi1, 100.0, 1e-9);
+}
+
+TEST(Histogram, LogScaleNeedsPositiveLo) {
+  EXPECT_THROW((void)(Histogram(0.0, 10.0, 4, Histogram::Scale::kLog)),
+               hs::util::CheckError);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  hs::rng::Xoshiro256 gen(8);
+  for (int i = 0; i < 100000; ++i) {
+    h.add(gen.next_double());
+  }
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileEmptyThrows) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)(h.quantile(0.5)), hs::util::CheckError);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(20);
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW((void)(Histogram(1.0, 1.0, 4)), hs::util::CheckError);
+  EXPECT_THROW((void)(Histogram(0.0, 1.0, 0)), hs::util::CheckError);
+}
+
+TEST(Histogram, OutOfRangeBinAccessThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)(h.count(2)), hs::util::CheckError);
+  EXPECT_THROW((void)(h.bin_range(2)), hs::util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Tests for the Figure 2 workload allocation deviation tracker.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/interval_tracker.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::stats::IntervalDeviationTracker;
+
+TEST(IntervalTracker, PerfectMatchZeroDeviation) {
+  IntervalDeviationTracker tracker({0.5, 0.5}, 10.0);
+  tracker.record(1.0, 0);
+  tracker.record(2.0, 1);
+  tracker.record(3.0, 0);
+  tracker.record(4.0, 1);
+  tracker.flush_until(10.0);
+  ASSERT_EQ(tracker.deviations().size(), 1u);
+  EXPECT_NEAR(tracker.deviations()[0], 0.0, 1e-15);
+}
+
+TEST(IntervalTracker, KnownDeviation) {
+  IntervalDeviationTracker tracker({0.25, 0.75}, 10.0);
+  // All four jobs to machine 0: actual = {1, 0}.
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    tracker.record(t, 0);
+  }
+  tracker.flush_until(10.0);
+  ASSERT_EQ(tracker.deviations().size(), 1u);
+  // (0.25-1)² + (0.75-0)² = 0.5625 + 0.5625.
+  EXPECT_NEAR(tracker.deviations()[0], 1.125, 1e-12);
+}
+
+TEST(IntervalTracker, EmptyIntervalContributesFullMiss) {
+  IntervalDeviationTracker tracker({0.3, 0.7}, 5.0);
+  tracker.flush_until(5.0);
+  ASSERT_EQ(tracker.deviations().size(), 1u);
+  // Σ αᵢ² = 0.09 + 0.49.
+  EXPECT_NEAR(tracker.deviations()[0], 0.58, 1e-12);
+}
+
+TEST(IntervalTracker, MultipleIntervalsInOrder) {
+  IntervalDeviationTracker tracker({0.5, 0.5}, 10.0);
+  tracker.record(1.0, 0);   // interval 0: all to machine 0
+  tracker.record(11.0, 1);  // interval 1: all to machine 1
+  tracker.record(12.0, 1);
+  tracker.flush_until(20.0);
+  ASSERT_EQ(tracker.deviations().size(), 2u);
+  EXPECT_NEAR(tracker.deviations()[0], 0.5, 1e-12);  // {1,0} vs {.5,.5}
+  EXPECT_NEAR(tracker.deviations()[1], 0.5, 1e-12);  // {0,1} vs {.5,.5}
+}
+
+TEST(IntervalTracker, RecordAtIntervalBoundaryGoesToNext) {
+  IntervalDeviationTracker tracker({1.0, 0.0}, 10.0);
+  tracker.record(10.0, 0);  // exactly at boundary: belongs to interval 1
+  tracker.flush_until(20.0);
+  ASSERT_EQ(tracker.deviations().size(), 2u);
+  EXPECT_NEAR(tracker.deviations()[0], 1.0, 1e-12);  // interval 0 empty
+  EXPECT_NEAR(tracker.deviations()[1], 0.0, 1e-12);
+}
+
+TEST(IntervalTracker, OutOfOrderRecordThrows) {
+  IntervalDeviationTracker tracker({1.0}, 10.0);
+  tracker.record(5.0, 0);
+  EXPECT_THROW(tracker.record(4.0, 0), hs::util::CheckError);
+}
+
+TEST(IntervalTracker, BadMachineThrows) {
+  IntervalDeviationTracker tracker({1.0}, 10.0);
+  EXPECT_THROW(tracker.record(1.0, 1), hs::util::CheckError);
+}
+
+TEST(IntervalTracker, FractionsMustSumToOne) {
+  EXPECT_THROW(IntervalDeviationTracker({0.5, 0.6}, 10.0),
+               hs::util::CheckError);
+}
+
+TEST(IntervalTracker, SkippedIntervalsAllReported) {
+  IntervalDeviationTracker tracker({1.0}, 1.0);
+  tracker.record(0.5, 0);
+  tracker.record(4.5, 0);  // skips intervals 1..3
+  tracker.flush_until(5.0);
+  ASSERT_EQ(tracker.deviations().size(), 5u);
+  EXPECT_NEAR(tracker.deviations()[0], 0.0, 1e-12);
+  EXPECT_NEAR(tracker.deviations()[1], 1.0, 1e-12);
+  EXPECT_NEAR(tracker.deviations()[4], 0.0, 1e-12);
+}
+
+}  // namespace

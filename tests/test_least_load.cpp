@@ -1,0 +1,111 @@
+// Tests for the Dynamic Least-Load dispatcher.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dispatch/least_load.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::dispatch::LeastLoadDispatcher;
+
+hs::rng::Xoshiro256 gen(1);
+
+TEST(LeastLoad, PrefersFastestWhenAllIdle) {
+  LeastLoadDispatcher d({1.0, 2.0, 10.0});
+  // Normalized loads (0+1)/s: 1, 0.5, 0.1 → machine 2.
+  EXPECT_EQ(d.pick(gen), 2u);
+}
+
+TEST(LeastLoad, EstimateIncrementsOnPick) {
+  LeastLoadDispatcher d({1.0, 1.0});
+  EXPECT_EQ(d.pick(gen), 0u);  // tie → first
+  EXPECT_EQ(d.estimated_queue(0), 1u);
+  EXPECT_EQ(d.pick(gen), 1u);  // now machine 1 is emptier
+  EXPECT_EQ(d.pick(gen), 0u);  // alternates while no departures
+}
+
+TEST(LeastLoad, NormalizedLoadDrivesChoice) {
+  LeastLoadDispatcher d({1.0, 10.0});
+  // The speed-10 machine absorbs many jobs before the slow one looks
+  // better: (q+1)/10 < 1 until q = 9.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(d.pick(gen), 1u) << "job " << i;
+  }
+  // Now (9+1)/10 == (0+1)/1 → tie, first machine wins.
+  EXPECT_EQ(d.pick(gen), 0u);
+}
+
+TEST(LeastLoad, DepartureReportFreesCapacity) {
+  LeastLoadDispatcher d({1.0, 1.0});
+  EXPECT_EQ(d.pick(gen), 0u);
+  d.on_departure_report(0);
+  EXPECT_EQ(d.estimated_queue(0), 0u);
+  EXPECT_EQ(d.pick(gen), 0u);  // back to the tie-first choice
+}
+
+TEST(LeastLoad, ReportWithoutDispatchThrows) {
+  LeastLoadDispatcher d({1.0});
+  EXPECT_THROW((void)(d.on_departure_report(0)), hs::util::CheckError);
+}
+
+TEST(LeastLoad, ResetClearsEstimates) {
+  LeastLoadDispatcher d({1.0, 1.0});
+  (void)d.pick(gen);
+  (void)d.pick(gen);
+  d.reset();
+  EXPECT_EQ(d.estimated_queue(0), 0u);
+  EXPECT_EQ(d.estimated_queue(1), 0u);
+}
+
+TEST(LeastLoad, UsesFeedback) {
+  LeastLoadDispatcher d({1.0});
+  EXPECT_TRUE(d.uses_feedback());
+  EXPECT_EQ(d.name(), "least-load");
+  EXPECT_EQ(d.machine_count(), 1u);
+}
+
+TEST(LeastLoad, OutOfRangeReportThrows) {
+  LeastLoadDispatcher d({1.0});
+  EXPECT_THROW((void)(d.on_departure_report(5)), hs::util::CheckError);
+  EXPECT_THROW((void)(d.estimated_queue(5)), hs::util::CheckError);
+}
+
+TEST(LeastLoad, InvalidConstructionThrows) {
+  EXPECT_THROW((void)(LeastLoadDispatcher({})), hs::util::CheckError);
+  EXPECT_THROW((void)(LeastLoadDispatcher({1.0, 0.0})), hs::util::CheckError);
+}
+
+TEST(LeastLoad, SteadyStateSharesFavorFastMachines) {
+  // With prompt departure reports at service-rate pace, the long-run
+  // job shares skew towards fast machines more than proportionally —
+  // the observation behind Table 1.
+  LeastLoadDispatcher d({1.0, 9.0});
+  std::vector<uint64_t> counts(2, 0);
+  // Crude closed loop: after each pick, report a departure from the
+  // machine most likely to have finished (probability ∝ speed·queue).
+  hs::rng::Xoshiro256 local_gen(5);
+  for (int i = 0; i < 20000; ++i) {
+    counts[d.pick(local_gen)]++;
+    // Keep total in-flight around 4 jobs.
+    if (d.estimated_queue(0) + d.estimated_queue(1) > 4) {
+      const double w0 =
+          static_cast<double>(d.estimated_queue(0)) * 1.0;
+      const double w1 =
+          static_cast<double>(d.estimated_queue(1)) * 9.0;
+      const size_t machine =
+          local_gen.next_double() * (w0 + w1) < w0 ? 0 : 1;
+      if (d.estimated_queue(machine) > 0) {
+        d.on_departure_report(machine);
+      }
+    }
+  }
+  const double share_fast =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[0] + counts[1]);
+  // Proportional share would be 0.9; least-load must exceed it.
+  EXPECT_GT(share_fast, 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Tests for the numeric helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace {
+
+using namespace hs::util;
+
+TEST(KahanSum, EmptyIsZero) {
+  EXPECT_EQ(kahan_sum(std::vector<double>{}), 0.0);
+}
+
+TEST(KahanSum, MatchesExactForSmallInputs) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.5};
+  EXPECT_DOUBLE_EQ(kahan_sum(v), 10.5);
+}
+
+TEST(KahanSum, CompensatesCancellation) {
+  // 1 + tiny*N where naive accumulation loses the tiny terms entirely.
+  std::vector<double> v;
+  v.push_back(1.0);
+  const double tiny = 1e-16;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(tiny);
+  }
+  const double expected = 1.0 + tiny * n;
+  EXPECT_NEAR(kahan_sum(v), expected, 1e-18);
+}
+
+TEST(Mean, EmptyIsZero) { EXPECT_EQ(mean(std::vector<double>{}), 0.0); }
+
+TEST(Mean, Simple) {
+  std::vector<double> v = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 4.0);
+}
+
+TEST(SampleStddev, FewerThanTwoIsZero) {
+  EXPECT_EQ(sample_stddev(std::vector<double>{}), 0.0);
+  EXPECT_EQ(sample_stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(SampleStddev, KnownValue) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(sample_stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(ApproxEqual, ExactValues) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+}
+
+TEST(ApproxEqual, RelativeTolerance) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 * (1.0 + 1e-10)));
+}
+
+TEST(ApproxEqual, AbsoluteFloorNearZero) {
+  EXPECT_TRUE(approx_equal(1e-13, 0.0));
+  EXPECT_FALSE(approx_equal(1e-3, 0.0));
+}
+
+TEST(SquaredDeviation, Zero) {
+  std::vector<double> a = {0.1, 0.9};
+  EXPECT_EQ(squared_deviation(a, a), 0.0);
+}
+
+TEST(SquaredDeviation, KnownValue) {
+  std::vector<double> a = {0.5, 0.5};
+  std::vector<double> b = {0.2, 0.8};
+  EXPECT_NEAR(squared_deviation(a, b), 0.09 + 0.09, 1e-15);
+}
+
+TEST(SquaredDeviation, SizeMismatchThrows) {
+  std::vector<double> a = {1.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW((void)(squared_deviation(a, b)), hs::util::CheckError);
+}
+
+TEST(Linspace, EndpointsExact) {
+  auto v = linspace(0.3, 0.9, 7);
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.3);
+  EXPECT_DOUBLE_EQ(v.back(), 0.9);
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i] - v[i - 1], 0.1, 1e-12);
+  }
+}
+
+TEST(Linspace, TwoPoints) {
+  auto v = linspace(-1.0, 1.0, 2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+}
+
+TEST(Linspace, OnePointThrows) {
+  EXPECT_THROW((void)(linspace(0.0, 1.0, 1)), hs::util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Tests for the closed-form queueing formulas.
+#include <gtest/gtest.h>
+
+#include "queueing/mm1.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace hs::queueing::mm1;
+
+TEST(Mm1, Utilization) {
+  EXPECT_DOUBLE_EQ(utilization(0.7, 1.0), 0.7);
+  EXPECT_DOUBLE_EQ(utilization(3.0, 10.0), 0.3);
+  EXPECT_DOUBLE_EQ(utilization(0.0, 1.0), 0.0);
+}
+
+TEST(Mm1, PsMeanResponseTime) {
+  // Eq. (1): T = 1/(μ−λ); at ρ=0.7, μ=1: T = 1/0.3.
+  EXPECT_NEAR(ps_mean_response_time(0.7, 1.0), 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ps_mean_response_time(0.0, 2.0), 0.5, 1e-12);
+}
+
+TEST(Mm1, PsMeanResponseRatio) {
+  // Eq. (2): R = 1/(1−ρ).
+  EXPECT_NEAR(ps_mean_response_ratio(0.7, 1.0), 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ps_mean_response_ratio(0.5, 1.0), 2.0, 1e-12);
+  EXPECT_NEAR(ps_mean_response_ratio(4.5, 9.0), 2.0, 1e-12);
+}
+
+TEST(Mm1, MeanNumberInSystem) {
+  EXPECT_NEAR(mean_number_in_system(0.5, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(mean_number_in_system(0.9, 1.0), 9.0, 1e-12);
+}
+
+TEST(Mm1, LittlesLawConsistency) {
+  // L = λ·T must hold between the formulas.
+  const double lambda = 0.65;
+  const double mu = 1.3;
+  EXPECT_NEAR(mean_number_in_system(lambda, mu),
+              lambda * ps_mean_response_time(lambda, mu), 1e-12);
+}
+
+TEST(Mm1, FcfsWaiting) {
+  // W = ρ/(μ−λ): λ=0.7, μ=1 => 0.7/0.3.
+  EXPECT_NEAR(mm1_fcfs_mean_waiting(0.7, 1.0), 7.0 / 3.0, 1e-12);
+}
+
+TEST(Mm1, FcfsResponseEqualsWaitPlusService) {
+  const double lambda = 0.4, mu = 1.0;
+  EXPECT_NEAR(mm1_fcfs_mean_waiting(lambda, mu) + 1.0 / mu,
+              ps_mean_response_time(lambda, mu), 1e-12);
+}
+
+TEST(Mg1, PollaczekKhinchineExponentialReducesToMm1) {
+  const double lambda = 0.6, mu = 1.0;
+  // Exponential service: E[S]=1, E[S²]=2.
+  EXPECT_NEAR(mg1_fcfs_mean_waiting(lambda, 1.0 / mu, 2.0 / (mu * mu)),
+              mm1_fcfs_mean_waiting(lambda, mu), 1e-12);
+}
+
+TEST(Mg1, DeterministicServiceHalvesWaiting) {
+  const double lambda = 0.6;
+  // Deterministic service: E[S²] = E[S]² => half the M/M/1 waiting.
+  EXPECT_NEAR(mg1_fcfs_mean_waiting(lambda, 1.0, 1.0),
+              0.5 * mm1_fcfs_mean_waiting(lambda, 1.0), 1e-12);
+}
+
+TEST(Mm1, ConditionalPsResponse) {
+  // Eq. (1) conditional form: E[T | size=t] = t/(1−ρ).
+  EXPECT_NEAR(ps_conditional_response(10.0, 0.5), 20.0, 1e-12);
+  EXPECT_NEAR(ps_conditional_response(1.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(Mm1, InstabilityRejected) {
+  EXPECT_THROW((void)(ps_mean_response_time(1.0, 1.0)), hs::util::CheckError);
+  EXPECT_THROW((void)(ps_mean_response_ratio(2.0, 1.0)), hs::util::CheckError);
+  EXPECT_THROW((void)(mm1_fcfs_mean_waiting(1.5, 1.0)), hs::util::CheckError);
+  EXPECT_THROW((void)(mg1_fcfs_mean_waiting(1.0, 1.0, 1.0)), hs::util::CheckError);
+}
+
+TEST(Mm1, InvalidInputsRejected) {
+  EXPECT_THROW((void)(utilization(0.5, 0.0)), hs::util::CheckError);
+  EXPECT_THROW((void)(utilization(-0.5, 1.0)), hs::util::CheckError);
+  EXPECT_THROW((void)(ps_conditional_response(0.0, 0.5)), hs::util::CheckError);
+  EXPECT_THROW((void)(ps_conditional_response(1.0, 1.0)), hs::util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Tests for the multi-scheduler simulation variant (replicated
+// front-ends with no shared state).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/sim.h"
+#include "core/policy.h"
+#include "dispatch/smooth_rr.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace hs::cluster;
+using hs::core::make_policy_dispatcher;
+using hs::core::PolicyKind;
+
+SimulationConfig quick_config(std::vector<double> speeds, double rho) {
+  SimulationConfig config;
+  config.speeds = std::move(speeds);
+  config.rho = rho;
+  config.sim_time = 40000.0;
+  config.warmup_frac = 0.2;
+  config.workload.arrival_kind = hs::workload::ArrivalKind::kPoisson;
+  config.workload.size_kind = hs::workload::SizeKind::kExponential;
+  config.workload.fixed_or_mean_size = 1.0;
+  config.seed = 13;
+  return config;
+}
+
+TEST(MultiScheduler, SingleSchedulerEqualsPlainRun) {
+  const auto config = quick_config({1.0, 4.0}, 0.6);
+  auto d1 = make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.6);
+  const auto plain = run_simulation(config, *d1);
+  auto d2 = make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.6);
+  const auto multi = run_simulation_multi(config, {d2.get()});
+  EXPECT_EQ(plain.completed_jobs, multi.completed_jobs);
+  EXPECT_DOUBLE_EQ(plain.mean_response_time, multi.mean_response_time);
+}
+
+TEST(MultiScheduler, SplitsWorkAcrossSchedulers) {
+  const auto config = quick_config({1.0, 1.0, 2.0}, 0.5);
+  std::vector<std::unique_ptr<hs::dispatch::Dispatcher>> owners;
+  std::vector<hs::dispatch::Dispatcher*> schedulers;
+  for (int s = 0; s < 4; ++s) {
+    owners.push_back(
+        make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.5));
+    schedulers.push_back(owners.back().get());
+  }
+  const auto result = run_simulation_multi(config, schedulers,
+                                           SchedulerSplit::kRoundRobin);
+  EXPECT_GT(result.completed_jobs, 0u);
+  // With a round-robin split, each ORR instance dispatched ~1/4 of jobs.
+  for (const auto& owner : owners) {
+    auto* rr = dynamic_cast<hs::dispatch::SmoothRoundRobinDispatcher*>(
+        owner.get());
+    ASSERT_NE(rr, nullptr);
+    uint64_t handled = 0;
+    for (size_t m = 0; m < config.speeds.size(); ++m) {
+      handled += rr->assigned(m);
+    }
+    EXPECT_NEAR(static_cast<double>(handled),
+                static_cast<double>(result.dispatched_jobs) / 4.0 / 0.8,
+                0.1 * static_cast<double>(handled));
+  }
+}
+
+TEST(MultiScheduler, AggregateFractionsStillMatchAllocation) {
+  // k independent ORR schedulers still deliver the optimized fractions
+  // in aggregate (each one does individually).
+  const auto config = quick_config({1.0, 1.0, 6.0}, 0.6);
+  const auto allocation =
+      hs::core::policy_allocation(PolicyKind::kORR, config.speeds, 0.6);
+  std::vector<std::unique_ptr<hs::dispatch::Dispatcher>> owners;
+  std::vector<hs::dispatch::Dispatcher*> schedulers;
+  for (int s = 0; s < 3; ++s) {
+    owners.push_back(
+        make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.6));
+    schedulers.push_back(owners.back().get());
+  }
+  const auto result = run_simulation_multi(config, schedulers);
+  for (size_t m = 0; m < config.speeds.size(); ++m) {
+    EXPECT_NEAR(result.machine_fractions[m], allocation[m], 0.02)
+        << "machine " << m;
+  }
+}
+
+TEST(MultiScheduler, LeastLoadViewsArePerScheduler) {
+  // Splitting least-load across schedulers starves each one of half the
+  // departure information, so performance must degrade vs one scheduler.
+  const auto config = quick_config({1.0, 1.0, 1.0, 1.0, 10.0, 10.0}, 0.8);
+  auto single = make_policy_dispatcher(PolicyKind::kLeastLoad,
+                                       config.speeds, 0.8);
+  const auto one = run_simulation(config, *single);
+
+  std::vector<std::unique_ptr<hs::dispatch::Dispatcher>> owners;
+  std::vector<hs::dispatch::Dispatcher*> schedulers;
+  for (int s = 0; s < 8; ++s) {
+    owners.push_back(make_policy_dispatcher(PolicyKind::kLeastLoad,
+                                            config.speeds, 0.8));
+    schedulers.push_back(owners.back().get());
+  }
+  const auto eight = run_simulation_multi(config, schedulers);
+  EXPECT_GT(eight.mean_response_ratio, one.mean_response_ratio);
+}
+
+TEST(MultiScheduler, DeterministicGivenSeed) {
+  const auto config = quick_config({1.0, 4.0}, 0.6);
+  auto run_once = [&] {
+    std::vector<std::unique_ptr<hs::dispatch::Dispatcher>> owners;
+    std::vector<hs::dispatch::Dispatcher*> schedulers;
+    for (int s = 0; s < 2; ++s) {
+      owners.push_back(
+          make_policy_dispatcher(PolicyKind::kORR, config.speeds, 0.6));
+      schedulers.push_back(owners.back().get());
+    }
+    return run_simulation_multi(config, schedulers);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.mean_response_time, b.mean_response_time);
+  EXPECT_EQ(a.completed_jobs, b.completed_jobs);
+}
+
+TEST(MultiScheduler, RejectsInvalidSchedulers) {
+  const auto config = quick_config({1.0}, 0.5);
+  EXPECT_THROW((void)run_simulation_multi(config, {}),
+               hs::util::CheckError);
+  EXPECT_THROW((void)run_simulation_multi(config, {nullptr}),
+               hs::util::CheckError);
+  auto wrong = make_policy_dispatcher(PolicyKind::kWRR, {1.0, 2.0}, 0.5);
+  EXPECT_THROW((void)run_simulation_multi(config, {wrong.get()}),
+               hs::util::CheckError);
+}
+
+}  // namespace

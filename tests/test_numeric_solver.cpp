@@ -1,0 +1,133 @@
+// Tests for the numerical KKT water-filling solver — the independent
+// cross-check of Algorithm 1's closed form.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "alloc/numeric_solver.h"
+#include "alloc/optimized.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::alloc::Allocation;
+using hs::alloc::minimize_weighted_response;
+using hs::alloc::NumericOptimizedAllocation;
+using hs::alloc::objective_value;
+using hs::alloc::OptimizedAllocation;
+
+TEST(NumericSolver, MatchesClosedFormSimpleCase) {
+  const std::vector<double> speeds = {1.0, 2.0, 4.0};
+  const double rho = 0.85;
+  const Allocation numeric = NumericOptimizedAllocation().compute(speeds, rho);
+  const Allocation closed = OptimizedAllocation().compute(speeds, rho);
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    EXPECT_NEAR(numeric[i], closed[i], 1e-9);
+  }
+}
+
+TEST(NumericSolver, MatchesClosedFormWithExcludedMachines) {
+  const std::vector<double> speeds = {1.0, 10.0};
+  const double rho = 0.3;  // slow machine excluded
+  const Allocation numeric = NumericOptimizedAllocation().compute(speeds, rho);
+  const Allocation closed = OptimizedAllocation().compute(speeds, rho);
+  EXPECT_NEAR(numeric[0], 0.0, 1e-9);
+  EXPECT_NEAR(numeric[1], closed[1], 1e-9);
+}
+
+// Property: closed form and KKT solver agree on random clusters — two
+// completely independent derivations of the same optimum.
+class NumericVsClosedForm : public ::testing::TestWithParam<int> {};
+
+TEST_P(NumericVsClosedForm, Agree) {
+  hs::rng::Xoshiro256 gen(static_cast<uint64_t>(GetParam()) * 6151);
+  const size_t n = 1 + gen.next_below(20);
+  std::vector<double> speeds(n);
+  for (double& s : speeds) {
+    s = gen.uniform(0.2, 30.0);
+  }
+  const double rho = gen.uniform(0.03, 0.97);
+  const Allocation numeric = NumericOptimizedAllocation().compute(speeds, rho);
+  const Allocation closed = OptimizedAllocation().compute(speeds, rho);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(numeric[i], closed[i], 1e-7)
+        << "machine " << i << " of " << n << " at rho=" << rho;
+  }
+  EXPECT_NEAR(objective_value(numeric, speeds, rho),
+              objective_value(closed, speeds, rho),
+              1e-7 * objective_value(closed, speeds, rho));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClusters, NumericVsClosedForm,
+                         ::testing::Range(1, 31));
+
+TEST(NumericSolver, WeightedVariantUnitWeightsIsStandard) {
+  const std::vector<double> speeds = {1.0, 3.0, 7.0};
+  const std::vector<double> unit(speeds.size(), 1.0);
+  const Allocation weighted =
+      minimize_weighted_response(speeds, 0.6, unit);
+  const Allocation closed = OptimizedAllocation().compute(speeds, 0.6);
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    EXPECT_NEAR(weighted[i], closed[i], 1e-9);
+  }
+}
+
+TEST(NumericSolver, UpweightedMachineReceivesLess) {
+  // Raising wᵢ penalizes response time on machine i, so the optimizer
+  // diverts work away from it.
+  const std::vector<double> speeds = {2.0, 2.0};
+  const std::vector<double> unit = {1.0, 1.0};
+  const std::vector<double> skewed = {4.0, 1.0};
+  const Allocation base = minimize_weighted_response(speeds, 0.6, unit);
+  const Allocation shifted = minimize_weighted_response(speeds, 0.6, skewed);
+  EXPECT_NEAR(base[0], 0.5, 1e-9);
+  EXPECT_LT(shifted[0], base[0]);
+  EXPECT_GT(shifted[1], base[1]);
+}
+
+TEST(NumericSolver, WeightedSolutionSatisfiesKkt) {
+  // Every active machine must have equal weighted marginal cost.
+  const std::vector<double> speeds = {1.0, 2.0, 5.0, 9.0};
+  const std::vector<double> weights = {1.0, 2.0, 0.5, 1.5};
+  const double rho = 0.7;
+  const Allocation a = minimize_weighted_response(speeds, rho, weights);
+  const double lambda = rho * (1.0 + 2.0 + 5.0 + 9.0);
+  double reference = -1.0;
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    if (a[i] <= 1e-9) {
+      continue;
+    }
+    const double denom = speeds[i] - a[i] * lambda;
+    const double marginal = weights[i] * speeds[i] / (denom * denom);
+    if (reference < 0.0) {
+      reference = marginal;
+    } else {
+      EXPECT_NEAR(marginal, reference, 1e-5 * reference) << "machine " << i;
+    }
+  }
+}
+
+TEST(NumericSolver, NoMachineSaturated) {
+  const std::vector<double> speeds = {0.5, 0.5, 0.5, 15.0};
+  for (double rho : {0.05, 0.5, 0.95}) {
+    const Allocation a = NumericOptimizedAllocation().compute(speeds, rho);
+    EXPECT_LT(a.max_machine_utilization(speeds, rho), 1.0) << "rho=" << rho;
+  }
+}
+
+TEST(NumericSolver, InvalidInputsThrow) {
+  const std::vector<double> speeds = {1.0, 2.0};
+  EXPECT_THROW(NumericOptimizedAllocation(-1.0), hs::util::CheckError);
+  EXPECT_THROW(NumericOptimizedAllocation().compute(speeds, 0.0),
+               hs::util::CheckError);
+  const std::vector<double> bad_weights = {1.0, -1.0};
+  EXPECT_THROW(minimize_weighted_response(speeds, 0.5, bad_weights),
+               hs::util::CheckError);
+  const std::vector<double> short_weights = {1.0};
+  EXPECT_THROW(minimize_weighted_response(speeds, 0.5, short_weights),
+               hs::util::CheckError);
+}
+
+}  // namespace

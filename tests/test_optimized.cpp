@@ -1,0 +1,312 @@
+// Tests for the optimized workload allocation (Algorithm 1 and
+// Theorems 1–3 of the paper).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "alloc/optimized.h"
+#include "alloc/scheme.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::alloc::Allocation;
+using hs::alloc::min_objective_value;
+using hs::alloc::objective_value;
+using hs::alloc::OptimizedAllocation;
+using hs::alloc::optimized_cutoff;
+using hs::alloc::WeightedAllocation;
+
+// Theorem 1's unclipped closed form (µ = 1), for configurations where no
+// machine is excluded.
+std::vector<double> theorem1_fractions(const std::vector<double>& speeds,
+                                       double rho) {
+  const double total = std::accumulate(speeds.begin(), speeds.end(), 0.0);
+  const double lambda = rho * total;
+  double sum_sqrt = 0.0;
+  for (double s : speeds) {
+    sum_sqrt += std::sqrt(s);
+  }
+  std::vector<double> alpha(speeds.size());
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    alpha[i] =
+        (speeds[i] - std::sqrt(speeds[i]) * (total - lambda) / sum_sqrt) /
+        lambda;
+  }
+  return alpha;
+}
+
+TEST(Optimized, HomogeneousSystemSplitsEqually) {
+  for (double rho : {0.1, 0.5, 0.9}) {
+    const std::vector<double> speeds(6, 3.0);
+    const Allocation a = OptimizedAllocation().compute(speeds, rho);
+    for (size_t i = 0; i < speeds.size(); ++i) {
+      EXPECT_NEAR(a[i], 1.0 / 6.0, 1e-12) << "rho=" << rho;
+    }
+  }
+}
+
+TEST(Optimized, MatchesTheorem1WhenAllMachinesActive) {
+  const std::vector<double> speeds = {1.0, 2.0, 4.0};
+  const double rho = 0.85;  // high enough that nothing is excluded
+  const Allocation a = OptimizedAllocation().compute(speeds, rho);
+  const auto expected = theorem1_fractions(speeds, rho);
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    ASSERT_GT(expected[i], 0.0) << "test premise: all active";
+    EXPECT_NEAR(a[i], expected[i], 1e-10);
+  }
+}
+
+TEST(Optimized, SlowMachineExcludedAtLowLoad) {
+  // For speeds {1, 10}: machine 0 is excluded iff
+  //   √1·(√1+√10) < 11(1−ρ)  ⇔  ρ < 1 − (1+√10)/11 ≈ 0.6216.
+  const std::vector<double> speeds = {1.0, 10.0};
+  const double threshold = 1.0 - (1.0 + std::sqrt(10.0)) / 11.0;
+
+  const Allocation low = OptimizedAllocation().compute(speeds, 0.5);
+  EXPECT_EQ(low[0], 0.0);
+  EXPECT_DOUBLE_EQ(low[1], 1.0);
+
+  const Allocation high =
+      OptimizedAllocation().compute(speeds, threshold + 0.05);
+  EXPECT_GT(high[0], 0.0);
+
+  // Exactly at the cutoff boundary the sorted-prefix count flips.
+  std::vector<double> sorted = speeds;
+  EXPECT_EQ(optimized_cutoff(sorted, threshold - 1e-6), 1u);
+  EXPECT_EQ(optimized_cutoff(sorted, threshold + 1e-6), 0u);
+}
+
+TEST(Optimized, ConvergesToWeightedAsRhoApproachesOne) {
+  const std::vector<double> speeds = {1.0, 1.5, 2.0, 5.0, 10.0, 12.0};
+  const Allocation weighted = WeightedAllocation().compute(speeds, 0.999);
+  const Allocation optimized =
+      OptimizedAllocation().compute(speeds, 0.9999);
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    EXPECT_NEAR(optimized[i], weighted[i], 1e-3);
+  }
+}
+
+TEST(Optimized, FastMachinesGetDisproportionateShare) {
+  const std::vector<double> speeds = {1.0, 2.0, 5.0, 10.0};
+  const Allocation a = OptimizedAllocation().compute(speeds, 0.7);
+  // Normalized share αᵢ/sᵢ must be non-decreasing in speed.
+  for (size_t i = 0; i + 1 < speeds.size(); ++i) {
+    EXPECT_LE(a[i] / speeds[i], a[i + 1] / speeds[i + 1] + 1e-12);
+  }
+  // And strictly more skewed than proportional for the fastest machine.
+  const Allocation weighted = WeightedAllocation().compute(speeds, 0.7);
+  EXPECT_GT(a[3], weighted[3]);
+  EXPECT_LT(a[0], weighted[0]);
+}
+
+TEST(Optimized, LowerLoadMeansMoreSkew) {
+  const std::vector<double> speeds = {1.0, 10.0};
+  const Allocation at30 = OptimizedAllocation().compute(speeds, 0.7);
+  const Allocation at90 = OptimizedAllocation().compute(speeds, 0.9);
+  EXPECT_GT(at90[0], at30[0]);  // slow machine gains share as load rises
+}
+
+TEST(Optimized, NoMachineSaturated) {
+  const std::vector<double> speeds = {1.0, 1.0, 1.0, 20.0};
+  for (double rho : {0.05, 0.3, 0.7, 0.95, 0.99}) {
+    const Allocation a = OptimizedAllocation().compute(speeds, rho);
+    EXPECT_LT(a.max_machine_utilization(speeds, rho), 1.0) << "rho=" << rho;
+  }
+}
+
+TEST(Optimized, PermutationEquivariant) {
+  const std::vector<double> speeds = {5.0, 1.0, 12.0, 2.0};
+  const std::vector<double> permuted = {12.0, 2.0, 5.0, 1.0};
+  const Allocation a = OptimizedAllocation().compute(speeds, 0.6);
+  const Allocation b = OptimizedAllocation().compute(permuted, 0.6);
+  EXPECT_NEAR(a[0], b[2], 1e-12);  // speed 5
+  EXPECT_NEAR(a[1], b[3], 1e-12);  // speed 1
+  EXPECT_NEAR(a[2], b[0], 1e-12);  // speed 12
+  EXPECT_NEAR(a[3], b[1], 1e-12);  // speed 2
+}
+
+TEST(Optimized, EqualSpeedsGetEqualFractions) {
+  const std::vector<double> speeds = {1.0, 4.0, 1.0, 4.0, 1.0};
+  const Allocation a = OptimizedAllocation().compute(speeds, 0.75);
+  EXPECT_NEAR(a[0], a[2], 1e-12);
+  EXPECT_NEAR(a[0], a[4], 1e-12);
+  EXPECT_NEAR(a[1], a[3], 1e-12);
+}
+
+TEST(Optimized, ObjectiveMatchesClosedFormMinimum) {
+  const std::vector<double> speeds = {1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0};
+  for (double rho : {0.3, 0.5, 0.7, 0.9}) {
+    const Allocation a = OptimizedAllocation().compute(speeds, rho);
+    EXPECT_NEAR(objective_value(a, speeds, rho),
+                min_objective_value(speeds, rho),
+                1e-9 * min_objective_value(speeds, rho))
+        << "rho=" << rho;
+  }
+}
+
+TEST(Optimized, BeatsWeightedOnObjective) {
+  const std::vector<double> speeds = {1.0, 1.0, 2.0, 8.0};
+  for (double rho : {0.3, 0.6, 0.9}) {
+    const Allocation opt = OptimizedAllocation().compute(speeds, rho);
+    const Allocation weighted = WeightedAllocation().compute(speeds, rho);
+    EXPECT_LE(objective_value(opt, speeds, rho),
+              objective_value(weighted, speeds, rho) + 1e-12)
+        << "rho=" << rho;
+  }
+}
+
+// Property: no feasible ε-perturbation of the computed optimum improves
+// the objective (local optimality under the simplex constraint).
+class OptimizedPerturbation : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizedPerturbation, NoPerturbationImproves) {
+  hs::rng::Xoshiro256 gen(static_cast<uint64_t>(GetParam()) * 7919);
+  const size_t n = 2 + gen.next_below(8);
+  std::vector<double> speeds(n);
+  for (double& s : speeds) {
+    s = gen.uniform(0.5, 20.0);
+  }
+  const double rho = gen.uniform(0.05, 0.95);
+
+  const Allocation opt = OptimizedAllocation().compute(speeds, rho);
+  const double best = objective_value(opt, speeds, rho);
+  ASSERT_TRUE(std::isfinite(best));
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t from = gen.next_below(n);
+    const size_t to = gen.next_below(n);
+    if (from == to) {
+      continue;
+    }
+    const double eps = gen.uniform(1e-6, 1e-3);
+    if (opt[from] < eps) {
+      continue;  // infeasible move (would go negative)
+    }
+    std::vector<double> perturbed = opt.fractions();
+    perturbed[from] -= eps;
+    perturbed[to] += eps;
+    const double value =
+        objective_value(Allocation(std::move(perturbed)), speeds, rho);
+    EXPECT_GE(value, best - 1e-9) << "moving " << eps << " from machine "
+                                  << from << " to " << to << " improved F";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClusters, OptimizedPerturbation,
+                         ::testing::Range(1, 21));
+
+// Property: the binary-search cutoff equals the brute-force maximal
+// excluded prefix on random sorted speed vectors.
+class CutoffBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutoffBruteForce, MatchesLinearScan) {
+  hs::rng::Xoshiro256 gen(static_cast<uint64_t>(GetParam()) * 104729);
+  const size_t n = 1 + gen.next_below(30);
+  std::vector<double> speeds(n);
+  for (double& s : speeds) {
+    s = gen.uniform(0.1, 50.0);
+  }
+  std::sort(speeds.begin(), speeds.end());
+  const double rho = gen.uniform(0.02, 0.98);
+
+  const double total = std::accumulate(speeds.begin(), speeds.end(), 0.0);
+  const double lambda = rho * total;
+  size_t expected = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double suffix_speed = 0.0, suffix_sqrt = 0.0;
+    for (size_t j = i; j < n; ++j) {
+      suffix_speed += speeds[j];
+      suffix_sqrt += std::sqrt(speeds[j]);
+    }
+    if (std::sqrt(speeds[i]) * suffix_sqrt < suffix_speed - lambda) {
+      expected = i + 1;  // paper index i is excluded
+    }
+  }
+  EXPECT_EQ(optimized_cutoff(speeds, rho), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClusters, CutoffBruteForce,
+                         ::testing::Range(1, 41));
+
+TEST(Optimized, CutoffRequiresSortedInput) {
+  std::vector<double> unsorted = {5.0, 1.0};
+  EXPECT_THROW((void)(optimized_cutoff(unsorted, 0.5)), hs::util::CheckError);
+}
+
+TEST(Optimized, EstimateFactorOverestimationApproachesWeighted) {
+  const std::vector<double> speeds = {1.0, 1.0, 10.0};
+  const double rho = 0.7;
+  const Allocation exact = OptimizedAllocation(1.0).compute(speeds, rho);
+  const Allocation over = OptimizedAllocation(1.10).compute(speeds, rho);
+  const Allocation weighted = WeightedAllocation().compute(speeds, rho);
+  // Overestimation moves every fraction towards the weighted scheme.
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    const double d_exact = std::fabs(exact[i] - weighted[i]);
+    const double d_over = std::fabs(over[i] - weighted[i]);
+    EXPECT_LE(d_over, d_exact + 1e-12);
+  }
+}
+
+TEST(Optimized, EstimateFactorUnderestimationSkewsMore) {
+  const std::vector<double> speeds = {1.0, 1.0, 10.0};
+  const double rho = 0.7;
+  const Allocation exact = OptimizedAllocation(1.0).compute(speeds, rho);
+  const Allocation under = OptimizedAllocation(0.85).compute(speeds, rho);
+  EXPECT_GT(under[2], exact[2]);  // fast machine even more loaded
+}
+
+TEST(Optimized, HugeOverestimateClampsToWeighted) {
+  const std::vector<double> speeds = {1.0, 4.0};
+  const Allocation clamped = OptimizedAllocation(50.0).compute(speeds, 0.5);
+  const Allocation weighted = WeightedAllocation().compute(speeds, 0.5);
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    EXPECT_NEAR(clamped[i], weighted[i], 1e-4);
+  }
+}
+
+TEST(Optimized, NameEncodesEstimateError) {
+  EXPECT_EQ(OptimizedAllocation().name(), "optimized");
+  EXPECT_NE(OptimizedAllocation(1.05).name().find("+5"), std::string::npos);
+  EXPECT_NE(OptimizedAllocation(0.9).name().find("-10"), std::string::npos);
+}
+
+TEST(Optimized, Table1ConfigurationSkew) {
+  // The paper's Table 1 speeds at ρ = 0.7: the optimized scheme must give
+  // the slowest machine far below its proportional share and the fastest
+  // above it — the pattern Dynamic Least-Load exhibits empirically.
+  const std::vector<double> speeds = {1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0};
+  const Allocation a = OptimizedAllocation().compute(speeds, 0.7);
+  const double total = 31.5;
+  EXPECT_LT(a[0], 0.5 * speeds[0] / total);  // < half proportional share
+  EXPECT_GT(a[6], speeds[6] / total);        // above proportional share
+}
+
+TEST(Optimized, MinObjectiveClosedFormWhenAllActive) {
+  const std::vector<double> speeds = {1.0, 2.0, 4.0};
+  const double rho = 0.85;
+  std::vector<double> sorted = speeds;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(optimized_cutoff(sorted, rho), 0u);
+  const double total = 7.0;
+  const double lambda = rho * total;
+  double sum_sqrt = 0.0;
+  for (double s : speeds) {
+    sum_sqrt += std::sqrt(s);
+  }
+  const double expected = sum_sqrt * sum_sqrt / (total - lambda);
+  EXPECT_NEAR(min_objective_value(speeds, rho), expected, 1e-9 * expected);
+}
+
+TEST(Optimized, ObjectiveInfinityForSaturatingAllocation) {
+  const std::vector<double> speeds = {1.0, 10.0};
+  // All work to the slow machine at ρ=0.5: λ = 5.5 > s₀µ = 1.
+  const Allocation bad({1.0, 0.0});
+  EXPECT_TRUE(std::isinf(objective_value(bad, speeds, 0.5)));
+}
+
+}  // namespace

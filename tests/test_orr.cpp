@@ -1,0 +1,93 @@
+// Tests for the production-facing OrrScheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "alloc/optimized.h"
+#include "core/orr.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::core::OrrScheduler;
+
+TEST(OrrScheduler, AllocationMatchesOptimizedScheme) {
+  const std::vector<double> speeds = {1.0, 1.0, 4.0, 8.0};
+  OrrScheduler orr(speeds, 0.6);
+  const auto expected =
+      hs::alloc::OptimizedAllocation().compute(speeds, 0.6);
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(orr.allocation()[i], expected[i]);
+  }
+  EXPECT_EQ(orr.machine_count(), 4u);
+  EXPECT_DOUBLE_EQ(orr.utilization(), 0.6);
+}
+
+TEST(OrrScheduler, RouteDistributionTracksAllocation) {
+  const std::vector<double> speeds = {1.0, 2.0, 5.0, 10.0};
+  OrrScheduler orr(speeds, 0.7);
+  const size_t total = 10000;
+  std::vector<uint64_t> counts(speeds.size(), 0);
+  for (size_t i = 0; i < total; ++i) {
+    counts[orr.route()]++;
+  }
+  EXPECT_EQ(orr.routed(), total);
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    EXPECT_EQ(counts[i], orr.routed_to(i));
+    const double expected = orr.allocation()[i] * static_cast<double>(total);
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, 2.0)
+        << "machine " << i;
+  }
+}
+
+TEST(OrrScheduler, ExcludesSlowMachinesAtLowLoad) {
+  OrrScheduler orr({1.0, 10.0}, 0.3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(orr.route(), 1u);
+  }
+  EXPECT_EQ(orr.routed_to(0), 0u);
+}
+
+TEST(OrrScheduler, RoutingIsDeterministic) {
+  OrrScheduler a({1.0, 4.0}, 0.6);
+  OrrScheduler b({1.0, 4.0}, 0.6);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.route(), b.route());
+  }
+}
+
+TEST(OrrScheduler, SetUtilizationRecomputes) {
+  OrrScheduler orr({1.0, 10.0}, 0.3);
+  EXPECT_EQ(orr.allocation()[0], 0.0);  // slow machine excluded
+  orr.set_utilization(0.9);
+  EXPECT_GT(orr.allocation()[0], 0.0);  // included at high load
+  EXPECT_DOUBLE_EQ(orr.utilization(), 0.9);
+  EXPECT_EQ(orr.routed(), 0u);  // cycle restarted
+}
+
+TEST(OrrScheduler, InvalidInputsThrow) {
+  EXPECT_THROW(OrrScheduler({}, 0.5), hs::util::CheckError);
+  EXPECT_THROW(OrrScheduler({1.0}, 0.0), hs::util::CheckError);
+  EXPECT_THROW(OrrScheduler({1.0}, 1.0), hs::util::CheckError);
+  EXPECT_THROW(OrrScheduler({-1.0}, 0.5), hs::util::CheckError);
+}
+
+TEST(OrrScheduler, HomogeneousClusterIsPlainRoundRobin) {
+  OrrScheduler orr({2.0, 2.0, 2.0}, 0.5);
+  std::vector<size_t> first_cycle;
+  for (int i = 0; i < 3; ++i) {
+    first_cycle.push_back(orr.route());
+  }
+  std::vector<size_t> second_cycle;
+  for (int i = 0; i < 3; ++i) {
+    second_cycle.push_back(orr.route());
+  }
+  // Each cycle covers all machines exactly once.
+  std::sort(first_cycle.begin(), first_cycle.end());
+  std::sort(second_cycle.begin(), second_cycle.end());
+  EXPECT_EQ(first_cycle, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(second_cycle, (std::vector<size_t>{0, 1, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Tests for the xoshiro256** generator and stream splitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::rng::derive_seed;
+using hs::rng::SplitMix64;
+using hs::rng::Xoshiro256;
+
+TEST(SplitMix, DeterministicSequence) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicSequence) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Xoshiro, LowEntropySeedsStillWellSeparated) {
+  Xoshiro256 a(0);
+  Xoshiro256 b(1);
+  int identical = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++identical;
+    }
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256 gen(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = gen.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, DoubleOpen0NeverZero) {
+  Xoshiro256 gen(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = gen.next_double_open0();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    EXPECT_TRUE(std::isfinite(std::log(u)));
+  }
+}
+
+TEST(Xoshiro, UniformMeanAndVariance) {
+  Xoshiro256 gen(11);
+  const int n = 1000000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = gen.next_double();
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.002);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256 gen(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256 gen(17);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(gen.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, NextBelowZeroThrows) {
+  Xoshiro256 gen(1);
+  EXPECT_THROW(gen.next_below(0), hs::util::CheckError);
+}
+
+TEST(Xoshiro, NextBelowRoughlyUniform) {
+  Xoshiro256 gen(19);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[gen.next_below(bound)]++;
+  }
+  for (uint64_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(counts[k], n / static_cast<int>(bound), 500);
+  }
+}
+
+TEST(Xoshiro, JumpProducesDisjointPrefix) {
+  Xoshiro256 base(99);
+  Xoshiro256 jumped = base;
+  jumped.jump();
+  std::set<uint64_t> base_values;
+  for (int i = 0; i < 10000; ++i) {
+    base_values.insert(base.next_u64());
+  }
+  int collisions = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (base_values.contains(jumped.next_u64())) {
+      ++collisions;
+    }
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Xoshiro, StreamKMatchesKJumps) {
+  Xoshiro256 base(5);
+  Xoshiro256 manual = base;
+  manual.jump();
+  manual.jump();
+  Xoshiro256 stream2 = base.stream(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(manual.next_u64(), stream2.next_u64());
+  }
+}
+
+TEST(Xoshiro, StreamZeroIsCopy) {
+  Xoshiro256 base(5);
+  Xoshiro256 copy = base.stream(0);
+  Xoshiro256 original = base;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(copy.next_u64(), original.next_u64());
+  }
+}
+
+TEST(DeriveSeed, DistinctAcrossComponents) {
+  std::set<uint64_t> seeds;
+  for (uint64_t rep = 0; rep < 20; ++rep) {
+    for (uint64_t component = 0; component < 20; ++component) {
+      seeds.insert(derive_seed(42, rep, component));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 400u);
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(2, 2, 3));
+}
+
+TEST(Xoshiro, StdUniformBitGeneratorConcept) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ull);
+  Xoshiro256 gen(3);
+  EXPECT_NE(gen(), gen());
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests for the finite-quantum round-robin server, including its
+// convergence to processor sharing as the quantum shrinks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "queueing/ps_server.h"
+#include "queueing/rr_server.h"
+#include "rng/distributions.h"
+#include "sim/simulator.h"
+#include "stats/running_stats.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::queueing::Completion;
+using hs::queueing::Job;
+using hs::queueing::PsServer;
+using hs::queueing::RrServer;
+using hs::sim::Simulator;
+
+struct Harness {
+  Simulator sim;
+  RrServer server;
+  std::vector<Completion> completions;
+
+  explicit Harness(double speed, double quantum)
+      : server(sim, speed, 0, quantum) {
+    server.set_completion_callback(
+        [this](const Completion& c) { completions.push_back(c); });
+  }
+
+  void arrive_at(double t, uint64_t id, double size) {
+    sim.schedule_at(t, [this, id, size, t] {
+      server.arrive(Job{id, t, size});
+    });
+  }
+
+  std::map<uint64_t, double> departures() {
+    std::map<uint64_t, double> result;
+    for (const auto& c : completions) {
+      result[c.job.id] = c.departure_time;
+    }
+    return result;
+  }
+};
+
+TEST(RrServer, SingleJobUnaffectedByQuantum) {
+  Harness h(1.0, 1.0);
+  h.arrive_at(0.0, 1, 3.5);
+  h.sim.run_all();
+  EXPECT_NEAR(h.departures()[1], 3.5, 1e-9);
+}
+
+TEST(RrServer, AlternatesSlicesBetweenJobs) {
+  // Quantum 1, speed 1: A(3) and B(2) both at t=0.
+  // Slices: A[0,1) B[1,2) A[2,3) B[3,4) => B done at 4; A[4,5) done at 5.
+  Harness h(1.0, 1.0);
+  h.arrive_at(0.0, 1, 3.0);
+  h.arrive_at(0.0, 2, 2.0);
+  h.sim.run_all();
+  auto d = h.departures();
+  EXPECT_NEAR(d[2], 4.0, 1e-9);
+  EXPECT_NEAR(d[1], 5.0, 1e-9);
+}
+
+TEST(RrServer, LateArrivalJoinsTailOfCycle) {
+  // Quantum 1, speed 1: A(2) at 0, B(1) at 0.5.
+  // A[0,1); B joins during A's slice => B[1,2) done 2; A[2,3) done 3.
+  Harness h(1.0, 1.0);
+  h.arrive_at(0.0, 1, 2.0);
+  h.arrive_at(0.5, 2, 1.0);
+  h.sim.run_all();
+  auto d = h.departures();
+  EXPECT_NEAR(d[2], 2.0, 1e-9);
+  EXPECT_NEAR(d[1], 3.0, 1e-9);
+}
+
+TEST(RrServer, PartialFinalSlice) {
+  // Size 2.5, quantum 1: slices 1+1+0.5 => done at 2.5.
+  Harness h(1.0, 1.0);
+  h.arrive_at(0.0, 1, 2.5);
+  h.sim.run_all();
+  EXPECT_NEAR(h.departures()[1], 2.5, 1e-9);
+}
+
+TEST(RrServer, SpeedScalesSliceWork) {
+  // Speed 2, quantum 1 => each slice completes 2 units of work.
+  Harness h(2.0, 1.0);
+  h.arrive_at(0.0, 1, 4.0);
+  h.arrive_at(0.0, 2, 4.0);
+  h.sim.run_all();
+  auto d = h.departures();
+  // A[0,1) done 2/4, B[1,2), A[2,3) done, B[3,4) done.
+  EXPECT_NEAR(d[1], 3.0, 1e-9);
+  EXPECT_NEAR(d[2], 4.0, 1e-9);
+}
+
+TEST(RrServer, BusyTimeTracked) {
+  Harness h(1.0, 0.5);
+  h.arrive_at(0.0, 1, 2.0);
+  h.sim.run_until(10.0);
+  EXPECT_NEAR(h.server.busy_time(), 2.0, 1e-9);
+}
+
+TEST(RrServer, InvalidQuantumThrows) {
+  Simulator sim;
+  EXPECT_THROW(RrServer(sim, 1.0, 0, 0.0), hs::util::CheckError);
+}
+
+TEST(RrServer, TinyFinalSliceAtLargeTimestampTerminates) {
+  // Regression: when the final slice is so short that the simulation
+  // clock cannot represent the advance (now + duration == now at large
+  // timestamps), deriving the work done from elapsed time reads as zero
+  // and respawns the same slice forever. The server must instead credit
+  // the scheduled slice work and complete the job.
+  Harness h(1.0, 0.01);
+  const double t0 = 1.0e5;  // clock resolution here is ~1.5e-11 s
+  const double size = 5 * 0.01 + 1e-13;  // final slice of 1e-13 work
+  h.arrive_at(t0, 1, size);
+  h.sim.run_all();  // would never return before the fix
+  ASSERT_EQ(h.departures().size(), 1u);
+  EXPECT_NEAR(h.departures()[1], t0 + size, 1e-6);
+}
+
+TEST(RrServer, ConvergesToProcessorSharing) {
+  // Same arrival sequence through a PS server and RR servers with
+  // shrinking quantum: mean response time must approach the PS value.
+  hs::rng::Xoshiro256 gen(777);
+  hs::rng::Exponential interarrival(0.6);
+  hs::rng::Exponential sizes(1.0);
+  struct Arrival {
+    double t;
+    double size;
+  };
+  std::vector<Arrival> arrivals;
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += interarrival.sample(gen);
+    arrivals.push_back({t, sizes.sample(gen)});
+  }
+
+  auto run_ps = [&]() {
+    Simulator sim;
+    PsServer server(sim, 1.0, 0);
+    hs::stats::RunningStats response;
+    server.set_completion_callback([&](const Completion& c) {
+      response.add(c.response_time());
+    });
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+      const auto& a = arrivals[i];
+      sim.schedule_at(a.t, [&server, i, &arrivals] {
+        server.arrive(Job{i, arrivals[i].t, arrivals[i].size});
+      });
+    }
+    sim.run_all();
+    return response.mean();
+  };
+
+  auto run_rr = [&](double quantum) {
+    Simulator sim;
+    RrServer server(sim, 1.0, 0, quantum);
+    hs::stats::RunningStats response;
+    server.set_completion_callback([&](const Completion& c) {
+      response.add(c.response_time());
+    });
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+      const auto& a = arrivals[i];
+      sim.schedule_at(a.t, [&server, i, &arrivals] {
+        server.arrive(Job{i, arrivals[i].t, arrivals[i].size});
+      });
+    }
+    sim.run_all();
+    return response.mean();
+  };
+
+  const double ps = run_ps();
+  const double rr_fine = run_rr(0.01);
+  const double rr_coarse = run_rr(2.0);
+  EXPECT_NEAR(rr_fine, ps, 0.02 * ps);
+  // A coarse quantum deviates more than a fine one.
+  EXPECT_GT(std::abs(rr_coarse - ps), std::abs(rr_fine - ps));
+}
+
+}  // namespace

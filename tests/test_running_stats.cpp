@@ -1,0 +1,122 @@
+// Tests for the streaming moment accumulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.h"
+#include "stats/running_stats.h"
+#include "util/math_util.h"
+
+namespace {
+
+using hs::stats::RunningStats;
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.2);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.2);
+  EXPECT_DOUBLE_EQ(s.max(), 4.2);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.population_stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffset) {
+  // Classic Welford test: large mean, small variance.
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0}) {
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), offset + 10.0, 1e-5);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-4);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+// Property: merging any split of a sample equals accumulating the whole.
+class MergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeProperty, SplitMergeEqualsWhole) {
+  hs::rng::Xoshiro256 gen(static_cast<uint64_t>(GetParam()));
+  std::vector<double> data;
+  const int n = 1000 + GetParam() * 37;
+  data.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    data.push_back(gen.uniform(-50.0, 150.0));
+  }
+  const size_t split = gen.next_below(static_cast<uint64_t>(n - 1)) + 1;
+
+  RunningStats whole, left, right;
+  for (size_t i = 0; i < data.size(); ++i) {
+    whole.add(data[i]);
+    (i < split ? left : right).add(data[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9 * std::fabs(whole.mean()));
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8 * whole.variance());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSplits, MergeProperty,
+                         ::testing::Range(1, 11));
+
+TEST(RunningStats, MatchesDirectComputation) {
+  hs::rng::Xoshiro256 gen(99);
+  std::vector<double> data;
+  RunningStats s;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = gen.uniform(0.0, 10.0);
+    data.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), hs::util::mean(data), 1e-10);
+  EXPECT_NEAR(s.stddev(), hs::util::sample_stddev(data), 1e-8);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Tests for the weighted and equal allocation schemes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc/scheme.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::alloc::Allocation;
+using hs::alloc::EqualAllocation;
+using hs::alloc::WeightedAllocation;
+
+TEST(WeightedScheme, ProportionalToSpeed) {
+  const std::vector<double> speeds = {1.0, 3.0, 4.0};
+  const Allocation a = WeightedAllocation().compute(speeds, 0.7);
+  EXPECT_NEAR(a[0], 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(a[1], 3.0 / 8.0, 1e-12);
+  EXPECT_NEAR(a[2], 4.0 / 8.0, 1e-12);
+}
+
+TEST(WeightedScheme, IndependentOfRho) {
+  const std::vector<double> speeds = {2.0, 5.0};
+  const Allocation lo = WeightedAllocation().compute(speeds, 0.1);
+  const Allocation hi = WeightedAllocation().compute(speeds, 0.9);
+  EXPECT_DOUBLE_EQ(lo[0], hi[0]);
+  EXPECT_DOUBLE_EQ(lo[1], hi[1]);
+}
+
+TEST(WeightedScheme, EqualizesMachineUtilizations) {
+  const std::vector<double> speeds = {1.0, 1.5, 2.0, 10.0};
+  const double rho = 0.6;
+  const Allocation a = WeightedAllocation().compute(speeds, rho);
+  for (double u : a.machine_utilizations(speeds, rho)) {
+    EXPECT_NEAR(u, rho, 1e-12);
+  }
+}
+
+TEST(WeightedScheme, HomogeneousIsEqualShare) {
+  const std::vector<double> speeds = {2.0, 2.0, 2.0, 2.0};
+  const Allocation a = WeightedAllocation().compute(speeds, 0.5);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(a[i], 0.25, 1e-12);
+  }
+}
+
+TEST(WeightedScheme, SingleMachineGetsEverything) {
+  const Allocation a = WeightedAllocation().compute(std::vector<double>{3.0},
+                                                    0.7);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+}
+
+TEST(EqualScheme, UniformFractions) {
+  const std::vector<double> speeds = {1.0, 2.0, 3.0, 4.0, 10.0};
+  const Allocation a = EqualAllocation().compute(speeds, 0.2);
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    EXPECT_NEAR(a[i], 0.2, 1e-12);
+  }
+}
+
+TEST(EqualScheme, RejectsSaturatingLoad) {
+  // Equal shares on {1, 10}: machine of speed 1 receives ρ·11/2 of base
+  // work per second — saturated for ρ >= 2/11.
+  const std::vector<double> speeds = {1.0, 10.0};
+  EXPECT_NO_THROW(EqualAllocation().compute(speeds, 0.15));
+  EXPECT_THROW(EqualAllocation().compute(speeds, 0.5),
+               hs::util::CheckError);
+}
+
+TEST(SchemeInputs, Validation) {
+  const std::vector<double> bad_speed = {1.0, -1.0};
+  const std::vector<double> ok = {1.0, 2.0};
+  EXPECT_THROW(WeightedAllocation().compute(bad_speed, 0.5),
+               hs::util::CheckError);
+  EXPECT_THROW(WeightedAllocation().compute(ok, 0.0), hs::util::CheckError);
+  EXPECT_THROW(WeightedAllocation().compute(ok, 1.0), hs::util::CheckError);
+  EXPECT_THROW(WeightedAllocation().compute(std::vector<double>{}, 0.5),
+               hs::util::CheckError);
+}
+
+TEST(SchemeNames, AreStable) {
+  EXPECT_EQ(WeightedAllocation().name(), "weighted");
+  EXPECT_EQ(EqualAllocation().name(), "equal");
+}
+
+}  // namespace

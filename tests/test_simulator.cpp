@@ -1,0 +1,129 @@
+// Tests for the simulation clock and scheduling semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::sim::Simulator;
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, ScheduleInAdvancesClockOnFire) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(4.0, [&] { fired_at = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(Simulator, EventsFireInOrderAcrossNesting) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_in(0.5, [&] { order.push_back(2); });  // at t=1.5
+  });
+  sim.schedule_in(2.0, [&] { order.push_back(3); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  sim.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  sim.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_TRUE(sim.has_pending());
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, ResumeAfterRunUntil) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(5.0, [&] { fired.push_back(5.0); });
+  sim.run_until(3.0);
+  EXPECT_TRUE(fired.empty());
+  sim.run_all();
+  EXPECT_EQ(fired, (std::vector<double>{5.0}));
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  auto h = sim.schedule_in(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), hs::util::CheckError);
+  EXPECT_THROW(sim.schedule_in(-0.1, [] {}), hs::util::CheckError);
+}
+
+TEST(Simulator, RunUntilBackwardsThrows) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.run_until(4.0), hs::util::CheckError);
+}
+
+TEST(Simulator, EventsFiredCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.schedule_in(static_cast<double>(i), [] {});
+  }
+  sim.run_all();
+  EXPECT_EQ(sim.events_fired(), 7u);
+}
+
+TEST(Simulator, ZeroDelaySelfSchedulingTerminatesWithRunUntil) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_in(1.0, tick);
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(0); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace

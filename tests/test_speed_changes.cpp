@@ -1,0 +1,239 @@
+// Tests for time-varying machine speeds (degradation / failure /
+// recovery injection) on the PS server and through the cluster harness.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/sim.h"
+#include "core/policy.h"
+#include "queueing/fcfs_server.h"
+#include "queueing/ps_server.h"
+#include "queueing/rr_server.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace {
+
+using hs::queueing::Completion;
+using hs::queueing::FcfsServer;
+using hs::queueing::Job;
+using hs::queueing::PsServer;
+using hs::sim::Simulator;
+
+struct Harness {
+  Simulator sim;
+  PsServer server;
+  std::map<uint64_t, double> departures;
+
+  explicit Harness(double speed = 1.0) : server(sim, speed, 0) {
+    server.set_completion_callback([this](const Completion& c) {
+      departures[c.job.id] = c.departure_time;
+    });
+  }
+
+  void arrive_at(double t, uint64_t id, double size) {
+    sim.schedule_at(t, [this, id, size, t] {
+      server.arrive(Job{id, t, size});
+    });
+  }
+};
+
+TEST(PsSpeedChange, SlowdownStretchesRemainingWork) {
+  // Size 4 at speed 2: would finish at t=2. At t=1 (2 units done) the
+  // machine drops to speed 1 → remaining 2 units take 2 s → t=3.
+  Harness h(2.0);
+  h.arrive_at(0.0, 1, 4.0);
+  h.sim.schedule_at(1.0, [&] { h.server.set_speed(1.0); });
+  h.sim.run_all();
+  EXPECT_NEAR(h.departures[1], 3.0, 1e-9);
+}
+
+TEST(PsSpeedChange, SpeedupAcceleratesRemainingWork) {
+  // Size 4 at speed 1; at t=2 (2 done) speed 4 → remaining 2 in 0.5 s.
+  Harness h(1.0);
+  h.arrive_at(0.0, 1, 4.0);
+  h.sim.schedule_at(2.0, [&] { h.server.set_speed(4.0); });
+  h.sim.run_all();
+  EXPECT_NEAR(h.departures[1], 2.5, 1e-9);
+}
+
+TEST(PsSpeedChange, FullStopAndRecovery) {
+  // Size 2 at speed 1; stopped during [1, 5); finishes at 6.
+  Harness h(1.0);
+  h.arrive_at(0.0, 1, 2.0);
+  h.sim.schedule_at(1.0, [&] { h.server.set_speed(0.0); });
+  h.sim.schedule_at(5.0, [&] { h.server.set_speed(1.0); });
+  h.sim.run_all();
+  EXPECT_NEAR(h.departures[1], 6.0, 1e-9);
+}
+
+TEST(PsSpeedChange, ArrivalsDuringStopAreHeld) {
+  Harness h(1.0);
+  h.sim.schedule_at(0.0, [&] { h.server.set_speed(0.0); });
+  h.arrive_at(1.0, 1, 1.0);
+  h.arrive_at(2.0, 2, 1.0);
+  h.sim.schedule_at(10.0, [&] { h.server.set_speed(1.0); });
+  h.sim.run_all();
+  // Both share capacity from t=10: each needs 1 unit at rate 1/2.
+  EXPECT_NEAR(h.departures[1], 12.0, 1e-9);
+  EXPECT_NEAR(h.departures[2], 12.0, 1e-9);
+}
+
+TEST(PsSpeedChange, SharingPreservedAcrossChange) {
+  // Two size-2 jobs from t=0 on speed 2 (each progresses at 1). At t=1
+  // (each has 1 unit done) speed halves to 1 (each progresses at 0.5):
+  // remaining 1 unit each → both finish at t=3.
+  Harness h(2.0);
+  h.arrive_at(0.0, 1, 2.0);
+  h.arrive_at(0.0, 2, 2.0);
+  h.sim.schedule_at(1.0, [&] { h.server.set_speed(1.0); });
+  h.sim.run_all();
+  EXPECT_NEAR(h.departures[1], 3.0, 1e-9);
+  EXPECT_NEAR(h.departures[2], 3.0, 1e-9);
+}
+
+TEST(PsSpeedChange, NegativeSpeedRejected) {
+  Harness h(1.0);
+  EXPECT_THROW(h.server.set_speed(-1.0), hs::util::CheckError);
+}
+
+// ------------------------------------------------- other disciplines
+
+TEST(FcfsSpeedChange, MidServiceChangeBanksWork) {
+  // Size 4 at speed 2 from t=0; at t=1 (2 units done) drop to speed 1:
+  // remaining 2 units take 2 s → finishes at t=3. The queued job then
+  // runs at speed 1: 2 more seconds.
+  Simulator sim;
+  FcfsServer server(sim, 2.0, 0);
+  std::map<uint64_t, double> departures;
+  server.set_completion_callback([&](const Completion& c) {
+    departures[c.job.id] = c.departure_time;
+  });
+  sim.schedule_at(0.0, [&] { server.arrive(Job{1, 0.0, 4.0}); });
+  sim.schedule_at(0.5, [&] { server.arrive(Job{2, 0.5, 2.0}); });
+  sim.schedule_at(1.0, [&] { server.set_speed(1.0); });
+  sim.run_all();
+  EXPECT_NEAR(departures[1], 3.0, 1e-9);
+  EXPECT_NEAR(departures[2], 5.0, 1e-9);
+}
+
+TEST(FcfsSpeedChange, StopAndRecover) {
+  Simulator sim;
+  FcfsServer server(sim, 1.0, 0);
+  std::map<uint64_t, double> departures;
+  server.set_completion_callback([&](const Completion& c) {
+    departures[c.job.id] = c.departure_time;
+  });
+  sim.schedule_at(0.0, [&] { server.arrive(Job{1, 0.0, 2.0}); });
+  sim.schedule_at(1.0, [&] { server.set_speed(0.0); });
+  sim.schedule_at(4.0, [&] { server.set_speed(1.0); });
+  sim.run_all();
+  EXPECT_NEAR(departures[1], 5.0, 1e-9);
+}
+
+TEST(RrSpeedChange, MidSliceChangeBanksWork) {
+  // Quantum 1, speed 2: job of size 3. Slice 1 would do 2 units in
+  // [0,1); at t=0.5 (1 unit done) speed drops to 1, the slice restarts
+  // with remaining 2 units: next slice does 1 unit in [0.5, 1.5), then
+  // final slice 1 unit in [1.5, 2.5).
+  Simulator sim;
+  hs::queueing::RrServer server(sim, 2.0, 0, 1.0);
+  std::map<uint64_t, double> departures;
+  server.set_completion_callback([&](const Completion& c) {
+    departures[c.job.id] = c.departure_time;
+  });
+  sim.schedule_at(0.0, [&] { server.arrive(Job{1, 0.0, 3.0}); });
+  sim.schedule_at(0.5, [&] { server.set_speed(1.0); });
+  sim.run_all();
+  EXPECT_NEAR(departures[1], 2.5, 1e-9);
+}
+
+TEST(RrSpeedChange, StopHoldsSliceAndQueue) {
+  Simulator sim;
+  hs::queueing::RrServer server(sim, 1.0, 0, 1.0);
+  std::map<uint64_t, double> departures;
+  server.set_completion_callback([&](const Completion& c) {
+    departures[c.job.id] = c.departure_time;
+  });
+  sim.schedule_at(0.0, [&] { server.arrive(Job{1, 0.0, 1.0}); });
+  sim.schedule_at(0.5, [&] { server.set_speed(0.0); });
+  sim.schedule_at(2.5, [&] { server.set_speed(1.0); });
+  sim.run_all();
+  // 0.5 units done before the stop, 0.5 after recovery at t=2.5.
+  EXPECT_NEAR(departures[1], 3.0, 1e-9);
+}
+
+// ------------------------------------------------- through the harness
+
+TEST(ClusterSpeedChange, DegradedMachineHurtsStaticScheduler) {
+  // Machine 1 (speed 10 of {1,10}) degrades to speed 2 halfway through.
+  // ORR keeps routing by the stale speeds, so the mean response ratio
+  // must be clearly worse than the no-failure run.
+  hs::cluster::SimulationConfig config;
+  config.speeds = {1.0, 10.0};
+  config.rho = 0.6;
+  config.sim_time = 60000.0;
+  config.warmup_frac = 0.1;
+  config.workload.arrival_kind = hs::workload::ArrivalKind::kPoisson;
+  config.workload.size_kind = hs::workload::SizeKind::kExponential;
+  config.workload.fixed_or_mean_size = 1.0;
+  config.seed = 4;
+
+  auto healthy_d = hs::core::make_policy_dispatcher(
+      hs::core::PolicyKind::kORR, config.speeds, config.rho);
+  const auto healthy = hs::cluster::run_simulation(config, *healthy_d);
+
+  config.speed_changes = {{30000.0, 1, 2.0}};
+  auto degraded_d = hs::core::make_policy_dispatcher(
+      hs::core::PolicyKind::kORR, config.speeds, config.rho);
+  const auto degraded = hs::cluster::run_simulation(config, *degraded_d);
+
+  EXPECT_GT(degraded.mean_response_ratio,
+            1.5 * healthy.mean_response_ratio);
+}
+
+TEST(ClusterSpeedChange, LeastLoadRoutesAroundDegradation) {
+  // Same degradation: the dynamic policy's queue estimates grow on the
+  // degraded machine, so it reroutes and suffers far less than ORR.
+  hs::cluster::SimulationConfig config;
+  config.speeds = {2.0, 2.0, 10.0};
+  config.rho = 0.5;
+  config.sim_time = 60000.0;
+  config.warmup_frac = 0.1;
+  config.workload.arrival_kind = hs::workload::ArrivalKind::kPoisson;
+  config.workload.size_kind = hs::workload::SizeKind::kExponential;
+  config.workload.fixed_or_mean_size = 1.0;
+  config.seed = 9;
+  config.speed_changes = {{20000.0, 2, 1.0}};
+
+  auto orr = hs::core::make_policy_dispatcher(hs::core::PolicyKind::kORR,
+                                              config.speeds, config.rho);
+  auto ll = hs::core::make_policy_dispatcher(
+      hs::core::PolicyKind::kLeastLoad, config.speeds, config.rho);
+  const auto orr_result = hs::cluster::run_simulation(config, *orr);
+  const auto ll_result = hs::cluster::run_simulation(config, *ll);
+  EXPECT_LT(ll_result.mean_response_ratio,
+            0.7 * orr_result.mean_response_ratio);
+}
+
+TEST(ClusterSpeedChange, ValidationRejectsBadEvents) {
+  hs::cluster::SimulationConfig config;
+  config.speeds = {1.0, 2.0};
+  config.rho = 0.5;
+  config.sim_time = 1000.0;
+
+  config.speed_changes = {{10.0, 5, 1.0}};  // machine out of range
+  EXPECT_THROW(config.validate(), hs::util::CheckError);
+
+  config.speed_changes = {{-1.0, 0, 1.0}};  // negative time
+  EXPECT_THROW(config.validate(), hs::util::CheckError);
+
+  config.speed_changes = {{10.0, 0, -2.0}};  // negative target speed
+  EXPECT_THROW(config.validate(), hs::util::CheckError);
+
+  config.speed_changes = {{10.0, 0, 1.0}};  // valid, any discipline
+  config.discipline = hs::cluster::ServiceDiscipline::kFcfs;
+  EXPECT_NO_THROW(config.validate());
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Tests for the table renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace {
+
+using hs::util::TablePrinter;
+
+TEST(TablePrinter, AlignedOutputContainsAllCells) {
+  TablePrinter table({"policy", "ratio", "fairness"});
+  table.begin_row();
+  table.cell("ORR");
+  table.cell(1.2345, 2);
+  table.cell(0.5, 3);
+  table.begin_row();
+  table.cell("WRAN");
+  table.cell(2.0, 2);
+  table.cell(1.25, 3);
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("ORR"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("0.500"), std::string::npos);
+  EXPECT_NE(out.find("WRAN"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"x", "y"});
+  std::ostringstream oss;
+  table.print_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TablePrinter, RowCountTracksRows) {
+  TablePrinter table({"only"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"r1"});
+  table.add_row({"r2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinter, WrongWidthRowThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), hs::util::CheckError);
+}
+
+TEST(TablePrinter, TooManyCellsThrows) {
+  TablePrinter table({"a"});
+  table.begin_row();
+  table.cell("1");
+  EXPECT_THROW(table.cell("2"), hs::util::CheckError);
+}
+
+TEST(TablePrinter, CellBeforeBeginRowThrows) {
+  TablePrinter table({"a"});
+  EXPECT_THROW(table.cell("1"), hs::util::CheckError);
+}
+
+TEST(TablePrinter, EmptyHeadersThrow) {
+  EXPECT_THROW(TablePrinter({}), hs::util::CheckError);
+}
+
+TEST(TablePrinter, LongCellWidensColumn) {
+  TablePrinter table({"h"});
+  table.add_row({"a-very-long-cell-value"});
+  std::ostringstream oss;
+  table.print(oss);
+  // Header line must be padded at least as wide as the long cell.
+  const std::string out = oss.str();
+  const size_t header_end = out.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  EXPECT_GE(header_end, std::string("a-very-long-cell-value").size());
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(hs::util::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(hs::util::format_double(2.0, 0), "2");
+  EXPECT_EQ(hs::util::format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Tests for arrival processes, job size models, specs and traces.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "stats/running_stats.h"
+#include "util/check.h"
+#include "workload/arrival.h"
+#include "workload/job_size.h"
+#include "workload/spec.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace hs::workload;
+
+struct ArrivalStats {
+  double mean;
+  double cv;
+};
+
+ArrivalStats measure(ArrivalProcess& process, int n, uint64_t seed) {
+  hs::rng::Xoshiro256 gen(seed);
+  hs::stats::RunningStats stats;
+  for (int i = 0; i < n; ++i) {
+    stats.add(process.next_interarrival(gen));
+  }
+  return {stats.mean(), stats.stddev() / stats.mean()};
+}
+
+TEST(PoissonArrivals, MeanAndCv) {
+  PoissonArrivals p(0.5);
+  EXPECT_DOUBLE_EQ(p.mean_interarrival(), 2.0);
+  EXPECT_DOUBLE_EQ(p.rate(), 0.5);
+  const auto m = measure(p, 400000, 1);
+  EXPECT_NEAR(m.mean, 2.0, 0.02);
+  EXPECT_NEAR(m.cv, 1.0, 0.02);
+}
+
+TEST(HyperExpArrivals, PaperModelCv3) {
+  // §4.1: two-stage hyperexponential with CV = 3.0.
+  HyperExpArrivals h(2.2, 3.0);
+  EXPECT_NEAR(h.mean_interarrival(), 2.2, 1e-9);
+  EXPECT_NEAR(h.cv(), 3.0, 1e-6);
+  const auto m = measure(h, 2000000, 2);
+  EXPECT_NEAR(m.mean, 2.2, 0.05);
+  EXPECT_NEAR(m.cv, 3.0, 0.1);
+}
+
+TEST(DeterministicArrivals, FixedInterval) {
+  DeterministicArrivals d(1.5);
+  const auto m = measure(d, 100, 3);
+  EXPECT_DOUBLE_EQ(m.mean, 1.5);
+  EXPECT_DOUBLE_EQ(m.cv, 0.0);
+  EXPECT_THROW((void)(DeterministicArrivals(0.0)), hs::util::CheckError);
+}
+
+TEST(Mmpp2Arrivals, LongRunRateMatchesStationaryMix) {
+  // Calm state rate 1 (hold 10 s), burst state rate 10 (hold 2 s):
+  // stationary rate = (10·1 + 2·10)/12 = 2.5.
+  Mmpp2Arrivals m(1.0, 10.0, 10.0, 2.0);
+  EXPECT_NEAR(m.mean_interarrival(), 1.0 / 2.5, 1e-12);
+  const auto stats = measure(m, 1000000, 4);
+  EXPECT_NEAR(stats.mean, 1.0 / 2.5, 0.02);
+  // Modulated process must be burstier than Poisson.
+  EXPECT_GT(stats.cv, 1.05);
+}
+
+TEST(Mmpp2Arrivals, ResetClearsModulationState) {
+  Mmpp2Arrivals m(1.0, 50.0, 5.0, 5.0);
+  hs::rng::Xoshiro256 g1(9), g2(9);
+  std::vector<double> first, second;
+  for (int i = 0; i < 100; ++i) {
+    first.push_back(m.next_interarrival(g1));
+  }
+  m.reset();
+  for (int i = 0; i < 100; ++i) {
+    second.push_back(m.next_interarrival(g2));
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(JobSizeModel, PaperDefaultMean) {
+  const JobSizeModel model = JobSizeModel::paper_default();
+  EXPECT_NEAR(model.mean(), 76.8, 0.05);
+  EXPECT_NEAR(paper_mean_job_size(), 76.8, 0.05);
+}
+
+TEST(JobSizeModel, FactoriesProduceExpectedDistributions) {
+  EXPECT_NEAR(JobSizeModel::exponential(10.0).mean(), 10.0, 1e-12);
+  EXPECT_NEAR(JobSizeModel::exponential(10.0).cv(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(JobSizeModel::deterministic(5.0).mean(), 5.0);
+  EXPECT_GT(JobSizeModel::bounded_pareto(1.1).cv(), 1.0);
+}
+
+TEST(WorkloadSpec, PaperDefaults) {
+  const WorkloadSpec spec = WorkloadSpec::paper_default();
+  EXPECT_EQ(spec.arrival_kind, ArrivalKind::kHyperExp);
+  EXPECT_DOUBLE_EQ(spec.arrival_cv, 3.0);
+  EXPECT_EQ(spec.size_kind, SizeKind::kBoundedPareto);
+  EXPECT_NEAR(spec.mean_job_size(), 76.8, 0.05);
+}
+
+TEST(WorkloadSpec, ArrivalRateForUtilization) {
+  WorkloadSpec spec;
+  spec.size_kind = SizeKind::kExponential;
+  spec.fixed_or_mean_size = 2.0;
+  // ρ=0.5 with Σs=4: λ = 0.5·4/2 = 1.0.
+  EXPECT_NEAR(spec.arrival_rate_for(0.5, 4.0), 1.0, 1e-12);
+  EXPECT_THROW((void)(spec.arrival_rate_for(1.0, 4.0)), hs::util::CheckError);
+}
+
+TEST(WorkloadSpec, MakeArrivalsMatchesKind) {
+  WorkloadSpec spec;
+  spec.arrival_kind = ArrivalKind::kPoisson;
+  auto arrivals = spec.make_arrivals(2.0);
+  EXPECT_NEAR(arrivals->rate(), 2.0, 1e-12);
+  EXPECT_NEAR(arrivals->cv(), 1.0, 1e-12);
+
+  spec.arrival_kind = ArrivalKind::kHyperExp;
+  spec.arrival_cv = 2.5;
+  auto h2 = spec.make_arrivals(0.5);
+  EXPECT_NEAR(h2->mean_interarrival(), 2.0, 1e-9);
+  EXPECT_NEAR(h2->cv(), 2.5, 1e-6);
+}
+
+TEST(WorkloadSpec, DescribeMentionsComponents) {
+  const std::string text = WorkloadSpec::paper_default().describe();
+  EXPECT_NE(text.find("HyperExp"), std::string::npos);
+  EXPECT_NE(text.find("BoundedPareto"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Trace
+
+TEST(JobTrace, GenerateProducesOrderedJobs) {
+  const WorkloadSpec spec = WorkloadSpec::paper_default();
+  const JobTrace trace = JobTrace::generate(spec, 0.5, 10000.0, 42);
+  EXPECT_GT(trace.size(), 4000u);
+  EXPECT_LT(trace.size(), 6500u);
+  double last = 0.0;
+  for (const auto& job : trace.jobs()) {
+    EXPECT_GE(job.arrival_time, last);
+    EXPECT_GE(job.size, 10.0);
+    EXPECT_LE(job.size, 21600.0);
+    last = job.arrival_time;
+  }
+  EXPECT_LE(trace.horizon(), 10000.0);
+}
+
+TEST(JobTrace, GenerateIsDeterministicInSeed) {
+  const WorkloadSpec spec = WorkloadSpec::paper_default();
+  const JobTrace a = JobTrace::generate(spec, 0.5, 1000.0, 7);
+  const JobTrace b = JobTrace::generate(spec, 0.5, 1000.0, 7);
+  const JobTrace c = JobTrace::generate(spec, 0.5, 1000.0, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].arrival_time, b.jobs()[i].arrival_time);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].size, b.jobs()[i].size);
+  }
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(JobTrace, MeasuredStatsMatchSpec) {
+  WorkloadSpec spec = WorkloadSpec::paper_default();
+  const double lambda = 1.0;
+  const JobTrace trace = JobTrace::generate(spec, lambda, 300000.0, 11);
+  EXPECT_NEAR(trace.mean_interarrival(), 1.0, 0.05);
+  EXPECT_NEAR(trace.interarrival_cv(), 3.0, 0.25);
+  EXPECT_NEAR(trace.mean_size(), 76.8, 10.0);
+}
+
+TEST(JobTrace, CsvRoundTrip) {
+  const WorkloadSpec spec = WorkloadSpec::paper_default();
+  const JobTrace trace = JobTrace::generate(spec, 0.5, 500.0, 3);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hs_trace_test.csv").string();
+  trace.save_csv(path);
+  const JobTrace loaded = JobTrace::load_csv(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.jobs()[i].arrival_time,
+                     trace.jobs()[i].arrival_time);
+    EXPECT_DOUBLE_EQ(loaded.jobs()[i].size, trace.jobs()[i].size);
+  }
+}
+
+TEST(JobTrace, RejectsDisorderedInput) {
+  std::vector<hs::queueing::Job> jobs = {{0, 5.0, 1.0}, {1, 4.0, 1.0}};
+  EXPECT_THROW((void)JobTrace(std::move(jobs)), hs::util::CheckError);
+}
+
+TEST(JobTrace, RejectsNonPositiveSizes) {
+  std::vector<hs::queueing::Job> jobs = {{0, 1.0, 0.0}};
+  EXPECT_THROW((void)JobTrace(std::move(jobs)), hs::util::CheckError);
+}
+
+}  // namespace
