@@ -1,0 +1,106 @@
+// Scenario: keeping a heterogeneous farm serving through machine crashes.
+//
+// The deployments that motivate the paper — DNS round-robin, replicated
+// web front-ends — run on real machines that fail. This example injects
+// crash/recovery faults into the paper's base configuration and walks
+// through the operational story:
+//
+//  1. A fault-oblivious ORR keeps routing into dead machines; the retry
+//     policy saves some jobs and drops the rest.
+//  2. The same ORR wrapped in the failure-aware decorator blacklists
+//     machines as crash reports arrive and re-applies Algorithm 1 to the
+//     survivors, recovering most of the lost goodput.
+//  3. Availability accounting: downtime per machine, jobs lost/retried/
+//     dropped, and what a retry costs in response time.
+//
+// See docs/FAULT_MODEL.md for the underlying semantics.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/sim.h"
+#include "core/policy.h"
+
+namespace {
+
+void print_result(const char* label,
+                  const hs::cluster::SimulationResult& result) {
+  std::printf("%-18s goodput %6.3f job/s   completed %7llu   "
+              "lost %5llu   retried %5llu   dropped %4llu\n",
+              label, result.goodput,
+              static_cast<unsigned long long>(result.completed_jobs),
+              static_cast<unsigned long long>(result.jobs_lost),
+              static_cast<unsigned long long>(result.jobs_retried),
+              static_cast<unsigned long long>(result.jobs_dropped));
+}
+
+}  // namespace
+
+int main() {
+  const auto cluster = hs::cluster::ClusterConfig::paper_base();
+  const double rho = 0.6;
+
+  hs::cluster::SimulationConfig config;
+  config.speeds = cluster.speeds();
+  config.rho = rho;
+  config.sim_time = 2.0e5;
+  config.warmup_frac = 0.1;
+  config.seed = 20000829;
+
+  // Every machine crashes about every 8 simulated hours and takes ~30
+  // simulated minutes to repair; a job is tried at most 3 times with
+  // 1 s, then 2 s of backoff, and abandoned after 10 minutes.
+  config.faults.processes.assign(config.speeds.size(), {28800.0, 1800.0});
+  config.faults.retry.max_attempts = 3;
+  config.faults.retry.backoff_initial = 1.0;
+  config.faults.retry.backoff_factor = 2.0;
+  config.faults.retry.job_timeout = 600.0;
+
+  std::printf("Cluster: %zu machines (aggregate speed %.0f), utilization "
+              "%.0f%%\n",
+              config.speeds.size(), cluster.total_speed(), rho * 100);
+  std::printf("Faults: per-machine MTBF 8 h, MTTR 30 min; retry <=3 "
+              "attempts, 10 min deadline\n\n");
+
+  // 1. The paper's ORR, unaware that machines can die.
+  auto oblivious = hs::core::make_policy_dispatcher(
+      hs::core::PolicyKind::kORR, config.speeds, rho);
+  const auto base = hs::cluster::run_simulation(config, *oblivious);
+  print_result("ORR (oblivious)", base);
+
+  // 2. The same policy behind the failure-aware decorator.
+  auto aware = hs::core::make_fault_aware_dispatcher(
+      hs::core::PolicyKind::kORR, config.speeds, rho);
+  const auto improved = hs::cluster::run_simulation(config, *aware);
+  print_result("ORR (aware)", improved);
+
+  // 3. The dynamic yardstick, also failure-aware.
+  auto least_load = hs::core::make_fault_aware_dispatcher(
+      hs::core::PolicyKind::kLeastLoad, config.speeds, rho);
+  const auto dynamic = hs::cluster::run_simulation(config, *least_load);
+  print_result("LeastLoad (aware)", dynamic);
+
+  std::printf("\nDowntime per machine (failure-aware ORR run):\n  ");
+  for (size_t m = 0; m < improved.machine_downtime.size(); ++m) {
+    std::printf("%s%.0fs", m == 0 ? "" : " ", improved.machine_downtime[m]);
+  }
+  std::printf("\n\nWhat a retry costs (mean response time by dispatch "
+              "attempts, aware ORR):\n");
+  for (size_t attempts = 0;
+       attempts < improved.mean_response_by_attempts.size(); ++attempts) {
+    if (improved.mean_response_by_attempts[attempts] <= 0.0) {
+      continue;
+    }
+    std::printf("  %zu attempt%s: %8.1f s\n", attempts + 1,
+                attempts == 0 ? " " : "s",
+                improved.mean_response_by_attempts[attempts]);
+  }
+
+  std::printf("\nTakeaway: the static optimized allocation only needs a "
+              "machine up/down signal\n(not load feedback) to ride "
+              "through crashes — the decorator re-optimizes over\nthe "
+              "survivors and drops almost nothing, closing most of the "
+              "gap to the\ndynamic scheduler's availability.\n");
+  return 0;
+}

@@ -62,10 +62,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
 
   ExperimentResult aggregate;
-  std::vector<double> rts, rrs, fairs;
+  std::vector<double> rts, rrs, fairs, goodputs;
   rts.reserve(reps);
   rrs.reserve(reps);
   fairs.reserve(reps);
+  goodputs.reserve(reps);
   const size_t n = config.simulation.speeds.size();
   aggregate.mean_machine_fractions.assign(n, 0.0);
   aggregate.mean_machine_utilizations.assign(n, 0.0);
@@ -73,7 +74,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     rts.push_back(result.mean_response_time);
     rrs.push_back(result.mean_response_ratio);
     fairs.push_back(result.fairness);
+    goodputs.push_back(result.goodput);
     aggregate.total_jobs += result.completed_jobs;
+    aggregate.total_jobs_lost += result.jobs_lost;
+    aggregate.total_jobs_retried += result.jobs_retried;
+    aggregate.total_jobs_dropped += result.jobs_dropped;
     for (size_t i = 0; i < n; ++i) {
       aggregate.mean_machine_fractions[i] += result.machine_fractions[i];
       aggregate.mean_machine_utilizations[i] +=
@@ -87,6 +92,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   aggregate.response_time = stats::mean_confidence_interval(rts);
   aggregate.response_ratio = stats::mean_confidence_interval(rrs);
   aggregate.fairness = stats::mean_confidence_interval(fairs);
+  aggregate.goodput = stats::mean_confidence_interval(goodputs);
   aggregate.replications = std::move(results);
   return aggregate;
 }

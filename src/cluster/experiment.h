@@ -32,12 +32,20 @@ struct ExperimentResult {
   stats::ConfidenceInterval response_time;
   stats::ConfidenceInterval response_ratio;
   stats::ConfidenceInterval fairness;
+  /// Measured completions per second of measurement window (availability
+  /// headline with fault injection on; see SimulationResult::goodput).
+  stats::ConfidenceInterval goodput;
   /// Machine job fractions averaged across replications.
   std::vector<double> mean_machine_fractions;
   /// Machine utilizations averaged across replications.
   std::vector<double> mean_machine_utilizations;
   std::vector<SimulationResult> replications;
   uint64_t total_jobs = 0;
+  /// Fault-injection totals summed across replications (zero without
+  /// faults).
+  uint64_t total_jobs_lost = 0;
+  uint64_t total_jobs_retried = 0;
+  uint64_t total_jobs_dropped = 0;
 };
 
 /// Run `config.replications` independent simulations and aggregate.

@@ -1,0 +1,182 @@
+#include "cluster/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace hs::cluster {
+
+namespace {
+
+/// RNG component namespace for per-machine fault timelines. The cluster
+/// harness uses components 0–7 for its own streams (sim.cpp); machine m's
+/// crash/recovery process draws from component kTimelineComponent + m.
+constexpr uint64_t kTimelineComponent = 32;
+
+struct Interval {
+  double start;
+  double end;  // exclusive; may exceed the horizon
+};
+
+double exponential(rng::Xoshiro256& gen, double mean) {
+  return -mean * std::log(gen.next_double_open0());
+}
+
+}  // namespace
+
+void RetryPolicy::validate() const {
+  HS_CHECK(max_attempts >= 1,
+           "retry max_attempts must be >= 1, got " << max_attempts);
+  HS_CHECK(backoff_initial >= 0.0,
+           "retry backoff_initial must be >= 0, got " << backoff_initial);
+  HS_CHECK(backoff_factor >= 1.0,
+           "retry backoff_factor must be >= 1, got " << backoff_factor);
+  HS_CHECK(job_timeout >= 0.0,
+           "retry job_timeout must be >= 0, got " << job_timeout);
+}
+
+bool FaultConfig::enabled() const {
+  if (!outages.empty()) {
+    return true;
+  }
+  for (const MachineProcess& process : processes) {
+    if (process.mtbf > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultConfig::validate(size_t machine_count, double sim_time) const {
+  if (!processes.empty()) {
+    HS_CHECK(processes.size() == machine_count,
+             "fault processes size " << processes.size()
+                                     << " != machine count " << machine_count);
+  }
+  for (size_t i = 0; i < processes.size(); ++i) {
+    const MachineProcess& process = processes[i];
+    HS_CHECK(process.mtbf >= 0.0, "fault processes[" << i
+                                      << "]: mtbf must be >= 0, got "
+                                      << process.mtbf);
+    if (process.mtbf > 0.0) {
+      HS_CHECK(process.mttr > 0.0, "fault processes["
+                                       << i << "]: mttr must be > 0 when "
+                                       << "mtbf is set, got " << process.mttr);
+    }
+  }
+  for (size_t i = 0; i < outages.size(); ++i) {
+    const Outage& outage = outages[i];
+    HS_CHECK(outage.machine < machine_count,
+             "fault outages[" << i << "]: machine " << outage.machine
+                              << " out of range [0, " << machine_count << ")");
+    HS_CHECK(outage.start >= 0.0, "fault outages["
+                                      << i << "]: start must be >= 0, got "
+                                      << outage.start);
+    HS_CHECK(outage.start <= sim_time,
+             "fault outages[" << i << "]: start " << outage.start
+                              << " beyond sim_time " << sim_time);
+    HS_CHECK(outage.duration > 0.0, "fault outages["
+                                        << i << "]: duration must be > 0, got "
+                                        << outage.duration);
+  }
+  retry.validate();
+}
+
+std::vector<FaultEvent> build_fault_timeline(const FaultConfig& config,
+                                             size_t machine_count,
+                                             double horizon, uint64_t seed) {
+  config.validate(machine_count, horizon);
+  std::vector<FaultEvent> timeline;
+  for (size_t m = 0; m < machine_count; ++m) {
+    std::vector<Interval> down;
+    if (m < config.processes.size() && config.processes[m].mtbf > 0.0) {
+      rng::Xoshiro256 gen(rng::derive_seed(seed, 0, kTimelineComponent + m));
+      double t = 0.0;
+      for (;;) {
+        const double crash = t + exponential(gen, config.processes[m].mtbf);
+        if (crash >= horizon) {
+          break;
+        }
+        const double recover =
+            crash + exponential(gen, config.processes[m].mttr);
+        down.push_back({crash, recover});
+        t = recover;
+        if (t >= horizon) {
+          break;
+        }
+      }
+    }
+    for (const FaultConfig::Outage& outage : config.outages) {
+      if (outage.machine == m) {
+        down.push_back({outage.start, outage.start + outage.duration});
+      }
+    }
+    if (down.empty()) {
+      continue;
+    }
+    // Merge overlapping/adjacent down-intervals so crash/recovery strictly
+    // alternate per machine even when scripted outages overlap stochastic
+    // ones.
+    std::sort(down.begin(), down.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.start < b.start;
+              });
+    std::vector<Interval> merged;
+    for (const Interval& interval : down) {
+      if (!merged.empty() && interval.start <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, interval.end);
+      } else {
+        merged.push_back(interval);
+      }
+    }
+    for (const Interval& interval : merged) {
+      if (interval.start > horizon) {
+        continue;
+      }
+      timeline.push_back({interval.start, m, /*up=*/false});
+      if (interval.end <= horizon) {
+        timeline.push_back({interval.end, m, /*up=*/true});
+      }
+    }
+  }
+  // Sort by time; ties resolved by (machine, crash-before-recovery) for a
+  // deterministic event order independent of construction order.
+  std::sort(timeline.begin(), timeline.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) {
+                return a.time < b.time;
+              }
+              if (a.machine != b.machine) {
+                return a.machine < b.machine;
+              }
+              return a.up < b.up;
+            });
+  return timeline;
+}
+
+std::vector<double> downtime_from_timeline(
+    const std::vector<FaultEvent>& timeline, size_t machine_count,
+    double horizon) {
+  std::vector<double> downtime(machine_count, 0.0);
+  std::vector<double> down_since(machine_count, -1.0);
+  for (const FaultEvent& event : timeline) {
+    HS_CHECK(event.machine < machine_count,
+             "fault event machine out of range: " << event.machine);
+    if (!event.up) {
+      down_since[event.machine] = event.time;
+    } else if (down_since[event.machine] >= 0.0) {
+      downtime[event.machine] += event.time - down_since[event.machine];
+      down_since[event.machine] = -1.0;
+    }
+  }
+  for (size_t m = 0; m < machine_count; ++m) {
+    if (down_since[m] >= 0.0) {
+      downtime[m] += horizon - down_since[m];
+    }
+  }
+  return downtime;
+}
+
+}  // namespace hs::cluster

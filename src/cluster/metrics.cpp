@@ -1,5 +1,7 @@
 #include "cluster/metrics.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace hs::cluster {
@@ -31,6 +33,39 @@ void MetricsCollector::on_completion(const queueing::Completion& completion,
   response_ratio_.add(rr);
   p95_.add(rr);
   p99_.add(rr);
+  const size_t bucket = std::min<size_t>(completion.job.attempt,
+                                         kAttemptBuckets - 1);
+  if (response_by_attempt_.size() <= bucket) {
+    response_by_attempt_.resize(bucket + 1);
+  }
+  response_by_attempt_[bucket].add(rt);
+}
+
+void MetricsCollector::on_job_lost(bool measured) {
+  if (measured) {
+    ++jobs_lost_;
+  }
+}
+
+void MetricsCollector::on_job_retried(bool measured) {
+  if (measured) {
+    ++jobs_retried_;
+  }
+}
+
+void MetricsCollector::on_job_dropped(bool measured) {
+  if (measured) {
+    ++jobs_dropped_;
+  }
+}
+
+std::vector<double> MetricsCollector::mean_response_by_attempts() const {
+  std::vector<double> means;
+  means.reserve(response_by_attempt_.size());
+  for (const stats::RunningStats& stats : response_by_attempt_) {
+    means.push_back(stats.count() > 0 ? stats.mean() : 0.0);
+  }
+  return means;
 }
 
 uint64_t MetricsCollector::measured_dispatches() const {

@@ -60,12 +60,39 @@ class MetricsCollector {
   [[nodiscard]] double response_ratio_p95() const { return p95_.value(); }
   [[nodiscard]] double response_ratio_p99() const { return p99_.value(); }
 
+  // ---- Fault-injection accounting (cluster/faults.h) ----
+  // `measured` refers to the job's original arrival falling inside the
+  // measurement window, matching the dispatch/completion convention.
+
+  /// A dispatch attempt was lost to a machine crash.
+  void on_job_lost(bool measured);
+  /// A lost job was re-dispatched (counted at the retry decision).
+  void on_job_retried(bool measured);
+  /// A lost job was abandoned (attempts exhausted or deadline exceeded).
+  void on_job_dropped(bool measured);
+
+  [[nodiscard]] uint64_t jobs_lost() const { return jobs_lost_; }
+  [[nodiscard]] uint64_t jobs_retried() const { return jobs_retried_; }
+  [[nodiscard]] uint64_t jobs_dropped() const { return jobs_dropped_; }
+
+  /// Mean response time of measured jobs grouped by retry count: index r
+  /// holds the mean over jobs that completed on dispatch attempt r
+  /// (0 = never lost). Sized to the largest observed retry count + 1
+  /// (empty if nothing completed); counts above kAttemptBuckets-1 share
+  /// the last bucket.
+  [[nodiscard]] std::vector<double> mean_response_by_attempts() const;
+  static constexpr size_t kAttemptBuckets = 8;
+
  private:
   stats::RunningStats response_time_;
   stats::RunningStats response_ratio_;
   std::vector<uint64_t> machine_dispatches_;
   stats::P2Quantile p95_{0.95};
   stats::P2Quantile p99_{0.99};
+  uint64_t jobs_lost_ = 0;
+  uint64_t jobs_retried_ = 0;
+  uint64_t jobs_dropped_ = 0;
+  std::vector<stats::RunningStats> response_by_attempt_;
 };
 
 }  // namespace hs::cluster

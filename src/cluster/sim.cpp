@@ -38,14 +38,23 @@ void SimulationConfig::validate() const {
                                          << " != machine count "
                                          << speeds.size());
   }
-  for (const SpeedChange& change : speed_changes) {
-    HS_CHECK(change.time >= 0.0,
-             "speed change time must be >= 0: " << change.time);
+  for (size_t i = 0; i < speed_changes.size(); ++i) {
+    const SpeedChange& change = speed_changes[i];
+    HS_CHECK(change.time >= 0.0, "speed_changes[" << i
+                                     << "]: time must be >= 0, got "
+                                     << change.time);
+    HS_CHECK(change.time <= sim_time,
+             "speed_changes[" << i << "]: time " << change.time
+                              << " beyond sim_time " << sim_time);
     HS_CHECK(change.machine < speeds.size(),
-             "speed change machine out of range: " << change.machine);
+             "speed_changes[" << i << "]: machine " << change.machine
+                              << " out of range [0, " << speeds.size()
+                              << ")");
     HS_CHECK(change.new_speed >= 0.0,
-             "speed change target must be >= 0: " << change.new_speed);
+             "speed_changes[" << i << "]: new_speed must be >= 0, got "
+                              << change.new_speed);
   }
+  faults.validate(speeds.size(), sim_time);
 }
 
 namespace {
@@ -83,6 +92,7 @@ class RunContext {
         dispatch_gen_(rng::derive_seed(config.seed, 0, 2)),
         delay_gen_(rng::derive_seed(config.seed, 0, 3)),
         split_gen_(rng::derive_seed(config.seed, 0, 4)),
+        fault_delay_gen_(rng::derive_seed(config.seed, 0, 5)),
         metrics_(config.speeds.size()) {
     config.validate();
     HS_CHECK(!schedulers_.empty(), "at least one scheduler is required");
@@ -109,8 +119,21 @@ class RunContext {
     }
     for (const SimulationConfig::SpeedChange& change : config.speed_changes) {
       simulator_.schedule_at(change.time, [this, change] {
-        servers_[change.machine]->set_speed(change.new_speed);
+        apply_speed_change(change.machine, change.new_speed);
       });
+    }
+    if (config.faults.enabled()) {
+      faults_on_ = true;
+      down_.assign(config.speeds.size(), false);
+      nominal_speed_ = config.speeds;
+      const std::vector<FaultEvent> timeline = build_fault_timeline(
+          config.faults, config.speeds.size(), config.sim_time, config.seed);
+      downtime_ = downtime_from_timeline(timeline, config.speeds.size(),
+                                         config.sim_time);
+      for (const FaultEvent& event : timeline) {
+        simulator_.schedule_at(event.time,
+                               [this, event] { on_fault_event(event); });
+      }
     }
   }
 
@@ -141,6 +164,18 @@ class RunContext {
       result.deviations = tracker_->deviations();
     }
     result.events_fired = simulator_.events_fired();
+    result.jobs_lost = metrics_.jobs_lost();
+    result.jobs_retried = metrics_.jobs_retried();
+    result.jobs_dropped = metrics_.jobs_dropped();
+    const double window = config_.sim_time - config_.warmup_time();
+    result.goodput =
+        window > 0.0
+            ? static_cast<double>(result.completed_jobs) / window
+            : 0.0;
+    result.machine_downtime =
+        faults_on_ ? downtime_
+                   : std::vector<double>(config_.speeds.size(), 0.0);
+    result.mean_response_by_attempts = metrics_.mean_response_by_attempts();
     return result;
   }
 
@@ -199,7 +234,7 @@ class RunContext {
   void dispatch_job(const queueing::Job& job) {
     const size_t scheduler = next_scheduler();
     dispatch::Dispatcher& dispatcher = *schedulers_[scheduler];
-    dispatcher.on_arrival(job.arrival_time);
+    dispatcher.on_arrival(simulator_.now());
     const size_t machine = dispatcher.pick_sized(dispatch_gen_, job.size);
     const bool measured = job.arrival_time >= config_.warmup_time();
     metrics_.on_dispatch(machine, measured);
@@ -211,7 +246,104 @@ class RunContext {
       // (schedulers share no state).
       job_scheduler_[job.id] = scheduler;
     }
+    if (faults_on_ && down_[machine]) {
+      // Dispatched into a crash the scheduler has not (yet) detected:
+      // the job is lost on arrival, like everything else on the machine.
+      on_job_lost(job);
+      return;
+    }
     servers_[machine]->arrive(job);
+  }
+
+  // ---- Fault injection (config.faults; see docs/FAULT_MODEL.md) ----
+
+  /// §4.2 feedback latency: the event is noticed at the next periodic
+  /// check — U(0, detection_interval) — plus an exponential message
+  /// transfer delay.
+  double feedback_delay(rng::Xoshiro256& gen) {
+    double delay = 0.0;
+    if (config_.detection_interval > 0.0) {
+      delay += gen.uniform(0.0, config_.detection_interval);
+    }
+    if (config_.message_delay_mean > 0.0) {
+      delay += -std::log(gen.next_double_open0()) *
+               config_.message_delay_mean;
+    }
+    return delay;
+  }
+
+  void apply_speed_change(size_t machine, double new_speed) {
+    if (faults_on_) {
+      nominal_speed_[machine] = new_speed;
+      if (down_[machine]) {
+        return;  // takes effect on recovery
+      }
+    }
+    servers_[machine]->set_speed(new_speed);
+  }
+
+  void on_fault_event(const FaultEvent& event) {
+    const size_t machine = event.machine;
+    if (!event.up) {
+      down_[machine] = true;
+      // The crash loses every resident job; the machine then sits at
+      // speed 0 (occupied-but-dead time does not count as busy — the
+      // queue is empty).
+      std::vector<queueing::Job> lost = servers_[machine]->evict_all();
+      servers_[machine]->set_speed(0.0);
+      for (const queueing::Job& job : lost) {
+        on_job_lost(job);
+      }
+    } else {
+      down_[machine] = false;
+      servers_[machine]->set_speed(nominal_speed_[machine]);
+    }
+    // Failure-aware schedulers learn of the transition after their own
+    // detection delay; each detects independently.
+    for (dispatch::Dispatcher* scheduler : schedulers_) {
+      if (!scheduler->uses_fault_feedback()) {
+        continue;
+      }
+      const double delay = feedback_delay(fault_delay_gen_);
+      const bool up = event.up;
+      simulator_.schedule_in(delay, [scheduler, machine, up] {
+        scheduler->on_machine_state_report(machine, up);
+      });
+    }
+  }
+
+  /// A dispatch attempt of `job` just died with its machine. The
+  /// scheduler learns of the loss after a detection delay, then decides
+  /// between retry and drop.
+  void on_job_lost(const queueing::Job& job) {
+    const bool measured = job.arrival_time >= config_.warmup_time();
+    metrics_.on_job_lost(measured);
+    if (any_feedback_) {
+      job_scheduler_.erase(job.id);  // no completion will ever arrive
+    }
+    const double delay = feedback_delay(fault_delay_gen_);
+    simulator_.schedule_in(delay, [this, job] { on_loss_detected(job); });
+  }
+
+  void on_loss_detected(const queueing::Job& job) {
+    const RetryPolicy& policy = config_.faults.retry;
+    const bool measured = job.arrival_time >= config_.warmup_time();
+    if (job.attempt + 1 >= policy.max_attempts) {
+      metrics_.on_job_dropped(measured);
+      return;
+    }
+    const double backoff =
+        policy.backoff_initial *
+        std::pow(policy.backoff_factor, static_cast<double>(job.attempt));
+    if (policy.job_timeout > 0.0 &&
+        simulator_.now() + backoff - job.arrival_time > policy.job_timeout) {
+      metrics_.on_job_dropped(measured);
+      return;
+    }
+    metrics_.on_job_retried(measured);
+    queueing::Job retry = job;
+    retry.attempt += 1;
+    simulator_.schedule_in(backoff, [this, retry] { dispatch_job(retry); });
   }
 
   void on_completion(const queueing::Completion& completion) {
@@ -231,14 +363,7 @@ class RunContext {
         // §4.2: the machine notices the departure at its next 1 Hz load
         // check — U(0,1) s — then a message reaches the scheduler after
         // an exponential transfer delay of mean 0.05 s.
-        double delay = 0.0;
-        if (config_.detection_interval > 0.0) {
-          delay += delay_gen_.uniform(0.0, config_.detection_interval);
-        }
-        if (config_.message_delay_mean > 0.0) {
-          delay += -std::log(delay_gen_.next_double_open0()) *
-                   config_.message_delay_mean;
-        }
+        const double delay = feedback_delay(delay_gen_);
         const auto machine = static_cast<size_t>(completion.machine);
         simulator_.schedule_in(delay, [&dispatcher, machine] {
           dispatcher.on_departure_report(machine);
@@ -259,6 +384,11 @@ class RunContext {
   rng::Xoshiro256 dispatch_gen_;
   rng::Xoshiro256 delay_gen_;
   rng::Xoshiro256 split_gen_;
+  rng::Xoshiro256 fault_delay_gen_;
+  bool faults_on_ = false;
+  std::vector<bool> down_;             // current crash state per machine
+  std::vector<double> nominal_speed_;  // speed to restore on recovery
+  std::vector<double> downtime_;       // per machine, within [0, sim_time]
   sim::Simulator simulator_;
   std::vector<std::unique_ptr<queueing::Server>> servers_;
   std::unique_ptr<workload::ArrivalProcess> arrivals_;

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "cluster/faults.h"
 #include "cluster/metrics.h"
 #include "dispatch/dispatcher.h"
 #include "workload/spec.h"
@@ -69,6 +70,18 @@ struct SimulationConfig {
   };
   std::vector<SpeedChange> speed_changes;
 
+  /// Opt-in crash/recovery fault injection (cluster/faults.h). Disabled
+  /// by default; when disabled the simulation takes no fault-related
+  /// RNG draws and schedules no fault events, so results are bit-identical
+  /// to runs that predate the fault layer. On a crash, the machine's
+  /// resident jobs are lost; each loss is detected by the scheduler after
+  /// the §4.2 detection-interval + message-delay model (drawn from a
+  /// dedicated stream), then retried under `faults.retry`. Failure-aware
+  /// dispatchers (uses_fault_feedback()) additionally receive delayed
+  /// machine up/down reports. Retried dispatches count toward
+  /// `dispatched_jobs` and the per-machine dispatch fractions.
+  FaultConfig faults;
+
   /// Implied arrival rate λ = ρ·Σs/E[size].
   [[nodiscard]] double lambda() const;
   [[nodiscard]] double warmup_time() const { return warmup_frac * sim_time; }
@@ -87,6 +100,20 @@ struct SimulationResult {
   std::vector<double> machine_utilizations;  // busy fraction over sim_time
   std::vector<double> deviations;            // Figure 2 series (if tracked)
   uint64_t events_fired = 0;
+
+  // ---- Availability metrics (populated meaningfully with faults on;
+  //      all zero / trivially derived otherwise) ----
+  uint64_t jobs_lost = 0;     // dispatch attempts lost to crashes (measured)
+  uint64_t jobs_retried = 0;  // re-dispatches of lost jobs (measured)
+  uint64_t jobs_dropped = 0;  // lost jobs abandoned by the retry policy
+  /// Measured completions per second of measurement window — the run's
+  /// goodput (dropped jobs contribute nothing).
+  double goodput = 0.0;
+  /// Seconds each machine spent crashed within [0, sim_time].
+  std::vector<double> machine_downtime;
+  /// Mean response time of measured jobs by retry count (index 0 = jobs
+  /// never lost). See MetricsCollector::mean_response_by_attempts().
+  std::vector<double> mean_response_by_attempts;
 };
 
 /// Run one replication. The dispatcher is reset() first, so a fresh or a

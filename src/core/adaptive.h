@@ -87,6 +87,17 @@ class AdaptiveOrrDispatcher final : public dispatch::Dispatcher {
     return speeds_.size();
   }
 
+  /// Native fault-layer blacklist (lets FaultAwareDispatcher compose with
+  /// this policy instead of wrapping blindly). The allocation is
+  /// recomputed over the available machines only: the arrival-rate
+  /// estimator keeps measuring the system-level ρ̂ = λ̂·E[size]/Σs (the
+  /// arrival stream does not change when a machine dies), and the rebuilt
+  /// inner allocation assumes the survivor-effective utilization
+  /// ρ̂·Σs/Σs_up, clamped to [min_rho, max_rho]. An all-false mask is
+  /// treated as all-true (jobs must go somewhere; the fault layer loses
+  /// and retries them).
+  bool set_available_mask(const std::vector<bool>& available) override;
+
   /// The utilization currently assumed by the inner allocation
   /// (estimate × safety factor, clamped).
   [[nodiscard]] double assumed_rho() const { return assumed_rho_; }
@@ -99,6 +110,9 @@ class AdaptiveOrrDispatcher final : public dispatch::Dispatcher {
 
  private:
   void rebuild(double rho_estimate);
+  /// True if any machine is masked out (an all-false mask counts as no
+  /// masking).
+  [[nodiscard]] bool mask_active() const;
 
   std::vector<double> speeds_;
   AdaptiveOrrOptions options_;
@@ -106,6 +120,7 @@ class AdaptiveOrrDispatcher final : public dispatch::Dispatcher {
   double assumed_rho_;
   uint64_t arrivals_since_recompute_ = 0;
   uint64_t recomputations_ = 0;
+  std::vector<bool> available_;
   std::unique_ptr<alloc::Allocation> allocation_;
   std::unique_ptr<dispatch::SmoothRoundRobinDispatcher> inner_;
 };

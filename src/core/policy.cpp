@@ -1,13 +1,26 @@
 #include "core/policy.h"
 
+#include <algorithm>
+
 #include "alloc/optimized.h"
 #include "alloc/scheme.h"
+#include "dispatch/fault_aware.h"
 #include "dispatch/least_load.h"
 #include "dispatch/random_dispatcher.h"
 #include "dispatch/smooth_rr.h"
 #include "util/check.h"
+#include "util/math_util.h"
 
 namespace hs::core {
+
+namespace {
+
+/// Ceiling for the survivor-effective utilization when capacity is lost:
+/// past this the optimized scheme is effectively the weighted scheme (its
+/// ρ→1 limit), and the allocation schemes require ρ < 1.
+constexpr double kMaxDegradedRho = 0.999;
+
+}  // namespace
 
 const std::vector<PolicyKind>& static_policies() {
   static const std::vector<PolicyKind> kPolicies = {
@@ -87,6 +100,93 @@ cluster::DispatcherFactory policy_dispatcher_factory(
     double rho_estimate_factor) {
   return [kind, speeds = std::move(speeds), rho, rho_estimate_factor] {
     return make_policy_dispatcher(kind, speeds, rho, rho_estimate_factor);
+  };
+}
+
+alloc::Allocation policy_allocation_masked(PolicyKind kind,
+                                           const std::vector<double>& speeds,
+                                           double rho,
+                                           const std::vector<bool>& available,
+                                           double rho_estimate_factor) {
+  HS_CHECK(!is_dynamic(kind),
+           "dynamic policy " << policy_name(kind) << " has no allocation");
+  HS_CHECK(available.size() == speeds.size(),
+           "availability mask size " << available.size()
+                                     << " != machine count "
+                                     << speeds.size());
+  const bool any_down =
+      std::find(available.begin(), available.end(), false) != available.end();
+  const bool any_up =
+      std::find(available.begin(), available.end(), true) != available.end();
+  if (!any_down || !any_up) {
+    // Full availability — or total blackout, where no preference between
+    // machines is better than any other (every job is lost regardless).
+    return policy_allocation(kind, speeds, rho, rho_estimate_factor);
+  }
+  std::vector<double> survivor_speeds;
+  survivor_speeds.reserve(speeds.size());
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    if (available[i]) {
+      survivor_speeds.push_back(speeds[i]);
+    }
+  }
+  // The survivors absorb the whole arrival stream: λ is unchanged while
+  // the capacity shrank, so their effective utilization rises.
+  const double total = util::kahan_sum(speeds);
+  const double survivor_total = util::kahan_sum(survivor_speeds);
+  const double effective =
+      std::min(rho * total / survivor_total, kMaxDegradedRho);
+  const alloc::Allocation survivor_alloc = policy_allocation(
+      kind, survivor_speeds, effective, rho_estimate_factor);
+  std::vector<double> fractions(speeds.size(), 0.0);
+  size_t next_survivor = 0;
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    if (available[i]) {
+      fractions[i] = survivor_alloc[next_survivor++];
+    }
+  }
+  return alloc::Allocation(std::move(fractions));
+}
+
+std::unique_ptr<dispatch::Dispatcher> make_fault_aware_dispatcher(
+    PolicyKind kind, const std::vector<double>& speeds, double rho,
+    double rho_estimate_factor) {
+  if (kind == PolicyKind::kLeastLoad) {
+    // Least-Load masks natively; its queue estimates survive transitions.
+    return std::make_unique<dispatch::FaultAwareDispatcher>(
+        std::make_unique<dispatch::LeastLoadDispatcher>(speeds));
+  }
+  auto rebuilder = [kind, speeds, rho,
+                    rho_estimate_factor](const std::vector<bool>& available)
+      -> std::unique_ptr<dispatch::Dispatcher> {
+    alloc::Allocation allocation = policy_allocation_masked(
+        kind, speeds, rho, available, rho_estimate_factor);
+    switch (kind) {
+      case PolicyKind::kWRAN:
+      case PolicyKind::kORAN:
+        return std::make_unique<dispatch::RandomDispatcher>(
+            std::move(allocation));
+      case PolicyKind::kWRR:
+      case PolicyKind::kORR:
+        return std::make_unique<dispatch::SmoothRoundRobinDispatcher>(
+            std::move(allocation));
+      case PolicyKind::kLeastLoad:
+        break;
+    }
+    HS_CHECK(false, "unreachable policy kind");
+    return nullptr;
+  };
+  auto inner = make_policy_dispatcher(kind, speeds, rho, rho_estimate_factor);
+  return std::make_unique<dispatch::FaultAwareDispatcher>(
+      std::move(inner), std::move(rebuilder));
+}
+
+cluster::DispatcherFactory fault_aware_dispatcher_factory(
+    PolicyKind kind, std::vector<double> speeds, double rho,
+    double rho_estimate_factor) {
+  return [kind, speeds = std::move(speeds), rho, rho_estimate_factor] {
+    return make_fault_aware_dispatcher(kind, speeds, rho,
+                                       rho_estimate_factor);
   };
 }
 

@@ -59,4 +59,29 @@ enum class PolicyKind {
     PolicyKind kind, std::vector<double> speeds, double rho,
     double rho_estimate_factor = 1.0);
 
+/// The allocation a static policy computes when only `available` machines
+/// may receive work (graceful degradation): Algorithm 1 (or the weighted
+/// scheme) is re-applied to the survivors at their effective utilization
+/// ρ·Σs/Σs_up (clamped below 1), and the result is expanded back to the
+/// full machine-index space with αᵢ = 0 for unavailable machines. With an
+/// all-true (or all-false) mask this is exactly policy_allocation().
+[[nodiscard]] alloc::Allocation policy_allocation_masked(
+    PolicyKind kind, const std::vector<double>& speeds, double rho,
+    const std::vector<bool>& available, double rho_estimate_factor = 1.0);
+
+/// Build a failure-aware dispatcher for the policy: the policy dispatcher
+/// wrapped in a dispatch::FaultAwareDispatcher that blacklists machines
+/// reported down. Static policies degrade by recomputing their allocation
+/// over the survivors (policy_allocation_masked); Least-Load masks its
+/// candidate set natively.
+[[nodiscard]] std::unique_ptr<dispatch::Dispatcher>
+make_fault_aware_dispatcher(PolicyKind kind,
+                            const std::vector<double>& speeds, double rho,
+                            double rho_estimate_factor = 1.0);
+
+/// Thread-safe factory variant of make_fault_aware_dispatcher().
+[[nodiscard]] cluster::DispatcherFactory fault_aware_dispatcher_factory(
+    PolicyKind kind, std::vector<double> speeds, double rho,
+    double rho_estimate_factor = 1.0);
+
 }  // namespace hs::core

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "rng/rng.h"
 
@@ -54,6 +55,27 @@ class Dispatcher {
   /// True if the scheduler must deliver departure reports (i.e. the
   /// policy is dynamic and pays the associated overhead).
   [[nodiscard]] virtual bool uses_feedback() const { return false; }
+
+  /// Restrict routing to machines with available[i] == true (the fault
+  /// layer's blacklist). Returns true if the policy supports masking
+  /// natively (Least-Load, AdaptiveORR); the default returns false and
+  /// leaves routing unchanged — callers then rebuild the dispatcher over
+  /// the survivors instead (see FaultAwareDispatcher).
+  virtual bool set_available_mask(const std::vector<bool>& available) {
+    (void)available;
+    return false;
+  }
+
+  /// A (possibly delayed) report that `machine` crashed (up == false) or
+  /// recovered (up == true). Fault-oblivious dispatchers ignore it.
+  virtual void on_machine_state_report(size_t machine, bool up) {
+    (void)machine;
+    (void)up;
+  }
+
+  /// True if the scheduler should deliver machine crash/recovery reports
+  /// (the policy is failure-aware and pays the detection overhead).
+  [[nodiscard]] virtual bool uses_fault_feedback() const { return false; }
 };
 
 }  // namespace hs::dispatch

@@ -1,0 +1,97 @@
+#include "dispatch/fault_aware.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hs::dispatch {
+
+FaultAwareDispatcher::FaultAwareDispatcher(std::unique_ptr<Dispatcher> inner)
+    : FaultAwareDispatcher(std::move(inner), Rebuilder{}) {}
+
+FaultAwareDispatcher::FaultAwareDispatcher(std::unique_ptr<Dispatcher> inner,
+                                           Rebuilder rebuilder)
+    : inner_(std::move(inner)), rebuilder_(std::move(rebuilder)) {
+  HS_CHECK(inner_ != nullptr, "fault-aware decorator needs a dispatcher");
+  available_.assign(inner_->machine_count(), true);
+  native_mask_ = inner_->set_available_mask(available_);
+  HS_CHECK(native_mask_ || rebuilder_,
+           "inner dispatcher \""
+               << inner_->name()
+               << "\" does not support masking and no rebuilder was given");
+}
+
+size_t FaultAwareDispatcher::pick(rng::Xoshiro256& gen) {
+  return inner_->pick(gen);
+}
+
+size_t FaultAwareDispatcher::pick_sized(rng::Xoshiro256& gen, double size) {
+  return inner_->pick_sized(gen, size);
+}
+
+bool FaultAwareDispatcher::uses_size() const { return inner_->uses_size(); }
+
+void FaultAwareDispatcher::reset() {
+  available_.assign(available_.size(), true);
+  rebuilds_ = 0;
+  if (native_mask_) {
+    inner_->reset();
+    inner_->set_available_mask(available_);
+  } else {
+    // A fresh rebuild restores the full-availability routing state (the
+    // rebuilder returns dispatchers in their initial state).
+    inner_ = rebuilder_(available_);
+    HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
+  }
+}
+
+std::string FaultAwareDispatcher::name() const {
+  return "fault-aware(" + inner_->name() + ")";
+}
+
+size_t FaultAwareDispatcher::machine_count() const {
+  return available_.size();
+}
+
+void FaultAwareDispatcher::on_arrival(double now) { inner_->on_arrival(now); }
+
+void FaultAwareDispatcher::on_departure_report(size_t machine) {
+  inner_->on_departure_report(machine);
+}
+
+bool FaultAwareDispatcher::uses_feedback() const {
+  return inner_->uses_feedback();
+}
+
+size_t FaultAwareDispatcher::down_count() const {
+  return static_cast<size_t>(
+      std::count(available_.begin(), available_.end(), false));
+}
+
+void FaultAwareDispatcher::on_machine_state_report(size_t machine, bool up) {
+  HS_CHECK(machine < available_.size(),
+           "machine index out of range: " << machine);
+  if (available_[machine] == up) {
+    return;  // duplicate report — already in the believed state
+  }
+  available_[machine] = up;
+  apply_mask();
+}
+
+void FaultAwareDispatcher::apply_mask() {
+  if (native_mask_) {
+    inner_->set_available_mask(available_);
+    return;
+  }
+  if (down_count() == available_.size()) {
+    // Every machine is believed down: nothing useful to rebuild over.
+    // Keep the previous routing; dispatched jobs are lost and retried by
+    // the fault layer until a recovery report arrives.
+    return;
+  }
+  inner_ = rebuilder_(available_);
+  HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
+  ++rebuilds_;
+}
+
+}  // namespace hs::dispatch

@@ -1,0 +1,83 @@
+// Failure-aware dispatching decorator.
+//
+// Wraps any Dispatcher and consumes the fault layer's delayed machine
+// crash/recovery reports (cluster/faults.h): machines reported down are
+// blacklisted, and routing is restricted to the survivors until the
+// recovery report arrives. Two composition modes, picked automatically:
+//
+//  * Native masking — the inner dispatcher handles blacklists itself
+//    (Least-Load, AdaptiveORR expose set_available_mask). The decorator
+//    just forwards the mask; inner state (queue estimates, the ρ̂
+//    estimator) survives across fault transitions.
+//  * Rebuild — static allocation-based dispatchers (WRAN/ORAN/WRR/ORR)
+//    have no mask concept, so the caller supplies a Rebuilder that
+//    constructs a fresh inner dispatcher routing only to the available
+//    machines (e.g. the Algorithm-1 optimized allocation recomputed over
+//    the survivors — graceful ORR degradation). The decorator swaps the
+//    inner dispatcher on every fault transition.
+//
+// core::make_fault_aware_dispatcher() wires both modes for the paper's
+// policies; docs/FAULT_MODEL.md discusses the semantics.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "dispatch/dispatcher.h"
+
+namespace hs::dispatch {
+
+class FaultAwareDispatcher final : public Dispatcher {
+ public:
+  /// Builds a fresh dispatcher (over the full machine-index space) that
+  /// routes only to machines with available[i] == true. Called with an
+  /// all-true mask on reset. When every machine is down the decorator
+  /// does not call the rebuilder; it routes over the full set instead
+  /// (the jobs are lost either way, and the fault layer retries them).
+  using Rebuilder =
+      std::function<std::unique_ptr<Dispatcher>(const std::vector<bool>&)>;
+
+  /// Native-masking mode: `inner` must accept set_available_mask.
+  explicit FaultAwareDispatcher(std::unique_ptr<Dispatcher> inner);
+
+  /// Rebuild mode: `inner` is the full-availability dispatcher,
+  /// `rebuilder` produces replacements as machines fail and recover.
+  FaultAwareDispatcher(std::unique_ptr<Dispatcher> inner,
+                       Rebuilder rebuilder);
+
+  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+  [[nodiscard]] size_t pick_sized(rng::Xoshiro256& gen,
+                                  double size) override;
+  [[nodiscard]] bool uses_size() const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] size_t machine_count() const override;
+
+  void on_arrival(double now) override;
+  void on_departure_report(size_t machine) override;
+  [[nodiscard]] bool uses_feedback() const override;
+
+  void on_machine_state_report(size_t machine, bool up) override;
+  [[nodiscard]] bool uses_fault_feedback() const override { return true; }
+
+  /// Current availability as last reported (true = believed up).
+  [[nodiscard]] const std::vector<bool>& available() const {
+    return available_;
+  }
+  [[nodiscard]] size_t down_count() const;
+  /// Inner-dispatcher rebuilds since construction/reset (rebuild mode
+  /// only; native masking never rebuilds).
+  [[nodiscard]] uint64_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] const Dispatcher& inner() const { return *inner_; }
+
+ private:
+  void apply_mask();
+
+  std::unique_ptr<Dispatcher> inner_;
+  Rebuilder rebuilder_;
+  std::vector<bool> available_;
+  bool native_mask_ = false;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace hs::dispatch

@@ -5,7 +5,9 @@
 namespace hs::dispatch {
 
 LeastLoadDispatcher::LeastLoadDispatcher(std::vector<double> speeds)
-    : speeds_(std::move(speeds)), estimates_(speeds_.size(), 0) {
+    : speeds_(std::move(speeds)),
+      estimates_(speeds_.size(), 0),
+      available_(speeds_.size(), true) {
   HS_CHECK(!speeds_.empty(), "least-load needs at least one machine");
   for (double s : speeds_) {
     HS_CHECK(s > 0.0, "machine speed must be positive, got " << s);
@@ -14,16 +16,23 @@ LeastLoadDispatcher::LeastLoadDispatcher(std::vector<double> speeds)
 
 void LeastLoadDispatcher::reset() {
   estimates_.assign(speeds_.size(), 0);
+  available_.assign(speeds_.size(), true);
 }
 
 size_t LeastLoadDispatcher::pick(rng::Xoshiro256& /*gen*/) {
-  size_t best = 0;
-  double best_load =
-      static_cast<double>(estimates_[0] + 1) / speeds_[0];
-  for (size_t i = 1; i < speeds_.size(); ++i) {
+  bool any_available = false;
+  for (size_t i = 0; i < available_.size(); ++i) {
+    any_available = any_available || available_[i];
+  }
+  size_t best = speeds_.size();
+  double best_load = 0.0;
+  for (size_t i = 0; i < speeds_.size(); ++i) {
+    if (any_available && !available_[i]) {
+      continue;  // blacklisted by the fault layer
+    }
     const double load =
         static_cast<double>(estimates_[i] + 1) / speeds_[i];
-    if (load < best_load) {
+    if (best == speeds_.size() || load < best_load) {
       best_load = load;
       best = i;
     }
@@ -37,11 +46,30 @@ size_t LeastLoadDispatcher::pick(rng::Xoshiro256& /*gen*/) {
 void LeastLoadDispatcher::on_departure_report(size_t machine) {
   HS_CHECK(machine < estimates_.size(),
            "machine index out of range: " << machine);
-  // Reports only ever follow dispatches, so the estimate stays >= 0.
-  HS_CHECK(estimates_[machine] > 0,
-           "departure report for machine " << machine
-                                           << " with zero estimated queue");
-  --estimates_[machine];
+  // Reports only ever follow dispatches, so the estimate stays >= 0 —
+  // except that a crash report zeroes the estimate, and an in-flight
+  // departure report for a job that completed just before the crash may
+  // still arrive afterwards. Such stale reports are dropped.
+  if (estimates_[machine] > 0) {
+    --estimates_[machine];
+  }
+}
+
+bool LeastLoadDispatcher::set_available_mask(
+    const std::vector<bool>& available) {
+  HS_CHECK(available.size() == speeds_.size(),
+           "availability mask size " << available.size()
+                                     << " != machine count "
+                                     << speeds_.size());
+  for (size_t i = 0; i < speeds_.size(); ++i) {
+    if (available_[i] && !available[i]) {
+      // Newly reported down: its resident jobs died with it, so the
+      // pending-departure estimate is void.
+      estimates_[i] = 0;
+    }
+  }
+  available_ = available;
+  return true;
 }
 
 uint64_t LeastLoadDispatcher::estimated_queue(size_t machine) const {

@@ -31,12 +31,21 @@ class LeastLoadDispatcher final : public Dispatcher {
   void on_departure_report(size_t machine) override;
   [[nodiscard]] bool uses_feedback() const override { return true; }
 
+  /// Native fault-layer blacklist: masked machines are skipped by pick()
+  /// (unless every machine is masked, in which case all are considered —
+  /// jobs must go somewhere, and the fault layer will lose and retry
+  /// them). A machine transitioning to unavailable has its queue estimate
+  /// zeroed: its jobs were lost in the crash, and the departure reports
+  /// that would have drained the estimate will never arrive.
+  bool set_available_mask(const std::vector<bool>& available) override;
+
   /// Scheduler-side queue length estimate for a machine.
   [[nodiscard]] uint64_t estimated_queue(size_t machine) const;
 
  private:
   std::vector<double> speeds_;
   std::vector<uint64_t> estimates_;
+  std::vector<bool> available_;
 };
 
 }  // namespace hs::dispatch

@@ -24,6 +24,10 @@ class FcfsServer final : public Server {
   /// service is held with its attained service preserved).
   void set_speed(double new_speed) override;
 
+  /// Crash support: drains the job in service (first) and the waiting
+  /// queue, cancelling the pending completion.
+  std::vector<Job> evict_all() override;
+
  private:
   void start_service();
   void schedule_completion();

@@ -13,6 +13,12 @@ struct Job {
   uint64_t id = 0;
   double arrival_time = 0.0;  // arrival at the central scheduler
   double size = 0.0;          // service demand in base-speed seconds
+  /// 0-based index of the current dispatch attempt. 0 for every job on
+  /// its first dispatch; incremented by the fault-injection retry path
+  /// each time a crash loses the job and the scheduler re-dispatches it.
+  /// `arrival_time` always refers to the original arrival, so response
+  /// times of retried jobs include all detection and backoff delays.
+  uint32_t attempt = 0;
 };
 
 /// Completion record emitted by a server when a job departs.

@@ -41,6 +41,19 @@ void PsServer::set_speed(double new_speed) {
   reschedule_departure();
 }
 
+std::vector<Job> PsServer::evict_all() {
+  advance_clock();
+  simulator_.cancel(pending_departure_);
+  pending_departure_ = sim::EventHandle{};
+  std::vector<Job> evicted;
+  evicted.reserve(active_.size());
+  while (!active_.empty()) {
+    evicted.push_back(active_.top().job);
+    active_.pop();
+  }
+  return evicted;
+}
+
 void PsServer::reschedule_departure() {
   simulator_.cancel(pending_departure_);
   pending_departure_ = sim::EventHandle{};

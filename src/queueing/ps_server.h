@@ -34,6 +34,10 @@ class PsServer final : public Server {
   /// (the machine is occupied, just not progressing).
   void set_speed(double new_speed) override;
 
+  /// Crash support: drains every active job (ordered by finish tag, so
+  /// deterministic) and cancels the pending departure.
+  std::vector<Job> evict_all() override;
+
  private:
   struct ActiveJob {
     double finish_tag;  // virtual work at which this job completes

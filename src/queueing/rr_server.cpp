@@ -62,6 +62,22 @@ void RrServer::set_speed(double new_speed) {
   }
 }
 
+std::vector<Job> RrServer::evict_all() {
+  std::vector<Job> evicted;
+  evicted.reserve(ready_.size());
+  if (running_) {
+    simulator_.cancel(slice_event_);
+    slice_event_ = sim::EventHandle{};
+    running_ = false;
+    busy_accum_ += simulator_.now() - busy_since_;
+  }
+  for (const PendingJob& pending : ready_) {
+    evicted.push_back(pending.job);
+  }
+  ready_.clear();
+  return evicted;
+}
+
 void RrServer::on_slice_end() {
   slice_event_ = sim::EventHandle{};
   HS_CHECK(!ready_.empty(), "slice end with empty ready queue");

@@ -27,6 +27,10 @@ class RrServer final : public Server {
   /// running job's attained service is preserved).
   void set_speed(double new_speed) override;
 
+  /// Crash support: drains the ready queue (running job first) and
+  /// cancels the pending slice-end event.
+  std::vector<Job> evict_all() override;
+
   [[nodiscard]] double quantum() const { return quantum_; }
 
  private:

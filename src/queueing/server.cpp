@@ -13,6 +13,11 @@ void Server::set_speed(double /*new_speed*/) {
   HS_CHECK(false, "set_speed is not supported by this service discipline");
 }
 
+std::vector<Job> Server::evict_all() {
+  HS_CHECK(false, "evict_all is not supported by this service discipline");
+  return {};
+}
+
 double Server::utilization() const {
   const double now = simulator_.now();
   if (now <= 0.0) {

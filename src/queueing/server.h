@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "queueing/job.h"
 #include "sim/simulator.h"
@@ -40,6 +41,15 @@ class Server {
   /// support this; the default implementation throws CheckError so
   /// future disciplines fail loudly rather than silently ignore it.
   virtual void set_speed(double new_speed);
+
+  /// Remove and return every job resident on the machine (in service and
+  /// queued), in a deterministic order, without emitting completions.
+  /// Attained service is discarded — a re-dispatched job starts from
+  /// scratch. Used by the fault-injection layer to model a crash: the
+  /// machine's jobs are lost and reported back to the scheduler. The
+  /// default implementation throws CheckError so future disciplines fail
+  /// loudly rather than silently ignore a crash.
+  virtual std::vector<Job> evict_all();
 
   /// Number of jobs currently on the machine (running + queued). This is
   /// the "run queue length" load index of §2.2.
