@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Append a google-benchmark run to the BENCH_sim.json trajectory.
+
+Workflow (details in docs/PERFORMANCE.md):
+
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release -DHS_BUILD_BENCH=ON
+    cmake --build build-rel -j
+    for i in $(seq 1 8); do
+      ./build-rel/bench/micro_sim --benchmark_min_time=0.1 \
+          --benchmark_format=json >> /tmp/bench_rounds.jsonl
+    done
+    python3 scripts/bench_to_json.py /tmp/bench_rounds.jsonl \
+        --label my-change --engine "one-line description" [--dry-run]
+
+The input file holds one or more google-benchmark JSON documents
+(concatenated runs are fine). For every benchmark the MINIMUM real_time
+across all runs is kept — on shared hosts the minimum is the robust
+summary; means and single runs drift with background load. The script
+appends one entry to the "entries" list, preserving everything already
+recorded, and derives speedups against a chosen baseline entry.
+
+Only Python's standard library is used.
+"""
+
+import argparse
+import json
+import sys
+from datetime import date
+from pathlib import Path
+
+# Completed jobs per iteration of the end-to-end cluster benchmark
+# (mean over its seed cycle; see bench/micro_sim.cpp). Used to derive
+# jobs_per_sec from the minimum iteration time.
+CLUSTER_JOBS_PER_ITER = 14895.0
+CLUSTER_BENCH = "BM_FullClusterSimulation"
+
+
+def parse_runs(path):
+    """Yield google-benchmark JSON documents from a file that may hold
+    several of them back to back."""
+    text = Path(path).read_text()
+    decoder = json.JSONDecoder()
+    pos = 0
+    while True:
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+        if pos >= len(text):
+            return
+        doc, end = decoder.raw_decode(text, pos)
+        yield doc
+        pos = end
+
+
+def collect_minima(runs):
+    """name -> {"real_time": min, "unit": ...} over all runs."""
+    minima = {}
+    for doc in runs:
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench["name"]
+            entry = minima.setdefault(
+                name, {"real_time": float("inf"), "unit": bench["time_unit"]}
+            )
+            entry["real_time"] = min(entry["real_time"], bench["real_time"])
+    return minima
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input", help="file of google-benchmark JSON runs")
+    parser.add_argument("--label", required=True,
+                        help="entry label, e.g. pr3-heap-tuning")
+    parser.add_argument("--engine", default="",
+                        help="one-line description of the engine state")
+    parser.add_argument("--commit", default="",
+                        help="commit hash the binary was built from")
+    parser.add_argument("--build", default="Release, gcc -O3")
+    parser.add_argument("--baseline", default=None,
+                        help="label of the entry to compute speedups "
+                             "against (default: previous entry)")
+    parser.add_argument("--trajectory", default=None,
+                        help="path to BENCH_sim.json (default: repo root "
+                             "relative to this script)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the new entry instead of writing")
+    args = parser.parse_args()
+
+    trajectory_path = Path(
+        args.trajectory
+        or Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+    )
+    trajectory = json.loads(trajectory_path.read_text())
+
+    minima = collect_minima(parse_runs(args.input))
+    if not minima:
+        sys.exit("no benchmark results found in " + args.input)
+    results = {}
+    for name in sorted(minima):
+        results[name] = {
+            "real_time": round(minima[name]["real_time"], 3),
+            "unit": minima[name]["unit"],
+        }
+        if name == CLUSTER_BENCH:
+            unit = minima[name]["unit"]
+            scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+            seconds = minima[name]["real_time"] * scale
+            results[name]["jobs_per_sec"] = round(
+                CLUSTER_JOBS_PER_ITER / seconds
+            )
+
+    entry = {
+        "label": args.label,
+        "date": date.today().isoformat(),
+        "build": args.build,
+        "results": results,
+    }
+    if args.engine:
+        entry["engine"] = args.engine
+    if args.commit:
+        entry["commit"] = args.commit
+
+    entries = trajectory.setdefault("entries", [])
+    baseline = None
+    if args.baseline:
+        matches = [e for e in entries if e["label"] == args.baseline]
+        if not matches:
+            sys.exit("baseline label not found: " + args.baseline)
+        baseline = matches[-1]
+    elif entries:
+        baseline = entries[-1]
+    if baseline is not None:
+        speedups = {"baseline": baseline["label"]}
+        for name, res in results.items():
+            base = baseline["results"].get(name)
+            if base and base["unit"] == res["unit"] and res["real_time"] > 0:
+                speedups[name] = round(base["real_time"] / res["real_time"], 2)
+        entry["speedup_vs"] = speedups
+
+    if args.dry_run:
+        json.dump(entry, sys.stdout, indent=2)
+        print()
+        return
+    entries.append(entry)
+    trajectory_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended '{args.label}' to {trajectory_path}")
+
+
+if __name__ == "__main__":
+    main()

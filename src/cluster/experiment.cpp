@@ -27,15 +27,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   std::vector<std::exception_ptr> errors(threads);
   auto worker = [&](unsigned worker_index) {
     try {
+      // One dispatcher and one config copy per worker, reused across all
+      // of its replications: run_simulation resets the dispatcher and
+      // only the seed differs between reps, so rebuilding them per rep
+      // would just make the replication threads contend on the allocator.
+      auto dispatcher = factory();
+      HS_CHECK(dispatcher != nullptr, "dispatcher factory returned null");
+      SimulationConfig sim = config.simulation;
       for (;;) {
         const unsigned r = next_rep.fetch_add(1);
         if (r >= reps) {
           return;
         }
-        SimulationConfig sim = config.simulation;
         sim.seed = rng::derive_seed(config.base_seed, r, 100);
-        auto dispatcher = factory();
-        HS_CHECK(dispatcher != nullptr, "dispatcher factory returned null");
         results[r] = run_simulation(sim, *dispatcher);
       }
     } catch (...) {

@@ -15,9 +15,11 @@
 
 namespace hs::cluster {
 
-/// Builds a fresh dispatcher for one replication. Called once per
-/// replication (possibly concurrently), so the factory must be
-/// thread-safe; the dispatchers it returns need not be.
+/// Builds a fresh dispatcher. Called once per worker thread (possibly
+/// concurrently), so the factory must be thread-safe; the dispatchers it
+/// returns need not be. Each worker reuses its dispatcher across the
+/// replications it runs — run_simulation resets it first, so a reused
+/// dispatcher replicates bit-identically to a fresh one.
 using DispatcherFactory =
     std::function<std::unique_ptr<dispatch::Dispatcher>()>;
 

@@ -78,7 +78,10 @@ std::unique_ptr<queueing::Server> make_server(const SimulationConfig& config,
 }
 
 /// Everything one run needs, wired together before the event loop starts.
-class RunContext {
+/// All simulation machinery (arrivals, speed changes, faults, delayed
+/// feedback) runs on typed events targeting this object, so the steady
+/// state of a run schedules events without touching the allocator.
+class RunContext : private sim::EventTarget {
  public:
   RunContext(const SimulationConfig& config,
              std::vector<dispatch::Dispatcher*> schedulers,
@@ -117,10 +120,12 @@ class RunContext {
       arrivals_ = config.workload.make_arrivals(config.lambda());
       arrivals_->reset();
     }
+    size_t upfront_events = config.speed_changes.size();
     for (const SimulationConfig::SpeedChange& change : config.speed_changes) {
-      simulator_.schedule_at(change.time, [this, change] {
-        apply_speed_change(change.machine, change.new_speed);
-      });
+      simulator_.schedule_at(
+          change.time, *this, kSpeedChange,
+          sim::EventArgs::pack(SpeedChangeArgs{change.machine,
+                                               change.new_speed}));
     }
     if (config.faults.enabled()) {
       faults_on_ = true;
@@ -130,11 +135,16 @@ class RunContext {
           config.faults, config.speeds.size(), config.sim_time, config.seed);
       downtime_ = downtime_from_timeline(timeline, config.speeds.size(),
                                          config.sim_time);
+      upfront_events += timeline.size();
       for (const FaultEvent& event : timeline) {
-        simulator_.schedule_at(event.time,
-                               [this, event] { on_fault_event(event); });
+        simulator_.schedule_at(event.time, *this, kFaultTransition,
+                               sim::EventArgs::pack(event));
       }
     }
+    // The whole speed-change/fault timeline sits in the heap from t=0;
+    // beyond it a run keeps one departure timer per machine, the next
+    // arrival, and a handful of in-flight feedback messages.
+    simulator_.reserve_events(upfront_events + 4 * config.speeds.size() + 64);
   }
 
   SimulationResult run() {
@@ -180,6 +190,79 @@ class RunContext {
   }
 
  private:
+  /// RunContext event kinds. Every recurring event in a run is one of
+  /// these; the payloads are packed into the event's inline args.
+  enum EventKind : uint32_t {
+    kGeneratedArrival,  // no args
+    kTraceArrival,      // Job
+    kSpeedChange,       // SpeedChangeArgs
+    kFaultTransition,   // FaultEvent
+    kStateReport,       // StateReportArgs (delayed up/down feedback)
+    kLossDetected,      // Job (scheduler notices a crash-lost job)
+    kRetryDispatch,     // Job (re-dispatch after backoff)
+    kDepartureReport,   // DepartureReportArgs (delayed load feedback)
+  };
+  struct SpeedChangeArgs {
+    size_t machine;
+    double speed;
+  };
+  struct StateReportArgs {
+    uint32_t scheduler;
+    uint32_t machine;
+    bool up;
+  };
+  struct DepartureReportArgs {
+    uint32_t scheduler;
+    uint32_t machine;
+  };
+
+  void on_event(uint32_t kind, const sim::EventArgs& args) override {
+    switch (static_cast<EventKind>(kind)) {
+      case kGeneratedArrival:
+        on_generated_arrival();
+        return;
+      case kTraceArrival: {
+        // Push the successor arrival before dispatching: the push drops
+        // into the root hole this pop just left (one sift total), and
+        // the departure reschedule inside dispatch_job() then runs
+        // purely in place. Order is observationally identical — the
+        // successor's time does not depend on the dispatch, and the two
+        // events' relative sequence numbers only matter if their times
+        // collide bit-for-bit.
+        const auto job = args.unpack<queueing::Job>();
+        schedule_next_trace_arrival();
+        dispatch_job(job);
+        return;
+      }
+      case kSpeedChange: {
+        const auto change = args.unpack<SpeedChangeArgs>();
+        apply_speed_change(change.machine, change.speed);
+        return;
+      }
+      case kFaultTransition:
+        on_fault_event(args.unpack<FaultEvent>());
+        return;
+      case kStateReport: {
+        const auto report = args.unpack<StateReportArgs>();
+        schedulers_[report.scheduler]->on_machine_state_report(report.machine,
+                                                              report.up);
+        return;
+      }
+      case kLossDetected:
+        on_loss_detected(args.unpack<queueing::Job>());
+        return;
+      case kRetryDispatch:
+        dispatch_job(args.unpack<queueing::Job>());
+        return;
+      case kDepartureReport: {
+        const auto report = args.unpack<DepartureReportArgs>();
+        schedulers_[report.scheduler]->on_departure_report(report.machine);
+        return;
+      }
+    }
+    HS_CHECK(false, "unknown event kind " << kind);
+  }
+
   void schedule_first_arrival() {
     if (config_.trace != nullptr) {
       schedule_next_trace_arrival();
@@ -187,21 +270,18 @@ class RunContext {
     }
     const double t = arrivals_->next_interarrival(arrival_gen_);
     if (t <= config_.sim_time) {
-      simulator_.schedule_at(t, [this] { on_generated_arrival(); });
+      simulator_.schedule_at(t, *this, kGeneratedArrival);
     }
   }
 
   void schedule_next_trace_arrival() {
+    // Schedule one at a time to keep the event heap small.
     const auto& jobs = config_.trace->jobs();
-    while (trace_index_ < jobs.size() &&
-           jobs[trace_index_].arrival_time <= config_.sim_time) {
-      // Schedule one at a time to keep the event heap small.
+    if (trace_index_ < jobs.size() &&
+        jobs[trace_index_].arrival_time <= config_.sim_time) {
       const queueing::Job job = jobs[trace_index_++];
-      simulator_.schedule_at(job.arrival_time, [this, job] {
-        dispatch_job(job);
-        schedule_next_trace_arrival();
-      });
-      return;
+      simulator_.schedule_at(job.arrival_time, *this, kTraceArrival,
+                             sim::EventArgs::pack(job));
     }
   }
 
@@ -210,12 +290,17 @@ class RunContext {
     job.id = next_job_id_++;
     job.arrival_time = simulator_.now();
     job.size = size_model_.sample(size_gen_);
-    dispatch_job(job);
-    const double next = simulator_.now() +
+    // Schedule the successor arrival before dispatching the job (see
+    // kTraceArrival): the push fills the root hole this pop left, and
+    // the departure reschedule in dispatch_job() stays in place. The
+    // arrival and size streams are independent generators, so the draw
+    // order across them is immaterial.
+    const double next = job.arrival_time +
                         arrivals_->next_interarrival(arrival_gen_);
     if (next <= config_.sim_time) {
-      simulator_.schedule_at(next, [this] { on_generated_arrival(); });
+      simulator_.schedule_at(next, *this, kGeneratedArrival);
     }
+    dispatch_job(job);
   }
 
   /// Which scheduler handles the next arriving job.
@@ -300,15 +385,16 @@ class RunContext {
     }
     // Failure-aware schedulers learn of the transition after their own
     // detection delay; each detects independently.
-    for (dispatch::Dispatcher* scheduler : schedulers_) {
-      if (!scheduler->uses_fault_feedback()) {
+    for (size_t s = 0; s < schedulers_.size(); ++s) {
+      if (!schedulers_[s]->uses_fault_feedback()) {
         continue;
       }
       const double delay = feedback_delay(fault_delay_gen_);
-      const bool up = event.up;
-      simulator_.schedule_in(delay, [scheduler, machine, up] {
-        scheduler->on_machine_state_report(machine, up);
-      });
+      simulator_.schedule_in(
+          delay, *this, kStateReport,
+          sim::EventArgs::pack(StateReportArgs{
+              static_cast<uint32_t>(s), static_cast<uint32_t>(machine),
+              event.up}));
     }
   }
 
@@ -322,7 +408,8 @@ class RunContext {
       job_scheduler_.erase(job.id);  // no completion will ever arrive
     }
     const double delay = feedback_delay(fault_delay_gen_);
-    simulator_.schedule_in(delay, [this, job] { on_loss_detected(job); });
+    simulator_.schedule_in(delay, *this, kLossDetected,
+                           sim::EventArgs::pack(job));
   }
 
   void on_loss_detected(const queueing::Job& job) {
@@ -343,7 +430,8 @@ class RunContext {
     metrics_.on_job_retried(measured);
     queueing::Job retry = job;
     retry.attempt += 1;
-    simulator_.schedule_in(backoff, [this, retry] { dispatch_job(retry); });
+    simulator_.schedule_in(backoff, *this, kRetryDispatch,
+                           sim::EventArgs::pack(retry));
   }
 
   void on_completion(const queueing::Completion& completion) {
@@ -357,17 +445,18 @@ class RunContext {
       const auto it = job_scheduler_.find(completion.job.id);
       HS_CHECK(it != job_scheduler_.end(),
                "completion for untracked job " << completion.job.id);
-      dispatch::Dispatcher& dispatcher = *schedulers_[it->second];
+      const size_t scheduler = it->second;
       job_scheduler_.erase(it);
-      if (dispatcher.uses_feedback()) {
+      if (schedulers_[scheduler]->uses_feedback()) {
         // §4.2: the machine notices the departure at its next 1 Hz load
         // check — U(0,1) s — then a message reaches the scheduler after
         // an exponential transfer delay of mean 0.05 s.
         const double delay = feedback_delay(delay_gen_);
-        const auto machine = static_cast<size_t>(completion.machine);
-        simulator_.schedule_in(delay, [&dispatcher, machine] {
-          dispatcher.on_departure_report(machine);
-        });
+        simulator_.schedule_in(
+            delay, *this, kDepartureReport,
+            sim::EventArgs::pack(DepartureReportArgs{
+                static_cast<uint32_t>(scheduler),
+                static_cast<uint32_t>(completion.machine)}));
       }
     }
   }

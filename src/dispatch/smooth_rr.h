@@ -14,6 +14,13 @@
 // With equal fractions this reduces to the classic round-robin; hence
 // "Weighted Round-Robin" (WRR) with the simple weighted allocation and
 // "Optimized Round-Robin" (ORR) with the optimized allocation.
+//
+// pick() runs once per dispatched job and dominated end-to-end
+// simulation profiles, so the state is kept densely for the machines
+// with αᵢ > 0 only: excluded machines never receive jobs, never start,
+// and therefore never change state (their `next` stays at the guard
+// value 1 forever), so leaving them out of every scan is exact — not an
+// approximation.
 #pragma once
 
 #include <cstdint>
@@ -36,13 +43,34 @@ class SmoothRoundRobinDispatcher final : public Dispatcher {
   }
 
   /// State inspection (for tests and the Figure 2 reproduction).
+  /// Indexed by machine, like the allocation; excluded machines report
+  /// assign 0 and the guard value 1.
   [[nodiscard]] uint64_t assigned(size_t machine) const;
   [[nodiscard]] double next_value(size_t machine) const;
 
  private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  /// Full ε-tolerant selection scan (steps 2.b–2.c including the
+  /// normalized-assignment tie-break) over the dense active set.
+  /// pick() only falls back to it when the two smallest `next` values
+  /// are within the tie tolerance. Returns a dense index.
+  [[nodiscard]] size_t pick_tied() const;
+
   alloc::Allocation allocation_;
+
+  // Dense per-active-machine state, in ascending machine order (so scan
+  // order — and thus every first-seen tie rule — matches a sparse scan
+  // that skips excluded machines).
+  std::vector<size_t> machine_of_;    // dense index -> machine index
+  std::vector<double> fraction_of_;   // αᵢ of each active machine
+  std::vector<double> inv_fraction_;  // 1/αᵢ, computed once (exact reuse)
   std::vector<uint64_t> assign_;
   std::vector<double> next_;
+  /// 1.0 once the machine has started receiving jobs, else 0.0 — the
+  /// step 2.h countdown becomes a pure vectorizable double subtraction
+  /// (subtracting 0.0 from a not-yet-started machine is exact).
+  std::vector<double> started_;
 };
 
 }  // namespace hs::dispatch

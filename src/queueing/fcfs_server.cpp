@@ -41,14 +41,21 @@ void FcfsServer::start_service() {
 }
 
 void FcfsServer::schedule_completion() {
-  simulator_.cancel(completion_event_);
-  completion_event_ = sim::EventHandle{};
   service_since_ = simulator_.now();
   if (speed_ <= 0.0) {
-    return;  // stopped: the job is held until the speed recovers
+    // Stopped: the job is held until the speed recovers.
+    simulator_.cancel(completion_event_);
+    completion_event_ = sim::EventHandle{};
+    return;
   }
-  completion_event_ = simulator_.schedule_in(
-      remaining_work_ / speed_, [this] { on_service_complete(); });
+  const double dt = remaining_work_ / speed_;
+  if (!simulator_.reschedule_in(completion_event_, dt)) {
+    completion_event_ = simulator_.schedule_in(dt, *this, 0);
+  }
+}
+
+void FcfsServer::on_event(uint32_t /*kind*/, const sim::EventArgs& /*args*/) {
+  on_service_complete();
 }
 
 void FcfsServer::set_speed(double new_speed) {

@@ -12,7 +12,7 @@
 
 namespace hs::queueing {
 
-class FcfsServer final : public Server {
+class FcfsServer final : public Server, private sim::EventTarget {
  public:
   FcfsServer(sim::Simulator& simulator, double speed, int machine_index);
 
@@ -30,8 +30,12 @@ class FcfsServer final : public Server {
 
  private:
   void start_service();
+  /// (Re)schedule the completion of the job in service. Reschedules the
+  /// pending event in place when one exists (speed changes mid-service).
   void schedule_completion();
   void on_service_complete();
+  /// Typed-event entry point (single kind: the pending completion).
+  void on_event(uint32_t kind, const sim::EventArgs& args) override;
 
   std::deque<Job> waiting_;
   bool in_service_ = false;

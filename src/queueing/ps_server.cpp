@@ -55,18 +55,24 @@ std::vector<Job> PsServer::evict_all() {
 }
 
 void PsServer::reschedule_departure() {
-  simulator_.cancel(pending_departure_);
-  pending_departure_ = sim::EventHandle{};
   if (active_.empty() || speed_ <= 0.0) {
-    return;  // a stopped machine holds its jobs until speed recovers
+    // A stopped machine holds its jobs until speed recovers.
+    simulator_.cancel(pending_departure_);
+    pending_departure_ = sim::EventHandle{};
+    return;
   }
   const double min_tag = active_.top().finish_tag;
   // Remaining virtual work for the leader divided by its share rate.
   const double remaining = min_tag - virtual_work_;
   const double dt = std::fmax(remaining, 0.0) *
                     static_cast<double>(active_.size()) / speed_;
-  pending_departure_ =
-      simulator_.schedule_in(dt, [this] { on_departure_event(); });
+  if (!simulator_.reschedule_in(pending_departure_, dt)) {
+    pending_departure_ = simulator_.schedule_in(dt, *this, 0);
+  }
+}
+
+void PsServer::on_event(uint32_t /*kind*/, const sim::EventArgs& /*args*/) {
+  on_departure_event();
 }
 
 void PsServer::on_departure_event() {

@@ -18,7 +18,7 @@
 
 namespace hs::queueing {
 
-class PsServer final : public Server {
+class PsServer final : public Server, private sim::EventTarget {
  public:
   PsServer(sim::Simulator& simulator, double speed, int machine_index);
 
@@ -53,8 +53,12 @@ class PsServer final : public Server {
   /// Bring virtual work and busy time up to the current simulation time.
   void advance_clock();
   /// (Re)schedule the departure event for the job with the smallest tag.
+  /// Uses an in-place reschedule of the pending event when one exists —
+  /// this runs on every arrival, so it must not churn the event heap.
   void reschedule_departure();
   void on_departure_event();
+  /// Typed-event entry point (single kind: the next departure).
+  void on_event(uint32_t kind, const sim::EventArgs& args) override;
 
   std::priority_queue<ActiveJob, std::vector<ActiveJob>, std::greater<>>
       active_;

@@ -36,12 +36,21 @@ void RrServer::start_slice() {
   HS_CHECK(!ready_.empty(), "slice with empty ready queue");
   slice_start_ = simulator_.now();
   if (speed_ <= 0.0) {
+    // Stopped: hold the head job until the speed recovers.
     slice_work_ = 0.0;
-    return;  // stopped: hold the head job until the speed recovers
+    simulator_.cancel(slice_event_);
+    slice_event_ = sim::EventHandle{};
+    return;
   }
   slice_work_ = std::min(ready_.front().remaining, quantum_ * speed_);
-  slice_event_ = simulator_.schedule_in(slice_work_ / speed_,
-                                        [this] { on_slice_end(); });
+  const double dt = slice_work_ / speed_;
+  if (!simulator_.reschedule_in(slice_event_, dt)) {
+    slice_event_ = simulator_.schedule_in(dt, *this, 0);
+  }
+}
+
+void RrServer::on_event(uint32_t /*kind*/, const sim::EventArgs& /*args*/) {
+  on_slice_end();
 }
 
 void RrServer::set_speed(double new_speed) {
@@ -53,10 +62,8 @@ void RrServer::set_speed(double new_speed) {
     const double done = (simulator_.now() - slice_start_) * speed_;
     PendingJob& head = ready_.front();
     head.remaining = std::max(head.remaining - done, 0.0);
-    simulator_.cancel(slice_event_);
-    slice_event_ = sim::EventHandle{};
     speed_ = new_speed;
-    start_slice();
+    start_slice();  // reschedules the pending slice-end event in place
   } else {
     speed_ = new_speed;
   }

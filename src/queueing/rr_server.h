@@ -12,7 +12,7 @@
 
 namespace hs::queueing {
 
-class RrServer final : public Server {
+class RrServer final : public Server, private sim::EventTarget {
  public:
   /// `quantum` is wall-clock seconds per time slice on this machine
   /// (i.e. speed·quantum base-speed seconds of work per slice).
@@ -39,8 +39,12 @@ class RrServer final : public Server {
     double remaining;  // base-speed seconds of work left
   };
 
+  /// (Re)schedule the end of the head job's slice. Reschedules the
+  /// pending event in place when one exists (speed changes mid-slice).
   void start_slice();
   void on_slice_end();
+  /// Typed-event entry point (single kind: the pending slice end).
+  void on_event(uint32_t kind, const sim::EventArgs& args) override;
 
   double quantum_;
   std::deque<PendingJob> ready_;  // front = currently running

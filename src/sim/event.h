@@ -1,0 +1,182 @@
+// Typed, allocation-free event payloads for the discrete-event engine.
+//
+// The hot simulation paths (server departures, arrivals, feedback
+// messages) schedule millions of events per run. Storing a
+// std::function per event would put an allocator round-trip and a
+// virtual dispatch on every one of them; instead the engine stores a
+// small trivially-copyable payload: a target object implementing
+// EventTarget, an event-kind tag the target interprets, and a fixed-size
+// inline argument blob (EventArgs). For cold paths — tests, benches,
+// one-off hooks — InlineFn provides a small-buffer-optimized callback
+// fallback that still avoids the heap for small trivially-copyable
+// captures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace hs::sim {
+
+/// Fixed-size, trivially-copyable argument blob carried by a typed
+/// event. Pack/unpack round-trips any trivially-copyable T up to
+/// kCapacity bytes (a queueing::Job, a machine index + speed pair, …).
+struct EventArgs {
+  static constexpr size_t kCapacity = 48;
+
+  /// Bytes past the packed value's size are unspecified — unpack<T>()
+  /// reads only sizeof(T), and nothing may compare blobs byte-wise.
+  alignas(8) unsigned char bytes[kCapacity];
+
+  template <typename T>
+  [[nodiscard]] static EventArgs pack(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "event arguments must be trivially copyable");
+    static_assert(sizeof(T) <= kCapacity, "event arguments too large");
+    static_assert(alignof(T) <= 8, "event arguments over-aligned");
+    EventArgs args;
+    std::memcpy(args.bytes, &value, sizeof(T));
+    return args;
+  }
+
+  template <typename T>
+  [[nodiscard]] T unpack() const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "event arguments must be trivially copyable");
+    static_assert(sizeof(T) <= kCapacity, "event arguments too large");
+    T value;
+    std::memcpy(&value, bytes, sizeof(T));
+    return value;
+  }
+};
+
+/// Receiver of typed events. A component that schedules events against
+/// itself (a server's departure timer, the cluster simulation's arrival
+/// and fault machinery) implements this once; `kind` disambiguates the
+/// component's own event types and `args` carries the inline payload it
+/// packed at scheduling time.
+class EventTarget {
+ public:
+  virtual ~EventTarget() = default;
+
+  virtual void on_event(uint32_t kind, const EventArgs& args) = 0;
+};
+
+/// Small-buffer-optimized move-only callable. Callables that are
+/// trivially copyable, trivially destructible, and at most
+/// kInlineCapacity bytes live inside the object (no heap); anything
+/// larger or fancier (e.g. a std::function, a capture with a
+/// destructor) falls back to a heap allocation — acceptable on cold
+/// paths, which are the only intended users.
+class InlineFn {
+ public:
+  static constexpr size_t kInlineCapacity = 48;
+
+  InlineFn() = default;
+
+  template <typename F,
+            std::enable_if_t<std::is_invocable_v<std::decay_t<F>&> &&
+                                 !std::is_same_v<std::decay_t<F>, InlineFn>,
+                             int> = 0>
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    init(std::forward<F>(fn));
+  }
+
+  /// Replace the held callable, constructing the new one in place (no
+  /// temporary InlineFn, no move).
+  template <typename F,
+            std::enable_if_t<std::is_invocable_v<std::decay_t<F>&> &&
+                                 !std::is_same_v<std::decay_t<F>, InlineFn>,
+                             int> = 0>
+  void emplace(F&& fn) {
+    reset();
+    init(std::forward<F>(fn));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { steal(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() {
+    HS_CHECK(invoke_ != nullptr, "invoking an empty InlineFn");
+    invoke_(payload());
+  }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  void reset() {
+    if (destroy_ != nullptr) {
+      destroy_(payload());
+    }
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  template <typename F>
+  void init(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      invoke_ = [](void* payload) { (*static_cast<Fn*>(payload))(); };
+      // A captureless callable has no state worth moving; steal() skips
+      // the buffer copy for it (copying zero bytes is a valid copy of an
+      // empty trivially-copyable object).
+      has_state_ = !std::is_empty_v<Fn>;
+    } else {
+      Fn* heap = new Fn(std::forward<F>(fn));
+      std::memcpy(buf_, &heap, sizeof(heap));
+      invoke_ = [](void* payload) { (*static_cast<Fn*>(payload))(); };
+      destroy_ = [](void* payload) { delete static_cast<Fn*>(payload); };
+      has_state_ = true;  // buf_ holds the heap pointer
+    }
+  }
+
+  [[nodiscard]] void* payload() {
+    if (destroy_ != nullptr) {
+      void* heap = nullptr;
+      std::memcpy(&heap, buf_, sizeof(heap));
+      return heap;
+    }
+    return static_cast<void*>(buf_);
+  }
+
+  void steal(InlineFn& other) {
+    if (other.invoke_ != nullptr) {
+      if (other.has_state_) {
+        std::memcpy(buf_, other.buf_, kInlineCapacity);
+      }
+      invoke_ = other.invoke_;
+      destroy_ = other.destroy_;
+      has_state_ = other.has_state_;
+      other.invoke_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;  // non-null => buf_ holds a heap pointer
+  bool has_state_ = false;  // false => buf_ is dead weight, moves skip it
+};
+
+}  // namespace hs::sim

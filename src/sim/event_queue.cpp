@@ -1,144 +1,17 @@
 #include "sim/event_queue.h"
 
-#include <utility>
-
-#include "util/check.h"
-
 namespace hs::sim {
+
+// The per-event machinery (push/pop/cancel/reschedule and the sifts) is
+// defined inline in the header so event loops can absorb it; only the
+// cold setup paths live here.
 
 EventQueue::EventQueue() : free_head_(0) {}
 
-bool EventQueue::earlier(const HeapEntry& a, const HeapEntry& b) {
-  if (a.time != b.time) {
-    return a.time < b.time;
-  }
-  return a.seq < b.seq;
-}
-
-EventHandle EventQueue::push(double time, Callback fn) {
-  HS_CHECK(fn != nullptr, "null event callback");
-  uint32_t slot;
-  if (free_head_ != 0) {
-    slot = free_head_ - 1;
-    free_head_ = slots_[slot].next_free;
-  } else {
-    slot = static_cast<uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
-  Slot& s = slots_[slot];
-  s.callback = std::move(fn);
-  s.generation |= 1u;  // mark live (odd)
-  heap_.push_back(HeapEntry{time, next_seq_++, slot, s.generation});
-  sift_up(heap_.size() - 1);
-  ++live_count_;
-  ++total_scheduled_;
-  return EventHandle{slot, s.generation};
-}
-
-bool EventQueue::cancel(EventHandle handle) {
-  if (!handle.valid() || handle.slot >= slots_.size()) {
-    return false;
-  }
-  Slot& s = slots_[handle.slot];
-  if (s.generation != handle.generation || (s.generation & 1u) == 0) {
-    return false;  // already fired, cancelled, or slot reused
-  }
-  // Free the slot; the heap entry becomes stale and is skipped lazily.
-  s.callback = nullptr;
-  s.generation += 1;  // even = free
-  s.next_free = free_head_;
-  free_head_ = handle.slot + 1;
-  --live_count_;
-  ++total_cancelled_;
-  return true;
-}
-
-void EventQueue::drop_dead_top() {
-  while (!heap_.empty()) {
-    const HeapEntry& top = heap_.front();
-    const Slot& s = slots_[top.slot];
-    if (s.generation == top.generation && (s.generation & 1u) != 0) {
-      return;  // live
-    }
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) {
-      sift_down(0);
-    }
-  }
-}
-
-double EventQueue::next_time() const {
-  HS_CHECK(live_count_ > 0, "next_time() on empty queue");
-  const HeapEntry& top = heap_.front();
-  const Slot& s = slots_[top.slot];
-  if (s.generation == top.generation && (s.generation & 1u) != 0) {
-    return top.time;
-  }
-  // Slow path: find the earliest live entry by scanning. This happens only
-  // when the queue head was cancelled and nothing was popped since.
-  const HeapEntry* best = nullptr;
-  for (const HeapEntry& entry : heap_) {
-    const Slot& slot = slots_[entry.slot];
-    if (slot.generation == entry.generation && (slot.generation & 1u) != 0) {
-      if (best == nullptr || earlier(entry, *best)) {
-        best = &entry;
-      }
-    }
-  }
-  HS_CHECK(best != nullptr, "live_count_ inconsistent with heap contents");
-  return best->time;
-}
-
-std::pair<double, EventQueue::Callback> EventQueue::pop() {
-  HS_CHECK(live_count_ > 0, "pop() on empty queue");
-  drop_dead_top();
-  HS_CHECK(!heap_.empty(), "heap empty despite live events");
-  const HeapEntry top = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    sift_down(0);
-  }
-  Slot& s = slots_[top.slot];
-  Callback fn = std::move(s.callback);
-  s.callback = nullptr;
-  s.generation += 1;  // even = free
-  s.next_free = free_head_;
-  free_head_ = top.slot + 1;
-  --live_count_;
-  return {top.time, std::move(fn)};
-}
-
-void EventQueue::sift_up(size_t i) {
-  while (i > 0) {
-    const size_t parent = (i - 1) / 2;
-    if (!earlier(heap_[i], heap_[parent])) {
-      break;
-    }
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
-}
-
-void EventQueue::sift_down(size_t i) {
-  const size_t n = heap_.size();
-  for (;;) {
-    const size_t left = 2 * i + 1;
-    const size_t right = 2 * i + 2;
-    size_t smallest = i;
-    if (left < n && earlier(heap_[left], heap_[smallest])) {
-      smallest = left;
-    }
-    if (right < n && earlier(heap_[right], heap_[smallest])) {
-      smallest = right;
-    }
-    if (smallest == i) {
-      return;
-    }
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
-  }
+void EventQueue::reserve(size_t events) {
+  heap_.reserve(events);
+  slots_.reserve(events);
+  heap_index_.reserve(events);
 }
 
 }  // namespace hs::sim

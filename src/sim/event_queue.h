@@ -1,16 +1,31 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary min-heap ordered by (time, sequence number). Sequence numbers
-// make the order of simultaneous events deterministic (FIFO in scheduling
-// order), which is essential for reproducible replications. Cancellation
-// is O(1) via generation-checked handles with lazy removal from the heap:
-// the PS server reschedules its next-departure event on every arrival, so
-// cancel must be cheap.
+// A 4-ary min-heap ordered by (time, sequence number). Sequence numbers
+// make the order of simultaneous events deterministic (FIFO in
+// scheduling order), which is essential for reproducible replications.
+// Payloads are typed events (sim/event.h): a target + kind tag + inline
+// argument blob, so steady-state scheduling performs zero heap
+// allocations; an SBO callback fallback covers cold paths.
+//
+// Every live slot records its heap position, so cancel() removes its
+// entry eagerly in O(log n) — no lazy-deleted dead entries accumulate —
+// and reschedule() sifts the existing entry to its new time in place
+// instead of the cancel+push dance the PS server performs on every
+// arrival. A rescheduled event draws a fresh sequence number, so its
+// tie-break rank among equal-time events is identical to what
+// cancel+push would have produced (bit-identical replication order
+// before/after the in-place optimization).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "sim/event.h"
+#include "util/check.h"
 
 namespace hs::sim {
 
@@ -25,65 +40,461 @@ struct EventHandle {
   friend bool operator==(const EventHandle&, const EventHandle&) = default;
 };
 
-/// Min-heap of (time, callback) with deterministic tie-breaking and O(1)
-/// cancellation. Not thread-safe; the simulator is single-threaded by
-/// design (parallelism in experiments comes from independent replications).
+/// Min-heap of typed events with deterministic tie-breaking, O(log n)
+/// eager cancellation, and in-place reschedule. Not thread-safe; the
+/// simulator is single-threaded by design (parallelism in experiments
+/// comes from independent replications).
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
-
   EventQueue();
 
-  /// Schedule `fn` at absolute time `time`. Times may repeat; equal times
-  /// fire in scheduling order.
-  EventHandle push(double time, Callback fn);
+  /// A popped event, ready to fire. Typed events carry (target, kind,
+  /// args); fallback events carry `callback`.
+  struct Fired {
+    double time = 0.0;
+    EventTarget* target = nullptr;
+    uint32_t kind = 0;
+    EventArgs args;
+    InlineFn callback;
 
-  /// Cancel a pending event. Returns false if the event already fired or
-  /// was cancelled (both are safe to attempt).
+    void fire() {
+      if (target != nullptr) {
+        target->on_event(kind, args);
+      } else {
+        callback();
+      }
+    }
+  };
+
+  /// Schedule a typed event at absolute time `time`. Times may repeat;
+  /// equal times fire in scheduling order. Allocation-free once the
+  /// queue's backing arrays have grown to the run's working depth.
+  EventHandle push(double time, EventTarget& target, uint32_t kind,
+                   const EventArgs& args);
+
+  /// Argument-less typed event (server timers and the like): skips the
+  /// argument-blob copy entirely. The target sees a default EventArgs
+  /// whose bytes are unspecified.
+  EventHandle push(double time, EventTarget& target, uint32_t kind);
+
+  /// Schedule a callback at absolute time `time` (cold-path fallback;
+  /// small trivially-copyable captures are still allocation-free).
+  template <typename F,
+            std::enable_if_t<std::is_invocable_v<std::decay_t<F>&>, int> = 0>
+  EventHandle push(double time, F&& fn) {
+    const uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.target = nullptr;
+    s.has_args = false;
+    s.callback.emplace(std::forward<F>(fn));
+    return push_entry(time, slot);
+  }
+
+  /// Cancel a pending event, removing its heap entry eagerly. Returns
+  /// false if the event already fired or was cancelled (both are safe to
+  /// attempt).
   bool cancel(EventHandle handle);
 
+  /// Move a pending event to absolute time `new_time`, sifting the
+  /// existing heap entry in place. The event keeps its payload and
+  /// handle but draws a fresh sequence number (same tie-break order as
+  /// cancel + push). Returns false — leaving the queue untouched — if
+  /// the event already fired or was cancelled; callers then push anew.
+  bool reschedule(EventHandle handle, double new_time);
+
   /// True when no live events remain.
-  [[nodiscard]] bool empty() const { return live_count_ == 0; }
-  [[nodiscard]] size_t size() const { return live_count_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] size_t size() const {
+    return heap_.size() - static_cast<size_t>(hole_);
+  }
 
   /// Time of the earliest live event. Precondition: !empty().
   [[nodiscard]] double next_time() const;
 
-  /// Remove and return the earliest live event's (time, callback).
-  /// Precondition: !empty().
-  std::pair<double, Callback> pop();
+  /// Remove and return the earliest live event. Precondition: !empty().
+  /// The slot is freed before returning, so the caller may fire() the
+  /// result and let it schedule new events (including slot reuse).
+  Fired pop();
+
+  /// Pre-size the backing arrays for `events` concurrently-pending
+  /// events so a run's steady state never grows them.
+  void reserve(size_t events);
 
   /// Total push() calls over the queue's lifetime (throughput statistics).
   [[nodiscard]] uint64_t total_scheduled() const { return total_scheduled_; }
   /// Total events cancelled before firing.
   [[nodiscard]] uint64_t total_cancelled() const { return total_cancelled_; }
+  /// Total in-place reschedules.
+  [[nodiscard]] uint64_t total_rescheduled() const {
+    return total_rescheduled_;
+  }
 
  private:
+  static constexpr size_t kArity = 4;
+  /// Heap entries are 16 bytes — half the sift-path bandwidth of a
+  /// three-field entry, and a full 4-child group spans one cache line.
+  /// The (time, seq) heap order is encoded so one branchless 128-bit
+  /// integer compare decides it:
+  ///  - `tbits` is the event time's IEEE-754 bits, sign-flip-encoded so
+  ///    unsigned integer order equals numeric order for every non-NaN
+  ///    double (negative zero is canonicalized to +0 first so equal
+  ///    times always encode equally). Sift comparisons on random times
+  ///    mispredict constantly as floating-point branches; as integer
+  ///    compares they cost a fixed few cycles.
+  ///  - `key` packs (seq, slot): sequence numbers get the high 40 bits
+  ///    (~10^12 events per queue, checked), slots the low 24 (16M
+  ///    concurrently-pending events, checked). Sequence numbers are
+  ///    unique, so comparing keys compares sequence numbers.
+  static constexpr uint32_t kSlotBits = 24;
+  static constexpr uint64_t kMaxSlots = uint64_t{1} << kSlotBits;
+  static constexpr uint64_t kMaxSeq = uint64_t{1} << (64 - kSlotBits);
+
   struct HeapEntry {
-    double time;
-    uint64_t seq;
-    uint32_t slot;
-    uint32_t generation;
+    uint64_t tbits;  // sign-flip-encoded time bits
+    uint64_t key;    // (seq << kSlotBits) | slot
+
+    [[nodiscard]] uint32_t slot() const {
+      return static_cast<uint32_t>(key & (kMaxSlots - 1));
+    }
   };
+  static_assert(sizeof(HeapEntry) == 16);
+
+  /// Monotone bijection double -> uint64 (except -0.0, mapped onto +0.0
+  /// so ties between them keep FIFO order): flip all bits of negatives,
+  /// flip only the sign bit of non-negatives.
+  [[nodiscard]] static uint64_t encode_time(double time);
+  [[nodiscard]] static double decode_time(uint64_t tbits);
+
+  /// Cold payload: only touched once at push and once at pop/cancel.
+  /// Heap-position bookkeeping lives in the dense heap_index_ array
+  /// instead, so sifting never drags these wide slots through the cache.
   struct Slot {
-    Callback callback;
+    EventTarget* target = nullptr;
+    uint32_t kind = 0;
     uint32_t generation = 0;  // odd = live, even = free
     uint32_t next_free = 0;
+    bool has_args = false;  // pop() skips the args copy for timer events
+    EventArgs args;
+    InlineFn callback;
   };
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b);
+  /// Hide the (cold, wide) top slot's cache-miss latency behind the work
+  /// between heap operations: on deep heaps the slot pop() will touch
+  /// next is effectively random, and every heap mutation can change it.
+  void prefetch_top_slot() const {
+    if (!hole_ && !heap_.empty()) {
+      __builtin_prefetch(&slots_[heap_[0].slot()], 1);
+    }
+  }
+  /// Fill the root hole a pop() left behind (see `hole_`) by moving the
+  /// bottom entry up and sifting it down — the classic pop completion,
+  /// deferred in the hope that a push arrives first and fills the hole
+  /// for free.
+  void resolve_hole() {
+    hole_ = false;
+    const size_t last = heap_.size() - 1;
+    if (last == 0) {
+      heap_.pop_back();
+      return;
+    }
+    heap_[0] = heap_[last];
+    heap_.pop_back();
+    sift_down(0);
+  }
+  /// Take a free slot (marking it live) or grow the slot array.
+  uint32_t acquire_slot();
+  /// Append a heap entry for `slot` at `time` and sift it into place.
+  EventHandle push_entry(double time, uint32_t slot);
+  /// Return `slot` to the free list (clearing its payload).
+  void release_slot(uint32_t slot);
+  /// Remove the heap entry at index `i`, restoring the heap property.
+  void remove_at(size_t i);
   void sift_up(size_t i);
   void sift_down(size_t i);
-  /// Pop dead (cancelled) entries off the heap top.
-  void drop_dead_top();
 
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
+  std::vector<uint32_t> heap_index_;  // slot -> position in heap_ while live
+  /// pop() removes the minimum but defers restructuring: it marks the
+  /// root entry dead instead of moving the bottom entry up immediately.
+  /// A push that follows (the dominant pattern: fired handlers schedule
+  /// their next event) then writes its entry straight into the root and
+  /// sifts down — one sift per push+pop pair instead of a sift-up and a
+  /// sift-down. Every public entry point either resolves the hole first
+  /// or is written to tolerate it; while the hole is live the dead root
+  /// entry still carries the popped minimum's rank, so it compares as a
+  /// floor and no sift from below can ever cross index 0. Pop ORDER is
+  /// unaffected by any of this: ranks are strictly totally ordered, so
+  /// every valid heap over the same live set pops identically.
+  bool hole_ = false;
   uint32_t free_head_;  // index+1 into slots_, 0 = none
   uint64_t next_seq_ = 0;
-  size_t live_count_ = 0;
   uint64_t total_scheduled_ = 0;
   uint64_t total_cancelled_ = 0;
+  uint64_t total_rescheduled_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Inline implementation. These run once or more per simulated event —
+// defining them here lets every translation unit inline the whole
+// push/pop/sift machinery into its event loop.
+
+inline uint64_t EventQueue::encode_time(double time) {
+  const uint64_t bits = std::bit_cast<uint64_t>(time + 0.0);  // -0 -> +0
+  const uint64_t sign = bits >> 63;
+  return bits ^ (sign != 0 ? ~uint64_t{0} : uint64_t{1} << 63);
+}
+
+inline double EventQueue::decode_time(uint64_t tbits) {
+  const uint64_t sign = tbits >> 63;
+  return std::bit_cast<double>(tbits ^
+                               (sign != 0 ? uint64_t{1} << 63 : ~uint64_t{0}));
+}
+
+inline bool EventQueue::earlier(const HeapEntry& a, const HeapEntry& b) {
+  // One branchless 128-bit compare: (tbits, key) lexicographic order is
+  // exactly the (time, seq) heap order (unique seqs break ties FIFO).
+  const auto rank = [](const HeapEntry& e) {
+    return (static_cast<unsigned __int128>(e.tbits) << 64) | e.key;
+  };
+  return rank(a) < rank(b);
+}
+
+inline uint32_t EventQueue::acquire_slot() {
+  uint32_t slot;
+  if (free_head_ != 0) {
+    slot = free_head_ - 1;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    HS_CHECK(slots_.size() < kMaxSlots, "too many pending events");
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+    heap_index_.push_back(0);
+  }
+  slots_[slot].generation |= 1u;  // mark live (odd)
+  return slot;
+}
+
+inline void EventQueue::release_slot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  // `target` is deliberately left stale: every acquire path overwrites
+  // it before the slot can be observed again.
+  s.callback.reset();
+  s.generation += 1;  // even = free
+  s.next_free = free_head_;
+  free_head_ = slot + 1;
+}
+
+inline EventHandle EventQueue::push_entry(double time, uint32_t slot) {
+  HS_CHECK(next_seq_ < kMaxSeq, "event sequence numbers exhausted");
+  const HeapEntry entry{encode_time(time), (next_seq_++ << kSlotBits) | slot};
+  if (hole_) {
+    // The previous pop left the root dead: drop the new entry straight
+    // in and sift down — no bottom-entry shuffle, no sift-up.
+    hole_ = false;
+    heap_[0] = entry;
+    sift_down(0);
+  } else {
+    heap_.push_back(entry);
+    sift_up(heap_.size() - 1);
+  }
+  prefetch_top_slot();
+  ++total_scheduled_;
+  return EventHandle{slot, slots_[slot].generation};
+}
+
+inline EventHandle EventQueue::push(double time, EventTarget& target,
+                                    uint32_t kind, const EventArgs& args) {
+  const uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.target = &target;
+  s.kind = kind;
+  s.has_args = true;
+  s.args = args;
+  return push_entry(time, slot);
+}
+
+inline EventHandle EventQueue::push(double time, EventTarget& target,
+                                    uint32_t kind) {
+  const uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.target = &target;
+  s.kind = kind;
+  s.has_args = false;
+  return push_entry(time, slot);
+}
+
+inline bool EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid() || handle.slot >= slots_.size()) {
+    return false;
+  }
+  Slot& s = slots_[handle.slot];
+  if (s.generation != handle.generation || (s.generation & 1u) == 0) {
+    return false;  // already fired, cancelled, or slot reused
+  }
+  if (hole_) {
+    resolve_hole();
+  }
+  const size_t i = heap_index_[handle.slot];
+  release_slot(handle.slot);
+  remove_at(i);
+  prefetch_top_slot();
+  ++total_cancelled_;
+  return true;
+}
+
+inline bool EventQueue::reschedule(EventHandle handle, double new_time) {
+  if (!handle.valid() || handle.slot >= slots_.size()) {
+    return false;
+  }
+  const Slot& s = slots_[handle.slot];
+  if (s.generation != handle.generation || (s.generation & 1u) == 0) {
+    return false;  // already fired, cancelled, or slot reused
+  }
+  HS_CHECK(next_seq_ < kMaxSeq, "event sequence numbers exhausted");
+  if (hole_) {
+    // The new time may rank above the dead root entry, and a sift-up
+    // must never cross into the hole — restore the heap first.
+    resolve_hole();
+  }
+  const size_t i = heap_index_[handle.slot];
+  heap_[i].tbits = encode_time(new_time);
+  // A fresh sequence number keeps FIFO tie-breaking identical to
+  // cancel + push: among equal-time events the rescheduled one is the
+  // most recently scheduled.
+  heap_[i].key = (next_seq_++ << kSlotBits) | handle.slot;
+  if (i > 0 && earlier(heap_[i], heap_[(i - 1) / kArity])) {
+    sift_up(i);
+  } else {
+    sift_down(i);
+  }
+  prefetch_top_slot();
+  ++total_rescheduled_;
+  return true;
+}
+
+inline double EventQueue::next_time() const {
+  HS_CHECK(!empty(), "next_time() on empty queue");
+  if (!hole_) {
+    return decode_time(heap_.front().tbits);
+  }
+  // With the root dead the minimum is one of its children (the heap
+  // below the root is intact); only the earliest *time* is needed, so
+  // comparing tbits alone suffices.
+  const size_t n = heap_.size();
+  uint64_t best = heap_[1].tbits;
+  for (size_t c = 2; c <= kArity && c < n; ++c) {
+    best = std::min(best, heap_[c].tbits);
+  }
+  return decode_time(best);
+}
+
+inline EventQueue::Fired EventQueue::pop() {
+  if (hole_) {
+    resolve_hole();  // two pops in a row: finish the first one now
+  }
+  HS_CHECK(!heap_.empty(), "pop() on empty queue");
+  const HeapEntry top = heap_.front();
+  const uint32_t slot = top.slot();
+  Slot& s = slots_[slot];
+  Fired fired;
+  fired.time = decode_time(top.tbits);
+  fired.target = s.target;
+  if (s.target != nullptr) {
+    fired.kind = s.kind;
+    if (s.has_args) {
+      fired.args = s.args;
+    }
+  } else {
+    fired.callback = std::move(s.callback);
+  }
+  release_slot(slot);
+  if (heap_.size() == 1) {
+    heap_.pop_back();
+  } else {
+    hole_ = true;  // defer restructuring; see `hole_`
+  }
+  prefetch_top_slot();
+  return fired;
+}
+
+inline void EventQueue::remove_at(size_t i) {
+  const size_t last = heap_.size() - 1;
+  if (i != last) {
+    heap_[i] = heap_[last];
+    heap_.pop_back();
+    // The moved entry came from the bottom but may still belong above
+    // `i` when `i`'s subtree is unrelated to its old position.
+    if (i > 0 && earlier(heap_[i], heap_[(i - 1) / kArity])) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  } else {
+    heap_.pop_back();
+  }
+}
+
+inline void EventQueue::sift_up(size_t i) {
+  const HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    heap_index_[heap_[i].slot()] = static_cast<uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = entry;
+  heap_index_[entry.slot()] = static_cast<uint32_t>(i);
+}
+
+inline void EventQueue::sift_down(size_t i) {
+  const HeapEntry entry = heap_[i];
+  const size_t n = heap_.size();
+  // Once the heap outgrows the near caches, the next level's candidate
+  // groups are prefetched while the current tournament runs; on small
+  // heaps the extra instructions only cost.
+  const bool deep = n > 4096;
+  for (;;) {
+    const size_t first = kArity * i + 1;
+    if (first >= n) {
+      break;
+    }
+    if (deep) {
+      const size_t grandchild = kArity * first + 1;
+      if (grandchild < n) {
+        __builtin_prefetch(&heap_[grandchild]);
+        __builtin_prefetch(&heap_[std::min(grandchild + 4, n - 1)]);
+        __builtin_prefetch(&heap_[std::min(grandchild + 8, n - 1)]);
+        __builtin_prefetch(&heap_[std::min(grandchild + 12, n - 1)]);
+      }
+    }
+    size_t best = first;
+    if (first + kArity <= n) {
+      // Full 4-child group (one cache line of 16-byte entries): compare
+      // without per-child bound checks.
+      if (earlier(heap_[first + 1], heap_[best])) best = first + 1;
+      if (earlier(heap_[first + 2], heap_[best])) best = first + 2;
+      if (earlier(heap_[first + 3], heap_[best])) best = first + 3;
+    } else {
+      for (size_t c = first + 1; c < n; ++c) {
+        if (earlier(heap_[c], heap_[best])) {
+          best = c;
+        }
+      }
+    }
+    if (!earlier(heap_[best], entry)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    heap_index_[heap_[i].slot()] = static_cast<uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = entry;
+  heap_index_[entry.slot()] = static_cast<uint32_t>(i);
+}
 
 }  // namespace hs::sim

@@ -1,29 +1,53 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
 #include "util/check.h"
 
 namespace hs::sim {
 
-EventHandle Simulator::schedule_in(double delay, EventQueue::Callback fn) {
+EventHandle Simulator::schedule_in(double delay, EventTarget& target,
+                                   uint32_t kind, const EventArgs& args) {
   HS_CHECK(delay >= 0.0, "cannot schedule in the past: delay=" << delay);
-  return queue_.push(now_ + delay, std::move(fn));
+  return queue_.push(now_ + delay, target, kind, args);
 }
 
-EventHandle Simulator::schedule_at(double time, EventQueue::Callback fn) {
+EventHandle Simulator::schedule_at(double time, EventTarget& target,
+                                   uint32_t kind, const EventArgs& args) {
   HS_CHECK(time >= now_, "cannot schedule in the past: time=" << time
                                                               << " now=" << now_);
-  return queue_.push(time, std::move(fn));
+  return queue_.push(time, target, kind, args);
+}
+
+EventHandle Simulator::schedule_in(double delay, EventTarget& target,
+                                   uint32_t kind) {
+  HS_CHECK(delay >= 0.0, "cannot schedule in the past: delay=" << delay);
+  return queue_.push(now_ + delay, target, kind);
+}
+
+EventHandle Simulator::schedule_at(double time, EventTarget& target,
+                                   uint32_t kind) {
+  HS_CHECK(time >= now_, "cannot schedule in the past: time=" << time
+                                                              << " now=" << now_);
+  return queue_.push(time, target, kind);
+}
+
+bool Simulator::reschedule_in(EventHandle handle, double delay) {
+  HS_CHECK(delay >= 0.0, "cannot reschedule into the past: delay=" << delay);
+  return queue_.reschedule(handle, now_ + delay);
+}
+
+bool Simulator::reschedule_at(EventHandle handle, double time) {
+  HS_CHECK(time >= now_, "cannot reschedule into the past: time="
+                             << time << " now=" << now_);
+  return queue_.reschedule(handle, time);
 }
 
 void Simulator::run_until(double end_time) {
   HS_CHECK(end_time >= now_, "end_time " << end_time << " before now " << now_);
   while (!queue_.empty() && queue_.next_time() <= end_time) {
-    auto [time, fn] = queue_.pop();
-    now_ = time;
+    EventQueue::Fired event = queue_.pop();
+    now_ = event.time;
     ++events_fired_;
-    fn();
+    event.fire();
   }
   if (now_ < end_time) {
     now_ = end_time;
@@ -32,10 +56,10 @@ void Simulator::run_until(double end_time) {
 
 void Simulator::run_all() {
   while (!queue_.empty()) {
-    auto [time, fn] = queue_.pop();
-    now_ = time;
+    EventQueue::Fired event = queue_.pop();
+    now_ = event.time;
     ++events_fired_;
-    fn();
+    event.fire();
   }
 }
 

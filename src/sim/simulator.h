@@ -1,15 +1,18 @@
 // The discrete-event simulator clock and scheduling interface.
 //
 // Single-threaded, deterministic. Model components (servers, schedulers,
-// workload sources) schedule callbacks at absolute or relative times; the
-// simulator fires them in (time, scheduling order). This mirrors the
-// simulator described in §4.1 of the paper.
+// workload sources) schedule typed events — or cold-path callbacks —
+// at absolute or relative times; the simulator fires them in
+// (time, scheduling order). This mirrors the simulator described in
+// §4.1 of the paper.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <type_traits>
+#include <utility>
 
 #include "sim/event_queue.h"
+#include "util/check.h"
 
 namespace hs::sim {
 
@@ -22,14 +25,49 @@ class Simulator {
   /// Current simulation time in seconds.
   [[nodiscard]] double now() const { return now_; }
 
-  /// Schedule `fn` to run `delay >= 0` seconds from now.
-  EventHandle schedule_in(double delay, EventQueue::Callback fn);
+  /// Schedule a typed event `delay >= 0` seconds from now (hot path,
+  /// allocation-free).
+  EventHandle schedule_in(double delay, EventTarget& target, uint32_t kind,
+                          const EventArgs& args);
 
-  /// Schedule `fn` at absolute time `time >= now()`.
-  EventHandle schedule_at(double time, EventQueue::Callback fn);
+  /// Schedule a typed event at absolute time `time >= now()`.
+  EventHandle schedule_at(double time, EventTarget& target, uint32_t kind,
+                          const EventArgs& args);
+
+  /// Argument-less typed event variants (timer ticks and the like):
+  /// skip the argument-blob copy on the hottest scheduling path.
+  EventHandle schedule_in(double delay, EventTarget& target, uint32_t kind);
+  EventHandle schedule_at(double time, EventTarget& target, uint32_t kind);
+
+  /// Schedule a callback `delay >= 0` seconds from now (cold-path
+  /// fallback; small trivially-copyable captures stay allocation-free).
+  template <typename F,
+            std::enable_if_t<std::is_invocable_v<std::decay_t<F>&>, int> = 0>
+  EventHandle schedule_in(double delay, F&& fn) {
+    HS_CHECK(delay >= 0.0, "cannot schedule in the past: delay=" << delay);
+    return queue_.push(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Schedule a callback at absolute time `time >= now()`.
+  template <typename F,
+            std::enable_if_t<std::is_invocable_v<std::decay_t<F>&>, int> = 0>
+  EventHandle schedule_at(double time, F&& fn) {
+    HS_CHECK(time >= now_, "cannot schedule in the past: time="
+                               << time << " now=" << now_);
+    return queue_.push(time, std::forward<F>(fn));
+  }
 
   /// Cancel a pending event; safe to call on already-fired handles.
   bool cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+  /// Move a pending event to `delay >= 0` seconds from now, in place
+  /// (same tie-break order as cancel + schedule_in). Returns false if
+  /// the handle already fired or was cancelled; callers then schedule a
+  /// fresh event.
+  bool reschedule_in(EventHandle handle, double delay);
+
+  /// Move a pending event to absolute time `time >= now()`, in place.
+  bool reschedule_at(EventHandle handle, double time);
 
   /// Run until the event queue empties or the clock would pass `end_time`.
   /// Events scheduled exactly at end_time still fire. Afterwards the clock
@@ -41,6 +79,9 @@ class Simulator {
 
   /// True if any live events are pending.
   [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+
+  /// Pre-size the event queue for `events` concurrently-pending events.
+  void reserve_events(size_t events) { queue_.reserve(events); }
 
   /// Number of events fired so far.
   [[nodiscard]] uint64_t events_fired() const { return events_fired_; }

@@ -13,70 +13,13 @@ P2Quantile::P2Quantile(double q) : q_(q) {
   increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
 }
 
-double P2Quantile::parabolic(int i, double d) const {
-  const double np = positions_[static_cast<size_t>(i + 1)];
-  const double nc = positions_[static_cast<size_t>(i)];
-  const double nm = positions_[static_cast<size_t>(i - 1)];
-  const double hp = heights_[static_cast<size_t>(i + 1)];
-  const double hc = heights_[static_cast<size_t>(i)];
-  const double hm = heights_[static_cast<size_t>(i - 1)];
-  return hc + d / (np - nm) *
-                  ((nc - nm + d) * (hp - hc) / (np - nc) +
-                   (np - nc - d) * (hc - hm) / (nc - nm));
-}
-
-double P2Quantile::linear(int i, double d) const {
-  const auto ci = static_cast<size_t>(i);
-  const auto ni = static_cast<size_t>(i + static_cast<int>(d));
-  return heights_[ci] + d * (heights_[ni] - heights_[ci]) /
-                            (positions_[ni] - positions_[ci]);
-}
-
-void P2Quantile::add(double x) {
-  if (count_ < 5) {
-    heights_[count_] = x;
-    ++count_;
-    if (count_ == 5) {
-      std::sort(heights_.begin(), heights_.end());
-      for (size_t i = 0; i < 5; ++i) {
-        positions_[i] = static_cast<double>(i + 1);
-      }
-    }
-    return;
-  }
+void P2Quantile::add_initial(double x) {
+  heights_[count_] = x;
   ++count_;
-  size_t k;
-  if (x < heights_[0]) {
-    heights_[0] = x;
-    k = 0;
-  } else if (x >= heights_[4]) {
-    heights_[4] = x;
-    k = 3;
-  } else {
-    k = 0;
-    while (k < 3 && x >= heights_[k + 1]) {
-      ++k;
-    }
-  }
-  for (size_t i = k + 1; i < 5; ++i) {
-    positions_[i] += 1.0;
-  }
-  for (size_t i = 0; i < 5; ++i) {
-    desired_[i] += increments_[i];
-  }
-  for (int i = 1; i <= 3; ++i) {
-    const auto ui = static_cast<size_t>(i);
-    const double d = desired_[ui] - positions_[ui];
-    if ((d >= 1.0 && positions_[ui + 1] - positions_[ui] > 1.0) ||
-        (d <= -1.0 && positions_[ui - 1] - positions_[ui] < -1.0)) {
-      const double step = d >= 0 ? 1.0 : -1.0;
-      double candidate = parabolic(i, step);
-      if (heights_[ui - 1] < candidate && candidate < heights_[ui + 1]) {
-        heights_[ui] = candidate;
-      } else {
-        heights_[ui] = linear(i, step);
-      }
-      positions_[ui] += step;
+  if (count_ == 5) {
+    std::sort(heights_.begin(), heights_.end());
+    for (size_t i = 0; i < 5; ++i) {
+      positions_[i] = static_cast<double>(i + 1);
     }
   }
 }

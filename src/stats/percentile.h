@@ -5,6 +5,7 @@
 // alongside the paper's mean-based metrics.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
@@ -15,7 +16,48 @@ class P2Quantile {
   /// q in (0, 1), e.g. 0.99 for the 99th percentile.
   explicit P2Quantile(double q);
 
-  void add(double x);
+  /// Inline: runs once per tracked quantile per completed job. The
+  /// marker bookkeeping uses branchless conditional adds (adding 0.0 is
+  /// exact, so the results match the plain loop bit for bit).
+  void add(double x) {
+    if (count_ < 5) [[unlikely]] {
+      add_initial(x);
+      return;
+    }
+    ++count_;
+    // Branchless cell search. Marker heights are sorted, so the cell
+    // index is the count of interior markers at or below x; the extreme
+    // markers absorb outliers via min/max, which write back the same
+    // values the guarded updates would.
+    heights_[0] = x < heights_[0] ? x : heights_[0];
+    heights_[4] = x >= heights_[4] ? x : heights_[4];
+    const size_t k = static_cast<size_t>(x >= heights_[1]) +
+                     static_cast<size_t>(x >= heights_[2]) +
+                     static_cast<size_t>(x >= heights_[3]);
+    positions_[1] += static_cast<double>(k < 1);
+    positions_[2] += static_cast<double>(k < 2);
+    positions_[3] += static_cast<double>(k < 3);
+    positions_[4] += 1.0;
+    desired_[1] += increments_[1];
+    desired_[2] += increments_[2];
+    desired_[3] += increments_[3];
+    desired_[4] += increments_[4];
+    for (int i = 1; i <= 3; ++i) {
+      const auto ui = static_cast<size_t>(i);
+      const double d = desired_[ui] - positions_[ui];
+      if ((d >= 1.0 && positions_[ui + 1] - positions_[ui] > 1.0) ||
+          (d <= -1.0 && positions_[ui - 1] - positions_[ui] < -1.0)) {
+        const double step = d >= 0 ? 1.0 : -1.0;
+        double candidate = parabolic(i, step);
+        if (heights_[ui - 1] < candidate && candidate < heights_[ui + 1]) {
+          heights_[ui] = candidate;
+        } else {
+          heights_[ui] = linear(i, step);
+        }
+        positions_[ui] += step;
+      }
+    }
+  }
 
   /// Current estimate. Exact while fewer than 5 observations have been
   /// seen (falls back to the sorted sample).
@@ -24,8 +66,27 @@ class P2Quantile {
   [[nodiscard]] uint64_t count() const { return count_; }
 
  private:
-  [[nodiscard]] double parabolic(int i, double d) const;
-  [[nodiscard]] double linear(int i, double d) const;
+  /// Fill-phase add (first five observations).
+  void add_initial(double x);
+
+  [[nodiscard]] double parabolic(int i, double d) const {
+    const double np = positions_[static_cast<size_t>(i + 1)];
+    const double nc = positions_[static_cast<size_t>(i)];
+    const double nm = positions_[static_cast<size_t>(i - 1)];
+    const double hp = heights_[static_cast<size_t>(i + 1)];
+    const double hc = heights_[static_cast<size_t>(i)];
+    const double hm = heights_[static_cast<size_t>(i - 1)];
+    return hc + d / (np - nm) *
+                    ((nc - nm + d) * (hp - hc) / (np - nc) +
+                     (np - nc - d) * (hc - hm) / (nc - nm));
+  }
+
+  [[nodiscard]] double linear(int i, double d) const {
+    const auto ci = static_cast<size_t>(i);
+    const auto ni = static_cast<size_t>(i + static_cast<int>(d));
+    return heights_[ci] + d * (heights_[ni] - heights_[ci]) /
+                              (positions_[ni] - positions_[ci]);
+  }
 
   double q_;
   uint64_t count_ = 0;

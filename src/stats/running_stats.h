@@ -6,6 +6,7 @@
 // falls straight out of the second central moment.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 
@@ -14,7 +15,16 @@ namespace hs::stats {
 /// Numerically stable streaming mean/variance/min/max.
 class RunningStats {
  public:
-  void add(double x);
+  /// Inline: runs several times per completed job in the simulator's
+  /// metrics path.
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
 
   /// Merge another accumulator (Chan et al. pairwise update); used to
   /// combine statistics across simulation replications or sub-streams.

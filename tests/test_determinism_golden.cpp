@@ -1,0 +1,125 @@
+// Golden-value determinism tests.
+//
+// The event engine promises bit-identical results for identical seeds —
+// reproducible replications are what make the paper's figures (and every
+// BENCH_sim.json data point) comparable across machines and commits. The
+// values below were captured from the std::function-based engine the
+// typed-event core replaced, so they also pin the refactor itself:
+// any change to event ordering (heap tie-breaking, sequence-number
+// assignment, reschedule semantics, dispatcher arithmetic) shifts at
+// least one of these runs and fails loudly here.
+//
+// Comparisons are exact (==). If a deliberate behavior change moves the
+// numbers, re-derive them with a one-off print of the same configs and
+// explain the change in the commit message — never loosen the equality.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cluster/experiment.h"
+#include "cluster/sim.h"
+#include "core/policy.h"
+
+namespace {
+
+using hs::cluster::SimulationConfig;
+using hs::cluster::SimulationResult;
+using hs::core::PolicyKind;
+
+SimulationResult run_golden(PolicyKind kind) {
+  SimulationConfig config;
+  config.speeds = {1.0, 1.0, 2.0, 3.0, 5.0};
+  config.rho = 0.7;
+  config.sim_time = 20000.0;
+  config.warmup_frac = 0.25;
+  config.seed = 20260806;
+  auto dispatcher =
+      hs::core::make_policy_dispatcher(kind, config.speeds, config.rho);
+  return hs::cluster::run_simulation(config, *dispatcher);
+}
+
+TEST(DeterminismGolden, WeightedRoundRobin) {
+  const SimulationResult r = run_golden(PolicyKind::kWRR);
+  EXPECT_EQ(r.mean_response_time, 85.509914602972557);
+  EXPECT_EQ(r.mean_response_ratio, 1.3537961572034822);
+  EXPECT_EQ(r.fairness, 0.77287178210531293);
+  EXPECT_EQ(r.completed_jobs, 1690u);
+  EXPECT_EQ(r.dispatched_jobs, 1690u);
+  EXPECT_EQ(r.events_fired, 4832u);
+}
+
+TEST(DeterminismGolden, OptimizedRoundRobin) {
+  const SimulationResult r = run_golden(PolicyKind::kORR);
+  EXPECT_EQ(r.mean_response_time, 85.683197268436061);
+  EXPECT_EQ(r.mean_response_ratio, 1.340141638628696);
+  EXPECT_EQ(r.fairness, 0.83256692416027245);
+  EXPECT_EQ(r.completed_jobs, 1690u);
+  EXPECT_EQ(r.dispatched_jobs, 1690u);
+  EXPECT_EQ(r.events_fired, 4832u);
+}
+
+// Least-Load exercises the delayed departure-report feedback path, whose
+// events interleave with departures at close times — the most ordering-
+// sensitive configuration the engine runs.
+TEST(DeterminismGolden, LeastLoadFeedback) {
+  const SimulationResult r = run_golden(PolicyKind::kLeastLoad);
+  EXPECT_EQ(r.mean_response_time, 50.672730717063899);
+  EXPECT_EQ(r.mean_response_ratio, 0.837698283206044);
+  EXPECT_EQ(r.fairness, 0.44106033425327795);
+  EXPECT_EQ(r.completed_jobs, 1690u);
+  EXPECT_EQ(r.dispatched_jobs, 1690u);
+  EXPECT_EQ(r.events_fired, 7248u);
+}
+
+// The exact configuration of bench/micro_sim.cpp's end-to-end cluster
+// benchmark (first seed), so BENCH_sim.json throughput numbers are pinned
+// to a workload whose results are themselves regression-checked.
+TEST(DeterminismGolden, BenchmarkClusterConfig) {
+  SimulationConfig config;
+  config.speeds = {1.0, 1.0, 1.0, 1.0, 1.0, 1.5, 1.5, 1.5, 1.5,
+                   2.0, 2.0, 2.0, 5.0, 10.0, 12.0};
+  config.rho = 0.7;
+  config.sim_time = 50000.0;
+  config.warmup_frac = 0.25;
+  config.seed = 1;
+  auto dispatcher = hs::core::make_policy_dispatcher(
+      PolicyKind::kORR, config.speeds, config.rho);
+  const SimulationResult r = hs::cluster::run_simulation(config, *dispatcher);
+  EXPECT_EQ(r.mean_response_time, 74.314906157429647);
+  EXPECT_EQ(r.mean_response_ratio, 0.91987657610238915);
+  EXPECT_EQ(r.fairness, 0.73569801003109303);
+  EXPECT_EQ(r.completed_jobs, 15116u);
+  EXPECT_EQ(r.events_fired, 39780u);
+}
+
+// Replicated experiment: covers seed derivation across replications and
+// the buffer reuse in run_experiment (reused buffers must not leak state
+// between replications).
+TEST(DeterminismGolden, ReplicatedExperiment) {
+  hs::cluster::ExperimentConfig config;
+  config.simulation.speeds = {1.0, 2.0, 4.0};
+  config.simulation.rho = 0.6;
+  config.simulation.sim_time = 10000.0;
+  config.simulation.seed = 1;
+  config.replications = 4;
+  config.base_seed = 777;
+  auto factory = hs::core::policy_dispatcher_factory(
+      PolicyKind::kORR, config.simulation.speeds, config.simulation.rho);
+  const auto r = hs::cluster::run_experiment(config, factory);
+  EXPECT_EQ(r.response_time.mean, 83.257826762809827);
+  EXPECT_EQ(r.response_ratio.mean, 0.97668628092735499);
+  EXPECT_EQ(r.fairness.mean, 0.63032716924219423);
+  EXPECT_EQ(r.total_jobs, 1693u);
+  ASSERT_EQ(r.replications.size(), 4u);
+  const double rep_rt[] = {104.5377890315672, 53.503357874360852,
+                           107.057676342254, 67.932483803057295};
+  const uint64_t rep_jobs[] = {509, 392, 407, 385};
+  const uint64_t rep_events[] = {1306, 1024, 1114, 1000};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.replications[i].mean_response_time, rep_rt[i]) << "rep " << i;
+    EXPECT_EQ(r.replications[i].completed_jobs, rep_jobs[i]) << "rep " << i;
+    EXPECT_EQ(r.replications[i].events_fired, rep_events[i]) << "rep " << i;
+  }
+}
+
+}  // namespace

@@ -1,8 +1,8 @@
-// Tests for the cancellable event heap.
+// Tests for the cancellable, reschedulable typed-event heap.
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <queue>
+#include <cstdint>
 #include <vector>
 
 #include "rng/rng.h"
@@ -11,8 +11,21 @@
 
 namespace {
 
+using hs::sim::EventArgs;
 using hs::sim::EventHandle;
 using hs::sim::EventQueue;
+using hs::sim::EventTarget;
+
+/// Test target that records every (kind, args-as-int) it receives.
+class RecordingTarget final : public EventTarget {
+ public:
+  void on_event(uint32_t kind, const EventArgs& args) override {
+    kinds.push_back(kind);
+    values.push_back(args.unpack<int>());
+  }
+  std::vector<uint32_t> kinds;
+  std::vector<int> values;
+};
 
 TEST(EventQueue, EmptyInitially) {
   EventQueue q;
@@ -27,10 +40,37 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.push(1.0, [&] { fired.push_back(1); });
   q.push(2.0, [&] { fired.push_back(2); });
   while (!q.empty()) {
-    auto [time, fn] = q.pop();
-    fn();
+    q.pop().fire();
   }
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TypedEventsDeliverKindAndArgs) {
+  EventQueue q;
+  RecordingTarget target;
+  q.push(2.0, target, 7, EventArgs::pack(21));
+  q.push(1.0, target, 3, EventArgs::pack(10));
+  while (!q.empty()) {
+    q.pop().fire();
+  }
+  EXPECT_EQ(target.kinds, (std::vector<uint32_t>{3, 7}));
+  EXPECT_EQ(target.values, (std::vector<int>{10, 21}));
+}
+
+TEST(EventQueue, EventArgsRoundTripsTriviallyCopyableStructs) {
+  struct Payload {
+    uint64_t id;
+    double a;
+    double b;
+    uint32_t flag;
+  };
+  const Payload in{42, 1.5, -2.25, 7};
+  const EventArgs packed = EventArgs::pack(in);
+  const Payload out = packed.unpack<Payload>();
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.a, in.a);
+  EXPECT_EQ(out.b, in.b);
+  EXPECT_EQ(out.flag, in.flag);
 }
 
 TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
@@ -40,7 +80,7 @@ TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
     q.push(5.0, [&fired, i] { fired.push_back(i); });
   }
   while (!q.empty()) {
-    q.pop().second();
+    q.pop().fire();
   }
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(fired[static_cast<size_t>(i)], i);
@@ -73,7 +113,7 @@ TEST(EventQueue, CancelTwiceIsFalse) {
 TEST(EventQueue, CancelAfterFireIsFalse) {
   EventQueue q;
   EventHandle h = q.push(1.0, [] {});
-  q.pop().second();
+  q.pop().fire();
   EXPECT_FALSE(q.cancel(h));
 }
 
@@ -85,21 +125,22 @@ TEST(EventQueue, DefaultHandleCancelIsFalse) {
 TEST(EventQueue, StaleHandleAfterSlotReuseIsFalse) {
   EventQueue q;
   EventHandle h1 = q.push(1.0, [] {});
-  q.pop().second();           // frees slot
-  q.push(2.0, [] {});         // reuses it
+  q.pop().fire();              // frees slot
+  q.push(2.0, [] {});          // reuses it
   EXPECT_FALSE(q.cancel(h1));  // old generation must not cancel new event
   EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(EventQueue, CancelledHeadSkippedOnPop) {
+TEST(EventQueue, CancelledHeadRemovedEagerly) {
   EventQueue q;
   bool fired_late = false;
   EventHandle head = q.push(1.0, [] { FAIL() << "cancelled event fired"; });
   q.push(2.0, [&] { fired_late = true; });
   q.cancel(head);
-  auto [time, fn] = q.pop();
-  EXPECT_DOUBLE_EQ(time, 2.0);
-  fn();
+  EXPECT_EQ(q.size(), 1u);
+  auto event = q.pop();
+  EXPECT_DOUBLE_EQ(event.time, 2.0);
+  event.fire();
   EXPECT_TRUE(fired_late);
 }
 
@@ -130,85 +171,243 @@ TEST(EventQueue, NextTimeEmptyThrows) {
   EXPECT_THROW((void)(q.next_time()), hs::util::CheckError);
 }
 
-TEST(EventQueue, NullCallbackThrows) {
-  EventQueue q;
-  EXPECT_THROW((void)(q.push(1.0, nullptr)), hs::util::CheckError);
-}
-
 TEST(EventQueue, CountersTrackActivity) {
   EventQueue q;
   EventHandle h = q.push(1.0, [] {});
-  q.push(2.0, [] {});
+  EventHandle moved = q.push(2.0, [] {});
   q.cancel(h);
-  q.pop().second();
+  q.reschedule(moved, 3.0);
+  q.pop().fire();
   EXPECT_EQ(q.total_scheduled(), 2u);
   EXPECT_EQ(q.total_cancelled(), 1u);
+  EXPECT_EQ(q.total_rescheduled(), 1u);
 }
 
-// Randomized differential test against std::priority_queue: interleaved
-// pushes, cancels and pops must produce the reference pop order.
-TEST(EventQueue, StressMatchesReferenceHeap) {
-  hs::rng::Xoshiro256 gen(2024);
+// ---- reschedule() ----
+
+TEST(EventQueue, RescheduleMovesEventLater) {
   EventQueue q;
-  // Reference: multiset of (time, seq) with cancelled set.
-  struct Ref {
+  std::vector<int> fired;
+  EventHandle h = q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  EXPECT_TRUE(q.reschedule(h, 3.0));
+  std::vector<double> times;
+  while (!q.empty()) {
+    auto event = q.pop();
+    times.push_back(event.time);
+    event.fire();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{2, 1}));
+  EXPECT_EQ(times, (std::vector<double>{2.0, 3.0}));
+}
+
+TEST(EventQueue, RescheduleMovesEventEarlier) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(2.0, [&] { fired.push_back(2); });
+  EventHandle h = q.push(5.0, [&] { fired.push_back(5); });
+  EXPECT_TRUE(q.reschedule(h, 1.0));
+  while (!q.empty()) {
+    q.pop().fire();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{5, 2}));
+}
+
+TEST(EventQueue, RescheduleKeepsHandleValid) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.reschedule(h, 4.0));
+  EXPECT_TRUE(q.reschedule(h, 2.0));  // same handle, twice
+  EXPECT_TRUE(q.cancel(h));           // and still cancellable
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, RescheduleAfterFireIsFalse) {
+  EventQueue q;
+  EventHandle h = q.push(1.0, [] {});
+  q.pop().fire();
+  EXPECT_FALSE(q.reschedule(h, 2.0));
+}
+
+TEST(EventQueue, RescheduleAfterCancelIsFalse) {
+  EventQueue q;
+  EventHandle h = q.push(1.0, [] {});
+  q.cancel(h);
+  EXPECT_FALSE(q.reschedule(h, 2.0));
+  EXPECT_FALSE(q.reschedule(EventHandle{}, 2.0));
+}
+
+TEST(EventQueue, RescheduleStaleHandleAfterSlotReuseIsFalse) {
+  EventQueue q;
+  EventHandle h1 = q.push(1.0, [] {});
+  q.pop().fire();                      // frees the slot
+  EventHandle h2 = q.push(2.0, [] {});  // reuses it
+  EXPECT_FALSE(q.reschedule(h1, 9.0));  // stale handle must not move h2
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_TRUE(q.cancel(h2));
+}
+
+// A rescheduled event must tie-break among equal-time events exactly as
+// if it had been cancelled and re-pushed: it fires after every event
+// already scheduled at that time, including ones scheduled before it
+// originally existed. This pins the simulator's replication order.
+TEST(EventQueue, ReschedulePreservesCancelPushFifoOrder) {
+  EventQueue fifo;
+  std::vector<int> fired;
+  fifo.push(5.0, [&] { fired.push_back(0); });
+  EventHandle h = fifo.push(1.0, [&] { fired.push_back(1); });
+  fifo.push(5.0, [&] { fired.push_back(2); });
+  EXPECT_TRUE(fifo.reschedule(h, 5.0));  // lands at 5.0, after 0 and 2
+  fifo.push(5.0, [&] { fired.push_back(3); });  // scheduled after the move
+  while (!fifo.empty()) {
+    fifo.pop().fire();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 2, 1, 3}));
+}
+
+// ---- stress: heavy cancel + slot reuse interleaving ----
+
+TEST(EventQueue, StressSlotReuseGenerationSafety) {
+  hs::rng::Xoshiro256 gen(99);
+  EventQueue q;
+  std::vector<EventHandle> stale;  // handles whose events fired/cancelled
+  int fired_count = 0;
+  for (int round = 0; round < 2000; ++round) {
+    EventHandle live = q.push(gen.uniform(0.0, 10.0), [&] { ++fired_count; });
+    // Stale handles must never cancel or move the new occupant of their
+    // recycled slot.
+    for (const EventHandle& h : stale) {
+      ASSERT_FALSE(q.cancel(h));
+      ASSERT_FALSE(q.reschedule(h, 1.0));
+    }
+    if (gen.next_double() < 0.5) {
+      ASSERT_TRUE(q.reschedule(live, gen.uniform(0.0, 10.0)));
+    }
+    if (gen.next_double() < 0.5) {
+      ASSERT_TRUE(q.cancel(live));
+    } else {
+      q.pop().fire();
+    }
+    stale.push_back(live);
+    if (stale.size() > 64) {
+      stale.erase(stale.begin());
+    }
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_GT(fired_count, 0);
+}
+
+// ---- randomized differential test against a naive reference ----
+
+// Reference implementation: a sorted-by-(time, seq) vector, scanned
+// linearly. Mirrors push/cancel/reschedule/pop semantics exactly.
+class ReferenceQueue {
+ public:
+  struct Entry {
     double time;
     uint64_t seq;
+    int id;
   };
-  auto cmp = [](const Ref& a, const Ref& b) {
-    if (a.time != b.time) {
-      return a.time > b.time;
-    }
-    return a.seq > b.seq;
-  };
-  std::priority_queue<Ref, std::vector<Ref>, decltype(cmp)> ref(cmp);
-  std::vector<bool> ref_cancelled;
-  std::vector<EventHandle> handles;
-  std::vector<bool> handle_done;
-  uint64_t seq = 0;
 
-  auto ref_pop_live = [&]() -> Ref {
-    for (;;) {
-      Ref top = ref.top();
-      ref.pop();
-      if (!ref_cancelled[top.seq]) {
-        return top;
+  void push(double time, int id) { entries_.push_back({time, seq_++, id}); }
+
+  bool cancel(int id) {
+    const auto it = find(id);
+    if (it == entries_.end()) {
+      return false;
+    }
+    entries_.erase(it);
+    return true;
+  }
+
+  bool reschedule(int id, double new_time) {
+    const auto it = find(id);
+    if (it == entries_.end()) {
+      return false;
+    }
+    it->time = new_time;
+    it->seq = seq_++;  // cancel+push tie-break semantics
+    return true;
+  }
+
+  Entry pop() {
+    auto best = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->time < best->time ||
+          (it->time == best->time && it->seq < best->seq)) {
+        best = it;
       }
     }
-  };
+    const Entry top = *best;
+    entries_.erase(best);
+    return top;
+  }
 
-  for (int step = 0; step < 50000; ++step) {
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry>::iterator find(int id) {
+    return std::find_if(entries_.begin(), entries_.end(),
+                        [id](const Entry& e) { return e.id == id; });
+  }
+
+  std::vector<Entry> entries_;
+  uint64_t seq_ = 0;
+};
+
+TEST(EventQueue, StressMatchesSortedVectorReference) {
+  hs::rng::Xoshiro256 gen(2024);
+  EventQueue q;
+  RecordingTarget target;
+  ReferenceQueue ref;
+  std::vector<EventHandle> handles;  // indexed by event id
+  std::vector<bool> live;
+  int next_id = 0;
+
+  for (int step = 0; step < 60000; ++step) {
     const double action = gen.next_double();
-    if (action < 0.55 || q.empty()) {
+    if (action < 0.45 || q.empty()) {
       const double time = gen.uniform(0.0, 1000.0);
-      const uint64_t my_seq = seq++;
-      handles.push_back(q.push(time, [] {}));
-      handle_done.push_back(false);
-      ref.push(Ref{time, my_seq});
-      ref_cancelled.push_back(false);
-    } else if (action < 0.75) {
-      // Cancel a random not-yet-done event (may already be cancelled).
+      const int id = next_id++;
+      handles.push_back(q.push(time, target, 0, EventArgs::pack(id)));
+      live.push_back(true);
+      ref.push(time, id);
+    } else if (action < 0.60) {
+      // Cancel a random event (often already dead).
       const size_t idx = gen.next_below(handles.size());
-      if (!handle_done[idx]) {
-        const bool ok = q.cancel(handles[idx]);
-        if (ok) {
-          ref_cancelled[idx] = true;
-          handle_done[idx] = true;
-        }
+      const bool ok = q.cancel(handles[idx]);
+      ASSERT_EQ(ok, ref.cancel(static_cast<int>(idx)));
+      if (ok) {
+        live[idx] = false;
       }
+    } else if (action < 0.75) {
+      // Reschedule a random event (often already dead).
+      const size_t idx = gen.next_below(handles.size());
+      const double new_time = gen.uniform(0.0, 1000.0);
+      const bool ok = q.reschedule(handles[idx], new_time);
+      ASSERT_EQ(ok, ref.reschedule(static_cast<int>(idx), new_time));
     } else {
-      auto [time, fn] = q.pop();
-      const Ref expected = ref_pop_live();
-      ASSERT_DOUBLE_EQ(time, expected.time);
-      handle_done[expected.seq] = true;
+      auto event = q.pop();
+      const ReferenceQueue::Entry expected = ref.pop();
+      ASSERT_DOUBLE_EQ(event.time, expected.time);
+      event.fire();
+      ASSERT_EQ(target.values.back(), expected.id);
+      live[static_cast<size_t>(expected.id)] = false;
     }
+    ASSERT_EQ(q.size(), ref.size());
   }
-  // Drain both and compare.
+  // Drain both and compare the full remaining order.
   while (!q.empty()) {
-    auto [time, fn] = q.pop();
-    const Ref expected = ref_pop_live();
-    ASSERT_DOUBLE_EQ(time, expected.time);
+    auto event = q.pop();
+    const ReferenceQueue::Entry expected = ref.pop();
+    ASSERT_DOUBLE_EQ(event.time, expected.time);
+    event.fire();
+    ASSERT_EQ(target.values.back(), expected.id);
   }
+  EXPECT_TRUE(ref.empty());
 }
 
 }  // namespace
