@@ -1,9 +1,35 @@
 #include "bench_common.h"
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 
 namespace hs::bench {
+
+namespace {
+
+/// "trace.json" -> "trace.c3.json" for cell 3. Benches run one
+/// experiment per (policy, cluster, rho) cell; without a distinct name
+/// per cell every cell would overwrite the previous one's files.
+std::string cell_path(const std::string& path, unsigned cell) {
+  if (path.empty()) {
+    return path;
+  }
+  const std::string suffix = ".c" + std::to_string(cell);
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+/// Cells are numbered in paper_experiment() call order, which is
+/// deterministic within one bench binary (benches build their cells
+/// sequentially on the main thread).
+std::atomic<unsigned> g_next_cell{0};
+
+}  // namespace
 
 void BenchOptions::register_options(util::ArgParser& parser) {
   parser.add_option("sim-time", "1e6",
@@ -16,6 +42,12 @@ void BenchOptions::register_options(util::ArgParser& parser) {
   parser.add_flag("paper-scale",
                   "use the paper's full scale: 4e6 s per run, 10 reps");
   parser.add_flag("csv", "also print each table as CSV");
+  parser.add_option("trace-out", "",
+                    "write per-replication Chrome trace JSON to this path");
+  parser.add_option("metrics-csv", "",
+                    "write per-replication time-series metrics CSV here");
+  parser.add_option("sample-interval", "60",
+                    "simulated seconds between metric samples");
 }
 
 BenchOptions BenchOptions::from_parser(const util::ArgParser& parser) {
@@ -25,6 +57,9 @@ BenchOptions BenchOptions::from_parser(const util::ArgParser& parser) {
   options.warmup_frac = parser.get_double("warmup-frac");
   options.seed = static_cast<uint64_t>(parser.get_long("seed"));
   options.csv = parser.get_flag("csv");
+  options.trace_out = parser.get_string("trace-out");
+  options.metrics_csv = parser.get_string("metrics-csv");
+  options.sample_interval = parser.get_double("sample-interval");
   if (parser.get_flag("paper-scale")) {
     options.sim_time = 4.0e6;
     options.reps = 10;
@@ -44,6 +79,12 @@ cluster::ExperimentConfig paper_experiment(const BenchOptions& options,
   config.simulation.warmup_frac = options.warmup_frac;
   config.replications = options.reps;
   config.base_seed = options.seed;
+  if (options.observability_enabled()) {
+    const unsigned cell = g_next_cell.fetch_add(1);
+    config.observability.trace_path = cell_path(options.trace_out, cell);
+    config.observability.metrics_path = cell_path(options.metrics_csv, cell);
+    config.observability.sample_interval = options.sample_interval;
+  }
   return config;
 }
 

@@ -9,6 +9,15 @@
 //   --csv          additionally print each table as CSV for plotting
 // so results are statistically stable by default and exactly
 // paper-faithful on request.
+//
+// Every bench also accepts the observability knobs (obs/):
+//   --trace-out        write per-replication Chrome trace JSON here
+//   --metrics-csv      write per-replication time-series metrics CSV here
+//   --sample-interval  simulated seconds between metric samples (default 60)
+// Both paths default to empty (observability fully off — the simulation
+// hot path then takes a single never-taken branch per would-be event).
+// A bench that runs several (policy, cluster, rho) cells derives one
+// file per cell by inserting ".c<N>" before the extension.
 #pragma once
 
 #include <string>
@@ -27,6 +36,15 @@ struct BenchOptions {
   unsigned reps = 5;
   uint64_t seed = 20000829;
   bool csv = false;
+
+  // Observability (empty path = that output off).
+  std::string trace_out;
+  std::string metrics_csv;
+  double sample_interval = 60.0;
+
+  [[nodiscard]] bool observability_enabled() const {
+    return !trace_out.empty() || !metrics_csv.empty();
+  }
 
   /// Registers the common options on a parser.
   static void register_options(util::ArgParser& parser);

@@ -8,6 +8,9 @@
 
 #include "cluster/sim.h"
 #include "core/policy.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
 #include "queueing/ps_server.h"
 #include "rng/rng.h"
 #include "sim/event_queue.h"
@@ -163,5 +166,41 @@ void BM_FullClusterSimulationLeastLoad(benchmark::State& state) {
   run_cluster_bench(state, hs::core::PolicyKind::kLeastLoad);
 }
 BENCHMARK(BM_FullClusterSimulationLeastLoad)->Unit(benchmark::kMillisecond);
+
+// Same ORR run with full observability attached (trace sink + sampled
+// metrics registry, no file I/O). The gap to BM_FullClusterSimulation
+// is the recording overhead when observability is ON; the zero-overhead
+// -off claim is pinned separately by the interleaved A/B runs recorded
+// in BENCH_sim.json.
+void BM_FullClusterSimulationTraced(benchmark::State& state) {
+  hs::cluster::SimulationConfig config = cluster_bench_config();
+  hs::obs::TraceSink sink;
+  hs::obs::MetricsRegistry registry;
+  hs::obs::Observer observer;
+  observer.trace = &sink;
+  observer.metrics = &registry;
+  observer.sample_interval = 60.0;
+  config.observer = &observer;
+  uint64_t jobs = 0;
+  uint64_t events = 0;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    sink.clear();
+    auto dispatcher = hs::core::make_policy_dispatcher(
+        hs::core::PolicyKind::kORR, config.speeds, config.rho);
+    const auto result = hs::cluster::run_simulation(config, *dispatcher);
+    jobs += result.completed_jobs;
+    events += result.events_fired;
+    benchmark::DoNotOptimize(result.mean_response_ratio);
+    benchmark::DoNotOptimize(sink.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullClusterSimulationTraced)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <thread>
 
 #include "rng/rng.h"
@@ -9,9 +10,30 @@
 
 namespace hs::cluster {
 
+std::string replication_path(const std::string& path, unsigned replication,
+                             unsigned replications) {
+  if (replications <= 1) {
+    return path;
+  }
+  const std::string suffix = ".rep" + std::to_string(replication);
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;  // no extension to split
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 const DispatcherFactory& factory) {
   HS_CHECK(config.replications >= 1, "need at least one replication");
+  // A caller-provided observer cannot be shared by concurrent
+  // replications; replicated observation goes through
+  // ExperimentConfig::observability (one sink per replication).
+  HS_CHECK(config.simulation.observer == nullptr || config.replications == 1,
+           "set ExperimentConfig::observability instead of "
+           "SimulationConfig::observer for replicated experiments");
   config.simulation.validate();
 
   const unsigned reps = config.replications;
@@ -34,13 +56,42 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
       auto dispatcher = factory();
       HS_CHECK(dispatcher != nullptr, "dispatcher factory returned null");
       SimulationConfig sim = config.simulation;
+      const ExperimentObservability& observability = config.observability;
       for (;;) {
         const unsigned r = next_rep.fetch_add(1);
         if (r >= reps) {
           return;
         }
         sim.seed = rng::derive_seed(config.base_seed, r, 100);
-        results[r] = run_simulation(sim, *dispatcher);
+        if (observability.enabled()) {
+          // Fresh per-replication sink and registry: replications run
+          // concurrently, and each writes its own files on completion.
+          std::optional<obs::TraceSink> sink;
+          obs::MetricsRegistry registry;
+          obs::Observer observer;
+          if (!observability.trace_path.empty()) {
+            sink.emplace(observability.trace_capacity);
+            observer.trace = &*sink;
+          }
+          if (!observability.metrics_path.empty()) {
+            observer.metrics = &registry;
+            observer.sample_interval = observability.sample_interval;
+          }
+          sim.observer = &observer;
+          results[r] = run_simulation(sim, *dispatcher);
+          sim.observer = nullptr;
+          if (sink) {
+            sink->write_chrome_trace(
+                replication_path(observability.trace_path, r, reps),
+                sim.speeds);
+          }
+          if (observer.metrics != nullptr) {
+            registry.write_csv(
+                replication_path(observability.metrics_path, r, reps));
+          }
+        } else {
+          results[r] = run_simulation(sim, *dispatcher);
+        }
       }
     } catch (...) {
       errors[worker_index] = std::current_exception();

@@ -23,11 +23,34 @@ namespace hs::cluster {
 using DispatcherFactory =
     std::function<std::unique_ptr<dispatch::Dispatcher>()>;
 
+/// Opt-in per-replication observability for an experiment. Each
+/// replication records into its own sink and registry (replications run
+/// on parallel threads, so they cannot share one) and writes its files
+/// as soon as it finishes; replication_path() derives the per-rep file
+/// names. Disabled when both paths are empty.
+struct ExperimentObservability {
+  std::string trace_path;    // Chrome trace JSON; empty = tracing off
+  std::string metrics_path;  // time-series CSV; empty = sampling off
+  double sample_interval = 60.0;  // simulated seconds between samples
+  size_t trace_capacity = obs::TraceSink::kDefaultCapacity;
+
+  [[nodiscard]] bool enabled() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+/// "out.json" -> "out.rep3.json" for replication 3 (unchanged when the
+/// experiment has a single replication).
+[[nodiscard]] std::string replication_path(const std::string& path,
+                                           unsigned replication,
+                                           unsigned replications);
+
 struct ExperimentConfig {
   SimulationConfig simulation;
   unsigned replications = 5;  // paper: 10
   uint64_t base_seed = 20000829;  // replication r runs with a derived seed
   unsigned max_threads = 0;  // 0 = hardware concurrency
+  ExperimentObservability observability;
 };
 
 struct ExperimentResult {

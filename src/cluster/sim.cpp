@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "queueing/fcfs_server.h"
@@ -55,6 +56,9 @@ void SimulationConfig::validate() const {
                               << change.new_speed);
   }
   faults.validate(speeds.size(), sim_time);
+  if (observer != nullptr) {
+    observer->validate();
+  }
 }
 
 namespace {
@@ -127,6 +131,17 @@ class RunContext : private sim::EventTarget {
           sim::EventArgs::pack(SpeedChangeArgs{change.machine,
                                                change.new_speed}));
     }
+    if (config.observer != nullptr) {
+      trace_ = config.observer->trace;
+      for (auto& server : servers_) {
+        server->set_trace_sink(trace_);
+      }
+      if (config.observer->wants_sampling()) {
+        registry_ = config.observer->metrics;
+        sample_interval_ = config.observer->sample_interval;
+        register_standard_gauges();
+      }
+    }
     if (config.faults.enabled()) {
       faults_on_ = true;
       down_.assign(config.speeds.size(), false);
@@ -148,6 +163,13 @@ class RunContext : private sim::EventTarget {
   }
 
   SimulationResult run() {
+    if (registry_ != nullptr) {
+      // Initial state at t = 0, then simulator-driven interval samples.
+      registry_->sample(0.0);
+      if (sample_interval_ <= config_.sim_time) {
+        simulator_.schedule_at(sample_interval_, *this, kMetricsSample);
+      }
+    }
     schedule_first_arrival();
     simulator_.run_until(config_.sim_time);
     // Capture utilizations over the nominal horizon, then drain the jobs
@@ -201,6 +223,7 @@ class RunContext : private sim::EventTarget {
     kLossDetected,      // Job (scheduler notices a crash-lost job)
     kRetryDispatch,     // Job (re-dispatch after backoff)
     kDepartureReport,   // DepartureReportArgs (delayed load feedback)
+    kMetricsSample,     // no args (observability sampler tick)
   };
   struct SpeedChangeArgs {
     size_t machine;
@@ -231,6 +254,9 @@ class RunContext : private sim::EventTarget {
         // collide bit-for-bit.
         const auto job = args.unpack<queueing::Job>();
         schedule_next_trace_arrival();
+        if (trace_ != nullptr) [[unlikely]] {
+          trace_arrival(job);
+        }
         dispatch_job(job);
         return;
       }
@@ -259,8 +285,98 @@ class RunContext : private sim::EventTarget {
         schedulers_[report.scheduler]->on_departure_report(report.machine);
         return;
       }
+      case kMetricsSample:
+        on_metrics_sample();
+        return;
     }
     HS_CHECK(false, "unknown event kind " << kind);
+  }
+
+  // ---- Observability (config.observer; see docs/OBSERVABILITY.md) ----
+
+  /// The standard time-series gauge set. Gauges capture raw pointers
+  /// into this run, so the registry is cleared first and must be
+  /// re-registered per run (which also makes reuse across replications
+  /// safe).
+  void register_standard_gauges() {
+    registry_->clear();
+    for (size_t m = 0; m < servers_.size(); ++m) {
+      queueing::Server* server = servers_[m].get();
+      const std::string prefix = "m" + std::to_string(m);
+      registry_->register_gauge(prefix + ".queue_depth", [server] {
+        return static_cast<double>(server->queue_length());
+      });
+      registry_->register_gauge(prefix + ".utilization",
+                                [server] { return server->utilization(); });
+      registry_->register_gauge(prefix + ".speed",
+                                [server] { return server->speed(); });
+      registry_->register_gauge(prefix + ".completed", [server] {
+        return static_cast<double>(server->completed_jobs());
+      });
+    }
+    registry_->register_gauge("cluster.in_flight", [this] {
+      size_t in_flight = 0;
+      for (const auto& server : servers_) {
+        in_flight += server->queue_length();
+      }
+      return static_cast<double>(in_flight);
+    });
+    registry_->register_counter("cluster.dispatched", &obs_dispatched_);
+    registry_->register_gauge("cluster.completed", [this] {
+      uint64_t completed = 0;
+      for (const auto& server : servers_) {
+        completed += server->completed_jobs();
+      }
+      return static_cast<double>(completed);
+    });
+    // Fault counters are always present so the CSV schema does not
+    // depend on the fault config (all-zero columns without faults).
+    registry_->register_gauge("cluster.lost", [this] {
+      return static_cast<double>(metrics_.jobs_lost());
+    });
+    registry_->register_gauge("cluster.retried", [this] {
+      return static_cast<double>(metrics_.jobs_retried());
+    });
+    registry_->register_gauge("cluster.dropped", [this] {
+      return static_cast<double>(metrics_.jobs_dropped());
+    });
+    registry_->reserve_samples(
+        static_cast<size_t>(config_.sim_time / sample_interval_) + 2);
+  }
+
+  // Cold out-of-line recorders for the hot-path hook sites: the branch
+  // stays inline (one never-taken test when tracing is off), the stores
+  // live in .text.unlikely so they never crowd the dispatch loop's
+  // i-cache. Only ever called with a sink attached.
+  [[gnu::cold]] [[gnu::noinline]] void trace_arrival(
+      const queueing::Job& job) {
+    trace_->record(job.arrival_time, obs::TraceEventKind::kArrival, job.id,
+                   obs::TraceSink::kScheduler, 0, job.size);
+  }
+  [[gnu::cold]] [[gnu::noinline]] void trace_dispatch(
+      const queueing::Job& job, size_t machine) {
+    trace_->record(simulator_.now(), obs::TraceEventKind::kDispatch, job.id,
+                   static_cast<int32_t>(machine),
+                   static_cast<uint16_t>(job.attempt), job.size);
+  }
+  [[gnu::cold]] [[gnu::noinline]] void trace_completion(
+      const queueing::Completion& completion) {
+    trace_->record(completion.departure_time,
+                   obs::TraceEventKind::kCompletion, completion.job.id,
+                   completion.machine,
+                   static_cast<uint16_t>(completion.job.attempt));
+  }
+
+  void on_metrics_sample() {
+    registry_->sample(simulator_.now());
+    ++sample_tick_;
+    // Absolute multiples of the interval, so ticks never drift and the
+    // fired-event count is exactly floor(sim_time / interval).
+    const double next =
+        static_cast<double>(sample_tick_ + 1) * sample_interval_;
+    if (next <= config_.sim_time) {
+      simulator_.schedule_at(next, *this, kMetricsSample);
+    }
   }
 
   void schedule_first_arrival() {
@@ -300,6 +416,9 @@ class RunContext : private sim::EventTarget {
     if (next <= config_.sim_time) {
       simulator_.schedule_at(next, *this, kGeneratedArrival);
     }
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_arrival(job);
+    }
     dispatch_job(job);
   }
 
@@ -323,6 +442,12 @@ class RunContext : private sim::EventTarget {
     const size_t machine = dispatcher.pick_sized(dispatch_gen_, job.size);
     const bool measured = job.arrival_time >= config_.warmup_time();
     metrics_.on_dispatch(machine, measured);
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_dispatch(job, machine);
+    }
+    if (registry_ != nullptr) [[unlikely]] {
+      ++obs_dispatched_;
+    }
     if (tracker_) {
       tracker_->record(job.arrival_time, machine);
     }
@@ -334,7 +459,7 @@ class RunContext : private sim::EventTarget {
     if (faults_on_ && down_[machine]) {
       // Dispatched into a crash the scheduler has not (yet) detected:
       // the job is lost on arrival, like everything else on the machine.
-      on_job_lost(job);
+      on_job_lost(job, machine);
       return;
     }
     servers_[machine]->arrive(job);
@@ -358,6 +483,11 @@ class RunContext : private sim::EventTarget {
   }
 
   void apply_speed_change(size_t machine, double new_speed) {
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kSpeedChange,
+                     obs::TraceSink::kNoJob, static_cast<int32_t>(machine),
+                     0, new_speed);
+    }
     if (faults_on_) {
       nominal_speed_[machine] = new_speed;
       if (down_[machine]) {
@@ -369,6 +499,12 @@ class RunContext : private sim::EventTarget {
 
   void on_fault_event(const FaultEvent& event) {
     const size_t machine = event.machine;
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(),
+                     event.up ? obs::TraceEventKind::kRecovery
+                              : obs::TraceEventKind::kCrash,
+                     obs::TraceSink::kNoJob, static_cast<int32_t>(machine));
+    }
     if (!event.up) {
       down_[machine] = true;
       // The crash loses every resident job; the machine then sits at
@@ -377,7 +513,7 @@ class RunContext : private sim::EventTarget {
       std::vector<queueing::Job> lost = servers_[machine]->evict_all();
       servers_[machine]->set_speed(0.0);
       for (const queueing::Job& job : lost) {
-        on_job_lost(job);
+        on_job_lost(job, machine);
       }
     } else {
       down_[machine] = false;
@@ -398,12 +534,17 @@ class RunContext : private sim::EventTarget {
     }
   }
 
-  /// A dispatch attempt of `job` just died with its machine. The
+  /// A dispatch attempt of `job` just died with machine `machine`. The
   /// scheduler learns of the loss after a detection delay, then decides
   /// between retry and drop.
-  void on_job_lost(const queueing::Job& job) {
+  void on_job_lost(const queueing::Job& job, size_t machine) {
     const bool measured = job.arrival_time >= config_.warmup_time();
     metrics_.on_job_lost(measured);
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kJobLost, job.id,
+                     static_cast<int32_t>(machine),
+                     static_cast<uint16_t>(job.attempt));
+    }
     if (any_feedback_) {
       job_scheduler_.erase(job.id);  // no completion will ever arrive
     }
@@ -415,8 +556,13 @@ class RunContext : private sim::EventTarget {
   void on_loss_detected(const queueing::Job& job) {
     const RetryPolicy& policy = config_.faults.retry;
     const bool measured = job.arrival_time >= config_.warmup_time();
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kLossDetected,
+                     job.id, obs::TraceSink::kScheduler,
+                     static_cast<uint16_t>(job.attempt));
+    }
     if (job.attempt + 1 >= policy.max_attempts) {
-      metrics_.on_job_dropped(measured);
+      drop_job(job, measured);
       return;
     }
     const double backoff =
@@ -424,20 +570,37 @@ class RunContext : private sim::EventTarget {
         std::pow(policy.backoff_factor, static_cast<double>(job.attempt));
     if (policy.job_timeout > 0.0 &&
         simulator_.now() + backoff - job.arrival_time > policy.job_timeout) {
-      metrics_.on_job_dropped(measured);
+      drop_job(job, measured);
       return;
     }
     metrics_.on_job_retried(measured);
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kRetry, job.id,
+                     obs::TraceSink::kScheduler,
+                     static_cast<uint16_t>(job.attempt), backoff);
+    }
     queueing::Job retry = job;
     retry.attempt += 1;
     simulator_.schedule_in(backoff, *this, kRetryDispatch,
                            sim::EventArgs::pack(retry));
   }
 
+  void drop_job(const queueing::Job& job, bool measured) {
+    metrics_.on_job_dropped(measured);
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kDrop, job.id,
+                     obs::TraceSink::kScheduler,
+                     static_cast<uint16_t>(job.attempt));
+    }
+  }
+
   void on_completion(const queueing::Completion& completion) {
     const bool measured =
         completion.job.arrival_time >= config_.warmup_time();
     metrics_.on_completion(completion, measured);
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_completion(completion);
+    }
     if (config_.completion_hook) {
       config_.completion_hook(completion, measured);
     }
@@ -478,6 +641,11 @@ class RunContext : private sim::EventTarget {
   std::vector<bool> down_;             // current crash state per machine
   std::vector<double> nominal_speed_;  // speed to restore on recovery
   std::vector<double> downtime_;       // per machine, within [0, sim_time]
+  obs::TraceSink* trace_ = nullptr;          // null = tracing off
+  obs::MetricsRegistry* registry_ = nullptr; // null = sampling off
+  double sample_interval_ = 0.0;
+  uint64_t sample_tick_ = 0;       // index of the last fired sampler tick
+  uint64_t obs_dispatched_ = 0;    // dispatch attempts (sampling only)
   sim::Simulator simulator_;
   std::vector<std::unique_ptr<queueing::Server>> servers_;
   std::unique_ptr<workload::ArrivalProcess> arrivals_;

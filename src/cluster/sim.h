@@ -17,6 +17,7 @@
 #include "cluster/faults.h"
 #include "cluster/metrics.h"
 #include "dispatch/dispatcher.h"
+#include "obs/observer.h"
 #include "workload/spec.h"
 #include "workload/trace.h"
 
@@ -81,6 +82,19 @@ struct SimulationConfig {
   /// machine up/down reports. Retried dispatches count toward
   /// `dispatched_jobs` and the per-machine dispatch fractions.
   FaultConfig faults;
+
+  /// Opt-in observability (obs/observer.h). Null by default: every
+  /// instrumentation site then reduces to one branch on a null pointer
+  /// and the run is bit-identical to an unobserved one. With a trace
+  /// sink attached, per-job lifecycle events (arrival, dispatch, service
+  /// start, preempt/resume, completion, loss/retry/drop, crash/recovery)
+  /// are recorded; with a metrics registry attached, the run clears the
+  /// registry, registers the standard gauge set and samples it every
+  /// `observer->sample_interval` seconds of simulated time (first sample
+  /// at t = 0; tick events fire at k·interval <= sim_time, so sampling
+  /// adds exactly floor(sim_time/interval) fired events and nothing
+  /// else). Caller keeps ownership of the sink and registry.
+  obs::Observer* observer = nullptr;
 
   /// Implied arrival rate λ = ρ·Σs/E[size].
   [[nodiscard]] double lambda() const;

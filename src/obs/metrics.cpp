@@ -1,0 +1,114 @@
+#include "obs/metrics.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace hs::obs {
+
+void MetricsRegistry::register_gauge(std::string name, GaugeFn fn) {
+  HS_CHECK(times_.empty(),
+           "cannot register metric '" << name << "' after sampling started");
+  HS_CHECK(fn != nullptr, "null gauge for metric '" << name << "'");
+  for (const std::string& existing : names_) {
+    HS_CHECK(existing != name, "duplicate metric name '" << name << "'");
+  }
+  names_.push_back(std::move(name));
+  gauges_.push_back(std::move(fn));
+}
+
+void MetricsRegistry::register_counter(std::string name,
+                                       const uint64_t* counter) {
+  HS_CHECK(counter != nullptr, "null counter for metric '" << name << "'");
+  register_gauge(std::move(name),
+                 [counter] { return static_cast<double>(*counter); });
+}
+
+void MetricsRegistry::clear() {
+  names_.clear();
+  gauges_.clear();
+  clear_samples();
+}
+
+void MetricsRegistry::clear_samples() {
+  times_.clear();
+  samples_.clear();
+}
+
+void MetricsRegistry::reserve_samples(size_t rows) {
+  times_.reserve(rows);
+  samples_.reserve(rows * metric_count());
+}
+
+void MetricsRegistry::sample(double time) {
+  times_.push_back(time);
+  for (const GaugeFn& gauge : gauges_) {
+    samples_.push_back(gauge());
+  }
+}
+
+double MetricsRegistry::sample_time(size_t row) const {
+  HS_CHECK(row < times_.size(), "sample row out of range: " << row);
+  return times_[row];
+}
+
+double MetricsRegistry::value(size_t row, size_t metric) const {
+  HS_CHECK(row < times_.size(), "sample row out of range: " << row);
+  HS_CHECK(metric < metric_count(), "metric column out of range: " << metric);
+  return samples_[row * metric_count() + metric];
+}
+
+size_t MetricsRegistry::column(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return i;
+    }
+  }
+  HS_CHECK(false, "metric not registered: '" << name << "'");
+  return 0;
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  std::ostringstream header;
+  header << "time";
+  for (const std::string& name : names_) {
+    header << "," << name;
+  }
+  out << "# " << header.str() << '\n';
+  out.precision(17);
+  const size_t stride = metric_count();
+  for (size_t row = 0; row < times_.size(); ++row) {
+    out << times_[row];
+    for (size_t m = 0; m < stride; ++m) {
+      out << ',' << samples_[row * stride + m];
+    }
+    out << '\n';
+  }
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  // Round-trips through util::csv so the output is guaranteed readable
+  // by util::read_numeric_csv (and scripts/plot_results.py).
+  std::ostringstream header;
+  header << "time";
+  for (const std::string& name : names_) {
+    header << "," << name;
+  }
+  const size_t stride = metric_count();
+  std::vector<std::vector<double>> rows;
+  rows.reserve(times_.size());
+  for (size_t row = 0; row < times_.size(); ++row) {
+    std::vector<double> fields;
+    fields.reserve(stride + 1);
+    fields.push_back(times_[row]);
+    for (size_t m = 0; m < stride; ++m) {
+      fields.push_back(samples_[row * stride + m]);
+    }
+    rows.push_back(std::move(fields));
+  }
+  util::write_numeric_csv(path, rows, header.str());
+}
+
+}  // namespace hs::obs

@@ -1,0 +1,79 @@
+// Named-metric registry with preallocated time-series sampling.
+//
+// Components register counters and gauges by name; a simulator-driven
+// interval event (wired by cluster/sim when a run observes metrics)
+// calls sample(), which evaluates every registered metric into one row
+// of a flat, preallocated sample matrix. Nothing on the simulation's
+// hot path touches the registry — the cost model is "pull": state is
+// read only at sample instants, so a disabled registry costs exactly
+// the null-pointer branch at the wiring site (obs/observer.h).
+//
+// The sampled series export to CSV through util::csv so the existing
+// plotting pipeline (scripts/plot_results.py, '#'-comment headers,
+// numeric rows) consumes them unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hs::obs {
+
+/// Registry of named gauges plus the time series sampled from them.
+class MetricsRegistry {
+ public:
+  /// Evaluated at each sample instant; must be cheap and side-effect
+  /// free (typically reads one field of a live simulation object).
+  using GaugeFn = std::function<double()>;
+
+  /// Register a gauge. Names become CSV columns in registration order
+  /// and must be unique. Registering after sampling started is an
+  /// error — rows must stay rectangular.
+  void register_gauge(std::string name, GaugeFn fn);
+
+  /// Convenience: a gauge that reads a live uint64 counter (dispatch
+  /// counts, completions). The pointee must outlive the registry's use.
+  void register_counter(std::string name, const uint64_t* counter);
+
+  [[nodiscard]] size_t metric_count() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+
+  /// Drop all metrics and samples — a fresh registry, capacity kept.
+  /// Each simulation run re-registers its own gauges (they capture
+  /// pointers into that run), so reuse across runs starts here.
+  void clear();
+  /// Drop the samples but keep the registered metrics.
+  void clear_samples();
+
+  /// Preallocate storage for `rows` samples, so steady-state sample()
+  /// calls never touch the allocator.
+  void reserve_samples(size_t rows);
+
+  /// Evaluate every gauge and append one row at time `time`.
+  void sample(double time);
+
+  [[nodiscard]] size_t sample_count() const { return times_.size(); }
+  [[nodiscard]] double sample_time(size_t row) const;
+  /// Value of metric column `metric` in sample `row`.
+  [[nodiscard]] double value(size_t row, size_t metric) const;
+  /// Column index of a registered name (fails loudly if absent).
+  [[nodiscard]] size_t column(const std::string& name) const;
+
+  /// Write "time,<name>,..." as a '#'-comment header plus one numeric
+  /// row per sample, via util::csv (readable by read_numeric_csv).
+  void write_csv(std::ostream& out) const;
+  /// Same, to a file. Throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<GaugeFn> gauges_;
+  std::vector<double> times_;
+  std::vector<double> samples_;  // row-major, stride = metric_count()
+};
+
+}  // namespace hs::obs

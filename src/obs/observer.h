@@ -1,0 +1,59 @@
+// The per-run observation bundle and its cost discipline.
+//
+// A simulation run observes through exactly one Observer: an optional
+// trace sink and an optional metrics registry with a sampling interval.
+// The contract every instrumented component follows:
+//
+//   * Disabled (the default): config.observer == nullptr, or the
+//     corresponding member is null. Each instrumentation site then costs
+//     a single branch on a null pointer — no virtual call, no counter
+//     update, no allocation. tests/test_event_alloc.cpp and the
+//     interleaved A/B entries in BENCH_sim.json pin this.
+//   * Enabled: trace records go into the sink's preallocated ring and
+//     metric samples into the registry's reserved rows, so steady-state
+//     observation is also allocation-free.
+//   * Observation never feeds back into the simulation: sinks only
+//     record, gauges only read, and the sampler's tick events carry no
+//     model behavior — with tracing on, a run's metrics are
+//     bit-identical to the same run unobserved (pinned by
+//     tests/test_determinism_golden.cpp).
+//
+// Ownership: the caller owns the sink and registry (so they outlive the
+// run and can be exported afterwards); the run wires them through and,
+// for the registry, manages its contents — see SimulationConfig::observer
+// in cluster/sim.h.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace hs::obs {
+
+struct Observer {
+  /// Per-job lifecycle events; null = tracing off.
+  TraceSink* trace = nullptr;
+
+  /// Time-series output; null = sampling off. The observed run clears
+  /// the registry, registers its standard gauge set (per-machine queue
+  /// depth, utilization, speed, completions; cluster in-flight,
+  /// dispatched, completed, lost/retried/dropped) and samples it every
+  /// `sample_interval` simulated seconds, starting at t = 0.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Seconds between samples; must be > 0 when `metrics` is set.
+  double sample_interval = 0.0;
+
+  [[nodiscard]] bool wants_tracing() const { return trace != nullptr; }
+  [[nodiscard]] bool wants_sampling() const { return metrics != nullptr; }
+
+  void validate() const {
+    if (metrics != nullptr) {
+      HS_CHECK(sample_interval > 0.0,
+               "observer with metrics needs sample_interval > 0, got "
+                   << sample_interval);
+    }
+  }
+};
+
+}  // namespace hs::obs

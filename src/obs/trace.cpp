@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace hs::obs {
+
+const char* trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kArrival:      return "arrival";
+    case TraceEventKind::kDispatch:     return "dispatch";
+    case TraceEventKind::kServiceStart: return "service_start";
+    case TraceEventKind::kPreempt:      return "preempt";
+    case TraceEventKind::kResume:       return "resume";
+    case TraceEventKind::kCompletion:   return "completion";
+    case TraceEventKind::kJobLost:      return "job_lost";
+    case TraceEventKind::kLossDetected: return "loss_detected";
+    case TraceEventKind::kRetry:        return "retry";
+    case TraceEventKind::kDrop:         return "drop";
+    case TraceEventKind::kCrash:        return "crash";
+    case TraceEventKind::kRecovery:     return "recovery";
+    case TraceEventKind::kSpeedChange:  return "speed_change";
+  }
+  return "unknown";
+}
+
+TraceSink::TraceSink(size_t capacity) : ring_(capacity) {
+  HS_CHECK(capacity >= 1, "trace ring needs at least one slot");
+}
+
+const TraceRecord& TraceSink::at(size_t i) const {
+  HS_CHECK(i < count_, "trace record index out of range: " << i);
+  // Oldest record: head_ when full (head_ points at the overwrite
+  // victim), slot 0 otherwise.
+  const size_t oldest = count_ == ring_.size() ? head_ : 0;
+  size_t slot = oldest + i;
+  if (slot >= ring_.size()) {
+    slot -= ring_.size();
+  }
+  return ring_[slot];
+}
+
+void TraceSink::clear() {
+  head_ = 0;
+  count_ = 0;
+  overwritten_ = 0;
+}
+
+namespace {
+
+/// Streams one JSON trace event; keeps track of the comma between
+/// array elements.
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& out) : out_(out) {}
+
+  std::ostream& begin() {
+    if (first_) {
+      first_ = false;
+    } else {
+      out_ << ",";
+    }
+    out_ << "\n  ";
+    return out_;
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+/// Chrome trace timestamps are microseconds.
+int64_t to_us(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+/// Track ("process") id of a machine: pid 0 is the scheduler.
+int64_t pid_of(int32_t machine) { return static_cast<int64_t>(machine) + 1; }
+
+}  // namespace
+
+void TraceSink::write_chrome_trace(std::ostream& out,
+                                   const std::vector<double>& speeds) const {
+  EventWriter w(out);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Track metadata: the scheduler plus one process per machine, sorted
+  // scheduler-first. Machines present in the records but beyond
+  // `speeds` still get a track (speeds is advisory).
+  int32_t max_machine = -1;
+  double last_time = 0.0;
+  for (size_t i = 0; i < count_; ++i) {
+    const TraceRecord& r = at(i);
+    max_machine = r.machine > max_machine ? r.machine : max_machine;
+    last_time = r.time > last_time ? r.time : last_time;
+  }
+  const size_t machines =
+      speeds.empty() ? static_cast<size_t>(max_machine + 1)
+                     : (speeds.size() > static_cast<size_t>(max_machine + 1)
+                            ? speeds.size()
+                            : static_cast<size_t>(max_machine + 1));
+  w.begin() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+               "\"args\":{\"name\":\"scheduler\"}}";
+  w.begin() << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":0,"
+               "\"args\":{\"sort_index\":0}}";
+  for (size_t m = 0; m < machines; ++m) {
+    w.begin() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << (m + 1)
+              << ",\"args\":{\"name\":\"machine " << m;
+    if (m < speeds.size()) {
+      out << " (speed " << speeds[m] << ")";
+    }
+    out << "\"}}";
+    w.begin() << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":"
+              << (m + 1) << ",\"args\":{\"sort_index\":" << (m + 1) << "}}";
+  }
+
+  // Job spans: async begin at service start, end at completion or loss.
+  // A retried job opens a fresh span on its next machine, so one id may
+  // carry several begin/end pairs back to back — valid trace JSON.
+  std::unordered_map<uint64_t, TraceRecord> open_spans;
+  auto open_span = [&](const TraceRecord& r) {
+    w.begin() << "{\"name\":\"job " << r.job << "\",\"cat\":\"job\","
+              << "\"ph\":\"b\",\"id\":" << r.job
+              << ",\"ts\":" << to_us(r.time) << ",\"pid\":" << pid_of(r.machine)
+              << ",\"tid\":0,\"args\":{\"size\":" << r.aux
+              << ",\"attempt\":" << r.attempt << "}}";
+    open_spans[r.job] = r;
+  };
+  auto close_span = [&](uint64_t job, int32_t machine, double time) {
+    w.begin() << "{\"name\":\"job " << job << "\",\"cat\":\"job\","
+              << "\"ph\":\"e\",\"id\":" << job << ",\"ts\":" << to_us(time)
+              << ",\"pid\":" << pid_of(machine) << ",\"tid\":0}";
+    open_spans.erase(job);
+  };
+  auto instant = [&](const TraceRecord& r) {
+    w.begin() << "{\"name\":\"" << trace_event_kind_name(r.kind)
+              << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << to_us(r.time)
+              << ",\"pid\":" << pid_of(r.machine) << ",\"tid\":0,\"args\":{";
+    bool any = false;
+    if (r.job != kNoJob) {
+      out << "\"job\":" << r.job << ",\"attempt\":" << r.attempt;
+      any = true;
+    }
+    if (r.aux != 0.0) {
+      out << (any ? "," : "") << "\"aux\":" << r.aux;
+    }
+    out << "}}";
+  };
+
+  for (size_t i = 0; i < count_; ++i) {
+    const TraceRecord& r = at(i);
+    switch (r.kind) {
+      case TraceEventKind::kServiceStart:
+        // A span may already be open if the buffer wrapped mid-job;
+        // close the stale one so begins and ends stay balanced.
+        if (auto it = open_spans.find(r.job); it != open_spans.end()) {
+          close_span(r.job, it->second.machine, r.time);
+        }
+        open_span(r);
+        break;
+      case TraceEventKind::kCompletion:
+      case TraceEventKind::kJobLost:
+        if (open_spans.count(r.job) != 0) {
+          close_span(r.job, r.machine, r.time);
+        }
+        instant(r);
+        break;
+      default:
+        instant(r);
+        break;
+    }
+  }
+  // Close spans still open (jobs in flight when recording stopped).
+  while (!open_spans.empty()) {
+    const auto it = open_spans.begin();
+    close_span(it->first, it->second.machine, last_time);
+  }
+
+  out << "\n],\"otherData\":{\"recorded\":" << count_
+      << ",\"overwritten\":" << overwritten_ << "}}\n";
+}
+
+void TraceSink::write_chrome_trace(const std::string& path,
+                                   const std::vector<double>& speeds) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write trace file: " + path);
+  }
+  write_chrome_trace(out, speeds);
+  if (!out) {
+    throw std::runtime_error("I/O error while writing: " + path);
+  }
+}
+
+}  // namespace hs::obs

@@ -1,0 +1,114 @@
+// Per-job event tracing into a preallocated ring buffer.
+//
+// The simulator can push millions of jobs per wall-second, so the trace
+// path must cost next to nothing: record() writes one 32-byte
+// trivially-copyable TraceRecord into a ring buffer sized at
+// construction — no allocation, no formatting, no branching beyond the
+// ring-wrap test. When the buffer fills, the oldest records are
+// overwritten (the tail of a run is usually what you want to inspect)
+// and the overwrite count is kept so truncation is never silent.
+//
+// Export happens after the run: write_chrome_trace() renders the records
+// as Chrome trace-event JSON — machines as tracks, jobs as spans —
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// Everything that *decides* whether to trace lives at the call sites as
+// a single null-pointer branch; see obs/observer.h.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hs::obs {
+
+/// What happened to a job (or machine) at one instant of simulated time.
+enum class TraceEventKind : uint8_t {
+  kArrival,       // job arrived at the scheduler (machine = kScheduler)
+  kDispatch,      // scheduler routed the job to `machine`
+  kServiceStart,  // job became resident on `machine` (opens its span)
+  kPreempt,       // job (or whole machine) stopped receiving CPU mid-work
+  kResume,        // job (or whole machine) began receiving CPU again
+  kCompletion,    // job departed `machine` (closes its span)
+  kJobLost,       // a crash killed the job's dispatch attempt on `machine`
+  kLossDetected,  // scheduler noticed the loss (machine = kScheduler)
+  kRetry,         // scheduler scheduled a re-dispatch (aux = backoff secs)
+  kDrop,          // retry policy abandoned the job for good
+  kCrash,         // machine went down (job = kNoJob)
+  kRecovery,      // machine came back up (job = kNoJob)
+  kSpeedChange,   // machine speed set to `aux` (job = kNoJob)
+};
+
+/// Printable name of a kind ("dispatch", "crash", ...).
+[[nodiscard]] const char* trace_event_kind_name(TraceEventKind kind);
+
+/// One recorded event. Fixed-size and trivially copyable so the ring is
+/// a flat array and record() is a handful of stores.
+struct TraceRecord {
+  double time = 0.0;    // simulated seconds
+  uint64_t job = 0;     // job id, or TraceSink::kNoJob for machine events
+  double aux = 0.0;     // kind-specific: job size, new speed, backoff, ...
+  int32_t machine = 0;  // machine index, or TraceSink::kScheduler
+  uint16_t attempt = 0; // job dispatch attempt (0-based)
+  TraceEventKind kind = TraceEventKind::kArrival;
+};
+static_assert(sizeof(TraceRecord) == 32, "keep the ring entry one half line");
+
+/// Preallocated ring buffer of TraceRecords with Chrome-trace export.
+class TraceSink {
+ public:
+  /// `machine` value for events on the scheduler rather than a machine.
+  static constexpr int32_t kScheduler = -1;
+  /// `job` value for machine-level events (crash, recovery, speed).
+  static constexpr uint64_t kNoJob = ~0ull;
+  /// 256k records = 8 MiB — several simulated hours of the paper's base
+  /// cluster. Pass an explicit capacity for more or less.
+  static constexpr size_t kDefaultCapacity = size_t{1} << 18;
+
+  explicit TraceSink(size_t capacity = kDefaultCapacity);
+
+  /// Record one event. Allocation-free; overwrites the oldest record
+  /// once the ring is full.
+  void record(double time, TraceEventKind kind, uint64_t job,
+              int32_t machine, uint16_t attempt = 0, double aux = 0.0) {
+    ring_[head_] = TraceRecord{time, job, aux, machine, attempt, kind};
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (count_ < ring_.size()) {
+      ++count_;
+    } else {
+      ++overwritten_;
+    }
+  }
+
+  [[nodiscard]] size_t size() const { return count_; }
+  [[nodiscard]] size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Records lost to ring wrap-around since the last clear().
+  [[nodiscard]] uint64_t overwritten() const { return overwritten_; }
+
+  /// i-th surviving record, oldest first (i in [0, size())).
+  [[nodiscard]] const TraceRecord& at(size_t i) const;
+
+  /// Forget all records (capacity is kept).
+  void clear();
+
+  /// Render the surviving records as a Chrome trace-event JSON document.
+  /// Machines become processes ("machine 3 (speed 2)" when `speeds` is
+  /// non-empty), job residencies become async spans keyed by job id, and
+  /// everything else becomes instant events. Spans still open at the end
+  /// of the buffer are closed at the last recorded time so the document
+  /// always balances.
+  void write_chrome_trace(std::ostream& out,
+                          const std::vector<double>& speeds = {}) const;
+  /// Same, to a file. Throws std::runtime_error on I/O failure.
+  void write_chrome_trace(const std::string& path,
+                          const std::vector<double>& speeds = {}) const;
+
+ private:
+  std::vector<TraceRecord> ring_;
+  size_t head_ = 0;   // next slot to write
+  size_t count_ = 0;  // live records
+  uint64_t overwritten_ = 0;
+};
+
+}  // namespace hs::obs

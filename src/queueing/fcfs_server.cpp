@@ -37,6 +37,8 @@ void FcfsServer::start_service() {
   waiting_.pop_front();
   in_service_ = true;
   remaining_work_ = current_.size;
+  trace(obs::TraceEventKind::kServiceStart, current_.id,
+        static_cast<uint16_t>(current_.attempt), current_.size);
   schedule_completion();
 }
 
@@ -65,6 +67,13 @@ void FcfsServer::set_speed(double new_speed) {
     // completion timer at the new one.
     remaining_work_ -= (simulator_.now() - service_since_) * speed_;
     remaining_work_ = std::max(remaining_work_, 0.0);
+    if (speed_ > 0.0 && new_speed <= 0.0) {
+      trace(obs::TraceEventKind::kPreempt, current_.id,
+            static_cast<uint16_t>(current_.attempt));
+    } else if (speed_ <= 0.0 && new_speed > 0.0) {
+      trace(obs::TraceEventKind::kResume, current_.id,
+            static_cast<uint16_t>(current_.attempt));
+    }
     speed_ = new_speed;
     schedule_completion();
   } else {

@@ -30,6 +30,9 @@ double PsServer::busy_time() const {
 void PsServer::arrive(const Job& job) {
   HS_CHECK(job.size > 0.0, "job size must be positive, got " << job.size);
   advance_clock();
+  // Under PS every resident job is in service, so residency == service.
+  trace(obs::TraceEventKind::kServiceStart, job.id,
+        static_cast<uint16_t>(job.attempt), job.size);
   active_.push(ActiveJob{virtual_work_ + job.size, job});
   reschedule_departure();
 }
@@ -37,6 +40,15 @@ void PsServer::arrive(const Job& job) {
 void PsServer::set_speed(double new_speed) {
   HS_CHECK(new_speed >= 0.0, "speed must be >= 0, got " << new_speed);
   advance_clock();
+  // PS preempts and resumes whole machines, not single jobs: a stop
+  // (speed -> 0) freezes every resident job, recovery restarts them.
+  if (!active_.empty()) {
+    if (speed_ > 0.0 && new_speed <= 0.0) {
+      trace(obs::TraceEventKind::kPreempt, obs::TraceSink::kNoJob);
+    } else if (speed_ <= 0.0 && new_speed > 0.0) {
+      trace(obs::TraceEventKind::kResume, obs::TraceSink::kNoJob);
+    }
+  }
   speed_ = new_speed;
   reschedule_departure();
 }

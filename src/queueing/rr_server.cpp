@@ -28,6 +28,8 @@ void RrServer::arrive(const Job& job) {
   if (!running_) {
     busy_since_ = simulator_.now();
     running_ = true;
+    trace(obs::TraceEventKind::kServiceStart, job.id,
+          static_cast<uint16_t>(job.attempt), job.size);
     start_slice();
   }
 }
@@ -62,6 +64,13 @@ void RrServer::set_speed(double new_speed) {
     const double done = (simulator_.now() - slice_start_) * speed_;
     PendingJob& head = ready_.front();
     head.remaining = std::max(head.remaining - done, 0.0);
+    if (speed_ > 0.0 && new_speed <= 0.0) {
+      trace(obs::TraceEventKind::kPreempt, head.job.id,
+            static_cast<uint16_t>(head.job.attempt));
+    } else if (speed_ <= 0.0 && new_speed > 0.0) {
+      trace(obs::TraceEventKind::kResume, head.job.id,
+            static_cast<uint16_t>(head.job.attempt));
+    }
     speed_ = new_speed;
     start_slice();  // reschedules the pending slice-end event in place
   } else {
@@ -100,9 +109,19 @@ void RrServer::on_slice_end() {
   if (head.remaining <= 1e-12) {
     emit_completion(head.job, simulator_.now());
   } else {
+    trace(obs::TraceEventKind::kPreempt, head.job.id,
+          static_cast<uint16_t>(head.job.attempt), head.remaining);
     ready_.push_back(head);
   }
   if (!ready_.empty()) {
+    // The next head takes the CPU: its very first slice is a service
+    // start, every later one a resume after preemption.
+    const PendingJob& next = ready_.front();
+    trace(next.remaining == next.job.size
+              ? obs::TraceEventKind::kServiceStart
+              : obs::TraceEventKind::kResume,
+          next.job.id, static_cast<uint16_t>(next.job.attempt),
+          next.remaining);
     start_slice();
   } else {
     running_ = false;

@@ -26,6 +26,11 @@ double Server::utilization() const {
   return busy_time() / now;
 }
 
+void Server::trace_record(obs::TraceEventKind kind, uint64_t job,
+                          uint16_t attempt, double aux) {
+  trace_->record(simulator_.now(), kind, job, machine_index_, attempt, aux);
+}
+
 void Server::emit_completion(const Job& job, double departure_time) {
   ++completed_jobs_;
   work_done_ += job.size;

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "queueing/job.h"
 #include "sim/simulator.h"
 
@@ -60,6 +61,12 @@ class Server {
     completion_callback_ = std::move(cb);
   }
 
+  /// Attach a trace sink (null detaches). Disciplines record service
+  /// start and preempt/resume through it; detached, each hook site costs
+  /// exactly one branch on the null pointer (the obs/observer.h cost
+  /// discipline, pinned by tests/test_event_alloc.cpp).
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
   [[nodiscard]] double speed() const { return speed_; }
   [[nodiscard]] int machine_index() const { return machine_index_; }
 
@@ -75,11 +82,31 @@ class Server {
  protected:
   void emit_completion(const Job& job, double departure_time);
 
+  /// Hook site helper: records at the current simulation time iff a
+  /// sink is attached.
+  void trace(obs::TraceEventKind kind, uint64_t job, uint16_t attempt = 0,
+             double aux = 0.0) {
+    // With tracing off this site must cost only the never-taken test
+    // (the A/B budget in BENCH_sim.json): [[unlikely]] plus the cold
+    // out-of-line recorder keep the stores out of the hot code layout
+    // instead of inlining them into every discipline's service path.
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_record(kind, job, attempt, aux);
+    }
+  }
+
+  /// Out-of-line half of trace(); only ever called with a sink attached.
+  [[gnu::cold]] [[gnu::noinline]] void trace_record(obs::TraceEventKind kind,
+                                                    uint64_t job,
+                                                    uint16_t attempt,
+                                                    double aux);
+
   sim::Simulator& simulator_;
   double speed_;
   int machine_index_;
   double work_done_ = 0.0;
   uint64_t completed_jobs_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 
  private:
   CompletionCallback completion_callback_;

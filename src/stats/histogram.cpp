@@ -42,6 +42,24 @@ void Histogram::add(double x) {
   ++counts_[bin];
 }
 
+void Histogram::merge(const Histogram& other) {
+  HS_CHECK(lo_ == other.lo_ && hi_ == other.hi_,
+           "merging histograms with different bounds: ["
+               << lo_ << ", " << hi_ << ") vs [" << other.lo_ << ", "
+               << other.hi_ << ")");
+  HS_CHECK(counts_.size() == other.counts_.size(),
+           "merging histograms with different bin counts: "
+               << counts_.size() << " vs " << other.counts_.size());
+  HS_CHECK(scale_ == other.scale_,
+           "merging histograms with different scales");
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 uint64_t Histogram::count(size_t bin) const {
   HS_CHECK(bin < counts_.size(), "bin index out of range: " << bin);
   return counts_[bin];

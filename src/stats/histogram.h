@@ -22,6 +22,13 @@ class Histogram {
 
   void add(double x);
 
+  /// Fold `other` into this histogram (counts, underflow, overflow,
+  /// total all add). Both histograms must have identical binning —
+  /// same bounds, bin count and scale. Mirrors RunningStats::merge:
+  /// per-replication histograms filled on worker threads can be
+  /// combined into one distribution afterwards.
+  void merge(const Histogram& other);
+
   [[nodiscard]] size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] uint64_t count(size_t bin) const;
   [[nodiscard]] uint64_t underflow() const { return underflow_; }

@@ -19,6 +19,9 @@
 #include "cluster/experiment.h"
 #include "cluster/sim.h"
 #include "core/policy.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -26,13 +29,15 @@ using hs::cluster::SimulationConfig;
 using hs::cluster::SimulationResult;
 using hs::core::PolicyKind;
 
-SimulationResult run_golden(PolicyKind kind) {
+SimulationResult run_golden(PolicyKind kind,
+                            hs::obs::Observer* observer = nullptr) {
   SimulationConfig config;
   config.speeds = {1.0, 1.0, 2.0, 3.0, 5.0};
   config.rho = 0.7;
   config.sim_time = 20000.0;
   config.warmup_frac = 0.25;
   config.seed = 20260806;
+  config.observer = observer;
   auto dispatcher =
       hs::core::make_policy_dispatcher(kind, config.speeds, config.rho);
   return hs::cluster::run_simulation(config, *dispatcher);
@@ -69,6 +74,41 @@ TEST(DeterminismGolden, LeastLoadFeedback) {
   EXPECT_EQ(r.completed_jobs, 1690u);
   EXPECT_EQ(r.dispatched_jobs, 1690u);
   EXPECT_EQ(r.events_fired, 7248u);
+}
+
+// Tracing must be a pure read of the simulation: the WRR golden run with
+// a trace sink attached reproduces every golden value bit-for-bit,
+// including the fired-event count (recording is not an event).
+TEST(DeterminismGolden, WeightedRoundRobinWithTracingOn) {
+  hs::obs::TraceSink sink;
+  hs::obs::Observer observer;
+  observer.trace = &sink;
+  const SimulationResult r = run_golden(PolicyKind::kWRR, &observer);
+  EXPECT_EQ(r.mean_response_time, 85.509914602972557);
+  EXPECT_EQ(r.mean_response_ratio, 1.3537961572034822);
+  EXPECT_EQ(r.fairness, 0.77287178210531293);
+  EXPECT_EQ(r.completed_jobs, 1690u);
+  EXPECT_EQ(r.dispatched_jobs, 1690u);
+  EXPECT_EQ(r.events_fired, 4832u);
+  EXPECT_GT(sink.size(), 0u);
+}
+
+// Metric sampling reads simulation state but never mutates it: the
+// scalar results stay bit-identical and the fired-event count grows by
+// exactly floor(sim_time / interval) sampler ticks — nothing else.
+TEST(DeterminismGolden, WeightedRoundRobinWithSamplingOn) {
+  hs::obs::MetricsRegistry registry;
+  hs::obs::Observer observer;
+  observer.metrics = &registry;
+  observer.sample_interval = 500.0;
+  const SimulationResult r = run_golden(PolicyKind::kWRR, &observer);
+  EXPECT_EQ(r.mean_response_time, 85.509914602972557);
+  EXPECT_EQ(r.mean_response_ratio, 1.3537961572034822);
+  EXPECT_EQ(r.fairness, 0.77287178210531293);
+  EXPECT_EQ(r.completed_jobs, 1690u);
+  EXPECT_EQ(r.dispatched_jobs, 1690u);
+  EXPECT_EQ(r.events_fired, 4832u + 40u);  // floor(20000 / 500) ticks
+  EXPECT_EQ(registry.sample_count(), 41u);  // t = 0 plus one per tick
 }
 
 // The exact configuration of bench/micro_sim.cpp's end-to-end cluster

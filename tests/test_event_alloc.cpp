@@ -16,6 +16,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "queueing/job.h"
 #include "queueing/ps_server.h"
 #include "rng/rng.h"
@@ -136,6 +138,10 @@ TEST(EventAllocation, SmallCallbackCapturesStayInline) {
   EXPECT_EQ(sum, 256u + 10000u * 9999u / 2u);
 }
 
+// With observability disabled (the default: no trace sink attached),
+// the server's instrumentation sites are single never-taken branches —
+// steady state stays allocation-free per event, exactly as before the
+// obs/ subsystem existed.
 TEST(EventAllocation, PsServerSteadyStateIsAllocationFree) {
   Simulator sim;
   PsServer server(sim, 1.0, 0);
@@ -162,6 +168,54 @@ TEST(EventAllocation, PsServerSteadyStateIsAllocationFree) {
   EXPECT_EQ(guard.count(), 0u);
   sim.run_all();
   EXPECT_EQ(completions, id);
+}
+
+// Observability ON is allocation-free too: the trace ring is
+// preallocated at construction, so record() is a handful of stores even
+// across ring wrap-around.
+TEST(EventAllocation, PsServerSteadyStateWithTracingIsAllocationFree) {
+  Simulator sim;
+  PsServer server(sim, 1.0, 0);
+  // Small capacity so the steady-state loop wraps the ring many times.
+  hs::obs::TraceSink sink(1024);
+  server.set_trace_sink(&sink);
+  uint64_t id = 0;
+  double t = 0.0;
+  for (int i = 0; i < 512; ++i) {
+    t += 0.5;
+    sim.schedule_at(t, [&server, id, t] { server.arrive(Job{id, t, 0.4}); });
+    ++id;
+    sim.run_until(t);
+  }
+  AllocGuard guard;
+  for (int i = 0; i < 10000; ++i) {
+    t += 0.5;
+    sim.schedule_at(t, [&server, id, t] { server.arrive(Job{id, t, 0.4}); });
+    ++id;
+    sim.run_until(t);
+  }
+  EXPECT_EQ(guard.count(), 0u);
+  EXPECT_EQ(sink.size(), sink.capacity());  // wrapped, silently counted
+  EXPECT_GT(sink.overwritten(), 0u);
+}
+
+// Sampling a reserved registry touches no allocator either: the flat
+// sample matrix is grown once by reserve_samples().
+TEST(EventAllocation, ReservedMetricsSamplingIsAllocationFree) {
+  hs::obs::MetricsRegistry registry;
+  double gauge_value = 0.0;
+  uint64_t counter = 0;
+  registry.register_gauge("g", [&gauge_value] { return gauge_value; });
+  registry.register_counter("c", &counter);
+  registry.reserve_samples(10000);
+  AllocGuard guard;
+  for (int i = 0; i < 10000; ++i) {
+    gauge_value += 0.5;
+    ++counter;
+    registry.sample(static_cast<double>(i));
+  }
+  EXPECT_EQ(guard.count(), 0u);
+  EXPECT_EQ(registry.sample_count(), 10000u);
 }
 
 }  // namespace

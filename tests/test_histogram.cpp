@@ -97,4 +97,78 @@ TEST(Histogram, OutOfRangeBinAccessThrows) {
   EXPECT_THROW((void)(h.bin_range(2)), hs::util::CheckError);
 }
 
+TEST(Histogram, MergeAddsCountsPerBin) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);  // bin 0
+  a.add(5.0);  // bin 2
+  b.add(1.5);  // bin 0
+  b.add(9.0);  // bin 4
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.count(4), 1u);
+  EXPECT_EQ(a.total(), 4u);
+  // The source histogram is untouched.
+  EXPECT_EQ(b.total(), 2u);
+  EXPECT_EQ(b.count(0), 1u);
+}
+
+TEST(Histogram, MergeAddsUnderflowAndOverflow) {
+  Histogram a(1.0, 2.0, 2);
+  Histogram b(1.0, 2.0, 2);
+  a.add(0.5);
+  b.add(0.25);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.underflow(), 2u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a(0.0, 1.0, 4);
+  a.add(0.1);
+  a.add(0.9);
+  Histogram empty(0.0, 1.0, 4);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(3), 1u);
+}
+
+TEST(Histogram, MergeMatchesSingleHistogramFill) {
+  // Split one sample stream across two histograms, merge, and compare
+  // against a histogram that saw everything — the use case: combining
+  // per-replication distributions filled on worker threads.
+  Histogram combined(0.1, 100.0, 16, Histogram::Scale::kLog);
+  Histogram part1(0.1, 100.0, 16, Histogram::Scale::kLog);
+  Histogram part2(0.1, 100.0, 16, Histogram::Scale::kLog);
+  hs::rng::Xoshiro256 gen(20260806);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = 200.0 * gen.next_double();
+    combined.add(x);
+    (i % 2 == 0 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  ASSERT_EQ(part1.total(), combined.total());
+  EXPECT_EQ(part1.underflow(), combined.underflow());
+  EXPECT_EQ(part1.overflow(), combined.overflow());
+  for (size_t bin = 0; bin < combined.bin_count(); ++bin) {
+    EXPECT_EQ(part1.count(bin), combined.count(bin)) << "bin " << bin;
+  }
+  EXPECT_DOUBLE_EQ(part1.quantile(0.5), combined.quantile(0.5));
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinning) {
+  Histogram base(0.0, 10.0, 5);
+  Histogram wrong_bounds(0.0, 20.0, 5);
+  Histogram wrong_bins(0.0, 10.0, 10);
+  Histogram wrong_scale(1.0, 10.0, 5, Histogram::Scale::kLog);
+  Histogram wrong_scale_peer(1.0, 10.0, 5);
+  EXPECT_THROW(base.merge(wrong_bounds), hs::util::CheckError);
+  EXPECT_THROW(base.merge(wrong_bins), hs::util::CheckError);
+  EXPECT_THROW(wrong_scale_peer.merge(wrong_scale), hs::util::CheckError);
+}
+
 }  // namespace
