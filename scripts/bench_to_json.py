@@ -84,6 +84,11 @@ def main():
                              "relative to this script)")
     parser.add_argument("--dry-run", action="store_true",
                         help="print the new entry instead of writing")
+    parser.add_argument("--check-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="fail (exit 1) if the cluster benchmark's "
+                             "jobs/sec fell more than PCT%% below the "
+                             "baseline entry's recorded value")
     args = parser.parse_args()
 
     trajectory_path = Path(
@@ -136,6 +141,30 @@ def main():
             if base and base["unit"] == res["unit"] and res["real_time"] > 0:
                 speedups[name] = round(base["real_time"] / res["real_time"], 2)
         entry["speedup_vs"] = speedups
+
+    if args.check_regression is not None:
+        # Gate on throughput of the end-to-end cluster benchmark: the
+        # one number every engine change must not silently regress.
+        if baseline is None:
+            sys.exit("--check-regression needs a baseline entry")
+        base_res = baseline["results"].get(CLUSTER_BENCH, {})
+        base_jps = base_res.get("jobs_per_sec")
+        new_jps = results.get(CLUSTER_BENCH, {}).get("jobs_per_sec")
+        if base_jps and new_jps:
+            floor = base_jps * (1.0 - args.check_regression / 100.0)
+            verdict = "OK" if new_jps >= floor else "REGRESSION"
+            print(
+                f"{CLUSTER_BENCH}: {new_jps} jobs/sec vs baseline "
+                f"'{baseline['label']}' {base_jps} "
+                f"(floor {floor:.0f}, -{args.check_regression}%): {verdict}"
+            )
+            if new_jps < floor:
+                sys.exit(1)
+        else:
+            print(
+                f"--check-regression: no jobs_per_sec to compare "
+                f"(baseline: {base_jps}, new: {new_jps}); skipping gate"
+            )
 
     if args.dry_run:
         json.dump(entry, sys.stdout, indent=2)

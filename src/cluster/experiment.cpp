@@ -25,16 +25,23 @@ std::string replication_path(const std::string& path, unsigned replication,
   return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config,
-                                const DispatcherFactory& factory) {
-  HS_CHECK(config.replications >= 1, "need at least one replication");
+void ExperimentConfig::validate() const {
+  HS_CHECK(replications >= 1, "need at least one replication");
   // A caller-provided observer cannot be shared by concurrent
   // replications; replicated observation goes through
   // ExperimentConfig::observability (one sink per replication).
-  HS_CHECK(config.simulation.observer == nullptr || config.replications == 1,
+  HS_CHECK(simulation.observer == nullptr || replications == 1,
            "set ExperimentConfig::observability instead of "
            "SimulationConfig::observer for replicated experiments");
-  config.simulation.validate();
+  HS_CHECK(observability.sample_interval > 0.0,
+           "observability sample_interval must be positive: "
+               << observability.sample_interval);
+  simulation.validate();
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const DispatcherFactory& factory) {
+  config.validate();
 
   const unsigned reps = config.replications;
   std::vector<SimulationResult> results(reps);
@@ -134,6 +141,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     aggregate.total_jobs_lost += result.jobs_lost;
     aggregate.total_jobs_retried += result.jobs_retried;
     aggregate.total_jobs_dropped += result.jobs_dropped;
+    aggregate.total_jobs_rejected += result.jobs_rejected;
+    aggregate.total_jobs_shed += result.jobs_shed;
+    aggregate.total_retry_budget_denied += result.retry_budget_denied;
     for (size_t i = 0; i < n; ++i) {
       aggregate.mean_machine_fractions[i] += result.machine_fractions[i];
       aggregate.mean_machine_utilizations[i] +=

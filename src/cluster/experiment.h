@@ -51,6 +51,10 @@ struct ExperimentConfig {
   uint64_t base_seed = 20000829;  // replication r runs with a derived seed
   unsigned max_threads = 0;  // 0 = hardware concurrency
   ExperimentObservability observability;
+
+  /// Throws util::CheckError on out-of-range fields (including the
+  /// embedded SimulationConfig's). run_experiment calls this first.
+  void validate() const;
 };
 
 struct ExperimentResult {
@@ -71,6 +75,11 @@ struct ExperimentResult {
   uint64_t total_jobs_lost = 0;
   uint64_t total_jobs_retried = 0;
   uint64_t total_jobs_dropped = 0;
+  /// Overload totals summed across replications (zero without overload
+  /// protection; see SimulationResult's overload metrics).
+  uint64_t total_jobs_rejected = 0;
+  uint64_t total_jobs_shed = 0;
+  uint64_t total_retry_budget_denied = 0;
 };
 
 /// Run `config.replications` independent simulations and aggregate.

@@ -59,6 +59,24 @@ void MetricsCollector::on_job_dropped(bool measured) {
   }
 }
 
+void MetricsCollector::on_job_rejected(bool measured) {
+  if (measured) {
+    ++jobs_rejected_;
+  }
+}
+
+void MetricsCollector::on_job_shed(bool measured) {
+  if (measured) {
+    ++jobs_shed_;
+  }
+}
+
+void MetricsCollector::on_retry_budget_denied(bool measured) {
+  if (measured) {
+    ++retry_budget_denied_;
+  }
+}
+
 std::vector<double> MetricsCollector::mean_response_by_attempts() const {
   std::vector<double> means;
   means.reserve(response_by_attempt_.size());

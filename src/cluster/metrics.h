@@ -75,6 +75,23 @@ class MetricsCollector {
   [[nodiscard]] uint64_t jobs_retried() const { return jobs_retried_; }
   [[nodiscard]] uint64_t jobs_dropped() const { return jobs_dropped_; }
 
+  // ---- Overload accounting (src/overload/, docs/FAULT_MODEL.md §6) ----
+
+  /// A dispatch attempt bounced off a full bounded queue (the job then
+  /// goes through the retry path — not terminal).
+  void on_job_rejected(bool measured);
+  /// Admission control refused the job before dispatch (terminal).
+  void on_job_shed(bool measured);
+  /// The cluster retry budget was empty: a would-be retry became a drop
+  /// (also counted by on_job_dropped).
+  void on_retry_budget_denied(bool measured);
+
+  [[nodiscard]] uint64_t jobs_rejected() const { return jobs_rejected_; }
+  [[nodiscard]] uint64_t jobs_shed() const { return jobs_shed_; }
+  [[nodiscard]] uint64_t retry_budget_denied() const {
+    return retry_budget_denied_;
+  }
+
   /// Mean response time of measured jobs grouped by retry count: index r
   /// holds the mean over jobs that completed on dispatch attempt r
   /// (0 = never lost). Sized to the largest observed retry count + 1
@@ -92,6 +109,9 @@ class MetricsCollector {
   uint64_t jobs_lost_ = 0;
   uint64_t jobs_retried_ = 0;
   uint64_t jobs_dropped_ = 0;
+  uint64_t jobs_rejected_ = 0;
+  uint64_t jobs_shed_ = 0;
+  uint64_t retry_budget_denied_ = 0;
   std::vector<stats::RunningStats> response_by_attempt_;
 };
 

@@ -2,9 +2,13 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "overload/admission.h"
+#include "overload/circuit_breaker.h"
+#include "overload/retry_budget.h"
 #include "queueing/fcfs_server.h"
 #include "queueing/ps_server.h"
 #include "queueing/rr_server.h"
@@ -22,10 +26,16 @@ double SimulationConfig::lambda() const {
 void SimulationConfig::validate() const {
   HS_CHECK(!speeds.empty(), "simulation needs at least one machine");
   for (double s : speeds) {
-    HS_CHECK(s > 0.0, "machine speed must be positive, got " << s);
+    HS_CHECK(std::isfinite(s) && s > 0.0,
+             "machine speed must be finite and positive, got " << s);
   }
-  HS_CHECK(rho > 0.0 && rho < 1.0, "rho out of (0,1): " << rho);
-  HS_CHECK(sim_time > 0.0, "sim_time must be positive: " << sim_time);
+  // ρ ≥ 1 is deliberately legal: overload experiments drive the system
+  // past capacity (the allocation schemes still clamp their assumed
+  // load below 1; only the arrival rate scales with the true ρ).
+  HS_CHECK(std::isfinite(rho) && rho > 0.0,
+           "rho must be finite and > 0: " << rho);
+  HS_CHECK(std::isfinite(sim_time) && sim_time > 0.0,
+           "sim_time must be finite and positive: " << sim_time);
   HS_CHECK(warmup_frac >= 0.0 && warmup_frac < 1.0,
            "warmup fraction out of [0,1): " << warmup_frac);
   HS_CHECK(rr_quantum > 0.0, "rr quantum must be positive: " << rr_quantum);
@@ -56,6 +66,7 @@ void SimulationConfig::validate() const {
                               << change.new_speed);
   }
   faults.validate(speeds.size(), sim_time);
+  overload.validate(speeds.size());
   if (observer != nullptr) {
     observer->validate();
   }
@@ -111,6 +122,8 @@ class RunContext : private sim::EventTarget {
                                            << config.speeds.size());
       dispatcher->reset();
       any_feedback_ = any_feedback_ || dispatcher->uses_feedback();
+      any_overload_feedback_ =
+          any_overload_feedback_ || dispatcher->uses_overload_feedback();
     }
     for (size_t i = 0; i < config.speeds.size(); ++i) {
       servers_.push_back(make_server(config, simulator_, i));
@@ -154,6 +167,36 @@ class RunContext : private sim::EventTarget {
       for (const FaultEvent& event : timeline) {
         simulator_.schedule_at(event.time, *this, kFaultTransition,
                                sim::EventArgs::pack(event));
+      }
+    }
+    if (config.overload.enabled()) {
+      overload_on_ = true;
+      const overload::OverloadConfig& ov = config.overload;
+      for (size_t i = 0; i < servers_.size(); ++i) {
+        servers_[i]->set_capacity(
+            ov.machine_capacity.empty() ? ov.queue_capacity
+                                        : ov.machine_capacity[i]);
+      }
+      if (ov.admission != overload::AdmissionKind::kAlwaysAdmit) {
+        admission_ = overload::make_admission_policy(
+            ov, config.speeds, config.rho, config.workload.mean_job_size());
+        // Dedicated decision stream (component 6): probabilistic sheds
+        // never perturb the arrival/size/dispatch streams, and with
+        // overload off this generator is never even constructed.
+        overload_gen_.emplace(rng::derive_seed(config.seed, 0, 6));
+      }
+      if (ov.retry_budget.enabled) {
+        retry_budget_.emplace(ov.retry_budget);
+      }
+    }
+    if (trace_ != nullptr) {
+      // Breaker decorators expose their own sink hook; wire the run's
+      // sink in so trip/half-open/close transitions land in the trace.
+      for (dispatch::Dispatcher* dispatcher : schedulers_) {
+        if (auto* breaker =
+                dynamic_cast<overload::CircuitBreakerDispatcher*>(dispatcher)) {
+          breaker->set_trace_sink(trace_);
+        }
       }
     }
     // The whole speed-change/fault timeline sits in the heap from t=0;
@@ -208,6 +251,20 @@ class RunContext : private sim::EventTarget {
         faults_on_ ? downtime_
                    : std::vector<double>(config_.speeds.size(), 0.0);
     result.mean_response_by_attempts = metrics_.mean_response_by_attempts();
+    result.jobs_rejected = metrics_.jobs_rejected();
+    result.jobs_shed = metrics_.jobs_shed();
+    result.retry_budget_denied = metrics_.retry_budget_denied();
+    result.total_arrivals = total_arrivals_;
+    result.total_completed = total_completed_;
+    result.total_shed = total_shed_;
+    result.total_dropped = total_dropped_;
+    // After run_all() the only jobs still resident sit on machines
+    // stopped at speed 0 (e.g. crashed with no recovery scheduled).
+    uint64_t in_flight = 0;
+    for (const auto& server : servers_) {
+      in_flight += server->queue_length();
+    }
+    result.in_flight_at_end = in_flight;
     return result;
   }
 
@@ -253,6 +310,7 @@ class RunContext : private sim::EventTarget {
         // events' relative sequence numbers only matter if their times
         // collide bit-for-bit.
         const auto job = args.unpack<queueing::Job>();
+        ++total_arrivals_;
         schedule_next_trace_arrival();
         if (trace_ != nullptr) [[unlikely]] {
           trace_arrival(job);
@@ -340,6 +398,49 @@ class RunContext : private sim::EventTarget {
     registry_->register_gauge("cluster.dropped", [this] {
       return static_cast<double>(metrics_.jobs_dropped());
     });
+    // Overload gauges are likewise always present (all-zero columns when
+    // overload protection is off) so the CSV schema stays stable.
+    for (size_t m = 0; m < servers_.size(); ++m) {
+      queueing::Server* server = servers_[m].get();
+      const std::string prefix = "m" + std::to_string(m);
+      registry_->register_gauge(prefix + ".capacity", [server] {
+        return static_cast<double>(server->capacity());
+      });
+    }
+    registry_->register_gauge("cluster.rejected", [this] {
+      return static_cast<double>(metrics_.jobs_rejected());
+    });
+    registry_->register_gauge("cluster.shed", [this] {
+      return static_cast<double>(metrics_.jobs_shed());
+    });
+    registry_->register_gauge("cluster.shed_rate", [this] {
+      return total_arrivals_ > 0
+                 ? static_cast<double>(total_shed_) /
+                       static_cast<double>(total_arrivals_)
+                 : 0.0;
+    });
+    registry_->register_gauge("cluster.retry_budget_denied", [this] {
+      return static_cast<double>(metrics_.retry_budget_denied());
+    });
+    // Breaker state per machine (0 closed, 1 half-open, 2 open; 0 when
+    // no breaker decorates scheduler 0).
+    const auto* breaker =
+        dynamic_cast<const overload::CircuitBreakerDispatcher*>(
+            schedulers_.front());
+    for (size_t m = 0; m < servers_.size(); ++m) {
+      const std::string prefix = "m" + std::to_string(m);
+      registry_->register_gauge(prefix + ".breaker_state", [breaker, m] {
+        if (breaker == nullptr) {
+          return 0.0;
+        }
+        switch (breaker->state(m)) {
+          case overload::BreakerState::kClosed:   return 0.0;
+          case overload::BreakerState::kHalfOpen: return 1.0;
+          case overload::BreakerState::kOpen:     return 2.0;
+        }
+        return 0.0;
+      });
+    }
     registry_->reserve_samples(
         static_cast<size_t>(config_.sim_time / sample_interval_) + 2);
   }
@@ -402,6 +503,7 @@ class RunContext : private sim::EventTarget {
   }
 
   void on_generated_arrival() {
+    ++total_arrivals_;
     queueing::Job job;
     job.id = next_job_id_++;
     job.arrival_time = simulator_.now();
@@ -441,6 +543,10 @@ class RunContext : private sim::EventTarget {
     dispatcher.on_arrival(simulator_.now());
     const size_t machine = dispatcher.pick_sized(dispatch_gen_, job.size);
     const bool measured = job.arrival_time >= config_.warmup_time();
+    if (overload_on_ && !overload_admit(job, machine, measured))
+        [[unlikely]] {
+      return;  // shed at the boundary — never dispatched
+    }
     metrics_.on_dispatch(machine, measured);
     if (trace_ != nullptr) [[unlikely]] {
       trace_dispatch(job, machine);
@@ -459,10 +565,73 @@ class RunContext : private sim::EventTarget {
     if (faults_on_ && down_[machine]) {
       // Dispatched into a crash the scheduler has not (yet) detected:
       // the job is lost on arrival, like everything else on the machine.
+      if (any_overload_feedback_) {
+        dispatcher.on_dispatch_result(machine, false, simulator_.now());
+      }
       on_job_lost(job, machine);
       return;
     }
-    servers_[machine]->arrive(job);
+    if (!servers_[machine]->arrive(job)) [[unlikely]] {
+      if (any_overload_feedback_) {
+        dispatcher.on_dispatch_result(machine, false, simulator_.now());
+      }
+      on_job_rejected(job, machine, measured);
+      return;
+    }
+    if (any_overload_feedback_) [[unlikely]] {
+      dispatcher.on_dispatch_result(machine, true, simulator_.now());
+    }
+  }
+
+  // ---- Overload protection (config.overload; docs/FAULT_MODEL.md §6) ----
+
+  /// Admission gate for one routed job. Sheds apply to first attempts
+  /// only (a retry was already admitted once; its fate belongs to the
+  /// retry policy and budget). Returns false when the job was shed.
+  bool overload_admit(const queueing::Job& job, size_t machine,
+                      bool measured) {
+    if (admission_ == nullptr || job.attempt != 0) {
+      if (retry_budget_ && job.attempt == 0) {
+        retry_budget_->on_admission();
+      }
+      return true;
+    }
+    queueing::Server& server = *servers_[machine];
+    const overload::AdmissionContext ctx{
+        simulator_.now(), machine,          server.queue_length(),
+        server.capacity(), server.speed(),  job.size};
+    if (admission_->admit(ctx, *overload_gen_)) {
+      if (retry_budget_) {
+        retry_budget_->on_admission();
+      }
+      return true;
+    }
+    metrics_.on_job_shed(measured);
+    ++total_shed_;
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kShed, job.id,
+                     static_cast<int32_t>(machine),
+                     static_cast<uint16_t>(job.attempt), job.size);
+    }
+    return false;
+  }
+
+  /// A dispatch attempt bounced off `machine`'s full bounded queue. The
+  /// rejection is synchronous (the scheduler sees it immediately, unlike
+  /// a crash loss, which waits for detection), so the retry decision
+  /// happens on the spot.
+  void on_job_rejected(const queueing::Job& job, size_t machine,
+                       bool measured) {
+    metrics_.on_job_rejected(measured);
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kReject, job.id,
+                     static_cast<int32_t>(machine),
+                     static_cast<uint16_t>(job.attempt));
+    }
+    if (any_feedback_) {
+      job_scheduler_.erase(job.id);  // no completion will ever arrive
+    }
+    decide_retry(job, measured);
   }
 
   // ---- Fault injection (config.faults; see docs/FAULT_MODEL.md) ----
@@ -554,13 +723,20 @@ class RunContext : private sim::EventTarget {
   }
 
   void on_loss_detected(const queueing::Job& job) {
-    const RetryPolicy& policy = config_.faults.retry;
     const bool measured = job.arrival_time >= config_.warmup_time();
     if (trace_ != nullptr) {
       trace_->record(simulator_.now(), obs::TraceEventKind::kLossDetected,
                      job.id, obs::TraceSink::kScheduler,
                      static_cast<uint16_t>(job.attempt));
     }
+    decide_retry(job, measured);
+  }
+
+  /// Retry-or-drop decision for a failed dispatch attempt (crash loss or
+  /// queue rejection), under the per-job retry policy plus the optional
+  /// cluster-wide retry budget.
+  void decide_retry(const queueing::Job& job, bool measured) {
+    const RetryPolicy& policy = config_.faults.retry;
     if (job.attempt + 1 >= policy.max_attempts) {
       drop_job(job, measured);
       return;
@@ -570,6 +746,19 @@ class RunContext : private sim::EventTarget {
         std::pow(policy.backoff_factor, static_cast<double>(job.attempt));
     if (policy.job_timeout > 0.0 &&
         simulator_.now() + backoff - job.arrival_time > policy.job_timeout) {
+      drop_job(job, measured);
+      return;
+    }
+    if (retry_budget_ && !retry_budget_->try_spend()) {
+      // The cluster-wide budget is exhausted: retrying now would feed a
+      // retry storm, so the job is dropped on the spot.
+      metrics_.on_retry_budget_denied(measured);
+      if (trace_ != nullptr) {
+        trace_->record(simulator_.now(),
+                       obs::TraceEventKind::kRetryBudgetExhausted, job.id,
+                       obs::TraceSink::kScheduler,
+                       static_cast<uint16_t>(job.attempt));
+      }
       drop_job(job, measured);
       return;
     }
@@ -587,6 +776,7 @@ class RunContext : private sim::EventTarget {
 
   void drop_job(const queueing::Job& job, bool measured) {
     metrics_.on_job_dropped(measured);
+    ++total_dropped_;
     if (trace_ != nullptr) {
       trace_->record(simulator_.now(), obs::TraceEventKind::kDrop, job.id,
                      obs::TraceSink::kScheduler,
@@ -598,6 +788,7 @@ class RunContext : private sim::EventTarget {
     const bool measured =
         completion.job.arrival_time >= config_.warmup_time();
     metrics_.on_completion(completion, measured);
+    ++total_completed_;
     if (trace_ != nullptr) [[unlikely]] {
       trace_completion(completion);
     }
@@ -638,6 +829,15 @@ class RunContext : private sim::EventTarget {
   rng::Xoshiro256 split_gen_;
   rng::Xoshiro256 fault_delay_gen_;
   bool faults_on_ = false;
+  bool overload_on_ = false;
+  bool any_overload_feedback_ = false;
+  std::unique_ptr<overload::AdmissionPolicy> admission_;  // null = admit all
+  std::optional<overload::RetryBudget> retry_budget_;
+  std::optional<rng::Xoshiro256> overload_gen_;  // admission decision stream
+  uint64_t total_arrivals_ = 0;   // whole-run accounting (incl. warm-up)
+  uint64_t total_completed_ = 0;
+  uint64_t total_shed_ = 0;
+  uint64_t total_dropped_ = 0;
   std::vector<bool> down_;             // current crash state per machine
   std::vector<double> nominal_speed_;  // speed to restore on recovery
   std::vector<double> downtime_;       // per machine, within [0, sim_time]

@@ -18,6 +18,7 @@
 #include "cluster/metrics.h"
 #include "dispatch/dispatcher.h"
 #include "obs/observer.h"
+#include "overload/config.h"
 #include "workload/spec.h"
 #include "workload/trace.h"
 
@@ -32,7 +33,11 @@ enum class ServiceDiscipline {
 struct SimulationConfig {
   std::vector<double> speeds;
   workload::WorkloadSpec workload = workload::WorkloadSpec::paper_default();
-  double rho = 0.7;           // target system utilization
+  /// Target system utilization. ρ ≥ 1 is allowed — the offered load then
+  /// exceeds capacity and the system diverges unless `overload`
+  /// protection bounds it (the paper's model and Algorithm 1 still
+  /// require ρ < 1; allocation schemes clamp their assumed load).
+  double rho = 0.7;
   double sim_time = 1.0e6;    // seconds (paper: 4.0e6)
   double warmup_frac = 0.25;  // fraction of sim_time discarded (paper: 1/4)
   uint64_t seed = 42;
@@ -83,6 +88,20 @@ struct SimulationConfig {
   /// `dispatched_jobs` and the per-machine dispatch fractions.
   FaultConfig faults;
 
+  /// Opt-in overload protection (overload/config.h). Default-constructed
+  /// everything is off and the run is bit-identical to builds that
+  /// predate the overload layer. With bounded queues, a dispatch onto a
+  /// full machine is *rejected* and goes through the fault layer's
+  /// retry/backoff/drop path (sharing `faults.retry`, which applies even
+  /// when crash injection itself is off); with admission control, a job
+  /// may be *shed* before dispatch (terminal — never dispatched or
+  /// retried); with a retry budget, retries beyond the budget become
+  /// immediate drops. Overload-aware dispatchers
+  /// (uses_overload_feedback(), e.g. overload::CircuitBreakerDispatcher)
+  /// additionally receive per-dispatch accept/reject outcomes. See
+  /// docs/FAULT_MODEL.md §6 for the taxonomy.
+  overload::OverloadConfig overload;
+
   /// Opt-in observability (obs/observer.h). Null by default: every
   /// instrumentation site then reduces to one branch on a null pointer
   /// and the run is bit-identical to an unobserved one. With a trace
@@ -128,6 +147,26 @@ struct SimulationResult {
   /// Mean response time of measured jobs by retry count (index 0 = jobs
   /// never lost). See MetricsCollector::mean_response_by_attempts().
   std::vector<double> mean_response_by_attempts;
+
+  // ---- Overload metrics (populated meaningfully with config.overload
+  //      enabled; all zero otherwise). Measured-window counts, matching
+  //      the fault metrics' convention. ----
+  uint64_t jobs_rejected = 0;  // dispatch attempts refused by a full queue
+  uint64_t jobs_shed = 0;      // jobs refused by admission control
+  uint64_t retry_budget_denied = 0;  // retries that became drops (budget)
+
+  // ---- Whole-run accounting (warm-up included), for the conservation
+  //      identity: total_arrivals = total_completed + total_shed +
+  //      total_dropped + in_flight_at_end. Rejections and losses are
+  //      attempt-level events, not terminal outcomes, so they appear on
+  //      the retry path rather than in the identity. ----
+  uint64_t total_arrivals = 0;
+  uint64_t total_completed = 0;
+  uint64_t total_shed = 0;
+  uint64_t total_dropped = 0;
+  /// Jobs still resident on machines after the final drain (only jobs
+  /// stranded on machines stopped at speed 0, e.g. crashed forever).
+  uint64_t in_flight_at_end = 0;
 };
 
 /// Run one replication. The dispatcher is reset() first, so a fresh or a

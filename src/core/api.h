@@ -23,6 +23,10 @@
 #include "dispatch/sita.h"           // IWYU pragma: export
 #include "dispatch/smooth_rr.h"      // IWYU pragma: export
 #include "dispatch/swrr.h"           // IWYU pragma: export
+#include "overload/admission.h"      // IWYU pragma: export
+#include "overload/circuit_breaker.h" // IWYU pragma: export
+#include "overload/config.h"         // IWYU pragma: export
+#include "overload/retry_budget.h"   // IWYU pragma: export
 #include "queueing/job.h"            // IWYU pragma: export
 #include "queueing/mm1.h"            // IWYU pragma: export
 #include "rng/distributions.h"       // IWYU pragma: export

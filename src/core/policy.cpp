@@ -20,6 +20,16 @@ namespace {
 /// ρ→1 limit), and the allocation schemes require ρ < 1.
 constexpr double kMaxDegradedRho = 0.999;
 
+/// Planning ceiling for overloaded systems: SimulationConfig allows
+/// ρ ≥ 1 (offered load beyond capacity), but the allocation schemes'
+/// closed forms require ρ < 1, so static policies plan for this
+/// utilization when the true load is at or past saturation. At ρ→1 the
+/// optimized scheme converges to the weighted scheme, so the clamp
+/// changes nothing qualitative about the split.
+constexpr double kMaxPlanningRho = 0.999;
+
+double planning_rho(double rho) { return std::min(rho, kMaxPlanningRho); }
+
 }  // namespace
 
 const std::vector<PolicyKind>& static_policies() {
@@ -66,9 +76,9 @@ alloc::Allocation policy_allocation(PolicyKind kind,
            "dynamic policy " << policy_name(kind) << " has no allocation");
   if (uses_optimized_allocation(kind)) {
     return alloc::OptimizedAllocation(rho_estimate_factor)
-        .compute(speeds, rho);
+        .compute(speeds, planning_rho(rho));
   }
-  return alloc::WeightedAllocation().compute(speeds, rho);
+  return alloc::WeightedAllocation().compute(speeds, planning_rho(rho));
 }
 
 std::unique_ptr<dispatch::Dispatcher> make_policy_dispatcher(
@@ -187,6 +197,50 @@ cluster::DispatcherFactory fault_aware_dispatcher_factory(
   return [kind, speeds = std::move(speeds), rho, rho_estimate_factor] {
     return make_fault_aware_dispatcher(kind, speeds, rho,
                                        rho_estimate_factor);
+  };
+}
+
+std::unique_ptr<dispatch::Dispatcher> make_circuit_breaker_dispatcher(
+    PolicyKind kind, const std::vector<double>& speeds, double rho,
+    const overload::CircuitBreakerConfig& breaker,
+    double rho_estimate_factor) {
+  if (kind == PolicyKind::kLeastLoad) {
+    // Least-Load masks natively; its queue estimates survive trips.
+    return std::make_unique<overload::CircuitBreakerDispatcher>(
+        std::make_unique<dispatch::LeastLoadDispatcher>(speeds), breaker);
+  }
+  auto rebuilder = [kind, speeds, rho,
+                    rho_estimate_factor](const std::vector<bool>& available)
+      -> std::unique_ptr<dispatch::Dispatcher> {
+    alloc::Allocation allocation = policy_allocation_masked(
+        kind, speeds, rho, available, rho_estimate_factor);
+    switch (kind) {
+      case PolicyKind::kWRAN:
+      case PolicyKind::kORAN:
+        return std::make_unique<dispatch::RandomDispatcher>(
+            std::move(allocation));
+      case PolicyKind::kWRR:
+      case PolicyKind::kORR:
+        return std::make_unique<dispatch::SmoothRoundRobinDispatcher>(
+            std::move(allocation));
+      case PolicyKind::kLeastLoad:
+        break;
+    }
+    HS_CHECK(false, "unreachable policy kind");
+    return nullptr;
+  };
+  auto inner = make_policy_dispatcher(kind, speeds, rho, rho_estimate_factor);
+  return std::make_unique<overload::CircuitBreakerDispatcher>(
+      std::move(inner), breaker, std::move(rebuilder));
+}
+
+cluster::DispatcherFactory circuit_breaker_dispatcher_factory(
+    PolicyKind kind, std::vector<double> speeds, double rho,
+    overload::CircuitBreakerConfig breaker, double rho_estimate_factor) {
+  return [kind, speeds = std::move(speeds), rho, breaker,
+          rho_estimate_factor] {
+    return make_circuit_breaker_dispatcher(kind, speeds, rho, breaker,
+                                           rho_estimate_factor);
   };
 }
 

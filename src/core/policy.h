@@ -19,6 +19,7 @@
 #include "alloc/allocation.h"
 #include "cluster/experiment.h"
 #include "dispatch/dispatcher.h"
+#include "overload/circuit_breaker.h"
 
 namespace hs::core {
 
@@ -83,5 +84,24 @@ make_fault_aware_dispatcher(PolicyKind kind,
 [[nodiscard]] cluster::DispatcherFactory fault_aware_dispatcher_factory(
     PolicyKind kind, std::vector<double> speeds, double rho,
     double rho_estimate_factor = 1.0);
+
+/// Build a circuit-breaking dispatcher for the policy: the policy
+/// dispatcher wrapped in an overload::CircuitBreakerDispatcher that
+/// trips machines on consecutive dispatch rejections/losses. Static
+/// policies route around tripped machines by recomputing their
+/// allocation over the closed-breaker set (policy_allocation_masked —
+/// the same survivor-reallocation rebuild the fault decorator uses);
+/// Least-Load masks its candidate set natively.
+[[nodiscard]] std::unique_ptr<dispatch::Dispatcher>
+make_circuit_breaker_dispatcher(PolicyKind kind,
+                                const std::vector<double>& speeds,
+                                double rho,
+                                const overload::CircuitBreakerConfig& breaker,
+                                double rho_estimate_factor = 1.0);
+
+/// Thread-safe factory variant of make_circuit_breaker_dispatcher().
+[[nodiscard]] cluster::DispatcherFactory circuit_breaker_dispatcher_factory(
+    PolicyKind kind, std::vector<double> speeds, double rho,
+    overload::CircuitBreakerConfig breaker, double rho_estimate_factor = 1.0);
 
 }  // namespace hs::core

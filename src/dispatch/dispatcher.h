@@ -66,6 +66,22 @@ class Dispatcher {
     return false;
   }
 
+  /// Outcome feedback for one dispatch attempt: `accepted` is false when
+  /// `machine` refused the job (bounded queue full) or immediately lost
+  /// it (dispatched onto a crashed machine). Overload-oblivious
+  /// dispatchers ignore it; CircuitBreakerDispatcher trips machines on
+  /// consecutive failures.
+  virtual void on_dispatch_result(size_t machine, bool accepted,
+                                  double now) {
+    (void)machine;
+    (void)accepted;
+    (void)now;
+  }
+
+  /// True if the scheduler should report dispatch outcomes (the policy
+  /// reacts to rejections — see overload/circuit_breaker.h).
+  [[nodiscard]] virtual bool uses_overload_feedback() const { return false; }
+
   /// A (possibly delayed) report that `machine` crashed (up == false) or
   /// recovered (up == true). Fault-oblivious dispatchers ignore it.
   virtual void on_machine_state_report(size_t machine, bool up) {

@@ -25,6 +25,13 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kCrash:        return "crash";
     case TraceEventKind::kRecovery:     return "recovery";
     case TraceEventKind::kSpeedChange:  return "speed_change";
+    case TraceEventKind::kShed:         return "shed";
+    case TraceEventKind::kReject:       return "reject";
+    case TraceEventKind::kBreakerOpen:     return "breaker_open";
+    case TraceEventKind::kBreakerHalfOpen: return "breaker_half_open";
+    case TraceEventKind::kBreakerClose:    return "breaker_close";
+    case TraceEventKind::kRetryBudgetExhausted:
+      return "retry_budget_exhausted";
   }
   return "unknown";
 }

@@ -37,6 +37,13 @@ enum class TraceEventKind : uint8_t {
   kCrash,         // machine went down (job = kNoJob)
   kRecovery,      // machine came back up (job = kNoJob)
   kSpeedChange,   // machine speed set to `aux` (job = kNoJob)
+  // Overload-protection events (src/overload/, docs/FAULT_MODEL.md §6):
+  kShed,            // admission control refused the job (terminal)
+  kReject,          // `machine`'s bounded queue was full at dispatch
+  kBreakerOpen,     // circuit breaker tripped `machine` open (job = kNoJob)
+  kBreakerHalfOpen, // breaker cooled down, probing `machine` (job = kNoJob)
+  kBreakerClose,    // probes succeeded, `machine` back in rotation
+  kRetryBudgetExhausted,  // retry budget empty — job dropped, not retried
 };
 
 /// Printable name of a kind ("dispatch", "crash", ...).

@@ -1,0 +1,134 @@
+#include "overload/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "alloc/analytic_model.h"
+#include "alloc/optimized.h"
+#include "overload/config.h"
+#include "util/check.h"
+
+namespace hs::overload {
+
+namespace {
+// DeadlineShed's analytic baseline needs a stable operating point; when
+// the actual traffic is at or beyond saturation the §2.3 closed form has
+// no finite answer (and arbitrarily close to saturation it predicts
+// arbitrarily large times, which would floor every estimate above any
+// usable SLO). The baseline is therefore an SLO-feasibility floor
+// evaluated at this sustainable reference utilization: a machine whose
+// predicted steady-state response already exceeds the budget at 90%
+// load can never meet the deadline under overload. The instantaneous
+// queue-depth term carries the actual overload signal.
+constexpr double kMaxBaselineRho = 0.9;
+}  // namespace
+
+bool AlwaysAdmit::admit(const AdmissionContext& ctx, rng::Xoshiro256& gen) {
+  (void)ctx;
+  (void)gen;
+  return true;
+}
+
+QueueBoundShed::QueueBoundShed(size_t queue_bound)
+    : queue_bound_(queue_bound) {
+  HS_CHECK(queue_bound_ >= 1,
+           "queue-bound shed threshold must be >= 1, got " << queue_bound_);
+}
+
+bool QueueBoundShed::admit(const AdmissionContext& ctx,
+                           rng::Xoshiro256& gen) {
+  (void)gen;
+  return ctx.queue_length < queue_bound_;
+}
+
+std::string QueueBoundShed::name() const {
+  return "queue-bound-shed(" + std::to_string(queue_bound_) + ")";
+}
+
+DeadlineShed::DeadlineShed(double slo_budget, double shed_probability,
+                           const std::vector<double>& speeds, double rho,
+                           double mean_job_size)
+    : slo_budget_(slo_budget),
+      shed_probability_(shed_probability),
+      mean_job_size_(mean_job_size) {
+  HS_CHECK(std::isfinite(slo_budget_) && slo_budget_ > 0.0,
+           "deadline-shed SLO budget must be finite and > 0, got "
+               << slo_budget_);
+  HS_CHECK(shed_probability_ > 0.0 && shed_probability_ <= 1.0,
+           "deadline-shed probability out of (0,1]: " << shed_probability_);
+  HS_CHECK(std::isfinite(mean_job_size_) && mean_job_size_ > 0.0,
+           "mean job size must be finite and > 0, got " << mean_job_size_);
+
+  // Analytic baseline: the per-machine §2.3 prediction under the
+  // square-root-rule allocation at the planned (stable) operating point.
+  alloc::SystemParameters params;
+  params.speeds = speeds;
+  params.rho = std::min(rho, kMaxBaselineRho);
+  params.mean_job_size = mean_job_size;
+  params.validate();
+  const alloc::OptimizedAllocation scheme;
+  const alloc::Allocation alloc = scheme.compute(speeds, params.rho);
+  baseline_ = alloc::predicted_machine_response_times(params, alloc);
+  // Machines Algorithm 1 excludes report 0; give them the bare service
+  // time of a mean job so an estimate there is never "free".
+  for (size_t i = 0; i < baseline_.size(); ++i) {
+    if (baseline_[i] <= 0.0) {
+      baseline_[i] = mean_job_size / speeds[i];
+    }
+  }
+}
+
+double DeadlineShed::estimate(size_t machine, size_t queue_length,
+                              double job_size, double speed) const {
+  HS_CHECK(machine < baseline_.size(),
+           "machine index out of range: " << machine);
+  if (speed <= 0.0) {
+    // A stopped machine cannot finish anything — infinite estimate.
+    return std::numeric_limits<double>::infinity();
+  }
+  // Instantaneous term: under processor sharing the new job shares the
+  // CPU with queue_length residents, so it needs roughly
+  // (q+1)·size/speed seconds; approximate the residents' sizes by the
+  // mean. The planned-load analytic T̄ᵢ is the floor — the machine never
+  // looks faster than its steady-state operating point.
+  const double backlog =
+      (static_cast<double>(queue_length) * mean_job_size_ + job_size) /
+      speed;
+  return std::max(baseline_[machine], backlog);
+}
+
+bool DeadlineShed::admit(const AdmissionContext& ctx, rng::Xoshiro256& gen) {
+  const double est =
+      estimate(ctx.machine, ctx.queue_length, ctx.job_size, ctx.speed);
+  if (est <= slo_budget_) {
+    return true;
+  }
+  if (shed_probability_ >= 1.0) {
+    return false;
+  }
+  return gen.next_double() >= shed_probability_;
+}
+
+std::string DeadlineShed::name() const {
+  return "deadline-shed(slo=" + std::to_string(slo_budget_) + ")";
+}
+
+std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    const OverloadConfig& config, const std::vector<double>& speeds,
+    double rho, double mean_job_size) {
+  switch (config.admission) {
+    case AdmissionKind::kAlwaysAdmit:
+      return std::make_unique<AlwaysAdmit>();
+    case AdmissionKind::kQueueBoundShed:
+      return std::make_unique<QueueBoundShed>(config.admission_queue_bound);
+    case AdmissionKind::kDeadlineShed:
+      return std::make_unique<DeadlineShed>(config.slo_budget,
+                                            config.shed_probability, speeds,
+                                            rho, mean_job_size);
+  }
+  HS_CHECK(false, "unknown admission kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace hs::overload

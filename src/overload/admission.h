@@ -1,0 +1,124 @@
+// Admission control / load shedding at the cluster boundary.
+//
+// Bounded queues (queueing/server.h) protect a machine *after* routing;
+// admission control refuses work *before* it is dispatched, which is
+// both cheaper (no retry traffic for a job the cluster cannot serve)
+// and honest (the client learns immediately). A shed is terminal: the
+// job is counted and traced (kShed) but never dispatched or retried —
+// see docs/FAULT_MODEL.md §6 for the full taxonomy.
+//
+// Policies:
+//  * AlwaysAdmit    — the null policy (and the default).
+//  * QueueBoundShed — shed when the routed-to machine already holds at
+//                     least `queue_bound` jobs. A cruder, model-free
+//                     guard than bounded queues: it fires on the
+//                     *believed* queue depth at dispatch time.
+//  * DeadlineShed   — shed (with configurable probability) when the
+//                     estimated response time on the routed-to machine
+//                     exceeds an SLO budget. The estimate blends the
+//                     §2.3 analytic per-machine prediction at the
+//                     configured utilization (alloc/analytic_model.h,
+//                     the same closed form Algorithm 1's square-root
+//                     rule optimizes) with an instantaneous queue-depth
+//                     term, so it tracks both the planned operating
+//                     point and the current backlog.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace hs::overload {
+
+struct OverloadConfig;
+
+/// Everything a policy may consult about the job it is judging. The
+/// dispatcher has already routed the job — `machine` is where it would
+/// run if admitted.
+struct AdmissionContext {
+  double now = 0.0;           // current simulation time
+  size_t machine = 0;         // routed-to machine index
+  size_t queue_length = 0;    // jobs resident on that machine right now
+  size_t queue_capacity = 0;  // its configured bound (0 = unbounded)
+  double speed = 1.0;         // its current speed
+  double job_size = 0.0;      // base-speed seconds of work
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  /// True admits the job; false sheds it. `gen` is the overload decision
+  /// stream — only probabilistic policies draw from it.
+  [[nodiscard]] virtual bool admit(const AdmissionContext& ctx,
+                                   rng::Xoshiro256& gen) = 0;
+
+  /// Restore the initial state (start of a new replication).
+  virtual void reset() {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Admit everything (the null policy).
+class AlwaysAdmit final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] bool admit(const AdmissionContext& ctx,
+                           rng::Xoshiro256& gen) override;
+  [[nodiscard]] std::string name() const override { return "always-admit"; }
+};
+
+/// Shed when the target machine's resident-job count is >= queue_bound.
+class QueueBoundShed final : public AdmissionPolicy {
+ public:
+  explicit QueueBoundShed(size_t queue_bound);
+
+  [[nodiscard]] bool admit(const AdmissionContext& ctx,
+                           rng::Xoshiro256& gen) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] size_t queue_bound() const { return queue_bound_; }
+
+ private:
+  size_t queue_bound_;
+};
+
+/// Shed with probability `shed_probability` when the estimated response
+/// time of the job on its routed-to machine exceeds `slo_budget`.
+class DeadlineShed final : public AdmissionPolicy {
+ public:
+  /// `speeds`/`rho`/`mean_job_size` parameterize the analytic baseline:
+  /// the per-machine §2.3 prediction under the optimized allocation at
+  /// min(rho, 0.9) — an SLO-feasibility floor at a sustainable reference
+  /// utilization; beyond it the instantaneous term carries the overload
+  /// signal (see kMaxBaselineRho in admission.cpp).
+  DeadlineShed(double slo_budget, double shed_probability,
+               const std::vector<double>& speeds, double rho,
+               double mean_job_size);
+
+  [[nodiscard]] bool admit(const AdmissionContext& ctx,
+                           rng::Xoshiro256& gen) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The current response-time estimate for a job of `job_size` joining
+  /// machine `machine` behind `queue_length` residents (exposed for
+  /// tests).
+  [[nodiscard]] double estimate(size_t machine, size_t queue_length,
+                                double job_size, double speed) const;
+
+ private:
+  double slo_budget_;
+  double shed_probability_;
+  double mean_job_size_;
+  std::vector<double> baseline_;  // analytic T̄ᵢ at the planned load
+};
+
+/// Build the policy an OverloadConfig asks for. `speeds`, `rho` and
+/// `mean_job_size` describe the cluster (used only by DeadlineShed).
+[[nodiscard]] std::unique_ptr<AdmissionPolicy> make_admission_policy(
+    const OverloadConfig& config, const std::vector<double>& speeds,
+    double rho, double mean_job_size);
+
+}  // namespace hs::overload

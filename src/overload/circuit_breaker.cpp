@@ -1,0 +1,255 @@
+#include "overload/circuit_breaker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hs::overload {
+
+namespace {
+constexpr double kNoReopen = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void CircuitBreakerConfig::validate() const {
+  HS_CHECK(trip_threshold >= 1,
+           "breaker trip_threshold must be >= 1, got " << trip_threshold);
+  HS_CHECK(std::isfinite(cooldown) && cooldown > 0.0,
+           "breaker cooldown must be finite and > 0, got " << cooldown);
+  HS_CHECK(probe_successes >= 1,
+           "breaker probe_successes must be >= 1, got " << probe_successes);
+}
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:   return "closed";
+    case BreakerState::kOpen:     return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreakerDispatcher::CircuitBreakerDispatcher(
+    std::unique_ptr<dispatch::Dispatcher> inner,
+    const CircuitBreakerConfig& config)
+    : CircuitBreakerDispatcher(std::move(inner), config, Rebuilder{}) {}
+
+CircuitBreakerDispatcher::CircuitBreakerDispatcher(
+    std::unique_ptr<dispatch::Dispatcher> inner,
+    const CircuitBreakerConfig& config, Rebuilder rebuilder)
+    : config_(config), rebuilder_(std::move(rebuilder)) {
+  config_.validate();
+  init(std::move(inner));
+}
+
+void CircuitBreakerDispatcher::init(
+    std::unique_ptr<dispatch::Dispatcher> inner) {
+  inner_ = std::move(inner);
+  HS_CHECK(inner_ != nullptr, "circuit breaker needs a dispatcher");
+  breakers_.assign(inner_->machine_count(), Breaker{});
+  routable_.assign(inner_->machine_count(), true);
+  next_reopen_time_ = kNoReopen;
+  native_mask_ = inner_->set_available_mask(routable_);
+  HS_CHECK(native_mask_ || rebuilder_,
+           "inner dispatcher \""
+               << inner_->name()
+               << "\" does not support masking and no rebuilder was given");
+}
+
+size_t CircuitBreakerDispatcher::pick(rng::Xoshiro256& gen) {
+  return inner_->pick(gen);
+}
+
+size_t CircuitBreakerDispatcher::pick_sized(rng::Xoshiro256& gen,
+                                            double size) {
+  return inner_->pick_sized(gen, size);
+}
+
+bool CircuitBreakerDispatcher::uses_size() const {
+  return inner_->uses_size();
+}
+
+void CircuitBreakerDispatcher::reset() {
+  breakers_.assign(breakers_.size(), Breaker{});
+  routable_.assign(routable_.size(), true);
+  next_reopen_time_ = kNoReopen;
+  last_now_ = 0.0;
+  trips_ = 0;
+  rebuilds_ = 0;
+  if (native_mask_) {
+    inner_->reset();
+    inner_->set_available_mask(routable_);
+  } else {
+    inner_ = rebuilder_(routable_);
+    HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
+  }
+}
+
+std::string CircuitBreakerDispatcher::name() const {
+  return "circuit-breaker(" + inner_->name() + ")";
+}
+
+size_t CircuitBreakerDispatcher::machine_count() const {
+  return breakers_.size();
+}
+
+void CircuitBreakerDispatcher::on_arrival(double now) {
+  last_now_ = now;
+  // Cooldown expiry check: one compare in the common no-open-breaker
+  // case, a scan only when some breaker is actually due.
+  if (now >= next_reopen_time_) {
+    maybe_half_open(now);
+  }
+  inner_->on_arrival(now);
+}
+
+void CircuitBreakerDispatcher::maybe_half_open(double now) {
+  next_reopen_time_ = kNoReopen;
+  bool changed = false;
+  for (size_t i = 0; i < breakers_.size(); ++i) {
+    Breaker& b = breakers_[i];
+    if (b.state != BreakerState::kOpen) {
+      continue;
+    }
+    if (now >= b.reopen_at) {
+      transition(i, BreakerState::kHalfOpen, now);
+      changed = true;
+    } else {
+      next_reopen_time_ = std::min(next_reopen_time_, b.reopen_at);
+    }
+  }
+  if (changed) {
+    apply_mask();
+  }
+}
+
+void CircuitBreakerDispatcher::on_departure_report(size_t machine) {
+  inner_->on_departure_report(machine);
+}
+
+bool CircuitBreakerDispatcher::uses_feedback() const {
+  return inner_->uses_feedback();
+}
+
+void CircuitBreakerDispatcher::on_dispatch_result(size_t machine,
+                                                  bool accepted, double now) {
+  HS_CHECK(machine < breakers_.size(),
+           "machine index out of range: " << machine);
+  last_now_ = now;
+  Breaker& b = breakers_[machine];
+  if (accepted) {
+    b.consecutive_failures = 0;
+    if (b.state == BreakerState::kHalfOpen) {
+      if (++b.probe_successes >= config_.probe_successes) {
+        transition(machine, BreakerState::kClosed, now);
+        apply_mask();
+      }
+    }
+    return;
+  }
+  switch (b.state) {
+    case BreakerState::kClosed:
+      if (++b.consecutive_failures >= config_.trip_threshold) {
+        trip(machine, now);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // One failed probe re-opens immediately (cooldown restarts).
+      trip(machine, now);
+      break;
+    case BreakerState::kOpen:
+      // A straggler outcome from before the trip — already open.
+      break;
+  }
+}
+
+void CircuitBreakerDispatcher::on_machine_state_report(size_t machine,
+                                                       bool up) {
+  // Forward to the inner dispatcher (Least-Load under a breaker may
+  // still want crash reports); an explicit crash report also trips the
+  // breaker instantly — no need to burn trip_threshold probe jobs on a
+  // machine known to be down.
+  inner_->on_machine_state_report(machine, up);
+  HS_CHECK(machine < breakers_.size(),
+           "machine index out of range: " << machine);
+  if (!up && breakers_[machine].state == BreakerState::kClosed) {
+    // The report interface carries no timestamp; the last time observed
+    // through on_arrival/on_dispatch_result is current enough (reports
+    // are delivered between arrivals, never before the first one).
+    trip(machine, last_now_);
+  }
+}
+
+void CircuitBreakerDispatcher::trip(size_t machine, double now) {
+  transition(machine, BreakerState::kOpen, now);
+  ++trips_;
+  apply_mask();
+}
+
+void CircuitBreakerDispatcher::transition(size_t machine, BreakerState to,
+                                          double now) {
+  Breaker& b = breakers_[machine];
+  b.state = to;
+  b.consecutive_failures = 0;
+  b.probe_successes = 0;
+  switch (to) {
+    case BreakerState::kOpen:
+      b.reopen_at = now + config_.cooldown;
+      routable_[machine] = false;
+      next_reopen_time_ = std::min(next_reopen_time_, b.reopen_at);
+      if (trace_ != nullptr) [[unlikely]] {
+        trace_->record(now, obs::TraceEventKind::kBreakerOpen,
+                       obs::TraceSink::kNoJob,
+                       static_cast<int32_t>(machine));
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      routable_[machine] = true;
+      if (trace_ != nullptr) [[unlikely]] {
+        trace_->record(now, obs::TraceEventKind::kBreakerHalfOpen,
+                       obs::TraceSink::kNoJob,
+                       static_cast<int32_t>(machine));
+      }
+      break;
+    case BreakerState::kClosed:
+      routable_[machine] = true;
+      if (trace_ != nullptr) [[unlikely]] {
+        trace_->record(now, obs::TraceEventKind::kBreakerClose,
+                       obs::TraceSink::kNoJob,
+                       static_cast<int32_t>(machine));
+      }
+      break;
+  }
+}
+
+void CircuitBreakerDispatcher::apply_mask() {
+  if (native_mask_) {
+    inner_->set_available_mask(routable_);
+    return;
+  }
+  if (open_count() == breakers_.size()) {
+    // Every breaker is open: nothing useful to rebuild over. Keep the
+    // previous routing — jobs fail fast and their outcomes drive the
+    // half-open probes (mirrors FaultAwareDispatcher's all-down case).
+    return;
+  }
+  inner_ = rebuilder_(routable_);
+  HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
+  ++rebuilds_;
+}
+
+BreakerState CircuitBreakerDispatcher::state(size_t machine) const {
+  HS_CHECK(machine < breakers_.size(),
+           "machine index out of range: " << machine);
+  return breakers_[machine].state;
+}
+
+size_t CircuitBreakerDispatcher::open_count() const {
+  return static_cast<size_t>(
+      std::count_if(breakers_.begin(), breakers_.end(), [](const Breaker& b) {
+        return b.state == BreakerState::kOpen;
+      }));
+}
+
+}  // namespace hs::overload

@@ -1,0 +1,136 @@
+// Circuit-breaking dispatching decorator.
+//
+// Sibling of dispatch::FaultAwareDispatcher: where that decorator
+// consumes the fault layer's explicit crash/recovery reports, this one
+// infers machine health from dispatch *outcomes*. A machine that keeps
+// rejecting (bounded queue full) or losing (crashed but not yet
+// reported) jobs trips its breaker Open after `trip_threshold`
+// consecutive failures and is routed around, using the same two
+// composition modes as the fault decorator — native masking for
+// Least-Load-style dispatchers, survivor-reallocation Rebuilder for the
+// static paper policies. After `cooldown` simulated seconds an Open
+// breaker Half-Opens: the machine rejoins the routing set, and
+// `probe_successes` consecutive accepted jobs close the breaker while a
+// single failure re-opens it (restarting the cooldown).
+//
+//            trip_threshold consecutive failures
+//   CLOSED ────────────────────────────────────────► OPEN
+//     ▲                                                │ cooldown elapsed
+//     │ probe_successes consecutive accepts            ▼
+//     └──────────────────────────────────────────── HALF-OPEN
+//                         (one failure: back to OPEN, cooldown restarts)
+//
+// When every breaker is open the decorator keeps the previous routing —
+// jobs fail fast and feed the half-open probes (mirrors the fault
+// decorator's all-down behavior). core::make_circuit_breaker_dispatcher
+// wires the rebuilder for the paper's policies; docs/FAULT_MODEL.md §6
+// discusses the semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dispatch/dispatcher.h"
+#include "obs/trace.h"
+
+namespace hs::overload {
+
+struct CircuitBreakerConfig {
+  /// Consecutive rejections/losses on one machine that trip it Open.
+  size_t trip_threshold = 5;
+  /// Simulated seconds an Open breaker waits before Half-Opening.
+  double cooldown = 30.0;
+  /// Consecutive Half-Open accepts that Close the breaker.
+  size_t probe_successes = 3;
+
+  /// Throws util::CheckError on out-of-range fields.
+  void validate() const;
+};
+
+enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] const char* breaker_state_name(BreakerState state);
+
+class CircuitBreakerDispatcher final : public dispatch::Dispatcher {
+ public:
+  /// Builds a fresh dispatcher routing only to machines with
+  /// available[i] == true (same contract as FaultAwareDispatcher's
+  /// Rebuilder; with every breaker open it is not called).
+  using Rebuilder = std::function<std::unique_ptr<dispatch::Dispatcher>(
+      const std::vector<bool>&)>;
+
+  /// Native-masking mode: `inner` must accept set_available_mask.
+  CircuitBreakerDispatcher(std::unique_ptr<dispatch::Dispatcher> inner,
+                           const CircuitBreakerConfig& config);
+
+  /// Rebuild mode: `rebuilder` produces replacements as breakers trip
+  /// and close.
+  CircuitBreakerDispatcher(std::unique_ptr<dispatch::Dispatcher> inner,
+                           const CircuitBreakerConfig& config,
+                           Rebuilder rebuilder);
+
+  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+  [[nodiscard]] size_t pick_sized(rng::Xoshiro256& gen,
+                                  double size) override;
+  [[nodiscard]] bool uses_size() const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] size_t machine_count() const override;
+
+  void on_arrival(double now) override;
+  void on_departure_report(size_t machine) override;
+  [[nodiscard]] bool uses_feedback() const override;
+
+  void on_dispatch_result(size_t machine, bool accepted, double now) override;
+  [[nodiscard]] bool uses_overload_feedback() const override { return true; }
+
+  /// Also treat fault-layer crash reports as instant trips (a crashed
+  /// machine should not wait for trip_threshold rejected probes).
+  void on_machine_state_report(size_t machine, bool up) override;
+  [[nodiscard]] bool uses_fault_feedback() const override {
+    return inner_->uses_fault_feedback();
+  }
+
+  /// Attach a trace sink for kBreakerOpen/kBreakerHalfOpen/kBreakerClose
+  /// records (null detaches).
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
+  [[nodiscard]] BreakerState state(size_t machine) const;
+  [[nodiscard]] size_t open_count() const;
+  /// Breaker trips (Closed/Half-Open → Open) since construction/reset.
+  [[nodiscard]] uint64_t trips() const { return trips_; }
+  [[nodiscard]] uint64_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] const dispatch::Dispatcher& inner() const { return *inner_; }
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    size_t consecutive_failures = 0;
+    size_t probe_successes = 0;
+    double reopen_at = 0.0;  // when an Open breaker may Half-Open
+  };
+
+  void init(std::unique_ptr<dispatch::Dispatcher> inner);
+  void trip(size_t machine, double now);
+  void transition(size_t machine, BreakerState to, double now);
+  void apply_mask();
+  void maybe_half_open(double now);
+
+  std::unique_ptr<dispatch::Dispatcher> inner_;
+  CircuitBreakerConfig config_;
+  Rebuilder rebuilder_;
+  std::vector<Breaker> breakers_;
+  std::vector<bool> routable_;  // state != kOpen
+  obs::TraceSink* trace_ = nullptr;
+  // Earliest reopen_at over Open breakers (+inf when none are open):
+  // lets on_arrival() skip the scan in the common all-closed case.
+  double next_reopen_time_ = 0.0;
+  double last_now_ = 0.0;  // most recent time seen through any hook
+  bool native_mask_ = false;
+  uint64_t trips_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace hs::overload

@@ -1,0 +1,53 @@
+#include "overload/config.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hs::overload {
+
+const char* admission_kind_name(AdmissionKind kind) {
+  switch (kind) {
+    case AdmissionKind::kAlwaysAdmit:    return "always-admit";
+    case AdmissionKind::kQueueBoundShed: return "queue-bound-shed";
+    case AdmissionKind::kDeadlineShed:   return "deadline-shed";
+  }
+  return "unknown";
+}
+
+bool OverloadConfig::enabled() const {
+  return queue_capacity != 0 || !machine_capacity.empty() ||
+         admission != AdmissionKind::kAlwaysAdmit || retry_budget.enabled;
+}
+
+void OverloadConfig::validate(size_t machine_count) const {
+  HS_CHECK(machine_capacity.empty() ||
+               machine_capacity.size() == machine_count,
+           "machine_capacity must be empty or one entry per machine: got "
+               << machine_capacity.size() << " entries for " << machine_count
+               << " machines");
+  for (size_t i = 0; i < machine_capacity.size(); ++i) {
+    HS_CHECK(machine_capacity[i] >= 1, "machine_capacity[" << i
+                                           << "] must be >= 1 (use an empty "
+                                              "vector for unbounded), got "
+                                           << machine_capacity[i]);
+  }
+  switch (admission) {
+    case AdmissionKind::kAlwaysAdmit:
+      break;
+    case AdmissionKind::kQueueBoundShed:
+      HS_CHECK(admission_queue_bound >= 1,
+               "admission_queue_bound must be >= 1, got "
+                   << admission_queue_bound);
+      break;
+    case AdmissionKind::kDeadlineShed:
+      HS_CHECK(std::isfinite(slo_budget) && slo_budget > 0.0,
+               "slo_budget must be finite and > 0, got " << slo_budget);
+      HS_CHECK(shed_probability > 0.0 && shed_probability <= 1.0,
+               "shed_probability out of (0,1]: " << shed_probability);
+      break;
+  }
+  retry_budget.validate();
+}
+
+}  // namespace hs::overload

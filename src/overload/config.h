@@ -1,0 +1,75 @@
+// Overload-protection configuration.
+//
+// The paper's M/M/1-PS model assumes infinite queues and ρ < 1, so every
+// policy survives any traffic. A production cluster does not get that
+// luxury: traffic spikes push ρ past 1, a crash concentrates load on the
+// survivors, and retry traffic can amplify an outage into a storm. This
+// module configures the opt-in overload-protection layer:
+//
+//  * bounded per-machine queues — a full machine *rejects* an arriving
+//    job instead of enqueueing it (queueing/server.h);
+//  * admission control at the cluster boundary — an AdmissionPolicy may
+//    *shed* a job before it is dispatched (overload/admission.h);
+//  * a cluster-wide retry budget — a token bucket that caps retry
+//    traffic as a fraction of admitted traffic (overload/retry_budget.h);
+//  * circuit-breaking dispatch — a decorator that trips persistently
+//    rejecting machines out of the routing set (overload/circuit_breaker.h).
+//
+// Default-constructed, everything is off and a simulation behaves
+// bit-identically to builds that predate the overload layer (no extra
+// RNG draws, no extra events) — pinned by the golden determinism tests.
+// docs/FAULT_MODEL.md §6 specifies the semantics and the
+// rejection/loss/shed/drop taxonomy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "overload/retry_budget.h"
+
+namespace hs::overload {
+
+/// Which admission policy guards the cluster boundary.
+enum class AdmissionKind : uint8_t {
+  kAlwaysAdmit,    // no shedding (the default)
+  kQueueBoundShed, // shed when the target machine's queue is too deep
+  kDeadlineShed,   // shed when the estimated response time busts an SLO
+};
+
+[[nodiscard]] const char* admission_kind_name(AdmissionKind kind);
+
+/// Opt-in overload protection for one simulation run. Plain data, safe
+/// to copy across the experiment runner's worker threads; the run
+/// materializes the policy objects itself.
+struct OverloadConfig {
+  /// Per-machine resident-job bound (running + queued). 0 = unbounded.
+  /// Applies to every machine unless `machine_capacity` overrides it.
+  size_t queue_capacity = 0;
+  /// Optional per-machine capacities (empty = use `queue_capacity` for
+  /// all). When non-empty it must have one entry >= 1 per machine.
+  std::vector<size_t> machine_capacity;
+
+  /// Cluster-boundary load shedding.
+  AdmissionKind admission = AdmissionKind::kAlwaysAdmit;
+  /// kQueueBoundShed: shed when the target's queue length is >= this.
+  size_t admission_queue_bound = 64;
+  /// kDeadlineShed: the SLO budget in seconds of response time.
+  double slo_budget = 0.0;
+  /// kDeadlineShed: probability of shedding a job whose estimated
+  /// response time exceeds the budget (1 = always shed).
+  double shed_probability = 1.0;
+
+  /// Cluster-wide retry budget (disabled by default).
+  RetryBudgetConfig retry_budget;
+
+  /// True if any overload feature is on. When false the simulation takes
+  /// no overload branches, draws no overload RNG, and replays
+  /// bit-identically to pre-overload builds.
+  [[nodiscard]] bool enabled() const;
+
+  /// Throws util::CheckError on out-of-range fields.
+  void validate(size_t machine_count) const;
+};
+
+}  // namespace hs::overload

@@ -1,0 +1,49 @@
+#include "overload/retry_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hs::overload {
+
+void RetryBudgetConfig::validate() const {
+  if (!enabled) {
+    return;
+  }
+  HS_CHECK(std::isfinite(tokens_per_admission) && tokens_per_admission >= 0.0,
+           "retry budget tokens_per_admission must be finite and >= 0, got "
+               << tokens_per_admission);
+  HS_CHECK(std::isfinite(burst) && burst > 0.0,
+           "retry budget burst must be finite and > 0, got " << burst);
+  HS_CHECK(std::isfinite(initial_tokens) && initial_tokens >= 0.0,
+           "retry budget initial_tokens must be finite and >= 0, got "
+               << initial_tokens);
+}
+
+RetryBudget::RetryBudget(const RetryBudgetConfig& config) : config_(config) {
+  config_.validate();
+  reset();
+}
+
+void RetryBudget::on_admission() {
+  tokens_ = std::min(config_.burst, tokens_ + config_.tokens_per_admission);
+}
+
+bool RetryBudget::try_spend() {
+  if (tokens_ < 1.0) {
+    ++denied_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  ++funded_;
+  return true;
+}
+
+void RetryBudget::reset() {
+  tokens_ = std::min(config_.initial_tokens, config_.burst);
+  denied_ = 0;
+  funded_ = 0;
+}
+
+}  // namespace hs::overload

@@ -1,0 +1,65 @@
+// Cluster-wide retry budget (token bucket).
+//
+// PR 1's retry policy bounds attempts *per job*; under a correlated
+// failure (half the cluster crashes, or every survivor's queue is full)
+// per-job bounds still let the aggregate retry stream grow to a large
+// multiple of the admitted traffic — a retry storm that keeps the
+// survivors saturated long after the original overload subsides. The
+// retry budget caps the *ratio*: each first-attempt admission earns a
+// fraction of a token (e.g. 0.2 → retries ≤ 20% of admitted traffic),
+// each retry spends a whole one, and a retry with no token available is
+// dropped immediately (traced as kRetryBudgetExhausted) instead of
+// re-queued. The bucket is capped so a long quiet period cannot bank an
+// unbounded burst.
+#pragma once
+
+#include <cstdint>
+
+namespace hs::overload {
+
+struct RetryBudgetConfig {
+  /// Enables the budget. Off, retries are limited only by the per-job
+  /// retry policy (PR 1 semantics).
+  bool enabled = false;
+  /// Tokens earned per admitted first-attempt job. 0.2 caps sustained
+  /// retry traffic at 20% of admitted traffic.
+  double tokens_per_admission = 0.2;
+  /// Bucket capacity: the largest retry burst the budget will fund.
+  double burst = 10.0;
+  /// Tokens in the bucket at t = 0 (clamped to `burst`).
+  double initial_tokens = 10.0;
+
+  /// Throws util::CheckError on out-of-range fields.
+  void validate() const;
+};
+
+/// Deterministic token bucket; no clock, no RNG — driven purely by the
+/// admission/retry call sequence, so it cannot perturb replay.
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryBudgetConfig& config);
+
+  /// An admitted first-attempt job: earn tokens_per_admission.
+  void on_admission();
+
+  /// Ask to fund one retry. Returns true (and spends a token) if the
+  /// budget allows it; false means the caller must drop the job.
+  [[nodiscard]] bool try_spend();
+
+  /// Restore the initial bucket (start of a new replication).
+  void reset();
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+  /// Retries denied since construction/reset.
+  [[nodiscard]] uint64_t denied() const { return denied_; }
+  /// Retries funded since construction/reset.
+  [[nodiscard]] uint64_t funded() const { return funded_; }
+
+ private:
+  RetryBudgetConfig config_;
+  double tokens_ = 0.0;
+  uint64_t denied_ = 0;
+  uint64_t funded_ = 0;
+};
+
+}  // namespace hs::overload

@@ -22,13 +22,17 @@ double FcfsServer::busy_time() const {
   return busy;
 }
 
-void FcfsServer::arrive(const Job& job) {
+bool FcfsServer::arrive(const Job& job) {
   HS_CHECK(job.size > 0.0, "job size must be positive, got " << job.size);
+  if (at_capacity()) [[unlikely]] {
+    return false;
+  }
   waiting_.push_back(job);
   if (!in_service_) {
     busy_since_ = simulator_.now();
     start_service();
   }
+  return true;
 }
 
 void FcfsServer::start_service() {

@@ -16,7 +16,7 @@ class FcfsServer final : public Server, private sim::EventTarget {
  public:
   FcfsServer(sim::Simulator& simulator, double speed, int machine_index);
 
-  void arrive(const Job& job) override;
+  bool arrive(const Job& job) override;
   [[nodiscard]] size_t queue_length() const override;
   [[nodiscard]] double busy_time() const override;
 

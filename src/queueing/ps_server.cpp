@@ -27,14 +27,18 @@ double PsServer::busy_time() const {
   return busy;
 }
 
-void PsServer::arrive(const Job& job) {
+bool PsServer::arrive(const Job& job) {
   HS_CHECK(job.size > 0.0, "job size must be positive, got " << job.size);
+  if (at_capacity()) [[unlikely]] {
+    return false;
+  }
   advance_clock();
   // Under PS every resident job is in service, so residency == service.
   trace(obs::TraceEventKind::kServiceStart, job.id,
         static_cast<uint16_t>(job.attempt), job.size);
   active_.push(ActiveJob{virtual_work_ + job.size, job});
   reschedule_departure();
+  return true;
 }
 
 void PsServer::set_speed(double new_speed) {

@@ -22,7 +22,7 @@ class PsServer final : public Server, private sim::EventTarget {
  public:
   PsServer(sim::Simulator& simulator, double speed, int machine_index);
 
-  void arrive(const Job& job) override;
+  bool arrive(const Job& job) override;
   [[nodiscard]] size_t queue_length() const override {
     return active_.size();
   }

@@ -22,8 +22,11 @@ double RrServer::busy_time() const {
   return busy;
 }
 
-void RrServer::arrive(const Job& job) {
+bool RrServer::arrive(const Job& job) {
   HS_CHECK(job.size > 0.0, "job size must be positive, got " << job.size);
+  if (at_capacity()) [[unlikely]] {
+    return false;
+  }
   ready_.push_back(PendingJob{job, job.size});
   if (!running_) {
     busy_since_ = simulator_.now();
@@ -32,6 +35,7 @@ void RrServer::arrive(const Job& job) {
           static_cast<uint16_t>(job.attempt), job.size);
     start_slice();
   }
+  return true;
 }
 
 void RrServer::start_slice() {

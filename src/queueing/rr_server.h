@@ -19,7 +19,7 @@ class RrServer final : public Server, private sim::EventTarget {
   RrServer(sim::Simulator& simulator, double speed, int machine_index,
            double quantum);
 
-  void arrive(const Job& job) override;
+  bool arrive(const Job& job) override;
   [[nodiscard]] size_t queue_length() const override;
   [[nodiscard]] double busy_time() const override;
 

@@ -31,8 +31,21 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Hand a job to this machine at the current simulation time.
-  virtual void arrive(const Job& job) = 0;
+  /// Hand a job to this machine at the current simulation time. Returns
+  /// true if the job was accepted; false if the machine's bounded queue
+  /// is full (see set_capacity) — a rejected job is untouched and the
+  /// caller decides its fate (retry elsewhere, drop, ...). With the
+  /// default unbounded queue this never returns false, so fault-layer-
+  /// and earlier-era call sites may ignore the result (deliberately not
+  /// [[nodiscard]]).
+  virtual bool arrive(const Job& job) = 0;
+
+  /// Bound the resident-job count (running + queued): an arrive() that
+  /// would make queue_length() exceed `capacity` is rejected. 0 restores
+  /// the default unbounded queue. Jobs already resident are never
+  /// evicted by lowering the capacity — the bound applies to admissions.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
 
   /// Change the machine's speed at the current simulation time (e.g.
   /// degradation, thermal throttling, or failure as speed → 0 with
@@ -82,6 +95,13 @@ class Server {
  protected:
   void emit_completion(const Job& job, double departure_time);
 
+  /// True when a bounded queue is configured and full — disciplines test
+  /// this first in arrive(). One compare on the common unbounded path
+  /// (capacity_ == 0 short-circuits before the virtual queue_length()).
+  [[nodiscard]] bool at_capacity() const {
+    return capacity_ != 0 && queue_length() >= capacity_;
+  }
+
   /// Hook site helper: records at the current simulation time iff a
   /// sink is attached.
   void trace(obs::TraceEventKind kind, uint64_t job, uint16_t attempt = 0,
@@ -104,6 +124,7 @@ class Server {
   sim::Simulator& simulator_;
   double speed_;
   int machine_index_;
+  size_t capacity_ = 0;  // resident-job bound; 0 = unbounded
   double work_done_ = 0.0;
   uint64_t completed_jobs_ = 0;
   obs::TraceSink* trace_ = nullptr;

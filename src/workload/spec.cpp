@@ -1,5 +1,6 @@
 #include "workload/spec.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "rng/distributions.h"
@@ -52,7 +53,11 @@ std::unique_ptr<ArrivalProcess> WorkloadSpec::make_arrivals(
 }
 
 double WorkloadSpec::arrival_rate_for(double rho, double total_speed) const {
-  HS_CHECK(rho > 0.0 && rho < 1.0, "rho out of (0,1): " << rho);
+  // ρ ≥ 1 is legal: overload experiments deliberately offer more work
+  // than the cluster can serve (the queueing system then has no steady
+  // state, which is the point).
+  HS_CHECK(std::isfinite(rho) && rho > 0.0,
+           "rho must be finite and > 0: " << rho);
   HS_CHECK(total_speed > 0.0, "total speed must be positive: " << total_speed);
   return rho * total_speed / mean_job_size();
 }

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <numeric>
 
@@ -245,9 +246,14 @@ TEST(ClusterSim, RrQuantumApproximatesPs) {
 }
 
 TEST(ClusterSim, ValidationCatchesBadConfig) {
+  // Overloaded rho (>= 1) is legal; only non-positive / non-finite is not.
   auto config = base_config({1.0}, 0.5);
-  config.rho = 1.5;
+  config.rho = 0.0;
   auto d = make_policy_dispatcher(PolicyKind::kWRR, {1.0}, 0.5);
+  EXPECT_THROW(run_simulation(config, *d), hs::util::CheckError);
+  config.rho = -0.3;
+  EXPECT_THROW(run_simulation(config, *d), hs::util::CheckError);
+  config.rho = std::numeric_limits<double>::infinity();
   EXPECT_THROW(run_simulation(config, *d), hs::util::CheckError);
 
   auto config2 = base_config({1.0, 2.0}, 0.5);

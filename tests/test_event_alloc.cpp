@@ -199,6 +199,52 @@ TEST(EventAllocation, PsServerSteadyStateWithTracingIsAllocationFree) {
   EXPECT_GT(sink.overwritten(), 0u);
 }
 
+// A bounded queue in steady rejection churn allocates nothing either:
+// arrive() refuses a job with a comparison against the resident count —
+// the rejected Job never touches the server's storage.
+TEST(EventAllocation, BoundedQueueRejectionsAreAllocationFree) {
+  Simulator sim;
+  PsServer server(sim, 1.0, 0);
+  server.set_capacity(4);
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t id = 0;
+  double t = 0.0;
+  // Warm-up: arrivals outpace service (1.0 work every 0.5 s on a
+  // speed-1 server), so the queue pins at capacity and most arrivals
+  // bounce.
+  for (int i = 0; i < 512; ++i) {
+    t += 0.5;
+    sim.schedule_at(t, [&] {
+      if (server.arrive(Job{id, t, 1.0})) {
+        ++accepted;
+      } else {
+        ++rejected;
+      }
+    });
+    ++id;
+    sim.run_until(t);
+  }
+  EXPECT_GT(rejected, 0u);
+  AllocGuard guard;
+  for (int i = 0; i < 10000; ++i) {
+    t += 0.5;
+    sim.schedule_at(t, [&] {
+      if (server.arrive(Job{id, t, 1.0})) {
+        ++accepted;
+      } else {
+        ++rejected;
+      }
+    });
+    ++id;
+    sim.run_until(t);
+  }
+  EXPECT_EQ(guard.count(), 0u);
+  EXPECT_LE(server.queue_length(), 4u);
+  sim.run_all();
+  EXPECT_EQ(accepted + rejected, id);
+}
+
 // Sampling a reserved registry touches no allocator either: the flat
 // sample matrix is grown once by reserve_samples().
 TEST(EventAllocation, ReservedMetricsSamplingIsAllocationFree) {

@@ -1,6 +1,7 @@
 // Tests for the replicated experiment runner.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 
 #include "cluster/experiment.h"
@@ -117,6 +118,57 @@ TEST(Experiment, ZeroReplicationsThrows) {
       run_experiment(config,
                      policy_dispatcher_factory(PolicyKind::kWRR, {1.0}, 0.5)),
       hs::util::CheckError);
+}
+
+// Each rejection names the offending knob — config mistakes surface as
+// a message about the field, not a crash three layers down.
+TEST(Experiment, ValidationMessagesNameTheOffendingField) {
+  const auto message_for = [](const ExperimentConfig& config) -> std::string {
+    try {
+      config.validate();
+    } catch (const hs::util::CheckError& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  auto config = quick_experiment({1.0, 2.0}, 0.5);
+  EXPECT_EQ(message_for(config), "");  // the baseline is valid
+
+  config.replications = 0;
+  EXPECT_NE(message_for(config).find("at least one replication"),
+            std::string::npos);
+
+  config = quick_experiment({1.0, 2.0}, 0.5);
+  config.simulation.sim_time = 0.0;
+  EXPECT_NE(message_for(config).find("sim_time"), std::string::npos);
+  config.simulation.sim_time = -100.0;
+  EXPECT_NE(message_for(config).find("sim_time"), std::string::npos);
+  config.simulation.sim_time = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(message_for(config).find("sim_time"), std::string::npos);
+
+  config = quick_experiment({1.0, 2.0}, 0.5);
+  config.simulation.speeds = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_NE(message_for(config).find("machine speed"), std::string::npos);
+  config.simulation.speeds = {1.0, -2.0};
+  EXPECT_NE(message_for(config).find("machine speed"), std::string::npos);
+  config.simulation.speeds = {};
+  EXPECT_NE(message_for(config).find("at least one machine"),
+            std::string::npos);
+
+  config = quick_experiment({1.0, 2.0}, 0.5);
+  config.simulation.warmup_frac = 1.0;
+  EXPECT_NE(message_for(config).find("warmup"), std::string::npos);
+
+  config = quick_experiment({1.0, 2.0}, 0.5);
+  config.observability.sample_interval = 0.0;
+  EXPECT_NE(message_for(config).find("sample_interval"), std::string::npos);
+
+  // Overload knobs are validated through the same entry point.
+  config = quick_experiment({1.0, 2.0}, 0.5);
+  config.simulation.overload.machine_capacity = {4, 0};
+  EXPECT_NE(message_for(config).find("machine_capacity[1]"),
+            std::string::npos);
 }
 
 TEST(Experiment, NullFactoryRejected) {

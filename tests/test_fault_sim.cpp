@@ -339,6 +339,38 @@ TEST(FaultSim, FailureAwareOrrBeatsObliviousOrr) {
   EXPECT_LT(improved.jobs_lost, base.jobs_lost);
 }
 
+TEST(FaultSim, AllMachinesCrashedIsSurvivable) {
+  // Total blackout: every machine goes down at t=5000 and none recovers
+  // within the run. Nothing about the survivor-reallocation logic may
+  // spin or divide by zero on an empty survivor set; jobs dispatched
+  // into the blackout are lost, retried, and eventually dropped; and the
+  // run stays bit-for-bit deterministic.
+  auto config = base_config({1.0, 1.0, 2.0}, 0.5, 20000.0);
+  for (size_t m = 0; m < config.speeds.size(); ++m) {
+    config.faults.outages.push_back({5000.0, config.sim_time, m});
+  }
+  config.faults.retry.max_attempts = 3;
+
+  auto aware = make_fault_aware_dispatcher(PolicyKind::kORR, config.speeds,
+                                           config.rho);
+  const auto first = run_simulation(config, *aware);
+  // The pre-blackout window completed real work...
+  EXPECT_GT(first.completed_jobs, 1000u);
+  // ...then the blackout lost resident jobs, the retry policy re-routed
+  // them into still-dead machines, and bounded attempts gave up.
+  EXPECT_GT(first.jobs_lost, 0u);
+  EXPECT_GT(first.jobs_retried, 0u);
+  EXPECT_GT(first.jobs_dropped, 0u);
+  EXPECT_EQ(first.jobs_lost, first.jobs_retried + first.jobs_dropped);
+  // Every machine accrued the full blackout as downtime.
+  for (const double downtime : first.machine_downtime) {
+    EXPECT_NEAR(downtime, config.sim_time - 5000.0, 1e-6);
+  }
+  // Golden determinism holds with a reused (reset) dispatcher.
+  const auto second = run_simulation(config, *aware);
+  expect_identical(first, second);
+}
+
 TEST(FaultSim, ValidateRejectsBadFaultConfig) {
   auto config = base_config({1.0, 1.0}, 0.5);
   config.faults.outages.push_back({1000.0, 10.0, 5});  // machine range

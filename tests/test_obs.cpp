@@ -340,8 +340,9 @@ TEST(ObservedSimulation, StandardGaugesCoverClusterAndMachines) {
   config.observer = &observer;
   const auto result = run_orr(config);
 
-  // 4 per-machine series plus the cluster-wide set.
-  EXPECT_EQ(registry.metric_count(), 4 * config.speeds.size() + 6);
+  // 6 per-machine series plus the cluster-wide set (fault and overload
+  // columns are always registered so the CSV schema is stable).
+  EXPECT_EQ(registry.metric_count(), 6 * config.speeds.size() + 10);
   const size_t last = registry.sample_count() - 1;
   // By the final sample every dispatch has been counted.
   EXPECT_DOUBLE_EQ(

@@ -109,7 +109,10 @@ TEST(WorkloadSpec, ArrivalRateForUtilization) {
   spec.fixed_or_mean_size = 2.0;
   // ρ=0.5 with Σs=4: λ = 0.5·4/2 = 1.0.
   EXPECT_NEAR(spec.arrival_rate_for(0.5, 4.0), 1.0, 1e-12);
-  EXPECT_THROW((void)(spec.arrival_rate_for(1.0, 4.0)), hs::util::CheckError);
+  // ρ >= 1 is a legal (overloaded) operating point: λ = 1.5·4/2 = 3.0.
+  EXPECT_NEAR(spec.arrival_rate_for(1.5, 4.0), 3.0, 1e-12);
+  EXPECT_THROW((void)(spec.arrival_rate_for(0.0, 4.0)), hs::util::CheckError);
+  EXPECT_THROW((void)(spec.arrival_rate_for(-0.5, 4.0)), hs::util::CheckError);
 }
 
 TEST(WorkloadSpec, MakeArrivalsMatchesKind) {
