@@ -39,6 +39,12 @@ void ExperimentConfig::validate() const {
   simulation.validate();
 }
 
+uncertainty::BelievedParams ExperimentConfig::believed_params() const {
+  return uncertainty::derive_beliefs(simulation.uncertainty,
+                                     simulation.speeds, simulation.rho,
+                                     base_seed);
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 const DispatcherFactory& factory) {
   config.validate();
@@ -144,6 +150,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     aggregate.total_jobs_rejected += result.jobs_rejected;
     aggregate.total_jobs_shed += result.jobs_shed;
     aggregate.total_retry_budget_denied += result.retry_budget_denied;
+    aggregate.total_realloc_commits += result.realloc_commits;
+    aggregate.total_realloc_rejected += result.realloc_rejected;
+    aggregate.total_governor_freezes += result.governor_freezes;
     for (size_t i = 0; i < n; ++i) {
       aggregate.mean_machine_fractions[i] += result.machine_fractions[i];
       aggregate.mean_machine_utilizations[i] +=

@@ -12,6 +12,7 @@
 
 #include "cluster/sim.h"
 #include "stats/confidence.h"
+#include "uncertainty/config.h"
 
 namespace hs::cluster {
 
@@ -55,6 +56,17 @@ struct ExperimentConfig {
   /// Throws util::CheckError on out-of-range fields (including the
   /// embedded SimulationConfig's). run_experiment calls this first.
   void validate() const;
+
+  /// The operator's believed (ŝᵢ, ρ̂, λ-factor) under
+  /// simulation.uncertainty's believed-vs-true split: applies the
+  /// configured bias and the seed-derived noise stream (component 7 of
+  /// base_seed) to the true speeds and utilization. With no error
+  /// configured this returns the truth verbatim. Build adaptive or
+  /// mis-parameterized static dispatchers from the result so the whole
+  /// experiment shares one belief draw (the factory has no
+  /// per-replication seed — beliefs are an operator artifact, not a
+  /// per-run random variable).
+  [[nodiscard]] uncertainty::BelievedParams believed_params() const;
 };
 
 struct ExperimentResult {
@@ -80,6 +92,11 @@ struct ExperimentResult {
   uint64_t total_jobs_rejected = 0;
   uint64_t total_jobs_shed = 0;
   uint64_t total_retry_budget_denied = 0;
+  /// Adaptation totals summed across replications (zero without a
+  /// GovernedAdaptiveDispatcher on scheduler 0).
+  uint64_t total_realloc_commits = 0;
+  uint64_t total_realloc_rejected = 0;
+  uint64_t total_governor_freezes = 0;
 };
 
 /// Run `config.replications` independent simulations and aggregate.

@@ -6,9 +6,11 @@
 #include <string>
 #include <unordered_map>
 
+#include "dispatch/fault_aware.h"
 #include "overload/admission.h"
 #include "overload/circuit_breaker.h"
 #include "overload/retry_budget.h"
+#include "uncertainty/adaptive.h"
 #include "queueing/fcfs_server.h"
 #include "queueing/ps_server.h"
 #include "queueing/rr_server.h"
@@ -67,6 +69,7 @@ void SimulationConfig::validate() const {
   }
   faults.validate(speeds.size(), sim_time);
   overload.validate(speeds.size());
+  uncertainty.validate(sim_time);
   if (observer != nullptr) {
     observer->validate();
   }
@@ -89,6 +92,28 @@ std::unique_ptr<queueing::Server> make_server(const SimulationConfig& config,
                                                   config.rr_quantum);
   }
   HS_CHECK(false, "unreachable service discipline");
+  return nullptr;
+}
+
+/// Locate a GovernedAdaptiveDispatcher inside a (possibly decorated)
+/// scheduler: the adaptive policy masks natively, so fault-aware and
+/// circuit-breaker decorators hold it directly and never rebuild it (the
+/// returned pointer is stable for the run).
+uncertainty::GovernedAdaptiveDispatcher* find_adaptive(
+    dispatch::Dispatcher* dispatcher) {
+  if (auto* adaptive =
+          dynamic_cast<uncertainty::GovernedAdaptiveDispatcher*>(
+              dispatcher)) {
+    return adaptive;
+  }
+  if (auto* fault_aware =
+          dynamic_cast<dispatch::FaultAwareDispatcher*>(dispatcher)) {
+    return find_adaptive(&fault_aware->inner());
+  }
+  if (auto* breaker =
+          dynamic_cast<overload::CircuitBreakerDispatcher*>(dispatcher)) {
+    return find_adaptive(&breaker->inner());
+  }
   return nullptr;
 }
 
@@ -189,20 +214,40 @@ class RunContext : private sim::EventTarget {
         retry_budget_.emplace(ov.retry_budget);
       }
     }
+    if (config.uncertainty.enabled()) {
+      drift_on_ = config.uncertainty.drift.enabled();
+      // The staleness model only changes anything for feedback
+      // dispatchers: per-departure reports stop and periodic queue-length
+      // snapshots start. Without one there is nothing to degrade.
+      stale_feedback_ =
+          config.uncertainty.staleness.enabled() && any_feedback_;
+    }
+    adaptive_ = find_adaptive(schedulers_.front());
     if (trace_ != nullptr) {
       // Breaker decorators expose their own sink hook; wire the run's
       // sink in so trip/half-open/close transitions land in the trace.
+      // Adaptive dispatchers likewise record estimate updates and
+      // governor decisions.
       for (dispatch::Dispatcher* dispatcher : schedulers_) {
         if (auto* breaker =
                 dynamic_cast<overload::CircuitBreakerDispatcher*>(dispatcher)) {
           breaker->set_trace_sink(trace_);
         }
+        if (auto* adaptive = find_adaptive(dispatcher)) {
+          adaptive->set_trace_sink(trace_);
+        }
       }
     }
     // The whole speed-change/fault timeline sits in the heap from t=0;
     // beyond it a run keeps one departure timer per machine, the next
-    // arrival, and a handful of in-flight feedback messages.
-    simulator_.reserve_events(upfront_events + 4 * config.speeds.size() + 64);
+    // arrival, and a handful of in-flight feedback messages. The
+    // staleness model adds one in-flight load report per feedback
+    // scheduler per machine.
+    simulator_.reserve_events(
+        upfront_events + 4 * config.speeds.size() + 64 +
+        (stale_feedback_
+             ? schedulers_.size() * config.speeds.size() + 8
+             : 0));
   }
 
   SimulationResult run() {
@@ -212,6 +257,12 @@ class RunContext : private sim::EventTarget {
       if (sample_interval_ <= config_.sim_time) {
         simulator_.schedule_at(sample_interval_, *this, kMetricsSample);
       }
+    }
+    if (stale_feedback_) {
+      // First snapshot at t = Δ (validate() guarantees Δ < sim_time);
+      // subsequent ticks at absolute multiples, like the sampler.
+      simulator_.schedule_at(config_.uncertainty.staleness.update_interval,
+                             *this, kLoadSnapshot);
     }
     schedule_first_arrival();
     simulator_.run_until(config_.sim_time);
@@ -258,6 +309,11 @@ class RunContext : private sim::EventTarget {
     result.total_completed = total_completed_;
     result.total_shed = total_shed_;
     result.total_dropped = total_dropped_;
+    if (adaptive_ != nullptr) {
+      result.realloc_commits = adaptive_->governor().commits();
+      result.realloc_rejected = adaptive_->governor().rejections();
+      result.governor_freezes = adaptive_->governor().freezes();
+    }
     // After run_all() the only jobs still resident sit on machines
     // stopped at speed 0 (e.g. crashed with no recovery scheduled).
     uint64_t in_flight = 0;
@@ -281,6 +337,8 @@ class RunContext : private sim::EventTarget {
     kRetryDispatch,     // Job (re-dispatch after backoff)
     kDepartureReport,   // DepartureReportArgs (delayed load feedback)
     kMetricsSample,     // no args (observability sampler tick)
+    kLoadSnapshot,      // no args (staleness model: sample queue lengths)
+    kLoadReport,        // LoadReportArgs (delayed queue-length snapshot)
   };
   struct SpeedChangeArgs {
     size_t machine;
@@ -294,6 +352,12 @@ class RunContext : private sim::EventTarget {
   struct DepartureReportArgs {
     uint32_t scheduler;
     uint32_t machine;
+    double size;  // work the departed job consumed, base-speed seconds
+  };
+  struct LoadReportArgs {
+    uint32_t scheduler;
+    uint32_t machine;
+    uint64_t queue_length;
   };
 
   void on_event(uint32_t kind, const sim::EventArgs& args) override {
@@ -340,12 +404,22 @@ class RunContext : private sim::EventTarget {
         return;
       case kDepartureReport: {
         const auto report = args.unpack<DepartureReportArgs>();
-        schedulers_[report.scheduler]->on_departure_report(report.machine);
+        schedulers_[report.scheduler]->on_departure_report(
+            report.machine, simulator_.now(), report.size);
         return;
       }
       case kMetricsSample:
         on_metrics_sample();
         return;
+      case kLoadSnapshot:
+        on_load_snapshot();
+        return;
+      case kLoadReport: {
+        const auto report = args.unpack<LoadReportArgs>();
+        schedulers_[report.scheduler]->on_load_report(report.machine,
+                                                      report.queue_length);
+        return;
+      }
     }
     HS_CHECK(false, "unknown event kind " << kind);
   }
@@ -441,6 +515,35 @@ class RunContext : private sim::EventTarget {
         return 0.0;
       });
     }
+    // Adaptation gauges (all-zero columns without an adaptive
+    // dispatcher). These capture `this`, not `adaptive_`: gauges are
+    // registered before the constructor unwraps scheduler 0.
+    registry_->register_gauge("cluster.lambda_hat", [this] {
+      return adaptive_ != nullptr ? adaptive_->lambda_hat() : 0.0;
+    });
+    registry_->register_gauge("cluster.rho_assumed", [this] {
+      return adaptive_ != nullptr ? adaptive_->assumed_rho() : 0.0;
+    });
+    registry_->register_gauge("cluster.realloc_commits", [this] {
+      return adaptive_ != nullptr
+                 ? static_cast<double>(adaptive_->governor().commits())
+                 : 0.0;
+    });
+    registry_->register_gauge("cluster.realloc_rejected", [this] {
+      return adaptive_ != nullptr
+                 ? static_cast<double>(adaptive_->governor().rejections())
+                 : 0.0;
+    });
+    registry_->register_gauge("cluster.governor_frozen", [this] {
+      return adaptive_ != nullptr && adaptive_->governor().frozen() ? 1.0
+                                                                    : 0.0;
+    });
+    for (size_t m = 0; m < servers_.size(); ++m) {
+      const std::string prefix = "m" + std::to_string(m);
+      registry_->register_gauge(prefix + ".speed_hat", [this, m] {
+        return adaptive_ != nullptr ? adaptive_->speed_hat(m) : 0.0;
+      });
+    }
     registry_->reserve_samples(
         static_cast<size_t>(config_.sim_time / sample_interval_) + 2);
   }
@@ -480,14 +583,52 @@ class RunContext : private sim::EventTarget {
     }
   }
 
+  /// Drift model (config.uncertainty.drift): the true arrival rate is
+  /// λ(t) = λ·factor_at(t), injected by dividing each interarrival gap
+  /// by the factor at the instant the gap is scheduled. No extra RNG
+  /// draws — an all-ones timeline replays draw-for-draw identically.
+  [[nodiscard]] double drifted_gap(double gap, double now) const {
+    return gap / config_.uncertainty.drift.factor_at(now);
+  }
+
   void schedule_first_arrival() {
     if (config_.trace != nullptr) {
       schedule_next_trace_arrival();
       return;
     }
-    const double t = arrivals_->next_interarrival(arrival_gen_);
+    double t = arrivals_->next_interarrival(arrival_gen_);
+    if (drift_on_) [[unlikely]] {
+      t = drifted_gap(t, 0.0);
+    }
     if (t <= config_.sim_time) {
       simulator_.schedule_at(t, *this, kGeneratedArrival);
+    }
+  }
+
+  /// Staleness model (config.uncertainty.staleness): snapshot every
+  /// machine's queue length and deliver it to each feedback scheduler
+  /// `report_delay` seconds later. Snapshot ticks sit at absolute
+  /// multiples of Δ, like the metrics sampler.
+  void on_load_snapshot() {
+    const uncertainty::StalenessConfig& staleness =
+        config_.uncertainty.staleness;
+    for (size_t s = 0; s < schedulers_.size(); ++s) {
+      if (!schedulers_[s]->uses_feedback()) {
+        continue;
+      }
+      for (size_t m = 0; m < servers_.size(); ++m) {
+        simulator_.schedule_in(
+            staleness.report_delay, *this, kLoadReport,
+            sim::EventArgs::pack(LoadReportArgs{
+                static_cast<uint32_t>(s), static_cast<uint32_t>(m),
+                static_cast<uint64_t>(servers_[m]->queue_length())}));
+      }
+    }
+    ++snapshot_tick_;
+    const double next = static_cast<double>(snapshot_tick_ + 1) *
+                        staleness.update_interval;
+    if (next <= config_.sim_time) {
+      simulator_.schedule_at(next, *this, kLoadSnapshot);
     }
   }
 
@@ -513,8 +654,11 @@ class RunContext : private sim::EventTarget {
     // the departure reschedule in dispatch_job() stays in place. The
     // arrival and size streams are independent generators, so the draw
     // order across them is immaterial.
-    const double next = job.arrival_time +
-                        arrivals_->next_interarrival(arrival_gen_);
+    double gap = arrivals_->next_interarrival(arrival_gen_);
+    if (drift_on_) [[unlikely]] {
+      gap = drifted_gap(gap, job.arrival_time);
+    }
+    const double next = job.arrival_time + gap;
     if (next <= config_.sim_time) {
       simulator_.schedule_at(next, *this, kGeneratedArrival);
     }
@@ -557,9 +701,10 @@ class RunContext : private sim::EventTarget {
     if (tracker_) {
       tracker_->record(job.arrival_time, machine);
     }
-    if (any_feedback_) {
+    if (any_feedback_ && !stale_feedback_) {
       // Departure reports must reach the scheduler that sent the job
-      // (schedulers share no state).
+      // (schedulers share no state). Under the staleness model there are
+      // no per-departure reports, so nothing is tracked.
       job_scheduler_[job.id] = scheduler;
     }
     if (faults_on_ && down_[machine]) {
@@ -628,7 +773,7 @@ class RunContext : private sim::EventTarget {
                      static_cast<int32_t>(machine),
                      static_cast<uint16_t>(job.attempt));
     }
-    if (any_feedback_) {
+    if (any_feedback_ && !stale_feedback_) {
       job_scheduler_.erase(job.id);  // no completion will ever arrive
     }
     decide_retry(job, measured);
@@ -714,7 +859,7 @@ class RunContext : private sim::EventTarget {
                      static_cast<int32_t>(machine),
                      static_cast<uint16_t>(job.attempt));
     }
-    if (any_feedback_) {
+    if (any_feedback_ && !stale_feedback_) {
       job_scheduler_.erase(job.id);  // no completion will ever arrive
     }
     const double delay = feedback_delay(fault_delay_gen_);
@@ -795,7 +940,7 @@ class RunContext : private sim::EventTarget {
     if (config_.completion_hook) {
       config_.completion_hook(completion, measured);
     }
-    if (any_feedback_) {
+    if (any_feedback_ && !stale_feedback_) {
       const auto it = job_scheduler_.find(completion.job.id);
       HS_CHECK(it != job_scheduler_.end(),
                "completion for untracked job " << completion.job.id);
@@ -810,7 +955,8 @@ class RunContext : private sim::EventTarget {
             delay, *this, kDepartureReport,
             sim::EventArgs::pack(DepartureReportArgs{
                 static_cast<uint32_t>(scheduler),
-                static_cast<uint32_t>(completion.machine)}));
+                static_cast<uint32_t>(completion.machine),
+                completion.job.size}));
       }
     }
   }
@@ -834,6 +980,12 @@ class RunContext : private sim::EventTarget {
   std::unique_ptr<overload::AdmissionPolicy> admission_;  // null = admit all
   std::optional<overload::RetryBudget> retry_budget_;
   std::optional<rng::Xoshiro256> overload_gen_;  // admission decision stream
+  bool drift_on_ = false;          // true arrival rate is λ·factor_at(t)
+  bool stale_feedback_ = false;    // periodic snapshots replace reports
+  uint64_t snapshot_tick_ = 0;     // index of the last fired snapshot
+  // Scheduler 0's adaptive core, unwrapped from any fault/breaker
+  // decorators (null when there is none).
+  uncertainty::GovernedAdaptiveDispatcher* adaptive_ = nullptr;
   uint64_t total_arrivals_ = 0;   // whole-run accounting (incl. warm-up)
   uint64_t total_completed_ = 0;
   uint64_t total_shed_ = 0;

@@ -19,6 +19,7 @@
 #include "dispatch/dispatcher.h"
 #include "obs/observer.h"
 #include "overload/config.h"
+#include "uncertainty/config.h"
 #include "workload/spec.h"
 #include "workload/trace.h"
 
@@ -102,6 +103,23 @@ struct SimulationConfig {
   /// docs/FAULT_MODEL.md §6 for the taxonomy.
   overload::OverloadConfig overload;
 
+  /// Opt-in parameter uncertainty (uncertainty/config.h). Default-
+  /// constructed everything is off and the run is bit-identical to
+  /// builds that predate the uncertainty layer. With drift enabled, the
+  /// *true* arrival rate becomes λ(t) = λ·drift.factor_at(t): each
+  /// interarrival gap is divided by the factor at the instant it is
+  /// scheduled (no extra RNG draws, so an all-ones timeline replays
+  /// draw-for-draw identically to no drift). With staleness enabled,
+  /// feedback dispatchers stop receiving per-departure reports; instead
+  /// every machine's queue length is snapshotted every Δ =
+  /// `staleness.update_interval` seconds and delivered to each feedback
+  /// scheduler `report_delay` seconds later via on_load_report(). The
+  /// believed-vs-true parameter split (lambda_error / speed_error) does
+  /// not act here — the simulation always runs the truth; beliefs enter
+  /// through the dispatcher the caller builds (see
+  /// ExperimentConfig::believed_params and core::make_adaptive_dispatcher).
+  uncertainty::UncertaintyConfig uncertainty;
+
   /// Opt-in observability (obs/observer.h). Null by default: every
   /// instrumentation site then reduces to one branch on a null pointer
   /// and the run is bit-identical to an unobserved one. With a trace
@@ -154,6 +172,13 @@ struct SimulationResult {
   uint64_t jobs_rejected = 0;  // dispatch attempts refused by a full queue
   uint64_t jobs_shed = 0;      // jobs refused by admission control
   uint64_t retry_budget_denied = 0;  // retries that became drops (budget)
+
+  // ---- Adaptation metrics (populated when scheduler 0 carries a
+  //      uncertainty::GovernedAdaptiveDispatcher, possibly inside
+  //      fault-aware/circuit-breaker decorators; all zero otherwise) ----
+  uint64_t realloc_commits = 0;    // governor-approved re-allocations
+  uint64_t realloc_rejected = 0;   // proposals the governor refused
+  uint64_t governor_freezes = 0;   // flap-guard trips
 
   // ---- Whole-run accounting (warm-up included), for the conservation
   //      identity: total_arrivals = total_completed + total_shed +

@@ -234,6 +234,35 @@ std::unique_ptr<dispatch::Dispatcher> make_circuit_breaker_dispatcher(
       std::move(inner), breaker, std::move(rebuilder));
 }
 
+std::unique_ptr<dispatch::Dispatcher> make_adaptive_dispatcher(
+    PolicyKind kind, const std::vector<double>& believed_speeds,
+    double believed_rho, uncertainty::AdaptiveOptions options) {
+  HS_CHECK(!is_dynamic(kind), "dynamic policy " << policy_name(kind)
+                                                << " has no allocation to "
+                                                   "adapt");
+  options.scheme = uses_optimized_allocation(kind)
+                       ? uncertainty::AdaptiveScheme::kOptimized
+                       : uncertainty::AdaptiveScheme::kWeighted;
+  return std::make_unique<uncertainty::GovernedAdaptiveDispatcher>(
+      believed_speeds, believed_rho, options);
+}
+
+cluster::DispatcherFactory adaptive_dispatcher_factory(
+    PolicyKind kind, std::vector<double> believed_speeds, double believed_rho,
+    uncertainty::AdaptiveOptions options, bool fault_aware) {
+  return [kind, believed_speeds = std::move(believed_speeds), believed_rho,
+          options, fault_aware]() -> std::unique_ptr<dispatch::Dispatcher> {
+    auto adaptive = make_adaptive_dispatcher(kind, believed_speeds,
+                                             believed_rho, options);
+    if (!fault_aware) {
+      return adaptive;
+    }
+    // Native masking: the adaptive core survives fault transitions.
+    return std::make_unique<dispatch::FaultAwareDispatcher>(
+        std::move(adaptive));
+  };
+}
+
 cluster::DispatcherFactory circuit_breaker_dispatcher_factory(
     PolicyKind kind, std::vector<double> speeds, double rho,
     overload::CircuitBreakerConfig breaker, double rho_estimate_factor) {

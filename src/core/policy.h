@@ -20,6 +20,7 @@
 #include "cluster/experiment.h"
 #include "dispatch/dispatcher.h"
 #include "overload/circuit_breaker.h"
+#include "uncertainty/adaptive.h"
 
 namespace hs::core {
 
@@ -103,5 +104,28 @@ make_circuit_breaker_dispatcher(PolicyKind kind,
 [[nodiscard]] cluster::DispatcherFactory circuit_breaker_dispatcher_factory(
     PolicyKind kind, std::vector<double> speeds, double rho,
     overload::CircuitBreakerConfig breaker, double rho_estimate_factor = 1.0);
+
+/// Build the governed adaptive variant of a static policy: a
+/// uncertainty::GovernedAdaptiveDispatcher seeded with the operator's
+/// *believed* speeds and utilization (see
+/// ExperimentConfig::believed_params) that re-estimates both online and
+/// re-solves the policy's allocation scheme through the re-allocation
+/// governor. ORR/ORAN re-solve Algorithm 1 (options.scheme is forced to
+/// kOptimized); WRR/WRAN re-solve the weighted scheme (kWeighted).
+/// Dispatching is always Algorithm 2's smoothed round-robin — the
+/// adaptive loop changes weights, not mechanism. Must not be called for
+/// kLeastLoad, which has no allocation to adapt. The returned dispatcher
+/// masks natively, so FaultAwareDispatcher / CircuitBreakerDispatcher
+/// wrap it directly (no rebuilder needed).
+[[nodiscard]] std::unique_ptr<dispatch::Dispatcher> make_adaptive_dispatcher(
+    PolicyKind kind, const std::vector<double>& believed_speeds,
+    double believed_rho, uncertainty::AdaptiveOptions options = {});
+
+/// Thread-safe factory variant of make_adaptive_dispatcher(). With
+/// `fault_aware`, each dispatcher is wrapped in a FaultAwareDispatcher
+/// (native masking) so crash reports blacklist machines.
+[[nodiscard]] cluster::DispatcherFactory adaptive_dispatcher_factory(
+    PolicyKind kind, std::vector<double> believed_speeds, double believed_rho,
+    uncertainty::AdaptiveOptions options = {}, bool fault_aware = false);
 
 }  // namespace hs::core

@@ -52,6 +52,39 @@ class Dispatcher {
   /// from `machine`. Static dispatchers ignore it.
   virtual void on_departure_report(size_t machine) { (void)machine; }
 
+  /// Timed variant: `now` is the report's *delivery* time (the departure
+  /// itself happened earlier by the §4.2 detection + message delay).
+  /// Policies that estimate rates from departures override this; the
+  /// default forwards to the untimed variant so existing dispatchers are
+  /// unaffected.
+  virtual void on_departure_report(size_t machine, double now) {
+    (void)now;
+    on_departure_report(machine);
+  }
+
+  /// Sized variant: the report also carries the work the departed job
+  /// consumed, in base-speed seconds — a machine can meter a finished
+  /// job's CPU, so this is scheduler-observable information. Speed
+  /// estimators need it (under heavy-tailed sizes a job-count throughput
+  /// is dominated by small jobs and badly biased); everyone else gets
+  /// the default, which drops the size and forwards to the timed
+  /// variant. The simulation always calls this form.
+  virtual void on_departure_report(size_t machine, double now, double work) {
+    (void)work;
+    on_departure_report(machine, now);
+  }
+
+  /// Stale-feedback variant (uncertainty layer): a queue-length snapshot
+  /// of `machine` taken `StalenessConfig::update_interval`-periodically
+  /// and delivered after `report_delay`. When the staleness model is on,
+  /// these snapshots *replace* per-departure reports. Dispatchers that
+  /// track load natively (Least-Load) override this to resynchronize
+  /// their estimate; the default ignores it.
+  virtual void on_load_report(size_t machine, uint64_t queue_length) {
+    (void)machine;
+    (void)queue_length;
+  }
+
   /// True if the scheduler must deliver departure reports (i.e. the
   /// policy is dynamic and pays the associated overhead).
   [[nodiscard]] virtual bool uses_feedback() const { return false; }

@@ -59,6 +59,20 @@ void FaultAwareDispatcher::on_departure_report(size_t machine) {
   inner_->on_departure_report(machine);
 }
 
+void FaultAwareDispatcher::on_departure_report(size_t machine, double now) {
+  inner_->on_departure_report(machine, now);
+}
+
+void FaultAwareDispatcher::on_departure_report(size_t machine, double now,
+                                               double work) {
+  inner_->on_departure_report(machine, now, work);
+}
+
+void FaultAwareDispatcher::on_load_report(size_t machine,
+                                          uint64_t queue_length) {
+  inner_->on_load_report(machine, queue_length);
+}
+
 bool FaultAwareDispatcher::uses_feedback() const {
   return inner_->uses_feedback();
 }

@@ -55,6 +55,9 @@ class FaultAwareDispatcher final : public Dispatcher {
 
   void on_arrival(double now) override;
   void on_departure_report(size_t machine) override;
+  void on_departure_report(size_t machine, double now) override;
+  void on_departure_report(size_t machine, double now, double work) override;
+  void on_load_report(size_t machine, uint64_t queue_length) override;
   [[nodiscard]] bool uses_feedback() const override;
 
   void on_machine_state_report(size_t machine, bool up) override;
@@ -69,6 +72,11 @@ class FaultAwareDispatcher final : public Dispatcher {
   /// only; native masking never rebuilds).
   [[nodiscard]] uint64_t rebuilds() const { return rebuilds_; }
   [[nodiscard]] const Dispatcher& inner() const { return *inner_; }
+  /// Mutable access for decorator-aware wiring (e.g. handing a trace
+  /// sink to a wrapped adaptive dispatcher). Stable only in native-
+  /// masking mode — rebuild mode replaces the inner dispatcher on fault
+  /// transitions.
+  [[nodiscard]] Dispatcher& inner() { return *inner_; }
 
  private:
   void apply_mask();

@@ -55,6 +55,17 @@ void LeastLoadDispatcher::on_departure_report(size_t machine) {
   }
 }
 
+void LeastLoadDispatcher::on_load_report(size_t machine,
+                                         uint64_t queue_length) {
+  HS_CHECK(machine < estimates_.size(),
+           "machine index out of range: " << machine);
+  // Snapshots carry the machine's true resident count as of the sample
+  // instant; adopting it wholesale both corrects accumulated drift and
+  // *introduces* the staleness under study — everything dispatched after
+  // the sample was taken vanishes from the view until the next snapshot.
+  estimates_[machine] = queue_length;
+}
+
 bool LeastLoadDispatcher::set_available_mask(
     const std::vector<bool>& available) {
   HS_CHECK(available.size() == speeds_.size(),

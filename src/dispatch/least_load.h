@@ -31,6 +31,12 @@ class LeastLoadDispatcher final : public Dispatcher {
   void on_departure_report(size_t machine) override;
   [[nodiscard]] bool uses_feedback() const override { return true; }
 
+  /// Stale snapshot (uncertainty staleness model): replace the estimate
+  /// with the reported queue length. Between snapshots the dispatcher
+  /// still increments on its own dispatches, so it routes on "snapshot
+  /// plus what I sent since" — a view up to Δ + d seconds old.
+  void on_load_report(size_t machine, uint64_t queue_length) override;
+
   /// Native fault-layer blacklist: masked machines are skipped by pick()
   /// (unless every machine is masked, in which case all are considered —
   /// jobs must go somewhere, and the fault layer will lose and retry

@@ -32,6 +32,10 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kBreakerClose:    return "breaker_close";
     case TraceEventKind::kRetryBudgetExhausted:
       return "retry_budget_exhausted";
+    case TraceEventKind::kEstimateUpdate: return "estimate_update";
+    case TraceEventKind::kReallocCommit:  return "realloc_commit";
+    case TraceEventKind::kReallocReject:  return "realloc_reject";
+    case TraceEventKind::kGovernorFreeze: return "governor_freeze";
   }
   return "unknown";
 }

@@ -44,6 +44,11 @@ enum class TraceEventKind : uint8_t {
   kBreakerHalfOpen, // breaker cooled down, probing `machine` (job = kNoJob)
   kBreakerClose,    // probes succeeded, `machine` back in rotation
   kRetryBudgetExhausted,  // retry budget empty — job dropped, not retried
+  // Uncertainty/adaptation events (src/uncertainty/, docs/UNCERTAINTY.md):
+  kEstimateUpdate,  // re-estimation tick; aux = believed ρ̂ (job = kNoJob)
+  kReallocCommit,   // governor committed a re-allocation (aux = rel. gain)
+  kReallocReject,   // governor refused one (aux = GovernorVerdict code)
+  kGovernorFreeze,  // flap guard tripped — re-allocation frozen
 };
 
 /// Printable name of a kind ("dispatch", "crash", ...).

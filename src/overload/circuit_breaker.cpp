@@ -128,6 +128,21 @@ void CircuitBreakerDispatcher::on_departure_report(size_t machine) {
   inner_->on_departure_report(machine);
 }
 
+void CircuitBreakerDispatcher::on_departure_report(size_t machine,
+                                                   double now) {
+  inner_->on_departure_report(machine, now);
+}
+
+void CircuitBreakerDispatcher::on_departure_report(size_t machine, double now,
+                                                   double work) {
+  inner_->on_departure_report(machine, now, work);
+}
+
+void CircuitBreakerDispatcher::on_load_report(size_t machine,
+                                              uint64_t queue_length) {
+  inner_->on_load_report(machine, queue_length);
+}
+
 bool CircuitBreakerDispatcher::uses_feedback() const {
   return inner_->uses_feedback();
 }

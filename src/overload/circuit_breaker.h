@@ -81,6 +81,9 @@ class CircuitBreakerDispatcher final : public dispatch::Dispatcher {
 
   void on_arrival(double now) override;
   void on_departure_report(size_t machine) override;
+  void on_departure_report(size_t machine, double now) override;
+  void on_departure_report(size_t machine, double now, double work) override;
+  void on_load_report(size_t machine, uint64_t queue_length) override;
   [[nodiscard]] bool uses_feedback() const override;
 
   void on_dispatch_result(size_t machine, bool accepted, double now) override;
@@ -103,6 +106,9 @@ class CircuitBreakerDispatcher final : public dispatch::Dispatcher {
   [[nodiscard]] uint64_t trips() const { return trips_; }
   [[nodiscard]] uint64_t rebuilds() const { return rebuilds_; }
   [[nodiscard]] const dispatch::Dispatcher& inner() const { return *inner_; }
+  /// Mutable access for decorator-aware wiring; stable only in native-
+  /// masking mode (rebuild mode replaces the inner dispatcher).
+  [[nodiscard]] dispatch::Dispatcher& inner() { return *inner_; }
 
  private:
   struct Breaker {

@@ -1,0 +1,308 @@
+#include "uncertainty/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "alloc/optimized.h"
+#include "alloc/scheme.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace hs::uncertainty {
+
+void AdaptiveOptions::validate() const {
+  HS_CHECK(std::isfinite(mean_job_size) && mean_job_size > 0.0,
+           "adaptive mean_job_size must be finite and > 0, got "
+               << mean_job_size);
+  HS_CHECK(std::isfinite(time_constant) && time_constant > 0.0,
+           "adaptive time_constant must be finite and > 0, got "
+               << time_constant);
+  HS_CHECK(std::isfinite(safety_factor) && safety_factor > 0.0,
+           "adaptive safety_factor must be finite and > 0, got "
+               << safety_factor);
+  HS_CHECK(reestimate_every >= 1,
+           "adaptive reestimate_every must be >= 1, got "
+               << reestimate_every);
+  HS_CHECK(min_rho > 0.0 && min_rho <= max_rho && max_rho < 1.0,
+           "adaptive rho clamp range out of order: [" << min_rho << ", "
+                                                      << max_rho << "]");
+  governor.validate();
+}
+
+GovernedAdaptiveDispatcher::GovernedAdaptiveDispatcher(
+    std::vector<double> believed_speeds, double believed_rho,
+    AdaptiveOptions options)
+    : believed_speeds_(std::move(believed_speeds)),
+      believed_rho_(believed_rho),
+      options_(options),
+      bank_(believed_speeds_.size(), options.mean_job_size,
+            options.time_constant),
+      governor_(options.governor),
+      assumed_rho_(0.0) {
+  HS_CHECK(!believed_speeds_.empty(),
+           "governed adaptive dispatcher needs at least one machine");
+  for (double s : believed_speeds_) {
+    HS_CHECK(std::isfinite(s) && s > 0.0,
+             "believed machine speed must be finite and > 0, got " << s);
+  }
+  HS_CHECK(std::isfinite(believed_rho) && believed_rho > 0.0,
+           "believed rho must be finite and > 0, got " << believed_rho);
+  options_.validate();
+  assumed_rho_ =
+      std::clamp(believed_rho_, options_.min_rho, options_.max_rho);
+  available_.assign(believed_speeds_.size(), true);
+  install(solve(believed_speeds_, assumed_rho_));
+}
+
+std::string GovernedAdaptiveDispatcher::name() const {
+  return options_.scheme == AdaptiveScheme::kOptimized ? "governed-orr"
+                                                       : "governed-wrr";
+}
+
+bool GovernedAdaptiveDispatcher::mask_active() const {
+  bool any_down = false;
+  bool any_up = false;
+  for (const bool up : available_) {
+    any_down = any_down || !up;
+    any_up = any_up || up;
+  }
+  return any_down && any_up;
+}
+
+alloc::Allocation GovernedAdaptiveDispatcher::solve(
+    const std::vector<double>& speeds, double rho) const {
+  if (options_.scheme == AdaptiveScheme::kOptimized) {
+    return alloc::OptimizedAllocation().compute(speeds, rho);
+  }
+  return alloc::WeightedAllocation().compute(speeds, rho);
+}
+
+void GovernedAdaptiveDispatcher::install(alloc::Allocation allocation) {
+  // The governor's sanity guard: whatever the estimates were, the
+  // committed fractions must form a distribution.
+  double sum = 0.0;
+  for (size_t i = 0; i < allocation.size(); ++i) {
+    sum += allocation[i];
+  }
+  HS_CHECK(std::abs(sum - 1.0) <= 1e-9,
+           "re-allocation fractions must sum to 1, got " << sum);
+  allocation_ = std::make_unique<alloc::Allocation>(std::move(allocation));
+  inner_ =
+      std::make_unique<dispatch::SmoothRoundRobinDispatcher>(*allocation_);
+}
+
+void GovernedAdaptiveDispatcher::on_arrival(double now) {
+  last_now_ = now;
+  bank_.observe_arrival(now);
+  if (++arrivals_since_tick_ >= options_.reestimate_every) {
+    arrivals_since_tick_ = 0;
+    maybe_reallocate(now);
+  }
+}
+
+void GovernedAdaptiveDispatcher::maybe_reallocate(double now) {
+  if (!bank_.warmed_up()) {
+    return;
+  }
+  const double lambda_hat = bank_.lambda_hat(0.0);
+  if (lambda_hat <= 0.0) {
+    return;
+  }
+  const std::vector<double> speeds_hat = bank_.speeds_hat(believed_speeds_);
+  const double total_hat = util::kahan_sum(speeds_hat);
+  const double rho_raw =
+      lambda_hat * options_.mean_job_size / total_hat;
+  if (trace_ != nullptr) {
+    trace_->record(now, obs::TraceEventKind::kEstimateUpdate,
+                   obs::TraceSink::kNoJob, obs::TraceSink::kScheduler, 0,
+                   rho_raw);
+  }
+  if (mask_active()) {
+    // The fault layer owns routing while machines are blacklisted; the
+    // estimators keep accruing and proposals resume on full health.
+    return;
+  }
+
+  double assumed = 0.0;
+  alloc::Allocation proposed = [&] {
+    if (options_.scheme == AdaptiveScheme::kOptimized) {
+      auto solved = alloc::solve_from_estimates(
+          speeds_hat, lambda_hat, options_.mean_job_size,
+          options_.safety_factor, options_.min_rho, options_.max_rho);
+      assumed = solved.assumed_rho;
+      return std::move(solved.allocation);
+    }
+    assumed = std::clamp(rho_raw * options_.safety_factor,
+                         options_.min_rho, options_.max_rho);
+    return alloc::WeightedAllocation().compute(speeds_hat, assumed);
+  }();
+
+  // Both objectives are believed F(α) (Definition 1) under the *same*
+  // fresh estimates: how suboptimal has the live allocation become, and
+  // how much would the proposal recover?
+  const double f_current =
+      alloc::objective_value(*allocation_, speeds_hat, assumed);
+  const double f_proposed =
+      alloc::objective_value(proposed, speeds_hat, assumed);
+
+  const uint64_t freezes_before = governor_.freezes();
+  const GovernorVerdict verdict =
+      governor_.consider(now, f_current, f_proposed);
+  if (verdict == GovernorVerdict::kCommit) {
+    const double improvement =
+        std::isinf(f_current) ? 1.0 : (f_current - f_proposed) / f_current;
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceEventKind::kReallocCommit,
+                     obs::TraceSink::kNoJob, obs::TraceSink::kScheduler,
+                     static_cast<uint16_t>(
+                         std::min<uint64_t>(governor_.commits(), 0xffff)),
+                     improvement);
+    }
+    assumed_rho_ = assumed;
+    ReallocEvent event;
+    event.time = now;
+    event.assumed_rho = assumed;
+    event.fractions.reserve(proposed.size());
+    for (size_t i = 0; i < proposed.size(); ++i) {
+      event.fractions.push_back(proposed[i]);
+    }
+    timeline_.push_back(std::move(event));
+    install(std::move(proposed));
+    return;
+  }
+  if (trace_ != nullptr) {
+    trace_->record(now, obs::TraceEventKind::kReallocReject,
+                   obs::TraceSink::kNoJob, obs::TraceSink::kScheduler, 0,
+                   static_cast<double>(verdict));
+    if (governor_.freezes() > freezes_before) {
+      trace_->record(now, obs::TraceEventKind::kGovernorFreeze,
+                     obs::TraceSink::kNoJob, obs::TraceSink::kScheduler, 0,
+                     static_cast<double>(governor_.freezes()));
+    }
+  }
+}
+
+size_t GovernedAdaptiveDispatcher::pick(rng::Xoshiro256& gen) {
+  const size_t machine = inner_->pick(gen);
+  bank_.observe_dispatch(machine, last_now_);
+  return machine;
+}
+
+void GovernedAdaptiveDispatcher::on_departure_report(size_t machine) {
+  on_departure_report(machine, last_now_);
+}
+
+void GovernedAdaptiveDispatcher::on_departure_report(size_t machine,
+                                                     double now) {
+  on_departure_report(machine, now, options_.mean_job_size);
+}
+
+void GovernedAdaptiveDispatcher::on_departure_report(size_t machine,
+                                                     double now,
+                                                     double work) {
+  HS_CHECK(machine < believed_speeds_.size(),
+           "machine index out of range: " << machine);
+  bank_.observe_departure(machine, now, work);
+}
+
+void GovernedAdaptiveDispatcher::on_dispatch_result(size_t machine,
+                                                    bool accepted,
+                                                    double /*now*/) {
+  if (!accepted) {
+    bank_.forget_dispatch(machine);
+  }
+}
+
+bool GovernedAdaptiveDispatcher::set_available_mask(
+    const std::vector<bool>& available) {
+  HS_CHECK(available.size() == believed_speeds_.size(),
+           "availability mask size " << available.size()
+                                     << " != machine count "
+                                     << believed_speeds_.size());
+  if (available == available_) {
+    return true;
+  }
+  for (size_t i = 0; i < available.size(); ++i) {
+    if (available_[i] && !available[i]) {
+      // Newly down: its outstanding dispatches died with it — without
+      // this, phantom busy time would depress its speed estimate forever.
+      bank_.forget_all_outstanding(i);
+    }
+  }
+  available_ = available;
+  rebuild_for_mask();
+  ++mask_rebuilds_;
+  return true;
+}
+
+void GovernedAdaptiveDispatcher::rebuild_for_mask() {
+  // Availability changes are mandatory: rebuild immediately from the
+  // freshest estimates (believed values until warm-up), bypassing the
+  // governor — the PR1 survivor-reallocation path.
+  const std::vector<double> speeds_hat =
+      bank_.warmed_up() ? bank_.speeds_hat(believed_speeds_)
+                        : believed_speeds_;
+  const double lambda_hat = bank_.lambda_hat(0.0);
+  const double total = util::kahan_sum(speeds_hat);
+  const double rho_base =
+      lambda_hat > 0.0 ? lambda_hat * options_.mean_job_size / total
+                       : believed_rho_;
+  const double assumed =
+      std::clamp(rho_base * options_.safety_factor, options_.min_rho,
+                 options_.max_rho);
+  if (!mask_active()) {
+    assumed_rho_ = assumed;
+    install(solve(speeds_hat, assumed));
+    return;
+  }
+  // Survivors absorb the whole stream: scale the assumed utilization by
+  // total/survivor capacity, clamped (past max_rho the optimized scheme
+  // approaches the weighted one anyway).
+  std::vector<double> survivor_speeds;
+  survivor_speeds.reserve(speeds_hat.size());
+  for (size_t i = 0; i < speeds_hat.size(); ++i) {
+    if (available_[i]) {
+      survivor_speeds.push_back(speeds_hat[i]);
+    }
+  }
+  const double survivor_total = util::kahan_sum(survivor_speeds);
+  const double effective =
+      std::clamp(assumed * total / survivor_total, options_.min_rho,
+                 options_.max_rho);
+  const alloc::Allocation survivor_alloc = [&] {
+    if (options_.scheme == AdaptiveScheme::kOptimized) {
+      return alloc::OptimizedAllocation().compute(survivor_speeds,
+                                                  effective);
+    }
+    return alloc::WeightedAllocation().compute(survivor_speeds, effective);
+  }();
+  std::vector<double> fractions(speeds_hat.size(), 0.0);
+  size_t next_survivor = 0;
+  for (size_t i = 0; i < speeds_hat.size(); ++i) {
+    if (available_[i]) {
+      fractions[i] = survivor_alloc[next_survivor++];
+    }
+  }
+  assumed_rho_ = effective;
+  install(alloc::Allocation(std::move(fractions)));
+}
+
+void GovernedAdaptiveDispatcher::reset() {
+  bank_.reset();
+  governor_.reset();
+  timeline_.clear();
+  arrivals_since_tick_ = 0;
+  mask_rebuilds_ = 0;
+  last_now_ = 0.0;
+  available_.assign(believed_speeds_.size(), true);
+  assumed_rho_ =
+      std::clamp(believed_rho_, options_.min_rho, options_.max_rho);
+  install(solve(believed_speeds_, assumed_rho_));
+}
+
+const alloc::Allocation& GovernedAdaptiveDispatcher::allocation() const {
+  return *allocation_;
+}
+
+}  // namespace hs::uncertainty

@@ -1,0 +1,246 @@
+#include "uncertainty/config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace hs::uncertainty {
+
+const char* drift_kind_name(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kNone:     return "none";
+    case DriftKind::kStep:     return "step";
+    case DriftKind::kRamp:     return "ramp";
+    case DriftKind::kPeriodic: return "periodic";
+  }
+  return "unknown";
+}
+
+double DriftTimeline::factor_at(double t) const {
+  switch (kind) {
+    case DriftKind::kNone:
+      return 1.0;
+    case DriftKind::kStep: {
+      double factor = 1.0;
+      for (const auto& step : steps) {
+        if (step.time > t) {
+          break;
+        }
+        factor = step.factor;
+      }
+      return factor;
+    }
+    case DriftKind::kRamp: {
+      if (t <= ramp_start) {
+        return start_factor;
+      }
+      if (t >= ramp_end) {
+        return end_factor;
+      }
+      const double frac = (t - ramp_start) / (ramp_end - ramp_start);
+      return start_factor + frac * (end_factor - start_factor);
+    }
+    case DriftKind::kPeriodic: {
+      constexpr double kTwoPi = 6.283185307179586;
+      return 1.0 + amplitude * std::sin(kTwoPi * t / period + phase);
+    }
+  }
+  return 1.0;
+}
+
+double DriftTimeline::mean_factor(double horizon) const {
+  if (horizon <= 0.0) {
+    return factor_at(0.0);
+  }
+  switch (kind) {
+    case DriftKind::kNone:
+      return 1.0;
+    case DriftKind::kStep: {
+      // Piecewise-constant integral: factor 1 until the first step.
+      double integral = 0.0;
+      double prev_time = 0.0;
+      double prev_factor = 1.0;
+      for (const auto& step : steps) {
+        const double until = std::min(step.time, horizon);
+        if (until > prev_time) {
+          integral += prev_factor * (until - prev_time);
+          prev_time = until;
+        }
+        if (step.time >= horizon) {
+          break;
+        }
+        prev_time = step.time;
+        prev_factor = step.factor;
+      }
+      integral += prev_factor * (horizon - prev_time);
+      return integral / horizon;
+    }
+    case DriftKind::kRamp: {
+      // Integrate the three linear pieces, each clipped to [0, horizon].
+      const double flat_head = std::min(horizon, std::max(0.0, ramp_start));
+      double integral = start_factor * flat_head;
+      const double seg_lo = std::clamp(ramp_start, 0.0, horizon);
+      const double seg_hi = std::clamp(ramp_end, 0.0, horizon);
+      if (seg_hi > seg_lo) {
+        const double f_lo = factor_at(seg_lo);
+        const double f_hi = factor_at(seg_hi);
+        integral += 0.5 * (f_lo + f_hi) * (seg_hi - seg_lo);
+      }
+      if (horizon > ramp_end) {
+        integral += end_factor * (horizon - ramp_end);
+      }
+      return integral / horizon;
+    }
+    case DriftKind::kPeriodic: {
+      constexpr double kTwoPi = 6.283185307179586;
+      const double omega = kTwoPi / period;
+      const double sine_integral =
+          (std::cos(phase) - std::cos(omega * horizon + phase)) / omega;
+      return 1.0 + amplitude * sine_integral / horizon;
+    }
+  }
+  return 1.0;
+}
+
+void DriftTimeline::validate(double sim_time) const {
+  switch (kind) {
+    case DriftKind::kNone:
+      break;
+    case DriftKind::kStep: {
+      HS_CHECK(!steps.empty(), "step drift requires at least one step");
+      double prev = -1.0;
+      for (size_t i = 0; i < steps.size(); ++i) {
+        HS_CHECK(std::isfinite(steps[i].time) && steps[i].time >= 0.0,
+                 "drift step[" << i << "].time must be finite and >= 0, got "
+                               << steps[i].time);
+        HS_CHECK(steps[i].time > prev,
+                 "drift step times must be strictly increasing: step["
+                     << i << "].time = " << steps[i].time
+                     << " does not follow " << prev);
+        HS_CHECK(std::isfinite(steps[i].factor) && steps[i].factor > 0.0,
+                 "drift step[" << i << "].factor must be finite and > 0, got "
+                               << steps[i].factor);
+        prev = steps[i].time;
+      }
+      HS_CHECK(steps.front().time < sim_time,
+               "first drift step at t = " << steps.front().time
+                                          << " is not before sim_time = "
+                                          << sim_time);
+      break;
+    }
+    case DriftKind::kRamp:
+      HS_CHECK(std::isfinite(ramp_start) && ramp_start >= 0.0,
+               "ramp_start must be finite and >= 0, got " << ramp_start);
+      HS_CHECK(std::isfinite(ramp_end) && ramp_end > ramp_start,
+               "ramp_end must be finite and > ramp_start (" << ramp_start
+                                                            << "), got "
+                                                            << ramp_end);
+      HS_CHECK(std::isfinite(start_factor) && start_factor > 0.0,
+               "start_factor must be finite and > 0, got " << start_factor);
+      HS_CHECK(std::isfinite(end_factor) && end_factor > 0.0,
+               "end_factor must be finite and > 0, got " << end_factor);
+      break;
+    case DriftKind::kPeriodic:
+      HS_CHECK(std::isfinite(period) && period > 0.0,
+               "drift period must be finite and > 0, got " << period);
+      HS_CHECK(std::isfinite(amplitude) && amplitude >= 0.0 &&
+                   amplitude < 1.0,
+               "drift amplitude must be in [0, 1) so the rate stays "
+               "positive, got "
+                   << amplitude);
+      HS_CHECK(std::isfinite(phase), "drift phase must be finite, got "
+                                         << phase);
+      break;
+  }
+}
+
+void StalenessConfig::validate(double sim_time) const {
+  HS_CHECK(std::isfinite(update_interval) && update_interval >= 0.0,
+           "staleness update_interval must be finite and >= 0 (0 = off), "
+           "got "
+               << update_interval);
+  if (enabled()) {
+    HS_CHECK(update_interval < sim_time,
+             "staleness update_interval = "
+                 << update_interval
+                 << " must be smaller than sim_time = " << sim_time
+                 << " (no snapshot would ever fire)");
+    HS_CHECK(std::isfinite(report_delay) && report_delay >= 0.0,
+             "staleness report_delay must be finite and >= 0, got "
+                 << report_delay);
+  }
+}
+
+namespace {
+
+void validate_param_error(const ParamError& error, const char* field) {
+  HS_CHECK(std::isfinite(error.bias) && error.bias > 0.0,
+           field << ".bias must be finite and > 0 (a negative or zero bias "
+                    "would imply a non-positive believed parameter), got "
+                 << error.bias);
+  HS_CHECK(std::isfinite(error.noise_cv) && error.noise_cv >= 0.0,
+           field << ".noise_cv must be finite and >= 0 (0 = no noise "
+                    "stream draws), got "
+                 << error.noise_cv);
+}
+
+/// Lognormal factor with mean 1 and coefficient of variation cv:
+/// exp(σZ − σ²/2) with σ² = ln(1 + cv²).
+double noise_factor(double cv, rng::Xoshiro256& gen) {
+  const double sigma_sq = std::log1p(cv * cv);
+  const double sigma = std::sqrt(sigma_sq);
+  return std::exp(sigma * rng::sample_standard_normal(gen) -
+                  0.5 * sigma_sq);
+}
+
+}  // namespace
+
+void UncertaintyConfig::validate(double sim_time) const {
+  validate_param_error(lambda_error, "lambda_error");
+  validate_param_error(speed_error, "speed_error");
+  drift.validate(sim_time);
+  staleness.validate(sim_time);
+}
+
+BelievedParams derive_beliefs(const UncertaintyConfig& config,
+                              const std::vector<double>& speeds, double rho,
+                              uint64_t seed) {
+  BelievedParams beliefs;
+  beliefs.speeds = speeds;
+  beliefs.rho = rho;
+  beliefs.lambda_factor = config.lambda_error.bias;
+
+  const bool needs_noise = config.lambda_error.noise_cv > 0.0 ||
+                           config.speed_error.noise_cv > 0.0;
+  rng::Xoshiro256 belief_gen(needs_noise
+                                 ? rng::derive_seed(seed, 0, kBeliefStream)
+                                 : 0);
+  if (config.lambda_error.noise_cv > 0.0) {
+    beliefs.lambda_factor *=
+        noise_factor(config.lambda_error.noise_cv, belief_gen);
+  }
+  for (double& speed : beliefs.speeds) {
+    speed *= config.speed_error.bias;
+    if (config.speed_error.noise_cv > 0.0) {
+      speed *= noise_factor(config.speed_error.noise_cv, belief_gen);
+    }
+  }
+
+  // The believed utilization is the one implied by the believed arrival
+  // rate against the believed capacity: λ̂·E[size]/Σŝ =
+  // ρ_true·lambda_factor·Σs/Σŝ.
+  const double true_total =
+      std::accumulate(speeds.begin(), speeds.end(), 0.0);
+  const double believed_total =
+      std::accumulate(beliefs.speeds.begin(), beliefs.speeds.end(), 0.0);
+  HS_CHECK(believed_total > 0.0,
+           "believed total speed must be > 0, got " << believed_total);
+  beliefs.rho = rho * beliefs.lambda_factor * true_total / believed_total;
+  return beliefs;
+}
+
+}  // namespace hs::uncertainty

@@ -1,0 +1,129 @@
+#include "uncertainty/governor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hs::uncertainty {
+
+void GovernorConfig::validate() const {
+  HS_CHECK(std::isfinite(min_improvement) && min_improvement >= 0.0 &&
+               min_improvement < 1.0,
+           "governor min_improvement must be in [0, 1), got "
+               << min_improvement);
+  HS_CHECK(std::isfinite(min_dwell) && min_dwell >= 0.0,
+           "governor min_dwell must be finite and >= 0, got " << min_dwell);
+  HS_CHECK(window_budget >= 1,
+           "governor window_budget must be >= 1, got " << window_budget);
+  HS_CHECK(std::isfinite(budget_window) && budget_window > 0.0,
+           "governor budget_window must be finite and > 0, got "
+               << budget_window);
+  HS_CHECK(flap_threshold >= 1,
+           "governor flap_threshold must be >= 1, got " << flap_threshold);
+  HS_CHECK(std::isfinite(flap_window) && flap_window > 0.0,
+           "governor flap_window must be finite and > 0, got "
+               << flap_window);
+  HS_CHECK(std::isfinite(freeze_duration) && freeze_duration >= 0.0,
+           "governor freeze_duration must be finite and >= 0 (0 = frozen "
+           "until reset), got "
+               << freeze_duration);
+}
+
+const char* governor_verdict_name(GovernorVerdict verdict) {
+  switch (verdict) {
+    case GovernorVerdict::kCommit:          return "commit";
+    case GovernorVerdict::kNoImprovement:   return "no-improvement";
+    case GovernorVerdict::kDwell:           return "dwell";
+    case GovernorVerdict::kBudgetExhausted: return "budget-exhausted";
+    case GovernorVerdict::kFrozen:          return "frozen";
+  }
+  return "unknown";
+}
+
+ReallocationGovernor::ReallocationGovernor(GovernorConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+uint32_t ReallocationGovernor::commits_in_window(double now,
+                                                 double window) const {
+  uint32_t count = 0;
+  for (double t : commit_times_) {
+    if (t > now - window) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+GovernorVerdict ReallocationGovernor::consider(double now,
+                                               double current_objective,
+                                               double proposed_objective) {
+  ++proposals_;
+
+  if (frozen_) {
+    if (config_.freeze_duration > 0.0 && now >= frozen_until_) {
+      frozen_ = false;
+    } else {
+      return GovernorVerdict::kFrozen;
+    }
+  }
+
+  // Relative believed improvement. A saturated (infinite) current
+  // objective counts as fully improvable by any finite proposal.
+  double improvement = 0.0;
+  if (std::isinf(current_objective)) {
+    improvement = std::isfinite(proposed_objective) ? 1.0 : 0.0;
+  } else if (current_objective > 0.0 &&
+             std::isfinite(proposed_objective)) {
+    improvement =
+        (current_objective - proposed_objective) / current_objective;
+  }
+  if (improvement < config_.min_improvement) {
+    return GovernorVerdict::kNoImprovement;
+  }
+
+  if (has_committed_ && now - last_commit_ < config_.min_dwell) {
+    return GovernorVerdict::kDwell;
+  }
+
+  if (commits_in_window(now, config_.budget_window) >=
+      config_.window_budget) {
+    return GovernorVerdict::kBudgetExhausted;
+  }
+
+  // Flap guard: would this commit push the trailing flap_window count
+  // past the threshold?
+  if (commits_in_window(now, config_.flap_window) + 1 >
+      config_.flap_threshold) {
+    frozen_ = true;
+    frozen_until_ = now + config_.freeze_duration;
+    ++freezes_;
+    return GovernorVerdict::kFrozen;
+  }
+
+  // Commit. Prune times that no longer matter for either window.
+  const double horizon =
+      std::max(config_.budget_window, config_.flap_window);
+  std::erase_if(commit_times_,
+                [&](double t) { return t <= now - horizon; });
+  commit_times_.push_back(now);
+  last_commit_ = now;
+  has_committed_ = true;
+  ++commits_;
+  return GovernorVerdict::kCommit;
+}
+
+void ReallocationGovernor::reset() {
+  commit_times_.clear();
+  last_commit_ = 0.0;
+  has_committed_ = false;
+  frozen_ = false;
+  frozen_until_ = 0.0;
+  proposals_ = 0;
+  commits_ = 0;
+  freezes_ = 0;
+}
+
+}  // namespace hs::uncertainty

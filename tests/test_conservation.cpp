@@ -107,6 +107,72 @@ TEST_P(Conservation, InvariantsHold) {
 INSTANTIATE_TEST_SUITE_P(RandomConfigs, Conservation,
                          ::testing::Range(1, 25));
 
+// Whole-run conservation identity with every robustness layer on at
+// once: faults (crash/recovery + retry), overload protection (bounded
+// queues, admission shedding, retry budget) and parameter uncertainty
+// (drift, staleness, governed adaptive re-allocation behind a
+// fault-aware decorator). Every arrival must be accounted for:
+// arrivals = completed + shed + dropped + in-flight at the end.
+class FullStackConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FullStackConservation, ArrivalsAreConserved) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  SimulationConfig config;
+  config.speeds = {4.0, 2.0, 1.0};
+  config.rho = 0.9;
+  config.sim_time = 15000.0;
+  config.warmup_frac = 0.25;
+  config.seed = seed * 7919 + 13;
+  config.workload.arrival_kind = hs::workload::ArrivalKind::kPoisson;
+  config.workload.size_kind = hs::workload::SizeKind::kExponential;
+  config.workload.fixed_or_mean_size = 1.0;
+
+  // Faults: every machine crashes and recovers a few times per run.
+  config.faults.processes.assign(config.speeds.size(), {2000.0, 150.0});
+  config.faults.retry.max_attempts = 4;
+  config.faults.retry.backoff_initial = 1.0;
+
+  // Overload: bounded queues, probabilistic shedding, a retry budget.
+  config.overload.queue_capacity = 64;
+  config.overload.admission = hs::overload::AdmissionKind::kQueueBoundShed;
+  config.overload.retry_budget.enabled = true;
+
+  // Uncertainty: biased beliefs, drifting true load, stale feedback.
+  config.uncertainty.lambda_error.bias = 0.7;
+  config.uncertainty.speed_error.noise_cv = 0.1;
+  config.uncertainty.drift.kind = hs::uncertainty::DriftKind::kRamp;
+  config.uncertainty.drift.ramp_start = 2000.0;
+  config.uncertainty.drift.ramp_end = 10000.0;
+  config.uncertainty.drift.start_factor = 0.8;
+  config.uncertainty.drift.end_factor = 1.2;
+  config.uncertainty.staleness.update_interval = 50.0;
+  config.uncertainty.staleness.report_delay = 5.0;
+
+  hs::uncertainty::AdaptiveOptions options;
+  options.mean_job_size = config.workload.mean_job_size();
+  options.time_constant = 1000.0;
+  options.reestimate_every = 256;
+  auto dispatcher = hs::core::adaptive_dispatcher_factory(
+      hs::core::PolicyKind::kORR, config.speeds,
+      config.rho * config.uncertainty.lambda_error.bias, options,
+      /*fault_aware=*/true)();
+
+  const auto result = hs::cluster::run_simulation(config, *dispatcher);
+
+  EXPECT_GT(result.total_arrivals, 0u);
+  EXPECT_EQ(result.total_arrivals,
+            result.total_completed + result.total_shed +
+                result.total_dropped + result.in_flight_at_end)
+      << "seed=" << seed << " arrivals=" << result.total_arrivals
+      << " completed=" << result.total_completed
+      << " shed=" << result.total_shed
+      << " dropped=" << result.total_dropped
+      << " in_flight=" << result.in_flight_at_end;
+}
+
+INSTANTIATE_TEST_SUITE_P(TenSeeds, FullStackConservation,
+                         ::testing::Range(1, 11));
+
 // Little's law: L = λ·W on a single-machine system, measured inside the
 // simulation window via area under the queue-length curve.
 TEST(Conservation, LittlesLawSingleMachine) {

@@ -340,9 +340,9 @@ TEST(ObservedSimulation, StandardGaugesCoverClusterAndMachines) {
   config.observer = &observer;
   const auto result = run_orr(config);
 
-  // 6 per-machine series plus the cluster-wide set (fault and overload
-  // columns are always registered so the CSV schema is stable).
-  EXPECT_EQ(registry.metric_count(), 6 * config.speeds.size() + 10);
+  // 7 per-machine series plus the cluster-wide set (fault, overload and
+  // adaptation columns are always registered so the CSV schema is stable).
+  EXPECT_EQ(registry.metric_count(), 7 * config.speeds.size() + 15);
   const size_t last = registry.sample_count() - 1;
   // By the final sample every dispatch has been counted.
   EXPECT_DOUBLE_EQ(
@@ -361,6 +361,13 @@ TEST(ObservedSimulation, StandardGaugesCoverClusterAndMachines) {
   }
   // No faults configured: the fault columns exist and read zero.
   EXPECT_DOUBLE_EQ(registry.value(last, registry.column("cluster.lost")),
+                   0.0);
+  // No adaptive dispatcher: the adaptation columns exist and read zero.
+  EXPECT_DOUBLE_EQ(
+      registry.value(last, registry.column("cluster.lambda_hat")), 0.0);
+  EXPECT_DOUBLE_EQ(
+      registry.value(last, registry.column("cluster.realloc_commits")), 0.0);
+  EXPECT_DOUBLE_EQ(registry.value(last, registry.column("m0.speed_hat")),
                    0.0);
 }
 
