@@ -30,7 +30,8 @@ hs::cluster::ExperimentResult run_multi(
   std::vector<hs::cluster::SimulationResult> reps;
   for (unsigned r = 0; r < config.replications; ++r) {
     hs::cluster::SimulationConfig sim = config.simulation;
-    sim.seed = hs::rng::derive_seed(config.base_seed, r, 100);
+    sim.seed = hs::rng::derive_seed(config.base_seed, r,
+                                    hs::rng::Stream::kReplication);
     std::vector<std::unique_ptr<hs::dispatch::Dispatcher>> owners;
     std::vector<hs::dispatch::Dispatcher*> schedulers;
     for (size_t s = 0; s < scheduler_count; ++s) {

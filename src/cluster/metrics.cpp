@@ -33,6 +33,9 @@ void MetricsCollector::on_completion(const queueing::Completion& completion,
   response_ratio_.add(rr);
   p95_.add(rr);
   p99_.add(rr);
+  if (rt_p99_) [[unlikely]] {
+    rt_p99_->add(rt);
+  }
   const size_t bucket = std::min<size_t>(completion.job.attempt,
                                          kAttemptBuckets - 1);
   if (response_by_attempt_.size() <= bucket) {

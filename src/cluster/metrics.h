@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "queueing/job.h"
@@ -60,6 +61,17 @@ class MetricsCollector {
   [[nodiscard]] double response_ratio_p95() const { return p95_.value(); }
   [[nodiscard]] double response_ratio_p99() const { return p99_.value(); }
 
+  /// Opt-in response-TIME p99 (the hedging acceptance metric — tail
+  /// latency in seconds, not the dimensionless ratio above). Off by
+  /// default: an unconditional extra P² update on the completion path
+  /// would eat into the interleaved-A/B budget of the layers-off
+  /// configurations, so the network/hedging wiring enables it only when
+  /// that layer is active. Reads 0 when never enabled.
+  void enable_response_time_p99() { rt_p99_.emplace(0.99); }
+  [[nodiscard]] double response_time_p99() const {
+    return rt_p99_ ? rt_p99_->value() : 0.0;
+  }
+
   // ---- Fault-injection accounting (cluster/faults.h) ----
   // `measured` refers to the job's original arrival falling inside the
   // measurement window, matching the dispatch/completion convention.
@@ -106,6 +118,7 @@ class MetricsCollector {
   std::vector<uint64_t> machine_dispatches_;
   stats::P2Quantile p95_{0.95};
   stats::P2Quantile p99_{0.99};
+  std::optional<stats::P2Quantile> rt_p99_;
   uint64_t jobs_lost_ = 0;
   uint64_t jobs_retried_ = 0;
   uint64_t jobs_dropped_ = 0;

@@ -1,0 +1,130 @@
+#include "cluster/netfaults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hs::cluster {
+
+double LinkFaults::sample_delay(rng::Xoshiro256& gen) const {
+  if (delay_mean <= 0.0) {
+    return 0.0;
+  }
+  double mean = delay_mean;
+  if (tail_prob > 0.0 && gen.next_double() < tail_prob) {
+    mean *= tail_factor;
+  }
+  return -mean * std::log(gen.next_double_open0());
+}
+
+void LinkFaults::validate(const char* link) const {
+  HS_CHECK(loss >= 0.0 && loss < 1.0,
+           "network " << link << ": loss must be within [0, 1), got " << loss);
+  HS_CHECK(std::isfinite(delay_mean) && delay_mean >= 0.0,
+           "network " << link << ": delay_mean must be finite and >= 0, got "
+                      << delay_mean);
+  HS_CHECK(tail_prob >= 0.0 && tail_prob <= 1.0,
+           "network " << link << ": tail_prob must be within [0, 1], got "
+                      << tail_prob);
+  HS_CHECK(std::isfinite(tail_factor) && tail_factor >= 1.0,
+           "network " << link << ": tail_factor must be >= 1, got "
+                      << tail_factor);
+  HS_CHECK(tail_prob == 0.0 || delay_mean > 0.0,
+           "network " << link
+                      << ": tail_prob without delay_mean has no effect; set "
+                         "delay_mean > 0");
+  HS_CHECK(duplicate >= 0.0 && duplicate < 1.0,
+           "network " << link << ": duplicate must be within [0, 1), got "
+                      << duplicate);
+}
+
+void HeartbeatConfig::validate() const {
+  HS_CHECK(std::isfinite(interval) && interval >= 0.0,
+           "network heartbeat: interval must be finite and >= 0, got "
+               << interval);
+  HS_CHECK(std::isfinite(phi_threshold) && phi_threshold > 0.0,
+           "network heartbeat: phi_threshold must be > 0, got "
+               << phi_threshold);
+  HS_CHECK(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+           "network heartbeat: ewma_alpha must be within (0, 1], got "
+               << ewma_alpha);
+}
+
+double HeartbeatConfig::timeout(double mean_interarrival) const {
+  // φ(t) = elapsed / (mean · ln 10) ≥ φ*  ⇔  elapsed ≥ φ*·mean·ln 10.
+  return phi_threshold * mean_interarrival * std::log(10.0);
+}
+
+void NetworkConfig::validate(size_t machine_count, double sim_time) const {
+  HS_CHECK(detection_interval >= 0.0,
+           "network detection_interval must be >= 0, got "
+               << detection_interval);
+  HS_CHECK(message_delay_mean >= 0.0,
+           "network message_delay_mean must be >= 0, got "
+               << message_delay_mean);
+  dispatch_link.validate("dispatch_link");
+  report_link.validate("report_link");
+  heartbeat.validate();
+
+  // Per-machine window lists, for the overlap check below.
+  std::vector<std::vector<std::pair<double, double>>> windows(machine_count);
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    const Partition& p = partitions[i];
+    HS_CHECK(std::isfinite(p.start) && p.start >= 0.0,
+             "network partitions[" << i << "]: start must be >= 0, got "
+                                   << p.start);
+    HS_CHECK(std::isfinite(p.duration) && p.duration > 0.0,
+             "network partitions[" << i << "]: duration must be > 0, got "
+                                   << p.duration);
+    HS_CHECK(p.start <= sim_time,
+             "network partitions[" << i << "]: starts at " << p.start
+                                   << ", past sim_time " << sim_time);
+    HS_CHECK(!p.machines.empty(),
+             "network partitions[" << i << "]: machine set is empty");
+    for (size_t m : p.machines) {
+      HS_CHECK(m < machine_count, "network partitions["
+                                      << i << "]: machine " << m
+                                      << " out of range (cluster has "
+                                      << machine_count << ")");
+      windows[m].emplace_back(p.start, p.start + p.duration);
+    }
+  }
+  for (size_t m = 0; m < machine_count; ++m) {
+    auto& w = windows[m];
+    std::sort(w.begin(), w.end());
+    for (size_t i = 1; i < w.size(); ++i) {
+      HS_CHECK(w[i].first >= w[i - 1].second,
+               "network partitions: overlapping windows on machine "
+                   << m << ": [" << w[i - 1].first << ", " << w[i - 1].second
+                   << ") and [" << w[i].first << ", " << w[i].second << ")");
+    }
+  }
+}
+
+std::vector<PartitionEvent> build_partition_timeline(
+    const std::vector<Partition>& partitions) {
+  std::vector<PartitionEvent> timeline;
+  for (const Partition& p : partitions) {
+    for (size_t m : p.machines) {
+      timeline.push_back({p.start, m, true});
+      timeline.push_back({p.start + p.duration, m, false});
+    }
+  }
+  // Close edges sort before open edges at equal (time, machine) so
+  // back-to-back windows leave the machine isolated across the touch
+  // point.
+  std::sort(timeline.begin(), timeline.end(),
+            [](const PartitionEvent& a, const PartitionEvent& b) {
+              if (a.time != b.time) {
+                return a.time < b.time;
+              }
+              if (a.machine != b.machine) {
+                return a.machine < b.machine;
+              }
+              return !a.isolated && b.isolated;
+            });
+  return timeline;
+}
+
+}  // namespace hs::cluster

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "dispatch/fault_aware.h"
+#include "dispatch/hedged.h"
 #include "overload/admission.h"
 #include "overload/circuit_breaker.h"
 #include "overload/retry_budget.h"
@@ -41,10 +42,6 @@ void SimulationConfig::validate() const {
   HS_CHECK(warmup_frac >= 0.0 && warmup_frac < 1.0,
            "warmup fraction out of [0,1): " << warmup_frac);
   HS_CHECK(rr_quantum > 0.0, "rr quantum must be positive: " << rr_quantum);
-  HS_CHECK(detection_interval >= 0.0,
-           "detection interval must be >= 0: " << detection_interval);
-  HS_CHECK(message_delay_mean >= 0.0,
-           "message delay mean must be >= 0: " << message_delay_mean);
   if (!deviation_expected.empty()) {
     HS_CHECK(deviation_expected.size() == speeds.size(),
              "deviation fractions size " << deviation_expected.size()
@@ -68,6 +65,7 @@ void SimulationConfig::validate() const {
                               << change.new_speed);
   }
   faults.validate(speeds.size(), sim_time);
+  network.validate(speeds.size(), sim_time);
   overload.validate(speeds.size());
   uncertainty.validate(sim_time);
   if (observer != nullptr) {
@@ -114,6 +112,28 @@ uncertainty::GovernedAdaptiveDispatcher* find_adaptive(
           dynamic_cast<overload::CircuitBreakerDispatcher*>(dispatcher)) {
     return find_adaptive(&breaker->inner());
   }
+  if (auto* hedged = dynamic_cast<dispatch::HedgedDispatcher*>(dispatcher)) {
+    return find_adaptive(&hedged->inner());
+  }
+  return nullptr;
+}
+
+/// Locate a HedgedDispatcher anywhere in a decorator stack (the three
+/// robustness decorators compose in any order). At most one per
+/// scheduler: the hedge lifecycle keys flights by job id, which a second
+/// hedging layer would double-book.
+dispatch::HedgedDispatcher* find_hedged(dispatch::Dispatcher* dispatcher) {
+  if (auto* hedged = dynamic_cast<dispatch::HedgedDispatcher*>(dispatcher)) {
+    return hedged;
+  }
+  if (auto* fault_aware =
+          dynamic_cast<dispatch::FaultAwareDispatcher*>(dispatcher)) {
+    return find_hedged(&fault_aware->inner());
+  }
+  if (auto* breaker =
+          dynamic_cast<overload::CircuitBreakerDispatcher*>(dispatcher)) {
+    return find_hedged(&breaker->inner());
+  }
   return nullptr;
 }
 
@@ -130,12 +150,12 @@ class RunContext : private sim::EventTarget {
         schedulers_(std::move(schedulers)),
         split_(split),
         size_model_(config.workload.make_size_model()),
-        arrival_gen_(rng::derive_seed(config.seed, 0, 0)),
-        size_gen_(rng::derive_seed(config.seed, 0, 1)),
-        dispatch_gen_(rng::derive_seed(config.seed, 0, 2)),
-        delay_gen_(rng::derive_seed(config.seed, 0, 3)),
-        split_gen_(rng::derive_seed(config.seed, 0, 4)),
-        fault_delay_gen_(rng::derive_seed(config.seed, 0, 5)),
+        arrival_gen_(rng::derive_seed(config.seed, 0, rng::Stream::kArrival)),
+        size_gen_(rng::derive_seed(config.seed, 0, rng::Stream::kJobSize)),
+        dispatch_gen_(rng::derive_seed(config.seed, 0, rng::Stream::kDispatch)),
+        delay_gen_(rng::derive_seed(config.seed, 0, rng::Stream::kMessageDelay)),
+        split_gen_(rng::derive_seed(config.seed, 0, rng::Stream::kSchedulerSplit)),
+        fault_delay_gen_(rng::derive_seed(config.seed, 0, rng::Stream::kFaultDelay)),
         metrics_(config.speeds.size()) {
     config.validate();
     HS_CHECK(!schedulers_.empty(), "at least one scheduler is required");
@@ -208,7 +228,7 @@ class RunContext : private sim::EventTarget {
         // Dedicated decision stream (component 6): probabilistic sheds
         // never perturb the arrival/size/dispatch streams, and with
         // overload off this generator is never even constructed.
-        overload_gen_.emplace(rng::derive_seed(config.seed, 0, 6));
+        overload_gen_.emplace(rng::derive_seed(config.seed, 0, rng::Stream::kOverload));
       }
       if (ov.retry_budget.enabled) {
         retry_budget_.emplace(ov.retry_budget);
@@ -221,6 +241,56 @@ class RunContext : private sim::EventTarget {
       // snapshots start. Without one there is nothing to degrade.
       stale_feedback_ =
           config.uncertainty.staleness.enabled() && any_feedback_;
+    }
+    // Network layer (config.network + dispatch::HedgedDispatcher). Any
+    // link fault, partition, heartbeat detector, or enabled hedging
+    // decorator switches dispatch onto the asynchronous message path;
+    // with all of them off, dispatch stays synchronous and the run
+    // replays bit-identically to pre-network builds.
+    hedged_.assign(schedulers_.size(), nullptr);
+    for (size_t s = 0; s < schedulers_.size(); ++s) {
+      hedged_[s] = find_hedged(schedulers_[s]);
+      if (hedged_[s] != nullptr && hedged_[s]->config().enabled()) {
+        net_on_ = true;
+      }
+    }
+    net_on_ = net_on_ || config.network.enabled();
+    if (net_on_) {
+      net_gen_.emplace(rng::derive_seed(config.seed, 0,
+                                        rng::Stream::kNetwork));
+      partitioned_.assign(config.speeds.size(), 0);
+      // Tail latency is the hedging acceptance metric; the extra P²
+      // update per completion is paid only on network runs.
+      metrics_.enable_response_time_p99();
+      const std::vector<PartitionEvent> timeline =
+          build_partition_timeline(config.network.partitions);
+      upfront_events += timeline.size();
+      for (const PartitionEvent& event : timeline) {
+        simulator_.schedule_at(event.time, *this, kPartitionEvent,
+                               sim::EventArgs::pack(event));
+      }
+      if (config.network.heartbeat.enabled()) {
+        hb_on_ = true;
+        hb_.assign(config.speeds.size(), HeartbeatState{});
+        const double interval = config.network.heartbeat.interval;
+        for (size_t m = 0; m < config.speeds.size(); ++m) {
+          hb_[m].mean = interval;
+          if (interval <= config.sim_time) {
+            simulator_.schedule_at(
+                interval, *this, kHeartbeat,
+                sim::EventArgs::pack(
+                    HeartbeatArgs{static_cast<uint32_t>(m)}));
+          }
+          // Arm the detector from t = 0: a machine that never delivers a
+          // single heartbeat (e.g. partitioned from the start) still
+          // gets suspected.
+          simulator_.schedule_at(
+              config.network.heartbeat.timeout(interval), *this,
+              kSuspectCheck,
+              sim::EventArgs::pack(SuspectArgs{static_cast<uint32_t>(m),
+                                               /*generation=*/0}));
+        }
+      }
     }
     adaptive_ = find_adaptive(schedulers_.front());
     if (trace_ != nullptr) {
@@ -238,16 +308,19 @@ class RunContext : private sim::EventTarget {
         }
       }
     }
-    // The whole speed-change/fault timeline sits in the heap from t=0;
-    // beyond it a run keeps one departure timer per machine, the next
-    // arrival, and a handful of in-flight feedback messages. The
-    // staleness model adds one in-flight load report per feedback
-    // scheduler per machine.
+    // The whole speed-change/fault/partition timeline sits in the heap
+    // from t=0; beyond it a run keeps one departure timer per machine,
+    // the next arrival, and a handful of in-flight feedback messages.
+    // The staleness model adds one in-flight load report per feedback
+    // scheduler per machine; the network layer adds in-flight dispatch
+    // copies, hedge timers, and one heartbeat chain plus suspect check
+    // per machine.
     simulator_.reserve_events(
         upfront_events + 4 * config.speeds.size() + 64 +
         (stale_feedback_
              ? schedulers_.size() * config.speeds.size() + 8
-             : 0));
+             : 0) +
+        (net_on_ ? 4 * config.speeds.size() + 32 : 0));
   }
 
   SimulationResult run() {
@@ -314,11 +387,31 @@ class RunContext : private sim::EventTarget {
       result.realloc_rejected = adaptive_->governor().rejections();
       result.governor_freezes = adaptive_->governor().freezes();
     }
+    result.msgs_lost = msgs_lost_;
+    result.msgs_duplicated = msgs_duplicated_;
+    result.suspicions = suspicions_;
+    for (dispatch::HedgedDispatcher* hedged : hedged_) {
+      if (hedged != nullptr) {
+        result.hedges_issued += hedged->issued();
+        result.hedges_won += hedged->won();
+        result.hedges_cancelled += hedged->cancelled();
+      }
+    }
+    result.response_time_p99 = metrics_.response_time_p99();
     // After run_all() the only jobs still resident sit on machines
     // stopped at speed 0 (e.g. crashed with no recovery scheduled).
     uint64_t in_flight = 0;
     for (const auto& server : servers_) {
       in_flight += server->queue_length();
+    }
+    if (net_on_) {
+      // A stranded hedged job may sit on two dead machines at once; the
+      // conservation identity counts jobs, not copies.
+      for (const auto& [id, flight] : flights_) {
+        if (flight.resident_mask == 0b11) {
+          --in_flight;
+        }
+      }
     }
     result.in_flight_at_end = in_flight;
     return result;
@@ -339,6 +432,14 @@ class RunContext : private sim::EventTarget {
     kMetricsSample,     // no args (observability sampler tick)
     kLoadSnapshot,      // no args (staleness model: sample queue lengths)
     kLoadReport,        // LoadReportArgs (delayed queue-length snapshot)
+    // ---- Network layer (config.network; fire only when net_on_) ----
+    kPartitionEvent,     // PartitionEvent (a partition window edge)
+    kNetDeliverDispatch, // NetMsgArgs (a dispatch copy reaches a machine)
+    kNetCopyLost,        // NetMsgArgs (a dead copy's fate is noticed)
+    kHedgeTimer,         // Job (hedge deadline for a primary dispatch)
+    kHeartbeat,          // HeartbeatArgs (a machine emits a heartbeat)
+    kHeartbeatArrival,   // HeartbeatArgs (heartbeat reaches the scheduler)
+    kSuspectCheck,       // SuspectArgs (failure-detector timeout check)
   };
   struct SpeedChangeArgs {
     size_t machine;
@@ -358,6 +459,41 @@ class RunContext : private sim::EventTarget {
     uint32_t scheduler;
     uint32_t machine;
     uint64_t queue_length;
+  };
+  /// One in-flight dispatch-message copy. `copy` indexes the flight's
+  /// copy slot (0 = primary, 1 = hedge); `notify_fail` tells the loss
+  /// handler to report a dispatch failure to the scheduler (how a
+  /// partition trips circuit breakers without any crash).
+  struct NetMsgArgs {
+    queueing::Job job;
+    uint32_t machine;
+    uint8_t copy;
+    uint8_t notify_fail;
+  };
+  struct HeartbeatArgs {
+    uint32_t machine;
+  };
+  struct SuspectArgs {
+    uint32_t machine;
+    uint64_t generation;  // heartbeat count when the check was armed
+  };
+  /// One job in flight on the asynchronous dispatch path: up to two
+  /// message copies (0 = primary, 1 = hedge) racing to complete it.
+  struct Flight {
+    queueing::Job job;          // primary payload (id/arrival/size/attempt)
+    uint32_t scheduler = 0;
+    uint32_t machine[2] = {0, 0};  // destination per copy slot
+    uint8_t delivered_mask = 0;    // copies seen at a machine (dedup)
+    uint8_t resident_mask = 0;     // copies currently on a server
+    uint8_t pending = 0;           // copies whose fate is unsettled
+    bool completed = false;
+    sim::EventHandle hedge_timer;
+  };
+  struct HeartbeatState {
+    double last_arrival = 0.0;  // when the last heartbeat was seen
+    double mean = 0.0;          // EWMA inter-arrival estimate
+    bool suspected = false;
+    uint64_t generation = 0;    // heartbeats seen (stale-check token)
   };
 
   void on_event(uint32_t kind, const sim::EventArgs& args) override {
@@ -418,6 +554,29 @@ class RunContext : private sim::EventTarget {
         const auto report = args.unpack<LoadReportArgs>();
         schedulers_[report.scheduler]->on_load_report(report.machine,
                                                       report.queue_length);
+        return;
+      }
+      case kPartitionEvent:
+        on_partition_event(args.unpack<PartitionEvent>());
+        return;
+      case kNetDeliverDispatch:
+        net_on_deliver(args.unpack<NetMsgArgs>());
+        return;
+      case kNetCopyLost:
+        net_on_copy_lost(args.unpack<NetMsgArgs>());
+        return;
+      case kHedgeTimer:
+        net_on_hedge_timer(args.unpack<queueing::Job>());
+        return;
+      case kHeartbeat:
+        on_heartbeat(args.unpack<HeartbeatArgs>().machine);
+        return;
+      case kHeartbeatArrival:
+        on_heartbeat_arrival(args.unpack<HeartbeatArgs>().machine);
+        return;
+      case kSuspectCheck: {
+        const auto check = args.unpack<SuspectArgs>();
+        on_suspect_check(check.machine, check.generation);
         return;
       }
     }
@@ -544,6 +703,27 @@ class RunContext : private sim::EventTarget {
         return adaptive_ != nullptr ? adaptive_->speed_hat(m) : 0.0;
       });
     }
+    // Network gauges (all-zero columns when the network layer is off) so
+    // the CSV schema stays stable across configs.
+    registry_->register_gauge("cluster.suspected", [this] {
+      double suspected = 0.0;
+      for (const HeartbeatState& state : hb_) {
+        suspected += state.suspected ? 1.0 : 0.0;
+      }
+      return suspected;
+    });
+    registry_->register_gauge("cluster.hedge_rate", [this] {
+      uint64_t issued = 0;
+      for (const dispatch::HedgedDispatcher* hedged : hedged_) {
+        if (hedged != nullptr) {
+          issued += hedged->issued();
+        }
+      }
+      return total_arrivals_ > 0
+                 ? static_cast<double>(issued) /
+                       static_cast<double>(total_arrivals_)
+                 : 0.0;
+    });
     registry_->reserve_samples(
         static_cast<size_t>(config_.sim_time / sample_interval_) + 2);
   }
@@ -701,6 +881,16 @@ class RunContext : private sim::EventTarget {
     if (tracker_) {
       tracker_->record(job.arrival_time, machine);
     }
+    if (net_on_) [[unlikely]] {
+      // Asynchronous path: the dispatch is a message over the faulty
+      // link. Admission/shedding above stays scheduler-side (no network
+      // crossing); everything from here — crashed-machine losses, queue
+      // rejections, accept/reject feedback — happens on delivery. The
+      // flight table tracks the copies until exactly one outcome
+      // (completion, shed upstream, or drop) settles the job.
+      net_dispatch(job, machine, scheduler);
+      return;
+    }
     if (any_feedback_ && !stale_feedback_) {
       // Departure reports must reach the scheduler that sent the job
       // (schedulers share no state). Under the staleness model there are
@@ -785,13 +975,13 @@ class RunContext : private sim::EventTarget {
   /// check — U(0, detection_interval) — plus an exponential message
   /// transfer delay.
   double feedback_delay(rng::Xoshiro256& gen) {
+    const NetworkConfig& net = config_.network;
     double delay = 0.0;
-    if (config_.detection_interval > 0.0) {
-      delay += gen.uniform(0.0, config_.detection_interval);
+    if (net.detection_interval > 0.0) {
+      delay += gen.uniform(0.0, net.detection_interval);
     }
-    if (config_.message_delay_mean > 0.0) {
-      delay += -std::log(gen.next_double_open0()) *
-               config_.message_delay_mean;
+    if (net.message_delay_mean > 0.0) {
+      delay += -std::log(gen.next_double_open0()) * net.message_delay_mean;
     }
     return delay;
   }
@@ -827,11 +1017,21 @@ class RunContext : private sim::EventTarget {
       std::vector<queueing::Job> lost = servers_[machine]->evict_all();
       servers_[machine]->set_speed(0.0);
       for (const queueing::Job& job : lost) {
-        on_job_lost(job, machine);
+        if (net_on_) {
+          net_resident_lost(job, machine);
+        } else {
+          on_job_lost(job, machine);
+        }
       }
     } else {
       down_[machine] = false;
       servers_[machine]->set_speed(nominal_speed_[machine]);
+    }
+    if (hb_on_) {
+      // The heartbeat detector owns the fault signal: a crash silences
+      // the machine's heartbeats and suspicion follows; recovery resumes
+      // them and the next arrival rescinds it. No out-of-band reports.
+      return;
     }
     // Failure-aware schedulers learn of the transition after their own
     // detection delay; each detects independently.
@@ -929,6 +1129,456 @@ class RunContext : private sim::EventTarget {
     }
   }
 
+  // ---- Network layer (config.network; docs/FAULT_MODEL.md §8) ----
+  //
+  // With net_on_, every dispatch is a message copy over the faulty
+  // dispatcher→machine link and every job in flight has a Flight entry
+  // keyed by job id. A flight holds up to two copies (primary + hedge);
+  // `pending` counts copies whose fate is still unsettled (in transit or
+  // awaiting loss detection), `resident_mask` the copies currently
+  // occupying a server. The flight resolves exactly once:
+  //   * completion — the first copy to finish wins, the loser is evicted
+  //     and late deliveries are deduped (exactly-once accounting), or
+  //   * failure — when the last copy dies (lost in transit, rejected, or
+  //     crash-evicted) the job goes to the ordinary retry/drop path.
+
+  /// Probability draw against one link parameter; no draw when the
+  /// parameter is 0, so disabled features never perturb the stream.
+  bool link_event(double probability) {
+    return probability > 0.0 &&
+           net_gen_->next_double() < probability;
+  }
+
+  void on_partition_event(const PartitionEvent& event) {
+    partitioned_[event.machine] = event.isolated ? 1 : 0;
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(),
+                     event.isolated ? obs::TraceEventKind::kPartitionStart
+                                    : obs::TraceEventKind::kPartitionEnd,
+                     obs::TraceSink::kNoJob,
+                     static_cast<int32_t>(event.machine));
+    }
+  }
+
+  /// Start a fresh flight for this dispatch attempt and send the primary
+  /// copy. Retries get a new flight (the previous one resolved before
+  /// decide_retry ran).
+  void net_dispatch(const queueing::Job& job, size_t machine,
+                    size_t scheduler) {
+    Flight& flight = flights_[job.id];
+    flight.job = job;
+    flight.scheduler = static_cast<uint32_t>(scheduler);
+    flight.machine[0] = static_cast<uint32_t>(machine);
+    flight.machine[1] = static_cast<uint32_t>(machine);
+    flight.delivered_mask = 0;
+    flight.resident_mask = 0;
+    flight.pending = 1;
+    flight.completed = false;
+    dispatch::HedgedDispatcher* hedged = hedged_[scheduler];
+    if (hedged != nullptr && hedged->config().enabled()) {
+      flight.hedge_timer = simulator_.schedule_in(
+          hedged->config().delay, *this, kHedgeTimer,
+          sim::EventArgs::pack(job));
+    } else {
+      flight.hedge_timer = sim::EventHandle{};
+    }
+    net_send_copy(job, machine, /*copy=*/0);
+  }
+
+  /// Put one dispatch-message copy on the wire. The caller has already
+  /// accounted the copy in the flight's `pending`.
+  void net_send_copy(const queueing::Job& job, size_t machine,
+                     uint8_t copy) {
+    const LinkFaults& link = config_.network.dispatch_link;
+    // Partition first, without a draw: an isolated machine loses the
+    // message deterministically, keeping partition experiments
+    // stream-for-stream comparable to non-partitioned ones.
+    if (partitioned_[machine] != 0 || link_event(link.loss)) {
+      net_lose_copy(job, machine, copy, /*notify_fail=*/true);
+      return;
+    }
+    simulator_.schedule_in(
+        link.sample_delay(*net_gen_), *this, kNetDeliverDispatch,
+        sim::EventArgs::pack(NetMsgArgs{job, static_cast<uint32_t>(machine),
+                                        copy, 0}));
+    if (link_event(link.duplicate)) {
+      ++msgs_duplicated_;
+      if (trace_ != nullptr) {
+        trace_->record(simulator_.now(), obs::TraceEventKind::kMsgDup,
+                       job.id, static_cast<int32_t>(machine),
+                       static_cast<uint16_t>(job.attempt));
+      }
+      // Independent delay draw — the duplicate may overtake the
+      // original; delivery dedups by the flight's delivered_mask.
+      simulator_.schedule_in(
+          link.sample_delay(*net_gen_), *this, kNetDeliverDispatch,
+          sim::EventArgs::pack(NetMsgArgs{
+              job, static_cast<uint32_t>(machine), copy, 0}));
+    }
+  }
+
+  /// A copy died in transit: count it, and schedule the loss detection
+  /// (the scheduler notices the silence after the §4.2 delay, drawn from
+  /// the network stream so crash-loss detection stays untouched).
+  void net_lose_copy(const queueing::Job& job, size_t machine, uint8_t copy,
+                     bool notify_fail) {
+    ++msgs_lost_;
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kMsgLost,
+                     job.id, static_cast<int32_t>(machine),
+                     static_cast<uint16_t>(job.attempt));
+    }
+    simulator_.schedule_in(
+        feedback_delay(*net_gen_), *this, kNetCopyLost,
+        sim::EventArgs::pack(NetMsgArgs{
+            job, static_cast<uint32_t>(machine), copy,
+            static_cast<uint8_t>(notify_fail ? 1 : 0)}));
+  }
+
+  void net_on_deliver(const NetMsgArgs& msg) {
+    const auto it = flights_.find(msg.job.id);
+    if (it == flights_.end()) {
+      return;  // late duplicate of an already-resolved flight
+    }
+    Flight& flight = it->second;
+    const uint8_t bit = static_cast<uint8_t>(1u << msg.copy);
+    if ((flight.delivered_mask & bit) != 0) {
+      return;  // duplicate delivery of this copy — dedup
+    }
+    flight.delivered_mask |= bit;
+    const size_t machine = msg.machine;
+    const bool measured = msg.job.arrival_time >= config_.warmup_time();
+    if (flight.completed) {
+      // The sibling copy already finished: this arrival is dead on
+      // arrival and never occupies the machine.
+      --flight.pending;
+      net_record_cancelled(flight, msg.job);
+      net_maybe_gc(it);
+      return;
+    }
+    if (faults_on_ && down_[machine]) {
+      // Delivered into a crash: lost like everything resident there. The
+      // copy's fate settles at loss detection, not here.
+      metrics_.on_job_lost(measured);
+      if (trace_ != nullptr) {
+        trace_->record(simulator_.now(), obs::TraceEventKind::kJobLost,
+                       msg.job.id, static_cast<int32_t>(machine),
+                       static_cast<uint16_t>(msg.job.attempt));
+      }
+      simulator_.schedule_in(
+          feedback_delay(fault_delay_gen_), *this, kNetCopyLost,
+          sim::EventArgs::pack(NetMsgArgs{msg.job, msg.machine, msg.copy,
+                                          /*notify_fail=*/1}));
+      return;
+    }
+    if (!servers_[machine]->arrive(msg.job)) [[unlikely]] {
+      if (any_overload_feedback_) {
+        schedulers_[flight.scheduler]->on_dispatch_result(machine, false,
+                                                          simulator_.now());
+      }
+      metrics_.on_job_rejected(measured);
+      if (trace_ != nullptr) {
+        trace_->record(simulator_.now(), obs::TraceEventKind::kReject,
+                       msg.job.id, static_cast<int32_t>(machine),
+                       static_cast<uint16_t>(msg.job.attempt));
+      }
+      --flight.pending;
+      net_on_copy_failed(it, measured);
+      return;
+    }
+    flight.resident_mask |= bit;
+    --flight.pending;
+    if (any_overload_feedback_) [[unlikely]] {
+      schedulers_[flight.scheduler]->on_dispatch_result(machine, true,
+                                                        simulator_.now());
+    }
+  }
+
+  void net_on_copy_lost(const NetMsgArgs& msg) {
+    const auto it = flights_.find(msg.job.id);
+    HS_CHECK(it != flights_.end(),
+             "loss detected for untracked flight " << msg.job.id);
+    Flight& flight = it->second;
+    --flight.pending;
+    if (msg.notify_fail != 0 && any_overload_feedback_) {
+      // The scheduler sees the silent failure as a dispatch rejection —
+      // this is how a partition trips circuit breakers without any
+      // machine crashing.
+      schedulers_[flight.scheduler]->on_dispatch_result(
+          msg.machine, false, simulator_.now());
+    }
+    const bool measured = msg.job.arrival_time >= config_.warmup_time();
+    net_on_copy_failed(it, measured);
+  }
+
+  /// A copy's fate settled as failure. If a sibling copy is still alive
+  /// the flight stays open; otherwise it resolves into the ordinary
+  /// retry/drop path.
+  void net_on_copy_failed(std::unordered_map<uint64_t, Flight>::iterator it,
+                          bool measured) {
+    Flight& flight = it->second;
+    if (flight.completed) {
+      net_maybe_gc(it);
+      return;
+    }
+    if (flight.pending > 0 || flight.resident_mask != 0) {
+      return;  // a sibling copy may still finish the job
+    }
+    simulator_.cancel(flight.hedge_timer);
+    const queueing::Job job = flight.job;
+    flights_.erase(it);
+    decide_retry(job, measured);
+  }
+
+  /// A resident copy was crash-evicted (on_fault_event with net on): it
+  /// leaves the machine now and its fate settles at loss detection.
+  void net_resident_lost(const queueing::Job& job, size_t machine) {
+    const auto it = flights_.find(job.id);
+    HS_CHECK(it != flights_.end(),
+             "crash evicted untracked flight " << job.id);
+    Flight& flight = it->second;
+    HS_CHECK(!flight.completed,
+             "completed flight " << job.id << " still resident");
+    const uint8_t copy =
+        (flight.resident_mask & 1) != 0 &&
+                flight.machine[0] == static_cast<uint32_t>(machine)
+            ? 0
+            : 1;
+    flight.resident_mask &= static_cast<uint8_t>(~(1u << copy));
+    ++flight.pending;
+    const bool measured = job.arrival_time >= config_.warmup_time();
+    metrics_.on_job_lost(measured);
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kJobLost,
+                     job.id, static_cast<int32_t>(machine),
+                     static_cast<uint16_t>(job.attempt));
+    }
+    // Crash-loss detection stays on the fault stream and does not report
+    // a dispatch failure: the scheduler learns of the crash through the
+    // fault signal (state report or heartbeat suspicion), matching the
+    // synchronous path's semantics.
+    simulator_.schedule_in(
+        feedback_delay(fault_delay_gen_), *this, kNetCopyLost,
+        sim::EventArgs::pack(NetMsgArgs{job, static_cast<uint32_t>(machine),
+                                        copy, /*notify_fail=*/0}));
+  }
+
+  void net_on_hedge_timer(const queueing::Job& job) {
+    const auto it = flights_.find(job.id);
+    if (it == flights_.end()) {
+      return;
+    }
+    Flight& flight = it->second;
+    flight.hedge_timer = sim::EventHandle{};
+    if (flight.completed) {
+      return;
+    }
+    dispatch::HedgedDispatcher* hedged = hedged_[flight.scheduler];
+    const size_t primary = flight.machine[0];
+    const size_t second =
+        hedged->pick_hedge(dispatch_gen_, flight.job.size, primary);
+    if (second == primary) {
+      return;  // no distinct second choice (e.g. everything masked out)
+    }
+    hedged->record_issued();
+    const bool measured = flight.job.arrival_time >= config_.warmup_time();
+    // The hedge copy counts as a dispatch attempt, like a retry does.
+    metrics_.on_dispatch(second, measured);
+    if (registry_ != nullptr) [[unlikely]] {
+      ++obs_dispatched_;
+    }
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kHedgeIssued,
+                     flight.job.id, static_cast<int32_t>(second),
+                     static_cast<uint16_t>(flight.job.attempt),
+                     hedged->config().delay);
+    }
+    flight.machine[1] = static_cast<uint32_t>(second);
+    ++flight.pending;
+    net_send_copy(flight.job, second, /*copy=*/1);
+  }
+
+  /// First-completion-wins resolution: dedup is structural (the loser is
+  /// evicted here, before it can ever complete), the winner's metrics
+  /// were already counted by on_completion's common path.
+  void net_on_completion(const queueing::Completion& completion) {
+    const auto it = flights_.find(completion.job.id);
+    HS_CHECK(it != flights_.end(),
+             "completion for untracked flight " << completion.job.id);
+    Flight& flight = it->second;
+    HS_CHECK(!flight.completed,
+             "duplicate completion for job " << completion.job.id);
+    flight.completed = true;
+    const uint8_t winner =
+        (flight.resident_mask & 2) != 0 &&
+                flight.machine[1] == static_cast<uint32_t>(completion.machine)
+            ? 1
+            : 0;
+    flight.resident_mask &= static_cast<uint8_t>(~(1u << winner));
+    if (winner == 1) {
+      hedged_[flight.scheduler]->record_won();
+      if (trace_ != nullptr) {
+        trace_->record(simulator_.now(), obs::TraceEventKind::kHedgeWon,
+                       completion.job.id, completion.machine,
+                       static_cast<uint16_t>(completion.job.attempt));
+      }
+    }
+    const uint8_t loser = static_cast<uint8_t>(1 - winner);
+    if ((flight.resident_mask & (1u << loser)) != 0) {
+      const size_t other = flight.machine[loser];
+      const bool evicted = servers_[other]->evict(completion.job.id);
+      HS_CHECK(evicted, "losing copy of job " << completion.job.id
+                                              << " missing from machine "
+                                              << other);
+      flight.resident_mask &= static_cast<uint8_t>(~(1u << loser));
+      net_record_cancelled(flight, completion.job);
+    }
+    simulator_.cancel(flight.hedge_timer);
+    flight.hedge_timer = sim::EventHandle{};
+    const size_t scheduler = flight.scheduler;
+    net_maybe_gc(it);  // invalidates `flight`
+    if (any_feedback_ && !stale_feedback_ &&
+        schedulers_[scheduler]->uses_feedback()) {
+      net_send_report(scheduler, static_cast<size_t>(completion.machine),
+                      completion.job.size);
+    }
+  }
+
+  /// One departure report over the faulty machine→dispatcher link. The
+  /// §4.2 base delay is drawn first (from the same stream as ever), then
+  /// the link may drop, slow, or duplicate the report. A lost report is
+  /// simply never seen — the Least-Load estimate stays stale, a
+  /// duplicated one double-decrements it; both are the realistic harm.
+  void net_send_report(size_t scheduler, size_t machine, double size) {
+    const LinkFaults& link = config_.network.report_link;
+    const double base = feedback_delay(delay_gen_);
+    if (partitioned_[machine] != 0 || link_event(link.loss)) {
+      ++msgs_lost_;
+      if (trace_ != nullptr) {
+        trace_->record(simulator_.now(), obs::TraceEventKind::kMsgLost,
+                       obs::TraceSink::kNoJob,
+                       static_cast<int32_t>(machine));
+      }
+      return;
+    }
+    const DepartureReportArgs report{static_cast<uint32_t>(scheduler),
+                                     static_cast<uint32_t>(machine), size};
+    simulator_.schedule_in(base + link.sample_delay(*net_gen_), *this,
+                           kDepartureReport, sim::EventArgs::pack(report));
+    if (link_event(link.duplicate)) {
+      ++msgs_duplicated_;
+      if (trace_ != nullptr) {
+        trace_->record(simulator_.now(), obs::TraceEventKind::kMsgDup,
+                       obs::TraceSink::kNoJob,
+                       static_cast<int32_t>(machine));
+      }
+      simulator_.schedule_in(base + link.sample_delay(*net_gen_), *this,
+                             kDepartureReport, sim::EventArgs::pack(report));
+    }
+  }
+
+  void net_record_cancelled(const Flight& flight, const queueing::Job& job) {
+    dispatch::HedgedDispatcher* hedged = hedged_[flight.scheduler];
+    if (hedged != nullptr) {
+      hedged->record_cancelled();
+    }
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kHedgeCancelled,
+                     job.id, obs::TraceSink::kScheduler,
+                     static_cast<uint16_t>(job.attempt));
+    }
+  }
+
+  /// Erase a completed flight once nothing references it any more (no
+  /// copy in transit, none resident).
+  void net_maybe_gc(std::unordered_map<uint64_t, Flight>::iterator it) {
+    const Flight& flight = it->second;
+    if (flight.completed && flight.pending == 0 &&
+        flight.resident_mask == 0) {
+      flights_.erase(it);
+    }
+  }
+
+  // ---- Heartbeat failure detection (config.network.heartbeat) ----
+
+  void on_heartbeat(size_t machine) {
+    // The emission chain always continues (crashed machines resume
+    // beating on recovery); it ends at the horizon so the final drain
+    // terminates.
+    const double next =
+        simulator_.now() + config_.network.heartbeat.interval;
+    if (next <= config_.sim_time) {
+      simulator_.schedule_at(
+          next, *this, kHeartbeat,
+          sim::EventArgs::pack(
+              HeartbeatArgs{static_cast<uint32_t>(machine)}));
+    }
+    if (faults_on_ && down_[machine]) {
+      return;  // a crashed machine emits nothing — silence is the signal
+    }
+    const LinkFaults& link = config_.network.report_link;
+    if (partitioned_[machine] != 0 || link_event(link.loss)) {
+      ++msgs_lost_;
+      return;  // not traced: lost heartbeats are high-volume noise
+    }
+    simulator_.schedule_in(
+        link.sample_delay(*net_gen_), *this, kHeartbeatArrival,
+        sim::EventArgs::pack(HeartbeatArgs{static_cast<uint32_t>(machine)}));
+  }
+
+  void on_heartbeat_arrival(size_t machine) {
+    HeartbeatState& state = hb_[machine];
+    const double now = simulator_.now();
+    if (state.suspected) {
+      state.suspected = false;
+      net_state_report(machine, /*up=*/true);
+    }
+    const HeartbeatConfig& hb = config_.network.heartbeat;
+    const double gap = now - state.last_arrival;
+    state.mean = (1.0 - hb.ewma_alpha) * state.mean + hb.ewma_alpha * gap;
+    state.last_arrival = now;
+    ++state.generation;
+    simulator_.schedule_at(
+        now + hb.timeout(state.mean), *this, kSuspectCheck,
+        sim::EventArgs::pack(SuspectArgs{static_cast<uint32_t>(machine),
+                                         state.generation}));
+  }
+
+  void on_suspect_check(size_t machine, uint64_t generation) {
+    // Heartbeat emission ends at the horizon, so during the drain the
+    // final generation's check would always fire and falsely re-suspect
+    // every machine. Arrivals have stopped by then — there is nothing
+    // left to route around — so the detector retires with the run.
+    if (simulator_.now() > config_.sim_time) {
+      return;
+    }
+    HeartbeatState& state = hb_[machine];
+    if (state.generation != generation || state.suspected) {
+      return;  // a later heartbeat superseded this check
+    }
+    state.suspected = true;
+    ++suspicions_;
+    if (trace_ != nullptr) {
+      trace_->record(simulator_.now(), obs::TraceEventKind::kSuspect,
+                     obs::TraceSink::kNoJob, static_cast<int32_t>(machine),
+                     0, simulator_.now() - state.last_arrival);
+    }
+    net_state_report(machine, /*up=*/false);
+  }
+
+  /// Deliver a detector verdict to every scheduler that reacts to fault
+  /// or overload signals. Unlike PR 1's crash reports (fault feedback
+  /// only), suspicion also reaches circuit breakers: a false suspicion
+  /// during a partition must trip breakers and reroute, not evict jobs.
+  void net_state_report(size_t machine, bool up) {
+    for (dispatch::Dispatcher* scheduler : schedulers_) {
+      if (scheduler->uses_fault_feedback() ||
+          scheduler->uses_overload_feedback()) {
+        scheduler->on_machine_state_report(machine, up);
+      }
+    }
+  }
+
   void on_completion(const queueing::Completion& completion) {
     const bool measured =
         completion.job.arrival_time >= config_.warmup_time();
@@ -939,6 +1589,10 @@ class RunContext : private sim::EventTarget {
     }
     if (config_.completion_hook) {
       config_.completion_hook(completion, measured);
+    }
+    if (net_on_) [[unlikely]] {
+      net_on_completion(completion);
+      return;
     }
     if (any_feedback_ && !stale_feedback_) {
       const auto it = job_scheduler_.find(completion.job.id);
@@ -983,6 +1637,17 @@ class RunContext : private sim::EventTarget {
   bool drift_on_ = false;          // true arrival rate is λ·factor_at(t)
   bool stale_feedback_ = false;    // periodic snapshots replace reports
   uint64_t snapshot_tick_ = 0;     // index of the last fired snapshot
+  // ---- Network layer state (allocated only when net_on_) ----
+  bool net_on_ = false;   // asynchronous dispatch path active
+  bool hb_on_ = false;    // heartbeat detector owns the fault signal
+  std::optional<rng::Xoshiro256> net_gen_;  // all link-fault draws
+  std::vector<char> partitioned_;           // current isolation per machine
+  std::unordered_map<uint64_t, Flight> flights_;
+  std::vector<dispatch::HedgedDispatcher*> hedged_;  // per scheduler (null)
+  std::vector<HeartbeatState> hb_;
+  uint64_t msgs_lost_ = 0;
+  uint64_t msgs_duplicated_ = 0;
+  uint64_t suspicions_ = 0;
   // Scheduler 0's adaptive core, unwrapped from any fault/breaker
   // decorators (null when there is none).
   uncertainty::GovernedAdaptiveDispatcher* adaptive_ = nullptr;

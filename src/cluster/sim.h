@@ -16,6 +16,7 @@
 
 #include "cluster/faults.h"
 #include "cluster/metrics.h"
+#include "cluster/netfaults.h"
 #include "dispatch/dispatcher.h"
 #include "obs/observer.h"
 #include "overload/config.h"
@@ -46,9 +47,19 @@ struct SimulationConfig {
   ServiceDiscipline discipline = ServiceDiscipline::kProcessorSharing;
   double rr_quantum = 0.1;  // seconds, kRoundRobin only
 
-  // Dynamic Least-Load feedback path (§4.2).
-  double detection_interval = 1.0;   // departure found after U(0, this) s
-  double message_delay_mean = 0.05;  // exponential transfer delay mean
+  /// Network model (cluster/netfaults.h). The §4.2 Least-Load feedback
+  /// path — detection interval and message transfer delay — lives in
+  /// `network.detection_interval` / `network.message_delay_mean` with the
+  /// paper's defaults, so a default-constructed config reproduces the
+  /// base model bit-for-bit. Everything else in it (link loss/delay/
+  /// duplication, partitions, heartbeat failure detection) is off by
+  /// default; when off, the run takes no network branches, draws no
+  /// network RNG, and dispatch stays synchronous. When any feature is on
+  /// (or a dispatch::HedgedDispatcher with hedging enabled is in the
+  /// scheduler stack), dispatch becomes an asynchronous message over the
+  /// faulty link and the run self-checks the exactly-once identity
+  /// below. See docs/FAULT_MODEL.md §8.
+  NetworkConfig network;
 
   /// When non-empty, track the Figure 2 workload allocation deviation
   /// against these expected fractions per `deviation_interval` seconds.
@@ -172,6 +183,20 @@ struct SimulationResult {
   uint64_t jobs_rejected = 0;  // dispatch attempts refused by a full queue
   uint64_t jobs_shed = 0;      // jobs refused by admission control
   uint64_t retry_budget_denied = 0;  // retries that became drops (budget)
+
+  // ---- Network metrics (populated meaningfully with config.network
+  //      enabled and/or a hedged dispatcher; all zero otherwise).
+  //      Message counts are whole-run; hedge counts sum over all
+  //      schedulers' HedgedDispatcher decorators. ----
+  uint64_t msgs_lost = 0;        // message copies dropped in transit
+  uint64_t msgs_duplicated = 0;  // message copies delivered twice
+  uint64_t hedges_issued = 0;    // hedge copies actually sent
+  uint64_t hedges_won = 0;       // hedge copies that beat their primary
+  uint64_t hedges_cancelled = 0; // losing copies evicted or deduped
+  uint64_t suspicions = 0;       // failure-detector suspicion events
+  /// p99 of measured response times (seconds) — the hedging acceptance
+  /// metric. 0 unless the network layer enabled its collection.
+  double response_time_p99 = 0.0;
 
   // ---- Adaptation metrics (populated when scheduler 0 carries a
   //      uncertainty::GovernedAdaptiveDispatcher, possibly inside

@@ -234,6 +234,24 @@ std::unique_ptr<dispatch::Dispatcher> make_circuit_breaker_dispatcher(
       std::move(inner), breaker, std::move(rebuilder));
 }
 
+std::unique_ptr<dispatch::Dispatcher> make_hedged_dispatcher(
+    std::unique_ptr<dispatch::Dispatcher> inner,
+    const dispatch::HedgingConfig& hedging) {
+  return std::make_unique<dispatch::HedgedDispatcher>(std::move(inner),
+                                                      hedging);
+}
+
+cluster::DispatcherFactory hedged_dispatcher_factory(
+    PolicyKind kind, std::vector<double> speeds, double rho,
+    dispatch::HedgingConfig hedging, double rho_estimate_factor) {
+  return [kind, speeds = std::move(speeds), rho, hedging,
+          rho_estimate_factor]() -> std::unique_ptr<dispatch::Dispatcher> {
+    return make_hedged_dispatcher(
+        make_policy_dispatcher(kind, speeds, rho, rho_estimate_factor),
+        hedging);
+  };
+}
+
 std::unique_ptr<dispatch::Dispatcher> make_adaptive_dispatcher(
     PolicyKind kind, const std::vector<double>& believed_speeds,
     double believed_rho, uncertainty::AdaptiveOptions options) {

@@ -19,6 +19,7 @@
 #include "alloc/allocation.h"
 #include "cluster/experiment.h"
 #include "dispatch/dispatcher.h"
+#include "dispatch/hedged.h"
 #include "overload/circuit_breaker.h"
 #include "uncertainty/adaptive.h"
 
@@ -104,6 +105,19 @@ make_circuit_breaker_dispatcher(PolicyKind kind,
 [[nodiscard]] cluster::DispatcherFactory circuit_breaker_dispatcher_factory(
     PolicyKind kind, std::vector<double> speeds, double rho,
     overload::CircuitBreakerConfig breaker, double rho_estimate_factor = 1.0);
+
+/// Wrap any built dispatcher in a dispatch::HedgedDispatcher so the
+/// cluster harness re-issues stragglers to a second-choice machine
+/// (first completion wins; see docs/FAULT_MODEL.md §8). Composes with
+/// the fault-aware and circuit-breaker builders in any order.
+[[nodiscard]] std::unique_ptr<dispatch::Dispatcher> make_hedged_dispatcher(
+    std::unique_ptr<dispatch::Dispatcher> inner,
+    const dispatch::HedgingConfig& hedging);
+
+/// Thread-safe factory: the policy dispatcher wrapped for hedging.
+[[nodiscard]] cluster::DispatcherFactory hedged_dispatcher_factory(
+    PolicyKind kind, std::vector<double> speeds, double rho,
+    dispatch::HedgingConfig hedging, double rho_estimate_factor = 1.0);
 
 /// Build the governed adaptive variant of a static policy: a
 /// uncertainty::GovernedAdaptiveDispatcher seeded with the operator's

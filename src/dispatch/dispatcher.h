@@ -36,6 +36,18 @@ class Dispatcher {
   /// True if the policy requires job sizes at dispatch time.
   [[nodiscard]] virtual bool uses_size() const { return false; }
 
+  /// Second-choice pick for hedged dispatch (dispatch/hedged.h): choose
+  /// a machine for a duplicate copy of a job already in flight to
+  /// `exclude`. Policies with per-machine load visibility override this
+  /// to return the best machine *other than* `exclude`; the default
+  /// re-runs pick_sized and may therefore return `exclude` itself — the
+  /// caller must then skip the hedge (there is no useful second choice).
+  [[nodiscard]] virtual size_t pick_hedge(rng::Xoshiro256& gen, double size,
+                                          size_t exclude) {
+    (void)exclude;
+    return pick_sized(gen, size);
+  }
+
   /// Restore the initial state (start of a new replication).
   virtual void reset() = 0;
 

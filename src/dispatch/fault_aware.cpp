@@ -14,6 +14,7 @@ FaultAwareDispatcher::FaultAwareDispatcher(std::unique_ptr<Dispatcher> inner,
     : inner_(std::move(inner)), rebuilder_(std::move(rebuilder)) {
   HS_CHECK(inner_ != nullptr, "fault-aware decorator needs a dispatcher");
   available_.assign(inner_->machine_count(), true);
+  outer_mask_.assign(inner_->machine_count(), true);
   native_mask_ = inner_->set_available_mask(available_);
   HS_CHECK(native_mask_ || rebuilder_,
            "inner dispatcher \""
@@ -29,10 +30,16 @@ size_t FaultAwareDispatcher::pick_sized(rng::Xoshiro256& gen, double size) {
   return inner_->pick_sized(gen, size);
 }
 
+size_t FaultAwareDispatcher::pick_hedge(rng::Xoshiro256& gen, double size,
+                                        size_t exclude) {
+  return inner_->pick_hedge(gen, size, exclude);
+}
+
 bool FaultAwareDispatcher::uses_size() const { return inner_->uses_size(); }
 
 void FaultAwareDispatcher::reset() {
   available_.assign(available_.size(), true);
+  outer_mask_.assign(outer_mask_.size(), true);
   rebuilds_ = 0;
   if (native_mask_) {
     inner_->reset();
@@ -77,6 +84,11 @@ bool FaultAwareDispatcher::uses_feedback() const {
   return inner_->uses_feedback();
 }
 
+void FaultAwareDispatcher::on_dispatch_result(size_t machine, bool accepted,
+                                              double now) {
+  inner_->on_dispatch_result(machine, accepted, now);
+}
+
 size_t FaultAwareDispatcher::down_count() const {
   return static_cast<size_t>(
       std::count(available_.begin(), available_.end(), false));
@@ -92,18 +104,36 @@ void FaultAwareDispatcher::on_machine_state_report(size_t machine, bool up) {
   apply_mask();
 }
 
+bool FaultAwareDispatcher::set_available_mask(
+    const std::vector<bool>& available) {
+  HS_CHECK(available.size() == available_.size(),
+           "availability mask size " << available.size()
+                                     << " != machine count "
+                                     << available_.size());
+  outer_mask_ = available;
+  apply_mask();
+  return true;
+}
+
 void FaultAwareDispatcher::apply_mask() {
+  effective_.assign(available_.size(), false);
+  size_t routable = 0;
+  for (size_t i = 0; i < available_.size(); ++i) {
+    effective_[i] = available_[i] && outer_mask_[i];
+    routable += effective_[i] ? 1 : 0;
+  }
   if (native_mask_) {
-    inner_->set_available_mask(available_);
+    inner_->set_available_mask(effective_);
     return;
   }
-  if (down_count() == available_.size()) {
-    // Every machine is believed down: nothing useful to rebuild over.
-    // Keep the previous routing; dispatched jobs are lost and retried by
-    // the fault layer until a recovery report arrives.
+  if (routable == 0) {
+    // Every machine is believed down or masked from above: nothing
+    // useful to rebuild over. Keep the previous routing; dispatched jobs
+    // are lost and retried by the fault layer until a recovery report
+    // arrives.
     return;
   }
-  inner_ = rebuilder_(available_);
+  inner_ = rebuilder_(effective_);
   HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
   ++rebuilds_;
 }

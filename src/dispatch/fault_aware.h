@@ -48,6 +48,8 @@ class FaultAwareDispatcher final : public Dispatcher {
   [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
   [[nodiscard]] size_t pick_sized(rng::Xoshiro256& gen,
                                   double size) override;
+  [[nodiscard]] size_t pick_hedge(rng::Xoshiro256& gen, double size,
+                                  size_t exclude) override;
   [[nodiscard]] bool uses_size() const override;
   void reset() override;
   [[nodiscard]] std::string name() const override;
@@ -62,6 +64,23 @@ class FaultAwareDispatcher final : public Dispatcher {
 
   void on_machine_state_report(size_t machine, bool up) override;
   [[nodiscard]] bool uses_fault_feedback() const override { return true; }
+
+  /// Dispatch outcomes are not this decorator's signal (it acts on
+  /// crash/suspicion reports), but a circuit breaker stacked *inside*
+  /// needs them — forward verbatim so the three robustness decorators
+  /// compose in any order.
+  void on_dispatch_result(size_t machine, bool accepted, double now) override;
+  [[nodiscard]] bool uses_overload_feedback() const override {
+    return inner_->uses_overload_feedback();
+  }
+
+  /// Native masking on behalf of an *outer* decorator (a circuit breaker
+  /// or another fault layer stacked on top): the outer mask is ANDed
+  /// with this decorator's own crash blacklist before being pushed down,
+  /// so Hedged/FaultAware/CircuitBreaker compose in any order. Always
+  /// returns true — the decorator absorbs the mask even when the inner
+  /// dispatcher needs the rebuilder.
+  bool set_available_mask(const std::vector<bool>& available) override;
 
   /// Current availability as last reported (true = believed up).
   [[nodiscard]] const std::vector<bool>& available() const {
@@ -84,6 +103,8 @@ class FaultAwareDispatcher final : public Dispatcher {
   std::unique_ptr<Dispatcher> inner_;
   Rebuilder rebuilder_;
   std::vector<bool> available_;
+  std::vector<bool> outer_mask_;  // restriction imposed from above
+  std::vector<bool> effective_;   // scratch: available_ AND outer_mask_
   bool native_mask_ = false;
   uint64_t rebuilds_ = 0;
 };

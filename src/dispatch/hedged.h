@@ -1,0 +1,106 @@
+// Hedged-dispatch decorator: tail-tolerant duplicate requests.
+//
+// Wraps any Dispatcher and marks the stream for request hedging: when a
+// job dispatched through this decorator has not completed
+// `HedgingConfig::delay` seconds after its primary dispatch, the cluster
+// harness asks pick_hedge() for a second-choice machine and sends a
+// duplicate copy there. The first copy to complete wins; the harness
+// evicts the losing copy and dedups duplicate completions, so the
+// arrivals = completed + shed + dropped + in-flight identity still
+// balances exactly-once (docs/FAULT_MODEL.md §8).
+//
+// The decorator itself is deliberately thin — the timers, the in-flight
+// copy table, and the eviction live in the cluster harness, which is the
+// only place that can observe completions and cancel work. What lives
+// here is (a) the hedging configuration, (b) the pick_hedge pass-through
+// that lets the wrapped policy choose the second machine with its own
+// state (Least-Load picks the second-least-loaded and bumps its
+// estimate), and (c) the hedge counters surfaced in SimulationResult.
+// Hedging only changes behavior when the network layer is on: the
+// synchronous dispatch path never leaves a job in flight long enough to
+// hedge.
+//
+// Composes in any order with FaultAwareDispatcher and
+// CircuitBreakerDispatcher: every hook, including set_available_mask,
+// is forwarded verbatim.
+#pragma once
+
+#include <memory>
+
+#include "dispatch/dispatcher.h"
+
+namespace hs::dispatch {
+
+/// Tail-tolerant request hedging. Configured on the dispatcher (not in
+/// cluster::NetworkConfig) because the wrapped policy owns the
+/// second-choice decision; the cluster harness reads it through the
+/// decorator. Hedging activates the asynchronous network dispatch path
+/// even when no link faults are configured.
+struct HedgingConfig {
+  /// Seconds after the primary dispatch before the hedge copy is issued
+  /// (0 = hedging off). Pick a high percentile of the no-fault response
+  /// time so only stragglers are hedged.
+  double delay = 0.0;
+
+  [[nodiscard]] bool enabled() const { return delay > 0.0; }
+  /// Throws util::CheckError on out-of-range fields.
+  void validate() const;
+};
+
+class HedgedDispatcher final : public Dispatcher {
+ public:
+  HedgedDispatcher(std::unique_ptr<Dispatcher> inner,
+                   HedgingConfig config);
+
+  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+  [[nodiscard]] size_t pick_sized(rng::Xoshiro256& gen,
+                                  double size) override;
+  [[nodiscard]] size_t pick_hedge(rng::Xoshiro256& gen, double size,
+                                  size_t exclude) override;
+  [[nodiscard]] bool uses_size() const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] size_t machine_count() const override;
+
+  void on_arrival(double now) override;
+  void on_departure_report(size_t machine) override;
+  void on_departure_report(size_t machine, double now) override;
+  void on_departure_report(size_t machine, double now, double work) override;
+  void on_load_report(size_t machine, uint64_t queue_length) override;
+  [[nodiscard]] bool uses_feedback() const override;
+
+  bool set_available_mask(const std::vector<bool>& available) override;
+  void on_dispatch_result(size_t machine, bool accepted, double now) override;
+  [[nodiscard]] bool uses_overload_feedback() const override;
+  void on_machine_state_report(size_t machine, bool up) override;
+  [[nodiscard]] bool uses_fault_feedback() const override;
+
+  [[nodiscard]] const HedgingConfig& config() const { return config_; }
+
+  /// Harness callbacks — the cluster simulation drives the hedge
+  /// lifecycle and records it here so the counters survive in one place.
+  void record_issued() { ++issued_; }
+  void record_won() { ++won_; }
+  void record_cancelled() { ++cancelled_; }
+
+  /// Hedge copies actually sent (timer fired and a distinct second
+  /// machine existed).
+  [[nodiscard]] uint64_t issued() const { return issued_; }
+  /// Hedge copies that completed before their primary.
+  [[nodiscard]] uint64_t won() const { return won_; }
+  /// Copies cancelled because the sibling finished first (evictions plus
+  /// late arrivals deduped after a win).
+  [[nodiscard]] uint64_t cancelled() const { return cancelled_; }
+
+  [[nodiscard]] const Dispatcher& inner() const { return *inner_; }
+  [[nodiscard]] Dispatcher& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Dispatcher> inner_;
+  HedgingConfig config_;
+  uint64_t issued_ = 0;
+  uint64_t won_ = 0;
+  uint64_t cancelled_ = 0;
+};
+
+}  // namespace hs::dispatch

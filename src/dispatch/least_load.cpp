@@ -43,6 +43,32 @@ size_t LeastLoadDispatcher::pick(rng::Xoshiro256& /*gen*/) {
   return best;
 }
 
+size_t LeastLoadDispatcher::pick_hedge(rng::Xoshiro256& /*gen*/,
+                                       double /*size*/, size_t exclude) {
+  bool any_available = false;
+  for (size_t i = 0; i < available_.size(); ++i) {
+    any_available = any_available || (available_[i] && i != exclude);
+  }
+  if (!any_available) {
+    return exclude;  // no second choice — the caller skips the hedge
+  }
+  size_t best = speeds_.size();
+  double best_load = 0.0;
+  for (size_t i = 0; i < speeds_.size(); ++i) {
+    if (i == exclude || !available_[i]) {
+      continue;
+    }
+    const double load =
+        static_cast<double>(estimates_[i] + 1) / speeds_[i];
+    if (best == speeds_.size() || load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  ++estimates_[best];
+  return best;
+}
+
 void LeastLoadDispatcher::on_departure_report(size_t machine) {
   HS_CHECK(machine < estimates_.size(),
            "machine index out of range: " << machine);

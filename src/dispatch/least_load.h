@@ -22,6 +22,14 @@ class LeastLoadDispatcher final : public Dispatcher {
   explicit LeastLoadDispatcher(std::vector<double> speeds);
 
   [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+
+  /// Second-least-loaded available machine (skipping `exclude`), with
+  /// the estimate bumped exactly like pick() — the hedge copy really is
+  /// headed there. Returns `exclude` when it is the only candidate, in
+  /// which case the caller skips the hedge and no estimate moves.
+  [[nodiscard]] size_t pick_hedge(rng::Xoshiro256& gen, double size,
+                                  size_t exclude) override;
+
   void reset() override;
   [[nodiscard]] std::string name() const override { return "least-load"; }
   [[nodiscard]] size_t machine_count() const override {

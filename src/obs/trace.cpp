@@ -36,6 +36,14 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kReallocCommit:  return "realloc_commit";
     case TraceEventKind::kReallocReject:  return "realloc_reject";
     case TraceEventKind::kGovernorFreeze: return "governor_freeze";
+    case TraceEventKind::kMsgLost:        return "msg_lost";
+    case TraceEventKind::kMsgDup:         return "msg_dup";
+    case TraceEventKind::kPartitionStart: return "partition_start";
+    case TraceEventKind::kPartitionEnd:   return "partition_end";
+    case TraceEventKind::kSuspect:        return "suspect";
+    case TraceEventKind::kHedgeIssued:    return "hedge_issued";
+    case TraceEventKind::kHedgeWon:       return "hedge_won";
+    case TraceEventKind::kHedgeCancelled: return "hedge_cancelled";
   }
   return "unknown";
 }

@@ -49,6 +49,15 @@ enum class TraceEventKind : uint8_t {
   kReallocCommit,   // governor committed a re-allocation (aux = rel. gain)
   kReallocReject,   // governor refused one (aux = GovernorVerdict code)
   kGovernorFreeze,  // flap guard tripped — re-allocation frozen
+  // Network-fault events (src/cluster/netfaults.h, FAULT_MODEL.md §8):
+  kMsgLost,         // a message copy vanished in transit to `machine`
+  kMsgDup,          // a message copy was duplicated toward `machine`
+  kPartitionStart,  // dispatcher cut off from `machine` (job = kNoJob)
+  kPartitionEnd,    // partition healed for `machine` (job = kNoJob)
+  kSuspect,         // failure detector suspects `machine` (aux = silence)
+  kHedgeIssued,     // hedge copy dispatched to `machine` (aux = delay)
+  kHedgeWon,        // the hedge copy completed first on `machine`
+  kHedgeCancelled,  // losing copy evicted from / late at `machine`
 };
 
 /// Printable name of a kind ("dispatch", "crash", ...).

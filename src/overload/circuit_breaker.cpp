@@ -49,6 +49,7 @@ void CircuitBreakerDispatcher::init(
   HS_CHECK(inner_ != nullptr, "circuit breaker needs a dispatcher");
   breakers_.assign(inner_->machine_count(), Breaker{});
   routable_.assign(inner_->machine_count(), true);
+  outer_mask_.assign(inner_->machine_count(), true);
   next_reopen_time_ = kNoReopen;
   native_mask_ = inner_->set_available_mask(routable_);
   HS_CHECK(native_mask_ || rebuilder_,
@@ -66,6 +67,11 @@ size_t CircuitBreakerDispatcher::pick_sized(rng::Xoshiro256& gen,
   return inner_->pick_sized(gen, size);
 }
 
+size_t CircuitBreakerDispatcher::pick_hedge(rng::Xoshiro256& gen, double size,
+                                            size_t exclude) {
+  return inner_->pick_hedge(gen, size, exclude);
+}
+
 bool CircuitBreakerDispatcher::uses_size() const {
   return inner_->uses_size();
 }
@@ -73,6 +79,7 @@ bool CircuitBreakerDispatcher::uses_size() const {
 void CircuitBreakerDispatcher::reset() {
   breakers_.assign(breakers_.size(), Breaker{});
   routable_.assign(routable_.size(), true);
+  outer_mask_.assign(outer_mask_.size(), true);
   next_reopen_time_ = kNoReopen;
   last_now_ = 0.0;
   trips_ = 0;
@@ -193,6 +200,15 @@ void CircuitBreakerDispatcher::on_machine_state_report(size_t machine,
     // through on_arrival/on_dispatch_result is current enough (reports
     // are delivered between arrivals, never before the first one).
     trip(machine, last_now_);
+  } else if (up && breakers_[machine].state == BreakerState::kOpen) {
+    // An explicit recovery report is as authoritative as the crash
+    // report that tripped the breaker: skip the remaining cooldown and
+    // Half-Open immediately — the machine rejoins routing and the probe
+    // jobs confirm (or refute) the recovery. Keeps the routing mask
+    // identical whichever side of a FaultAwareDispatcher this decorator
+    // sits on.
+    transition(machine, BreakerState::kHalfOpen, last_now_);
+    apply_mask();
   }
 }
 
@@ -238,18 +254,36 @@ void CircuitBreakerDispatcher::transition(size_t machine, BreakerState to,
   }
 }
 
+bool CircuitBreakerDispatcher::set_available_mask(
+    const std::vector<bool>& available) {
+  HS_CHECK(available.size() == routable_.size(),
+           "availability mask size " << available.size()
+                                     << " != machine count "
+                                     << routable_.size());
+  outer_mask_ = available;
+  apply_mask();
+  return true;
+}
+
 void CircuitBreakerDispatcher::apply_mask() {
+  effective_.assign(routable_.size(), false);
+  size_t usable = 0;
+  for (size_t i = 0; i < routable_.size(); ++i) {
+    effective_[i] = routable_[i] && outer_mask_[i];
+    usable += effective_[i] ? 1 : 0;
+  }
   if (native_mask_) {
-    inner_->set_available_mask(routable_);
+    inner_->set_available_mask(effective_);
     return;
   }
-  if (open_count() == breakers_.size()) {
-    // Every breaker is open: nothing useful to rebuild over. Keep the
-    // previous routing — jobs fail fast and their outcomes drive the
-    // half-open probes (mirrors FaultAwareDispatcher's all-down case).
+  if (usable == 0) {
+    // Every breaker is open (or masked from above): nothing useful to
+    // rebuild over. Keep the previous routing — jobs fail fast and their
+    // outcomes drive the half-open probes (mirrors
+    // FaultAwareDispatcher's all-down case).
     return;
   }
-  inner_ = rebuilder_(routable_);
+  inner_ = rebuilder_(effective_);
   HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
   ++rebuilds_;
 }

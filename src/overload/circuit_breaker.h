@@ -74,6 +74,8 @@ class CircuitBreakerDispatcher final : public dispatch::Dispatcher {
   [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
   [[nodiscard]] size_t pick_sized(rng::Xoshiro256& gen,
                                   double size) override;
+  [[nodiscard]] size_t pick_hedge(rng::Xoshiro256& gen, double size,
+                                  size_t exclude) override;
   [[nodiscard]] bool uses_size() const override;
   void reset() override;
   [[nodiscard]] std::string name() const override;
@@ -90,11 +92,21 @@ class CircuitBreakerDispatcher final : public dispatch::Dispatcher {
   [[nodiscard]] bool uses_overload_feedback() const override { return true; }
 
   /// Also treat fault-layer crash reports as instant trips (a crashed
-  /// machine should not wait for trip_threshold rejected probes).
+  /// machine should not wait for trip_threshold rejected probes), and
+  /// recovery reports as instant Half-Opens (skip the remaining
+  /// cooldown; the probe jobs confirm the recovery).
   void on_machine_state_report(size_t machine, bool up) override;
   [[nodiscard]] bool uses_fault_feedback() const override {
     return inner_->uses_fault_feedback();
   }
+
+  /// Native masking on behalf of an *outer* decorator (a fault layer or
+  /// hedging wrapper stacked on top): the outer mask is ANDed with the
+  /// breaker's own routable set before being pushed down, so
+  /// Hedged/FaultAware/CircuitBreaker compose in any order. Always
+  /// returns true — the decorator absorbs the mask even when the inner
+  /// dispatcher needs the rebuilder.
+  bool set_available_mask(const std::vector<bool>& available) override;
 
   /// Attach a trace sink for kBreakerOpen/kBreakerHalfOpen/kBreakerClose
   /// records (null detaches).
@@ -128,7 +140,9 @@ class CircuitBreakerDispatcher final : public dispatch::Dispatcher {
   CircuitBreakerConfig config_;
   Rebuilder rebuilder_;
   std::vector<Breaker> breakers_;
-  std::vector<bool> routable_;  // state != kOpen
+  std::vector<bool> routable_;    // state != kOpen
+  std::vector<bool> outer_mask_;  // restriction imposed from above
+  std::vector<bool> effective_;   // scratch: routable_ AND outer_mask_
   obs::TraceSink* trace_ = nullptr;
   // Earliest reopen_at over Open breakers (+inf when none are open):
   // lets on_arrival() skip the scan in the common all-closed case.

@@ -100,6 +100,29 @@ std::vector<Job> FcfsServer::evict_all() {
   return evicted;
 }
 
+bool FcfsServer::evict(uint64_t job_id) {
+  if (in_service_ && current_.id == job_id) {
+    simulator_.cancel(completion_event_);
+    completion_event_ = sim::EventHandle{};
+    in_service_ = false;
+    if (!waiting_.empty()) {
+      // The next waiter starts immediately; the busy period continues.
+      start_service();
+    } else {
+      busy_accum_ += simulator_.now() - busy_since_;
+    }
+    return true;
+  }
+  const auto it = std::find_if(
+      waiting_.begin(), waiting_.end(),
+      [job_id](const Job& job) { return job.id == job_id; });
+  if (it == waiting_.end()) {
+    return false;
+  }
+  waiting_.erase(it);
+  return true;
+}
+
 void FcfsServer::on_service_complete() {
   completion_event_ = sim::EventHandle{};
   in_service_ = false;

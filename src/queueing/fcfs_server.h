@@ -28,6 +28,10 @@ class FcfsServer final : public Server, private sim::EventTarget {
   /// queue, cancelling the pending completion.
   std::vector<Job> evict_all() override;
 
+  /// Hedge-cancellation support: removes one job by id — from service
+  /// (the next waiter starts immediately) or from the waiting queue.
+  bool evict(uint64_t job_id) override;
+
  private:
   void start_service();
   /// (Re)schedule the completion of the job in service. Reschedules the

@@ -70,6 +70,28 @@ std::vector<Job> PsServer::evict_all() {
   return evicted;
 }
 
+bool PsServer::evict(uint64_t job_id) {
+  advance_clock();
+  std::vector<ActiveJob> keep;
+  keep.reserve(active_.size());
+  bool found = false;
+  while (!active_.empty()) {
+    if (!found && active_.top().job.id == job_id) {
+      found = true;
+    } else {
+      keep.push_back(active_.top());
+    }
+    active_.pop();
+  }
+  for (const ActiveJob& a : keep) {
+    active_.push(a);
+  }
+  if (found) {
+    reschedule_departure();
+  }
+  return found;
+}
+
 void PsServer::reschedule_departure() {
   if (active_.empty() || speed_ <= 0.0) {
     // A stopped machine holds its jobs until speed recovers.

@@ -38,6 +38,11 @@ class PsServer final : public Server, private sim::EventTarget {
   /// deterministic) and cancels the pending departure.
   std::vector<Job> evict_all() override;
 
+  /// Hedge-cancellation support: removes one job by id (rebuilding the
+  /// tag heap — eviction is rare, arrivals are not) and reschedules the
+  /// departure for the new leader.
+  bool evict(uint64_t job_id) override;
+
  private:
   struct ActiveJob {
     double finish_tag;  // virtual work at which this job completes

@@ -98,6 +98,33 @@ std::vector<Job> RrServer::evict_all() {
   return evicted;
 }
 
+bool RrServer::evict(uint64_t job_id) {
+  if (ready_.empty()) {
+    return false;
+  }
+  if (running_ && ready_.front().job.id == job_id) {
+    simulator_.cancel(slice_event_);
+    slice_event_ = sim::EventHandle{};
+    ready_.pop_front();
+    if (!ready_.empty()) {
+      // The next head takes the CPU; the busy period continues.
+      start_slice();
+    } else {
+      running_ = false;
+      busy_accum_ += simulator_.now() - busy_since_;
+    }
+    return true;
+  }
+  const auto it = std::find_if(
+      ready_.begin(), ready_.end(),
+      [job_id](const PendingJob& p) { return p.job.id == job_id; });
+  if (it == ready_.end()) {
+    return false;
+  }
+  ready_.erase(it);
+  return true;
+}
+
 void RrServer::on_slice_end() {
   slice_event_ = sim::EventHandle{};
   HS_CHECK(!ready_.empty(), "slice end with empty ready queue");

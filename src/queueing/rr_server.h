@@ -31,6 +31,10 @@ class RrServer final : public Server, private sim::EventTarget {
   /// cancels the pending slice-end event.
   std::vector<Job> evict_all() override;
 
+  /// Hedge-cancellation support: removes one job by id — the running job
+  /// (the next head takes the CPU immediately) or a queued one.
+  bool evict(uint64_t job_id) override;
+
   [[nodiscard]] double quantum() const { return quantum_; }
 
  private:

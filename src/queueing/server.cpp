@@ -18,6 +18,11 @@ std::vector<Job> Server::evict_all() {
   return {};
 }
 
+bool Server::evict(uint64_t /*job_id*/) {
+  HS_CHECK(false, "evict is not supported by this service discipline");
+  return false;
+}
+
 double Server::utilization() const {
   const double now = simulator_.now();
   if (now <= 0.0) {

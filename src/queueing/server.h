@@ -65,6 +65,14 @@ class Server {
   /// loudly rather than silently ignore a crash.
   virtual std::vector<Job> evict_all();
 
+  /// Remove one resident job by id without emitting a completion;
+  /// attained service is discarded. Returns false (and changes nothing)
+  /// when no resident job has that id. Used by hedged dispatch
+  /// (dispatch/hedged.h) to cancel the losing copy once its sibling
+  /// completes elsewhere. The default implementation throws CheckError
+  /// so future disciplines fail loudly rather than leak duplicate work.
+  virtual bool evict(uint64_t job_id);
+
   /// Number of jobs currently on the machine (running + queued). This is
   /// the "run queue length" load index of §2.2.
   [[nodiscard]] virtual size_t queue_length() const = 0;

@@ -69,4 +69,32 @@ class Xoshiro256 {
 [[nodiscard]] uint64_t derive_seed(uint64_t base_seed, uint64_t replication,
                                    uint64_t component);
 
+/// Named RNG stream components. Every subsystem that derives a seed does
+/// so through one of these — a new subsystem claims the next free value
+/// here instead of scattering magic numbers across draw sites. The
+/// numeric values are frozen: they feed derive_seed(), so renumbering
+/// would silently change every golden output.
+enum class Stream : uint64_t {
+  kArrival = 0,         // interarrival gaps (workload source)
+  kJobSize = 1,         // job service demands
+  kDispatch = 2,        // dispatcher tie-breaks / probabilistic picks
+  kMessageDelay = 3,    // §4.2 feedback-report delays (completions)
+  kSchedulerSplit = 4,  // multi-scheduler arrival splitting
+  kFaultDelay = 5,      // crash/loss detection delays
+  kOverload = 6,        // admission-control coin flips
+  kBelief = 7,          // parameter-uncertainty belief noise
+  kNetwork = 8,         // network fault model (loss/delay/dup/heartbeats)
+  kFaultTimeline = 32,  // + machine index: per-machine crash timelines
+  kReplication = 100,   // per-replication base-seed derivation
+};
+
+/// derive_seed with a named component. `offset` is added to the stream's
+/// base value for per-entity sub-streams (e.g. kFaultTimeline + machine).
+[[nodiscard]] inline uint64_t derive_seed(uint64_t base_seed,
+                                          uint64_t replication, Stream s,
+                                          uint64_t offset = 0) {
+  return derive_seed(base_seed, replication,
+                     static_cast<uint64_t>(s) + offset);
+}
+
 }  // namespace hs::rng

@@ -217,7 +217,7 @@ BelievedParams derive_beliefs(const UncertaintyConfig& config,
   const bool needs_noise = config.lambda_error.noise_cv > 0.0 ||
                            config.speed_error.noise_cv > 0.0;
   rng::Xoshiro256 belief_gen(needs_noise
-                                 ? rng::derive_seed(seed, 0, kBeliefStream)
+                                 ? rng::derive_seed(seed, 0, rng::Stream::kBelief)
                                  : 0);
   if (config.lambda_error.noise_cv > 0.0) {
     beliefs.lambda_factor *=

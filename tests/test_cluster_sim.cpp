@@ -151,8 +151,8 @@ TEST(ClusterSim, LeastLoadFeedbackDelayMatters) {
       make_policy_dispatcher(PolicyKind::kLeastLoad, config.speeds, 0.8);
   const auto fast_feedback = run_simulation(config, *prompt);
 
-  config.detection_interval = 200.0;
-  config.message_delay_mean = 50.0;
+  config.network.detection_interval = 200.0;
+  config.network.message_delay_mean = 50.0;
   auto stale =
       make_policy_dispatcher(PolicyKind::kLeastLoad, config.speeds, 0.8);
   const auto slow_feedback = run_simulation(config, *stale);

@@ -12,6 +12,9 @@
 
 #include "cluster/sim.h"
 #include "core/policy.h"
+#include "dispatch/fault_aware.h"
+#include "dispatch/hedged.h"
+#include "overload/circuit_breaker.h"
 #include "rng/rng.h"
 #include "util/check.h"
 
@@ -109,9 +112,12 @@ INSTANTIATE_TEST_SUITE_P(RandomConfigs, Conservation,
 
 // Whole-run conservation identity with every robustness layer on at
 // once: faults (crash/recovery + retry), overload protection (bounded
-// queues, admission shedding, retry budget) and parameter uncertainty
-// (drift, staleness, governed adaptive re-allocation behind a
-// fault-aware decorator). Every arrival must be accounted for:
+// queues, admission shedding, retry budget), parameter uncertainty
+// (drift, staleness, governed adaptive re-allocation) and the network
+// layer (lossy/duplicating links, a partition, heartbeat suspicion,
+// hedged dispatch), with the full decorator stack
+// CircuitBreaker(Hedged(FaultAware(adaptive))). Every arrival must be
+// accounted for exactly once:
 // arrivals = completed + shed + dropped + in-flight at the end.
 class FullStackConservation : public ::testing::TestWithParam<int> {};
 
@@ -148,14 +154,34 @@ TEST_P(FullStackConservation, ArrivalsAreConserved) {
   config.uncertainty.staleness.update_interval = 50.0;
   config.uncertainty.staleness.report_delay = 5.0;
 
+  // Network: lossy, slow, duplicating links, one partition window, and a
+  // heartbeat detector feeding the fault-aware and breaker decorators.
+  config.network.dispatch_link.loss = 0.05;
+  config.network.dispatch_link.delay_mean = 0.05;
+  config.network.dispatch_link.tail_prob = 0.1;
+  config.network.dispatch_link.tail_factor = 10.0;
+  config.network.dispatch_link.duplicate = 0.02;
+  config.network.report_link.loss = 0.05;
+  config.network.report_link.delay_mean = 0.02;
+  config.network.report_link.duplicate = 0.02;
+  config.network.partitions.push_back({5000.0, 400.0, {1}});
+  config.network.heartbeat.interval = 2.0;
+  config.network.heartbeat.phi_threshold = 4.0;
+
   hs::uncertainty::AdaptiveOptions options;
   options.mean_job_size = config.workload.mean_job_size();
   options.time_constant = 1000.0;
   options.reestimate_every = 256;
-  auto dispatcher = hs::core::adaptive_dispatcher_factory(
+  auto adaptive = hs::core::make_adaptive_dispatcher(
       hs::core::PolicyKind::kORR, config.speeds,
-      config.rho * config.uncertainty.lambda_error.bias, options,
-      /*fault_aware=*/true)();
+      config.rho * config.uncertainty.lambda_error.bias, options);
+  // Full decorator stack around the adaptive core (all masking natively).
+  auto dispatcher = std::make_unique<hs::overload::CircuitBreakerDispatcher>(
+      std::make_unique<hs::dispatch::HedgedDispatcher>(
+          std::make_unique<hs::dispatch::FaultAwareDispatcher>(
+              std::move(adaptive)),
+          hs::dispatch::HedgingConfig{/*delay=*/5.0}),
+      hs::overload::CircuitBreakerConfig{});
 
   const auto result = hs::cluster::run_simulation(config, *dispatcher);
 

@@ -137,8 +137,8 @@ TEST(FaultSim, DeterministicBackoffSchedule) {
   config.sim_time = 100.0;
   config.warmup_frac = 0.0;
   config.seed = 5;
-  config.detection_interval = 0.0;
-  config.message_delay_mean = 0.0;
+  config.network.detection_interval = 0.0;
+  config.network.message_delay_mean = 0.0;
   config.faults.outages.push_back({0.5, 99.5, 0});
   config.faults.retry.max_attempts = 4;
   config.faults.retry.backoff_initial = 1.0;
@@ -167,8 +167,8 @@ TEST(FaultSim, JobTimeoutDropsInsteadOfRetrying) {
   config.sim_time = 100.0;
   config.warmup_frac = 0.0;
   config.seed = 5;
-  config.detection_interval = 0.0;
-  config.message_delay_mean = 0.0;
+  config.network.detection_interval = 0.0;
+  config.network.message_delay_mean = 0.0;
   config.faults.outages.push_back({0.5, 99.5, 0});
   config.faults.retry.max_attempts = 4;
   config.faults.retry.backoff_initial = 1.0;
@@ -194,8 +194,8 @@ TEST(FaultSim, RetriedJobsCompleteWithFullLatency) {
   config.sim_time = 100.0;
   config.warmup_frac = 0.0;
   config.seed = 5;
-  config.detection_interval = 0.0;
-  config.message_delay_mean = 0.0;
+  config.network.detection_interval = 0.0;
+  config.network.message_delay_mean = 0.0;
   config.faults.outages.push_back({0.5, 19.5, 0});  // up again at t=20
   config.faults.retry.max_attempts = 10;
   config.faults.retry.backoff_initial = 4.0;

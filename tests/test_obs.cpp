@@ -340,9 +340,10 @@ TEST(ObservedSimulation, StandardGaugesCoverClusterAndMachines) {
   config.observer = &observer;
   const auto result = run_orr(config);
 
-  // 7 per-machine series plus the cluster-wide set (fault, overload and
-  // adaptation columns are always registered so the CSV schema is stable).
-  EXPECT_EQ(registry.metric_count(), 7 * config.speeds.size() + 15);
+  // 7 per-machine series plus the cluster-wide set (fault, overload,
+  // adaptation and network columns are always registered so the CSV
+  // schema is stable).
+  EXPECT_EQ(registry.metric_count(), 7 * config.speeds.size() + 17);
   const size_t last = registry.sample_count() - 1;
   // By the final sample every dispatch has been counted.
   EXPECT_DOUBLE_EQ(
