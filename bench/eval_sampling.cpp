@@ -1,0 +1,171 @@
+// Sampling-quality evaluation harness for the weighted samplers behind
+// random dispatch (rng::DiscreteChoice and rng::AliasTable).
+//
+// The alias table is an exact method — for the same weights it must hit
+// the same target fractions as the CDF search, only faster. This harness
+// draws N samples per (sampler, n) cell from the optimized allocation's
+// fractions, then reports
+//   * RMSE between empirical and target fractions, against the
+//     multinomial sampling envelope sqrt(mean p(1-p) / N), and
+//   * Pearson chi-square against the targets, whose expectation is the
+//     degrees of freedom (bins - 1) with variance 2·df.
+// It SELF-ASSERTS: RMSE must stay within 3x the envelope and chi-square
+// within df + 6·sqrt(2·df), and the process exits non-zero on any
+// violation — so CI catches a biased table construction, not just a slow
+// one. Speed itself is measured in bench/micro_dispatch.cpp.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "alloc/optimized.h"
+#include "rng/alias_table.h"
+#include "rng/distributions.h"
+#include "rng/rng.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+std::vector<double> random_speeds(size_t n, uint64_t seed) {
+  hs::rng::Xoshiro256 gen(seed);
+  std::vector<double> speeds(n);
+  for (double& s : speeds) {
+    s = gen.uniform(0.5, 20.0);
+  }
+  return speeds;
+}
+
+struct CellResult {
+  double rmse = 0.0;
+  double rmse_bound = 0.0;  // 3x multinomial envelope
+  double chi_square = 0.0;
+  double chi_square_bound = 0.0;  // df + 6*sqrt(2*df)
+  size_t bins = 0;                // targets with p > 0
+  bool pass = false;
+};
+
+// Draw `draws` samples via `sample(gen)` and score the empirical
+// fractions against `targets`.
+template <typename Sampler>
+CellResult score(const Sampler& sampler, const std::vector<double>& targets,
+                 uint64_t draws, uint64_t seed) {
+  hs::rng::Xoshiro256 gen(seed);
+  std::vector<uint64_t> counts(targets.size(), 0);
+  for (uint64_t i = 0; i < draws; ++i) {
+    ++counts[sampler.sample(gen)];
+  }
+
+  CellResult r;
+  double sum_sq_err = 0.0;
+  double sum_pq = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const double p = targets[i];
+    const double empirical =
+        static_cast<double>(counts[i]) / static_cast<double>(draws);
+    sum_sq_err += (empirical - p) * (empirical - p);
+    sum_pq += p * (1.0 - p);
+    if (p > 0.0) {
+      const double expected = p * static_cast<double>(draws);
+      const double diff = static_cast<double>(counts[i]) - expected;
+      r.chi_square += diff * diff / expected;
+      ++r.bins;
+    } else if (counts[i] != 0) {
+      // A zero-weight machine received a job: unconditionally broken.
+      r.chi_square = std::numeric_limits<double>::infinity();
+    }
+  }
+  const double n = static_cast<double>(targets.size());
+  r.rmse = std::sqrt(sum_sq_err / n);
+  r.rmse_bound =
+      3.0 * std::sqrt(sum_pq / n / static_cast<double>(draws));
+  const double df = static_cast<double>(r.bins - 1);
+  r.chi_square_bound = df + 6.0 * std::sqrt(2.0 * df);
+  r.pass = r.rmse <= r.rmse_bound && r.chi_square <= r.chi_square_bound;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  util::ArgParser parser(
+      "Sampling-quality evaluation: empirical vs target dispatch "
+      "fractions (RMSE + chi-square) for the CDF and alias samplers. "
+      "Self-asserting: exits non-zero if any cell falls outside its "
+      "statistical envelope.");
+  parser.add_option("draws", "400000", "samples per (sampler, n) cell");
+  parser.add_option("sizes", "100,1000,10000", "comma-separated cluster sizes");
+  parser.add_option("rho", "0.7", "system utilization for the allocation");
+  parser.add_option("seed", "20260808", "base RNG seed");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+  const auto draws = static_cast<uint64_t>(parser.get_double("draws"));
+  const double rho = parser.get_double("rho");
+  const auto seed = static_cast<uint64_t>(parser.get_double("seed"));
+
+  std::vector<size_t> sizes;
+  {
+    const std::string text = parser.get_string("sizes");
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t comma = text.find(',', start);
+      if (comma == std::string::npos) {
+        comma = text.size();
+      }
+      sizes.push_back(
+          static_cast<size_t>(std::stoul(text.substr(start, comma - start))));
+      start = comma + 1;
+    }
+  }
+
+  std::printf("== Sampling quality: empirical vs target fractions ==\n");
+  std::printf("draws per cell: %llu, rho: %.2f\n\n",
+              static_cast<unsigned long long>(draws), rho);
+
+  util::TablePrinter table({"sampler", "n", "bins", "rmse", "rmse bound",
+                            "chi^2", "chi^2 bound", "verdict"});
+  bool all_pass = true;
+  for (const size_t n : sizes) {
+    const auto allocation =
+        alloc::OptimizedAllocation().compute(random_speeds(n, 2024), rho);
+    const std::vector<double>& targets = allocation.fractions();
+
+    const rng::DiscreteChoice cdf(targets);
+    const rng::AliasTable alias(targets);
+    struct Row {
+      const char* name;
+      CellResult result;
+    };
+    const Row rows[] = {
+        {"cdf", score(cdf, targets, draws, seed + n)},
+        {"alias", score(alias, targets, draws, seed + n)},
+    };
+    for (const Row& row : rows) {
+      table.begin_row();
+      table.cell(row.name);
+      table.cell(static_cast<long>(n));
+      table.cell(static_cast<long>(row.result.bins));
+      table.cell(row.result.rmse, 6);
+      table.cell(row.result.rmse_bound, 6);
+      table.cell(row.result.chi_square, 2);
+      table.cell(row.result.chi_square_bound, 2);
+      table.cell(row.result.pass ? "ok" : "FAIL");
+      all_pass = all_pass && row.result.pass;
+    }
+  }
+  table.print(std::cout);
+
+  if (!all_pass) {
+    std::printf("\nFAIL: at least one sampler cell fell outside its "
+                "statistical envelope.\n");
+    return 1;
+  }
+  std::printf("\nok: both samplers match their target fractions at every "
+              "size.\n");
+  return 0;
+}

@@ -9,20 +9,29 @@
 
 namespace hs::alloc {
 
-Allocation::Allocation(std::vector<double> fractions)
-    : fractions_(std::move(fractions)) {
-  HS_CHECK(!fractions_.empty(), "allocation needs at least one machine");
+void Allocation::normalize(std::vector<double>& fractions) {
+  HS_CHECK(!fractions.empty(), "allocation needs at least one machine");
   double sum = 0.0;
-  for (double& f : fractions_) {
+  for (double& f : fractions) {
     HS_CHECK(f > -1e-9, "allocation fraction significantly negative: " << f);
     f = std::max(f, 0.0);
     sum += f;
   }
   HS_CHECK(std::fabs(sum - 1.0) < 1e-6,
            "allocation fractions must sum to 1, got " << sum);
-  for (double& f : fractions_) {
+  for (double& f : fractions) {
     f /= sum;
   }
+}
+
+Allocation::Allocation(std::vector<double> fractions)
+    : fractions_(std::move(fractions)) {
+  normalize(fractions_);
+}
+
+void Allocation::assign(std::span<const double> fractions) {
+  fractions_.assign(fractions.begin(), fractions.end());
+  normalize(fractions_);
 }
 
 size_t Allocation::active_count() const {

@@ -19,6 +19,18 @@ class Allocation {
   /// is clamped to 0), sum within 1e-9 of 1 (then exactly renormalized).
   explicit Allocation(std::vector<double> fractions);
 
+  /// Replace the fractions in place (same validation as the constructor),
+  /// reusing the existing buffer's capacity — allocation-free when the new
+  /// size fits. This is what lets live re-allocation (survivor rebuilds,
+  /// adaptive re-solves) re-weight dispatchers without touching the heap.
+  void assign(std::span<const double> fractions);
+
+  /// The constructor's exact validation + normalization applied to a raw
+  /// buffer in place. Allocation-free re-weighting paths use this to
+  /// reproduce bit-identical fractions to an Allocation round-trip
+  /// without constructing one.
+  static void normalize(std::vector<double>& fractions);
+
   [[nodiscard]] size_t size() const { return fractions_.size(); }
   [[nodiscard]] double operator[](size_t i) const { return fractions_[i]; }
   [[nodiscard]] const std::vector<double>& fractions() const {

@@ -39,45 +39,65 @@ std::string OptimizedAllocation::name() const {
 
 Allocation OptimizedAllocation::compute(std::span<const double> speeds,
                                         double rho) const {
+  SolverScratch scratch;
+  std::vector<double> fractions;
+  compute_into(speeds, rho, fractions, scratch);
+  return Allocation(std::move(fractions));
+}
+
+void OptimizedAllocation::compute_into(std::span<const double> speeds,
+                                       double rho,
+                                       std::vector<double>& fractions,
+                                       SolverScratch& scratch) const {
   validate_scheme_inputs(speeds, rho);
   const double assumed_rho = std::min(rho * factor_, kMaxAssumedRho);
 
   const size_t n = speeds.size();
   // Sort speeds ascending, remembering original positions.
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
+  scratch.order.resize(n);
+  std::iota(scratch.order.begin(), scratch.order.end(), 0);
+  std::sort(scratch.order.begin(), scratch.order.end(),
             [&](size_t a, size_t b) { return speeds[a] < speeds[b]; });
-  std::vector<double> sorted(n);
+  scratch.sorted.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    sorted[i] = speeds[order[i]];
+    scratch.sorted[i] = speeds[scratch.order[i]];
   }
 
-  const size_t m = optimized_cutoff(sorted, assumed_rho);
+  const size_t m = optimized_cutoff(scratch.sorted, assumed_rho,
+                                    scratch.suffix_speed,
+                                    scratch.suffix_sqrt);
 
   // Active set is sorted[m..n-1]. With β = μ/λ = 1/(ρΣs):
   //   αᵢ = sᵢβ − √sᵢ·(βΣ_active sⱼ − 1)/(Σ_active √sⱼ)  (step 7).
-  const double total_speed = util::kahan_sum(sorted);
+  const double total_speed = util::kahan_sum(scratch.sorted);
   const double beta = 1.0 / (assumed_rho * total_speed);
   double active_speed = 0.0;
   double active_sqrt = 0.0;
   for (size_t i = m; i < n; ++i) {
-    active_speed += sorted[i];
-    active_sqrt += std::sqrt(sorted[i]);
+    active_speed += scratch.sorted[i];
+    active_sqrt += std::sqrt(scratch.sorted[i]);
   }
   const double skim = (beta * active_speed - 1.0) / active_sqrt;
 
-  std::vector<double> fractions(n, 0.0);
+  fractions.assign(n, 0.0);
   for (size_t i = m; i < n; ++i) {
-    const double alpha = sorted[i] * beta - std::sqrt(sorted[i]) * skim;
+    const double alpha =
+        scratch.sorted[i] * beta - std::sqrt(scratch.sorted[i]) * skim;
     // Theorem 3 guarantees non-negativity for the active set; clamp only
     // the rounding noise at the boundary machine.
-    fractions[order[i]] = std::max(alpha, 0.0);
+    fractions[scratch.order[i]] = std::max(alpha, 0.0);
   }
-  return Allocation(std::move(fractions));
 }
 
 size_t optimized_cutoff(std::span<const double> sorted_speeds, double rho) {
+  std::vector<double> suffix_speed;
+  std::vector<double> suffix_sqrt;
+  return optimized_cutoff(sorted_speeds, rho, suffix_speed, suffix_sqrt);
+}
+
+size_t optimized_cutoff(std::span<const double> sorted_speeds, double rho,
+                        std::vector<double>& suffix_speed,
+                        std::vector<double>& suffix_sqrt) {
   const size_t n = sorted_speeds.size();
   HS_CHECK(n >= 1, "cutoff needs at least one machine");
   HS_CHECK(std::is_sorted(sorted_speeds.begin(), sorted_speeds.end()),
@@ -85,8 +105,8 @@ size_t optimized_cutoff(std::span<const double> sorted_speeds, double rho) {
   HS_CHECK(rho > 0.0 && rho < 1.0, "rho out of (0,1): " << rho);
 
   // Suffix sums of s and √s: suffix_speed[i] = Σⱼ₌ᵢ^{n−1} sⱼ.
-  std::vector<double> suffix_speed(n + 1, 0.0);
-  std::vector<double> suffix_sqrt(n + 1, 0.0);
+  suffix_speed.assign(n + 1, 0.0);
+  suffix_sqrt.assign(n + 1, 0.0);
   for (size_t i = n; i-- > 0;) {
     suffix_speed[i] = suffix_speed[i + 1] + sorted_speeds[i];
     suffix_sqrt[i] = suffix_sqrt[i + 1] + std::sqrt(sorted_speeds[i]);

@@ -17,10 +17,22 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 #include "alloc/scheme.h"
 
 namespace hs::alloc {
+
+/// Reusable buffers for the allocation-free solve path (compute_into).
+/// One scratch serves any number of solves; buffers grow to the largest
+/// machine count seen and are never shrunk, so repeated re-solves at a
+/// fixed cluster size touch the allocator zero times.
+struct SolverScratch {
+  std::vector<size_t> order;
+  std::vector<double> sorted;
+  std::vector<double> suffix_speed;
+  std::vector<double> suffix_sqrt;
+};
 
 class OptimizedAllocation final : public AllocationScheme {
  public:
@@ -33,6 +45,15 @@ class OptimizedAllocation final : public AllocationScheme {
 
   [[nodiscard]] Allocation compute(std::span<const double> speeds,
                                    double rho) const override;
+
+  /// Allocation-free variant of compute(): writes the fractions into
+  /// `fractions` (resized to speeds.size()) using `scratch` for all
+  /// intermediates. Bit-identical arithmetic to compute() — compute()
+  /// delegates here.
+  void compute_into(std::span<const double> speeds, double rho,
+                    std::vector<double>& fractions,
+                    SolverScratch& scratch) const;
+
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] double rho_estimate_factor() const { return factor_; }
@@ -46,6 +67,13 @@ class OptimizedAllocation final : public AllocationScheme {
 /// `sorted_speeds` must be ascending. Returns m in [0, n-1].
 [[nodiscard]] size_t optimized_cutoff(std::span<const double> sorted_speeds,
                                       double rho);
+
+/// Scratch-buffer variant of optimized_cutoff: identical result, but the
+/// suffix-sum arrays live in caller-supplied buffers (resized to n+1).
+[[nodiscard]] size_t optimized_cutoff(std::span<const double> sorted_speeds,
+                                      double rho,
+                                      std::vector<double>& suffix_speed,
+                                      std::vector<double>& suffix_sqrt);
 
 /// The objective F(α) = Σ sᵢμ/(sᵢμ − αᵢλ) of Definition 1, evaluated with
 /// μ = 1 (its value is μ-invariant given ρ). Infinite if any machine is

@@ -34,6 +34,10 @@ class WeightedAllocation final : public AllocationScheme {
  public:
   [[nodiscard]] Allocation compute(std::span<const double> speeds,
                                    double rho) const override;
+  /// Allocation-free variant: writes the fractions into `fractions`
+  /// (resized to speeds.size()); compute() delegates here.
+  void compute_into(std::span<const double> speeds, double rho,
+                    std::vector<double>& fractions) const;
   [[nodiscard]] std::string name() const override { return "weighted"; }
 };
 

@@ -16,13 +16,20 @@ void validate_scheme_inputs(std::span<const double> speeds, double rho) {
 
 Allocation WeightedAllocation::compute(std::span<const double> speeds,
                                        double rho) const {
+  std::vector<double> fractions;
+  compute_into(speeds, rho, fractions);
+  return Allocation(std::move(fractions));
+}
+
+void WeightedAllocation::compute_into(std::span<const double> speeds,
+                                      double rho,
+                                      std::vector<double>& fractions) const {
   validate_scheme_inputs(speeds, rho);
   const double total = util::kahan_sum(speeds);
-  std::vector<double> fractions(speeds.size());
+  fractions.resize(speeds.size());
   for (size_t i = 0; i < speeds.size(); ++i) {
     fractions[i] = speeds[i] / total;
   }
-  return Allocation(std::move(fractions));
 }
 
 Allocation EqualAllocation::compute(std::span<const double> speeds,

@@ -83,7 +83,7 @@ alloc::Allocation policy_allocation(PolicyKind kind,
 
 std::unique_ptr<dispatch::Dispatcher> make_policy_dispatcher(
     PolicyKind kind, const std::vector<double>& speeds, double rho,
-    double rho_estimate_factor) {
+    double rho_estimate_factor, dispatch::SamplerKind sampler) {
   if (kind == PolicyKind::kLeastLoad) {
     return std::make_unique<dispatch::LeastLoadDispatcher>(speeds);
   }
@@ -93,7 +93,7 @@ std::unique_ptr<dispatch::Dispatcher> make_policy_dispatcher(
     case PolicyKind::kWRAN:
     case PolicyKind::kORAN:
       return std::make_unique<dispatch::RandomDispatcher>(
-          std::move(allocation));
+          std::move(allocation), sampler);
     case PolicyKind::kWRR:
     case PolicyKind::kORR:
       return std::make_unique<dispatch::SmoothRoundRobinDispatcher>(
@@ -158,16 +158,96 @@ alloc::Allocation policy_allocation_masked(PolicyKind kind,
   return alloc::Allocation(std::move(fractions));
 }
 
+void policy_fractions_masked_into(PolicyKind kind,
+                                  const std::vector<double>& speeds,
+                                  double rho,
+                                  const std::vector<bool>& available,
+                                  double rho_estimate_factor,
+                                  std::vector<double>& fractions,
+                                  MaskedReweightScratch& scratch) {
+  HS_CHECK(!is_dynamic(kind),
+           "dynamic policy " << policy_name(kind) << " has no allocation");
+  HS_CHECK(available.size() == speeds.size(),
+           "availability mask size " << available.size()
+                                     << " != machine count "
+                                     << speeds.size());
+  // Raw scheme fractions for the given speed set. The Allocation
+  // normalization is deliberately NOT applied to the full-availability
+  // output: the consumer (rebuild_fractions) applies it exactly once,
+  // mirroring the single Allocation construction of policy_allocation().
+  const auto compute_raw = [&](std::span<const double> machine_speeds,
+                               double assumed,
+                               std::vector<double>& out) {
+    if (uses_optimized_allocation(kind)) {
+      alloc::OptimizedAllocation(rho_estimate_factor)
+          .compute_into(machine_speeds, planning_rho(assumed), out,
+                        scratch.solver);
+    } else {
+      alloc::WeightedAllocation().compute_into(
+          machine_speeds, planning_rho(assumed), out);
+    }
+  };
+  const bool any_down =
+      std::find(available.begin(), available.end(), false) != available.end();
+  const bool any_up =
+      std::find(available.begin(), available.end(), true) != available.end();
+  if (!any_down || !any_up) {
+    // Full availability — or total blackout, where no preference between
+    // machines is better than any other (every job is lost regardless).
+    compute_raw(speeds, rho, fractions);
+    return;
+  }
+  scratch.survivor_speeds.clear();
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    if (available[i]) {
+      scratch.survivor_speeds.push_back(speeds[i]);
+    }
+  }
+  // The survivors absorb the whole arrival stream: λ is unchanged while
+  // the capacity shrank, so their effective utilization rises.
+  const double total = util::kahan_sum(speeds);
+  const double survivor_total = util::kahan_sum(scratch.survivor_speeds);
+  const double effective =
+      std::min(rho * total / survivor_total, kMaxDegradedRho);
+  compute_raw(scratch.survivor_speeds, effective,
+              scratch.survivor_fractions);
+  // Normalize the survivor solve — the inner Allocation construction of
+  // policy_allocation_masked() — then expand with zeros; the consumer's
+  // single normalization reproduces the outer one bit-identically.
+  alloc::Allocation::normalize(scratch.survivor_fractions);
+  fractions.assign(speeds.size(), 0.0);
+  size_t next_survivor = 0;
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    if (available[i]) {
+      fractions[i] = scratch.survivor_fractions[next_survivor++];
+    }
+  }
+}
+
+std::function<void(const std::vector<bool>&, std::vector<double>&)>
+policy_masked_reweighter(PolicyKind kind, std::vector<double> speeds,
+                         double rho, double rho_estimate_factor) {
+  // std::function requires copyability, so the scratch is shared; the
+  // function object is invoked from one dispatcher stack at a time.
+  auto scratch = std::make_shared<MaskedReweightScratch>();
+  return [kind, speeds = std::move(speeds), rho, rho_estimate_factor,
+          scratch](const std::vector<bool>& available,
+                   std::vector<double>& fractions) {
+    policy_fractions_masked_into(kind, speeds, rho, available,
+                                 rho_estimate_factor, fractions, *scratch);
+  };
+}
+
 std::unique_ptr<dispatch::Dispatcher> make_fault_aware_dispatcher(
     PolicyKind kind, const std::vector<double>& speeds, double rho,
-    double rho_estimate_factor) {
+    double rho_estimate_factor, dispatch::SamplerKind sampler) {
   if (kind == PolicyKind::kLeastLoad) {
     // Least-Load masks natively; its queue estimates survive transitions.
     return std::make_unique<dispatch::FaultAwareDispatcher>(
         std::make_unique<dispatch::LeastLoadDispatcher>(speeds));
   }
-  auto rebuilder = [kind, speeds, rho,
-                    rho_estimate_factor](const std::vector<bool>& available)
+  auto rebuilder = [kind, speeds, rho, rho_estimate_factor,
+                    sampler](const std::vector<bool>& available)
       -> std::unique_ptr<dispatch::Dispatcher> {
     alloc::Allocation allocation = policy_allocation_masked(
         kind, speeds, rho, available, rho_estimate_factor);
@@ -175,7 +255,7 @@ std::unique_ptr<dispatch::Dispatcher> make_fault_aware_dispatcher(
       case PolicyKind::kWRAN:
       case PolicyKind::kORAN:
         return std::make_unique<dispatch::RandomDispatcher>(
-            std::move(allocation));
+            std::move(allocation), sampler);
       case PolicyKind::kWRR:
       case PolicyKind::kORR:
         return std::make_unique<dispatch::SmoothRoundRobinDispatcher>(
@@ -186,9 +266,11 @@ std::unique_ptr<dispatch::Dispatcher> make_fault_aware_dispatcher(
     HS_CHECK(false, "unreachable policy kind");
     return nullptr;
   };
-  auto inner = make_policy_dispatcher(kind, speeds, rho, rho_estimate_factor);
+  auto inner = make_policy_dispatcher(kind, speeds, rho, rho_estimate_factor,
+                                      sampler);
   return std::make_unique<dispatch::FaultAwareDispatcher>(
-      std::move(inner), std::move(rebuilder));
+      std::move(inner), std::move(rebuilder),
+      policy_masked_reweighter(kind, speeds, rho, rho_estimate_factor));
 }
 
 cluster::DispatcherFactory fault_aware_dispatcher_factory(
@@ -202,15 +284,15 @@ cluster::DispatcherFactory fault_aware_dispatcher_factory(
 
 std::unique_ptr<dispatch::Dispatcher> make_circuit_breaker_dispatcher(
     PolicyKind kind, const std::vector<double>& speeds, double rho,
-    const overload::CircuitBreakerConfig& breaker,
-    double rho_estimate_factor) {
+    const overload::CircuitBreakerConfig& breaker, double rho_estimate_factor,
+    dispatch::SamplerKind sampler) {
   if (kind == PolicyKind::kLeastLoad) {
     // Least-Load masks natively; its queue estimates survive trips.
     return std::make_unique<overload::CircuitBreakerDispatcher>(
         std::make_unique<dispatch::LeastLoadDispatcher>(speeds), breaker);
   }
-  auto rebuilder = [kind, speeds, rho,
-                    rho_estimate_factor](const std::vector<bool>& available)
+  auto rebuilder = [kind, speeds, rho, rho_estimate_factor,
+                    sampler](const std::vector<bool>& available)
       -> std::unique_ptr<dispatch::Dispatcher> {
     alloc::Allocation allocation = policy_allocation_masked(
         kind, speeds, rho, available, rho_estimate_factor);
@@ -218,7 +300,7 @@ std::unique_ptr<dispatch::Dispatcher> make_circuit_breaker_dispatcher(
       case PolicyKind::kWRAN:
       case PolicyKind::kORAN:
         return std::make_unique<dispatch::RandomDispatcher>(
-            std::move(allocation));
+            std::move(allocation), sampler);
       case PolicyKind::kWRR:
       case PolicyKind::kORR:
         return std::make_unique<dispatch::SmoothRoundRobinDispatcher>(
@@ -229,9 +311,11 @@ std::unique_ptr<dispatch::Dispatcher> make_circuit_breaker_dispatcher(
     HS_CHECK(false, "unreachable policy kind");
     return nullptr;
   };
-  auto inner = make_policy_dispatcher(kind, speeds, rho, rho_estimate_factor);
+  auto inner = make_policy_dispatcher(kind, speeds, rho, rho_estimate_factor,
+                                      sampler);
   return std::make_unique<overload::CircuitBreakerDispatcher>(
-      std::move(inner), breaker, std::move(rebuilder));
+      std::move(inner), breaker, std::move(rebuilder),
+      policy_masked_reweighter(kind, speeds, rho, rho_estimate_factor));
 }
 
 std::unique_ptr<dispatch::Dispatcher> make_hedged_dispatcher(

@@ -12,14 +12,17 @@
 // system utilization.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "alloc/allocation.h"
+#include "alloc/optimized.h"
 #include "cluster/experiment.h"
 #include "dispatch/dispatcher.h"
 #include "dispatch/hedged.h"
+#include "dispatch/random_dispatcher.h"
 #include "overload/circuit_breaker.h"
 #include "uncertainty/adaptive.h"
 
@@ -51,10 +54,15 @@ enum class PolicyKind {
     PolicyKind kind, const std::vector<double>& speeds, double rho,
     double rho_estimate_factor = 1.0);
 
-/// Build a ready-to-use dispatcher implementing the policy.
+/// Build a ready-to-use dispatcher implementing the policy. `sampler`
+/// selects the weighted sampler for the random policies (WRAN/ORAN):
+/// the default CDF binary search is golden-pinned; the opt-in O(1)
+/// alias table keeps per-pick cost flat at large n. Round-robin and
+/// Least-Load policies ignore it.
 [[nodiscard]] std::unique_ptr<dispatch::Dispatcher> make_policy_dispatcher(
     PolicyKind kind, const std::vector<double>& speeds, double rho,
-    double rho_estimate_factor = 1.0);
+    double rho_estimate_factor = 1.0,
+    dispatch::SamplerKind sampler = dispatch::SamplerKind::kCdf);
 
 /// Thread-safe factory for run_experiment(): every call produces a fresh
 /// dispatcher with identical initial state.
@@ -72,6 +80,39 @@ enum class PolicyKind {
     PolicyKind kind, const std::vector<double>& speeds, double rho,
     const std::vector<bool>& available, double rho_estimate_factor = 1.0);
 
+/// Reusable buffers for policy_fractions_masked_into(): survivor solves
+/// at a fixed cluster size touch the allocator zero times once warm.
+struct MaskedReweightScratch {
+  std::vector<double> survivor_speeds;
+  std::vector<double> survivor_fractions;
+  alloc::SolverScratch solver;
+};
+
+/// Allocation-free variant of policy_allocation_masked(): writes the
+/// survivor fractions into `fractions` using `scratch` for every
+/// intermediate. The output is normalized such that feeding it through
+/// Dispatcher::rebuild_fractions() (which applies Allocation's
+/// normalization once) yields fractions bit-identical to the
+/// policy_allocation_masked() → Allocation construction chain — the two
+/// survivor-rebuild paths route identically.
+void policy_fractions_masked_into(PolicyKind kind,
+                                  const std::vector<double>& speeds,
+                                  double rho,
+                                  const std::vector<bool>& available,
+                                  double rho_estimate_factor,
+                                  std::vector<double>& fractions,
+                                  MaskedReweightScratch& scratch);
+
+/// A survivor reweighter for FaultAwareDispatcher / CircuitBreaker
+/// (their Reweighter slots share this signature): computes the policy's
+/// masked fractions into the caller's buffer, allocation-free once its
+/// internal scratch is warm. One instance owns one scratch — share it
+/// across the decorators of a single dispatcher stack only.
+[[nodiscard]] std::function<void(const std::vector<bool>&,
+                                 std::vector<double>&)>
+policy_masked_reweighter(PolicyKind kind, std::vector<double> speeds,
+                         double rho, double rho_estimate_factor = 1.0);
+
 /// Build a failure-aware dispatcher for the policy: the policy dispatcher
 /// wrapped in a dispatch::FaultAwareDispatcher that blacklists machines
 /// reported down. Static policies degrade by recomputing their allocation
@@ -80,7 +121,9 @@ enum class PolicyKind {
 [[nodiscard]] std::unique_ptr<dispatch::Dispatcher>
 make_fault_aware_dispatcher(PolicyKind kind,
                             const std::vector<double>& speeds, double rho,
-                            double rho_estimate_factor = 1.0);
+                            double rho_estimate_factor = 1.0,
+                            dispatch::SamplerKind sampler =
+                                dispatch::SamplerKind::kCdf);
 
 /// Thread-safe factory variant of make_fault_aware_dispatcher().
 [[nodiscard]] cluster::DispatcherFactory fault_aware_dispatcher_factory(
@@ -99,7 +142,9 @@ make_circuit_breaker_dispatcher(PolicyKind kind,
                                 const std::vector<double>& speeds,
                                 double rho,
                                 const overload::CircuitBreakerConfig& breaker,
-                                double rho_estimate_factor = 1.0);
+                                double rho_estimate_factor = 1.0,
+                                dispatch::SamplerKind sampler =
+                                    dispatch::SamplerKind::kCdf);
 
 /// Thread-safe factory variant of make_circuit_breaker_dispatcher().
 [[nodiscard]] cluster::DispatcherFactory circuit_breaker_dispatcher_factory(

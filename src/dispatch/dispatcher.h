@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -100,6 +101,20 @@ class Dispatcher {
   /// True if the scheduler must deliver departure reports (i.e. the
   /// policy is dynamic and pays the associated overhead).
   [[nodiscard]] virtual bool uses_feedback() const { return false; }
+
+  /// Replace the allocation fractions in place, keeping the machine
+  /// count. Equivalent to constructing a fresh dispatcher over the new
+  /// fractions (routing state is reset), but without allocating: the
+  /// fraction-driven dispatchers (random, SWRR, smooth round-robin)
+  /// override this to reuse their internal buffers, which is what lets
+  /// survivor rebuilds and adaptive re-allocations run allocation-free.
+  /// Returns true if the policy supports in-place reweighting; the
+  /// default returns false and leaves the dispatcher unchanged — callers
+  /// then fall back to reconstructing it.
+  virtual bool rebuild_fractions(std::span<const double> fractions) {
+    (void)fractions;
+    return false;
+  }
 
   /// Restrict routing to machines with available[i] == true (the fault
   /// layer's blacklist). Returns true if the policy supports masking

@@ -10,8 +10,11 @@ FaultAwareDispatcher::FaultAwareDispatcher(std::unique_ptr<Dispatcher> inner)
     : FaultAwareDispatcher(std::move(inner), Rebuilder{}) {}
 
 FaultAwareDispatcher::FaultAwareDispatcher(std::unique_ptr<Dispatcher> inner,
-                                           Rebuilder rebuilder)
-    : inner_(std::move(inner)), rebuilder_(std::move(rebuilder)) {
+                                           Rebuilder rebuilder,
+                                           Reweighter reweighter)
+    : inner_(std::move(inner)),
+      rebuilder_(std::move(rebuilder)),
+      reweighter_(std::move(reweighter)) {
   HS_CHECK(inner_ != nullptr, "fault-aware decorator needs a dispatcher");
   available_.assign(inner_->machine_count(), true);
   outer_mask_.assign(inner_->machine_count(), true);
@@ -44,12 +47,21 @@ void FaultAwareDispatcher::reset() {
   if (native_mask_) {
     inner_->reset();
     inner_->set_available_mask(available_);
-  } else {
-    // A fresh rebuild restores the full-availability routing state (the
-    // rebuilder returns dispatchers in their initial state).
-    inner_ = rebuilder_(available_);
-    HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
+    return;
   }
+  if (reweighter_) {
+    // In-place restore: full-availability fractions into the existing
+    // inner dispatcher (rebuild_fractions resets its routing state).
+    reweighter_(available_, fractions_scratch_);
+    inner_->reset();
+    if (inner_->rebuild_fractions(fractions_scratch_)) {
+      return;
+    }
+  }
+  // A fresh rebuild restores the full-availability routing state (the
+  // rebuilder returns dispatchers in their initial state).
+  inner_ = rebuilder_(available_);
+  HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
 }
 
 std::string FaultAwareDispatcher::name() const {
@@ -132,6 +144,15 @@ void FaultAwareDispatcher::apply_mask() {
     // are lost and retried by the fault layer until a recovery report
     // arrives.
     return;
+  }
+  if (reweighter_) {
+    // Allocation-free path: survivor fractions into the scratch buffer,
+    // then re-weight the live inner dispatcher in place.
+    reweighter_(effective_, fractions_scratch_);
+    if (inner_->rebuild_fractions(fractions_scratch_)) {
+      ++rebuilds_;
+      return;
+    }
   }
   inner_ = rebuilder_(effective_);
   HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");

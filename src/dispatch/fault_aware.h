@@ -37,13 +37,25 @@ class FaultAwareDispatcher final : public Dispatcher {
   using Rebuilder =
       std::function<std::unique_ptr<Dispatcher>(const std::vector<bool>&)>;
 
+  /// Computes survivor allocation fractions (over the full machine-index
+  /// space, zeros for unavailable machines) into `fractions` — the
+  /// allocation-free fast path of rebuild mode. When supplied, fault
+  /// transitions re-weight the existing inner dispatcher in place via
+  /// Dispatcher::rebuild_fractions() instead of constructing a fresh one;
+  /// the Rebuilder remains the fallback (and the reset path for inner
+  /// dispatchers that decline in-place reweighting).
+  using Reweighter =
+      std::function<void(const std::vector<bool>&, std::vector<double>&)>;
+
   /// Native-masking mode: `inner` must accept set_available_mask.
   explicit FaultAwareDispatcher(std::unique_ptr<Dispatcher> inner);
 
   /// Rebuild mode: `inner` is the full-availability dispatcher,
   /// `rebuilder` produces replacements as machines fail and recover.
+  /// The optional `reweighter` upgrades fault transitions to in-place,
+  /// allocation-free reweights of the existing inner dispatcher.
   FaultAwareDispatcher(std::unique_ptr<Dispatcher> inner,
-                       Rebuilder rebuilder);
+                       Rebuilder rebuilder, Reweighter reweighter = {});
 
   [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
   [[nodiscard]] size_t pick_sized(rng::Xoshiro256& gen,
@@ -102,9 +114,11 @@ class FaultAwareDispatcher final : public Dispatcher {
 
   std::unique_ptr<Dispatcher> inner_;
   Rebuilder rebuilder_;
+  Reweighter reweighter_;
   std::vector<bool> available_;
   std::vector<bool> outer_mask_;  // restriction imposed from above
   std::vector<bool> effective_;   // scratch: available_ AND outer_mask_
+  std::vector<double> fractions_scratch_;  // reweighter output buffer
   bool native_mask_ = false;
   uint64_t rebuilds_ = 0;
 };

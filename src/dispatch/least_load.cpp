@@ -4,26 +4,69 @@
 
 namespace hs::dispatch {
 
-LeastLoadDispatcher::LeastLoadDispatcher(std::vector<double> speeds)
-    : speeds_(std::move(speeds)),
+LeastLoadDispatcher::LeastLoadDispatcher(std::vector<double> speeds,
+                                         LeastLoadEngine engine)
+    : engine_(engine),
+      speeds_(std::move(speeds)),
       estimates_(speeds_.size(), 0),
-      available_(speeds_.size(), true) {
+      available_(speeds_.size(), true),
+      available_count_(speeds_.size()) {
   HS_CHECK(!speeds_.empty(), "least-load needs at least one machine");
   for (double s : speeds_) {
     HS_CHECK(s > 0.0, "machine speed must be positive, got " << s);
+  }
+  if (engine_ == LeastLoadEngine::kTree) {
+    tree_.assign(speeds_.size());
+    reload_tree();
   }
 }
 
 void LeastLoadDispatcher::reset() {
   estimates_.assign(speeds_.size(), 0);
   available_.assign(speeds_.size(), true);
+  available_count_ = speeds_.size();
+  if (engine_ == LeastLoadEngine::kTree) {
+    reload_tree();
+  }
+}
+
+double LeastLoadDispatcher::leaf_key(size_t i) const {
+  if (available_count_ > 0 && !available_[i]) {
+    return MinLoadTree::kInfinity;  // blacklisted by the fault layer
+  }
+  // Identical expression to the scan engine — bit-identical keys.
+  return static_cast<double>(estimates_[i] + 1) / speeds_[i];
+}
+
+void LeastLoadDispatcher::reload_tree() {
+  for (size_t i = 0; i < speeds_.size(); ++i) {
+    tree_.set_key_silent(i, leaf_key(i));
+  }
+  tree_.rebuild();
+}
+
+void LeastLoadDispatcher::touch(size_t i) {
+  if (engine_ == LeastLoadEngine::kTree) {
+    tree_.set_key(i, leaf_key(i));
+  }
 }
 
 size_t LeastLoadDispatcher::pick(rng::Xoshiro256& /*gen*/) {
-  bool any_available = false;
-  for (size_t i = 0; i < available_.size(); ++i) {
-    any_available = any_available || available_[i];
+  if (engine_ == LeastLoadEngine::kScan) {
+    return pick_scan();
   }
+  // Leaf keys already encode the availability regime, so the root winner
+  // is the lowest-index minimum over exactly the scan's candidate set.
+  const size_t best = tree_.argmin();
+  // The job is dispatched and not rescheduled, so the scheduler updates
+  // the target's load index immediately (§4.2).
+  ++estimates_[best];
+  tree_.set_key(best, leaf_key(best));
+  return best;
+}
+
+size_t LeastLoadDispatcher::pick_scan() {
+  const bool any_available = available_count_ > 0;
   size_t best = speeds_.size();
   double best_load = 0.0;
   for (size_t i = 0; i < speeds_.size(); ++i) {
@@ -37,19 +80,32 @@ size_t LeastLoadDispatcher::pick(rng::Xoshiro256& /*gen*/) {
       best = i;
     }
   }
-  // The job is dispatched and not rescheduled, so the scheduler updates
-  // the target's load index immediately (§4.2).
   ++estimates_[best];
   return best;
 }
 
 size_t LeastLoadDispatcher::pick_hedge(rng::Xoshiro256& /*gen*/,
                                        double /*size*/, size_t exclude) {
-  bool any_available = false;
-  for (size_t i = 0; i < available_.size(); ++i) {
-    any_available = any_available || (available_[i] && i != exclude);
+  if (engine_ == LeastLoadEngine::kScan) {
+    return pick_hedge_scan(exclude);
   }
-  if (!any_available) {
+  const size_t excluded_available = available_[exclude] ? 1 : 0;
+  if (available_count_ - excluded_available == 0) {
+    return exclude;  // no second choice — the caller skips the hedge
+  }
+  // Temporarily knock the primary's leaf out with the sentinel; some
+  // other available machine holds a finite key, so it cannot win.
+  tree_.set_key(exclude, MinLoadTree::kInfinity);
+  const size_t best = tree_.argmin();
+  ++estimates_[best];
+  tree_.set_key(best, leaf_key(best));
+  tree_.set_key(exclude, leaf_key(exclude));
+  return best;
+}
+
+size_t LeastLoadDispatcher::pick_hedge_scan(size_t exclude) {
+  const size_t excluded_available = available_[exclude] ? 1 : 0;
+  if (available_count_ - excluded_available == 0) {
     return exclude;  // no second choice — the caller skips the hedge
   }
   size_t best = speeds_.size();
@@ -78,6 +134,7 @@ void LeastLoadDispatcher::on_departure_report(size_t machine) {
   // still arrive afterwards. Such stale reports are dropped.
   if (estimates_[machine] > 0) {
     --estimates_[machine];
+    touch(machine);
   }
 }
 
@@ -90,6 +147,7 @@ void LeastLoadDispatcher::on_load_report(size_t machine,
   // *introduces* the staleness under study — everything dispatched after
   // the sample was taken vanishes from the view until the next snapshot.
   estimates_[machine] = queue_length;
+  touch(machine);
 }
 
 bool LeastLoadDispatcher::set_available_mask(
@@ -98,14 +156,22 @@ bool LeastLoadDispatcher::set_available_mask(
            "availability mask size " << available.size()
                                      << " != machine count "
                                      << speeds_.size());
+  size_t count = 0;
   for (size_t i = 0; i < speeds_.size(); ++i) {
     if (available_[i] && !available[i]) {
       // Newly reported down: its resident jobs died with it, so the
       // pending-departure estimate is void.
       estimates_[i] = 0;
     }
+    count += available[i] ? 1 : 0;
   }
   available_ = available;
+  available_count_ = count;
+  if (engine_ == LeastLoadEngine::kTree) {
+    // The regime (masked vs all-masked fallback) can flip every key, so
+    // repair the whole tree in one O(n) pass — mask changes are rare.
+    reload_tree();
+  }
   return true;
 }
 

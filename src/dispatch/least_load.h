@@ -8,18 +8,35 @@
 // on_departure_report() after the paper's detection delay (U(0,1) s) plus
 // message transfer delay (exponential, mean 0.05 s), so the estimates lag
 // reality exactly as in the paper's model.
+//
+// Two argmin engines produce bit-identical pick sequences. The default
+// tournament tree (min_tree.h) answers each pick in O(log n) — estimate
+// bumps, departure/load reports and hedge exclusion are O(log n) leaf
+// updates, mask flips an O(n) rebuild — which keeps Least-Load usable at
+// n = 10⁵–10⁶ machines. The O(n) linear scan is retained as the
+// reference implementation for the randomized differential test
+// (tests/test_least_load.cpp); both are pinned by the same golden tests.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "dispatch/dispatcher.h"
+#include "dispatch/min_tree.h"
 
 namespace hs::dispatch {
 
+/// Which argmin engine backs LeastLoadDispatcher. Both are bit-identical;
+/// kScan exists as the reference for differential testing.
+enum class LeastLoadEngine {
+  kTree,  // O(log n) tournament tree (default)
+  kScan,  // O(n) linear scan (reference)
+};
+
 class LeastLoadDispatcher final : public Dispatcher {
  public:
-  explicit LeastLoadDispatcher(std::vector<double> speeds);
+  explicit LeastLoadDispatcher(std::vector<double> speeds,
+                               LeastLoadEngine engine = LeastLoadEngine::kTree);
 
   [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
 
@@ -56,10 +73,28 @@ class LeastLoadDispatcher final : public Dispatcher {
   /// Scheduler-side queue length estimate for a machine.
   [[nodiscard]] uint64_t estimated_queue(size_t machine) const;
 
+  [[nodiscard]] LeastLoadEngine engine() const { return engine_; }
+
  private:
+  [[nodiscard]] size_t pick_scan();
+  [[nodiscard]] size_t pick_hedge_scan(size_t exclude);
+
+  /// Tree key for machine i under the current availability regime:
+  /// +inf for masked machines while any machine is available, otherwise
+  /// the normalized load (q̂ᵢ + 1)/sᵢ.
+  [[nodiscard]] double leaf_key(size_t i) const;
+  /// Reload every leaf and rebuild winners: O(n), used on reset and mask
+  /// flips (the regime can change every key at once).
+  void reload_tree();
+  /// Repair machine i's leaf after an estimate change: O(log n).
+  void touch(size_t i);
+
+  LeastLoadEngine engine_;
   std::vector<double> speeds_;
   std::vector<uint64_t> estimates_;
   std::vector<bool> available_;
+  size_t available_count_ = 0;
+  MinLoadTree tree_;  // engaged only under kTree
 };
 
 }  // namespace hs::dispatch

@@ -1,0 +1,91 @@
+// Indexed tournament (min) tree — the O(log n) argmin engine behind
+// Dynamic Least-Load at large n.
+//
+// A complete binary tree over n double keys, padded with +inf to the
+// next power of two. Each internal node stores the index of the winning
+// (smaller-key) leaf of its subtree, with ties won by the left child —
+// so argmin() returns the *lowest-index* minimum, exactly reproducing a
+// first-occurrence strict-< linear scan. That equivalence is what lets
+// LeastLoadDispatcher swap its per-pick O(n) scans for O(log n) leaf
+// updates while staying bit-identical to the golden-pinned reference
+// (see the differential test in tests/test_least_load.cpp).
+//
+// Keys use +inf as the "not a candidate" sentinel (masked machines,
+// hedge exclusion); real keys are finite, so a sentinel can only win
+// when every leaf is sentinel — callers rule that out up front.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hs::dispatch {
+
+class MinLoadTree {
+ public:
+  static constexpr double kInfinity =
+      std::numeric_limits<double>::infinity();
+
+  /// Resize to n leaves, all keys +inf. Reuses buffer capacity.
+  void assign(size_t n) {
+    HS_CHECK(n >= 1, "min tree needs at least one leaf");
+    HS_CHECK(n <= std::numeric_limits<uint32_t>::max() / 2,
+             "min tree supports at most 2^31 leaves, got " << n);
+    n_ = n;
+    cap_ = std::bit_ceil(n < 2 ? size_t{2} : n);
+    keys_.assign(cap_, kInfinity);
+    winners_.assign(cap_, 0);
+    rebuild();
+  }
+
+  /// Set one key and repair the winner path to the root: O(log n).
+  void set_key(size_t i, double key) {
+    keys_[i] = key;
+    for (size_t node = (cap_ + i) >> 1; node >= 1; node >>= 1) {
+      recompute(node);
+    }
+  }
+
+  /// Set one key without repairing winners; callers batch these and
+  /// finish with rebuild() (O(n) total — for mask flips and resets).
+  void set_key_silent(size_t i, double key) { keys_[i] = key; }
+
+  /// Recompute every internal winner bottom-up: O(n).
+  void rebuild() {
+    for (size_t node = cap_ - 1; node >= 1; --node) {
+      recompute(node);
+    }
+  }
+
+  [[nodiscard]] double key(size_t i) const { return keys_[i]; }
+
+  /// Index of the smallest key, lowest index on ties.
+  [[nodiscard]] size_t argmin() const { return winner_of(1); }
+
+  [[nodiscard]] size_t size() const { return n_; }
+
+ private:
+  // Internal node `node` (1-based) has children 2·node and 2·node+1;
+  // nodes >= cap_ are leaves (leaf index node − cap_).
+  [[nodiscard]] size_t winner_of(size_t node) const {
+    return node >= cap_ ? node - cap_ : winners_[node];
+  }
+
+  void recompute(size_t node) {
+    const size_t left = winner_of(2 * node);
+    const size_t right = winner_of(2 * node + 1);
+    // <= : the left (lower-index) winner keeps ties.
+    winners_[node] =
+        static_cast<uint32_t>(keys_[left] <= keys_[right] ? left : right);
+  }
+
+  size_t n_ = 0;
+  size_t cap_ = 0;                 // power of two >= max(n, 2)
+  std::vector<double> keys_;       // size cap_; [n_, cap_) stay +inf
+  std::vector<uint32_t> winners_;  // internal winners, indices 1..cap_-1
+};
+
+}  // namespace hs::dispatch

@@ -1,12 +1,32 @@
 #include "dispatch/random_dispatcher.h"
 
+#include "util/check.h"
+
 namespace hs::dispatch {
 
-RandomDispatcher::RandomDispatcher(alloc::Allocation allocation)
-    : allocation_(std::move(allocation)), choice_(allocation_.fractions()) {}
+RandomDispatcher::RandomDispatcher(alloc::Allocation allocation,
+                                   SamplerKind sampler)
+    : allocation_(std::move(allocation)), sampler_(sampler) {
+  if (sampler_ == SamplerKind::kAlias) {
+    alias_.rebuild(allocation_.span());
+  } else {
+    choice_.rebuild(allocation_.span());
+  }
+}
 
-size_t RandomDispatcher::pick(rng::Xoshiro256& gen) {
-  return choice_.sample(gen);
+bool RandomDispatcher::rebuild_fractions(std::span<const double> fractions) {
+  HS_CHECK(fractions.size() == allocation_.size(),
+           "rebuild_fractions size " << fractions.size()
+                                     << " != machine count "
+                                     << allocation_.size());
+  allocation_.assign(fractions);
+  // Only the active sampler is rebuilt; the other holds no routing state.
+  if (sampler_ == SamplerKind::kAlias) {
+    alias_.rebuild(allocation_.span());
+  } else {
+    choice_.rebuild(allocation_.span());
+  }
+  return true;
 }
 
 }  // namespace hs::dispatch

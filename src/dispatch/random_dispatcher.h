@@ -4,28 +4,55 @@
 // stateless, but the realized substreams inherit (and add to) the
 // burstiness of the arrival process — the weakness that Algorithm 2
 // fixes.
+//
+// Two samplers are available. The default CDF binary search
+// (rng::DiscreteChoice, O(log n) per pick) is kept as the default so
+// existing golden determinism pins stay bit-identical. The opt-in alias
+// table (rng::AliasTable, O(1) per pick) keeps per-job dispatch cost
+// flat at n = 10⁶ machines and carries its own golden pin; both rebuild
+// in place, so rebuild_fractions() is allocation-free either way.
 #pragma once
 
 #include "alloc/allocation.h"
 #include "dispatch/dispatcher.h"
+#include "rng/alias_table.h"
 #include "rng/distributions.h"
 
 namespace hs::dispatch {
 
+/// Which weighted sampler backs RandomDispatcher::pick.
+enum class SamplerKind {
+  kCdf,    // DiscreteChoice: O(log n) pick, default (golden-pinned)
+  kAlias,  // AliasTable: O(1) pick, for large n
+};
+
 class RandomDispatcher final : public Dispatcher {
  public:
-  explicit RandomDispatcher(alloc::Allocation allocation);
+  explicit RandomDispatcher(alloc::Allocation allocation,
+                            SamplerKind sampler = SamplerKind::kCdf);
 
-  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
+  // Inline so a direct call on the concrete type (the common case in
+  // the simulation loop and benches) collapses to one sampler lookup.
+  [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override {
+    return sampler_ == SamplerKind::kAlias ? alias_.sample(gen)
+                                           : choice_.sample(gen);
+  }
   void reset() override {}
-  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] std::string name() const override {
+    return sampler_ == SamplerKind::kAlias ? "random-alias" : "random";
+  }
   [[nodiscard]] size_t machine_count() const override {
     return allocation_.size();
   }
+  bool rebuild_fractions(std::span<const double> fractions) override;
+
+  [[nodiscard]] SamplerKind sampler() const { return sampler_; }
 
  private:
   alloc::Allocation allocation_;
-  rng::DiscreteChoice choice_;
+  SamplerKind sampler_;
+  rng::DiscreteChoice choice_;  // used when sampler_ == kCdf
+  rng::AliasTable alias_;       // used when sampler_ == kAlias
 };
 
 }  // namespace hs::dispatch

@@ -20,8 +20,15 @@ constexpr double kTieEps = 1e-9;
 SmoothRoundRobinDispatcher::SmoothRoundRobinDispatcher(
     alloc::Allocation allocation)
     : allocation_(std::move(allocation)) {
+  rebuild_dense();
+}
+
+void SmoothRoundRobinDispatcher::rebuild_dense() {
   HS_CHECK(allocation_.active_count() >= 1,
            "dispatcher needs at least one machine with positive fraction");
+  machine_of_.clear();
+  fraction_of_.clear();
+  inv_fraction_.clear();
   for (size_t i = 0; i < allocation_.size(); ++i) {
     if (allocation_[i] == 0.0) {
       continue;
@@ -33,6 +40,25 @@ SmoothRoundRobinDispatcher::SmoothRoundRobinDispatcher(
     inv_fraction_.push_back(1.0 / allocation_[i]);
   }
   reset();
+}
+
+bool SmoothRoundRobinDispatcher::rebuild_fractions(
+    std::span<const double> fractions) {
+  HS_CHECK(fractions.size() == allocation_.size(),
+           "rebuild_fractions size " << fractions.size()
+                                     << " != machine count "
+                                     << allocation_.size());
+  allocation_.assign(fractions);
+  rebuild_dense();
+  return true;
+}
+
+void SmoothRoundRobinDispatcher::rebuild(const alloc::Allocation& allocation) {
+  HS_CHECK(allocation.size() == allocation_.size(),
+           "rebuild size " << allocation.size() << " != machine count "
+                           << allocation_.size());
+  allocation_ = allocation;
+  rebuild_dense();
 }
 
 void SmoothRoundRobinDispatcher::reset() {

@@ -41,6 +41,13 @@ class SmoothRoundRobinDispatcher final : public Dispatcher {
   [[nodiscard]] size_t machine_count() const override {
     return allocation_.size();
   }
+  bool rebuild_fractions(std::span<const double> fractions) override;
+
+  /// Replace the allocation with an already-validated one — the
+  /// fractions are copied bit-for-bit, with no renormalization — and
+  /// rebuild the dense cadence state, reusing buffer capacity
+  /// throughout (allocation-free at a fixed cluster size once warm).
+  void rebuild(const alloc::Allocation& allocation);
 
   /// State inspection (for tests and the Figure 2 reproduction).
   /// Indexed by machine, like the allocation; excluded machines report
@@ -50,6 +57,11 @@ class SmoothRoundRobinDispatcher final : public Dispatcher {
 
  private:
   static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  /// Re-derive the dense active-set arrays from allocation_ and reset
+  /// the cadence state. clear()+push_back reuses capacity, so repeated
+  /// rebuilds at a fixed cluster size are allocation-free.
+  void rebuild_dense();
 
   /// Full ε-tolerant selection scan (steps 2.b–2.c including the
   /// normalized-assignment tie-break) over the dense active set.

@@ -6,31 +6,51 @@ namespace hs::dispatch {
 
 SwrrDispatcher::SwrrDispatcher(alloc::Allocation allocation)
     : allocation_(std::move(allocation)) {
+  rebuild_dense();
+}
+
+void SwrrDispatcher::rebuild_dense() {
   HS_CHECK(allocation_.active_count() >= 1,
            "dispatcher needs at least one machine with positive fraction");
+  machine_of_.clear();
+  weight_.clear();
+  for (size_t i = 0; i < allocation_.size(); ++i) {
+    if (allocation_[i] > 0.0) {
+      machine_of_.push_back(static_cast<uint32_t>(i));
+      weight_.push_back(allocation_[i]);
+    }
+  }
   reset();
 }
 
-void SwrrDispatcher::reset() {
-  current_.assign(allocation_.size(), 0.0);
+void SwrrDispatcher::reset() { current_.assign(machine_of_.size(), 0.0); }
+
+bool SwrrDispatcher::rebuild_fractions(std::span<const double> fractions) {
+  HS_CHECK(fractions.size() == allocation_.size(),
+           "rebuild_fractions size " << fractions.size()
+                                     << " != machine count "
+                                     << allocation_.size());
+  allocation_.assign(fractions);
+  rebuild_dense();
+  return true;
 }
 
 size_t SwrrDispatcher::pick(rng::Xoshiro256& /*gen*/) {
   // current_i += weight_i; winner = argmax current; winner -= Σweights.
-  // Weights are the allocation fractions, so Σweights = 1.
-  size_t best = allocation_.size();
-  for (size_t i = 0; i < allocation_.size(); ++i) {
-    if (allocation_[i] == 0.0) {
-      continue;
-    }
-    current_[i] += allocation_[i];
-    if (best == allocation_.size() || current_[i] > current_[best]) {
+  // Weights are the allocation fractions, so Σweights = 1. Slot 0 always
+  // exists (active_count >= 1) and its increment happens before any
+  // comparison, exactly as in the sparse scan this replaced.
+  const size_t k = current_.size();
+  size_t best = 0;
+  current_[0] += weight_[0];
+  for (size_t i = 1; i < k; ++i) {
+    current_[i] += weight_[i];
+    if (current_[i] > current_[best]) {
       best = i;
     }
   }
-  HS_CHECK(best < allocation_.size(), "no selectable machine");
   current_[best] -= 1.0;
-  return best;
+  return machine_of_[best];
 }
 
 }  // namespace hs::dispatch

@@ -37,8 +37,11 @@ CircuitBreakerDispatcher::CircuitBreakerDispatcher(
 
 CircuitBreakerDispatcher::CircuitBreakerDispatcher(
     std::unique_ptr<dispatch::Dispatcher> inner,
-    const CircuitBreakerConfig& config, Rebuilder rebuilder)
-    : config_(config), rebuilder_(std::move(rebuilder)) {
+    const CircuitBreakerConfig& config, Rebuilder rebuilder,
+    Reweighter reweighter)
+    : config_(config),
+      rebuilder_(std::move(rebuilder)),
+      reweighter_(std::move(reweighter)) {
   config_.validate();
   init(std::move(inner));
 }
@@ -87,10 +90,19 @@ void CircuitBreakerDispatcher::reset() {
   if (native_mask_) {
     inner_->reset();
     inner_->set_available_mask(routable_);
-  } else {
-    inner_ = rebuilder_(routable_);
-    HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
+    return;
   }
+  if (reweighter_) {
+    // In-place restore: full-availability fractions into the existing
+    // inner dispatcher (rebuild_fractions resets its routing state).
+    reweighter_(routable_, fractions_scratch_);
+    inner_->reset();
+    if (inner_->rebuild_fractions(fractions_scratch_)) {
+      return;
+    }
+  }
+  inner_ = rebuilder_(routable_);
+  HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");
 }
 
 std::string CircuitBreakerDispatcher::name() const {
@@ -282,6 +294,15 @@ void CircuitBreakerDispatcher::apply_mask() {
     // outcomes drive the half-open probes (mirrors
     // FaultAwareDispatcher's all-down case).
     return;
+  }
+  if (reweighter_) {
+    // Allocation-free path: survivor fractions into the scratch buffer,
+    // then re-weight the live inner dispatcher in place.
+    reweighter_(effective_, fractions_scratch_);
+    if (inner_->rebuild_fractions(fractions_scratch_)) {
+      ++rebuilds_;
+      return;
+    }
   }
   inner_ = rebuilder_(effective_);
   HS_CHECK(inner_ != nullptr, "rebuilder returned null dispatcher");

@@ -61,15 +61,24 @@ class CircuitBreakerDispatcher final : public dispatch::Dispatcher {
   using Rebuilder = std::function<std::unique_ptr<dispatch::Dispatcher>(
       const std::vector<bool>&)>;
 
+  /// Computes survivor allocation fractions into its output buffer (same
+  /// contract as FaultAwareDispatcher::Reweighter): when supplied, trips
+  /// and closes re-weight the existing inner dispatcher in place via
+  /// Dispatcher::rebuild_fractions() — allocation-free — with the
+  /// Rebuilder as fallback.
+  using Reweighter =
+      std::function<void(const std::vector<bool>&, std::vector<double>&)>;
+
   /// Native-masking mode: `inner` must accept set_available_mask.
   CircuitBreakerDispatcher(std::unique_ptr<dispatch::Dispatcher> inner,
                            const CircuitBreakerConfig& config);
 
   /// Rebuild mode: `rebuilder` produces replacements as breakers trip
-  /// and close.
+  /// and close. The optional `reweighter` upgrades those transitions to
+  /// in-place, allocation-free reweights of the existing inner.
   CircuitBreakerDispatcher(std::unique_ptr<dispatch::Dispatcher> inner,
                            const CircuitBreakerConfig& config,
-                           Rebuilder rebuilder);
+                           Rebuilder rebuilder, Reweighter reweighter = {});
 
   [[nodiscard]] size_t pick(rng::Xoshiro256& gen) override;
   [[nodiscard]] size_t pick_sized(rng::Xoshiro256& gen,
@@ -139,10 +148,12 @@ class CircuitBreakerDispatcher final : public dispatch::Dispatcher {
   std::unique_ptr<dispatch::Dispatcher> inner_;
   CircuitBreakerConfig config_;
   Rebuilder rebuilder_;
+  Reweighter reweighter_;
   std::vector<Breaker> breakers_;
   std::vector<bool> routable_;    // state != kOpen
   std::vector<bool> outer_mask_;  // restriction imposed from above
   std::vector<bool> effective_;   // scratch: routable_ AND outer_mask_
+  std::vector<double> fractions_scratch_;  // reweighter output buffer
   obs::TraceSink* trace_ = nullptr;
   // Earliest reopen_at over Open breakers (+inf when none are open):
   // lets on_arrival() skip the scan in the common all-closed case.

@@ -1,0 +1,105 @@
+#include "rng/alias_table.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hs::rng {
+
+namespace {
+
+/// Acceptance probability -> fixed-point threshold in 2^-threshold_bits
+/// units. Saturates at all-ones: the 2^-threshold_bits sliver past a
+/// full column falls to its alias, which full columns point at
+/// themselves.
+uint32_t to_threshold(double probability, uint32_t threshold_bits) {
+  const double full =
+      static_cast<double>((uint64_t{1} << threshold_bits) - 1);
+  const double scaled =
+      probability * static_cast<double>(uint64_t{1} << threshold_bits);
+  return scaled >= full ? static_cast<uint32_t>(full)
+                        : static_cast<uint32_t>(scaled);
+}
+
+}  // namespace
+
+void AliasTable::rebuild(std::span<const double> weights) {
+  HS_CHECK(!weights.empty(), "alias table needs at least one weight");
+  HS_CHECK(weights.size() <= (size_t{1} << 31),
+           "alias table supports at most 2^31 outcomes, got "
+               << weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    HS_CHECK(std::isfinite(w) && w >= 0.0, "negative weight " << w);
+    total += w;
+  }
+  HS_CHECK(total > 0.0, "weights must not all be zero");
+
+  const size_t n = weights.size();
+  size_ = n;
+  alias_bits_ = n > 1 ? static_cast<uint32_t>(std::bit_width(n - 1)) : 1;
+  alias_mask_ = static_cast<uint32_t>((uint64_t{1} << alias_bits_) - 1);
+  const uint32_t threshold_bits = 32 - alias_bits_;
+  entries_.resize(n);
+  probabilities_.resize(n);
+  scaled_.resize(n);
+  small_.clear();
+  large_.clear();
+  small_.reserve(n);
+  large_.reserve(n);
+
+  // Vose's method: scale each probability by n so the average column
+  // holds exactly 1.0 of mass, then repeatedly top up an under-full
+  // column from an over-full one. Every pairing fills one column with
+  // its own threshold plus a single alias.
+  for (size_t i = 0; i < n; ++i) {
+    const double p = weights[i] / total;
+    probabilities_[i] = p;
+    scaled_[i] = p * static_cast<double>(n);
+    if (scaled_[i] < 1.0) {
+      small_.push_back(static_cast<uint32_t>(i));
+    } else {
+      large_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  // alias_bits_ is in [1, 31], so this never shifts by zero or 32.
+  const uint32_t full = 0xFFFFFFFFu >> alias_bits_;
+  const auto pack = [this](uint32_t threshold, uint32_t alias) {
+    return (threshold << alias_bits_) | alias;
+  };
+  while (!small_.empty() && !large_.empty()) {
+    const uint32_t s = small_.back();
+    small_.pop_back();
+    const uint32_t l = large_.back();
+    large_.pop_back();
+    entries_[s] = pack(to_threshold(scaled_[s], threshold_bits), l);
+    // The donor keeps whatever mass the (1 − scaled_[s]) top-up left.
+    scaled_[l] = (scaled_[l] + scaled_[s]) - 1.0;
+    if (scaled_[l] < 1.0) {
+      small_.push_back(l);
+    } else {
+      large_.push_back(l);
+    }
+  }
+  // Leftovers on either stack hold exactly 1.0 up to rounding noise:
+  // saturate them so the fractional test below always accepts.
+  while (!large_.empty()) {
+    const uint32_t l = large_.back();
+    large_.pop_back();
+    entries_[l] = pack(full, l);
+  }
+  while (!small_.empty()) {
+    const uint32_t s = small_.back();
+    small_.pop_back();
+    entries_[s] = pack(full, s);
+  }
+}
+
+double AliasTable::probability(size_t i) const {
+  HS_CHECK(i < probabilities_.size(), "index out of range: " << i);
+  return probabilities_[i];
+}
+
+}  // namespace hs::rng

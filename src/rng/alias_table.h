@@ -1,0 +1,96 @@
+// Walker/Vose alias method — O(1) weighted sampling for million-machine
+// dispatch.
+//
+// DiscreteChoice answers "index i with probability wᵢ/Σw" with an
+// O(log n) binary search over cumulative sums; the alias method answers
+// it with one table lookup: split the probability mass into n equal-size
+// columns, each holding at most two outcomes (the column's own index and
+// one "alias"). A single uniform draw then selects a column (integer
+// part) and a side of its threshold (fractional part) — constant time
+// regardless of n, which is what keeps per-pick dispatch cost flat as
+// the cluster grows (ROADMAP item 2).
+//
+// The table is rebuildable in place: rebuild() reuses every internal
+// buffer, so the survivor-reallocation paths (fault/breaker rebuilds,
+// governed adaptive re-allocations) can re-weight a live sampler without
+// touching the allocator. One rebuild costs O(n); a construction-quality
+// evaluation harness lives in bench/eval_sampling.cpp.
+//
+// Determinism: sample() consumes exactly one next_u64() per draw — the
+// same generator-state budget as DiscreteChoice's one next_double() —
+// but maps it differently, so the two samplers produce different
+// (individually reproducible) pick sequences; the alias path carries
+// its own golden pin in tests/test_determinism_golden.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace hs::rng {
+
+/// O(1) weighted discrete sampler (Walker/Vose alias method). Weights
+/// must be non-negative with a positive sum. Default-constructed tables
+/// are empty; rebuild() before sampling.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> weights) { rebuild(weights); }
+
+  /// Rebuild the table for new weights. Reuses all internal buffers:
+  /// allocation-free once the table has been built for a size >= the new
+  /// one (pinned by tests/test_sampler_alloc.cpp).
+  void rebuild(std::span<const double> weights);
+
+  /// Index i with probability weights[i]/Σ. One uniform draw, O(1).
+  /// Inline: one u64 draw serves both decisions — r·n is a 128-bit
+  /// fixed-point number whose integer part (the high 64 bits) is the
+  /// column, exactly floor(r/2^64 · n), always < n, no clamp; the
+  /// fractional part's top bits are the position within the column,
+  /// compared against the packed fixed-point threshold. All-integer
+  /// arithmetic keeps the load address off any FP-convert chain, and
+  /// inlining keeps the pick small enough that out-of-order cores
+  /// overlap several large-table cache misses.
+  [[nodiscard]] size_t sample(Xoshiro256& gen) const {
+    const uint64_t r = gen.next_u64();
+    const auto product = static_cast<unsigned __int128>(r) * size_;
+    const auto column = static_cast<size_t>(product >> 64);
+    const auto frac =
+        static_cast<uint32_t>(static_cast<uint64_t>(product) >> 32);
+    const uint32_t word = entries_[column];
+    return (frac >> alias_bits_) < (word >> alias_bits_)
+               ? column
+               : word & alias_mask_;
+  }
+
+  [[nodiscard]] size_t size() const { return size_; }
+  /// Normalized target probability of index i (same contract as
+  /// DiscreteChoice::probability).
+  [[nodiscard]] double probability(size_t i) const;
+
+ private:
+  // Threshold and alternate outcome packed into ONE 32-bit word: the
+  // alias index takes the low bit_width(n-1) bits, the fixed-point
+  // acceptance threshold the rest. One sample is then a single 4-byte
+  // load — the n = 10⁶ table is 4 MB, small enough that its ~1k pages
+  // stay TLB-resident and per-pick cost stays flat (the 8- and 16-byte
+  // layouts measured ~1.7× slower at 10⁶ purely from TLB walks).
+  // Quantizing the threshold moves each column's split point by at most
+  // 2^-(32-bit_width(n-1)) — 2⁻¹² at n = 10⁶ — orders of magnitude
+  // under the sampling noise any realistic draw count can resolve
+  // (bounded by bench/eval_sampling), and the error never leaks mass
+  // into zero-weight outcomes (aliases are always over-full columns).
+  size_t size_ = 0;
+  uint32_t alias_bits_ = 1;   // low bits of a word: alias index
+  uint32_t alias_mask_ = 1;   // (1 << alias_bits_) - 1
+  std::vector<uint32_t> entries_;
+  std::vector<double> probabilities_;  // normalized targets (inspection)
+  // Construction scratch, retained across rebuilds.
+  std::vector<double> scaled_;
+  std::vector<uint32_t> small_;
+  std::vector<uint32_t> large_;
+};
+
+}  // namespace hs::rng

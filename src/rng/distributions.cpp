@@ -1,5 +1,6 @@
 #include "rng/distributions.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numbers>
@@ -244,7 +245,7 @@ std::string LogNormal::name() const {
 
 // ------------------------------------------------------------- DiscreteChoice
 
-DiscreteChoice::DiscreteChoice(std::vector<double> weights) {
+void DiscreteChoice::rebuild(std::span<const double> weights) {
   HS_CHECK(!weights.empty(), "discrete choice needs at least one weight");
   double total = 0.0;
   for (double w : weights) {
@@ -252,30 +253,25 @@ DiscreteChoice::DiscreteChoice(std::vector<double> weights) {
     total += w;
   }
   HS_CHECK(total > 0.0, "weights must not all be zero");
-  cumulative_.reserve(weights.size());
-  probabilities_.reserve(weights.size());
+  cumulative_.resize(weights.size());
+  probabilities_.resize(weights.size());
   double running = 0.0;
-  for (double w : weights) {
-    running += w / total;
-    cumulative_.push_back(running);
-    probabilities_.push_back(w / total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    running += weights[i] / total;
+    cumulative_[i] = running;
+    probabilities_[i] = weights[i] / total;
   }
   cumulative_.back() = 1.0;
 }
 
 size_t DiscreteChoice::sample(Xoshiro256& gen) const {
   const double u = gen.next_double();
-  // Binary search for the first cumulative weight > u.
-  size_t lo = 0, hi = cumulative_.size() - 1;
-  while (lo < hi) {
-    const size_t mid = (lo + hi) / 2;
-    if (cumulative_[mid] > u) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
+  // First cumulative weight > u; cumulative_.back() == 1.0 > u always,
+  // so the iterator never lands on end(). Identical result to the old
+  // hand-rolled binary search.
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<size_t>(it - cumulative_.begin());
 }
 
 double DiscreteChoice::probability(size_t i) const {

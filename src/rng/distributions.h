@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -192,10 +193,19 @@ class LogNormal final : public Distribution {
 [[nodiscard]] double sample_standard_normal(Xoshiro256& gen);
 
 /// Weighted discrete choice: returns index i with probability weights[i]/Σ.
-/// Weights must be non-negative with a positive sum.
+/// Weights must be non-negative with a positive sum. Default-constructed
+/// choices are empty; rebuild() before sampling. For an O(1) alternative
+/// see rng::AliasTable (alias_table.h).
 class DiscreteChoice {
  public:
-  explicit DiscreteChoice(std::vector<double> weights);
+  DiscreteChoice() = default;
+  explicit DiscreteChoice(const std::vector<double>& weights) {
+    rebuild(weights);
+  }
+
+  /// Rebuild for new weights in place, reusing cumulative_/probabilities_
+  /// capacity: allocation-free once built for a size >= the new one.
+  void rebuild(std::span<const double> weights);
 
   [[nodiscard]] size_t sample(Xoshiro256& gen) const;
   [[nodiscard]] size_t size() const { return cumulative_.size(); }

@@ -26,32 +26,6 @@ Xoshiro256::Xoshiro256(uint64_t seed) {
   }
 }
 
-uint64_t Xoshiro256::next_u64() {
-  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Xoshiro256::next_double() {
-  // Top 53 bits scaled by 2^-53: uniform on [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Xoshiro256::next_double_open0() {
-  // 1 - [0,1) gives (0,1]; log() of the result is always finite.
-  return 1.0 - next_double();
-}
-
-double Xoshiro256::uniform(double lo, double hi) {
-  return lo + (hi - lo) * next_double();
-}
-
 uint64_t Xoshiro256::next_below(uint64_t n) {
   HS_CHECK(n > 0, "next_below(0)");
   // Rejection sampling to remove modulo bias.

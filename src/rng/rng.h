@@ -31,17 +31,39 @@ class Xoshiro256 {
   /// produce well-distributed state.
   explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ull);
 
-  /// Next 64 uniformly distributed bits.
-  uint64_t next_u64();
+  /// Next 64 uniformly distributed bits. Inline: the draw is on every
+  /// hot path in the engine (dispatch picks, arrival/size generation),
+  /// and the ~4-cycle state update is the loop-carried chain that
+  /// out-of-order cores overlap cache misses behind — an out-of-line
+  /// call would serialize it through memory.
+  uint64_t next_u64() {
+    const uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double next_double();
+  double next_double() {
+    // Top 53 bits scaled by 2^-53: uniform on [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in (0, 1] — never returns 0, safe for log() transforms.
-  double next_double_open0();
+  double next_double_open0() {
+    // 1 - [0,1) gives (0,1]; log() of the result is always finite.
+    return 1.0 - next_double();
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
 
   /// Uniform integer in [0, n). n must be > 0.
   uint64_t next_below(uint64_t n);
@@ -59,7 +81,12 @@ class Xoshiro256 {
   static constexpr result_type max() { return ~0ull; }
   result_type operator()() { return next_u64(); }
 
+
  private:
+  static constexpr uint64_t rotl_(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<uint64_t, 4> state_;
 };
 

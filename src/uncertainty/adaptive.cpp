@@ -78,6 +78,17 @@ alloc::Allocation GovernedAdaptiveDispatcher::solve(
   return alloc::WeightedAllocation().compute(speeds, rho);
 }
 
+void GovernedAdaptiveDispatcher::solve_into(std::span<const double> speeds,
+                                            double rho,
+                                            std::vector<double>& fractions) {
+  if (options_.scheme == AdaptiveScheme::kOptimized) {
+    alloc::OptimizedAllocation().compute_into(speeds, rho, fractions,
+                                              solver_scratch_);
+  } else {
+    alloc::WeightedAllocation().compute_into(speeds, rho, fractions);
+  }
+}
+
 void GovernedAdaptiveDispatcher::install(alloc::Allocation allocation) {
   // The governor's sanity guard: whatever the estimates were, the
   // committed fractions must form a distribution.
@@ -87,9 +98,37 @@ void GovernedAdaptiveDispatcher::install(alloc::Allocation allocation) {
   }
   HS_CHECK(std::abs(sum - 1.0) <= 1e-9,
            "re-allocation fractions must sum to 1, got " << sum);
-  allocation_ = std::make_unique<alloc::Allocation>(std::move(allocation));
-  inner_ =
-      std::make_unique<dispatch::SmoothRoundRobinDispatcher>(*allocation_);
+  if (allocation_ == nullptr) {
+    allocation_ = std::make_unique<alloc::Allocation>(std::move(allocation));
+  } else {
+    *allocation_ = std::move(allocation);
+  }
+  install_inner();
+}
+
+void GovernedAdaptiveDispatcher::install_raw(
+    std::span<const double> fractions) {
+  // Allocation::assign validates and normalizes exactly once — the same
+  // single normalization the solve()→Allocation chain applies, so the
+  // committed fractions are bit-identical to the reconstructing path.
+  if (allocation_ == nullptr) {
+    allocation_ = std::make_unique<alloc::Allocation>(
+        std::vector<double>(fractions.begin(), fractions.end()));
+  } else {
+    allocation_->assign(fractions);
+  }
+  install_inner();
+}
+
+void GovernedAdaptiveDispatcher::install_inner() {
+  if (inner_ == nullptr) {
+    inner_ =
+        std::make_unique<dispatch::SmoothRoundRobinDispatcher>(*allocation_);
+  } else {
+    // Fresh construction and in-place rebuild produce identical cadence
+    // state (rebuild() copies the fractions bit-for-bit and resets).
+    inner_->rebuild(*allocation_);
+  }
 }
 
 void GovernedAdaptiveDispatcher::on_arrival(double now) {
@@ -239,10 +278,16 @@ bool GovernedAdaptiveDispatcher::set_available_mask(
 void GovernedAdaptiveDispatcher::rebuild_for_mask() {
   // Availability changes are mandatory: rebuild immediately from the
   // freshest estimates (believed values until warm-up), bypassing the
-  // governor — the PR1 survivor-reallocation path.
-  const std::vector<double> speeds_hat =
-      bank_.warmed_up() ? bank_.speeds_hat(believed_speeds_)
-                        : believed_speeds_;
+  // governor — the PR1 survivor-reallocation path. Every intermediate
+  // lives in a reused scratch buffer, so mask flips at a fixed cluster
+  // size touch the allocator zero times once warm.
+  if (bank_.warmed_up()) {
+    bank_.speeds_hat_into(believed_speeds_, speeds_hat_scratch_);
+  } else {
+    speeds_hat_scratch_.assign(believed_speeds_.begin(),
+                               believed_speeds_.end());
+  }
+  const std::vector<double>& speeds_hat = speeds_hat_scratch_;
   const double lambda_hat = bank_.lambda_hat(0.0);
   const double total = util::kahan_sum(speeds_hat);
   const double rho_base =
@@ -253,39 +298,38 @@ void GovernedAdaptiveDispatcher::rebuild_for_mask() {
                  options_.max_rho);
   if (!mask_active()) {
     assumed_rho_ = assumed;
-    install(solve(speeds_hat, assumed));
+    solve_into(speeds_hat, assumed, fractions_scratch_);
+    install_raw(fractions_scratch_);
     return;
   }
   // Survivors absorb the whole stream: scale the assumed utilization by
   // total/survivor capacity, clamped (past max_rho the optimized scheme
   // approaches the weighted one anyway).
-  std::vector<double> survivor_speeds;
-  survivor_speeds.reserve(speeds_hat.size());
+  survivor_speeds_scratch_.clear();
   for (size_t i = 0; i < speeds_hat.size(); ++i) {
     if (available_[i]) {
-      survivor_speeds.push_back(speeds_hat[i]);
+      survivor_speeds_scratch_.push_back(speeds_hat[i]);
     }
   }
-  const double survivor_total = util::kahan_sum(survivor_speeds);
+  const double survivor_total = util::kahan_sum(survivor_speeds_scratch_);
   const double effective =
       std::clamp(assumed * total / survivor_total, options_.min_rho,
                  options_.max_rho);
-  const alloc::Allocation survivor_alloc = [&] {
-    if (options_.scheme == AdaptiveScheme::kOptimized) {
-      return alloc::OptimizedAllocation().compute(survivor_speeds,
-                                                  effective);
-    }
-    return alloc::WeightedAllocation().compute(survivor_speeds, effective);
-  }();
-  std::vector<double> fractions(speeds_hat.size(), 0.0);
+  solve_into(survivor_speeds_scratch_, effective,
+             survivor_fractions_scratch_);
+  // Normalize the survivor solve (the Allocation the reconstructing
+  // path built from it), then expand with zeros; install_raw's single
+  // normalization reproduces the outer Allocation bit-identically.
+  alloc::Allocation::normalize(survivor_fractions_scratch_);
+  fractions_scratch_.assign(speeds_hat.size(), 0.0);
   size_t next_survivor = 0;
   for (size_t i = 0; i < speeds_hat.size(); ++i) {
     if (available_[i]) {
-      fractions[i] = survivor_alloc[next_survivor++];
+      fractions_scratch_[i] = survivor_fractions_scratch_[next_survivor++];
     }
   }
   assumed_rho_ = effective;
-  install(alloc::Allocation(std::move(fractions)));
+  install_raw(fractions_scratch_);
 }
 
 void GovernedAdaptiveDispatcher::reset() {

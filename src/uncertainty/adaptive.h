@@ -25,9 +25,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "alloc/allocation.h"
+#include "alloc/optimized.h"
 #include "dispatch/dispatcher.h"
 #include "dispatch/smooth_rr.h"
 #include "obs/trace.h"
@@ -135,7 +137,19 @@ class GovernedAdaptiveDispatcher final : public dispatch::Dispatcher {
   /// Solve the configured scheme for (speeds, rho). Checks Σαᵢ = 1.
   [[nodiscard]] alloc::Allocation solve(const std::vector<double>& speeds,
                                         double rho) const;
+  /// Allocation-free solve: raw (un-normalized) scheme fractions into
+  /// `fractions`, every intermediate in reused scratch.
+  void solve_into(std::span<const double> speeds, double rho,
+                  std::vector<double>& fractions);
+  /// Commit a solved allocation: move-assign into the live Allocation
+  /// and re-weight the live inner dispatcher (no reconstruction).
   void install(alloc::Allocation allocation);
+  /// Commit raw solver fractions in place — one normalization inside
+  /// Allocation::assign, zero heap traffic once buffers are warm.
+  void install_raw(std::span<const double> fractions);
+  /// Point the inner round-robin at the current allocation_ (building
+  /// it on first use, re-weighting it in place afterwards).
+  void install_inner();
   /// Re-estimate, propose, and maybe commit (one tick).
   void maybe_reallocate(double now);
   /// Rebuild over the currently-available machines (mask path).
@@ -156,6 +170,14 @@ class GovernedAdaptiveDispatcher final : public dispatch::Dispatcher {
   std::vector<ReallocEvent> timeline_;
   std::unique_ptr<alloc::Allocation> allocation_;
   std::unique_ptr<dispatch::SmoothRoundRobinDispatcher> inner_;
+
+  // Scratch for the mask-rebuild path (reused across flips so survivor
+  // re-allocation under faults touches the allocator zero times).
+  std::vector<double> speeds_hat_scratch_;
+  std::vector<double> survivor_speeds_scratch_;
+  std::vector<double> survivor_fractions_scratch_;
+  std::vector<double> fractions_scratch_;
+  alloc::SolverScratch solver_scratch_;
 };
 
 }  // namespace hs::uncertainty

@@ -126,6 +126,14 @@ std::vector<double> EstimatorBank::speeds_hat(
   return speeds;
 }
 
+void EstimatorBank::speeds_hat_into(const std::vector<double>& fallbacks,
+                                    std::vector<double>& out) const {
+  out.resize(service_.size());
+  for (size_t i = 0; i < service_.size(); ++i) {
+    out[i] = service_[i].speed(fallbacks[i]);
+  }
+}
+
 double EstimatorBank::rho_hat(const std::vector<double>& speed_fallbacks,
                               double rho_fallback) const {
   if (!warmed_up()) {

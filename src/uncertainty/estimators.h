@@ -128,6 +128,10 @@ class EstimatorBank {
   /// Believed speeds for all machines (per-machine fallbacks).
   [[nodiscard]] std::vector<double> speeds_hat(
       const std::vector<double>& fallbacks) const;
+  /// Allocation-free speeds_hat(): writes into `out`, reusing its
+  /// capacity (the adaptive rebuild paths call this per mask flip).
+  void speeds_hat_into(const std::vector<double>& fallbacks,
+                       std::vector<double>& out) const;
   /// ρ̂ implied by λ̂ and the believed speeds.
   [[nodiscard]] double rho_hat(const std::vector<double>& speed_fallbacks,
                                double rho_fallback) const;

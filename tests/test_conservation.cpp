@@ -199,6 +199,67 @@ TEST_P(FullStackConservation, ArrivalsAreConserved) {
 INSTANTIATE_TEST_SUITE_P(TenSeeds, FullStackConservation,
                          ::testing::Range(1, 11));
 
+// The same full-chaos configuration with the O(1) alias sampler routing
+// the jobs: CircuitBreaker(Hedged(FaultAware(ORAN + alias))). Crash and
+// partition churn drives the survivor-reallocation reweighter (in-place
+// alias rebuilds) continuously, so exactly-once accounting here pins
+// the alias path end to end across 10 seeds.
+class AliasFullStackConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasFullStackConservation, ArrivalsAreConserved) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  SimulationConfig config;
+  config.speeds = {4.0, 2.0, 1.0};
+  config.rho = 0.9;
+  config.sim_time = 15000.0;
+  config.warmup_frac = 0.25;
+  config.seed = seed * 104729 + 3;
+  config.workload.arrival_kind = hs::workload::ArrivalKind::kPoisson;
+  config.workload.size_kind = hs::workload::SizeKind::kExponential;
+  config.workload.fixed_or_mean_size = 1.0;
+
+  config.faults.processes.assign(config.speeds.size(), {2000.0, 150.0});
+  config.faults.retry.max_attempts = 4;
+  config.faults.retry.backoff_initial = 1.0;
+
+  config.overload.queue_capacity = 64;
+  config.overload.admission = hs::overload::AdmissionKind::kQueueBoundShed;
+  config.overload.retry_budget.enabled = true;
+
+  config.network.dispatch_link.loss = 0.05;
+  config.network.dispatch_link.delay_mean = 0.05;
+  config.network.dispatch_link.duplicate = 0.02;
+  config.network.report_link.loss = 0.05;
+  config.network.report_link.delay_mean = 0.02;
+  config.network.partitions.push_back({5000.0, 400.0, {1}});
+  config.network.heartbeat.interval = 2.0;
+  config.network.heartbeat.phi_threshold = 4.0;
+
+  auto fault_aware = hs::core::make_fault_aware_dispatcher(
+      hs::core::PolicyKind::kORAN, config.speeds, config.rho,
+      /*rho_estimate_factor=*/1.0, hs::dispatch::SamplerKind::kAlias);
+  auto dispatcher = std::make_unique<hs::overload::CircuitBreakerDispatcher>(
+      std::make_unique<hs::dispatch::HedgedDispatcher>(
+          std::move(fault_aware),
+          hs::dispatch::HedgingConfig{/*delay=*/5.0}),
+      hs::overload::CircuitBreakerConfig{});
+
+  const auto result = hs::cluster::run_simulation(config, *dispatcher);
+
+  EXPECT_GT(result.total_arrivals, 0u);
+  EXPECT_EQ(result.total_arrivals,
+            result.total_completed + result.total_shed +
+                result.total_dropped + result.in_flight_at_end)
+      << "seed=" << seed << " arrivals=" << result.total_arrivals
+      << " completed=" << result.total_completed
+      << " shed=" << result.total_shed
+      << " dropped=" << result.total_dropped
+      << " in_flight=" << result.in_flight_at_end;
+}
+
+INSTANTIATE_TEST_SUITE_P(TenSeeds, AliasFullStackConservation,
+                         ::testing::Range(1, 11));
+
 // Little's law: L = λ·W on a single-machine system, measured inside the
 // simulation window via area under the queue-length curve.
 TEST(Conservation, LittlesLawSingleMachine) {

@@ -111,6 +111,47 @@ TEST(DeterminismGolden, WeightedRoundRobinWithSamplingOn) {
   EXPECT_EQ(registry.sample_count(), 41u);  // t = 0 plus one per tick
 }
 
+// The random-dispatch policies, pinned per sampler. The CDF binary
+// search is the default and must never move; the O(1) alias table maps
+// the same uniform draw differently, so its sequence is distinct but
+// equally reproducible — each path carries its own golden values.
+TEST(DeterminismGolden, OptimizedRandomCdfSampler) {
+  SimulationConfig config;
+  config.speeds = {1.0, 1.0, 2.0, 3.0, 5.0};
+  config.rho = 0.7;
+  config.sim_time = 20000.0;
+  config.warmup_frac = 0.25;
+  config.seed = 20260806;
+  auto dispatcher = hs::core::make_policy_dispatcher(
+      PolicyKind::kORAN, config.speeds, config.rho,
+      /*rho_estimate_factor=*/1.0, hs::dispatch::SamplerKind::kCdf);
+  const SimulationResult r = hs::cluster::run_simulation(config, *dispatcher);
+  EXPECT_EQ(r.mean_response_time, 88.630584216785778);
+  EXPECT_EQ(r.mean_response_ratio, 1.4964506962533122);
+  EXPECT_EQ(r.fairness, 1.0847578980358354);
+  EXPECT_EQ(r.completed_jobs, 1690u);
+  EXPECT_EQ(r.events_fired, 4832u);
+}
+
+TEST(DeterminismGolden, OptimizedRandomAliasSampler) {
+  SimulationConfig config;
+  config.speeds = {1.0, 1.0, 2.0, 3.0, 5.0};
+  config.rho = 0.7;
+  config.sim_time = 20000.0;
+  config.warmup_frac = 0.25;
+  config.seed = 20260806;
+  auto dispatcher = hs::core::make_policy_dispatcher(
+      PolicyKind::kORAN, config.speeds, config.rho,
+      /*rho_estimate_factor=*/1.0, hs::dispatch::SamplerKind::kAlias);
+  EXPECT_EQ(dispatcher->name(), "random-alias");
+  const SimulationResult r = hs::cluster::run_simulation(config, *dispatcher);
+  EXPECT_EQ(r.mean_response_time, 124.17750904879489);
+  EXPECT_EQ(r.mean_response_ratio, 1.7719084185394363);
+  EXPECT_EQ(r.fairness, 1.9057238088952211);
+  EXPECT_EQ(r.completed_jobs, 1690u);
+  EXPECT_EQ(r.events_fired, 4832u);
+}
+
 // The exact configuration of bench/micro_sim.cpp's end-to-end cluster
 // benchmark (first seed), so BENCH_sim.json throughput numbers are pinned
 // to a workload whose results are themselves regression-checked.

@@ -258,7 +258,9 @@ TEST(DiscreteChoice, SingleWeight) {
 }
 
 TEST(DiscreteChoice, InvalidWeightsThrow) {
-  EXPECT_THROW(DiscreteChoice({}), hs::util::CheckError);
+  // Explicit empty vector: plain {} would be ambiguous with the copy
+  // constructor now that DiscreteChoice is default-constructible.
+  EXPECT_THROW(DiscreteChoice(std::vector<double>{}), hs::util::CheckError);
   EXPECT_THROW(DiscreteChoice({0.0, 0.0}), hs::util::CheckError);
   EXPECT_THROW(DiscreteChoice({1.0, -0.5}), hs::util::CheckError);
 }
