@@ -1,0 +1,37 @@
+# Shared executable-target helpers.
+#
+# Every executable family in the tree repeats one add_executable +
+# target_link_libraries pattern; each is defined once here and used from
+# tests/, bench/ and examples/. Included from the top-level
+# CMakeLists.txt after find_package(GTest) / find_package(benchmark), so
+# the imported targets referenced below exist.
+
+include(GoogleTest)
+
+# A plain example linked against the umbrella library.
+function(hs_add_example name)
+  add_executable(${name} ${name}.cpp)
+  target_link_libraries(${name} PRIVATE hetsched hetsched_warnings)
+endfunction()
+
+# A reproduction/ablation bench sharing the bench_common CLI harness.
+function(hs_add_bench name)
+  add_executable(${name} ${name}.cpp)
+  target_link_libraries(${name} PRIVATE hs_bench_common hetsched_warnings)
+endfunction()
+
+# A google-benchmark microbenchmark.
+function(hs_add_micro name)
+  add_executable(${name} ${name}.cpp)
+  target_link_libraries(${name} PRIVATE hetsched benchmark::benchmark
+    benchmark::benchmark_main hetsched_warnings)
+endfunction()
+
+# A gtest binary; each TEST/TEST_P case registers individually with
+# ctest.
+function(hs_add_test name)
+  add_executable(${name} ${name}.cpp)
+  target_link_libraries(${name} PRIVATE hetsched GTest::gtest GTest::gtest_main
+    hetsched_warnings)
+  gtest_discover_tests(${name} DISCOVERY_TIMEOUT 60)
+endfunction()

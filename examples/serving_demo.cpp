@@ -1,0 +1,296 @@
+// Live-serving demo: the paper's policies as an in-process load
+// balancer under a multi-threaded synthetic workload, with trace
+// record/replay back into the simulator.
+//
+// Serve mode (default) runs an open-loop load generator: worker threads
+// draw arrival instants from a Poisson (or bursty 2-state MMPP) process
+// on the wall clock, sleep until each instant, and call
+// ServingDispatcher::acquire() — open-loop, so a slow dispatcher cannot
+// throttle its own offered load. Each request then "runs" on a mock
+// backend for size/speed seconds of real time before the worker calls
+// release() with the measured work, which feeds Least-Load estimates
+// and online re-estimation exactly like the simulator's departure
+// reports. Per-acquire decision latency lands in a log-scale histogram
+// (merged across threads at the end), and the session's arrival stream
+// is recorded for replay.
+//
+// Replay mode (--replay file) loads a recorded session and re-runs it
+// in the discrete-event simulator via serving::replay() — the recorded
+// wall-clock arrivals become virtual-time arrivals, the same policy
+// routes them, and the run is deterministic: the demo replays twice and
+// checks the key metrics agree bit-for-bit. Record a session with
+// --record-out, then what-if it here under a different policy or
+// machine set: that is the capacity-planning / policy-A/B bridge.
+//
+// The arrival rate defaults to λ = ρ·Σs/E[size] with E[size] chosen so
+// the *recorded* session replays at utilization ρ — the live demo and
+// its simulated replay describe the same operating point.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/policy.h"
+#include "rng/rng.h"
+#include "serving/replay.h"
+#include "serving/serving_dispatcher.h"
+#include "serving/trace_io.h"
+#include "stats/histogram.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "workload/arrival.h"
+
+namespace {
+
+using hs::serving::RecordedTrace;
+using hs::serving::ServingDispatcher;
+using Clock = std::chrono::steady_clock;
+
+std::vector<double> demo_speeds(size_t n, uint64_t seed) {
+  hs::rng::Xoshiro256 gen(seed);
+  std::vector<double> speeds(n);
+  for (double& s : speeds) {
+    s = gen.uniform(0.5, 20.0);
+  }
+  return speeds;
+}
+
+hs::core::PolicyKind parse_policy(const std::string& name) {
+  if (name == "least-load") return hs::core::PolicyKind::kLeastLoad;
+  if (name == "orr") return hs::core::PolicyKind::kORR;
+  if (name == "oran") return hs::core::PolicyKind::kORAN;
+  if (name == "wrr") return hs::core::PolicyKind::kWRR;
+  if (name == "wran") return hs::core::PolicyKind::kWRAN;
+  HS_CHECK(false, "unknown policy '" << name
+                                     << "' (least-load|orr|oran|wrr|wran)");
+  return hs::core::PolicyKind::kLeastLoad;  // unreachable
+}
+
+/// A request held by a mock backend until its wall-clock completion.
+struct InFlight {
+  Clock::time_point done;
+  size_t machine = 0;
+  double work = 0.0;
+  bool operator>(const InFlight& other) const { return done > other.done; }
+};
+
+struct WorkerResult {
+  hs::stats::Histogram latency{1e-8, 1e-3, 50,
+                               hs::stats::Histogram::Scale::kLog};
+  uint64_t issued = 0;
+};
+
+/// One open-loop worker: its own arrival process and RNG stream, a
+/// pending-completion heap standing in for the backends it spoke to.
+void worker(ServingDispatcher& serving, const std::vector<double>& speeds,
+            hs::workload::ArrivalProcess& arrivals, double mean_size,
+            uint64_t seed, double duration, WorkerResult& out) {
+  hs::rng::Xoshiro256 gen(seed);
+  hs::rng::Exponential size_dist(1.0 / mean_size);
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> pending;
+  const auto start = Clock::now();
+  const auto end = start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(duration));
+  double t = 0.0;
+  for (;;) {
+    t += arrivals.next_interarrival(gen);
+    const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(t));
+    if (due >= end) {
+      break;
+    }
+    // Release every mock completion that came due, then sleep until the
+    // next arrival instant (if it is still ahead — open-loop never
+    // skips a late arrival, it just issues immediately).
+    while (!pending.empty() && pending.top().done <= Clock::now()) {
+      serving.release(pending.top().machine, pending.top().work);
+      pending.pop();
+    }
+    std::this_thread::sleep_until(due);
+
+    const double size = size_dist.sample(gen);
+    const auto t0 = Clock::now();
+    const size_t machine = serving.acquire(size);
+    const auto t1 = Clock::now();
+    out.latency.add(std::chrono::duration<double>(t1 - t0).count());
+    ++out.issued;
+    pending.push(InFlight{
+        t1 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(size / speeds[machine])),
+        machine, size});
+  }
+  // Drain: every mock backend finishes its resident requests.
+  while (!pending.empty()) {
+    if (pending.top().done > Clock::now()) {
+      std::this_thread::sleep_until(pending.top().done);
+    }
+    serving.release(pending.top().machine, pending.top().work);
+    pending.pop();
+  }
+}
+
+void print_replay_summary(const char* label,
+                          const hs::cluster::SimulationResult& r) {
+  std::printf("  %-18s completed %llu of %llu   mean RT %.6f s   "
+              "mean ratio %.4f\n",
+              label, static_cast<unsigned long long>(r.completed_jobs),
+              static_cast<unsigned long long>(r.total_arrivals),
+              r.mean_response_time, r.mean_response_ratio);
+}
+
+int run_replay(const std::string& path, hs::core::PolicyKind kind,
+               const std::vector<double>& speeds, double rho) {
+  const RecordedTrace recorded = hs::serving::load_trace_binary(path);
+  const auto& trace = recorded.trace;
+  std::printf("loaded %s: %zu arrivals, horizon %.3f s, seed %llu, "
+              "recorded at unix %.3f s\n",
+              path.c_str(), trace.size(), trace.horizon(),
+              static_cast<unsigned long long>(recorded.seed),
+              static_cast<double>(recorded.recorded_unix_nanos) * 1e-9);
+  std::printf("  mean rate %.1f req/s, mean size %.6f base-seconds\n",
+              1.0 / trace.mean_interarrival(), trace.mean_size());
+
+  auto dispatcher = hs::core::make_policy_dispatcher(kind, speeds, rho);
+  const auto first = hs::serving::replay(recorded, speeds, *dispatcher);
+  print_replay_summary("replay #1", first);
+  const auto second = hs::serving::replay(recorded, speeds, *dispatcher);
+  print_replay_summary("replay #2", second);
+
+  // Determinism self-check: a replay is an experiment cell, so two runs
+  // of it must agree bit-for-bit.
+  HS_CHECK(first.completed_jobs == second.completed_jobs &&
+               first.total_arrivals == second.total_arrivals &&
+               first.mean_response_time == second.mean_response_time &&
+               first.mean_response_ratio == second.mean_response_ratio &&
+               first.events_fired == second.events_fired,
+           "replay is not deterministic — bit-identical replay broken");
+  std::printf("  deterministic: replays #1 and #2 bit-identical\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hs::util::ArgParser parser(
+      "Multi-threaded live-serving demo with trace record/replay.");
+  parser.add_option("policy", "least-load",
+                    "dispatch policy: least-load|orr|oran|wrr|wran");
+  parser.add_option("machines", "16", "number of mock backend machines");
+  parser.add_option("rho", "0.7", "target utilization of the mock cluster");
+  parser.add_option("rate", "20000", "offered load, acquires/sec");
+  parser.add_option("duration", "3", "serving session length, seconds");
+  parser.add_option("threads", "4", "load-generator threads");
+  parser.add_option("mode", "poisson", "arrival process: poisson|bursty");
+  parser.add_option("seed", "20260808", "session seed");
+  parser.add_option("record-out", "", "write the recorded trace here");
+  parser.add_option("replay", "",
+                    "replay a recorded trace in the simulator instead of "
+                    "serving");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+
+  const auto kind = parse_policy(parser.get_string("policy"));
+  const auto machines = static_cast<size_t>(parser.get_long("machines"));
+  const double rho = parser.get_double("rho");
+  const auto seed = static_cast<uint64_t>(parser.get_long("seed"));
+  const std::vector<double> speeds = demo_speeds(machines, seed);
+
+  if (!parser.get_string("replay").empty()) {
+    return run_replay(parser.get_string("replay"), kind, speeds, rho);
+  }
+
+  const double rate = parser.get_double("rate");
+  const double duration = parser.get_double("duration");
+  const auto threads = static_cast<size_t>(parser.get_long("threads"));
+  const std::string mode = parser.get_string("mode");
+  HS_CHECK(rate > 0 && duration > 0 && threads > 0, "invalid load shape");
+
+  // E[size] such that offered work rate/Σs = ρ: the recorded session
+  // replays in the simulator at the same operating point it was served
+  // at.
+  double total_speed = 0.0;
+  for (double s : speeds) total_speed += s;
+  const double mean_size = rho * total_speed / rate;
+
+  auto dispatcher = hs::core::make_policy_dispatcher(kind, speeds, rho);
+  hs::serving::ServingConfig config;
+  config.seed = seed;
+  config.record_capacity = static_cast<size_t>(rate * duration * 2) + 1024;
+  ServingDispatcher serving(*dispatcher, config);
+
+  std::printf("serving %s over %zu machines (Σs = %.1f): %.0f req/s %s "
+              "for %.1f s on %zu threads...\n",
+              dispatcher->name().c_str(), machines, total_speed, rate,
+              mode.c_str(), duration, threads);
+
+  std::vector<WorkerResult> results(threads);
+  std::vector<std::unique_ptr<hs::workload::ArrivalProcess>> processes;
+  const double per_thread_rate = rate / static_cast<double>(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    if (mode == "bursty") {
+      // Calm/burst alternation: half-rate lulls, 3x-rate bursts, with
+      // sojourns short enough that every thread sees several cycles.
+      processes.push_back(std::make_unique<hs::workload::Mmpp2Arrivals>(
+          0.5 * per_thread_rate, 3.0 * per_thread_rate, 0.5, 0.15));
+    } else {
+      HS_CHECK(mode == "poisson", "unknown mode '" << mode << "'");
+      processes.push_back(
+          std::make_unique<hs::workload::PoissonArrivals>(per_thread_rate));
+    }
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    pool.emplace_back([&, i] {
+      worker(serving, speeds, *processes[i], mean_size, seed + 1000 + i,
+             duration, results[i]);
+    });
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+
+  // Conservation: every acquire was released (the workers drained), so
+  // nothing is in flight and Least-Load's estimates are back to zero.
+  HS_CHECK(serving.acquired() == serving.released() &&
+               serving.in_flight() == 0,
+           "conservation violated: acquired " << serving.acquired()
+                                              << " != released "
+                                              << serving.released());
+
+  hs::stats::Histogram latency = std::move(results[0].latency);
+  uint64_t issued = results[0].issued;
+  for (size_t i = 1; i < threads; ++i) {
+    latency.merge(results[i].latency);
+    issued += results[i].issued;
+  }
+  const double elapsed = serving.session_seconds();
+  std::printf("issued %llu acquires in %.2f s (%.0f/s sustained)\n",
+              static_cast<unsigned long long>(issued), elapsed,
+              static_cast<double>(issued) / elapsed);
+  if (latency.total() > 0) {
+    std::printf("acquire latency: p50 %.0f ns   p99 %.0f ns   p999 %.0f ns\n",
+                latency.quantile(0.50) * 1e9, latency.quantile(0.99) * 1e9,
+                latency.quantile(0.999) * 1e9);
+  }
+  std::printf("recorded %llu arrivals (%llu dropped past capacity)\n",
+              static_cast<unsigned long long>(serving.record_count()),
+              static_cast<unsigned long long>(serving.record_dropped()));
+
+  const std::string record_out = parser.get_string("record-out");
+  if (!record_out.empty()) {
+    const RecordedTrace recorded = serving.snapshot();
+    hs::serving::save_trace_binary(record_out, recorded);
+    std::printf("wrote %zu-arrival trace to %s — replay with "
+                "--replay %s\n",
+                recorded.trace.size(), record_out.c_str(),
+                record_out.c_str());
+  }
+  return 0;
+}

@@ -24,6 +24,7 @@ Only Python's standard library is used.
 
 import argparse
 import json
+import re
 import sys
 from datetime import date
 from pathlib import Path
@@ -33,6 +34,20 @@ from pathlib import Path
 # jobs_per_sec from the minimum iteration time.
 CLUSTER_JOBS_PER_ITER = 14895.0
 CLUSTER_BENCH = "BM_FullClusterSimulation"
+
+# Headline latency benchmarks: lower-is-better real_time metrics gated
+# by --latency-regression. The serving p99 benches report the batch p99
+# as their iteration time (see bench/micro_serving.cpp), so real_time
+# here IS the tail latency, and min-over-rounds keeps the least
+# contended estimate.
+HEADLINE_LATENCY = [
+    r"^BM_ServingAcquireP99LeastLoad/",
+    r"^BM_ServingAcquireP99Alias/",
+]
+
+
+def is_headline_latency(name):
+    return any(re.search(p, name) for p in HEADLINE_LATENCY)
 
 
 def parse_runs(path):
@@ -89,6 +104,12 @@ def main():
                         help="fail (exit 1) if the cluster benchmark's "
                              "jobs/sec fell more than PCT%% below the "
                              "baseline entry's recorded value")
+    parser.add_argument("--latency-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="fail (exit 1) if any headline latency "
+                             "benchmark (lower is better; see "
+                             "HEADLINE_LATENCY) rose more than PCT%% "
+                             "above the baseline entry's recorded value")
     args = parser.parse_args()
 
     trajectory_path = Path(
@@ -165,6 +186,38 @@ def main():
                 f"--check-regression: no jobs_per_sec to compare "
                 f"(baseline: {base_jps}, new: {new_jps}); skipping gate"
             )
+
+    if args.latency_regression is not None:
+        # Gate on the lower-is-better headline latencies: each one
+        # present in both the baseline and this run must stay within
+        # PCT% of its recorded value. Latency on shared runners is far
+        # noisier than throughput, so CI passes a wide margin here.
+        if baseline is None:
+            sys.exit("--latency-regression needs a baseline entry")
+        compared = 0
+        failed = []
+        for name, res in sorted(results.items()):
+            if not is_headline_latency(name):
+                continue
+            base = baseline["results"].get(name)
+            if not base or base["unit"] != res["unit"]:
+                continue
+            compared += 1
+            ceiling = base["real_time"] * (1.0 + args.latency_regression / 100.0)
+            verdict = "OK" if res["real_time"] <= ceiling else "REGRESSION"
+            print(
+                f"{name}: {res['real_time']} {res['unit']} vs baseline "
+                f"'{baseline['label']}' {base['real_time']} "
+                f"(ceiling {ceiling:.3f}, +{args.latency_regression}%): "
+                f"{verdict}"
+            )
+            if res["real_time"] > ceiling:
+                failed.append(name)
+        if compared == 0:
+            print("--latency-regression: no headline latency benchmarks "
+                  "to compare; skipping gate")
+        if failed:
+            sys.exit(1)
 
     if args.dry_run:
         json.dump(entry, sys.stdout, indent=2)

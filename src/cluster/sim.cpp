@@ -1,5 +1,6 @@
 #include "cluster/sim.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <optional>
@@ -1678,6 +1679,15 @@ SimulationResult run_simulation(const SimulationConfig& config,
                                 dispatch::Dispatcher& dispatcher) {
   RunContext context(config, {&dispatcher}, SchedulerSplit::kRandom);
   return context.run();
+}
+
+SimulationResult run_trace_replay(SimulationConfig config,
+                                  const workload::JobTrace& trace,
+                                  dispatch::Dispatcher& dispatcher) {
+  HS_CHECK(!trace.empty(), "cannot replay an empty trace");
+  config.trace = &trace;
+  config.sim_time = std::max(config.sim_time, trace.horizon());
+  return run_simulation(config, dispatcher);
 }
 
 SimulationResult run_simulation_multi(

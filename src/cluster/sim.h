@@ -224,6 +224,19 @@ struct SimulationResult {
 [[nodiscard]] SimulationResult run_simulation(const SimulationConfig& config,
                                               dispatch::Dispatcher& dispatcher);
 
+/// Replay an arrival trace — typically a serving-session recording
+/// (serving/trace_io.h) or a generated workload::JobTrace: sets
+/// `config.trace` and extends sim_time to the trace horizon when it is
+/// shorter, so every recorded arrival is admitted. Everything else in
+/// the caller's config applies unchanged — in particular warmup_frac
+/// (pass 0 to measure the whole session) and the robustness layers
+/// (what-if analysis replays the same arrivals under different fault /
+/// overload / network regimes). For a deliberately truncated replay,
+/// set config.trace and a shorter sim_time by hand instead.
+[[nodiscard]] SimulationResult run_trace_replay(
+    SimulationConfig config, const workload::JobTrace& trace,
+    dispatch::Dispatcher& dispatcher);
+
 /// How arriving jobs are split across schedulers in the multi-scheduler
 /// variant (below).
 enum class SchedulerSplit {

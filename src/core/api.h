@@ -31,6 +31,10 @@
 #include "queueing/mm1.h"            // IWYU pragma: export
 #include "rng/distributions.h"       // IWYU pragma: export
 #include "rng/rng.h"                 // IWYU pragma: export
+#include "serving/clock.h"           // IWYU pragma: export
+#include "serving/replay.h"          // IWYU pragma: export
+#include "serving/serving_dispatcher.h"  // IWYU pragma: export
+#include "serving/trace_io.h"        // IWYU pragma: export
 #include "workload/arrival.h"        // IWYU pragma: export
 #include "workload/job_size.h"       // IWYU pragma: export
 #include "workload/spec.h"           // IWYU pragma: export

@@ -3,6 +3,9 @@
 // Ignores the allocation fractions and cycles through the machines that
 // have a positive fraction. Equivalent to Algorithm 2 when all fractions
 // are equal; included as the traditional baseline the paper generalizes.
+//
+// Threading: caller-serialized (dispatch/dispatcher.h) — pick()
+// advances the cycle position.
 #pragma once
 
 #include <vector>

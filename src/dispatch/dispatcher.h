@@ -5,6 +5,24 @@
 // the machine that will run it. Static dispatchers (random, round-robin
 // based) depend only on the allocation fractions; the Dynamic Least-Load
 // yardstick additionally consumes delayed departure reports.
+//
+// ## Threading contract: caller-serialized
+//
+// Dispatchers are NOT internally synchronized, and pick() is
+// deliberately non-const: in every policy except the stateless routers
+// it advances routing state (round-robin cadences, Least-Load queue
+// estimates, decorator bookkeeping), and even the "stateless" policies
+// advance the caller's RNG. All calls on one dispatcher — picks,
+// feedback reports, mask/fraction updates — must therefore be
+// serialized by the caller. The two harnesses satisfy this differently:
+// the discrete-event simulator is single-threaded per scheduler (one
+// dispatcher is only ever touched from its scheduler's event chain;
+// cluster::run_experiment gives each replication its own dispatcher via
+// DispatcherFactory), and the live-serving front-end
+// (serving::ServingDispatcher) serializes a shared dispatcher behind
+// one spinlock. Per-header notes below distinguish policies whose
+// pick() mutates policy state from the ones that are logically const
+// and mutate only through the shared RNG.
 #pragma once
 
 #include <cstddef>

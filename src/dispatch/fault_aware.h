@@ -18,6 +18,10 @@
 //
 // core::make_fault_aware_dispatcher() wires both modes for the paper's
 // policies; docs/FAULT_MODEL.md discusses the semantics.
+//
+// Threading: caller-serialized (dispatch/dispatcher.h) — picks forward
+// to the inner dispatcher, and fault reports can swap the inner
+// dispatcher wholesale (rebuild mode), so no call may overlap another.
 #pragma once
 
 #include <functional>

@@ -23,6 +23,10 @@
 // Composes in any order with FaultAwareDispatcher and
 // CircuitBreakerDispatcher: every hook, including set_available_mask,
 // is forwarded verbatim.
+//
+// Threading: caller-serialized (dispatch/dispatcher.h) — the decorator
+// adds only counters, but picks and counter updates forward into the
+// wrapped policy's mutable state.
 #pragma once
 
 #include <memory>

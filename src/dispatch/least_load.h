@@ -16,6 +16,10 @@
 // n = 10⁵–10⁶ machines. The O(n) linear scan is retained as the
 // reference implementation for the randomized differential test
 // (tests/test_least_load.cpp); both are pinned by the same golden tests.
+//
+// Threading: caller-serialized (dispatch/dispatcher.h) — pick() bumps
+// the chosen machine's queue estimate, and the asynchronous feedback
+// channels (on_departure_report, on_load_report) write the same state.
 #pragma once
 
 #include <cstdint>

@@ -11,6 +11,12 @@
 // table (rng::AliasTable, O(1) per pick) keeps per-job dispatch cost
 // flat at n = 10⁶ machines and carries its own golden pin; both rebuild
 // in place, so rebuild_fractions() is allocation-free either way.
+//
+// Threading: pick() is logically const — both samplers' sample() are
+// const and the only mutation is the caller's RNG advancing — but the
+// class still follows the interface's caller-serialized contract
+// (dispatch/dispatcher.h): concurrent picks sharing one RNG would race
+// on the generator state, and rebuild_fractions() mutates the samplers.
 #pragma once
 
 #include "alloc/allocation.h"

@@ -19,6 +19,11 @@
 //
 // Cutoffs are computed in closed form for the Bounded Pareto B(k, p, α)
 // size distribution used throughout (§4.1), via its partial expectation.
+//
+// Threading: pick_sized() is logically const — it reads the fixed
+// cutoff table and draws nothing from the RNG — but the class follows
+// the interface's caller-serialized contract (dispatch/dispatcher.h)
+// like every other policy.
 #pragma once
 
 #include <vector>

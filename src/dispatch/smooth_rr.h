@@ -21,6 +21,9 @@
 // and therefore never change state (their `next` stays at the guard
 // value 1 forever), so leaving them out of every scan is exact — not an
 // approximation.
+//
+// Threading: caller-serialized (dispatch/dispatcher.h) — every pick()
+// advances the assign/next cadence state.
 #pragma once
 
 #include <cstdint>

@@ -15,6 +15,10 @@
 // excluded up front): the per-pick max scan walks dense weight_/current_
 // arrays instead of branching past excluded entries, which matters for
 // cache behavior once n reaches 10⁵–10⁶.
+//
+// Threading: caller-serialized (dispatch/dispatcher.h) — every pick()
+// rewrites the current-weight array, so concurrent picks corrupt the
+// schedule.
 #pragma once
 
 #include <cstdint>

@@ -26,6 +26,14 @@ void MetricsRegistry::register_counter(std::string name,
                  [counter] { return static_cast<double>(*counter); });
 }
 
+void MetricsRegistry::register_atomic_counter(
+    std::string name, const std::atomic<uint64_t>* counter) {
+  HS_CHECK(counter != nullptr, "null counter for metric '" << name << "'");
+  register_gauge(std::move(name), [counter] {
+    return static_cast<double>(counter->load(std::memory_order_relaxed));
+  });
+}
+
 void MetricsRegistry::clear() {
   names_.clear();
   gauges_.clear();

@@ -13,6 +13,7 @@
 // numeric rows) consumes them unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -36,6 +37,13 @@ class MetricsRegistry {
   /// Convenience: a gauge that reads a live uint64 counter (dispatch
   /// counts, completions). The pointee must outlive the registry's use.
   void register_counter(std::string name, const uint64_t* counter);
+
+  /// Convenience: a gauge that reads a live atomic counter with relaxed
+  /// ordering — the serving runtime's conservation counters are updated
+  /// concurrently by worker threads, so a sampler thread must read them
+  /// atomically. The pointee must outlive the registry's use.
+  void register_atomic_counter(std::string name,
+                               const std::atomic<uint64_t>* counter);
 
   [[nodiscard]] size_t metric_count() const { return names_.size(); }
   [[nodiscard]] const std::vector<std::string>& names() const {

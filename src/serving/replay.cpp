@@ -1,0 +1,31 @@
+#include "serving/replay.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hs::serving {
+
+cluster::SimulationConfig replay_config(const RecordedTrace& recorded,
+                                        std::vector<double> speeds) {
+  HS_CHECK(!recorded.trace.empty(), "cannot replay an empty recording");
+  cluster::SimulationConfig config;
+  config.speeds = std::move(speeds);
+  // The horizon is the last recorded arrival; jobs arriving exactly at
+  // sim_time are still admitted (<= comparison in the trace scheduler),
+  // and the run drains resident jobs afterwards. A one-job session has
+  // horizon 0, so keep sim_time strictly positive.
+  config.sim_time = std::max(recorded.trace.horizon(), 1e-9);
+  config.warmup_frac = 0.0;
+  config.seed = recorded.seed;
+  return config;
+}
+
+cluster::SimulationResult replay(const RecordedTrace& recorded,
+                                 const std::vector<double>& speeds,
+                                 dispatch::Dispatcher& dispatcher) {
+  const cluster::SimulationConfig config = replay_config(recorded, speeds);
+  return cluster::run_trace_replay(config, recorded.trace, dispatcher);
+}
+
+}  // namespace hs::serving

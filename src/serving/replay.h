@@ -1,0 +1,41 @@
+// The replay half of record/replay: a recorded serving session becomes
+// a reproducible simulator experiment.
+//
+// Serving mode and the simulator share the policy objects and the
+// arrival representation, so bridging them is exact: the recorded
+// (time, size) stream drives cluster::run_trace_replay() verbatim, the
+// virtual clock spans exactly the recorded horizon, and nothing is
+// discarded as warm-up (a recorded session is measured whole by
+// convention — it has no artificial empty-system transient to skip,
+// because it starts from whatever state the real system was in).
+// Replaying the same RecordedTrace against the same speeds and
+// dispatcher is bit-identical run to run, and bit-identical to a direct
+// simulation of the same arrival sequence — the property pinned by
+// tests/test_serving.cpp.
+#pragma once
+
+#include <vector>
+
+#include "cluster/sim.h"
+#include "dispatch/dispatcher.h"
+#include "serving/trace_io.h"
+
+namespace hs::serving {
+
+/// The simulation config a recorded session replays under: arrivals
+/// come verbatim from the recording (the caller passes recorded.trace
+/// to cluster::run_trace_replay), sim_time = the recorded horizon,
+/// warmup_frac = 0, seed = the recorded session's dispatch seed.
+/// Callers may adjust the returned config (discipline, observability,
+/// robustness layers) before running — that is the "what-if" in
+/// what-if analysis.
+[[nodiscard]] cluster::SimulationConfig replay_config(
+    const RecordedTrace& recorded, std::vector<double> speeds);
+
+/// Replay `recorded` through `dispatcher` on machines of the given
+/// speeds and return the simulated metrics.
+[[nodiscard]] cluster::SimulationResult replay(
+    const RecordedTrace& recorded, const std::vector<double>& speeds,
+    dispatch::Dispatcher& dispatcher);
+
+}  // namespace hs::serving

@@ -1,0 +1,99 @@
+#include "serving/serving_dispatcher.h"
+
+#include <chrono>
+
+#include "util/check.h"
+
+namespace hs::serving {
+
+ServingDispatcher::ServingDispatcher(dispatch::Dispatcher& inner,
+                                     ServingConfig config)
+    : inner_(inner),
+      gen_(config.seed),
+      seed_(config.seed),
+      machine_count_(inner.machine_count()) {
+  if (config.clock != nullptr) {
+    clock_ = config.clock;
+  } else {
+    owned_clock_ = std::make_unique<WallClock>();
+    clock_ = owned_clock_.get();
+  }
+  unix_nanos_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  // All records are preallocated here; the hot path only ever indexes.
+  records_.resize(config.record_capacity);
+}
+
+size_t ServingDispatcher::acquire(double size) {
+  HS_CHECK(size > 0.0, "acquire size must be positive, got " << size);
+  size_t machine;
+  {
+    SpinLockGuard guard(lock_);
+    const double now = clock_->now();
+    inner_.on_arrival(now);
+    machine = inner_.pick_sized(gen_, size);
+    if (!records_.empty()) {
+      const uint64_t count = record_count_.load(std::memory_order_relaxed);
+      if (count < records_.size()) {
+        records_[count] = ArrivalRecord{now, size};
+        record_count_.store(count + 1, std::memory_order_relaxed);
+      } else {
+        record_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    acquired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return machine;
+}
+
+void ServingDispatcher::release(size_t machine, double work) {
+  HS_CHECK(machine < machine_count_,
+           "release machine index out of range: " << machine);
+  SpinLockGuard guard(lock_);
+  inner_.on_departure_report(machine, clock_->now(), work);
+  released_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingDispatcher::report_result(size_t machine, bool accepted) {
+  HS_CHECK(machine < machine_count_,
+           "report machine index out of range: " << machine);
+  SpinLockGuard guard(lock_);
+  inner_.on_dispatch_result(machine, accepted, clock_->now());
+}
+
+RecordedTrace ServingDispatcher::snapshot() const {
+  RecordedTrace recorded;
+  recorded.seed = seed_;
+  recorded.recorded_unix_nanos = unix_nanos_;
+  std::vector<queueing::Job> jobs;
+  {
+    SpinLockGuard guard(lock_);
+    const uint64_t count = record_count_.load(std::memory_order_relaxed);
+    jobs.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      jobs.push_back(queueing::Job{i, records_[i].time, records_[i].size});
+    }
+  }
+  recorded.trace = workload::JobTrace(std::move(jobs));
+  return recorded;
+}
+
+void ServingDispatcher::register_gauges(obs::MetricsRegistry& registry) const {
+  registry.register_atomic_counter("serving.acquired", &acquired_);
+  registry.register_atomic_counter("serving.released", &released_);
+  registry.register_gauge("serving.in_flight", [this] {
+    return static_cast<double>(in_flight());
+  });
+  registry.register_atomic_counter("serving.recorded", &record_count_);
+  registry.register_atomic_counter("serving.record_dropped",
+                                   &record_dropped_);
+}
+
+double ServingDispatcher::session_seconds() {
+  SpinLockGuard guard(lock_);
+  return clock_->now();
+}
+
+}  // namespace hs::serving

@@ -1,0 +1,181 @@
+// The dispatcher as a live, thread-safe load-balancing library.
+//
+// Seven PRs of simulator layers built policy objects — ORR, Least-Load,
+// adaptive, and the FaultAware/CircuitBreaker/GovernedAdaptive/Hedged
+// decorator stacks — whose picks are O(1)/O(log n) and allocation-free.
+// ServingDispatcher is the front-end that runs those *identical* objects
+// against wall-clock time as an in-process load balancer:
+//
+//   const size_t machine = serving.acquire(size_estimate);
+//   ... send the request to `machine`, await its completion ...
+//   serving.release(machine, measured_work);
+//
+// acquire() picks a machine (stamping the arrival with the session
+// clock, see serving/clock.h), release() feeds the sized departure
+// report back into the policy — the exact signal the simulator delivers,
+// so dynamic policies (Least-Load queue estimates, online rate
+// re-estimation, governed re-allocation) work unmodified in live mode.
+// report_result() forwards accept/reject outcomes for circuit-breaker
+// stacks.
+//
+// ## Threading contract
+//
+// Dispatchers are not internally synchronized (see
+// dispatch/dispatcher.h): every pick mutates policy state.
+// ServingDispatcher serializes the entire policy interaction — pick,
+// feedback, RNG draw, trace record — behind one spinlock
+// (serving/spinlock.h), which keeps the hot path allocation-free and
+// its critical section under a microsecond even at n = 10⁴ machines.
+// Concurrent acquire()/release()/report_result() from any number of
+// threads are safe; administrative operations (mask updates, fraction
+// rebuilds) go through with_exclusive(), which runs caller code under
+// the same lock. The conservation counters are plain relaxed atomics so
+// monitoring reads never touch the lock.
+//
+// ## Recording
+//
+// With record_capacity > 0, every acquire appends (session time, size)
+// to a buffer preallocated at construction — recording adds two stores
+// to the hot path and never allocates. When the buffer fills, recording
+// stops and keeps the prefix (a prefix of an arrival sequence is itself
+// a valid trace); overflow is counted in record_dropped(). snapshot()
+// materializes the recording as a seed- and timestamp-stamped
+// RecordedTrace for serving/trace_io.h persistence and simulator replay.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dispatch/dispatcher.h"
+#include "obs/metrics.h"
+#include "rng/rng.h"
+#include "serving/clock.h"
+#include "serving/spinlock.h"
+#include "serving/trace_io.h"
+
+namespace hs::serving {
+
+/// One recorded arrival: when it hit acquire() (seconds on the session
+/// clock) and the size estimate the caller passed.
+struct ArrivalRecord {
+  double time = 0.0;
+  double size = 0.0;
+};
+
+struct ServingConfig {
+  /// Seed of the dispatch decision stream (random policies draw from
+  /// it; deterministic policies never touch it). Stamped into recorded
+  /// traces so a replay is attributable to its origin session.
+  uint64_t seed = 1;
+
+  /// Arrival records preallocated at construction; 0 disables
+  /// recording entirely (the hot path then skips the record branch).
+  size_t record_capacity = 0;
+
+  /// Session time source; nullptr selects an internal WallClock whose
+  /// origin is the construction instant. A non-null source stays owned
+  /// by the caller and must outlive the dispatcher.
+  ClockSource* clock = nullptr;
+};
+
+class ServingDispatcher {
+ public:
+  /// Wraps `inner`, which stays owned by the caller and must outlive
+  /// this object. Any policy or decorator stack works; the wrapper
+  /// takes over all interaction with it.
+  explicit ServingDispatcher(dispatch::Dispatcher& inner,
+                             ServingConfig config = {});
+
+  ServingDispatcher(const ServingDispatcher&) = delete;
+  ServingDispatcher& operator=(const ServingDispatcher&) = delete;
+
+  // ---- Hot path: thread-safe, allocation-free ----
+
+  /// Pick the destination machine for one arriving request. `size` is
+  /// the request's estimated service demand in base-speed seconds
+  /// (positive; pass 1.0 when no estimate exists — size-oblivious
+  /// policies ignore it, and recorded traces replay with this value).
+  [[nodiscard]] size_t acquire(double size = 1.0);
+
+  /// Report that the request sent to `machine` completed, carrying the
+  /// work it actually consumed in base-speed seconds (feeds Least-Load
+  /// queue estimates and online rate re-estimation; size-oblivious
+  /// policies ignore it).
+  void release(size_t machine, double work);
+
+  /// Report a dispatch outcome (accepted == false when the backend
+  /// refused or dropped the request) — the circuit-breaker feedback
+  /// channel.
+  void report_result(size_t machine, bool accepted);
+
+  // ---- Conservation counters (relaxed atomics; exact whenever the
+  //      system is quiescent, monitoring-grade under churn) ----
+
+  [[nodiscard]] uint64_t acquired() const {
+    return acquired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t released() const {
+    return released_.load(std::memory_order_relaxed);
+  }
+  /// acquired() − released(). Both counters move under the dispatch
+  /// lock, so at quiescence this is the exact number of requests whose
+  /// release is outstanding.
+  [[nodiscard]] int64_t in_flight() const {
+    return static_cast<int64_t>(acquired()) - static_cast<int64_t>(released());
+  }
+  [[nodiscard]] uint64_t record_count() const {
+    return record_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t record_dropped() const {
+    return record_dropped_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Administration and introspection (cold path) ----
+
+  /// Run `fn(dispatch::Dispatcher&)` holding the dispatch lock — the
+  /// escape hatch for administrative operations (set_available_mask,
+  /// rebuild_fractions, reset) that must not interleave with picks.
+  /// Keep the callback short: every acquire on every thread waits.
+  template <typename Fn>
+  auto with_exclusive(Fn&& fn) {
+    SpinLockGuard guard(lock_);
+    return std::forward<Fn>(fn)(inner_);
+  }
+
+  /// Materialize the recording so far (locks, allocates — cold path).
+  [[nodiscard]] RecordedTrace snapshot() const;
+
+  /// Register the live-mode gauge set on `registry`, prefixed
+  /// "serving." — acquired/released totals, in-flight, and recording
+  /// occupancy/overflow. Gauges read the relaxed counters only, so a
+  /// sampler thread never contends with the hot path.
+  void register_gauges(obs::MetricsRegistry& registry) const;
+
+  [[nodiscard]] size_t machine_count() const { return machine_count_; }
+  [[nodiscard]] uint64_t seed() const { return seed_; }
+  [[nodiscard]] uint64_t recorded_unix_nanos() const { return unix_nanos_; }
+  /// Seconds elapsed on the session clock (takes the lock — the clock
+  /// itself need not be thread-safe).
+  [[nodiscard]] double session_seconds();
+
+ private:
+  dispatch::Dispatcher& inner_;
+  std::unique_ptr<WallClock> owned_clock_;  // engaged when config.clock null
+  ClockSource* clock_;                      // never null after construction
+  rng::Xoshiro256 gen_;
+  uint64_t seed_;
+  uint64_t unix_nanos_;
+  size_t machine_count_;
+
+  mutable SpinLock lock_;
+  std::vector<ArrivalRecord> records_;  // preallocated, size == capacity
+  std::atomic<uint64_t> acquired_{0};
+  std::atomic<uint64_t> released_{0};
+  std::atomic<uint64_t> record_count_{0};
+  std::atomic<uint64_t> record_dropped_{0};
+};
+
+}  // namespace hs::serving

@@ -1,0 +1,116 @@
+#include "serving/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hs::serving {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 40;
+constexpr size_t kRecordBytes = 16;  // f64 arrival_time + f64 size
+
+void put_u32(std::vector<char>& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.insert(out.end(), buf, buf + 4);
+}
+
+void put_u64(std::vector<char>& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.insert(out.end(), buf, buf + 8);
+}
+
+void put_f64(std::vector<char>& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.insert(out.end(), buf, buf + 8);
+}
+
+uint32_t get_u32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t get_u64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+double get_f64(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+void save_trace_binary(const std::string& path,
+                       const RecordedTrace& recorded) {
+  const auto& jobs = recorded.trace.jobs();
+  std::vector<char> out;
+  out.reserve(kHeaderBytes + kRecordBytes * jobs.size());
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(out, kVersion);
+  put_u32(out, 0);  // reserved
+  put_u64(out, recorded.seed);
+  put_u64(out, recorded.recorded_unix_nanos);
+  put_u64(out, jobs.size());
+  for (const auto& job : jobs) {
+    put_f64(out, job.arrival_time);
+    put_f64(out, job.size);
+  }
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  HS_CHECK(file.good(), "cannot open trace file for writing: " << path);
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  HS_CHECK(file.good(), "write failed for trace file: " << path);
+}
+
+RecordedTrace load_trace_binary(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  HS_CHECK(file.good(), "cannot open trace file: " << path);
+  const auto file_size = static_cast<size_t>(file.tellg());
+  HS_CHECK(file_size >= kHeaderBytes,
+           "trace file too short (" << file_size << " bytes): " << path);
+  file.seekg(0);
+  std::vector<char> bytes(file_size);
+  file.read(bytes.data(), static_cast<std::streamsize>(file_size));
+  HS_CHECK(file.good(), "read failed for trace file: " << path);
+
+  HS_CHECK(std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
+           "bad magic — not a hetsched trace file: " << path);
+  const uint32_t version = get_u32(bytes.data() + 8);
+  HS_CHECK(version == kVersion, "unsupported trace format version "
+                                    << version << " in " << path);
+  RecordedTrace recorded;
+  recorded.seed = get_u64(bytes.data() + 16);
+  recorded.recorded_unix_nanos = get_u64(bytes.data() + 24);
+  const uint64_t count = get_u64(bytes.data() + 32);
+  HS_CHECK(file_size == kHeaderBytes + kRecordBytes * count,
+           "trace payload length mismatch: header claims "
+               << count << " records but file holds "
+               << (file_size - kHeaderBytes) / kRecordBytes << ": " << path);
+
+  std::vector<queueing::Job> jobs;
+  jobs.reserve(count);
+  const char* p = bytes.data() + kHeaderBytes;
+  for (uint64_t i = 0; i < count; ++i, p += kRecordBytes) {
+    jobs.push_back(queueing::Job{i, get_f64(p), get_f64(p + 8)});
+  }
+  // JobTrace's constructor re-validates ordering and positivity, so a
+  // corrupted payload that passes the length check still fails loudly.
+  recorded.trace = workload::JobTrace(std::move(jobs));
+  return recorded;
+}
+
+}  // namespace hs::serving

@@ -1,0 +1,54 @@
+// Binary arrival-trace persistence: the record half of record/replay.
+//
+// A serving session's arrival stream — (time, size) per acquire(), on
+// the session clock — is the complete input of a simulation replay:
+// feeding it to cluster::run_trace_replay() turns a live serving
+// session into a reproducible experiment cell for capacity planning and
+// policy A/B. The format is binary because replay must be bit-identical
+// to a direct simulation of the same arrivals: text round-trips lose
+// low-order double bits, binary preserves every one.
+//
+// File layout (little-endian, no padding):
+//
+//   offset  size  field
+//   0       8     magic "HSTRACE1"
+//   8       4     format version (uint32, currently 1)
+//   12      4     reserved (uint32, written 0, ignored on read)
+//   16      8     seed (uint64) — the recording session's dispatch seed
+//   24      8     recorded_unix_nanos (uint64) — system_clock at the
+//                 start of the recording session
+//   32      8     job_count (uint64)
+//   40      16·k  job_count × { arrival_time : f64, size : f64 }
+//
+// Arrival times are seconds on the session clock (0 = session start)
+// and non-decreasing; sizes are service demands in base-speed seconds,
+// exactly as queueing::Job defines them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace hs::serving {
+
+/// A recorded serving session: the arrival trace plus the provenance
+/// stamps that make a replay attributable to its origin.
+struct RecordedTrace {
+  /// Dispatch-stream seed of the session that recorded the trace.
+  uint64_t seed = 0;
+  /// std::chrono::system_clock nanoseconds at the start of recording.
+  uint64_t recorded_unix_nanos = 0;
+  workload::JobTrace trace;
+};
+
+/// Write `recorded` to `path` in the binary format above. Throws
+/// util::CheckError on I/O failure.
+void save_trace_binary(const std::string& path, const RecordedTrace& recorded);
+
+/// Read a trace written by save_trace_binary(). Validates the magic,
+/// version, and that the payload length matches the header's job count;
+/// throws util::CheckError on any mismatch or I/O failure.
+[[nodiscard]] RecordedTrace load_trace_binary(const std::string& path);
+
+}  // namespace hs::serving
