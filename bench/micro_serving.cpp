@@ -47,12 +47,20 @@ struct ServingStack {
 };
 ServingStack g_stack;  // NOLINT(cert-err58-cpp)
 
-void build_stack(PolicyKind kind, SamplerKind sampler, size_t n) {
+void build_stack(PolicyKind kind, SamplerKind sampler, size_t n,
+                 bool health = false) {
   g_stack.inner =
       hs::core::make_policy_dispatcher(kind, random_speeds(n), 0.7, 1.0,
                                        sampler);
   hs::serving::ServingConfig config;
   config.seed = 99;
+  if (health) {
+    // Armed but never firing (the deadline is beyond any bench run):
+    // measures the detection layer's steady-state hot-path cost — one
+    // ring store per acquire, one FIFO absorb per release, one expired
+    // compare per pick.
+    config.health.release_deadline = 1e9;
+  }
   g_stack.serving = std::make_unique<hs::serving::ServingDispatcher>(
       *g_stack.inner, config);
 }
@@ -68,7 +76,7 @@ void acquire_release_loop(benchmark::State& state) {
   hs::serving::ServingDispatcher& serving = *g_stack.serving;
   for (auto _ : state) {
     const size_t machine = serving.acquire(1.0);
-    serving.release(machine, 1.0);
+    (void)serving.release(machine, 1.0);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -126,7 +134,7 @@ void acquire_p99_loop(benchmark::State& state) {
       const auto t0 = Clock::now();
       const size_t machine = serving.acquire(1.0);
       const auto t1 = Clock::now();
-      serving.release(machine, 1.0);
+      (void)serving.release(machine, 1.0);
       lat[i] = std::chrono::duration<double>(t1 - t0).count();
     }
     const size_t k = (kBatch * 99) / 100;
@@ -157,6 +165,23 @@ BENCHMARK(BM_ServingAcquireP99Alias)
     ->Setup([](const benchmark::State& state) {
       build_stack(PolicyKind::kORAN, SamplerKind::kAlias,
                   static_cast<size_t>(state.range(0)));
+    })
+    ->Teardown(teardown_stack)
+    ->Arg(10000)
+    ->Iterations(64)
+    ->UseManualTime();
+
+// The health layer's tax on the tail: deadline tracking armed on every
+// acquire (but never expiring), against the same Least-Load stack as
+// BM_ServingAcquireP99LeastLoad. The acceptance gate holds this within
+// 1% of the health-free p99.
+void BM_ServingAcquireP99Health(benchmark::State& state) {
+  acquire_p99_loop(state);
+}
+BENCHMARK(BM_ServingAcquireP99Health)
+    ->Setup([](const benchmark::State& state) {
+      build_stack(PolicyKind::kLeastLoad, SamplerKind::kCdf,
+                  static_cast<size_t>(state.range(0)), /*health=*/true);
     })
     ->Teardown(teardown_stack)
     ->Arg(10000)

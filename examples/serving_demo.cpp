@@ -108,7 +108,7 @@ void worker(ServingDispatcher& serving, const std::vector<double>& speeds,
     // next arrival instant (if it is still ahead — open-loop never
     // skips a late arrival, it just issues immediately).
     while (!pending.empty() && pending.top().done <= Clock::now()) {
-      serving.release(pending.top().machine, pending.top().work);
+      (void)serving.release(pending.top().machine, pending.top().work);
       pending.pop();
     }
     std::this_thread::sleep_until(due);
@@ -129,7 +129,7 @@ void worker(ServingDispatcher& serving, const std::vector<double>& speeds,
     if (pending.top().done > Clock::now()) {
       std::this_thread::sleep_until(pending.top().done);
     }
-    serving.release(pending.top().machine, pending.top().work);
+    (void)serving.release(pending.top().machine, pending.top().work);
     pending.pop();
   }
 }

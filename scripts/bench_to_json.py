@@ -43,6 +43,7 @@ CLUSTER_BENCH = "BM_FullClusterSimulation"
 HEADLINE_LATENCY = [
     r"^BM_ServingAcquireP99LeastLoad/",
     r"^BM_ServingAcquireP99Alias/",
+    r"^BM_ServingAcquireP99Health/",
 ]
 
 

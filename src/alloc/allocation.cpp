@@ -34,6 +34,19 @@ void Allocation::assign(std::span<const double> fractions) {
   normalize(fractions_);
 }
 
+void Allocation::assign_exact(std::span<const double> fractions) {
+  HS_CHECK(!fractions.empty(), "allocation needs at least one machine");
+  double sum = 0.0;
+  for (double f : fractions) {
+    HS_CHECK(f >= 0.0 && f <= 1.0,
+             "restored allocation fraction out of [0, 1]: " << f);
+    sum += f;
+  }
+  HS_CHECK(std::fabs(sum - 1.0) < 1e-6,
+           "restored allocation fractions must sum to 1, got " << sum);
+  fractions_.assign(fractions.begin(), fractions.end());
+}
+
 size_t Allocation::active_count() const {
   return static_cast<size_t>(
       std::count_if(fractions_.begin(), fractions_.end(),

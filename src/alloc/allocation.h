@@ -31,6 +31,15 @@ class Allocation {
   /// without constructing one.
   static void normalize(std::vector<double>& fractions);
 
+  /// Replace the fractions with values previously produced by an
+  /// Allocation: validated (each in [0, 1], sum within 1e-6 of 1) but
+  /// NOT renormalized, so the copy is bit-for-bit. normalize() divides
+  /// by a sum that is itself one rounding step away from 1.0, so
+  /// re-normalizing a round-tripped vector can flip low-order bits; the
+  /// checkpoint/restore path (serving/snapshot.h) needs the donor's
+  /// exact fractions back to reproduce its pick sequence.
+  void assign_exact(std::span<const double> fractions);
+
   [[nodiscard]] size_t size() const { return fractions_.size(); }
   [[nodiscard]] double operator[](size_t i) const { return fractions_[i]; }
   [[nodiscard]] const std::vector<double>& fractions() const {

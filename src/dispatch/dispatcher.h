@@ -170,6 +170,31 @@ class Dispatcher {
   /// True if the scheduler should deliver machine crash/recovery reports
   /// (the policy is failure-aware and pays the detection overhead).
   [[nodiscard]] virtual bool uses_fault_feedback() const { return false; }
+
+  /// Checkpoint channel (serving/snapshot.h). Append the policy's
+  /// learned and routing state — fractions, cadences, load estimates,
+  /// breaker records — to `out` as a flat double vector and return the
+  /// number of values appended. Decorators append their own state first,
+  /// then forward to the wrapped dispatcher, so a stack serializes
+  /// outside-in. The default appends nothing: a policy that opts out
+  /// simply restarts cold after a restore. Caller-serialized like every
+  /// other method.
+  virtual size_t save_state(std::vector<double>& out) const {
+    (void)out;
+    return 0;
+  }
+
+  /// Inverse of save_state(): consume this dispatcher's state from the
+  /// front of `state` and return the number of values consumed (a
+  /// decorator consumes its prefix, then forwards the rest inward).
+  /// Restoring must be *exact* — a policy either reproduces the saved
+  /// routing state bit-identically or leaves itself unchanged and
+  /// returns 0. Callers detect a partial/failed restore by comparing the
+  /// total consumed against the saved length.
+  virtual size_t restore_state(std::span<const double> state) {
+    (void)state;
+    return 0;
+  }
 };
 
 }  // namespace hs::dispatch

@@ -159,4 +159,33 @@ void FaultAwareDispatcher::apply_mask() {
   ++rebuilds_;
 }
 
+size_t FaultAwareDispatcher::save_state(std::vector<double>& out) const {
+  const size_t n = available_.size();
+  out.reserve(out.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(available_[i] ? 1.0 : 0.0);
+  }
+  return n + inner_->save_state(out);
+}
+
+size_t FaultAwareDispatcher::restore_state(std::span<const double> state) {
+  const size_t n = available_.size();
+  if (state.size() < n) {
+    return 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!(state[i] == 0.0 || state[i] == 1.0)) {
+      return 0;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    available_[i] = state[i] == 1.0;
+  }
+  // Re-derive the effective mask (rebuild mode may swap the inner
+  // dispatcher here) *before* restoring inner state, so the restored
+  // state lands in the dispatcher that will serve the next pick.
+  apply_mask();
+  return n + inner_->restore_state(state.subspan(n));
+}
+
 }  // namespace hs::dispatch

@@ -98,6 +98,12 @@ class FaultAwareDispatcher final : public Dispatcher {
   /// dispatcher needs the rebuilder.
   bool set_available_mask(const std::vector<bool>& available) override;
 
+  /// Checkpoint: this layer's crash blacklist (n flags), then the inner
+  /// dispatcher's state — a stack serializes outside-in. The outer mask
+  /// is not saved: whoever imposed it re-imposes it on its own restore.
+  size_t save_state(std::vector<double>& out) const override;
+  size_t restore_state(std::span<const double> state) override;
+
   /// Current availability as last reported (true = believed up).
   [[nodiscard]] const std::vector<bool>& available() const {
     return available_;

@@ -1,5 +1,7 @@
 #include "dispatch/least_load.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace hs::dispatch {
@@ -179,6 +181,45 @@ uint64_t LeastLoadDispatcher::estimated_queue(size_t machine) const {
   HS_CHECK(machine < estimates_.size(),
            "machine index out of range: " << machine);
   return estimates_[machine];
+}
+
+size_t LeastLoadDispatcher::save_state(std::vector<double>& out) const {
+  const size_t n = speeds_.size();
+  out.reserve(out.size() + 2 * n);
+  for (uint64_t e : estimates_) {
+    out.push_back(static_cast<double>(e));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(available_[i] ? 1.0 : 0.0);
+  }
+  return 2 * n;
+}
+
+size_t LeastLoadDispatcher::restore_state(std::span<const double> state) {
+  const size_t n = speeds_.size();
+  if (state.size() < 2 * n) {
+    return 0;
+  }
+  // Validate before mutating: estimates must be exact non-negative
+  // integers below 2^53, availability flags exactly 0 or 1.
+  for (size_t i = 0; i < n; ++i) {
+    const double e = state[i];
+    const double a = state[n + i];
+    if (!(e >= 0.0 && e <= 0x1p53) || e != std::floor(e) ||
+        !(a == 0.0 || a == 1.0)) {
+      return 0;
+    }
+  }
+  available_count_ = 0;
+  for (size_t i = 0; i < n; ++i) {
+    estimates_[i] = static_cast<uint64_t>(state[i]);
+    available_[i] = state[n + i] == 1.0;
+    available_count_ += available_[i] ? 1 : 0;
+  }
+  if (engine_ == LeastLoadEngine::kTree) {
+    reload_tree();
+  }
+  return 2 * n;
 }
 
 }  // namespace hs::dispatch

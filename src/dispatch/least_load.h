@@ -77,6 +77,11 @@ class LeastLoadDispatcher final : public Dispatcher {
   /// Scheduler-side queue length estimate for a machine.
   [[nodiscard]] uint64_t estimated_queue(size_t machine) const;
 
+  /// Checkpoint: queue estimates plus the availability mask (both engines
+  /// rebuild their argmin structure from these). 2n values.
+  size_t save_state(std::vector<double>& out) const override;
+  size_t restore_state(std::span<const double> state) override;
+
   [[nodiscard]] LeastLoadEngine engine() const { return engine_; }
 
  private:

@@ -29,4 +29,24 @@ bool RandomDispatcher::rebuild_fractions(std::span<const double> fractions) {
   return true;
 }
 
+size_t RandomDispatcher::save_state(std::vector<double>& out) const {
+  const auto& f = allocation_.fractions();
+  out.insert(out.end(), f.begin(), f.end());
+  return f.size();
+}
+
+size_t RandomDispatcher::restore_state(std::span<const double> state) {
+  const size_t n = allocation_.size();
+  if (state.size() < n) {
+    return 0;
+  }
+  allocation_.assign_exact(state.first(n));
+  if (sampler_ == SamplerKind::kAlias) {
+    alias_.rebuild(allocation_.span());
+  } else {
+    choice_.rebuild(allocation_.span());
+  }
+  return n;
+}
+
 }  // namespace hs::dispatch

@@ -52,6 +52,11 @@ class RandomDispatcher final : public Dispatcher {
   }
   bool rebuild_fractions(std::span<const double> fractions) override;
 
+  /// Checkpoint: the fractions are the whole routing state (the samplers
+  /// are pure functions of them). n values.
+  size_t save_state(std::vector<double>& out) const override;
+  size_t restore_state(std::span<const double> state) override;
+
   [[nodiscard]] SamplerKind sampler() const { return sampler_; }
 
  private:

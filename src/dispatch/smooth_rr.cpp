@@ -236,4 +236,61 @@ double SmoothRoundRobinDispatcher::next_value(size_t machine) const {
   return 1.0;  // excluded machines stay at the guard value forever
 }
 
+size_t SmoothRoundRobinDispatcher::save_state(std::vector<double>& out) const {
+  const size_t n = allocation_.size();
+  const auto& f = allocation_.fractions();
+  out.insert(out.end(), f.begin(), f.end());
+  const size_t base = out.size();
+  out.resize(base + 3 * n);
+  double* assign = out.data() + base;
+  double* next = assign + n;
+  double* started = next + n;
+  // Machine-indexed layout: excluded machines hold their invariant
+  // state (assign 0, the guard value 1, not started).
+  for (size_t i = 0; i < n; ++i) {
+    assign[i] = 0.0;
+    next[i] = 1.0;
+    started[i] = 0.0;
+  }
+  for (size_t k = 0; k < machine_of_.size(); ++k) {
+    const size_t m = machine_of_[k];
+    assign[m] = static_cast<double>(assign_[k]);
+    next[m] = next_[k];
+    started[m] = started_[k];
+  }
+  return 4 * n;
+}
+
+size_t SmoothRoundRobinDispatcher::restore_state(
+    std::span<const double> state) {
+  const size_t n = allocation_.size();
+  if (state.size() < 4 * n) {
+    return 0;
+  }
+  // Validate before mutating anything: a failed restore must leave the
+  // dispatcher unchanged. Counts must be exact non-negative integers
+  // below 2^53 (they round-trip through doubles losslessly there);
+  // `next` must be finite; `started` must be a 0/1 flag.
+  const double* assign = state.data() + n;
+  const double* next = assign + n;
+  const double* started = next + n;
+  for (size_t i = 0; i < n; ++i) {
+    const double a = assign[i];
+    if (!(a >= 0.0 && a <= 0x1p53) || a != std::floor(a) ||
+        !std::isfinite(next[i]) ||
+        !(started[i] == 0.0 || started[i] == 1.0)) {
+      return 0;
+    }
+  }
+  allocation_.assign_exact(state.first(n));
+  rebuild_dense();
+  for (size_t k = 0; k < machine_of_.size(); ++k) {
+    const size_t m = machine_of_[k];
+    assign_[k] = static_cast<uint64_t>(assign[m]);
+    next_[k] = next[m];
+    started_[k] = started[m];
+  }
+  return 4 * n;
+}
+
 }  // namespace hs::dispatch

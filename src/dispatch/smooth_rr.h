@@ -58,6 +58,13 @@ class SmoothRoundRobinDispatcher final : public Dispatcher {
   [[nodiscard]] uint64_t assigned(size_t machine) const;
   [[nodiscard]] double next_value(size_t machine) const;
 
+  /// Checkpoint: fractions plus the full cadence state (assign/next/
+  /// started per machine), so a restored dispatcher continues the
+  /// Algorithm 2 schedule bit-identically mid-cycle. 4n values,
+  /// machine-indexed (excluded machines carry their invariant state).
+  size_t save_state(std::vector<double>& out) const override;
+  size_t restore_state(std::span<const double> state) override;
+
  private:
   static constexpr size_t kNone = static_cast<size_t>(-1);
 

@@ -1,5 +1,7 @@
 #include "dispatch/swrr.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace hs::dispatch {
@@ -51,6 +53,38 @@ size_t SwrrDispatcher::pick(rng::Xoshiro256& /*gen*/) {
   }
   current_[best] -= 1.0;
   return machine_of_[best];
+}
+
+size_t SwrrDispatcher::save_state(std::vector<double>& out) const {
+  const size_t n = allocation_.size();
+  const auto& f = allocation_.fractions();
+  out.insert(out.end(), f.begin(), f.end());
+  const size_t base = out.size();
+  out.resize(base + n, 0.0);
+  double* current = out.data() + base;
+  for (size_t k = 0; k < machine_of_.size(); ++k) {
+    current[machine_of_[k]] = current_[k];
+  }
+  return 2 * n;
+}
+
+size_t SwrrDispatcher::restore_state(std::span<const double> state) {
+  const size_t n = allocation_.size();
+  if (state.size() < 2 * n) {
+    return 0;
+  }
+  const double* current = state.data() + n;
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(current[i])) {
+      return 0;
+    }
+  }
+  allocation_.assign_exact(state.first(n));
+  rebuild_dense();
+  for (size_t k = 0; k < machine_of_.size(); ++k) {
+    current_[k] = current[machine_of_[k]];
+  }
+  return 2 * n;
 }
 
 }  // namespace hs::dispatch

@@ -41,6 +41,11 @@ class SwrrDispatcher final : public Dispatcher {
   }
   bool rebuild_fractions(std::span<const double> fractions) override;
 
+  /// Checkpoint: fractions plus the current-weight array, machine-indexed
+  /// (excluded machines carry 0). 2n values.
+  size_t save_state(std::vector<double>& out) const override;
+  size_t restore_state(std::span<const double> state) override;
+
  private:
   void rebuild_dense();
 

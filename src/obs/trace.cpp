@@ -44,6 +44,9 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kHedgeIssued:    return "hedge_issued";
     case TraceEventKind::kHedgeWon:       return "hedge_won";
     case TraceEventKind::kHedgeCancelled: return "hedge_cancelled";
+    case TraceEventKind::kTimeout:        return "timeout";
+    case TraceEventKind::kDegraded:       return "degraded";
+    case TraceEventKind::kSnapshot:       return "snapshot";
   }
   return "unknown";
 }

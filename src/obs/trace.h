@@ -58,6 +58,10 @@ enum class TraceEventKind : uint8_t {
   kHedgeIssued,     // hedge copy dispatched to `machine` (aux = delay)
   kHedgeWon,        // the hedge copy completed first on `machine`
   kHedgeCancelled,  // losing copy evicted from / late at `machine`
+  // Serving-health events (src/serving/health.h, docs/SERVING.md §6):
+  kTimeout,         // armed release deadline expired on `machine`
+  kDegraded,        // degradation mode engaged/disengaged (aux = mode code)
+  kSnapshot,        // serving state snapshot captured (aux = acquired count)
 };
 
 /// Printable name of a kind ("dispatch", "crash", ...).

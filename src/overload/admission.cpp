@@ -46,6 +46,23 @@ std::string QueueBoundShed::name() const {
   return "queue-bound-shed(" + std::to_string(queue_bound_) + ")";
 }
 
+ProbabilisticShed::ProbabilisticShed(double shed_probability)
+    : shed_probability_(shed_probability) {
+  HS_CHECK(shed_probability_ > 0.0 && shed_probability_ <= 1.0,
+           "probabilistic-shed probability out of (0,1]: "
+               << shed_probability_);
+}
+
+bool ProbabilisticShed::admit(const AdmissionContext& ctx,
+                              rng::Xoshiro256& gen) {
+  (void)ctx;
+  return gen.next_double() >= shed_probability_;
+}
+
+std::string ProbabilisticShed::name() const {
+  return "probabilistic-shed(" + std::to_string(shed_probability_) + ")";
+}
+
 DeadlineShed::DeadlineShed(double slo_budget, double shed_probability,
                            const std::vector<double>& speeds, double rho,
                            double mean_job_size)

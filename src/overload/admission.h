@@ -85,6 +85,26 @@ class QueueBoundShed final : public AdmissionPolicy {
   size_t queue_bound_;
 };
 
+/// Shed with a fixed probability, independent of system state — the
+/// brownout primitive. On its own it is a blunt instrument; the serving
+/// layer (serving/serving_dispatcher.h) engages it only while the
+/// healthy-backend fraction is below a configured floor, turning it
+/// into "shed p% of traffic while degraded", the classic brownout
+/// contract: bounded load on the survivors at the cost of explicit,
+/// client-visible refusals.
+class ProbabilisticShed final : public AdmissionPolicy {
+ public:
+  explicit ProbabilisticShed(double shed_probability);
+
+  [[nodiscard]] bool admit(const AdmissionContext& ctx,
+                           rng::Xoshiro256& gen) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double shed_probability() const { return shed_probability_; }
+
+ private:
+  double shed_probability_;
+};
+
 /// Shed with probability `shed_probability` when the estimated response
 /// time of the job on its routed-to machine exceeds `slo_budget`.
 class DeadlineShed final : public AdmissionPolicy {

@@ -322,4 +322,59 @@ size_t CircuitBreakerDispatcher::open_count() const {
       }));
 }
 
+size_t CircuitBreakerDispatcher::save_state(std::vector<double>& out) const {
+  const size_t n = breakers_.size();
+  out.reserve(out.size() + 4 * n + 2);
+  for (const Breaker& b : breakers_) {
+    out.push_back(static_cast<double>(b.state));
+    out.push_back(static_cast<double>(b.consecutive_failures));
+    out.push_back(static_cast<double>(b.probe_successes));
+    out.push_back(b.reopen_at);  // +inf while not Open — round-trips fine
+  }
+  out.push_back(next_reopen_time_);
+  out.push_back(last_now_);
+  return 4 * n + 2 + inner_->save_state(out);
+}
+
+size_t CircuitBreakerDispatcher::restore_state(std::span<const double> state) {
+  const size_t n = breakers_.size();
+  const size_t own = 4 * n + 2;
+  if (state.size() < own) {
+    return 0;
+  }
+  // Validate before mutating: counters are exact small integers, states
+  // are enum codes, deadlines are non-NaN (infinity is the idle value).
+  for (size_t i = 0; i < n; ++i) {
+    const double s = state[4 * i];
+    const double cf = state[4 * i + 1];
+    const double ps = state[4 * i + 2];
+    const double at = state[4 * i + 3];
+    if (!(s == 0.0 || s == 1.0 || s == 2.0) ||
+        !(cf >= 0.0 && cf <= 0x1p53) || cf != std::floor(cf) ||
+        !(ps >= 0.0 && ps <= 0x1p53) || ps != std::floor(ps) ||
+        std::isnan(at)) {
+      return 0;
+    }
+  }
+  if (std::isnan(state[4 * n]) || !std::isfinite(state[4 * n + 1])) {
+    return 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Breaker& b = breakers_[i];
+    b.state = static_cast<BreakerState>(
+        static_cast<uint8_t>(state[4 * i]));
+    b.consecutive_failures = static_cast<size_t>(state[4 * i + 1]);
+    b.probe_successes = static_cast<size_t>(state[4 * i + 2]);
+    b.reopen_at = state[4 * i + 3];
+    routable_[i] = b.state != BreakerState::kOpen;
+  }
+  next_reopen_time_ = state[4 * n];
+  last_now_ = state[4 * n + 1];
+  // Re-derive the routing mask (rebuild mode may swap the inner
+  // dispatcher here) *before* restoring inner state, so the restored
+  // state lands in the dispatcher that will serve the next pick.
+  apply_mask();
+  return own + inner_->restore_state(state.subspan(own));
+}
+
 }  // namespace hs::overload

@@ -121,6 +121,12 @@ class CircuitBreakerDispatcher final : public dispatch::Dispatcher {
   /// records (null detaches).
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Checkpoint: per-machine breaker records (state, failure/probe
+  /// counters, reopen deadline) plus the reopen schedule, then the inner
+  /// dispatcher's state — a stack serializes outside-in.
+  size_t save_state(std::vector<double>& out) const override;
+  size_t restore_state(std::span<const double> state) override;
+
   [[nodiscard]] BreakerState state(size_t machine) const;
   [[nodiscard]] size_t open_count() const;
   /// Breaker trips (Closed/Half-Open → Open) since construction/reset.

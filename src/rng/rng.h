@@ -81,6 +81,13 @@ class Xoshiro256 {
   static constexpr result_type max() { return ~0ull; }
   result_type operator()() { return next_u64(); }
 
+  /// Raw 256-bit state, for checkpoint/restore. A generator constructed
+  /// with any seed and then set_state(s) continues the exact sequence the
+  /// donor of `s` would have produced — the serving snapshot layer relies
+  /// on this for bit-identical resume after a restart.
+  [[nodiscard]] const std::array<uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<uint64_t, 4>& state) { state_ = state; }
+
 
  private:
   static constexpr uint64_t rotl_(uint64_t x, int k) {

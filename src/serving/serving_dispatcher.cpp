@@ -1,17 +1,79 @@
 #include "serving/serving_dispatcher.h"
 
 #include <chrono>
+#include <cmath>
+#include <span>
 
 #include "util/check.h"
 
 namespace hs::serving {
 
+namespace {
+// Degradation-mode codes: bit in degraded_modes() and |aux| of the
+// kDegraded trace record (sign = engage/disengage).
+constexpr uint32_t kModeBrownout = 1;
+constexpr uint32_t kModeFailStatic = 2;
+constexpr uint32_t kModeNeverEmpty = 4;
+}  // namespace
+
+const char* to_string(ServingStatus status) {
+  switch (status) {
+    case ServingStatus::kOk:
+      return "ok";
+    case ServingStatus::kShed:
+      return "shed";
+    case ServingStatus::kInvalidMachine:
+      return "invalid-machine";
+    case ServingStatus::kNotInFlight:
+      return "not-in-flight";
+  }
+  return "unknown";
+}
+
+void DegradationConfig::validate(size_t machine_count,
+                                 bool health_enabled) const {
+  HS_CHECK(std::isfinite(brownout_below) && brownout_below >= 0.0 &&
+               brownout_below <= 1.0,
+           "brownout_below must be in [0,1], got " << brownout_below);
+  if (brownout_below > 0.0) {
+    HS_CHECK(brownout_policy != nullptr,
+             "brownout needs an admission policy (brownout_policy)");
+    HS_CHECK(health_enabled,
+             "brownout engages on health state — enable ServingConfig::health");
+  }
+  HS_CHECK(std::isfinite(fail_static_after) && fail_static_after >= 0.0,
+           "fail_static_after must be finite and >= 0, got "
+               << fail_static_after);
+  if (fail_static_after > 0.0) {
+    HS_CHECK(fail_static_fractions.size() == machine_count,
+             "fail-static fractions size " << fail_static_fractions.size()
+                                           << " != machine count "
+                                           << machine_count);
+    double sum = 0.0;
+    for (double f : fail_static_fractions) {
+      HS_CHECK(std::isfinite(f) && f >= 0.0,
+               "fail-static fraction out of range: " << f);
+      sum += f;
+    }
+    HS_CHECK(std::fabs(sum - 1.0) < 1e-6,
+             "fail-static fractions must sum to 1, got " << sum);
+  }
+  if (never_empty) {
+    HS_CHECK(health_enabled,
+             "never-empty routing needs health state — enable "
+             "ServingConfig::health");
+  }
+}
+
 ServingDispatcher::ServingDispatcher(dispatch::Dispatcher& inner,
                                      ServingConfig config)
     : inner_(inner),
       gen_(config.seed),
+      machine_count_(inner.machine_count()),
       seed_(config.seed),
-      machine_count_(inner.machine_count()) {
+      trace_(config.trace),
+      healthy_machines_(inner.machine_count()),
+      degradation_(std::move(config.degradation)) {
   if (config.clock != nullptr) {
     clock_ = config.clock;
   } else {
@@ -22,45 +84,235 @@ ServingDispatcher::ServingDispatcher(dispatch::Dispatcher& inner,
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count());
+  degradation_.validate(machine_count_, config.health.enabled());
+  if (config.health.enabled()) {
+    health_ = std::make_unique<HealthTracker>(machine_count_, config.health);
+    health_->set_trace_sink(trace_);
+  }
   // All records are preallocated here; the hot path only ever indexes.
   records_.resize(config.record_capacity);
+  outstanding_.assign(machine_count_, 0);
+  // Under steady traffic releases keep the staging buffer near-empty;
+  // it only fills during a long release-free stretch, and then the
+  // inline settle is noise against the pile-up itself.
+  staged_.assign(1024, 0);
+}
+
+void ServingDispatcher::drain_staged_locked() {
+  for (size_t i = 0; i < staged_count_; ++i) {
+    ++outstanding_[staged_[i]];
+  }
+  staged_count_ = 0;
+}
+
+void ServingDispatcher::set_mode_locked(uint32_t mode, bool engaged,
+                                        double now) {
+  const uint32_t cur = degraded_modes_.load(std::memory_order_relaxed);
+  degraded_modes_.store(engaged ? (cur | mode) : (cur & ~mode),
+                        std::memory_order_relaxed);
+  if (trace_ != nullptr) {
+    trace_->record(now, obs::TraceEventKind::kDegraded, obs::TraceSink::kNoJob,
+                   obs::TraceSink::kScheduler, 0,
+                   engaged ? static_cast<double>(mode)
+                           : -static_cast<double>(mode));
+  }
+}
+
+void ServingDispatcher::drain_health_locked(double now) {
+  const auto transitions = health_->transitions();
+  if (!transitions.empty()) {
+    for (const HealthTransition& t : transitions) {
+      // The same signal the simulator's fault layer delivers:
+      // FaultAware masks the machine out, CircuitBreaker trips it.
+      inner_.on_machine_state_report(t.machine, t.up);
+      if (trace_ != nullptr) {
+        trace_->record(now,
+                       t.up ? obs::TraceEventKind::kRecovery
+                            : obs::TraceEventKind::kSuspect,
+                       obs::TraceSink::kNoJob,
+                       static_cast<int32_t>(t.machine), 0, t.aux);
+      }
+    }
+    health_->clear_transitions();
+  }
+  const size_t healthy = health_->healthy_count();
+  healthy_machines_.store(healthy, std::memory_order_relaxed);
+  timeouts_.store(timeout_base_ + health_->timeouts(),
+                  std::memory_order_relaxed);
+  all_suspect_ = healthy == 0;
+  if (degradation_.brownout_below > 0.0) {
+    const bool engage =
+        static_cast<double>(healthy) <
+        degradation_.brownout_below * static_cast<double>(machine_count_);
+    if (engage != brownout_engaged_) {
+      brownout_engaged_ = engage;
+      set_mode_locked(kModeBrownout, engage, now);
+    }
+  }
+  if (degradation_.never_empty) {
+    const bool was =
+        (degraded_modes_.load(std::memory_order_relaxed) & kModeNeverEmpty) !=
+        0;
+    if (all_suspect_ != was) {
+      set_mode_locked(kModeNeverEmpty, all_suspect_, now);
+    }
+  }
+}
+
+size_t ServingDispatcher::route_locked(double now, double size) {
+  if (health_ != nullptr && health_->deadline_pending(now)) {
+    // Opportunistic expiry: one compare when nothing expired, so the
+    // health layer costs the hot path a single branch while quiet.
+    health_->tick(now, /*scan_heartbeats=*/false);
+    drain_health_locked(now);
+  }
+  inner_.on_arrival(now);
+  size_t machine;
+  if (all_suspect_ && degradation_.never_empty) {
+    // Every backend is Suspect: a fully-masked stack has no good answer,
+    // so route to the one suspected longest ago — most likely to have
+    // quietly recovered, and its release/timeout refreshes the verdict.
+    machine = health_->least_recently_suspected();
+  } else {
+    machine = inner_.pick_sized(gen_, size);
+  }
+  // The per-machine in-flight count is a read-modify-write at a
+  // pick-dependent index — at large n that cache line is rarely
+  // resident, and the load miss was measured as the single biggest tax
+  // this wrapper could add to the routing tail. Stage the pick with a
+  // sequential append instead; release() settles the counts when it
+  // needs them. The buffer is fixed-size: on overflow (a long stretch
+  // with no release) settle inline and start over.
+  if (staged_count_ == staged_.size()) {
+    drain_staged_locked();
+  }
+  staged_[staged_count_++] = static_cast<uint32_t>(machine);
+  if (health_ != nullptr) {
+    health_->on_acquire(machine, now);
+  }
+  if (!records_.empty()) {
+    const uint64_t count = record_count_.load(std::memory_order_relaxed);
+    if (count < records_.size()) {
+      records_[count] = ArrivalRecord{now, size};
+      record_count_.store(count + 1, std::memory_order_relaxed);
+    } else {
+      record_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  return machine;
 }
 
 size_t ServingDispatcher::acquire(double size) {
   HS_CHECK(size > 0.0, "acquire size must be positive, got " << size);
-  size_t machine;
-  {
-    SpinLockGuard guard(lock_);
-    const double now = clock_->now();
-    inner_.on_arrival(now);
-    machine = inner_.pick_sized(gen_, size);
-    if (!records_.empty()) {
-      const uint64_t count = record_count_.load(std::memory_order_relaxed);
-      if (count < records_.size()) {
-        records_[count] = ArrivalRecord{now, size};
-        record_count_.store(count + 1, std::memory_order_relaxed);
-      } else {
-        record_dropped_.fetch_add(1, std::memory_order_relaxed);
+  SpinLockGuard guard(lock_);
+  return route_locked(clock_->now(), size);
+}
+
+ServingStatus ServingDispatcher::try_acquire(double size, size_t& machine) {
+  HS_CHECK(size > 0.0, "acquire size must be positive, got " << size);
+  SpinLockGuard guard(lock_);
+  const double now = clock_->now();
+  if (brownout_engaged_) {
+    // Judged before the stack is touched: a shed request consumes one
+    // admission draw from the dispatch RNG stream but perturbs no
+    // routing state and no estimator. The context carries only what
+    // serving mode knows — time and size; per-machine fields are
+    // defaults (the request has no routed-to machine yet).
+    overload::AdmissionContext ctx;
+    ctx.now = now;
+    ctx.job_size = size;
+    if (!degradation_.brownout_policy->admit(ctx, gen_)) {
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+      if (trace_ != nullptr) {
+        trace_->record(now, obs::TraceEventKind::kShed, obs::TraceSink::kNoJob,
+                       obs::TraceSink::kScheduler, 0, size);
       }
+      return ServingStatus::kShed;
     }
-    acquired_.fetch_add(1, std::memory_order_relaxed);
   }
-  return machine;
+  machine = route_locked(now, size);
+  return ServingStatus::kOk;
 }
 
-void ServingDispatcher::release(size_t machine, double work) {
-  HS_CHECK(machine < machine_count_,
-           "release machine index out of range: " << machine);
+ServingStatus ServingDispatcher::release(size_t machine, double work) {
+  if (machine >= machine_count_) {
+    return ServingStatus::kInvalidMachine;
+  }
   SpinLockGuard guard(lock_);
-  inner_.on_departure_report(machine, clock_->now(), work);
+  drain_staged_locked();
+  if (outstanding_[machine] == 0) {
+    // Double release, or a stray release for a request some crashed
+    // predecessor owned: rejecting it (instead of blindly feeding the
+    // policy a departure) is what keeps one buggy client from draining
+    // Least-Load queue estimates below reality for everyone else.
+    return ServingStatus::kNotInFlight;
+  }
+  --outstanding_[machine];
+  const double now = clock_->now();
+  inner_.on_departure_report(machine, now, work);
   released_.fetch_add(1, std::memory_order_relaxed);
+  last_feedback_ = now;
+  if (fail_static_engaged_) {
+    // Feedback resumed: un-pin. The adaptive layers re-learn from the
+    // live reports, so there is nothing to restore.
+    fail_static_engaged_ = false;
+    set_mode_locked(kModeFailStatic, false, now);
+  }
+  if (health_ != nullptr) {
+    health_->on_release(machine, now);
+    drain_health_locked(now);
+  }
+  return ServingStatus::kOk;
 }
 
-void ServingDispatcher::report_result(size_t machine, bool accepted) {
-  HS_CHECK(machine < machine_count_,
-           "report machine index out of range: " << machine);
+ServingStatus ServingDispatcher::report_result(size_t machine,
+                                               bool accepted) {
+  if (machine >= machine_count_) {
+    return ServingStatus::kInvalidMachine;
+  }
   SpinLockGuard guard(lock_);
-  inner_.on_dispatch_result(machine, accepted, clock_->now());
+  const double now = clock_->now();
+  inner_.on_dispatch_result(machine, accepted, now);
+  if (health_ != nullptr) {
+    health_->on_result(machine, accepted, now);
+    drain_health_locked(now);
+  }
+  return ServingStatus::kOk;
+}
+
+ServingStatus ServingDispatcher::report_heartbeat(size_t machine) {
+  if (machine >= machine_count_) {
+    return ServingStatus::kInvalidMachine;
+  }
+  if (health_ == nullptr) {
+    return ServingStatus::kOk;  // no detector configured — a no-op
+  }
+  SpinLockGuard guard(lock_);
+  const double now = clock_->now();
+  health_->on_heartbeat(machine, now);
+  drain_health_locked(now);
+  return ServingStatus::kOk;
+}
+
+void ServingDispatcher::tick() {
+  SpinLockGuard guard(lock_);
+  const double now = clock_->now();
+  if (health_ != nullptr) {
+    health_->tick(now, /*scan_heartbeats=*/true);
+    drain_health_locked(now);
+  }
+  if (degradation_.fail_static_after > 0.0 && !fail_static_engaged_ &&
+      in_flight() > 0 &&
+      now - last_feedback_ > degradation_.fail_static_after) {
+    // Estimates are stale: work is outstanding but no release has
+    // arrived for the whole staleness budget. Pin the stack to the
+    // last-known-good fractions (best effort — a stack that cannot
+    // reweight in place keeps its current routing).
+    fail_static_engaged_ = true;
+    inner_.rebuild_fractions(degradation_.fail_static_fractions);
+    set_mode_locked(kModeFailStatic, true, now);
+  }
 }
 
 RecordedTrace ServingDispatcher::snapshot() const {
@@ -80,6 +332,90 @@ RecordedTrace ServingDispatcher::snapshot() const {
   return recorded;
 }
 
+ServingSnapshot ServingDispatcher::capture_snapshot() {
+  ServingSnapshot snap;
+  snap.seed = seed_;
+  snap.captured_unix_nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  SpinLockGuard guard(lock_);
+  snap.session_time = clock_->now();
+  snap.acquired = acquired_.load(std::memory_order_relaxed);
+  snap.released = released_.load(std::memory_order_relaxed);
+  snap.timeouts =
+      timeout_base_ + (health_ != nullptr ? health_->timeouts() : 0);
+  snap.sheds = sheds_.load(std::memory_order_relaxed);
+  snap.rng_state = gen_.state();
+  snap.policy = inner_.name();
+  inner_.save_state(snap.policy_state);
+  drain_staged_locked();
+  snap.outstanding = outstanding_;
+  if (health_ != nullptr) {
+    snap.health.reserve(machine_count_);
+    for (size_t m = 0; m < machine_count_; ++m) {
+      snap.health.push_back(health_->record(m));
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->record(snap.session_time, obs::TraceEventKind::kSnapshot,
+                   obs::TraceSink::kNoJob, obs::TraceSink::kScheduler, 0,
+                   static_cast<double>(snap.acquired));
+  }
+  return snap;
+}
+
+void ServingDispatcher::restore(const ServingSnapshot& snap) {
+  HS_CHECK(snap.machine_count() == machine_count_,
+           "snapshot covers " << snap.machine_count()
+                              << " machines but this stack has "
+                              << machine_count_);
+  SpinLockGuard guard(lock_);
+  HS_CHECK(snap.policy == inner_.name(),
+           "snapshot was captured from policy '"
+               << snap.policy << "' but this stack is '" << inner_.name()
+               << "'");
+  // The stack either consumes its whole saved vector or declines
+  // untouched (dispatch/dispatcher.h contract) — a partial count means
+  // the stack shape changed since capture.
+  const size_t consumed = inner_.restore_state(
+      std::span<const double>(snap.policy_state));
+  HS_CHECK(consumed == snap.policy_state.size(),
+           "policy stack consumed " << consumed << " of "
+                                    << snap.policy_state.size()
+                                    << " saved state values — stack shape "
+                                       "does not match the snapshot");
+  gen_.set_state(snap.rng_state);
+  seed_ = snap.seed;
+  acquired_.store(snap.acquired, std::memory_order_relaxed);
+  released_.store(snap.released, std::memory_order_relaxed);
+  sheds_.store(snap.sheds, std::memory_order_relaxed);
+  outstanding_ = snap.outstanding;
+  staged_count_ = 0;
+  // Recording deliberately continues fresh: the snapshot carries no
+  // arrival records (persist those separately as HSTRACE1).
+  if (health_ != nullptr && !snap.health.empty()) {
+    for (size_t m = 0; m < machine_count_; ++m) {
+      HS_CHECK(health_->restore(m, snap.health[m]),
+               "snapshot health record for machine " << m << " is invalid");
+    }
+  }
+  const uint64_t observed = health_ != nullptr ? health_->timeouts() : 0;
+  timeout_base_ = snap.timeouts >= observed ? snap.timeouts - observed : 0;
+  // Feedback silence is measured from the restore point, not from the
+  // dead process's last release — otherwise fail-static could engage on
+  // the very first tick.
+  last_feedback_ = snap.session_time;
+  if (health_ != nullptr) {
+    // Re-derive the mode flags (and trace the flips) from the restored
+    // health state; there are no pending transitions, the stack learned
+    // its masks from its own restored state.
+    drain_health_locked(snap.session_time);
+  } else {
+    timeouts_.store(timeout_base_, std::memory_order_relaxed);
+  }
+}
+
 void ServingDispatcher::register_gauges(obs::MetricsRegistry& registry) const {
   registry.register_atomic_counter("serving.acquired", &acquired_);
   registry.register_atomic_counter("serving.released", &released_);
@@ -89,6 +425,20 @@ void ServingDispatcher::register_gauges(obs::MetricsRegistry& registry) const {
   registry.register_atomic_counter("serving.recorded", &record_count_);
   registry.register_atomic_counter("serving.record_dropped",
                                    &record_dropped_);
+  registry.register_atomic_counter("serving.sheds", &sheds_);
+  registry.register_atomic_counter("serving.timeouts", &timeouts_);
+  registry.register_gauge("serving.healthy_machines", [this] {
+    return static_cast<double>(healthy_machines());
+  });
+  registry.register_gauge("serving.degraded_modes", [this] {
+    return static_cast<double>(degraded_modes());
+  });
+  // Dispatch-lock contention: lock acquisitions that found the lock
+  // held and had to spin. The ratio against serving.acquired is the
+  // saturation signal for the single-lock design.
+  registry.register_gauge("serving.lock_stalls", [this] {
+    return static_cast<double>(lock_.stalls());
+  });
 }
 
 double ServingDispatcher::session_seconds() {

@@ -1,4 +1,4 @@
-// The dispatcher as a live, thread-safe load-balancing library.
+// The dispatcher as a live, thread-safe, fault-tolerant load balancer.
 //
 // Seven PRs of simulator layers built policy objects — ORR, Least-Load,
 // adaptive, and the FaultAware/CircuitBreaker/GovernedAdaptive/Hedged
@@ -18,29 +18,90 @@
 // report_result() forwards accept/reject outcomes for circuit-breaker
 // stacks.
 //
+// ## Health detection (off by default)
+//
+// With ServingConfig::health enabled, every acquire arms a release
+// deadline and backends may emit report_heartbeat(); a HealthTracker
+// (serving/health.h) turns missed deadlines, rejected results, and
+// heartbeat silence into per-backend Healthy/Suspect transitions. Each
+// transition is forwarded to the policy stack through the *existing*
+// on_machine_state_report channel — the same signal the simulator's
+// fault layer delivers — so FaultAware/CircuitBreaker stacks route
+// around a suspected backend with zero new plumbing. Deadline expiry is
+// processed opportunistically on the acquire path (one compare when
+// nothing expired) and exhaustively by tick(), which a watchdog thread
+// should call periodically (tick() also runs the O(n) heartbeat scan;
+// detection latency for idle backends is bounded by the watchdog
+// cadence).
+//
+// ## Graceful degradation (each mode off by default)
+//
+//  * Brownout — while the healthy fraction is below
+//    DegradationConfig::brownout_below, try_acquire() consults the
+//    configured AdmissionPolicy *before* touching the policy stack and
+//    may shed the request (kShed; counted, traced, never routed).
+//    acquire() keeps its always-routes contract regardless.
+//  * Fail-static — when feedback goes silent (no release for
+//    fail_static_after seconds with requests in flight), tick() pins
+//    the stack to the last-known-good fractions via rebuild_fractions;
+//    the first fresh release disengages and lets adaptive layers
+//    re-learn.
+//  * Never-empty — with every backend Suspect, route to the one
+//    suspected longest ago instead of whatever a fully-masked stack
+//    would do. The request is still armed, so a dead backend keeps
+//    timing out while a recovered one proves itself.
+//
+// With every knob at its default the hot path is bit-identical to the
+// health-free build: no tracker, no extra branches taken, same RNG
+// stream, same picks (pinned by the golden serving tests).
+//
+// ## Crash-consistent snapshots
+//
+// capture_snapshot() freezes the whole learned state under the dispatch
+// lock — conservation counters, RNG, the policy stack's save_state
+// vector, per-machine outstanding counts, health records — into a
+// ServingSnapshot (persist with serving/snapshot.h). restore() loads it
+// into an identically shaped fresh stack, which then continues the
+// session bit-identically. Designed for deliberate checkpoint cadences:
+// the atomic writer guarantees a crash leaves the previous complete
+// snapshot, so a restart resumes from the last checkpoint with learned
+// rates instead of relearning from zero.
+//
 // ## Threading contract
 //
 // Dispatchers are not internally synchronized (see
 // dispatch/dispatcher.h): every pick mutates policy state.
 // ServingDispatcher serializes the entire policy interaction — pick,
-// feedback, RNG draw, trace record — behind one spinlock
-// (serving/spinlock.h), which keeps the hot path allocation-free and
-// its critical section under a microsecond even at n = 10⁴ machines.
-// Concurrent acquire()/release()/report_result() from any number of
-// threads are safe; administrative operations (mask updates, fraction
-// rebuilds) go through with_exclusive(), which runs caller code under
-// the same lock. The conservation counters are plain relaxed atomics so
-// monitoring reads never touch the lock.
+// feedback, health bookkeeping, RNG draw, trace record — behind one
+// spinlock (serving/spinlock.h), which keeps the hot path
+// allocation-free and its critical section under a microsecond even at
+// n = 10⁴ machines. Concurrent acquire()/release()/report_result()/
+// report_heartbeat()/tick() from any number of threads are safe;
+// administrative operations (mask updates, fraction rebuilds) go
+// through with_exclusive(), which runs caller code under the same lock.
+// The conservation counters are plain relaxed atomics so monitoring
+// reads never touch the lock.
+//
+// ## Hardened feedback path
+//
+// release() and report_result() return a ServingStatus instead of
+// trusting the caller: an out-of-range index or a release without a
+// matching acquire (double release, release after restore of a crashed
+// peer's request) is reported and *ignored* — no counter moves, no
+// policy state is touched — because one buggy client must not be able
+// to corrupt the queue estimates every other client routes by.
 //
 // ## Recording
 //
-// With record_capacity > 0, every acquire appends (session time, size)
-// to a buffer preallocated at construction — recording adds two stores
-// to the hot path and never allocates. When the buffer fills, recording
-// stops and keeps the prefix (a prefix of an arrival sequence is itself
-// a valid trace); overflow is counted in record_dropped(). snapshot()
-// materializes the recording as a seed- and timestamp-stamped
-// RecordedTrace for serving/trace_io.h persistence and simulator replay.
+// With record_capacity > 0, every routed acquire appends (session time,
+// size) to a buffer preallocated at construction — recording adds two
+// stores to the hot path and never allocates. When the buffer fills,
+// recording stops and keeps the prefix (a prefix of an arrival sequence
+// is itself a valid trace); overflow is counted in record_dropped().
+// Shed requests are not recorded: the trace is what the policy stack
+// actually saw, so it replays bit-identically in the simulator.
+// snapshot() materializes the recording as a seed- and
+// timestamp-stamped RecordedTrace for serving/trace_io.h persistence.
 #pragma once
 
 #include <atomic>
@@ -51,8 +112,12 @@
 
 #include "dispatch/dispatcher.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "overload/admission.h"
 #include "rng/rng.h"
 #include "serving/clock.h"
+#include "serving/health.h"
+#include "serving/snapshot.h"
 #include "serving/spinlock.h"
 #include "serving/trace_io.h"
 
@@ -63,6 +128,53 @@ namespace hs::serving {
 struct ArrivalRecord {
   double time = 0.0;
   double size = 0.0;
+};
+
+/// Outcome of a hardened serving call. Everything except kOk leaves the
+/// dispatcher's state untouched.
+enum class ServingStatus : uint8_t {
+  kOk = 0,
+  /// try_acquire only: brownout admission refused the request; it was
+  /// never routed and needs no release.
+  kShed,
+  /// Machine index out of range.
+  kInvalidMachine,
+  /// release() for a machine with no outstanding acquire (double
+  /// release, or a stray release for a pre-crash request after
+  /// restore()).
+  kNotInFlight,
+};
+
+[[nodiscard]] const char* to_string(ServingStatus status);
+
+/// Graceful-degradation knobs. Every mode is off by default; brownout
+/// and never-empty act on health state and therefore require
+/// ServingConfig::health to be enabled.
+struct DegradationConfig {
+  /// Engage brownout while healthy_machines < brownout_below * n
+  /// (0 disables). Requires brownout_policy.
+  double brownout_below = 0.0;
+  /// Admission policy consulted by try_acquire() while browned out
+  /// (e.g. overload::ProbabilisticShed). Caller-owned, must outlive the
+  /// dispatcher; only touched under the dispatch lock.
+  overload::AdmissionPolicy* brownout_policy = nullptr;
+
+  /// Pin the stack to fail_static_fractions after this many seconds
+  /// without a release while requests are in flight (0 disables).
+  double fail_static_after = 0.0;
+  /// Last-known-good fractions (typically the planned ORR allocation);
+  /// size must equal the machine count when fail-static is enabled.
+  std::vector<double> fail_static_fractions;
+
+  /// With every backend Suspect, route to the least recently suspected
+  /// one instead of consulting the fully-masked stack.
+  bool never_empty = false;
+
+  [[nodiscard]] bool enabled() const {
+    return brownout_below > 0.0 || fail_static_after > 0.0 || never_empty;
+  }
+  /// Throws util::CheckError on inconsistent settings.
+  void validate(size_t machine_count, bool health_enabled) const;
 };
 
 struct ServingConfig {
@@ -79,6 +191,18 @@ struct ServingConfig {
   /// origin is the construction instant. A non-null source stays owned
   /// by the caller and must outlive the dispatcher.
   ClockSource* clock = nullptr;
+
+  /// Real-time failure detection (off by default — see
+  /// HealthConfig::enabled()).
+  HealthConfig health;
+
+  /// Degradation modes (all off by default).
+  DegradationConfig degradation;
+
+  /// Event sink for kTimeout/kSuspect/kRecovery/kShed/kDegraded/
+  /// kSnapshot records (nullptr = no tracing). Caller-owned; recorded
+  /// under the dispatch lock.
+  obs::TraceSink* trace = nullptr;
 };
 
 class ServingDispatcher {
@@ -98,18 +222,38 @@ class ServingDispatcher {
   /// the request's estimated service demand in base-speed seconds
   /// (positive; pass 1.0 when no estimate exists — size-oblivious
   /// policies ignore it, and recorded traces replay with this value).
+  /// Always routes, even under brownout (use try_acquire to shed).
   [[nodiscard]] size_t acquire(double size = 1.0);
+
+  /// Brownout-aware acquire: while degraded, the configured admission
+  /// policy may refuse the request, in which case `machine` is left
+  /// untouched and kShed is returned (the request was never routed —
+  /// do not release it). Otherwise identical to acquire().
+  [[nodiscard]] ServingStatus try_acquire(double size, size_t& machine);
 
   /// Report that the request sent to `machine` completed, carrying the
   /// work it actually consumed in base-speed seconds (feeds Least-Load
   /// queue estimates and online rate re-estimation; size-oblivious
-  /// policies ignore it).
-  void release(size_t machine, double work);
+  /// policies ignore it). Returns kInvalidMachine / kNotInFlight —
+  /// leaving all state untouched — instead of trusting the caller.
+  [[nodiscard]] ServingStatus release(size_t machine, double work);
 
   /// Report a dispatch outcome (accepted == false when the backend
   /// refused or dropped the request) — the circuit-breaker feedback
-  /// channel.
-  void report_result(size_t machine, bool accepted);
+  /// channel, and a health failure signal. Returns kInvalidMachine on a
+  /// bad index.
+  [[nodiscard]] ServingStatus report_result(size_t machine, bool accepted);
+
+  /// A liveness heartbeat from `machine` (ignored unless heartbeat
+  /// detection is configured). Returns kInvalidMachine on a bad index.
+  [[nodiscard]] ServingStatus report_heartbeat(size_t machine);
+
+  /// Watchdog entry point: process expired release deadlines, run the
+  /// heartbeat silence scan, and evaluate fail-static staleness. Call
+  /// periodically from a monitoring thread — the cadence bounds the
+  /// detection latency for idle backends. Cheap no-op when health and
+  /// degradation are off.
+  void tick();
 
   // ---- Conservation counters (relaxed atomics; exact whenever the
   //      system is quiescent, monitoring-grade under churn) ----
@@ -132,6 +276,24 @@ class ServingDispatcher {
   [[nodiscard]] uint64_t record_dropped() const {
     return record_dropped_.load(std::memory_order_relaxed);
   }
+  /// Requests refused by brownout admission (try_acquire → kShed).
+  [[nodiscard]] uint64_t sheds() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+  /// Release deadlines that expired (health layer; 0 when off).
+  [[nodiscard]] uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  /// Backends currently believed Healthy (== machine_count() when the
+  /// health layer is off).
+  [[nodiscard]] size_t healthy_machines() const {
+    return healthy_machines_.load(std::memory_order_relaxed);
+  }
+  /// Bitmask of engaged degradation modes (1 = brownout, 2 =
+  /// fail-static, 4 = never-empty); 0 when fully healthy.
+  [[nodiscard]] uint32_t degraded_modes() const {
+    return degraded_modes_.load(std::memory_order_relaxed);
+  }
 
   // ---- Administration and introspection (cold path) ----
 
@@ -148,10 +310,28 @@ class ServingDispatcher {
   /// Materialize the recording so far (locks, allocates — cold path).
   [[nodiscard]] RecordedTrace snapshot() const;
 
+  /// Freeze the complete serving state — counters, RNG, policy stack
+  /// state, per-machine outstanding counts, health records — under the
+  /// dispatch lock (locks, allocates — cold path). Persist with
+  /// serving/snapshot.h::save_snapshot_binary.
+  [[nodiscard]] ServingSnapshot capture_snapshot();
+
+  /// Load a snapshot captured from an identically shaped stack (same
+  /// machine count, same policy name — anything else throws
+  /// util::CheckError, leaving this object unusable only if the policy
+  /// stack itself was partially restored, which the save/restore
+  /// contract forbids). The session then continues bit-identically:
+  /// same picks, same RNG draws, same conservation counters. Releases
+  /// for requests the snapshotted process had in flight are accepted
+  /// (outstanding counts are restored); their deadline arms are not —
+  /// a crashed peer's requests are moot.
+  void restore(const ServingSnapshot& snap);
+
   /// Register the live-mode gauge set on `registry`, prefixed
-  /// "serving." — acquired/released totals, in-flight, and recording
-  /// occupancy/overflow. Gauges read the relaxed counters only, so a
-  /// sampler thread never contends with the hot path.
+  /// "serving." — conservation counters, recording occupancy/overflow,
+  /// health and degradation state, and dispatch-lock contention
+  /// (acquisitions that had to spin). Gauges read relaxed atomics only,
+  /// so a sampler thread never contends with the hot path.
   void register_gauges(obs::MetricsRegistry& registry) const;
 
   [[nodiscard]] size_t machine_count() const { return machine_count_; }
@@ -160,22 +340,55 @@ class ServingDispatcher {
   /// Seconds elapsed on the session clock (takes the lock — the clock
   /// itself need not be thread-safe).
   [[nodiscard]] double session_seconds();
+  /// The health tracker, or nullptr when the health layer is off.
+  [[nodiscard]] const HealthTracker* health() const { return health_.get(); }
 
  private:
+  size_t route_locked(double now, double size);
+  void drain_health_locked(double now);
+  void drain_staged_locked();
+  void set_mode_locked(uint32_t mode, bool engaged, double now);
+
+  // Declaration order is deliberate: everything the acquire hot path
+  // touches (lock, clock, RNG, staging, records, health pointer, mode
+  // flags) packs into the leading cache lines; snapshot/degradation
+  // configuration — cold except for flag mirrors — trails the atomics.
   dispatch::Dispatcher& inner_;
   std::unique_ptr<WallClock> owned_clock_;  // engaged when config.clock null
   ClockSource* clock_;                      // never null after construction
   rng::Xoshiro256 gen_;
+  std::unique_ptr<HealthTracker> health_;  // engaged when health.enabled()
+  mutable SpinLock lock_;
+  bool brownout_engaged_ = false;
+  bool fail_static_engaged_ = false;
+  bool all_suspect_ = false;
+  // Per-machine in-flight counts, maintained lazily: acquire appends
+  // the picked machine to staged_ (a sequential, cache-hot write) and
+  // the counts are settled on the release path, which needs them
+  // anyway. This keeps the pick-dependent random-index write off the
+  // routing tail; outstanding_ is exact only after drain_staged_locked.
+  std::vector<uint32_t> staged_;  // fixed-size append buffer of picks
+  size_t staged_count_ = 0;       // staged_[0..staged_count_) is live
+  std::vector<ArrivalRecord> records_;  // preallocated, size == capacity
+  std::vector<uint32_t> outstanding_;
+
+  size_t machine_count_;
   uint64_t seed_;
   uint64_t unix_nanos_;
-  size_t machine_count_;
+  obs::TraceSink* trace_;
+  double last_feedback_ = 0.0;  // session time of the last release
+  uint64_t timeout_base_ = 0;   // timeouts carried in by restore()
 
-  mutable SpinLock lock_;
-  std::vector<ArrivalRecord> records_;  // preallocated, size == capacity
   std::atomic<uint64_t> acquired_{0};
   std::atomic<uint64_t> released_{0};
   std::atomic<uint64_t> record_count_{0};
   std::atomic<uint64_t> record_dropped_{0};
+  std::atomic<uint64_t> sheds_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<size_t> healthy_machines_;
+  std::atomic<uint32_t> degraded_modes_{0};
+
+  DegradationConfig degradation_;
 };
 
 }  // namespace hs::serving

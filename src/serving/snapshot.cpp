@@ -1,0 +1,255 @@
+#include "serving/snapshot.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "util/atomic_file.h"
+#include "util/check.h"
+
+namespace hs::serving {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'S', 'S', 'N', 'A', 'P', '1', '\0'};
+constexpr uint32_t kVersion = 1;
+// magic + version + machine_count + 5×u64 + f64 + 4×u64 RNG state.
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 5 * 8 + 8 + 4 * 8;
+constexpr size_t kHealthRecordBytes = 4 + 4 + 8 + 8 + 8 + 8;
+// Snapshots describe a live cluster, not arbitrary data — a machine
+// count beyond this is a corrupt header, not a big deployment.
+constexpr uint32_t kMaxMachines = 1u << 24;
+constexpr uint32_t kMaxPolicyName = 4096;
+
+void put_u32(std::vector<char>& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.insert(out.end(), buf, buf + 4);
+}
+
+void put_u64(std::vector<char>& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.insert(out.end(), buf, buf + 8);
+}
+
+void put_f64(std::vector<char>& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.insert(out.end(), buf, buf + 8);
+}
+
+uint32_t get_u32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t get_u64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+double get_f64(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Cursor over the loaded byte buffer; every read is bounds-checked so
+/// a lying length field fails with CheckError instead of reading past
+/// the end.
+class Reader {
+ public:
+  Reader(const char* data, size_t size, const std::string& path)
+      : data_(data), size_(size), path_(path) {}
+
+  const char* take(size_t n) {
+    HS_CHECK(n <= size_ - pos_,
+             "snapshot truncated: need " << n << " more bytes at offset "
+                                         << pos_ << ": " << path_);
+    const char* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  uint32_t u32() { return get_u32(take(4)); }
+  uint64_t u64() { return get_u64(take(8)); }
+  double f64() { return get_f64(take(8)); }
+  [[nodiscard]] size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  const std::string& path_;
+};
+
+}  // namespace
+
+void save_snapshot_binary(const std::string& path,
+                          const ServingSnapshot& snapshot) {
+  const size_t machines = snapshot.machine_count();
+  HS_CHECK(machines >= 1 && machines <= kMaxMachines,
+           "snapshot must cover at least one machine");
+  HS_CHECK(snapshot.health.empty() || snapshot.health.size() == machines,
+           "snapshot health section must be empty or one record per "
+           "machine, got "
+               << snapshot.health.size() << " for " << machines
+               << " machines");
+  HS_CHECK(snapshot.policy.size() <= kMaxPolicyName,
+           "snapshot policy name too long: " << snapshot.policy.size());
+
+  std::vector<char> out;
+  out.reserve(kHeaderBytes + snapshot.policy.size() +
+              8 + 8 * snapshot.policy_state.size() + 4 * machines +
+              kHealthRecordBytes * snapshot.health.size() + 16);
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<uint32_t>(machines));
+  put_u64(out, snapshot.seed);
+  put_u64(out, snapshot.captured_unix_nanos);
+  put_u64(out, snapshot.acquired);
+  put_u64(out, snapshot.released);
+  put_u64(out, snapshot.timeouts);
+  put_f64(out, snapshot.session_time);
+  for (uint64_t word : snapshot.rng_state) {
+    put_u64(out, word);
+  }
+
+  // Variable sections, each length-prefixed.
+  put_u64(out, snapshot.sheds);
+  put_u32(out, static_cast<uint32_t>(snapshot.policy.size()));
+  out.insert(out.end(), snapshot.policy.begin(), snapshot.policy.end());
+  put_u64(out, snapshot.policy_state.size());
+  for (double v : snapshot.policy_state) {
+    put_f64(out, v);
+  }
+  for (uint32_t count : snapshot.outstanding) {
+    put_u32(out, count);
+  }
+  put_u32(out, snapshot.health.empty() ? 0u : 1u);
+  for (const MachineHealthRecord& rec : snapshot.health) {
+    put_u32(out, rec.state);
+    put_u32(out, rec.consecutive_failures);
+    put_f64(out, rec.suspected_at);
+    put_f64(out, rec.last_heartbeat);
+    put_f64(out, rec.heartbeat_mean);
+    put_u64(out, rec.heartbeats);
+  }
+
+  // Atomic publish (temp + fsync + rename), same discipline as the
+  // HSTRACE1 writer: a crash mid-save never leaves a torn snapshot.
+  util::write_file_atomic(path, out.data(), out.size());
+}
+
+ServingSnapshot load_snapshot_binary(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  HS_CHECK(file.good(), "cannot open snapshot file: " << path);
+  const auto file_size = static_cast<size_t>(file.tellg());
+  HS_CHECK(file_size >= kHeaderBytes,
+           "snapshot file too short (" << file_size << " bytes): " << path);
+  file.seekg(0);
+  std::vector<char> bytes(file_size);
+  file.read(bytes.data(), static_cast<std::streamsize>(file_size));
+  HS_CHECK(file.good(), "read failed for snapshot file: " << path);
+
+  HS_CHECK(std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
+           "bad magic — not a hetsched snapshot file: " << path);
+  Reader in(bytes.data(), file_size, path);
+  in.take(8);  // magic, already checked
+  const uint32_t version = in.u32();
+  HS_CHECK(version == kVersion, "unsupported snapshot format version "
+                                    << version << " in " << path);
+  const uint32_t machines = in.u32();
+  HS_CHECK(machines >= 1 && machines <= kMaxMachines,
+           "snapshot machine count out of range: " << machines << " in "
+                                                   << path);
+
+  ServingSnapshot snap;
+  snap.seed = in.u64();
+  snap.captured_unix_nanos = in.u64();
+  snap.acquired = in.u64();
+  snap.released = in.u64();
+  snap.timeouts = in.u64();
+  snap.session_time = in.f64();
+  HS_CHECK(std::isfinite(snap.session_time) && snap.session_time >= 0.0,
+           "snapshot session time corrupt: " << snap.session_time << " in "
+                                             << path);
+  HS_CHECK(snap.released <= snap.acquired,
+           "snapshot counters violate conservation: released "
+               << snap.released << " > acquired " << snap.acquired << " in "
+               << path);
+  for (uint64_t& word : snap.rng_state) {
+    word = in.u64();
+  }
+
+  snap.sheds = in.u64();
+  const uint32_t name_len = in.u32();
+  HS_CHECK(name_len <= kMaxPolicyName,
+           "snapshot policy name length corrupt: " << name_len << " in "
+                                                   << path);
+  const char* name = in.take(name_len);
+  snap.policy.assign(name, name_len);
+
+  const uint64_t state_len = in.u64();
+  // Each value is 8 bytes, so the remaining byte count bounds the
+  // plausible length — reject before reserving memory for a lie.
+  HS_CHECK(state_len <= in.remaining() / 8,
+           "snapshot policy state length corrupt: " << state_len << " in "
+                                                    << path);
+  snap.policy_state.reserve(state_len);
+  for (uint64_t i = 0; i < state_len; ++i) {
+    const double v = in.f64();
+    HS_CHECK(!std::isnan(v),
+             "snapshot policy state holds NaN at index " << i << ": "
+                                                         << path);
+    snap.policy_state.push_back(v);
+  }
+
+  snap.outstanding.reserve(machines);
+  uint64_t outstanding_total = 0;
+  for (uint32_t m = 0; m < machines; ++m) {
+    const uint32_t count = in.u32();
+    outstanding_total += count;
+    snap.outstanding.push_back(count);
+  }
+  const uint64_t in_flight = snap.acquired - snap.released;
+  HS_CHECK(outstanding_total == in_flight,
+           "snapshot per-machine outstanding sums to "
+               << outstanding_total << " but counters say " << in_flight
+               << " in flight: " << path);
+
+  const uint32_t has_health = in.u32();
+  HS_CHECK(has_health <= 1,
+           "snapshot health flag corrupt: " << has_health << " in " << path);
+  if (has_health == 1) {
+    snap.health.reserve(machines);
+    for (uint32_t m = 0; m < machines; ++m) {
+      MachineHealthRecord rec;
+      rec.state = in.u32();
+      rec.consecutive_failures = in.u32();
+      rec.suspected_at = in.f64();
+      rec.last_heartbeat = in.f64();
+      rec.heartbeat_mean = in.f64();
+      rec.heartbeats = in.u64();
+      HS_CHECK(rec.state <= 1, "snapshot health state corrupt for machine "
+                                   << m << ": " << rec.state << " in "
+                                   << path);
+      HS_CHECK(std::isfinite(rec.suspected_at) &&
+                   std::isfinite(rec.last_heartbeat) &&
+                   std::isfinite(rec.heartbeat_mean) &&
+                   rec.heartbeat_mean >= 0.0,
+               "snapshot health record corrupt for machine " << m << ": "
+                                                             << path);
+      snap.health.push_back(rec);
+    }
+  }
+  HS_CHECK(in.remaining() == 0, "snapshot has " << in.remaining()
+                                                << " trailing bytes: "
+                                                << path);
+  return snap;
+}
+
+}  // namespace hs::serving

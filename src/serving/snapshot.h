@@ -1,0 +1,84 @@
+// Crash-consistent serving-state snapshots (HSSNAP1).
+//
+// A long-lived load balancer accumulates state that is expensive to
+// relearn after a restart: adaptive policies hold warmed-up rate
+// estimators, Least-Load holds queue estimates, circuit breakers hold
+// trip records, the health layer holds suspicion state, and the RNG has
+// advanced. ServingDispatcher::capture_snapshot() freezes all of it
+// under the dispatch lock into a ServingSnapshot; restore() loads it
+// into a freshly constructed, identically shaped stack, after which the
+// process continues the session bit-identically — same picks, same RNG
+// draws, same conservation counters (pinned by the chaos suite).
+//
+// The on-disk format mirrors HSTRACE1 (serving/trace_io.h): a fixed
+// little-endian header (magic "HSSNAP1\0", version, machine count,
+// seed, capture timestamp, session time, conservation counters, RNG
+// state) followed by length-prefixed variable sections (policy name,
+// the Dispatcher::save_state vector, per-machine outstanding counts,
+// optional per-machine health records). Binary because restore is
+// specified bit-identical; saved via util::write_file_atomic so a crash
+// mid-save never leaves a torn file; every length is validated on load
+// so a corrupted file is rejected with util::CheckError, never UB.
+//
+// Deliberately NOT captured: the arrival recording (persist it
+// separately as HSTRACE1 — a restore starts a fresh recording) and
+// in-flight requests (they were owned by the process that died; their
+// releases will never arrive, so restoring their deadline arms would
+// only manufacture timeouts).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/health.h"
+
+namespace hs::serving {
+
+struct ServingSnapshot {
+  uint64_t seed = 0;
+  /// system_clock nanos at capture (provenance, like RecordedTrace).
+  uint64_t captured_unix_nanos = 0;
+  /// Session-clock seconds at capture.
+  double session_time = 0.0;
+
+  // Conservation counters at capture. acquired − released is the
+  // in-flight count the dying process stranded (their releases are
+  // accepted after restore thanks to `outstanding`).
+  uint64_t acquired = 0;
+  uint64_t released = 0;
+  uint64_t timeouts = 0;
+  uint64_t sheds = 0;
+
+  /// Dispatch RNG state — restoring continues the draw sequence exactly.
+  std::array<uint64_t, 4> rng_state{};
+
+  /// Dispatcher::name() at capture; restore() refuses a mismatched
+  /// policy stack.
+  std::string policy;
+  /// Dispatcher::save_state() vector (fractions, cadences, estimates,
+  /// breaker records — whatever the stack serializes). Empty when the
+  /// stack opted out.
+  std::vector<double> policy_state;
+
+  /// Per-machine in-flight counts at capture (size = machine count).
+  std::vector<uint32_t> outstanding;
+
+  /// Per-machine health records; empty when the health layer was off.
+  std::vector<MachineHealthRecord> health;
+
+  [[nodiscard]] size_t machine_count() const { return outstanding.size(); }
+};
+
+/// Serialize + atomically publish (temp + fsync + rename). Throws
+/// util::CheckError on I/O failure or an empty machine set.
+void save_snapshot_binary(const std::string& path,
+                          const ServingSnapshot& snapshot);
+
+/// Load + validate. Throws util::CheckError on any structural problem —
+/// bad magic, version, truncation, section-length mismatch, value
+/// out of domain.
+[[nodiscard]] ServingSnapshot load_snapshot_binary(const std::string& path);
+
+}  // namespace hs::serving

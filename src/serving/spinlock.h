@@ -21,14 +21,27 @@ namespace hs::serving {
 class SpinLock {
  public:
   void lock() noexcept {
-    while (flag_.test_and_set(std::memory_order_acquire)) {
+    if (!flag_.test_and_set(std::memory_order_acquire)) {
+      return;  // uncontended fast path: one RMW, no counter traffic
+    }
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    do {
       while (flag_.test(std::memory_order_relaxed)) {
         cpu_relax();
       }
-    }
+    } while (flag_.test_and_set(std::memory_order_acquire));
   }
 
   void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+  /// Number of lock() calls that found the lock held and had to spin.
+  /// Counted once per stalled acquisition (not per pause iteration), only
+  /// on the contended path, so the uncontended fast path is unchanged.
+  /// A rising stall rate is the earliest signal that dispatch decisions
+  /// are queueing behind each other.
+  [[nodiscard]] uint64_t stalls() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
 
  private:
   static void cpu_relax() noexcept {
@@ -40,6 +53,7 @@ class SpinLock {
   }
 
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+  std::atomic<uint64_t> stalls_{0};
 };
 
 /// Scoped lock ownership (std::lock_guard works too; this avoids the

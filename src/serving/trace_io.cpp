@@ -4,6 +4,7 @@
 #include <fstream>
 #include <vector>
 
+#include "util/atomic_file.h"
 #include "util/check.h"
 
 namespace hs::serving {
@@ -69,11 +70,9 @@ void save_trace_binary(const std::string& path,
     put_f64(out, job.size);
   }
 
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  HS_CHECK(file.good(), "cannot open trace file for writing: " << path);
-  file.write(out.data(), static_cast<std::streamsize>(out.size()));
-  file.flush();
-  HS_CHECK(file.good(), "write failed for trace file: " << path);
+  // Atomic publish (temp + fsync + rename): a crash mid-save leaves
+  // either the previous file or the complete new one, never a torn mix.
+  util::write_file_atomic(path, out.data(), out.size());
 }
 
 RecordedTrace load_trace_binary(const std::string& path) {
@@ -96,6 +95,11 @@ RecordedTrace load_trace_binary(const std::string& path) {
   recorded.seed = get_u64(bytes.data() + 16);
   recorded.recorded_unix_nanos = get_u64(bytes.data() + 24);
   const uint64_t count = get_u64(bytes.data() + 32);
+  // Bound first so the length identity below cannot wrap on a corrupt
+  // (astronomical) count before it is compared.
+  HS_CHECK(count <= (file_size - kHeaderBytes) / kRecordBytes,
+           "trace header claims more records than the file could hold: "
+               << count << " in " << path);
   HS_CHECK(file_size == kHeaderBytes + kRecordBytes * count,
            "trace payload length mismatch: header claims "
                << count << " records but file holds "

@@ -349,4 +349,51 @@ const alloc::Allocation& GovernedAdaptiveDispatcher::allocation() const {
   return *allocation_;
 }
 
+size_t GovernedAdaptiveDispatcher::save_state(std::vector<double>& out) const {
+  const size_t n = believed_speeds_.size();
+  out.push_back(assumed_rho_);
+  out.push_back(last_now_);
+  out.push_back(static_cast<double>(arrivals_since_tick_));
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(available_.empty() || available_[i] ? 1.0 : 0.0);
+  }
+  size_t written = 3 + n + bank_.save_state(out);
+  const auto& f = allocation_->fractions();
+  out.insert(out.end(), f.begin(), f.end());
+  return written + n + inner_->save_state(out);
+}
+
+size_t GovernedAdaptiveDispatcher::restore_state(
+    std::span<const double> state) {
+  const size_t n = believed_speeds_.size();
+  const size_t bank_len = 4 + 5 * n;
+  const size_t own = 3 + n + bank_len + n;
+  if (state.size() < own) {
+    return 0;
+  }
+  const double rho = state[0];
+  const double ticks = state[2];
+  if (!(rho > 0.0 && rho < 1.0) || !std::isfinite(state[1]) ||
+      !(ticks >= 0.0 && ticks <= 0x1p53) || ticks != std::floor(ticks)) {
+    return 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!(state[3 + i] == 0.0 || state[3 + i] == 1.0)) {
+      return 0;
+    }
+  }
+  if (bank_.restore_state(state.subspan(3 + n, bank_len)) != bank_len) {
+    return 0;
+  }
+  assumed_rho_ = rho;
+  last_now_ = state[1];
+  arrivals_since_tick_ = static_cast<uint64_t>(ticks);
+  available_.assign(n, true);
+  for (size_t i = 0; i < n; ++i) {
+    available_[i] = state[3 + i] == 1.0;
+  }
+  allocation_->assign_exact(state.subspan(3 + n + bank_len, n));
+  return own + inner_->restore_state(state.subspan(own));
+}
+
 }  // namespace hs::uncertainty

@@ -112,6 +112,15 @@ class GovernedAdaptiveDispatcher final : public dispatch::Dispatcher {
   /// Record estimate updates and governor decisions here (nullptr = off).
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Checkpoint: the learned state — ρ̂, estimator bank, availability,
+  /// committed fractions, inner round-robin cadence — so a restarted
+  /// process resumes with learned rates instead of cold priors. The
+  /// governor's dwell/budget bookkeeping deliberately restarts fresh: it
+  /// is a rate limiter, not learned state, and restarting it conservative
+  /// (the first post-restore re-allocation waits out a full dwell).
+  size_t save_state(std::vector<double>& out) const override;
+  size_t restore_state(std::span<const double> state) override;
+
   // ---- Inspection (gauges, tests, benches) ----
   [[nodiscard]] const alloc::Allocation& allocation() const;
   [[nodiscard]] double assumed_rho() const { return assumed_rho_; }

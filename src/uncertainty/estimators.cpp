@@ -156,4 +156,91 @@ void EstimatorBank::reset() {
   }
 }
 
+namespace {
+
+/// True when `v` round-trips through a double as an exact non-negative
+/// integer (counts are < 2^53 in any feasible session).
+bool is_count(double v) {
+  return v >= 0.0 && v <= 0x1p53 && v == std::floor(v);
+}
+
+}  // namespace
+
+size_t RateEstimator::save_state(std::vector<double>& out) const {
+  out.push_back(discounted_count_);
+  out.push_back(discounted_time_);
+  out.push_back(last_event_);
+  out.push_back(static_cast<double>(count_));
+  return 4;
+}
+
+size_t RateEstimator::restore_state(std::span<const double> state) {
+  if (state.size() < 4 || !std::isfinite(state[0]) || state[0] < 0.0 ||
+      !std::isfinite(state[1]) || state[1] < 0.0 ||
+      !std::isfinite(state[2]) || !is_count(state[3])) {
+    return 0;
+  }
+  discounted_count_ = state[0];
+  discounted_time_ = state[1];
+  last_event_ = state[2];
+  count_ = static_cast<uint64_t>(state[3]);
+  return 4;
+}
+
+size_t ServiceRateEstimator::save_state(std::vector<double>& out) const {
+  out.push_back(work_);
+  out.push_back(busy_);
+  out.push_back(last_update_);
+  out.push_back(static_cast<double>(outstanding_));
+  out.push_back(static_cast<double>(departures_));
+  return 5;
+}
+
+size_t ServiceRateEstimator::restore_state(std::span<const double> state) {
+  if (state.size() < 5 || !std::isfinite(state[0]) || state[0] < 0.0 ||
+      !std::isfinite(state[1]) || state[1] < 0.0 ||
+      !std::isfinite(state[2]) || !is_count(state[3]) ||
+      !is_count(state[4])) {
+    return 0;
+  }
+  work_ = state[0];
+  busy_ = state[1];
+  last_update_ = state[2];
+  outstanding_ = static_cast<uint64_t>(state[3]);
+  departures_ = static_cast<uint64_t>(state[4]);
+  return 5;
+}
+
+size_t EstimatorBank::save_state(std::vector<double>& out) const {
+  size_t written = arrival_rate_.save_state(out);
+  for (const auto& estimator : service_) {
+    written += estimator.save_state(out);
+  }
+  return written;
+}
+
+size_t EstimatorBank::restore_state(std::span<const double> state) {
+  const size_t need = 4 + 5 * service_.size();
+  if (state.size() < need) {
+    return 0;
+  }
+  // Two-phase: validate everything on scratch copies first so a corrupt
+  // payload cannot leave the bank half-restored.
+  RateEstimator arrival = arrival_rate_;
+  if (arrival.restore_state(state.first(4)) != 4) {
+    return 0;
+  }
+  std::vector<ServiceRateEstimator> service = service_;
+  size_t offset = 4;
+  for (auto& estimator : service) {
+    if (estimator.restore_state(state.subspan(offset, 5)) != 5) {
+      return 0;
+    }
+    offset += 5;
+  }
+  arrival_rate_ = arrival;
+  service_ = std::move(service);
+  return need;
+}
+
 }  // namespace hs::uncertainty

@@ -38,6 +38,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace hs::uncertainty {
@@ -56,6 +57,12 @@ class RateEstimator {
   [[nodiscard]] uint64_t observed() const { return count_; }
 
   void reset();
+
+  /// Checkpoint: the discounted accumulators and event count (4 values),
+  /// same append/consume convention as Dispatcher::save_state. A restored
+  /// estimator continues the EWMA sequence bit-identically.
+  size_t save_state(std::vector<double>& out) const;
+  size_t restore_state(std::span<const double> state);
 
  private:
   double time_constant_;
@@ -89,6 +96,11 @@ class ServiceRateEstimator {
   [[nodiscard]] uint64_t outstanding() const { return outstanding_; }
 
   void reset();
+
+  /// Checkpoint: work/busy accumulators plus the outstanding and
+  /// departure counts (5 values).
+  size_t save_state(std::vector<double>& out) const;
+  size_t restore_state(std::span<const double> state);
 
  private:
   /// Accrue busy time up to `now`.
@@ -142,6 +154,12 @@ class EstimatorBank {
   [[nodiscard]] double mean_job_size() const { return mean_job_size_; }
 
   void reset();
+
+  /// Checkpoint: the arrival estimator followed by every per-machine
+  /// service estimator (4 + 5n values) — restoring lets a restarted
+  /// process resume with learned rates instead of cold priors.
+  size_t save_state(std::vector<double>& out) const;
+  size_t restore_state(std::span<const double> state);
 
  private:
   double mean_job_size_;

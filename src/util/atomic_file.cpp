@@ -1,0 +1,77 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace hs::util {
+
+namespace {
+
+/// Write the whole buffer, riding out short writes and EINTR.
+bool write_all(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const void* data,
+                       size_t size) {
+  HS_CHECK(!path.empty(), "atomic write needs a non-empty path");
+  const std::string tmp = path + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  HS_CHECK(fd >= 0, "cannot open temporary file for writing: "
+                        << tmp << " (" << std::strerror(errno) << ")");
+
+  // Data first, durably: fsync before rename orders "payload on disk"
+  // before "name points at payload" — the whole point of the idiom.
+  const bool written = write_all(fd, static_cast<const char*>(data), size);
+  const bool synced = written && ::fsync(fd) == 0;
+  const int saved_errno = errno;
+  ::close(fd);
+  if (!written || !synced) {
+    ::unlink(tmp.c_str());
+    HS_CHECK(false, "cannot write temporary file: "
+                        << tmp << " (" << std::strerror(saved_errno) << ")");
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int rename_errno = errno;
+    ::unlink(tmp.c_str());
+    HS_CHECK(false, "cannot rename " << tmp << " -> " << path << " ("
+                                     << std::strerror(rename_errno) << ")");
+  }
+
+  // Durability of the rename itself requires fsyncing the directory.
+  // Best-effort: a failure here (exotic filesystems reject O_DIRECTORY
+  // fsync) downgrades the guarantee from power-cut-safe to
+  // process-crash-safe, which is not worth failing the save over.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace hs::util

@@ -1,0 +1,30 @@
+// Crash-consistent file replacement.
+//
+// A plain ofstream write is torn by a crash at any point: the target
+// path transitions through every partial length, and a reader (or a
+// restarted process) can observe a half-written file with a valid
+// header. write_file_atomic() gives the POSIX publish idiom instead —
+// write the full payload to a temporary in the same directory, fsync it
+// so the *data* is durable before the name is, then rename() onto the
+// target (atomic within a filesystem), and finally fsync the directory
+// so the new name itself survives a power cut. A reader therefore sees
+// either the complete old file or the complete new file, never a mix —
+// the property the HSTRACE1/HSSNAP1 persistence layers (serving/) rely
+// on for "a crash mid-write never leaves a torn file".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hs::util {
+
+/// Atomically replace `path` with `size` bytes at `data`. The temporary
+/// is `path` + ".tmp" in the same directory (same filesystem, so the
+/// rename is atomic); concurrent writers to one path must be externally
+/// serialized, which the serving layer's with_exclusive() provides.
+/// Throws util::CheckError on any I/O failure (the temporary is
+/// unlinked best-effort before throwing).
+void write_file_atomic(const std::string& path, const void* data,
+                       size_t size);
+
+}  // namespace hs::util

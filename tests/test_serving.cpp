@@ -27,6 +27,7 @@ using hs::serving::ManualClock;
 using hs::serving::RecordedTrace;
 using hs::serving::ServingConfig;
 using hs::serving::ServingDispatcher;
+using hs::serving::ServingStatus;
 using hs::serving::WallClock;
 
 const std::vector<double> kSpeeds{1.0, 2.0, 4.0, 8.0};
@@ -110,7 +111,7 @@ TEST(ServingDispatcherTest, ReleaseFeedsLeastLoadEstimates) {
 
   for (const size_t machine : placed) {
     clock.advance(0.1);
-    serving.release(machine, 1.0);
+    ASSERT_EQ(serving.release(machine, 1.0), ServingStatus::kOk);
   }
   for (size_t m = 0; m < kSpeeds.size(); ++m) {
     EXPECT_EQ(inner.estimated_queue(m), 0u);
@@ -124,9 +125,31 @@ TEST(ServingDispatcherTest, RejectsInvalidArguments) {
   ServingDispatcher serving(inner);
   EXPECT_THROW((void)serving.acquire(0.0), hs::util::CheckError);
   EXPECT_THROW((void)serving.acquire(-1.0), hs::util::CheckError);
-  EXPECT_THROW(serving.release(kSpeeds.size(), 1.0), hs::util::CheckError);
-  EXPECT_THROW(serving.report_result(kSpeeds.size(), true),
-               hs::util::CheckError);
+  // The feedback path is hardened, not fatal: a bad index or a release
+  // with no matching acquire is reported and ignored.
+  EXPECT_EQ(serving.release(kSpeeds.size(), 1.0),
+            ServingStatus::kInvalidMachine);
+  EXPECT_EQ(serving.report_result(kSpeeds.size(), true),
+            ServingStatus::kInvalidMachine);
+  EXPECT_EQ(serving.report_heartbeat(kSpeeds.size()),
+            ServingStatus::kInvalidMachine);
+  EXPECT_EQ(serving.release(0, 1.0), ServingStatus::kNotInFlight);
+  EXPECT_EQ(serving.released(), 0u);
+}
+
+TEST(ServingDispatcherTest, DoubleReleaseIsRejectedWithoutCorruption) {
+  hs::dispatch::LeastLoadDispatcher inner(kSpeeds);
+  ServingDispatcher serving(inner);
+  const size_t machine = serving.acquire(1.0);
+  EXPECT_EQ(serving.release(machine, 1.0), ServingStatus::kOk);
+  // The second release of the same request must not drain the policy's
+  // queue estimate below reality or move the conservation counters.
+  EXPECT_EQ(serving.release(machine, 1.0), ServingStatus::kNotInFlight);
+  EXPECT_EQ(serving.released(), 1u);
+  EXPECT_EQ(serving.in_flight(), 0);
+  for (size_t m = 0; m < kSpeeds.size(); ++m) {
+    EXPECT_EQ(inner.estimated_queue(m), 0u);
+  }
 }
 
 TEST(ServingDispatcherTest, WithExclusiveRunsUnderLockAndReturns) {
@@ -156,7 +179,7 @@ TEST(ServingDispatcherTest, RecordingStopsAtCapacityKeepingPrefix) {
   for (int i = 0; i < 6; ++i) {
     clock.advance(1.0);
     const size_t machine = serving.acquire(2.0);
-    serving.release(machine, 2.0);
+    ASSERT_EQ(serving.release(machine, 2.0), ServingStatus::kOk);
   }
   EXPECT_EQ(serving.record_count(), 4u);
   EXPECT_EQ(serving.record_dropped(), 2u);
@@ -193,7 +216,7 @@ TEST(ServingDispatcherTest, RegisterGaugesExposesConservationCounters) {
   ServingDispatcher serving(inner, config);
   const size_t a = serving.acquire(1.0);
   (void)serving.acquire(1.0);
-  serving.release(a, 1.0);
+  ASSERT_EQ(serving.release(a, 1.0), ServingStatus::kOk);
 
   hs::obs::MetricsRegistry registry;
   serving.register_gauges(registry);
@@ -229,13 +252,13 @@ TEST(ServingConcurrencyTest, ConservationUnderConcurrentLoad) {
         // interleaved acquire/release rather than lockstep pairs.
         if (held.size() == 8) {
           for (const size_t machine : held) {
-            serving.release(machine, 1.0);
+            (void)serving.release(machine, 1.0);
           }
           held.clear();
         }
       }
       for (const size_t machine : held) {
-        serving.release(machine, 1.0);
+        (void)serving.release(machine, 1.0);
       }
     });
   }
@@ -269,7 +292,7 @@ TEST(ServingConcurrencyTest, MaskChurnDuringLoadStaysConserved) {
       for (size_t i = 0; i < kOpsPerThread; ++i) {
         const size_t machine = serving.acquire(1.0);
         EXPECT_LT(machine, kSpeeds.size());
-        serving.release(machine, 1.0);
+        (void)serving.release(machine, 1.0);
       }
     });
   }
@@ -394,7 +417,7 @@ RecordedTrace recorded_session(PolicyKind kind, uint64_t seed, size_t jobs) {
     clock.advance(0.05);
     const double size = 0.1 + 0.01 * static_cast<double>(i % 7);
     const size_t machine = serving.acquire(size);
-    serving.release(machine, size);
+    EXPECT_EQ(serving.release(machine, size), ServingStatus::kOk);
   }
   return serving.snapshot();
 }
