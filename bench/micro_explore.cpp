@@ -1,0 +1,105 @@
+// Microbenchmarks for the fault-space explorer: what one explored run
+// costs, what the choice-point hook adds to a run, and how fast the
+// HSSCHED1 codec is.
+//
+//   * BM_ExploreHookOverhead — the explorer scenario with choice_hook
+//     null vs an empty ScheduleHook. The delta is the per-run price of
+//     observing every stochastic choice point (the acceptance budget for
+//     instrumentation-ON; OFF must be free and is pinned by goldens +
+//     the pr10-explore-off A/B entry in BENCH_sim.json).
+//   * BM_ExploreScheduledRun — one full run_schedule() with a 2-op crash
+//     schedule, invariant checking included: the unit of work every
+//     search driver and the shrinker repeats.
+//   * BM_ScheduleCodec — encode+decode round-trip per op; the shrinker
+//     and corpus replays live on this path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cluster/choice.h"
+#include "cluster/sim.h"
+#include "dispatch/least_load.h"
+#include "explore/explorer.h"
+#include "explore/hook.h"
+#include "explore/schedule.h"
+
+namespace {
+
+using hs::cluster::ChoiceKind;
+using hs::explore::ExploreConfig;
+using hs::explore::Explorer;
+using hs::explore::Override;
+using hs::explore::Schedule;
+using hs::explore::ScheduleHook;
+
+hs::cluster::SimulationConfig scenario_config() {
+  // The explorer's stack is built inside run_schedule(); this benchmark
+  // isolates the hook cost on the bare scenario config instead, so the
+  // null-hook and empty-hook rows differ only in the hook pointer.
+  hs::cluster::SimulationConfig config;
+  config.speeds = {1.0, 1.5, 2.0};
+  config.rho = 0.9;
+  config.sim_time = 120.0;
+  config.warmup_frac = 0.0;
+  config.seed = 42;
+  config.faults.processes.assign(3, {1.0e8, 8.0});
+  config.network.dispatch_link.loss = 0.005;
+  config.network.dispatch_link.duplicate = 0.005;
+  config.network.dispatch_link.delay_mean = 0.01;
+  config.network.report_link.loss = 0.005;
+  config.network.heartbeat.interval = 1.0;
+  return config;
+}
+
+void BM_ExploreHookOverhead(benchmark::State& state) {
+  hs::cluster::SimulationConfig config = scenario_config();
+  const Schedule empty;
+  ScheduleHook hook(empty);
+  config.choice_hook = state.range(0) != 0 ? &hook : nullptr;
+  for (auto _ : state) {
+    hs::dispatch::LeastLoadDispatcher dispatcher(config.speeds);
+    const auto result = hs::cluster::run_simulation(config, dispatcher);
+    benchmark::DoNotOptimize(result.completed_jobs);
+  }
+  state.SetLabel(state.range(0) != 0 ? "empty-hook" : "null-hook");
+}
+BENCHMARK(BM_ExploreHookOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreScheduledRun(benchmark::State& state) {
+  const Explorer explorer(ExploreConfig{});
+  Schedule crash;
+  crash.ops.push_back(
+      Override::force_double(ChoiceKind::kFaultUptime, 0, 0, 20.0));
+  crash.ops.push_back(
+      Override::force_double(ChoiceKind::kFaultUptime, 1, 0, 70.0));
+  for (auto _ : state) {
+    const auto outcome = explorer.run_schedule(crash);
+    benchmark::DoNotOptimize(outcome.coverage.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("runs/s incl. invariant check");
+  state.counters["invariant_runs"] = 1;  // tree-scan diff adds a 2nd run
+}
+BENCHMARK(BM_ExploreScheduledRun)->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleCodec(benchmark::State& state) {
+  const auto ops = static_cast<size_t>(state.range(0));
+  Schedule schedule;
+  for (size_t i = 0; i < ops; ++i) {
+    schedule.ops.push_back(Override::force_double(
+        ChoiceKind::kFaultUptime, static_cast<uint32_t>(i % 3),
+        static_cast<uint32_t>(i / 3), 20.0 + static_cast<double>(i)));
+  }
+  for (auto _ : state) {
+    const std::vector<uint8_t> bytes = schedule.encode();
+    const Schedule decoded = Schedule::decode(bytes);
+    benchmark::DoNotOptimize(decoded.ops.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * ops));
+}
+BENCHMARK(BM_ScheduleCodec)->Arg(2)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// explore_cli: drive the fault-space explorer from the command line.
+//
+// Modes (pick one):
+//   --exhaustive          enumerate the documented bounded schedule space
+//   --search              coverage-guided randomized exploration
+//   --random              seed-soak baseline (empty schedule, varied seed)
+//   --replay FILE         run one saved HSSCHED1 schedule and report
+//   --shrink FILE         ddmin-reduce a violating schedule (see --out)
+//
+// Common knobs: --budget N (runs for --search/--random), --plant-bug
+// (arm the test-only conservation defect), --stats (print the coverage
+// tuple count — the comparison metric between search and random),
+// --expect-violation (exit 0 only if a violation WAS found — for CI
+// jobs that regress the find pipeline). The search seed comes from
+// HS_EXPLORE_SEED (logged in "rerun with" form) so a red CI run replays
+// locally by exporting the logged value.
+//
+// The find → shrink → replay walkthrough lives in examples/explore_demo.
+#include <cstdio>
+#include <string>
+
+#include "explore/explorer.h"
+#include "explore/invariants.h"
+#include "explore/schedule.h"
+#include "explore/shrink.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/env.h"
+
+namespace {
+
+using hs::explore::ExploreConfig;
+using hs::explore::Explorer;
+using hs::explore::RunOutcome;
+using hs::explore::Schedule;
+using hs::explore::SearchStats;
+
+void print_schedule(const Schedule& schedule) {
+  if (schedule.empty()) {
+    std::printf("  (empty schedule — the natural run)\n");
+    return;
+  }
+  for (const auto& op : schedule.ops) {
+    std::printf("  %s\n", op.describe().c_str());
+  }
+}
+
+void print_stats(const SearchStats& stats, bool show_stats) {
+  std::printf("runs: %llu\n",
+              static_cast<unsigned long long>(stats.runs));
+  if (show_stats) {
+    std::printf("coverage tuples: %zu\n", stats.coverage_tuples());
+  }
+  if (stats.found_violation) {
+    std::printf("VIOLATION: %s\n", stats.violation.to_string().c_str());
+    std::printf("seed: %llu\n",
+                static_cast<unsigned long long>(stats.violating_seed));
+    std::printf("schedule (%zu ops):\n", stats.counterexample.ops.size());
+    print_schedule(stats.counterexample);
+  } else {
+    std::printf("no invariant violation found\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hs::util::ArgParser parser(
+      "Fault-space explorer: systematic schedule search, invariant "
+      "checking, and repro replay");
+  parser.add_flag("exhaustive", "enumerate the bounded-exhaustive space");
+  parser.add_flag("search", "coverage-guided randomized exploration");
+  parser.add_flag("random", "seed-soak baseline at the same run count");
+  parser.add_option("replay", "", "run one saved HSSCHED1 schedule file");
+  parser.add_option("shrink", "",
+                    "ddmin-reduce a violating HSSCHED1 schedule file");
+  parser.add_option("out", "repro.hssched",
+                    "output path for --shrink's minimal schedule");
+  parser.add_option("budget", "200",
+                    "simulation runs for --search/--random");
+  parser.add_flag("plant-bug",
+                  "arm the test-only drop-leak conservation defect");
+  parser.add_flag("stats", "print the coverage tuple count");
+  parser.add_flag("expect-violation",
+                  "exit 0 only if a violation was found (CI regression)");
+  if (!parser.parse(argc, argv)) {
+    return 0;
+  }
+
+  ExploreConfig config;
+  config.plant_bug = parser.get_flag("plant-bug");
+  const Explorer explorer(config);
+  const auto budget = static_cast<uint64_t>(parser.get_long("budget"));
+  const bool expect_violation = parser.get_flag("expect-violation");
+  const bool show_stats = parser.get_flag("stats");
+
+  bool found = false;
+  if (parser.get_flag("exhaustive")) {
+    std::printf("exhaustive space: %llu schedules\n",
+                static_cast<unsigned long long>(
+                    explorer.exhaustive_space_size()));
+    const SearchStats stats = explorer.run_exhaustive();
+    print_stats(stats, show_stats);
+    found = stats.found_violation;
+  } else if (parser.get_flag("search")) {
+    const uint64_t seed = hs::util::seed_from_env("HS_EXPLORE_SEED", 1);
+    const SearchStats stats = explorer.run_search(budget, seed);
+    print_stats(stats, show_stats);
+    found = stats.found_violation;
+    if (found && !stats.counterexample.empty()) {
+      const std::string out = parser.get_string("out");
+      hs::explore::save_schedule(stats.counterexample, out);
+      std::printf("counterexample saved: %s\n", out.c_str());
+    }
+  } else if (parser.get_flag("random")) {
+    const uint64_t seed = hs::util::seed_from_env("HS_EXPLORE_SEED", 1);
+    const SearchStats stats = explorer.run_random(budget, seed);
+    print_stats(stats, show_stats);
+    found = stats.found_violation;
+  } else if (!parser.get_string("replay").empty()) {
+    const Schedule schedule =
+        hs::explore::load_schedule(parser.get_string("replay"));
+    std::printf("replaying %zu ops:\n", schedule.ops.size());
+    print_schedule(schedule);
+    const RunOutcome outcome = explorer.run_schedule(schedule);
+    std::printf("overrides applied: %llu\n",
+                static_cast<unsigned long long>(outcome.overrides_applied));
+    if (show_stats) {
+      std::printf("coverage tuples: %zu\n", outcome.coverage.size());
+    }
+    for (const auto& violation : outcome.violations) {
+      std::printf("VIOLATION: %s\n", violation.to_string().c_str());
+    }
+    found = !outcome.violations.empty();
+    if (!found) {
+      std::printf("run is clean\n");
+    }
+  } else if (!parser.get_string("shrink").empty()) {
+    const Schedule schedule =
+        hs::explore::load_schedule(parser.get_string("shrink"));
+    const RunOutcome outcome = explorer.run_schedule(schedule);
+    HS_CHECK(!outcome.violations.empty(),
+             "--shrink: the input schedule does not violate any invariant");
+    const auto result = hs::explore::shrink(
+        explorer, schedule, outcome.violations.front().invariant);
+    std::printf("shrunk %llu ops -> %zu ops in %llu runs\n",
+                static_cast<unsigned long long>(result.initial_ops),
+                result.schedule.ops.size(),
+                static_cast<unsigned long long>(result.runs));
+    std::printf("VIOLATION: %s\n", result.violation.to_string().c_str());
+    print_schedule(result.schedule);
+    const std::string out = parser.get_string("out");
+    hs::explore::save_schedule(result.schedule, out);
+    std::printf("minimal repro saved: %s\n", out.c_str());
+    std::printf("replay with: explore_cli%s --replay %s\n",
+                config.plant_bug ? " --plant-bug" : "", out.c_str());
+    found = true;
+  } else {
+    std::fputs(parser.help_text().c_str(), stderr);
+    return 2;
+  }
+
+  if (expect_violation) {
+    return found ? 0 : 1;
+  }
+  return found ? 1 : 0;
+}

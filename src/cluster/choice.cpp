@@ -1,0 +1,52 @@
+#include "cluster/choice.h"
+
+namespace hs::cluster {
+
+const char* choice_kind_name(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kFaultUptime:
+      return "fault_uptime";
+    case ChoiceKind::kFaultDowntime:
+      return "fault_downtime";
+    case ChoiceKind::kDispatchLoss:
+      return "dispatch_loss";
+    case ChoiceKind::kDispatchDup:
+      return "dispatch_dup";
+    case ChoiceKind::kReportLoss:
+      return "report_loss";
+    case ChoiceKind::kReportDup:
+      return "report_dup";
+    case ChoiceKind::kHeartbeatLoss:
+      return "heartbeat_loss";
+    case ChoiceKind::kLinkDelay:
+      return "link_delay";
+    case ChoiceKind::kFeedbackDelay:
+      return "feedback_delay";
+    case ChoiceKind::kAdmitDecision:
+      return "admit_decision";
+    case ChoiceKind::kHedgeIssue:
+      return "hedge_issue";
+    case ChoiceKind::kArrivalGap:
+      return "arrival_gap";
+    case ChoiceKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+bool choice_kind_is_bool(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kDispatchLoss:
+    case ChoiceKind::kDispatchDup:
+    case ChoiceKind::kReportLoss:
+    case ChoiceKind::kReportDup:
+    case ChoiceKind::kHeartbeatLoss:
+    case ChoiceKind::kAdmitDecision:
+    case ChoiceKind::kHedgeIssue:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace hs::cluster

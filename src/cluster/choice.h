@@ -1,0 +1,71 @@
+// Instrumented stochastic choice points of the robustness layers.
+//
+// Every randomized decision the fault, overload, and network layers make
+// during one run — crash/recovery times, message loss/duplication coin
+// flips, transit and detection delays, admission verdicts, hedge
+// issuance, interarrival gaps — funnels through one of the named choice
+// points below. A run normally resolves each point from its dedicated
+// RNG stream exactly as before; installing a ChoiceHook
+// (SimulationConfig::choice_hook) lets a caller *observe and override*
+// the drawn value at any point, which is what turns the simulator into a
+// model checker: the explorer (src/explore) encodes a set of overrides
+// as a compact HSSCHED1 fault schedule and replays it bit-identically.
+//
+// Contract:
+//  * The underlying RNG draw always happens first, hook or no hook, so
+//    installing a hook never shifts any stream position — an empty
+//    schedule replays the unhooked run bit-for-bit.
+//  * With choice_hook == nullptr every site is a single null-pointer
+//    branch (the same zero-overhead-off discipline as the obs layer);
+//    goldens pin that the hookless run is bit-identical to pre-explorer
+//    builds.
+//  * Hooks must be deterministic: the run's trajectory must be a pure
+//    function of (config, seed, schedule) or replay breaks.
+//
+// docs/FAULT_MODEL.md §9 specifies the choice-point model.
+#pragma once
+
+#include <cstdint>
+
+namespace hs::cluster {
+
+/// Every instrumented stochastic decision point. Numeric values are
+/// frozen — they appear in serialized HSSCHED1 schedules, so renumbering
+/// would silently retarget every committed repro.
+enum class ChoiceKind : uint8_t {
+  kFaultUptime = 0,   // exp up-time draw, seconds (entity = machine)
+  kFaultDowntime = 1, // exp down-time draw, seconds (entity = machine)
+  kDispatchLoss = 2,  // bool: dispatch copy lost in transit (entity = machine)
+  kDispatchDup = 3,   // bool: dispatch copy duplicated (entity = machine)
+  kReportLoss = 4,    // bool: departure report lost (entity = machine)
+  kReportDup = 5,     // bool: departure report duplicated (entity = machine)
+  kHeartbeatLoss = 6, // bool: heartbeat lost in transit (entity = machine)
+  kLinkDelay = 7,     // extra transit delay draw, seconds (entity = machine)
+  kFeedbackDelay = 8, // §4.2 detection + message delay, seconds
+  kAdmitDecision = 9, // bool: admission verdict (true = admit)
+  kHedgeIssue = 10,   // bool: issue the hedge copy when its timer fires
+  kArrivalGap = 11,   // interarrival gap, seconds (entity = 0)
+  kCount
+};
+
+/// Printable name of a kind ("fault_uptime", "dispatch_loss", ...).
+[[nodiscard]] const char* choice_kind_name(ChoiceKind kind);
+
+/// Whether a kind resolves to a boolean (vs a non-negative double).
+[[nodiscard]] bool choice_kind_is_bool(ChoiceKind kind);
+
+/// Override/observe interface for instrumented choice points. The
+/// engine calls exactly one method per point, passing the naturally
+/// drawn value; the return value is what the run uses. Implementations
+/// must be deterministic and, for on_double, must return a finite
+/// non-negative value (durations, delays and gaps; the engine clamps
+/// defensively but garbage here makes schedules meaningless).
+class ChoiceHook {
+ public:
+  virtual ~ChoiceHook() = default;
+  virtual bool on_bool(ChoiceKind kind, uint32_t entity, bool drawn) = 0;
+  virtual double on_double(ChoiceKind kind, uint32_t entity,
+                           double drawn) = 0;
+};
+
+}  // namespace hs::cluster

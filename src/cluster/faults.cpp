@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/choice.h"
 #include "rng/rng.h"
 #include "util/check.h"
 
@@ -19,17 +20,34 @@ double exponential(rng::Xoshiro256& gen, double mean) {
   return -mean * std::log(gen.next_double_open0());
 }
 
+/// Draw one up/down duration, letting the hook override it. An override
+/// of zero (or garbage) is clamped so the timeline loop always advances.
+double duration_draw(rng::Xoshiro256& gen, double mean, ChoiceHook* hook,
+                     ChoiceKind kind, size_t machine) {
+  double value = exponential(gen, mean);
+  if (hook != nullptr) {
+    value = hook->on_double(kind, static_cast<uint32_t>(machine), value);
+    constexpr double kMinDuration = 1.0e-6;
+    if (!std::isfinite(value) || value < kMinDuration) {
+      value = kMinDuration;
+    }
+  }
+  return value;
+}
+
 }  // namespace
 
 void RetryPolicy::validate() const {
   HS_CHECK(max_attempts >= 1,
            "retry max_attempts must be >= 1, got " << max_attempts);
-  HS_CHECK(backoff_initial >= 0.0,
-           "retry backoff_initial must be >= 0, got " << backoff_initial);
-  HS_CHECK(backoff_factor >= 1.0,
-           "retry backoff_factor must be >= 1, got " << backoff_factor);
-  HS_CHECK(job_timeout >= 0.0,
-           "retry job_timeout must be >= 0, got " << job_timeout);
+  HS_CHECK(std::isfinite(backoff_initial) && backoff_initial >= 0.0,
+           "retry backoff_initial must be finite and >= 0, got "
+               << backoff_initial);
+  HS_CHECK(std::isfinite(backoff_factor) && backoff_factor >= 1.0,
+           "retry backoff_factor must be finite and >= 1, got "
+               << backoff_factor);
+  HS_CHECK(std::isfinite(job_timeout) && job_timeout >= 0.0,
+           "retry job_timeout must be finite and >= 0, got " << job_timeout);
 }
 
 bool FaultConfig::enabled() const {
@@ -52,13 +70,13 @@ void FaultConfig::validate(size_t machine_count, double sim_time) const {
   }
   for (size_t i = 0; i < processes.size(); ++i) {
     const MachineProcess& process = processes[i];
-    HS_CHECK(process.mtbf >= 0.0, "fault processes[" << i
-                                      << "]: mtbf must be >= 0, got "
-                                      << process.mtbf);
+    HS_CHECK(std::isfinite(process.mtbf) && process.mtbf >= 0.0,
+             "fault processes[" << i << "]: mtbf must be finite and >= 0, got "
+                                << process.mtbf);
     if (process.mtbf > 0.0) {
-      HS_CHECK(process.mttr > 0.0, "fault processes["
-                                       << i << "]: mttr must be > 0 when "
-                                       << "mtbf is set, got " << process.mttr);
+      HS_CHECK(std::isfinite(process.mttr) && process.mttr > 0.0,
+               "fault processes[" << i << "]: mttr must be finite and > 0 "
+                                  << "when mtbf is set, got " << process.mttr);
     }
   }
   for (size_t i = 0; i < outages.size(); ++i) {
@@ -66,22 +84,24 @@ void FaultConfig::validate(size_t machine_count, double sim_time) const {
     HS_CHECK(outage.machine < machine_count,
              "fault outages[" << i << "]: machine " << outage.machine
                               << " out of range [0, " << machine_count << ")");
-    HS_CHECK(outage.start >= 0.0, "fault outages["
-                                      << i << "]: start must be >= 0, got "
-                                      << outage.start);
+    HS_CHECK(std::isfinite(outage.start) && outage.start >= 0.0,
+             "fault outages[" << i << "]: start must be finite and >= 0, got "
+                              << outage.start);
     HS_CHECK(outage.start <= sim_time,
              "fault outages[" << i << "]: start " << outage.start
                               << " beyond sim_time " << sim_time);
-    HS_CHECK(outage.duration > 0.0, "fault outages["
-                                        << i << "]: duration must be > 0, got "
-                                        << outage.duration);
+    HS_CHECK(std::isfinite(outage.duration) && outage.duration > 0.0,
+             "fault outages[" << i
+                              << "]: duration must be finite and > 0, got "
+                              << outage.duration);
   }
   retry.validate();
 }
 
 std::vector<FaultEvent> build_fault_timeline(const FaultConfig& config,
                                              size_t machine_count,
-                                             double horizon, uint64_t seed) {
+                                             double horizon, uint64_t seed,
+                                             ChoiceHook* hook) {
   config.validate(machine_count, horizon);
   std::vector<FaultEvent> timeline;
   for (size_t m = 0; m < machine_count; ++m) {
@@ -91,12 +111,15 @@ std::vector<FaultEvent> build_fault_timeline(const FaultConfig& config,
           rng::derive_seed(seed, 0, rng::Stream::kFaultTimeline, m));
       double t = 0.0;
       for (;;) {
-        const double crash = t + exponential(gen, config.processes[m].mtbf);
+        const double crash =
+            t + duration_draw(gen, config.processes[m].mtbf, hook,
+                              ChoiceKind::kFaultUptime, m);
         if (crash >= horizon) {
           break;
         }
         const double recover =
-            crash + exponential(gen, config.processes[m].mttr);
+            crash + duration_draw(gen, config.processes[m].mttr, hook,
+                                  ChoiceKind::kFaultDowntime, m);
         down.push_back({crash, recover});
         t = recover;
         if (t >= horizon) {

@@ -26,6 +26,8 @@
 
 namespace hs::cluster {
 
+class ChoiceHook;
+
 /// How the scheduler retries a job whose dispatch attempt was lost to a
 /// machine crash. A job is dispatched up to `max_attempts` times in
 /// total; re-dispatch k (1-based) waits backoff_initial·backoff_factor^(k−1)
@@ -66,6 +68,14 @@ struct FaultConfig {
 
   RetryPolicy retry;
 
+  /// Test-only planted bug for the explorer harness (src/explore): when
+  /// set, a job dropped on its third-or-later attempt is silently leaked
+  /// from the whole-run drop counter, breaking the conservation identity
+  /// total_arrivals = completed + shed + dropped + in_flight. Exists so
+  /// the explorer's find → shrink → replay pipeline has a real, reachable
+  /// defect to regress against; never set outside tests.
+  bool test_only_drop_leak = false;
+
   /// True if any crash can occur (stochastic or scripted).
   [[nodiscard]] bool enabled() const;
   void validate(size_t machine_count, double sim_time) const;
@@ -85,9 +95,15 @@ struct FaultEvent {
 /// alternate crash → recovery; a trailing crash with recovery beyond the
 /// horizon is kept (the machine stays down through the end of the run)
 /// but the recovery itself is dropped.
+///
+/// `hook`, when non-null, observes/overrides each up-time and down-time
+/// draw (ChoiceKind::kFaultUptime / kFaultDowntime, entity = machine);
+/// the draw itself still happens so stream positions never shift.
+/// Overridden durations are clamped to a small positive epsilon so a
+/// zero override cannot stall the timeline loop.
 [[nodiscard]] std::vector<FaultEvent> build_fault_timeline(
     const FaultConfig& config, size_t machine_count, double horizon,
-    uint64_t seed);
+    uint64_t seed, ChoiceHook* hook = nullptr);
 
 /// Per-machine total downtime within [0, horizon] implied by `timeline`
 /// (a machine down at the last event stays down until the horizon).

@@ -57,11 +57,11 @@ double HeartbeatConfig::timeout(double mean_interarrival) const {
 }
 
 void NetworkConfig::validate(size_t machine_count, double sim_time) const {
-  HS_CHECK(detection_interval >= 0.0,
-           "network detection_interval must be >= 0, got "
+  HS_CHECK(std::isfinite(detection_interval) && detection_interval >= 0.0,
+           "network detection_interval must be finite and >= 0, got "
                << detection_interval);
-  HS_CHECK(message_delay_mean >= 0.0,
-           "network message_delay_mean must be >= 0, got "
+  HS_CHECK(std::isfinite(message_delay_mean) && message_delay_mean >= 0.0,
+           "network message_delay_mean must be finite and >= 0, got "
                << message_delay_mean);
   dispatch_link.validate("dispatch_link");
   report_link.validate("report_link");

@@ -119,6 +119,25 @@ uncertainty::GovernedAdaptiveDispatcher* find_adaptive(
   return nullptr;
 }
 
+/// Locate a CircuitBreakerDispatcher anywhere in a decorator stack, so
+/// breaker transitions reach the trace sink (and the breaker-state
+/// gauges) even when hedging or fault-awareness wraps the breaker.
+overload::CircuitBreakerDispatcher* find_breaker(
+    dispatch::Dispatcher* dispatcher) {
+  if (auto* breaker =
+          dynamic_cast<overload::CircuitBreakerDispatcher*>(dispatcher)) {
+    return breaker;
+  }
+  if (auto* fault_aware =
+          dynamic_cast<dispatch::FaultAwareDispatcher*>(dispatcher)) {
+    return find_breaker(&fault_aware->inner());
+  }
+  if (auto* hedged = dynamic_cast<dispatch::HedgedDispatcher*>(dispatcher)) {
+    return find_breaker(&hedged->inner());
+  }
+  return nullptr;
+}
+
 /// Locate a HedgedDispatcher anywhere in a decorator stack (the three
 /// robustness decorators compose in any order). At most one per
 /// scheduler: the hedge lifecycle keys flights by job id, which a second
@@ -157,6 +176,7 @@ class RunContext : private sim::EventTarget {
         delay_gen_(rng::derive_seed(config.seed, 0, rng::Stream::kMessageDelay)),
         split_gen_(rng::derive_seed(config.seed, 0, rng::Stream::kSchedulerSplit)),
         fault_delay_gen_(rng::derive_seed(config.seed, 0, rng::Stream::kFaultDelay)),
+        hook_(config.choice_hook),
         metrics_(config.speeds.size()) {
     config.validate();
     HS_CHECK(!schedulers_.empty(), "at least one scheduler is required");
@@ -206,7 +226,8 @@ class RunContext : private sim::EventTarget {
       down_.assign(config.speeds.size(), false);
       nominal_speed_ = config.speeds;
       const std::vector<FaultEvent> timeline = build_fault_timeline(
-          config.faults, config.speeds.size(), config.sim_time, config.seed);
+          config.faults, config.speeds.size(), config.sim_time, config.seed,
+          hook_);
       downtime_ = downtime_from_timeline(timeline, config.speeds.size(),
                                          config.sim_time);
       upfront_events += timeline.size();
@@ -300,8 +321,7 @@ class RunContext : private sim::EventTarget {
       // Adaptive dispatchers likewise record estimate updates and
       // governor decisions.
       for (dispatch::Dispatcher* dispatcher : schedulers_) {
-        if (auto* breaker =
-                dynamic_cast<overload::CircuitBreakerDispatcher*>(dispatcher)) {
+        if (auto* breaker = find_breaker(dispatcher)) {
           breaker->set_trace_sink(trace_);
         }
         if (auto* adaptive = find_adaptive(dispatcher)) {
@@ -658,9 +678,8 @@ class RunContext : private sim::EventTarget {
     });
     // Breaker state per machine (0 closed, 1 half-open, 2 open; 0 when
     // no breaker decorates scheduler 0).
-    const auto* breaker =
-        dynamic_cast<const overload::CircuitBreakerDispatcher*>(
-            schedulers_.front());
+    const overload::CircuitBreakerDispatcher* breaker =
+        find_breaker(schedulers_.front());
     for (size_t m = 0; m < servers_.size(); ++m) {
       const std::string prefix = "m" + std::to_string(m);
       registry_->register_gauge(prefix + ".breaker_state", [breaker, m] {
@@ -781,6 +800,7 @@ class RunContext : private sim::EventTarget {
     if (drift_on_) [[unlikely]] {
       t = drifted_gap(t, 0.0);
     }
+    t = choice_double(ChoiceKind::kArrivalGap, 0, t);
     if (t <= config_.sim_time) {
       simulator_.schedule_at(t, *this, kGeneratedArrival);
     }
@@ -839,6 +859,7 @@ class RunContext : private sim::EventTarget {
     if (drift_on_) [[unlikely]] {
       gap = drifted_gap(gap, job.arrival_time);
     }
+    gap = choice_double(ChoiceKind::kArrivalGap, 0, gap);
     const double next = job.arrival_time + gap;
     if (next <= config_.sim_time) {
       simulator_.schedule_at(next, *this, kGeneratedArrival);
@@ -936,7 +957,8 @@ class RunContext : private sim::EventTarget {
     const overload::AdmissionContext ctx{
         simulator_.now(), machine,          server.queue_length(),
         server.capacity(), server.speed(),  job.size};
-    if (admission_->admit(ctx, *overload_gen_)) {
+    const bool verdict = admission_->admit(ctx, *overload_gen_);
+    if (choice_bool(ChoiceKind::kAdmitDecision, machine, verdict)) {
       if (retry_budget_) {
         retry_budget_->on_admission();
       }
@@ -972,10 +994,36 @@ class RunContext : private sim::EventTarget {
 
   // ---- Fault injection (config.faults; see docs/FAULT_MODEL.md) ----
 
+  // ---- Choice-point instrumentation (cluster/choice.h) ----
+  //
+  // Every instrumented stochastic decision funnels through these two
+  // helpers. The natural draw always happens first (stream positions
+  // never shift); with hook_ null each helper is a single branch and
+  // returns the draw unchanged, keeping hookless runs bit-identical.
+
+  bool choice_bool(ChoiceKind kind, size_t entity, bool drawn) {
+    if (hook_ == nullptr) [[likely]] {
+      return drawn;
+    }
+    return hook_->on_bool(kind, static_cast<uint32_t>(entity), drawn);
+  }
+
+  double choice_double(ChoiceKind kind, size_t entity, double drawn) {
+    if (hook_ == nullptr) [[likely]] {
+      return drawn;
+    }
+    double value = hook_->on_double(kind, static_cast<uint32_t>(entity),
+                                    drawn);
+    if (!std::isfinite(value) || value < 0.0) {
+      value = 0.0;  // a delay/gap override must stay a valid delay/gap
+    }
+    return value;
+  }
+
   /// §4.2 feedback latency: the event is noticed at the next periodic
   /// check — U(0, detection_interval) — plus an exponential message
   /// transfer delay.
-  double feedback_delay(rng::Xoshiro256& gen) {
+  double feedback_delay(rng::Xoshiro256& gen, size_t machine) {
     const NetworkConfig& net = config_.network;
     double delay = 0.0;
     if (net.detection_interval > 0.0) {
@@ -984,7 +1032,7 @@ class RunContext : private sim::EventTarget {
     if (net.message_delay_mean > 0.0) {
       delay += -std::log(gen.next_double_open0()) * net.message_delay_mean;
     }
-    return delay;
+    return choice_double(ChoiceKind::kFeedbackDelay, machine, delay);
   }
 
   void apply_speed_change(size_t machine, double new_speed) {
@@ -1040,7 +1088,7 @@ class RunContext : private sim::EventTarget {
       if (!schedulers_[s]->uses_fault_feedback()) {
         continue;
       }
-      const double delay = feedback_delay(fault_delay_gen_);
+      const double delay = feedback_delay(fault_delay_gen_, machine);
       simulator_.schedule_in(
           delay, *this, kStateReport,
           sim::EventArgs::pack(StateReportArgs{
@@ -1063,7 +1111,7 @@ class RunContext : private sim::EventTarget {
     if (any_feedback_ && !stale_feedback_) {
       job_scheduler_.erase(job.id);  // no completion will ever arrive
     }
-    const double delay = feedback_delay(fault_delay_gen_);
+    const double delay = feedback_delay(fault_delay_gen_, machine);
     simulator_.schedule_in(delay, *this, kLossDetected,
                            sim::EventArgs::pack(job));
   }
@@ -1122,7 +1170,12 @@ class RunContext : private sim::EventTarget {
 
   void drop_job(const queueing::Job& job, bool measured) {
     metrics_.on_job_dropped(measured);
-    ++total_dropped_;
+    // Planted bug for the explorer harness (FaultConfig::test_only_drop_leak):
+    // third-or-later-attempt drops vanish from the whole-run counter,
+    // breaking the conservation identity the invariant registry checks.
+    if (!config_.faults.test_only_drop_leak || job.attempt < 2) [[likely]] {
+      ++total_dropped_;
+    }
     if (trace_ != nullptr) {
       trace_->record(simulator_.now(), obs::TraceEventKind::kDrop, job.id,
                      obs::TraceSink::kScheduler,
@@ -1144,10 +1197,13 @@ class RunContext : private sim::EventTarget {
   //     crash-evicted) the job goes to the ordinary retry/drop path.
 
   /// Probability draw against one link parameter; no draw when the
-  /// parameter is 0, so disabled features never perturb the stream.
-  bool link_event(double probability) {
-    return probability > 0.0 &&
-           net_gen_->next_double() < probability;
+  /// parameter is 0, so disabled features never perturb the stream. The
+  /// choice hook sees the verdict either way — a schedule can force a
+  /// loss on a loss-free link without adding RNG draws.
+  bool link_event(double probability, ChoiceKind kind, size_t machine) {
+    const bool drawn =
+        probability > 0.0 && net_gen_->next_double() < probability;
+    return choice_bool(kind, machine, drawn);
   }
 
   void on_partition_event(const PartitionEvent& event) {
@@ -1194,15 +1250,18 @@ class RunContext : private sim::EventTarget {
     // Partition first, without a draw: an isolated machine loses the
     // message deterministically, keeping partition experiments
     // stream-for-stream comparable to non-partitioned ones.
-    if (partitioned_[machine] != 0 || link_event(link.loss)) {
+    if (partitioned_[machine] != 0 ||
+        link_event(link.loss, ChoiceKind::kDispatchLoss, machine)) {
       net_lose_copy(job, machine, copy, /*notify_fail=*/true);
       return;
     }
     simulator_.schedule_in(
-        link.sample_delay(*net_gen_), *this, kNetDeliverDispatch,
+        choice_double(ChoiceKind::kLinkDelay, machine,
+                      link.sample_delay(*net_gen_)),
+        *this, kNetDeliverDispatch,
         sim::EventArgs::pack(NetMsgArgs{job, static_cast<uint32_t>(machine),
                                         copy, 0}));
-    if (link_event(link.duplicate)) {
+    if (link_event(link.duplicate, ChoiceKind::kDispatchDup, machine)) {
       ++msgs_duplicated_;
       if (trace_ != nullptr) {
         trace_->record(simulator_.now(), obs::TraceEventKind::kMsgDup,
@@ -1212,7 +1271,9 @@ class RunContext : private sim::EventTarget {
       // Independent delay draw — the duplicate may overtake the
       // original; delivery dedups by the flight's delivered_mask.
       simulator_.schedule_in(
-          link.sample_delay(*net_gen_), *this, kNetDeliverDispatch,
+          choice_double(ChoiceKind::kLinkDelay, machine,
+                        link.sample_delay(*net_gen_)),
+          *this, kNetDeliverDispatch,
           sim::EventArgs::pack(NetMsgArgs{
               job, static_cast<uint32_t>(machine), copy, 0}));
     }
@@ -1230,7 +1291,7 @@ class RunContext : private sim::EventTarget {
                      static_cast<uint16_t>(job.attempt));
     }
     simulator_.schedule_in(
-        feedback_delay(*net_gen_), *this, kNetCopyLost,
+        feedback_delay(*net_gen_, machine), *this, kNetCopyLost,
         sim::EventArgs::pack(NetMsgArgs{
             job, static_cast<uint32_t>(machine), copy,
             static_cast<uint8_t>(notify_fail ? 1 : 0)}));
@@ -1267,7 +1328,7 @@ class RunContext : private sim::EventTarget {
                        static_cast<uint16_t>(msg.job.attempt));
       }
       simulator_.schedule_in(
-          feedback_delay(fault_delay_gen_), *this, kNetCopyLost,
+          feedback_delay(fault_delay_gen_, machine), *this, kNetCopyLost,
           sim::EventArgs::pack(NetMsgArgs{msg.job, msg.machine, msg.copy,
                                           /*notify_fail=*/1}));
       return;
@@ -1359,7 +1420,7 @@ class RunContext : private sim::EventTarget {
     // fault signal (state report or heartbeat suspicion), matching the
     // synchronous path's semantics.
     simulator_.schedule_in(
-        feedback_delay(fault_delay_gen_), *this, kNetCopyLost,
+        feedback_delay(fault_delay_gen_, machine), *this, kNetCopyLost,
         sim::EventArgs::pack(NetMsgArgs{job, static_cast<uint32_t>(machine),
                                         copy, /*notify_fail=*/0}));
   }
@@ -1372,6 +1433,12 @@ class RunContext : private sim::EventTarget {
     Flight& flight = it->second;
     flight.hedge_timer = sim::EventHandle{};
     if (flight.completed) {
+      return;
+    }
+    // A schedule may veto the hedge here (drawn verdict is always
+    // "issue"): the timer fired but no second copy goes out, exactly as
+    // if pick_hedge had found no distinct machine.
+    if (!choice_bool(ChoiceKind::kHedgeIssue, flight.machine[0], true)) {
       return;
     }
     dispatch::HedgedDispatcher* hedged = hedged_[flight.scheduler];
@@ -1452,8 +1519,9 @@ class RunContext : private sim::EventTarget {
   /// duplicated one double-decrements it; both are the realistic harm.
   void net_send_report(size_t scheduler, size_t machine, double size) {
     const LinkFaults& link = config_.network.report_link;
-    const double base = feedback_delay(delay_gen_);
-    if (partitioned_[machine] != 0 || link_event(link.loss)) {
+    const double base = feedback_delay(delay_gen_, machine);
+    if (partitioned_[machine] != 0 ||
+        link_event(link.loss, ChoiceKind::kReportLoss, machine)) {
       ++msgs_lost_;
       if (trace_ != nullptr) {
         trace_->record(simulator_.now(), obs::TraceEventKind::kMsgLost,
@@ -1464,17 +1532,22 @@ class RunContext : private sim::EventTarget {
     }
     const DepartureReportArgs report{static_cast<uint32_t>(scheduler),
                                      static_cast<uint32_t>(machine), size};
-    simulator_.schedule_in(base + link.sample_delay(*net_gen_), *this,
-                           kDepartureReport, sim::EventArgs::pack(report));
-    if (link_event(link.duplicate)) {
+    simulator_.schedule_in(base + choice_double(ChoiceKind::kLinkDelay,
+                                                machine,
+                                                link.sample_delay(*net_gen_)),
+                           *this, kDepartureReport,
+                           sim::EventArgs::pack(report));
+    if (link_event(link.duplicate, ChoiceKind::kReportDup, machine)) {
       ++msgs_duplicated_;
       if (trace_ != nullptr) {
         trace_->record(simulator_.now(), obs::TraceEventKind::kMsgDup,
                        obs::TraceSink::kNoJob,
                        static_cast<int32_t>(machine));
       }
-      simulator_.schedule_in(base + link.sample_delay(*net_gen_), *this,
-                             kDepartureReport, sim::EventArgs::pack(report));
+      simulator_.schedule_in(
+          base + choice_double(ChoiceKind::kLinkDelay, machine,
+                               link.sample_delay(*net_gen_)),
+          *this, kDepartureReport, sim::EventArgs::pack(report));
     }
   }
 
@@ -1518,12 +1591,15 @@ class RunContext : private sim::EventTarget {
       return;  // a crashed machine emits nothing — silence is the signal
     }
     const LinkFaults& link = config_.network.report_link;
-    if (partitioned_[machine] != 0 || link_event(link.loss)) {
+    if (partitioned_[machine] != 0 ||
+        link_event(link.loss, ChoiceKind::kHeartbeatLoss, machine)) {
       ++msgs_lost_;
       return;  // not traced: lost heartbeats are high-volume noise
     }
     simulator_.schedule_in(
-        link.sample_delay(*net_gen_), *this, kHeartbeatArrival,
+        choice_double(ChoiceKind::kLinkDelay, machine,
+                      link.sample_delay(*net_gen_)),
+        *this, kHeartbeatArrival,
         sim::EventArgs::pack(HeartbeatArgs{static_cast<uint32_t>(machine)}));
   }
 
@@ -1532,6 +1608,11 @@ class RunContext : private sim::EventTarget {
     const double now = simulator_.now();
     if (state.suspected) {
       state.suspected = false;
+      if (trace_ != nullptr) {
+        trace_->record(now, obs::TraceEventKind::kSuspectCleared,
+                       obs::TraceSink::kNoJob,
+                       static_cast<int32_t>(machine));
+      }
       net_state_report(machine, /*up=*/true);
     }
     const HeartbeatConfig& hb = config_.network.heartbeat;
@@ -1605,7 +1686,8 @@ class RunContext : private sim::EventTarget {
         // §4.2: the machine notices the departure at its next 1 Hz load
         // check — U(0,1) s — then a message reaches the scheduler after
         // an exponential transfer delay of mean 0.05 s.
-        const double delay = feedback_delay(delay_gen_);
+        const double delay = feedback_delay(
+            delay_gen_, static_cast<size_t>(completion.machine));
         simulator_.schedule_in(
             delay, *this, kDepartureReport,
             sim::EventArgs::pack(DepartureReportArgs{
@@ -1629,6 +1711,7 @@ class RunContext : private sim::EventTarget {
   rng::Xoshiro256 delay_gen_;
   rng::Xoshiro256 split_gen_;
   rng::Xoshiro256 fault_delay_gen_;
+  ChoiceHook* hook_ = nullptr;  // null = choice instrumentation off
   bool faults_on_ = false;
   bool overload_on_ = false;
   bool any_overload_feedback_ = false;

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "cluster/choice.h"
 #include "cluster/faults.h"
 #include "cluster/metrics.h"
 #include "cluster/netfaults.h"
@@ -143,6 +144,14 @@ struct SimulationConfig {
   /// adds exactly floor(sim_time/interval) fired events and nothing
   /// else). Caller keeps ownership of the sink and registry.
   obs::Observer* observer = nullptr;
+
+  /// Opt-in choice-point hook (cluster/choice.h). Null by default: every
+  /// instrumented stochastic decision then costs one null-pointer branch
+  /// and the run is bit-identical to builds that predate the explorer.
+  /// Non-null, the hook observes every instrumented draw and may replace
+  /// its value — the basis of the src/explore fault-schedule replay.
+  /// Caller keeps ownership; the hook must outlive the run.
+  ChoiceHook* choice_hook = nullptr;
 
   /// Implied arrival rate λ = ρ·Σs/E[size].
   [[nodiscard]] double lambda() const;

@@ -1,0 +1,515 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "dispatch/fault_aware.h"
+#include "dispatch/hedged.h"
+#include "obs/observer.h"
+#include "overload/circuit_breaker.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace hs::explore {
+
+namespace {
+
+using cluster::ChoiceKind;
+using obs::TraceEventKind;
+
+/// Trace capacity per run. The scenario produces a few thousand records
+/// per 120 simulated seconds; check_run() rejects wrapped rings, so this
+/// is sized with an order of magnitude of headroom.
+constexpr size_t kTraceCapacity = size_t{1} << 17;
+
+/// Coverage tuple layout: kind (8 bits) | breaker state of the record's
+/// machine (2 bits) | any-machine-down | any-partition | any-suspected.
+uint32_t coverage_tuple(TraceEventKind kind, uint8_t breaker, bool down,
+                        bool partitioned, bool suspected) {
+  return static_cast<uint32_t>(kind) |
+         (static_cast<uint32_t>(breaker) << 8) |
+         (static_cast<uint32_t>(down) << 10) |
+         (static_cast<uint32_t>(partitioned) << 11) |
+         (static_cast<uint32_t>(suspected) << 12);
+}
+
+/// Walk the trace once, reconstructing the degraded-mode flags and
+/// breaker states event by event, and collect the distinct tuples.
+std::vector<uint32_t> collect_coverage(const obs::TraceSink& trace,
+                                       size_t machine_count) {
+  std::set<uint32_t> tuples;
+  std::vector<uint8_t> breaker(machine_count, 0);  // 0 closed 1 open 2 half
+  std::vector<char> down(machine_count, 0);
+  std::vector<char> partitioned(machine_count, 0);
+  std::vector<char> suspected(machine_count, 0);
+  size_t downs = 0, partitions = 0, suspicions = 0;
+  const auto flag = [](std::vector<char>& flags, int32_t machine,
+                       bool value, size_t& count) {
+    if (machine < 0 || static_cast<size_t>(machine) >= flags.size()) {
+      return;
+    }
+    char& current = flags[static_cast<size_t>(machine)];
+    if (current != static_cast<char>(value)) {
+      current = static_cast<char>(value);
+      count += value ? 1 : size_t(-1);
+    }
+  };
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const obs::TraceRecord& record = trace.at(i);
+    const int32_t m = record.machine;
+    switch (record.kind) {
+      case TraceEventKind::kCrash:
+        flag(down, m, true, downs);
+        break;
+      case TraceEventKind::kRecovery:
+        flag(down, m, false, downs);
+        break;
+      case TraceEventKind::kPartitionStart:
+        flag(partitioned, m, true, partitions);
+        break;
+      case TraceEventKind::kPartitionEnd:
+        flag(partitioned, m, false, partitions);
+        break;
+      case TraceEventKind::kSuspect:
+        flag(suspected, m, true, suspicions);
+        break;
+      case TraceEventKind::kSuspectCleared:
+        flag(suspected, m, false, suspicions);
+        break;
+      case TraceEventKind::kBreakerOpen:
+      case TraceEventKind::kBreakerHalfOpen:
+      case TraceEventKind::kBreakerClose:
+        if (m >= 0 && static_cast<size_t>(m) < machine_count) {
+          breaker[static_cast<size_t>(m)] =
+              record.kind == TraceEventKind::kBreakerOpen       ? 1
+              : record.kind == TraceEventKind::kBreakerHalfOpen ? 2
+                                                                : 0;
+        }
+        break;
+      default:
+        break;
+    }
+    const uint8_t state =
+        m >= 0 && static_cast<size_t>(m) < machine_count
+            ? breaker[static_cast<size_t>(m)]
+            : 0;
+    tuples.insert(coverage_tuple(record.kind, state, downs > 0,
+                                 partitions > 0, suspicions > 0));
+  }
+  return {tuples.begin(), tuples.end()};
+}
+
+void merge_coverage(std::vector<uint32_t>& into,
+                    const std::vector<uint32_t>& from) {
+  std::vector<uint32_t> merged;
+  merged.reserve(into.size() + from.size());
+  std::set_union(into.begin(), into.end(), from.begin(), from.end(),
+                 std::back_inserter(merged));
+  into = std::move(merged);
+}
+
+/// True when `from` holds a tuple absent from the sorted set `into`.
+bool adds_coverage(const std::vector<uint32_t>& into,
+                   const std::vector<uint32_t>& from) {
+  for (uint32_t tuple : from) {
+    if (!std::binary_search(into.begin(), into.end(), tuple)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The full robustness stack over the scenario cluster. Hedged stays
+/// outermost so hedge picks flow through the fault and breaker masks.
+std::unique_ptr<dispatch::Dispatcher> make_stack(
+    const std::vector<double>& speeds, dispatch::LeastLoadEngine engine) {
+  auto least =
+      std::make_unique<dispatch::LeastLoadDispatcher>(speeds, engine);
+  overload::CircuitBreakerConfig breaker_config;
+  breaker_config.trip_threshold = 3;
+  breaker_config.cooldown = 10.0;
+  breaker_config.probe_successes = 2;
+  auto breaker = std::make_unique<overload::CircuitBreakerDispatcher>(
+      std::move(least), breaker_config);
+  auto fault_aware =
+      std::make_unique<dispatch::FaultAwareDispatcher>(std::move(breaker));
+  dispatch::HedgingConfig hedging;
+  hedging.delay = 0.75;
+  return std::make_unique<dispatch::HedgedDispatcher>(
+      std::move(fault_aware), hedging);
+}
+
+/// Bit-exact comparison for the tree/scan differential. Doubles are
+/// compared as values (they are either bit-identical or meaningfully
+/// different; NaN never legitimately appears).
+template <typename T>
+void diff_field(std::vector<std::string>& diffs, const char* name, T tree,
+                T scan) {
+  if (tree != scan) {
+    std::ostringstream out;
+    out << name << ": tree=" << tree << " scan=" << scan;
+    diffs.push_back(out.str());
+  }
+}
+
+std::vector<std::string> diff_results(const cluster::SimulationResult& tree,
+                                      const cluster::SimulationResult& scan) {
+  std::vector<std::string> diffs;
+  diff_field(diffs, "mean_response_time", tree.mean_response_time,
+             scan.mean_response_time);
+  diff_field(diffs, "mean_response_ratio", tree.mean_response_ratio,
+             scan.mean_response_ratio);
+  diff_field(diffs, "completed_jobs", tree.completed_jobs,
+             scan.completed_jobs);
+  diff_field(diffs, "dispatched_jobs", tree.dispatched_jobs,
+             scan.dispatched_jobs);
+  diff_field(diffs, "total_arrivals", tree.total_arrivals,
+             scan.total_arrivals);
+  diff_field(diffs, "total_completed", tree.total_completed,
+             scan.total_completed);
+  diff_field(diffs, "total_shed", tree.total_shed, scan.total_shed);
+  diff_field(diffs, "total_dropped", tree.total_dropped,
+             scan.total_dropped);
+  diff_field(diffs, "in_flight_at_end", tree.in_flight_at_end,
+             scan.in_flight_at_end);
+  diff_field(diffs, "jobs_lost", tree.jobs_lost, scan.jobs_lost);
+  diff_field(diffs, "jobs_rejected", tree.jobs_rejected,
+             scan.jobs_rejected);
+  diff_field(diffs, "msgs_lost", tree.msgs_lost, scan.msgs_lost);
+  diff_field(diffs, "msgs_duplicated", tree.msgs_duplicated,
+             scan.msgs_duplicated);
+  diff_field(diffs, "hedges_issued", tree.hedges_issued,
+             scan.hedges_issued);
+  diff_field(diffs, "hedges_won", tree.hedges_won, scan.hedges_won);
+  diff_field(diffs, "suspicions", tree.suspicions, scan.suspicions);
+  for (size_t m = 0; m < tree.machine_fractions.size(); ++m) {
+    diff_field(diffs, "machine_fraction", tree.machine_fractions[m],
+               scan.machine_fractions[m]);
+  }
+  return diffs;
+}
+
+/// Mutation value palettes per double kind: the handful of magnitudes
+/// that actually change a 120-second run's trajectory.
+std::vector<double> value_palette(ChoiceKind kind, double sim_time) {
+  switch (kind) {
+    case ChoiceKind::kFaultUptime:
+      return {1.0, 10.0, 0.25 * sim_time, 0.6 * sim_time};
+    case ChoiceKind::kFaultDowntime:
+      return {0.5, 5.0, 30.0, sim_time};
+    case ChoiceKind::kLinkDelay:
+      return {0.0, 0.5, 2.0, 8.0};
+    case ChoiceKind::kFeedbackDelay:
+      return {0.0, 1.0, 5.0, 20.0};
+    case ChoiceKind::kArrivalGap:
+      return {0.0, 0.001, 2.0, 10.0};
+    default:
+      return {0.0, 1.0};
+  }
+}
+
+}  // namespace
+
+CoverageTuple decode_coverage_tuple(uint32_t tuple) {
+  CoverageTuple decoded;
+  decoded.kind = static_cast<TraceEventKind>(tuple & 0xff);
+  decoded.breaker_state = static_cast<uint8_t>((tuple >> 8) & 0x3);
+  decoded.any_down = (tuple >> 10) & 1;
+  decoded.any_partitioned = (tuple >> 11) & 1;
+  decoded.any_suspected = (tuple >> 12) & 1;
+  return decoded;
+}
+
+void ExploreConfig::validate() const {
+  HS_CHECK(machines >= 1 && machines <= 16,
+           "explore machines must be in [1, 16], got " << machines);
+  HS_CHECK(std::isfinite(sim_time) && sim_time > 0.0,
+           "explore sim_time must be positive and finite, got " << sim_time);
+  HS_CHECK(std::isfinite(rho) && rho > 0.0,
+           "explore rho must be positive and finite, got " << rho);
+  for (double t : exhaustive_crash_times) {
+    HS_CHECK(std::isfinite(t) && t > 0.0 && t < sim_time,
+             "exhaustive crash time must be inside (0, sim_time), got "
+                 << t);
+  }
+}
+
+Explorer::Explorer(ExploreConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+cluster::SimulationConfig Explorer::make_config(uint64_t sim_seed) const {
+  cluster::SimulationConfig config;
+  static constexpr double kSpeedPattern[] = {1.0, 1.5, 2.0, 2.5};
+  config.speeds.reserve(config_.machines);
+  for (size_t m = 0; m < config_.machines; ++m) {
+    config.speeds.push_back(kSpeedPattern[m % 4]);
+  }
+  // Light-tailed workload: plenty of small jobs, so 120 simulated
+  // seconds exercise hundreds of dispatches per run at millisecond cost.
+  config.workload.arrival_kind = workload::ArrivalKind::kPoisson;
+  config.workload.size_kind = workload::SizeKind::kExponential;
+  config.workload.fixed_or_mean_size = 1.0;
+  config.rho = config_.rho;
+  config.sim_time = config_.sim_time;
+  config.warmup_frac = 0.0;
+  config.seed = sim_seed;
+  // Stochastic crashes are nearly impossible naturally (MTBF 8 orders
+  // beyond the horizon) but the first up-time draw is an instrumented
+  // choice point — crashes happen exactly when a schedule forces them.
+  // This is what makes guided search strictly stronger than seed soaks:
+  // no seed reaches the crash interleavings at this MTBF.
+  cluster::FaultConfig::MachineProcess process;
+  process.mtbf = 1.0e8;
+  process.mttr = 8.0;
+  config.faults.processes.assign(config_.machines, process);
+  config.faults.retry.max_attempts = 3;
+  config.faults.retry.backoff_initial = 0.25;
+  config.faults.retry.backoff_factor = 2.0;
+  config.faults.test_only_drop_leak = config_.plant_bug;
+  config.overload.queue_capacity = 16;
+  config.overload.admission = overload::AdmissionKind::kQueueBoundShed;
+  config.overload.admission_queue_bound = 12;
+  config.network.dispatch_link.loss = 0.005;
+  config.network.dispatch_link.duplicate = 0.005;
+  config.network.dispatch_link.delay_mean = 0.01;
+  config.network.report_link.loss = 0.005;
+  config.network.heartbeat.interval = 1.0;
+  return config;
+}
+
+RunOutcome Explorer::run_one(const Schedule& schedule,
+                             uint64_t sim_seed) const {
+  obs::TraceSink trace(kTraceCapacity);
+  obs::Observer observer;
+  observer.trace = &trace;
+
+  cluster::SimulationConfig config = make_config(sim_seed);
+  config.observer = &observer;
+  ScheduleHook hook(schedule);
+  config.choice_hook = &hook;
+
+  auto dispatcher =
+      make_stack(config.speeds, dispatch::LeastLoadEngine::kTree);
+  RunOutcome outcome;
+  outcome.result = cluster::run_simulation(config, *dispatcher);
+  outcome.violations = check_run(config_.registry, trace, outcome.result,
+                                 config_.machines);
+  outcome.coverage = collect_coverage(trace, config_.machines);
+  outcome.sites = hook.sites();
+  outcome.overrides_applied = hook.applied();
+
+  if (config_.registry.enabled(invariant::kTreeScanEquivalence)) {
+    // Differential replay: the identical (config, seed, schedule) run
+    // must be bit-identical under the O(n) reference argmin engine.
+    cluster::SimulationConfig scan_config = make_config(sim_seed);
+    scan_config.observer = nullptr;  // results are the comparison surface
+    ScheduleHook scan_hook(schedule);
+    scan_config.choice_hook = &scan_hook;
+    auto scan_dispatcher =
+        make_stack(scan_config.speeds, dispatch::LeastLoadEngine::kScan);
+    const cluster::SimulationResult scan_result =
+        cluster::run_simulation(scan_config, *scan_dispatcher);
+    for (const std::string& diff :
+         diff_results(outcome.result, scan_result)) {
+      Violation violation;
+      violation.invariant = invariant::kTreeScanEquivalence;
+      violation.detail = diff;
+      outcome.violations.push_back(std::move(violation));
+    }
+  }
+  return outcome;
+}
+
+RunOutcome Explorer::run_schedule(const Schedule& schedule) const {
+  return run_one(schedule, config_.base_seed);
+}
+
+uint64_t Explorer::exhaustive_space_size() const {
+  const uint64_t crash_options = 1 + config_.exhaustive_crash_times.size();
+  const size_t loss_machines =
+      std::min(config_.exhaustive_loss_machines, config_.machines);
+  uint64_t size = 1;
+  for (size_t m = 0; m < config_.machines; ++m) {
+    size *= crash_options;
+  }
+  return size << loss_machines;
+}
+
+Schedule Explorer::exhaustive_schedule(uint64_t index) const {
+  HS_CHECK(index < exhaustive_space_size(),
+           "exhaustive index " << index << " out of range [0, "
+                               << exhaustive_space_size() << ")");
+  const uint64_t crash_options = 1 + config_.exhaustive_crash_times.size();
+  const size_t loss_machines =
+      std::min(config_.exhaustive_loss_machines, config_.machines);
+  Schedule schedule;
+  // Low digits: per-machine first-crash choice (0 = natural draw).
+  for (size_t m = 0; m < config_.machines; ++m) {
+    const uint64_t digit = index % crash_options;
+    index /= crash_options;
+    if (digit > 0) {
+      schedule.ops.push_back(Override::force_double(
+          ChoiceKind::kFaultUptime, static_cast<uint32_t>(m), 0,
+          config_.exhaustive_crash_times[digit - 1]));
+    }
+  }
+  // High bits: per-machine first dispatch-loss toggle.
+  for (size_t m = 0; m < loss_machines; ++m) {
+    if ((index & 1) != 0) {
+      schedule.ops.push_back(Override::force_bool(
+          ChoiceKind::kDispatchLoss, static_cast<uint32_t>(m), 0, true));
+    }
+    index >>= 1;
+  }
+  return schedule;
+}
+
+SearchStats Explorer::run_exhaustive() const {
+  SearchStats stats;
+  const uint64_t space = exhaustive_space_size();
+  for (uint64_t index = 0; index < space; ++index) {
+    const Schedule schedule = exhaustive_schedule(index);
+    const RunOutcome outcome = run_schedule(schedule);
+    ++stats.runs;
+    merge_coverage(stats.coverage, outcome.coverage);
+    if (!outcome.violations.empty()) {
+      stats.found_violation = true;
+      stats.counterexample = schedule;
+      stats.violation = outcome.violations.front();
+      stats.violating_seed = config_.base_seed;
+      break;
+    }
+  }
+  return stats;
+}
+
+SearchStats Explorer::run_search(uint64_t budget, uint64_t seed) const {
+  SearchStats stats;
+  if (budget == 0) {
+    return stats;
+  }
+  rng::Xoshiro256 gen(rng::derive_seed(seed, 0, rng::Stream::kDispatch));
+
+  struct CorpusEntry {
+    Schedule schedule;
+    std::vector<ScheduleHook::Site> sites;
+  };
+  std::vector<CorpusEntry> corpus;
+
+  // Seed the corpus with the natural run: its observed sites are the
+  // initial mutation targets.
+  {
+    const RunOutcome outcome = run_schedule(Schedule{});
+    ++stats.runs;
+    merge_coverage(stats.coverage, outcome.coverage);
+    if (!outcome.violations.empty()) {
+      stats.found_violation = true;
+      stats.violation = outcome.violations.front();
+      stats.violating_seed = config_.base_seed;
+      return stats;
+    }
+    corpus.push_back({Schedule{}, outcome.sites});
+  }
+
+  const auto add_override = [&](Schedule& schedule,
+                                const CorpusEntry& parent) {
+    if (parent.sites.empty()) {
+      return;
+    }
+    std::set<std::pair<uint64_t, uint64_t>> taken;
+    for (const Override& op : schedule.ops) {
+      taken.emplace(
+          (static_cast<uint64_t>(op.kind) << 32) | op.entity,
+          op.occurrence);
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const ScheduleHook::Site& site =
+          parent.sites[gen.next_below(parent.sites.size())];
+      const uint32_t occurrence =
+          static_cast<uint32_t>(gen.next_below(site.consults));
+      const auto key = std::make_pair(
+          (static_cast<uint64_t>(site.kind) << 32) | site.entity,
+          static_cast<uint64_t>(occurrence));
+      if (taken.count(key) != 0) {
+        continue;
+      }
+      if (cluster::choice_kind_is_bool(site.kind)) {
+        schedule.ops.push_back(Override::force_bool(site.kind, site.entity,
+                                                    occurrence, true));
+      } else {
+        const std::vector<double> palette =
+            value_palette(site.kind, config_.sim_time);
+        schedule.ops.push_back(Override::force_double(
+            site.kind, site.entity, occurrence,
+            palette[gen.next_below(palette.size())]));
+      }
+      return;
+    }
+  };
+
+  while (stats.runs < budget) {
+    const CorpusEntry& parent = corpus[gen.next_below(corpus.size())];
+    Schedule child = parent.schedule;
+    const uint64_t action = gen.next_below(4);
+    if (action == 0 && !child.ops.empty()) {
+      child.ops.erase(child.ops.begin() +
+                      static_cast<ptrdiff_t>(
+                          gen.next_below(child.ops.size())));
+    } else if (action == 1 && !child.ops.empty()) {
+      Override& op = child.ops[gen.next_below(child.ops.size())];
+      if (op.is_bool()) {
+        op.value_bits ^= 1;
+      } else {
+        const std::vector<double> palette =
+            value_palette(op.kind, config_.sim_time);
+        op = Override::force_double(
+            op.kind, op.entity, op.occurrence,
+            palette[gen.next_below(palette.size())]);
+      }
+    } else {
+      add_override(child, parent);
+      if (gen.next_below(2) == 0) {
+        add_override(child, parent);  // occasional double mutation
+      }
+    }
+
+    const RunOutcome outcome = run_schedule(child);
+    ++stats.runs;
+    if (!outcome.violations.empty()) {
+      stats.found_violation = true;
+      stats.counterexample = child;
+      stats.violation = outcome.violations.front();
+      stats.violating_seed = config_.base_seed;
+      return stats;
+    }
+    if (adds_coverage(stats.coverage, outcome.coverage)) {
+      corpus.push_back({std::move(child), outcome.sites});
+    }
+    merge_coverage(stats.coverage, outcome.coverage);
+  }
+  return stats;
+}
+
+SearchStats Explorer::run_random(uint64_t budget, uint64_t seed) const {
+  SearchStats stats;
+  for (uint64_t i = 0; i < budget; ++i) {
+    const uint64_t sim_seed = seed + i;
+    const RunOutcome outcome = run_one(Schedule{}, sim_seed);
+    ++stats.runs;
+    merge_coverage(stats.coverage, outcome.coverage);
+    if (!outcome.violations.empty()) {
+      stats.found_violation = true;
+      stats.violation = outcome.violations.front();
+      stats.violating_seed = sim_seed;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+}  // namespace hs::explore

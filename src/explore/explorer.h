@@ -1,0 +1,125 @@
+// The fault-space explorer: systematic search over fault schedules.
+//
+// The explorer owns a fixed, documented scenario — a small heterogeneous
+// cluster under the full robustness stack (faults + bounded queues +
+// admission control + lossy links + heartbeat detection + circuit
+// breakers + hedging) — and runs it under different fault schedules
+// (explore/schedule.h), checking the invariant registry after each run.
+// Three drivers:
+//
+//  * run_exhaustive() — bounded-exhaustive enumeration of a small,
+//    documented schedule space (per machine: first up-time natural or
+//    forced to one of the configured crash times; per low-index machine:
+//    first dispatch-loss draw natural or forced). The space is
+//    enumerated in mixed-radix order, completely and deterministically.
+//  * run_search(budget, seed) — coverage-guided randomized exploration:
+//    schedules that reach new (trace-kind, breaker-state, degraded-mode)
+//    coverage tuples join the corpus, and mutation targets choice sites
+//    the corpus actually consulted.
+//  * run_random(budget, seed) — the baseline the search is measured
+//    against: plain seed soaking (empty schedule, varied simulation
+//    seed), the pre-explorer state of the art.
+//
+// Every driver stops at the first invariant violation and returns the
+// offending schedule; explore/shrink.h reduces it to a minimal repro.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/sim.h"
+#include "dispatch/least_load.h"
+#include "explore/hook.h"
+#include "explore/invariants.h"
+#include "explore/schedule.h"
+
+namespace hs::explore {
+
+/// Scenario + search parameters. The defaults are the documented CI
+/// configuration (3 machines, 108-schedule exhaustive space).
+struct ExploreConfig {
+  size_t machines = 3;
+  double sim_time = 120.0;  // simulated seconds per run
+  double rho = 0.9;         // offered load (queues form, sheds happen)
+  uint64_t base_seed = 42;  // simulation seed for scheduled runs
+
+  /// Plant the test-only conservation bug
+  /// (cluster::FaultConfig::test_only_drop_leak) so the find → shrink →
+  /// replay pipeline has a real defect to chase. Never set outside tests
+  /// and the demo.
+  bool plant_bug = false;
+
+  /// Forced first-crash times tried per machine in the exhaustive space
+  /// (plus the "natural" draw). Size E gives (1+E)^machines crash
+  /// combinations.
+  std::vector<double> exhaustive_crash_times = {20.0, 70.0};
+  /// Machines whose first dispatch-loss draw is toggled in the
+  /// exhaustive space (2^count combinations; capped at `machines`).
+  size_t exhaustive_loss_machines = 2;
+
+  InvariantRegistry registry;
+
+  void validate() const;
+};
+
+/// Everything one scheduled run produced.
+struct RunOutcome {
+  std::vector<Violation> violations;  // empty = clean run
+  std::vector<uint32_t> coverage;     // sorted unique coverage tuples
+  std::vector<ScheduleHook::Site> sites;  // choice sites consulted
+  cluster::SimulationResult result;
+  uint64_t overrides_applied = 0;
+};
+
+/// Aggregate outcome of one search driver.
+struct SearchStats {
+  uint64_t runs = 0;
+  std::vector<uint32_t> coverage;  // union over all runs, sorted
+  bool found_violation = false;
+  Schedule counterexample;  // schedule of the first violating run
+  Violation violation;      // its first violation
+  uint64_t violating_seed = 0;  // simulation seed of that run
+
+  [[nodiscard]] size_t coverage_tuples() const { return coverage.size(); }
+};
+
+/// Decode one coverage tuple into its parts (for reporting).
+struct CoverageTuple {
+  obs::TraceEventKind kind;
+  uint8_t breaker_state;  // 0 closed, 1 open, 2 half-open
+  bool any_down;
+  bool any_partitioned;
+  bool any_suspected;
+};
+[[nodiscard]] CoverageTuple decode_coverage_tuple(uint32_t tuple);
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreConfig config);
+
+  [[nodiscard]] const ExploreConfig& config() const { return config_; }
+
+  /// Run the scenario once under `schedule` (with the configured
+  /// base_seed) and check every enabled invariant. With
+  /// tree-scan-equivalence enabled this runs the scenario twice (kTree
+  /// and kScan engines) and reports any result divergence.
+  [[nodiscard]] RunOutcome run_schedule(const Schedule& schedule) const;
+
+  /// Size of the documented exhaustive space:
+  /// (1 + crash_times)^machines · 2^loss_machines.
+  [[nodiscard]] uint64_t exhaustive_space_size() const;
+  /// The index-th schedule of the space, in mixed-radix order.
+  [[nodiscard]] Schedule exhaustive_schedule(uint64_t index) const;
+
+  [[nodiscard]] SearchStats run_exhaustive() const;
+  [[nodiscard]] SearchStats run_search(uint64_t budget, uint64_t seed) const;
+  [[nodiscard]] SearchStats run_random(uint64_t budget, uint64_t seed) const;
+
+ private:
+  RunOutcome run_one(const Schedule& schedule, uint64_t sim_seed) const;
+  cluster::SimulationConfig make_config(uint64_t sim_seed) const;
+
+  ExploreConfig config_;
+};
+
+}  // namespace hs::explore

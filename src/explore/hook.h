@@ -1,0 +1,59 @@
+// ScheduleHook: applies a fault schedule to one simulation run.
+//
+// Installed as SimulationConfig::choice_hook, the hook counts how often
+// each (kind, entity) choice point is consulted and substitutes the
+// schedule's value whenever an override addresses the current
+// occurrence. Draws it does not override pass through untouched, so an
+// empty schedule replays the natural run bit-for-bit.
+//
+// The hook also records every site it saw (with its consult count) —
+// the coverage-guided search mutates schedules toward *observed* sites,
+// which is what keeps random mutation from wasting runs on choice
+// points the scenario never reaches.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/choice.h"
+#include "explore/schedule.h"
+
+namespace hs::explore {
+
+class ScheduleHook : public cluster::ChoiceHook {
+ public:
+  /// One choice point the run actually consulted, with how many times.
+  struct Site {
+    cluster::ChoiceKind kind;
+    uint32_t entity = 0;
+    uint32_t consults = 0;
+  };
+
+  explicit ScheduleHook(const Schedule& schedule);
+
+  bool on_bool(cluster::ChoiceKind kind, uint32_t entity,
+               bool drawn) override;
+  double on_double(cluster::ChoiceKind kind, uint32_t entity,
+                   double drawn) override;
+
+  /// How many overrides actually fired (a shrunk schedule should have
+  /// applied() == ops.size(); dead ops are shrinkable).
+  [[nodiscard]] uint64_t applied() const { return applied_; }
+
+  /// Observed sites, sorted by (kind, entity) for determinism.
+  [[nodiscard]] std::vector<Site> sites() const;
+
+ private:
+  uint64_t next_occurrence(cluster::ChoiceKind kind, uint32_t entity);
+  /// Pointer to the override's value bits, or null when this consult is
+  /// not overridden.
+  const uint64_t* lookup(cluster::ChoiceKind kind, uint32_t entity,
+                         uint64_t occurrence);
+
+  std::unordered_map<uint64_t, uint64_t> overrides_;  // packed target -> bits
+  std::unordered_map<uint64_t, uint32_t> consults_;   // packed site -> count
+  uint64_t applied_ = 0;
+};
+
+}  // namespace hs::explore

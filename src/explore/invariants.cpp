@@ -1,0 +1,309 @@
+#include "explore/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace hs::explore {
+
+namespace {
+
+using obs::TraceEventKind;
+using obs::TraceRecord;
+using obs::TraceSink;
+
+/// Collector shared by all checks: caps the violation list so a
+/// catastrophically broken run cannot balloon memory (the first few
+/// violations are what the shrinker keys on anyway).
+class Reporter {
+ public:
+  explicit Reporter(std::vector<Violation>& out) : out_(out) {}
+
+  void report(const char* invariant, const TraceRecord* record,
+              std::string detail) {
+    if (out_.size() >= kMaxViolations) {
+      return;
+    }
+    Violation violation;
+    violation.invariant = invariant;
+    if (record != nullptr) {
+      violation.time = record->time;
+      violation.job = record->job;
+      violation.machine = record->machine;
+    }
+    violation.detail = std::move(detail);
+    out_.push_back(std::move(violation));
+  }
+
+ private:
+  static constexpr size_t kMaxViolations = 64;
+  std::vector<Violation>& out_;
+};
+
+/// Per-job lifecycle + exactly-once state, tracked in one scan.
+struct JobState {
+  uint32_t dispatches = 0;
+  uint32_t completions = 0;
+  bool dropped = false;
+  bool shed = false;
+};
+
+/// Circuit-breaker states as the legality check tracks them.
+enum class Breaker : uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* breaker_name(Breaker state) {
+  switch (state) {
+    case Breaker::kClosed:
+      return "closed";
+    case Breaker::kOpen:
+      return "open";
+    case Breaker::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Violation::to_string() const {
+  std::ostringstream out;
+  out << invariant << " @t=" << time;
+  if (job != obs::TraceSink::kNoJob) {
+    out << " job=" << job;
+  }
+  if (machine != obs::TraceSink::kScheduler) {
+    out << " machine=" << machine;
+  }
+  out << ": " << detail;
+  return out.str();
+}
+
+InvariantRegistry::InvariantRegistry() {
+  names_ = {invariant::kJobConservation, invariant::kExactlyOnce,
+            invariant::kBreakerLegality, invariant::kDetectorMonotone,
+            invariant::kTimeMonotone,    invariant::kLifecycle,
+            invariant::kDispatchLegality, invariant::kResultSanity,
+            invariant::kTreeScanEquivalence};
+  enabled_.assign(names_.size(), true);
+}
+
+void InvariantRegistry::set_enabled(const std::string& name, bool enabled) {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  HS_CHECK(it != names_.end(), "unknown invariant: " << name);
+  enabled_[static_cast<size_t>(it - names_.begin())] = enabled;
+}
+
+bool InvariantRegistry::enabled(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  HS_CHECK(it != names_.end(), "unknown invariant: " << name);
+  return enabled_[static_cast<size_t>(it - names_.begin())];
+}
+
+std::vector<Violation> check_run(const InvariantRegistry& registry,
+                                 const obs::TraceSink& trace,
+                                 const cluster::SimulationResult& result,
+                                 size_t machine_count) {
+  HS_CHECK(trace.overwritten() == 0,
+           "invariant check needs the full trace; ring dropped "
+               << trace.overwritten() << " records — raise the capacity");
+  std::vector<Violation> violations;
+  Reporter reporter(violations);
+
+  const bool want_exactly_once = registry.enabled(invariant::kExactlyOnce);
+  const bool want_breaker = registry.enabled(invariant::kBreakerLegality);
+  const bool want_detector = registry.enabled(invariant::kDetectorMonotone);
+  const bool want_time = registry.enabled(invariant::kTimeMonotone);
+  const bool want_lifecycle = registry.enabled(invariant::kLifecycle);
+  const bool want_dispatch = registry.enabled(invariant::kDispatchLegality);
+
+  std::unordered_map<uint64_t, JobState> jobs;
+  std::vector<Breaker> breakers(machine_count, Breaker::kClosed);
+  std::vector<char> suspected(machine_count, 0);
+  double last_time = 0.0;
+
+  const auto machine_ok = [machine_count](int32_t machine) {
+    return machine >= 0 && static_cast<size_t>(machine) < machine_count;
+  };
+
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceRecord& record = trace.at(i);
+    if (want_time) {
+      if (record.time < last_time) {
+        std::ostringstream detail;
+        detail << "record " << i << " ("
+               << obs::trace_event_kind_name(record.kind) << ") at t="
+               << record.time << " precedes prior t=" << last_time;
+        reporter.report(invariant::kTimeMonotone, &record, detail.str());
+      }
+      last_time = std::max(last_time, record.time);
+    }
+
+    const bool has_job = record.job != TraceSink::kNoJob;
+    JobState* job = nullptr;
+    if (has_job && (want_exactly_once || want_lifecycle)) {
+      job = &jobs[record.job];
+    }
+
+    switch (record.kind) {
+      case TraceEventKind::kDispatch:
+        if (want_dispatch && !machine_ok(record.machine)) {
+          std::ostringstream detail;
+          detail << "dispatch to machine " << record.machine
+                 << " outside [0, " << machine_count << ")";
+          reporter.report(invariant::kDispatchLegality, &record,
+                          detail.str());
+        }
+        if (job != nullptr) {
+          if (want_lifecycle && (job->dropped || job->shed)) {
+            reporter.report(
+                invariant::kLifecycle, &record,
+                job->dropped ? "dispatch after terminal drop"
+                             : "dispatch after terminal shed");
+          }
+          ++job->dispatches;
+        }
+        break;
+      case TraceEventKind::kCompletion:
+        if (job != nullptr) {
+          ++job->completions;
+          if (want_exactly_once && job->completions > 1) {
+            std::ostringstream detail;
+            detail << "job completed " << job->completions << " times";
+            reporter.report(invariant::kExactlyOnce, &record, detail.str());
+          }
+          if (want_lifecycle) {
+            if (job->dispatches == 0) {
+              reporter.report(invariant::kLifecycle, &record,
+                              "completion without a prior dispatch");
+            }
+            if (job->dropped || job->shed) {
+              reporter.report(invariant::kLifecycle, &record,
+                              job->dropped ? "completion after terminal drop"
+                                           : "completion after terminal shed");
+            }
+          }
+        }
+        break;
+      case TraceEventKind::kDrop:
+        if (job != nullptr) {
+          if (want_lifecycle && job->dropped) {
+            reporter.report(invariant::kLifecycle, &record,
+                            "job dropped twice");
+          }
+          job->dropped = true;
+        }
+        break;
+      case TraceEventKind::kShed:
+        if (job != nullptr) {
+          job->shed = true;
+        }
+        break;
+      case TraceEventKind::kBreakerOpen:
+      case TraceEventKind::kBreakerHalfOpen:
+      case TraceEventKind::kBreakerClose:
+        if (want_breaker && machine_ok(record.machine)) {
+          Breaker& state = breakers[static_cast<size_t>(record.machine)];
+          Breaker next = state;
+          bool legal = false;
+          if (record.kind == TraceEventKind::kBreakerOpen) {
+            // Trips from closed (threshold) or half-open (failed probe).
+            legal = state != Breaker::kOpen;
+            next = Breaker::kOpen;
+          } else if (record.kind == TraceEventKind::kBreakerHalfOpen) {
+            legal = state == Breaker::kOpen;
+            next = Breaker::kHalfOpen;
+          } else {
+            legal = state == Breaker::kHalfOpen;
+            next = Breaker::kClosed;
+          }
+          if (!legal) {
+            std::ostringstream detail;
+            detail << "illegal breaker transition "
+                   << breaker_name(state) << " -> "
+                   << obs::trace_event_kind_name(record.kind);
+            reporter.report(invariant::kBreakerLegality, &record,
+                            detail.str());
+          }
+          state = next;
+        }
+        break;
+      case TraceEventKind::kSuspect:
+        if (want_detector && machine_ok(record.machine)) {
+          char& flag = suspected[static_cast<size_t>(record.machine)];
+          if (flag != 0) {
+            reporter.report(invariant::kDetectorMonotone, &record,
+                            "suspect while already suspected");
+          }
+          flag = 1;
+        }
+        break;
+      case TraceEventKind::kSuspectCleared:
+        if (want_detector && machine_ok(record.machine)) {
+          char& flag = suspected[static_cast<size_t>(record.machine)];
+          if (flag == 0) {
+            reporter.report(invariant::kDetectorMonotone, &record,
+                            "suspicion cleared while not suspected");
+          }
+          flag = 0;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (registry.enabled(invariant::kJobConservation)) {
+    const uint64_t accounted = result.total_completed + result.total_shed +
+                               result.total_dropped +
+                               result.in_flight_at_end;
+    if (accounted != result.total_arrivals) {
+      std::ostringstream detail;
+      detail << "arrivals " << result.total_arrivals << " != completed "
+             << result.total_completed << " + shed " << result.total_shed
+             << " + dropped " << result.total_dropped << " + in-flight "
+             << result.in_flight_at_end << " (= " << accounted << ")";
+      reporter.report(invariant::kJobConservation, nullptr, detail.str());
+    }
+  }
+
+  if (registry.enabled(invariant::kResultSanity)) {
+    const auto finite = [](double v) { return std::isfinite(v); };
+    if (!finite(result.mean_response_time) ||
+        !finite(result.mean_response_ratio) || !finite(result.goodput)) {
+      reporter.report(invariant::kResultSanity, nullptr,
+                      "non-finite summary statistic");
+    }
+    double fraction_sum = 0.0;
+    for (double fraction : result.machine_fractions) {
+      if (!finite(fraction) || fraction < 0.0 || fraction > 1.0) {
+        std::ostringstream detail;
+        detail << "machine fraction " << fraction << " outside [0, 1]";
+        reporter.report(invariant::kResultSanity, nullptr, detail.str());
+      }
+      fraction_sum += fraction;
+    }
+    if (result.dispatched_jobs > 0 &&
+        std::fabs(fraction_sum - 1.0) > 1e-6) {
+      std::ostringstream detail;
+      detail << "machine fractions sum to " << fraction_sum << ", not 1";
+      reporter.report(invariant::kResultSanity, nullptr, detail.str());
+    }
+    for (double utilization : result.machine_utilizations) {
+      if (!finite(utilization) || utilization < 0.0 ||
+          utilization > 1.0 + 1e-9) {
+        std::ostringstream detail;
+        detail << "machine utilization " << utilization
+               << " outside [0, 1]";
+        reporter.report(invariant::kResultSanity, nullptr, detail.str());
+      }
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace hs::explore

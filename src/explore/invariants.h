@@ -1,0 +1,84 @@
+// The invariant registry: named, individually toggleable laws every
+// simulated run must satisfy, checked against the run's trace and
+// result totals.
+//
+// Each invariant is a property the robustness layers promise regardless
+// of fault schedule — conservation of jobs, exactly-once completion
+// under hedging, breaker and failure-detector state-machine legality.
+// The explorer checks the registry after every run; a violation carries
+// enough structure (invariant name, time, job, machine, detail) for the
+// shrinker to preserve "the same bug" while deleting schedule ops.
+//
+// Checks scan the trace ring oldest-first. Records are appended in
+// simulated-time order, so a post-run scan visits states in exactly the
+// order an online checker would — provided the ring never wrapped,
+// which check_run() asserts (size the sink for the run).
+//
+// docs/FAULT_MODEL.md §9 has the invariant catalog.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/sim.h"
+#include "obs/trace.h"
+
+namespace hs::explore {
+
+/// One invariant violation, structured for reporting and shrinking.
+struct Violation {
+  std::string invariant;  // registry name, e.g. "job-conservation"
+  double time = 0.0;      // simulated time of the offending event (or 0)
+  uint64_t job = obs::TraceSink::kNoJob;
+  int32_t machine = obs::TraceSink::kScheduler;
+  std::string detail;     // human-readable specifics
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Names of the built-in invariants (all registered and enabled by
+/// default). Kept as named constants so tests and toggles cannot typo.
+namespace invariant {
+inline constexpr const char* kJobConservation = "job-conservation";
+inline constexpr const char* kExactlyOnce = "exactly-once-completion";
+inline constexpr const char* kBreakerLegality = "breaker-legality";
+inline constexpr const char* kDetectorMonotone = "detector-monotone";
+inline constexpr const char* kTimeMonotone = "time-monotone";
+inline constexpr const char* kLifecycle = "job-lifecycle";
+inline constexpr const char* kDispatchLegality = "dispatch-legality";
+inline constexpr const char* kResultSanity = "result-sanity";
+/// Differential check (run twice, kTree vs kScan); enforced by the
+/// Explorer rather than the trace scan, but toggled here like the rest.
+inline constexpr const char* kTreeScanEquivalence = "tree-scan-equivalence";
+}  // namespace invariant
+
+/// Which invariants a check pass enforces. All known invariants are
+/// enabled by default; unknown names are rejected (a disabled typo would
+/// otherwise silently never check anything).
+class InvariantRegistry {
+ public:
+  InvariantRegistry();
+
+  void set_enabled(const std::string& name, bool enabled);
+  [[nodiscard]] bool enabled(const std::string& name) const;
+
+  /// All registered names, in catalog order.
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<bool> enabled_;
+};
+
+/// Check every enabled invariant against one finished run. `trace` must
+/// not have wrapped (overwritten() == 0 — size the sink for the run).
+/// Returns all violations found, in trace order; empty means the run is
+/// clean.
+[[nodiscard]] std::vector<Violation> check_run(
+    const InvariantRegistry& registry, const obs::TraceSink& trace,
+    const cluster::SimulationResult& result, size_t machine_count);
+
+}  // namespace hs::explore

@@ -1,0 +1,207 @@
+#include "explore/schedule.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "util/atomic_file.h"
+#include "util/check.h"
+
+namespace hs::explore {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'S', 'S', 'C', 'H', 'E', 'D', '1'};
+
+/// Entities and occurrences are small in practice (machine indices,
+/// per-site consult counts); the cap keeps packed lookup keys unique and
+/// catches garbage from a corrupted file early.
+constexpr uint32_t kMaxField = 1u << 24;
+
+void append_varint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+uint64_t read_varint(const uint8_t* data, size_t size, size_t& pos) {
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    HS_CHECK(pos < size, "schedule truncated inside a varint");
+    const uint8_t byte = data[pos++];
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+  }
+  HS_CHECK(false, "schedule varint longer than 64 bits");
+  return 0;  // unreachable
+}
+
+uint64_t double_to_bits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double bits_to_double(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void validate_op(const Override& op, size_t index) {
+  HS_CHECK(static_cast<uint8_t>(op.kind) <
+               static_cast<uint8_t>(cluster::ChoiceKind::kCount),
+           "schedule op " << index << ": bad choice kind "
+                          << static_cast<int>(op.kind));
+  HS_CHECK(op.entity < kMaxField,
+           "schedule op " << index << ": entity " << op.entity
+                          << " out of range");
+  HS_CHECK(op.occurrence < kMaxField,
+           "schedule op " << index << ": occurrence " << op.occurrence
+                          << " out of range");
+  if (op.is_bool()) {
+    HS_CHECK(op.value_bits <= 1, "schedule op "
+                                     << index << ": non-canonical bool bits "
+                                     << op.value_bits);
+  } else {
+    const double value = op.double_value();
+    HS_CHECK(std::isfinite(value) && value >= 0.0,
+             "schedule op " << index << ": double value must be finite and "
+                            << ">= 0, got " << value);
+  }
+}
+
+}  // namespace
+
+Override Override::force_bool(cluster::ChoiceKind kind, uint32_t entity,
+                              uint32_t occurrence, bool value) {
+  HS_CHECK(cluster::choice_kind_is_bool(kind),
+           "choice kind " << cluster::choice_kind_name(kind)
+                          << " does not take a bool");
+  return Override{kind, entity, occurrence, value ? 1ull : 0ull};
+}
+
+Override Override::force_double(cluster::ChoiceKind kind, uint32_t entity,
+                                uint32_t occurrence, double value) {
+  HS_CHECK(!cluster::choice_kind_is_bool(kind),
+           "choice kind " << cluster::choice_kind_name(kind)
+                          << " does not take a double");
+  HS_CHECK(std::isfinite(value) && value >= 0.0,
+           "override value must be finite and >= 0, got " << value);
+  return Override{kind, entity, occurrence, double_to_bits(value)};
+}
+
+double Override::double_value() const { return bits_to_double(value_bits); }
+
+std::string Override::describe() const {
+  std::ostringstream out;
+  out << cluster::choice_kind_name(kind) << "[m" << entity << "]#"
+      << occurrence << " = ";
+  if (is_bool()) {
+    out << (bool_value() ? "true" : "false");
+  } else {
+    out << double_value();
+  }
+  return out.str();
+}
+
+void Schedule::validate() const {
+  std::set<std::tuple<uint8_t, uint32_t, uint32_t>> seen;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    validate_op(ops[i], i);
+    const auto key = std::make_tuple(static_cast<uint8_t>(ops[i].kind),
+                                     ops[i].entity, ops[i].occurrence);
+    HS_CHECK(seen.insert(key).second,
+             "schedule op " << i << " duplicates target "
+                            << ops[i].describe());
+  }
+}
+
+std::vector<uint8_t> Schedule::encode() const {
+  validate();
+  std::vector<uint8_t> out;
+  out.reserve(sizeof(kMagic) + 2 + ops.size() * 12);
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  append_varint(out, ops.size());
+  for (const Override& op : ops) {
+    out.push_back(static_cast<uint8_t>(op.kind));
+    append_varint(out, op.entity);
+    append_varint(out, op.occurrence);
+    if (op.is_bool()) {
+      out.push_back(op.bool_value() ? 1 : 0);
+    } else {
+      for (int shift = 0; shift < 64; shift += 8) {
+        out.push_back(static_cast<uint8_t>(op.value_bits >> shift));
+      }
+    }
+  }
+  return out;
+}
+
+Schedule Schedule::decode(const uint8_t* data, size_t size) {
+  HS_CHECK(data != nullptr || size == 0, "null schedule bytes");
+  HS_CHECK(size >= sizeof(kMagic) &&
+               std::memcmp(data, kMagic, sizeof(kMagic)) == 0,
+           "not an HSSCHED1 schedule (bad magic)");
+  size_t pos = sizeof(kMagic);
+  const uint64_t count = read_varint(data, size, pos);
+  HS_CHECK(count <= size, "schedule op count " << count
+                                               << " impossible for " << size
+                                               << " bytes");
+  Schedule schedule;
+  schedule.ops.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    HS_CHECK(pos < size, "schedule truncated at op " << i);
+    Override op;
+    op.kind = static_cast<cluster::ChoiceKind>(data[pos++]);
+    HS_CHECK(static_cast<uint8_t>(op.kind) <
+                 static_cast<uint8_t>(cluster::ChoiceKind::kCount),
+             "schedule op " << i << ": bad choice kind byte");
+    op.entity = static_cast<uint32_t>(read_varint(data, size, pos));
+    op.occurrence = static_cast<uint32_t>(read_varint(data, size, pos));
+    if (op.is_bool()) {
+      HS_CHECK(pos < size, "schedule truncated in op " << i << " value");
+      op.value_bits = data[pos++];
+    } else {
+      HS_CHECK(pos + 8 <= size, "schedule truncated in op " << i << " value");
+      uint64_t bits = 0;
+      for (int shift = 0; shift < 64; shift += 8) {
+        bits |= static_cast<uint64_t>(data[pos++]) << shift;
+      }
+      op.value_bits = bits;
+    }
+    schedule.ops.push_back(op);
+  }
+  HS_CHECK(pos == size,
+           "schedule has " << size - pos << " trailing bytes after op list");
+  schedule.validate();
+  return schedule;
+}
+
+Schedule Schedule::decode(const std::vector<uint8_t>& bytes) {
+  return decode(bytes.data(), bytes.size());
+}
+
+void save_schedule(const Schedule& schedule, const std::string& path) {
+  const std::vector<uint8_t> bytes = schedule.encode();
+  util::write_file_atomic(path, bytes.data(), bytes.size());
+}
+
+Schedule load_schedule(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HS_CHECK(in.good(), "cannot open schedule file: " << path);
+  std::vector<uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  HS_CHECK(!in.bad(), "cannot read schedule file: " << path);
+  return Schedule::decode(bytes);
+}
+
+}  // namespace hs::explore

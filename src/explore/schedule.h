@@ -1,0 +1,101 @@
+// Fault schedules: serialized override programs for the choice points.
+//
+// A Schedule is a small set of overrides, each retargeting one future
+// consult of an instrumented choice point (cluster/choice.h): "the 3rd
+// dispatch-loss draw for machine 1 is a loss", "machine 0's first
+// up-time is 20 s". Applied through a ScheduleHook, a schedule turns the
+// deterministic simulator into an enumerable state space: the run's
+// trajectory is a pure function of (config, seed, schedule), so any
+// schedule — including a shrunk counterexample — replays bit-identically
+// on any machine.
+//
+// The on-disk format (HSSCHED1) is versioned and append-only:
+//
+//   magic "HSSCHED1" (8 bytes)
+//   op count          varint (LEB128)
+//   per op:
+//     kind            u8    (cluster::ChoiceKind, frozen values)
+//     entity          varint
+//     occurrence      varint (nth consult of this (kind, entity), 0-based)
+//     value           bool kinds: 1 byte in {0, 1}
+//                     double kinds: 8-byte little-endian IEEE 754 bits
+//
+// Doubles travel as raw bits so a repro file replays the exact value the
+// shrinker saved, not a rounded decimal. Decoding rejects bad magic,
+// truncation, trailing bytes, out-of-range kinds, non-canonical bools,
+// and non-finite or negative doubles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/choice.h"
+
+namespace hs::explore {
+
+/// One override: the `occurrence`-th consult of choice point
+/// (kind, entity) resolves to `value_bits` instead of the natural draw.
+struct Override {
+  cluster::ChoiceKind kind = cluster::ChoiceKind::kDispatchLoss;
+  uint32_t entity = 0;
+  uint32_t occurrence = 0;
+  uint64_t value_bits = 0;
+
+  [[nodiscard]] static Override force_bool(cluster::ChoiceKind kind,
+                                           uint32_t entity,
+                                           uint32_t occurrence, bool value);
+  [[nodiscard]] static Override force_double(cluster::ChoiceKind kind,
+                                             uint32_t entity,
+                                             uint32_t occurrence,
+                                             double value);
+
+  [[nodiscard]] bool is_bool() const {
+    return cluster::choice_kind_is_bool(kind);
+  }
+  [[nodiscard]] bool bool_value() const { return value_bits != 0; }
+  [[nodiscard]] double double_value() const;
+
+  /// Human-readable one-liner ("dispatch_loss[m1]#3 = true").
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const Override& a, const Override& b) {
+    return a.kind == b.kind && a.entity == b.entity &&
+           a.occurrence == b.occurrence && a.value_bits == b.value_bits;
+  }
+};
+
+/// An ordered list of overrides. Order is cosmetic — overrides address
+/// (kind, entity, occurrence) triples, not positions in time — but kept
+/// stable so encode/decode round-trips exactly and shrinking is
+/// reproducible.
+struct Schedule {
+  std::vector<Override> ops;
+
+  /// Reject out-of-range kinds/entities/occurrences, non-canonical bool
+  /// bits, non-finite or negative doubles, and duplicate targets.
+  void validate() const;
+
+  /// Serialize to HSSCHED1 bytes (validates first).
+  [[nodiscard]] std::vector<uint8_t> encode() const;
+
+  /// Parse HSSCHED1 bytes; throws util::CheckError on any malformation.
+  [[nodiscard]] static Schedule decode(const uint8_t* data, size_t size);
+  [[nodiscard]] static Schedule decode(const std::vector<uint8_t>& bytes);
+
+  [[nodiscard]] bool empty() const { return ops.empty(); }
+
+  friend bool operator==(const Schedule& a, const Schedule& b) {
+    return a.ops == b.ops;
+  }
+};
+
+/// Atomically write `schedule` as an HSSCHED1 file.
+void save_schedule(const Schedule& schedule, const std::string& path);
+
+/// Load and validate an HSSCHED1 file; throws util::CheckError on I/O or
+/// format errors.
+[[nodiscard]] Schedule load_schedule(const std::string& path);
+
+}  // namespace hs::explore

@@ -1,0 +1,102 @@
+#include "explore/shrink.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hs::explore {
+
+namespace {
+
+/// Does `candidate` still trigger a violation of `invariant_name`?
+/// Fills `out` with the matching violation when it does.
+bool still_fails(const Explorer& explorer, const Schedule& candidate,
+                 const std::string& invariant_name, uint64_t& runs,
+                 Violation* out) {
+  const RunOutcome outcome = explorer.run_schedule(candidate);
+  ++runs;
+  for (const Violation& violation : outcome.violations) {
+    if (violation.invariant == invariant_name) {
+      if (out != nullptr) {
+        *out = violation;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Schedule without_chunk(const Schedule& schedule, size_t begin, size_t end) {
+  Schedule reduced;
+  reduced.ops.reserve(schedule.ops.size() - (end - begin));
+  for (size_t i = 0; i < schedule.ops.size(); ++i) {
+    if (i < begin || i >= end) {
+      reduced.ops.push_back(schedule.ops[i]);
+    }
+  }
+  return reduced;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Explorer& explorer, const Schedule& schedule,
+                    const std::string& invariant_name) {
+  ShrinkResult result;
+  result.initial_ops = schedule.ops.size();
+  HS_CHECK(
+      still_fails(explorer, schedule, invariant_name, result.runs,
+                  &result.violation),
+      "shrink: input schedule does not violate '" << invariant_name << "'");
+  Schedule current = schedule;
+
+  // ddmin: drop chunks of size ceil(n / chunks); on success keep the
+  // reduction and restart at coarse granularity, otherwise refine.
+  size_t chunks = 2;
+  while (current.ops.size() >= 2) {
+    const size_t n = current.ops.size();
+    chunks = std::min(chunks, n);
+    const size_t chunk = (n + chunks - 1) / chunks;
+    bool reduced = false;
+    for (size_t begin = 0; begin < n; begin += chunk) {
+      const size_t end = std::min(begin + chunk, n);
+      const Schedule candidate = without_chunk(current, begin, end);
+      if (still_fails(explorer, candidate, invariant_name, result.runs,
+                      &result.violation)) {
+        current = candidate;
+        chunks = 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunks >= n) {
+        break;  // per-op granularity exhausted
+      }
+      chunks = std::min(chunks * 2, n);
+    }
+  }
+
+  // Final per-op elimination pass: confirms 1-minimality even for the
+  // orderings ddmin's restarts skipped.
+  for (size_t i = 0; i < current.ops.size();) {
+    const Schedule candidate = without_chunk(current, i, i + 1);
+    if (still_fails(explorer, candidate, invariant_name, result.runs,
+                    &result.violation)) {
+      current = candidate;  // re-test the op now at index i
+    } else {
+      ++i;
+    }
+  }
+
+  // Record the violation of the *final* schedule (the loop above may
+  // have last run a non-failing candidate).
+  HS_CHECK(still_fails(explorer, current, invariant_name, result.runs,
+                       &result.violation),
+           "shrink: minimal schedule stopped failing — nondeterminism?");
+  result.schedule = std::move(current);
+  return result;
+}
+
+}  // namespace hs::explore

@@ -1,0 +1,39 @@
+// Delta-debugging shrinker: reduce a violating schedule to a minimal
+// repro.
+//
+// Given a schedule whose run violates some invariant, shrink() searches
+// for a 1-minimal subset of its overrides that still triggers *the same
+// invariant* (matched by name — the bug, not the incidental wreckage a
+// large schedule also causes). The algorithm is classic ddmin: try
+// dropping chunks at exponentially growing granularity, restart on
+// success, then a final per-op elimination pass confirms 1-minimality.
+//
+// Because a run is a pure function of (config, seed, schedule), the
+// shrunk schedule replays the violation bit-identically anywhere — save
+// it with save_schedule() and replay with `explore_cli --replay`.
+#pragma once
+
+#include <cstdint>
+
+#include "explore/explorer.h"
+#include "explore/schedule.h"
+
+namespace hs::explore {
+
+struct ShrinkResult {
+  Schedule schedule;       // 1-minimal violating schedule
+  Violation violation;     // the violation the minimal schedule triggers
+  uint64_t runs = 0;       // simulations spent shrinking
+  uint64_t initial_ops = 0;
+};
+
+/// Reduce `schedule` — which must violate invariant `invariant_name`
+/// under `explorer`'s configuration — to a 1-minimal schedule that still
+/// violates it. Deterministic: the same inputs shrink identically.
+/// Throws util::CheckError if the input schedule does not reproduce the
+/// named violation in the first place.
+[[nodiscard]] ShrinkResult shrink(const Explorer& explorer,
+                                  const Schedule& schedule,
+                                  const std::string& invariant_name);
+
+}  // namespace hs::explore

@@ -47,6 +47,7 @@ const char* trace_event_kind_name(TraceEventKind kind) {
     case TraceEventKind::kTimeout:        return "timeout";
     case TraceEventKind::kDegraded:       return "degraded";
     case TraceEventKind::kSnapshot:       return "snapshot";
+    case TraceEventKind::kSuspectCleared: return "suspect_cleared";
   }
   return "unknown";
 }

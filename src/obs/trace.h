@@ -62,6 +62,7 @@ enum class TraceEventKind : uint8_t {
   kTimeout,         // armed release deadline expired on `machine`
   kDegraded,        // degradation mode engaged/disengaged (aux = mode code)
   kSnapshot,        // serving state snapshot captured (aux = acquired count)
+  kSuspectCleared,  // heartbeat rescinded a suspicion of `machine`
 };
 
 /// Printable name of a kind ("dispatch", "crash", ...).

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -10,12 +11,44 @@
 
 namespace hs::util {
 
+namespace testing {
+AtomicFileFailureInjection atomic_file_failures;
+}  // namespace testing
+
 namespace {
+
+/// write() with the test-only failure injection applied: an optional
+/// per-call byte cap (short writes) and an optional total-bytes budget
+/// after which the call fails as if the disk filled.
+ssize_t checked_write(int fd, const char* data, size_t size,
+                      size_t total_written) {
+  const auto& inject = testing::atomic_file_failures;
+  if (inject.fail_write_after >= 0) {
+    const size_t budget = static_cast<size_t>(inject.fail_write_after);
+    if (total_written >= budget) {
+      errno = ENOSPC;
+      return -1;
+    }
+    // Short-write up to the budget first, so the partial payload the
+    // failure leaves behind is realistic.
+    size = std::min(size, budget - total_written);
+  }
+  if (inject.short_write_limit >= 0 &&
+      size > static_cast<size_t>(inject.short_write_limit)) {
+    size = static_cast<size_t>(inject.short_write_limit);
+    if (size == 0) {
+      errno = ENOSPC;
+      return -1;
+    }
+  }
+  return ::write(fd, data, size);
+}
 
 /// Write the whole buffer, riding out short writes and EINTR.
 bool write_all(int fd, const char* data, size_t size) {
+  size_t written = 0;
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    const ssize_t n = checked_write(fd, data, size, written);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -24,8 +57,26 @@ bool write_all(int fd, const char* data, size_t size) {
     }
     data += n;
     size -= static_cast<size_t>(n);
+    written += static_cast<size_t>(n);
   }
   return true;
+}
+
+/// fsync()/rename() with the test-only failure injection applied.
+int checked_fsync(int fd) {
+  if (testing::atomic_file_failures.fail_fsync) {
+    errno = EIO;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+int checked_rename(const char* from, const char* to) {
+  if (testing::atomic_file_failures.fail_rename) {
+    errno = EACCES;
+    return -1;
+  }
+  return ::rename(from, to);
 }
 
 }  // namespace
@@ -43,7 +94,7 @@ void write_file_atomic(const std::string& path, const void* data,
   // Data first, durably: fsync before rename orders "payload on disk"
   // before "name points at payload" — the whole point of the idiom.
   const bool written = write_all(fd, static_cast<const char*>(data), size);
-  const bool synced = written && ::fsync(fd) == 0;
+  const bool synced = written && checked_fsync(fd) == 0;
   const int saved_errno = errno;
   ::close(fd);
   if (!written || !synced) {
@@ -52,7 +103,7 @@ void write_file_atomic(const std::string& path, const void* data,
                         << tmp << " (" << std::strerror(saved_errno) << ")");
   }
 
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (checked_rename(tmp.c_str(), path.c_str()) != 0) {
     const int rename_errno = errno;
     ::unlink(tmp.c_str());
     HS_CHECK(false, "cannot rename " << tmp << " -> " << path << " ("

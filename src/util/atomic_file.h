@@ -27,4 +27,33 @@ namespace hs::util {
 void write_file_atomic(const std::string& path, const void* data,
                        size_t size);
 
+namespace testing {
+
+/// Test-only fault injection for write_file_atomic's syscalls. The
+/// failure paths this function promises — "throws CheckError and leaves
+/// no temporary or partial file" — involve disk-full, I/O-error, and
+/// permission conditions that cannot be provoked portably from a test
+/// (CI runs as root, where chmod is advisory), so the tests flip these
+/// knobs instead. All fields default to "off", in which state the
+/// wrappers forward to the real syscalls; production code never touches
+/// this struct.
+struct AtomicFileFailureInjection {
+  /// Cap each write() at this many bytes, exercising the short-write
+  /// retry loop on the success path. < 0 = no cap.
+  long short_write_limit = -1;
+  /// Fail write() with ENOSPC once this many bytes have been written in
+  /// total (the classic mid-payload disk-full). < 0 = never.
+  long fail_write_after = -1;
+  bool fail_fsync = false;   // fsync() on the temporary fails with EIO
+  bool fail_rename = false;  // rename() fails with EACCES
+                             // (unwritable target directory)
+
+  void reset() { *this = AtomicFileFailureInjection{}; }
+};
+
+/// The process-wide injection state (tests are single-threaded here).
+extern AtomicFileFailureInjection atomic_file_failures;
+
+}  // namespace testing
+
 }  // namespace hs::util

@@ -1,0 +1,31 @@
+// Environment-variable helpers shared by tests, CI jobs, and demo
+// binaries.
+//
+// The repo's randomized suites (chaos soak, explorer search) all follow
+// one convention: the seed comes from an environment variable, is
+// validated loudly (a typo'd seed must not silently fall back and "pass"
+// with the wrong randomness), and is printed in a uniform
+// "rerun with NAME=value" line so any red run can be replayed exactly by
+// exporting the logged value. seed_from_env() is that convention in one
+// place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hs::util {
+
+/// Read a 64-bit seed from environment variable `name`.
+///
+///  * unset or empty      → `fallback`
+///  * a decimal uint64    → that value
+///  * anything else (non-numeric, trailing garbage, negative, overflow)
+///    → util::CheckError, so a malformed seed never silently degrades a
+///    reproduction attempt into a different run
+///
+/// Always prints one line to stdout — `[seed] rerun with NAME=value` —
+/// for the value actually used, before returning it.
+[[nodiscard]] uint64_t seed_from_env(const std::string& name,
+                                     uint64_t fallback);
+
+}  // namespace hs::util

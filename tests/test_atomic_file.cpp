@@ -1,0 +1,160 @@
+// write_file_atomic failure-path coverage.
+//
+// The function's contract is crash-consistency: on ANY failure it
+// throws util::CheckError and leaves the filesystem exactly as it was —
+// no temporary, no partial target, the old payload intact. The failure
+// conditions themselves (disk full mid-payload, fsync I/O error, an
+// unwritable target directory) cannot be provoked portably from a test
+// — CI runs as root, where permission bits are advisory — so these
+// tests drive the util::testing::AtomicFileFailureInjection syscall
+// knobs instead and assert the contract holds on every exit path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/atomic_file.h"
+#include "util/check.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using hs::util::CheckError;
+using hs::util::write_file_atomic;
+using hs::util::testing::atomic_file_failures;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Fresh scratch directory per test; injection state always reset.
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hs_atomic_file_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    target_ = (dir_ / "out.bin").string();
+    atomic_file_failures.reset();
+  }
+
+  void TearDown() override {
+    atomic_file_failures.reset();
+    fs::remove_all(dir_);
+  }
+
+  /// The invariant every failure path must leave behind.
+  void expect_untouched(const std::string& expected_content) {
+    EXPECT_FALSE(fs::exists(target_ + ".tmp"))
+        << "failure path leaked a temporary file";
+    if (expected_content.empty()) {
+      EXPECT_FALSE(fs::exists(target_))
+          << "failure path materialized a partial target";
+    } else {
+      ASSERT_TRUE(fs::exists(target_));
+      EXPECT_EQ(read_file(target_), expected_content)
+          << "failure path tore the previous payload";
+    }
+  }
+
+  fs::path dir_;
+  std::string target_;
+};
+
+TEST_F(AtomicFileTest, WritesAndReplacesWholePayload) {
+  const std::string first = "first payload";
+  write_file_atomic(target_, first.data(), first.size());
+  EXPECT_EQ(read_file(target_), first);
+  EXPECT_FALSE(fs::exists(target_ + ".tmp"));
+
+  const std::string second(100000, 'x');
+  write_file_atomic(target_, second.data(), second.size());
+  EXPECT_EQ(read_file(target_), second);
+  EXPECT_FALSE(fs::exists(target_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, RidesOutShortWrites) {
+  // Every write() returns at most 7 bytes: the retry loop must stitch
+  // the payload together without loss or reordering.
+  atomic_file_failures.short_write_limit = 7;
+  std::string payload;
+  for (int i = 0; i < 1000; ++i) {
+    payload += "block-" + std::to_string(i) + ";";
+  }
+  write_file_atomic(target_, payload.data(), payload.size());
+  EXPECT_EQ(read_file(target_), payload);
+}
+
+TEST_F(AtomicFileTest, DiskFullMidPayloadThrowsAndCleansUp) {
+  const std::string old = "previous content";
+  write_file_atomic(target_, old.data(), old.size());
+
+  // The disk "fills" after 10 bytes of a 64-byte payload: a short write
+  // followed by a hard ENOSPC.
+  atomic_file_failures.fail_write_after = 10;
+  const std::string payload(64, 'y');
+  EXPECT_THROW(write_file_atomic(target_, payload.data(), payload.size()),
+               CheckError);
+  expect_untouched(old);
+}
+
+TEST_F(AtomicFileTest, DiskFullOnFirstWriteThrowsAndCleansUp) {
+  atomic_file_failures.fail_write_after = 0;
+  const std::string payload = "never lands";
+  EXPECT_THROW(write_file_atomic(target_, payload.data(), payload.size()),
+               CheckError);
+  expect_untouched("");
+}
+
+TEST_F(AtomicFileTest, FsyncFailureThrowsAndCleansUp) {
+  const std::string old = "durable old state";
+  write_file_atomic(target_, old.data(), old.size());
+
+  atomic_file_failures.fail_fsync = true;
+  const std::string payload = "would be lost by a power cut";
+  EXPECT_THROW(write_file_atomic(target_, payload.data(), payload.size()),
+               CheckError);
+  expect_untouched(old);
+}
+
+TEST_F(AtomicFileTest, RenameFailureThrowsAndCleansUp) {
+  const std::string old = "still the published version";
+  write_file_atomic(target_, old.data(), old.size());
+
+  // Models rename() onto an unwritable directory (EACCES).
+  atomic_file_failures.fail_rename = true;
+  const std::string payload = "never published";
+  EXPECT_THROW(write_file_atomic(target_, payload.data(), payload.size()),
+               CheckError);
+  expect_untouched(old);
+}
+
+TEST_F(AtomicFileTest, MissingDirectoryThrows) {
+  const std::string bogus = (dir_ / "no_such_dir" / "out.bin").string();
+  const std::string payload = "x";
+  EXPECT_THROW(write_file_atomic(bogus, payload.data(), payload.size()),
+               CheckError);
+  EXPECT_FALSE(fs::exists(bogus));
+  EXPECT_FALSE(fs::exists(bogus + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, EmptyPathThrows) {
+  EXPECT_THROW(write_file_atomic("", "x", 1), CheckError);
+}
+
+TEST_F(AtomicFileTest, InjectionOffAfterReset) {
+  atomic_file_failures.fail_fsync = true;
+  atomic_file_failures.reset();
+  const std::string payload = "clean again";
+  write_file_atomic(target_, payload.data(), payload.size());
+  EXPECT_EQ(read_file(target_), payload);
+}
+
+}  // namespace

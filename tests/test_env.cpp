@@ -1,0 +1,62 @@
+// util::seed_from_env — the one shared path from environment variables
+// to reproducible seeds (chaos soak, explorer search, any future
+// randomized harness).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/env.h"
+
+namespace {
+
+using hs::util::CheckError;
+using hs::util::seed_from_env;
+
+// Each test uses its own variable name so parallel gtest shards cannot
+// race on the process environment.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    ::unsetenv(name_);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+  void set(const char* value) { ::setenv(name_, value, 1); }
+
+ private:
+  const char* name_;
+};
+
+TEST(SeedFromEnv, UnsetReturnsFallback) {
+  EnvGuard guard("HS_TEST_SEED_UNSET");
+  EXPECT_EQ(seed_from_env("HS_TEST_SEED_UNSET", 17), 17u);
+}
+
+TEST(SeedFromEnv, EmptyReturnsFallback) {
+  EnvGuard guard("HS_TEST_SEED_EMPTY");
+  guard.set("");
+  EXPECT_EQ(seed_from_env("HS_TEST_SEED_EMPTY", 17), 17u);
+}
+
+TEST(SeedFromEnv, ParsesDecimalValues) {
+  EnvGuard guard("HS_TEST_SEED_VALUE");
+  guard.set("0");
+  EXPECT_EQ(seed_from_env("HS_TEST_SEED_VALUE", 17), 0u);
+  guard.set("123456789");
+  EXPECT_EQ(seed_from_env("HS_TEST_SEED_VALUE", 17), 123456789u);
+  guard.set("18446744073709551615");  // UINT64_MAX
+  EXPECT_EQ(seed_from_env("HS_TEST_SEED_VALUE", 17),
+            18446744073709551615ull);
+}
+
+TEST(SeedFromEnv, RejectsGarbage) {
+  EnvGuard guard("HS_TEST_SEED_BAD");
+  for (const char* bad : {"abc", "12x", "x12", "-1", "+1", " 12", "12 ",
+                          "0x10", "1.5", "18446744073709551616"}) {
+    guard.set(bad);
+    EXPECT_THROW((void)seed_from_env("HS_TEST_SEED_BAD", 17), CheckError)
+        << "value: '" << bad << "'";
+  }
+}
+
+}  // namespace

@@ -127,15 +127,15 @@ TEST(NetFaultsValidation, HeartbeatFieldsAreRangeChecked) {
 TEST(NetFaultsValidation, FeedbackFieldsAreRangeChecked) {
   NetworkConfig config;
   config.detection_interval = -1.0;
-  EXPECT_NE(
-      message_for(config).find("network detection_interval must be >= 0"),
-      std::string::npos);
+  EXPECT_NE(message_for(config).find(
+                "network detection_interval must be finite and >= 0"),
+            std::string::npos);
 
   config = {};
   config.message_delay_mean = -0.05;
-  EXPECT_NE(
-      message_for(config).find("network message_delay_mean must be >= 0"),
-      std::string::npos);
+  EXPECT_NE(message_for(config).find(
+                "network message_delay_mean must be finite and >= 0"),
+            std::string::npos);
 }
 
 TEST(NetFaultsValidation, PartitionWindowsAreValidated) {

@@ -48,6 +48,7 @@
 #include "serving/snapshot.h"
 #include "serving/trace_io.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace {
 
@@ -657,12 +658,7 @@ TEST(ChaosCorruptionTest, SnapshotFileFlipsAreRejectedCleanly) {
 // ---- Randomized soak (seed logged for reproduction) ---------------------
 
 TEST(ChaosSoakTest, RandomizedScheduleKeepsInvariants) {
-  uint64_t seed = 1;
-  if (const char* env = std::getenv("HS_CHAOS_SEED")) {
-    seed = std::strtoull(env, nullptr, 10);
-  }
-  std::printf("[chaos-soak] HS_CHAOS_SEED=%llu\n",
-              static_cast<unsigned long long>(seed));
+  const uint64_t seed = hs::util::seed_from_env("HS_CHAOS_SEED", 1);
   hs::rng::Xoshiro256 chaos(seed);
 
   auto stack = make_fault_aware_random();
